@@ -1,0 +1,471 @@
+(* Benchmark harness.
+
+   Two kinds of content, per the experiment index in DESIGN.md:
+
+   - one Bechamel measurement per paper table/figure (group
+     "paper-tables": E2..E12 — the time to regenerate each of the
+     paper's worked-example tables on its graph), plus the regenerated
+     rows themselves (printed before the measurements, so the harness
+     both reproduces and times every table);
+
+   - the B1-B7 performance experiments: Expand locality, variable-length
+     growth, morphism semantics, engine modes, aggregation, parsing, and
+     the fixed two-disjoint-paths pattern of the Section 4.2 complexity
+     discussion.
+
+   The paper itself reports no absolute performance numbers (its
+   evaluation is the formal semantics); the B-series documents the
+   performance-relevant *claims* (Section 2 Expand locality, Section 4.2
+   complexity) on synthetic workloads.  Shapes, not absolute numbers, are
+   the reproduction target. *)
+
+open Bechamel
+open Toolkit
+open Cypher_gen
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Table = Cypher_table.Table
+module Stats = Cypher_graph.Stats
+module Config = Cypher_semantics.Config
+
+let run_planned g q = Engine.run ~mode:Engine.Planned g q
+let run_reference g q = Engine.run ~mode:Engine.Reference g q
+
+(* Planned execution with the baseline Expand that scans the whole
+   relationship set instead of using adjacency (experiment B1). *)
+let run_scan_expand g q =
+  match Cypher_parser.Parser.parse_query_exn q with
+  | Cypher_ast.Ast.Q_single { sq_clauses; sq_return } ->
+    let stats = Stats.collect g in
+    let { Cypher_planner.Build.plan; fields } =
+      Cypher_planner.Build.compile_clauses ~stats ~scan_rels:true ~visible:[]
+        sq_clauses sq_return
+    in
+    Cypher_planner.Exec.run Config.default g ~fields plan Table.unit
+  | _ -> failwith "unsupported"
+
+let row_count t = Table.row_count t
+
+(* ------------------------------------------------------------------ *)
+(* Measurement plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark_group name tests =
+  let test = Test.make_grouped ~name tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Printf.printf "\n## %s\n" name;
+  List.iter
+    (fun (test_name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] when Float.is_finite ns ->
+        let pretty =
+          if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+          else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+          else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+          else Printf.sprintf "%8.0f ns" ns
+        in
+        Printf.printf "  %-58s %s/run\n" test_name pretty
+      | _ -> Printf.printf "  %-58s (no estimate)\n" test_name)
+    rows
+
+let t name f = Test.make ~name (Staged.stage f)
+
+(* ------------------------------------------------------------------ *)
+(* Paper tables: regenerate and time each one                           *)
+(* ------------------------------------------------------------------ *)
+
+let academic = Paper_graphs.academic ()
+let teachers = Paper_graphs.teachers ()
+let loop_graph = let g, _, _ = Paper_graphs.self_loop () in g
+
+let paper_tables =
+  [
+    ( "E2/fig2a", academic,
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       RETURN r, s" );
+    ( "E3/fig2b", academic,
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       WITH r, count(s) AS studentsSupervised RETURN r, studentsSupervised" );
+    ( "E4/line4", academic,
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       WITH r, count(s) AS studentsSupervised \
+       MATCH (r)-[:AUTHORS]->(p1:Publication) RETURN r, studentsSupervised, p1"
+    );
+    ( "E5/line5", academic,
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       WITH r, count(s) AS studentsSupervised \
+       MATCH (r)-[:AUTHORS]->(p1:Publication) \
+       OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) \
+       RETURN r, studentsSupervised, p1, p2" );
+    ( "E6/final", academic,
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       WITH r, count(s) AS studentsSupervised \
+       MATCH (r)-[:AUTHORS]->(p1:Publication) \
+       OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) \
+       RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount" );
+    ("E8/ex4.3", teachers, "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y");
+    ( "E9/ex4.4", teachers,
+      "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) \
+       RETURN x, z, y" );
+    ( "E10/ex4.5", teachers,
+      "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) \
+       RETURN x, y" );
+    ("E11/ex4.6", teachers, "MATCH (x)-[:KNOWS*]->(y) RETURN x, y");
+    ("E12/loop", loop_graph, "MATCH (x)-[*0..]->(x) RETURN x");
+  ]
+
+let print_paper_tables () =
+  Printf.printf "# Paper tables regenerated (experiment ids from DESIGN.md)\n";
+  List.iter
+    (fun (name, g, q) ->
+      Printf.printf "\n-- %s --\n%s\n" name q;
+      Format.printf "%a@." Table.pp (run_planned g q))
+    paper_tables
+
+let paper_table_tests =
+  List.map (fun (name, g, q) -> t name (fun () -> run_planned g q)) paper_tables
+
+(* ------------------------------------------------------------------ *)
+(* B1: Expand locality vs relationship-scan join                        *)
+(* ------------------------------------------------------------------ *)
+
+let b1 () =
+  let sizes = [ 200; 800 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let g = Generate.chain ~n ~rel_type:"NEXT" in
+        let q =
+          "MATCH (a)-[:NEXT]->(b)-[:NEXT]->(c)-[:NEXT]->(d) RETURN count(*) \
+           AS c"
+        in
+        [
+          t (Printf.sprintf "expand-adjacency/n=%d" n) (fun () -> run_planned g q);
+          t (Printf.sprintf "expand-scan-all-rels/n=%d" n) (fun () ->
+              run_scan_expand g q);
+        ])
+      sizes
+  in
+  benchmark_group
+    "B1 Expand locality (Section 2): adjacency vs whole-relationship scan"
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* B2: variable-length growth                                          *)
+(* ------------------------------------------------------------------ *)
+
+let b2 () =
+  let chain = Generate.chain ~n:256 ~rel_type:"T" in
+  let clique = Generate.clique ~n:7 ~rel_type:"T" in
+  let tests =
+    List.concat_map
+      (fun k ->
+        let q g name =
+          t
+            (Printf.sprintf "%s/k=%d" name k)
+            (fun () ->
+              run_planned g
+                (Printf.sprintf
+                   "MATCH (a {idx: 1})-[:T*1..%d]->(b) RETURN count(*) AS c" k))
+        in
+        [ q chain "chain-n256"; q clique "clique-n7" ])
+      [ 2; 4; 6 ]
+  in
+  benchmark_group
+    "B2 variable-length growth (Section 4.2): chains vs cliques" tests
+
+(* ------------------------------------------------------------------ *)
+(* B3: morphism semantics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let b3 () =
+  (* On a 4-cycle with *1..8, the three semantics disagree: edge
+     isomorphism stops after one trip around (lengths 1-4), node
+     isomorphism additionally rejects the closing step (lengths 1-3), and
+     homomorphism keeps circling until the cap. *)
+  let g = Generate.cycle ~n:4 ~rel_type:"T" in
+  let q = "MATCH (a)-[:T*1..8]->(b) RETURN count(*) AS c" in
+  let with_morphism m cap =
+    Config.{ default with morphism = m; var_length_cap = cap }
+  in
+  let count config =
+    match Table.rows (Engine.run ~config ~mode:Engine.Reference g q) with
+    | [ row ] -> (
+      match Cypher_table.Record.find row "c" with
+      | Some (Cypher_values.Value.Int n) -> n
+      | _ -> -1)
+    | _ -> -1
+  in
+  Printf.printf
+    "\n(B3 match counts on a 4-cycle, *1..8: edge-iso=%d node-iso=%d \
+     homomorphism(cap 8)=%d)\n"
+    (count (with_morphism Config.Edge_isomorphism None))
+    (count (with_morphism Config.Node_isomorphism None))
+    (count (with_morphism Config.Homomorphism (Some 8)));
+  let tests =
+    [
+      t "edge-isomorphism" (fun () ->
+          Engine.run
+            ~config:(with_morphism Config.Edge_isomorphism None)
+            ~mode:Engine.Reference g q);
+      t "node-isomorphism" (fun () ->
+          Engine.run
+            ~config:(with_morphism Config.Node_isomorphism None)
+            ~mode:Engine.Reference g q);
+      t "homomorphism-cap8" (fun () ->
+          Engine.run
+            ~config:(with_morphism Config.Homomorphism (Some 8))
+            ~mode:Engine.Reference g q);
+    ]
+  in
+  benchmark_group "B3 configurable morphisms (Sections 4.2 and 8)" tests
+
+(* ------------------------------------------------------------------ *)
+(* B4: reference semantics vs planned engine                           *)
+(* ------------------------------------------------------------------ *)
+
+let b4 () =
+  let g = Generate.citation ~seed:11 ~papers:60 ~avg_cites:2 in
+  let q =
+    "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+     WITH r, count(s) AS sup MATCH (r)-[:AUTHORS]->(p:Publication) \
+     OPTIONAL MATCH (p)<-[:CITES*]-(q:Publication) \
+     RETURN r.name, sup, count(DISTINCT q) AS cited"
+  in
+  let tests =
+    [
+      t "reference-denotational" (fun () -> row_count (run_reference g q));
+      t "planned-volcano" (fun () -> row_count (run_planned g q));
+    ]
+  in
+  benchmark_group
+    "B4 engine modes on the Section 3 query shape (citation graph, 60 papers)"
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* B5: aggregation throughput                                          *)
+(* ------------------------------------------------------------------ *)
+
+let b5 () =
+  let g = Generate.social ~seed:3 ~people:400 ~avg_friends:6 in
+  let tests =
+    [
+      t "grouped-count" (fun () ->
+          run_planned g
+            "MATCH (p:Person) RETURN p.city AS city, count(*) AS c");
+      t "grouped-collect" (fun () ->
+          run_planned g
+            "MATCH (p:Person)-[:FRIEND]->(q) RETURN p.city AS city, \
+             collect(q.name) AS friends");
+      t "global-aggregates" (fun () ->
+          run_planned g
+            "MATCH (p:Person)-[f:FRIEND]->() RETURN count(*) AS c, \
+             min(f.since) AS mn, max(f.since) AS mx, avg(f.since) AS a");
+      t "distinct" (fun () ->
+          run_planned g "MATCH (p:Person) RETURN DISTINCT p.city AS city");
+    ]
+  in
+  benchmark_group "B5 aggregation (social graph, 400 people)" tests
+
+(* ------------------------------------------------------------------ *)
+(* B6: parser throughput                                               *)
+(* ------------------------------------------------------------------ *)
+
+let b6 () =
+  let corpus =
+    [
+      "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+       WITH r, count(s) AS n RETURN r.name, n ORDER BY n DESC LIMIT 10";
+      "MATCH (a)-[r:KNOWS*1..3 {since: 1985}]->(b) WHERE a.age > $min \
+       RETURN a, [x IN r WHERE x.w > 1 | x.w] AS ws";
+      "MERGE (a:P {k: 1}) ON CREATE SET a.c = true ON MATCH SET a.m = 1 \
+       RETURN CASE WHEN a.c THEN 'new' ELSE 'old' END";
+      "UNWIND range(1, 100) AS i CREATE (n:Row {v: i, sq: i * i})";
+    ]
+  in
+  let tests =
+    List.mapi
+      (fun i q ->
+        t (Printf.sprintf "parse-%d (%d chars)" i (String.length q)) (fun () ->
+            Cypher_parser.Parser.parse_query_exn q))
+      corpus
+  in
+  benchmark_group "B6 parser throughput" tests
+
+(* ------------------------------------------------------------------ *)
+(* B7: the fixed two-disjoint-paths pattern                            *)
+(* ------------------------------------------------------------------ *)
+
+let b7 () =
+  let tests =
+    List.map
+      (fun rels ->
+        let g =
+          Generate.random_uniform ~seed:5 ~nodes:10 ~rels ~rel_types:[ "T" ]
+            ~labels:[]
+        in
+        t
+          (Printf.sprintf "two-disjoint-paths/rels=%d" rels)
+          (fun () ->
+            row_count
+              (run_reference g
+                 "MATCH (a)-[*1..4]->(m), (m)-[*1..4]->(b) \
+                  RETURN count(*) AS c")))
+      [ 10; 15; 20 ]
+  in
+  benchmark_group
+    "B7 fixed pattern requiring disjoint paths (Section 4.2 complexity)" tests
+
+(* ------------------------------------------------------------------ *)
+(* B8: planner ablation — greedy pattern ordering vs textual order     *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_ordering ordering g q =
+  match Cypher_parser.Parser.parse_query_exn q with
+  | Cypher_ast.Ast.Q_single { sq_clauses; sq_return } ->
+    let stats = Stats.collect g in
+    let { Cypher_planner.Build.plan; fields } =
+      Cypher_planner.Build.compile_clauses ~stats ~ordering ~visible:[]
+        sq_clauses sq_return
+    in
+    Cypher_planner.Exec.run Config.default g ~fields plan Table.unit
+  | _ -> failwith "unsupported"
+
+let b8 () =
+  (* one rare node with a short chain, many common nodes: compiled in
+     written order the common scan drives a repeated search for the rare
+     pattern; the greedy planner anchors on the rare label first *)
+  let g = ref Graph.empty in
+  let add_node labels =
+    let g', n = Graph.add_node ~labels !g in
+    g := g';
+    n
+  in
+  let rare = add_node [ "Rare" ] in
+  let mid = add_node [] in
+  let g', _ = Graph.add_rel ~src:rare ~tgt:mid ~rel_type:"T" !g in
+  g := g';
+  for _ = 1 to 300 do
+    let c = add_node [ "Common" ] in
+    let g', _ = Graph.add_rel ~src:c ~tgt:mid ~rel_type:"T" !g in
+    g := g'
+  done;
+  let g = !g in
+  let q =
+    "MATCH (c:Common)-[:T]->(m), (r:Rare)-[:T]->(m2) RETURN count(*) AS c"
+  in
+  let tests =
+    [
+      t "greedy-cost-based-order" (fun () -> run_with_ordering `Greedy g q);
+      t "textual-order" (fun () -> run_with_ordering `Textual g q);
+    ]
+  in
+  benchmark_group
+    "B8 ablation: greedy pattern ordering (Section 2 cost-based planning)"
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* B9: graph algorithms                                                *)
+(* ------------------------------------------------------------------ *)
+
+let b9 () =
+  let tests =
+    List.concat_map
+      (fun n ->
+        let g =
+          Generate.random_uniform ~seed:8 ~nodes:n ~rels:(4 * n)
+            ~rel_types:[ "T" ] ~labels:[]
+        in
+        [
+          t (Printf.sprintf "pagerank/n=%d" n) (fun () ->
+              Cypher_algos.Algos.pagerank ~iterations:20 g);
+          t (Printf.sprintf "wcc/n=%d" n) (fun () ->
+              Cypher_algos.Algos.weakly_connected_components g);
+          t (Printf.sprintf "triangles/n=%d" n) (fun () ->
+              Cypher_algos.Algos.triangle_count g);
+        ])
+      [ 100; 400 ]
+  in
+  benchmark_group "B9 graph algorithms (paper intro: built-in algorithms)"
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* B10: property index seek vs label scan                              *)
+(* ------------------------------------------------------------------ *)
+
+let b10 () =
+  let tests =
+    List.concat_map
+      (fun n ->
+        let g =
+          Generate.random_uniform ~seed:21 ~nodes:n ~rels:n ~rel_types:[ "T" ]
+            ~labels:[ "Node" ]
+        in
+        let gi = Graph.create_index g ~label:"Node" ~key:"idx" in
+        let q = "MATCH (a:Node {idx: 7}) RETURN count(*) AS c" in
+        [
+          t (Printf.sprintf "label-scan/n=%d" n) (fun () -> run_planned g q);
+          t (Printf.sprintf "index-seek/n=%d" n) (fun () -> run_planned gi q);
+        ])
+      [ 1000; 10000 ]
+  in
+  benchmark_group
+    "B10 property index (Section 5: indexing of node data): seek vs scan"
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* B11: an interactive-style query mix on the social graph             *)
+(* ------------------------------------------------------------------ *)
+
+let b11 () =
+  let g = Generate.social ~seed:13 ~people:300 ~avg_friends:8 in
+  let gi = Graph.create_index g ~label:"Person" ~key:"name" in
+  let queries =
+    [
+      ( "profile-lookup",
+        "MATCH (p:Person {name: 'Nils3'}) RETURN p {.name, .city} AS profile" );
+      ( "friends-of-friends",
+        "MATCH (p:Person {name: 'Nils3'})-[:FRIEND]-()-[:FRIEND]-(fof)          WHERE fof <> p RETURN count(DISTINCT fof) AS c" );
+      ( "recent-friendships",
+        "MATCH (p:Person)-[f:FRIEND]-(q) WHERE f.since > 2015          RETURN p.name AS a, q.name AS b, f.since AS since          ORDER BY since DESC LIMIT 10" );
+      ( "city-histogram",
+        "MATCH (p:Person) RETURN p.city AS city, count(*) AS c ORDER BY c DESC" );
+      ( "triangle-close",
+        "MATCH (a:Person)-[:FRIEND]-(b)-[:FRIEND]-(c)          WHERE id(a) < id(c) AND (a)-[:FRIEND]-(c)          RETURN count(*) AS triangles" );
+    ]
+  in
+  let tests =
+    List.map (fun (name, q) -> t name (fun () -> run_planned gi q)) queries
+  in
+  benchmark_group
+    "B11 interactive-style query mix (social graph, 300 people, indexed)"
+    tests
+
+let () =
+  print_paper_tables ();
+  Printf.printf "\n# Measurements (Bechamel, monotonic clock, OLS ns/run)\n";
+  benchmark_group "paper-table regeneration (one measurement per table/figure)"
+    paper_table_tests;
+  b1 ();
+  b2 ();
+  b3 ();
+  b4 ();
+  b5 ();
+  b6 ();
+  b7 ();
+  b8 ();
+  b9 ();
+  b10 ();
+  b11 ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,298 @@
+(* A small interactive shell / one-shot runner for the Cypher engine.
+
+   Usage:
+     cypher_cli                          start a REPL on an empty graph
+     cypher_cli --graph academic         start on a built-in graph
+     cypher_cli -q "MATCH (n) RETURN n"  run one query and exit
+     cypher_cli --script file.cypher     run a ;-separated script
+
+   REPL commands (anything else is sent to the engine as Cypher):
+     :explain <query>    show the physical plan with row estimates
+     :profile <query>    run the query, showing estimated vs actual rows
+     :mode ref|plan      switch execution mode
+     :graph <name>       load a built-in graph (academic, teachers, empty,
+                         social, datacenter, fraud, citation)
+     :stats              show graph statistics
+     :export             print the graph as a CREATE script
+     :dot                print the graph as Graphviz dot
+     :load <file>        run a ;-separated Cypher script from a file
+     :save <file>        write the graph as a CREATE script
+     :schema <ddl>       add a constraint (Neo4j DDL syntax)
+     :publish <name>     store the current graph in the multi-graph catalog
+     :use <name>         switch to a catalog graph
+     :graphs             list catalog graphs
+     :composed <file>    run a composed multi-graph query (FROM GRAPH / RETURN GRAPH)
+     :constraints        list constraints and check the graph
+     :procedures         list CALL procedures
+     :functions          list registered functions
+     :quit               exit *)
+
+open Cypher_gen
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Export = Cypher_graph.Export
+module Stats = Cypher_graph.Stats
+module Schema = Cypher_schema.Schema
+module Mg = Cypher_multigraph.Multigraph
+
+let builtin_graph = function
+  | "academic" -> Some (Paper_graphs.academic ())
+  | "teachers" -> Some (Paper_graphs.teachers ())
+  | "empty" -> Some Graph.empty
+  | "social" -> Some (Generate.social ~seed:1 ~people:100 ~avg_friends:6)
+  | "datacenter" -> Some (Generate.datacenter ~seed:1 ~services:64 ~layers:4)
+  | "fraud" ->
+    Some (Generate.fraud ~seed:1 ~holders:50 ~identifiers:80 ~ring_fraction:0.2)
+  | "citation" -> Some (Generate.citation ~seed:1 ~papers:60 ~avg_cites:3)
+  | _ -> None
+
+type state = {
+  graph : Graph.t;
+  mode : Engine.mode;
+  schema : Schema.t;
+  catalog : Mg.Catalog.t;
+}
+
+let run_query st q =
+  let result =
+    if Schema.constraints st.schema = [] then Engine.query ~mode:st.mode st.graph q
+    else Schema.guarded_query ~schema:st.schema st.graph q
+  in
+  match result with
+  | Ok outcome ->
+    Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
+    { st with graph = outcome.Engine.graph }
+  | Error e ->
+    Printf.printf "%s\n" e;
+    st
+
+let run_script st text =
+  match Engine.run_script ~mode:st.mode st.graph text with
+  | Ok outcome ->
+    Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
+    { st with graph = outcome.Engine.graph }
+  | Error e ->
+    Printf.printf "%s\n" e;
+    st
+
+let with_arg line prefix f st =
+  if
+    String.length line > String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  then
+    Some
+      (f st
+         (String.trim
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))))
+  else None
+
+let commands : (string * (state -> string -> state)) list =
+  [
+    ( ":mode ",
+      fun st arg ->
+        (match arg with
+        | "ref" | "reference" ->
+          Printf.printf "mode: reference semantics\n";
+          { st with mode = Engine.Reference }
+        | "plan" | "planned" ->
+          Printf.printf "mode: planned (Volcano)\n";
+          { st with mode = Engine.Planned }
+        | m ->
+          Printf.printf "unknown mode: %s\n" m;
+          st) );
+    ( ":graph ",
+      fun st arg ->
+        (match builtin_graph arg with
+        | Some g ->
+          Printf.printf "loaded graph %s (%d nodes, %d relationships)\n" arg
+            (Graph.node_count g) (Graph.rel_count g);
+          { st with graph = g }
+        | None ->
+          Printf.printf "unknown graph: %s\n" arg;
+          st) );
+    ( ":explain ",
+      fun st arg ->
+        (match Engine.explain st.graph arg with
+        | Ok plan -> print_string plan
+        | Error e -> Printf.printf "%s\n" e);
+        st );
+    ( ":profile ",
+      fun st arg ->
+        (match Engine.profile st.graph arg with
+        | Ok plan -> print_string plan
+        | Error e -> Printf.printf "%s\n" e);
+        st );
+    ( ":save ",
+      fun st arg ->
+        (match
+           Out_channel.with_open_text arg (fun oc ->
+               Out_channel.output_string oc (Export.to_cypher st.graph);
+               Out_channel.output_string oc "\n")
+         with
+        | () -> Printf.printf "graph written to %s\n" arg
+        | exception Sys_error e -> Printf.printf "%s\n" e);
+        st );
+    ( ":load ",
+      fun st arg ->
+        (match In_channel.with_open_text arg In_channel.input_all with
+        | text -> run_script st text
+        | exception Sys_error e ->
+          Printf.printf "%s\n" e;
+          st) );
+    ( ":publish ",
+      fun st arg ->
+        Printf.printf "current graph stored in the catalog as %s\n" arg;
+        { st with catalog = Mg.Catalog.add arg st.graph st.catalog } );
+    ( ":use ",
+      fun st arg ->
+        (match Mg.Catalog.find arg st.catalog with
+        | Some g ->
+          Printf.printf "switched to catalog graph %s (%d nodes)\n" arg
+            (Graph.node_count g);
+          { st with graph = g }
+        | None ->
+          Printf.printf "no such graph in the catalog: %s\n" arg;
+          st) );
+    ( ":composed ",
+      fun st arg ->
+        (match In_channel.with_open_text arg In_channel.input_all with
+        | text -> (
+          let catalog = Mg.Catalog.add "current" st.graph st.catalog in
+          match Mg.run ~catalog ~default:"current" text with
+          | Ok r ->
+            Format.printf "%a@." Cypher_table.Table.pp r.Mg.table;
+            (match r.Mg.produced with
+            | Some name -> Printf.printf "projected graph: %s\n" name
+            | None -> ());
+            { st with catalog = r.Mg.catalog }
+          | Error e ->
+            Printf.printf "%s\n" e;
+            st)
+        | exception Sys_error e ->
+          Printf.printf "%s\n" e;
+          st) );
+    ( ":schema ",
+      fun st arg ->
+        (match Schema.add_ddl arg st.schema with
+        | Ok schema ->
+          Printf.printf "constraint added\n";
+          { st with schema }
+        | Error e ->
+          Printf.printf "%s\n" e;
+          st) );
+  ]
+
+let handle_line st line =
+  let line = String.trim line in
+  if line = "" then Some st
+  else if line = ":quit" || line = ":q" then None
+  else if line = ":stats" then begin
+    Format.printf "%a@." Stats.pp (Stats.collect st.graph);
+    Some st
+  end
+  else if line = ":export" then begin
+    print_endline (Export.to_cypher st.graph);
+    Some st
+  end
+  else if line = ":dot" then begin
+    print_string (Export.to_dot st.graph);
+    Some st
+  end
+  else if line = ":constraints" then begin
+    (match Schema.constraints st.schema with
+    | [] -> print_endline "(no constraints)"
+    | cs ->
+      List.iter (fun c -> Format.printf "%a@." Schema.pp_constraint c) cs;
+      match Schema.check st.schema st.graph with
+      | [] -> print_endline "graph conforms"
+      | vs -> List.iter (fun v -> Format.printf "%a@." Schema.pp_violation v) vs);
+    Some st
+  end
+  else if line = ":graphs" then begin
+    (match Mg.Catalog.names st.catalog with
+    | [] -> print_endline "(catalog is empty; use :publish <name>)"
+    | names -> List.iter print_endline names);
+    Some st
+  end
+  else if line = ":procedures" then begin
+    List.iter print_endline (Cypher_semantics.Procedures.names ());
+    Some st
+  end
+  else if line = ":functions" then begin
+    print_endline (String.concat ", " (Cypher_semantics.Functions.names ()));
+    Some st
+  end
+  else begin
+    match
+      List.find_map (fun (prefix, f) -> with_arg line prefix f st) commands
+    with
+    | Some st -> Some st
+    | None -> Some (run_query st line)
+  end
+
+let repl st =
+  Printf.printf
+    "cypher shell — type Cypher, or :graph <name>, :explain <q>, :mode \
+     ref|plan, :stats, :export, :dot, :load <file>, :schema <ddl>, \
+     :constraints, :procedures, :functions, :quit\n";
+  let rec loop st =
+    print_string "cypher> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | line -> ( match handle_line st line with Some st -> loop st | None -> ())
+  in
+  loop st
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse st = function
+    | [] -> `Repl st
+    | "--graph" :: name :: rest -> (
+      match builtin_graph name with
+      | Some g -> parse { st with graph = g } rest
+      | None ->
+        Printf.eprintf "unknown graph: %s\n" name;
+        exit 1)
+    | "--mode" :: m :: rest ->
+      let mode =
+        match m with
+        | "ref" -> Engine.Reference
+        | "plan" -> Engine.Planned
+        | _ ->
+          Printf.eprintf "unknown mode: %s\n" m;
+          exit 1
+      in
+      parse { st with mode } rest
+    | "-q" :: q :: rest ->
+      let st = run_query st q in
+      parse st rest
+    | "--script" :: path :: rest -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> parse (run_script st text) rest
+      | exception Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1)
+    | "--explain" :: q :: rest ->
+      (match Engine.explain st.graph q with
+      | Ok plan -> print_string plan
+      | Error e -> Printf.printf "%s\n" e);
+      parse st rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument: %s\n" arg;
+      exit 1
+  in
+  let st =
+    {
+      graph = Graph.empty;
+      mode = Engine.Planned;
+      schema = Schema.empty;
+      catalog = Mg.Catalog.empty;
+    }
+  in
+  match parse st (List.tl args) with
+  | `Repl st ->
+    if
+      List.exists (fun a -> a = "-q" || a = "--explain" || a = "--script") args
+    then ()
+    else repl st

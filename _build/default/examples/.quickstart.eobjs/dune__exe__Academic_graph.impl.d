@@ -1,0 +1,1 @@
+examples/academic_graph.ml: Cypher_engine Cypher_gen Cypher_table Format Paper_graphs Printf

@@ -1,0 +1,1 @@
+examples/academic_graph.mli:

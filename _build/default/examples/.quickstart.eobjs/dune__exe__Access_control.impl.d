@@ -1,0 +1,1 @@
+examples/access_control.ml: Cypher_engine Cypher_graph Cypher_schema Cypher_table Format Printf

@@ -1,0 +1,1 @@
+examples/access_control.mli:

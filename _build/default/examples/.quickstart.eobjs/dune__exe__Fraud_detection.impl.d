@@ -1,0 +1,1 @@
+examples/fraud_detection.ml: Cypher_engine Cypher_gen Cypher_graph Cypher_table Format Generate Printf

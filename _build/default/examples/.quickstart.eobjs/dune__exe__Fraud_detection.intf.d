@@ -1,0 +1,1 @@
+examples/fraud_detection.mli:

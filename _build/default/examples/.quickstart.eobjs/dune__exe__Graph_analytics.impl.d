@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Cypher_algos Cypher_engine Cypher_gen Cypher_graph Cypher_table Cypher_values Float Format Generate Ids Int List Printf String Value

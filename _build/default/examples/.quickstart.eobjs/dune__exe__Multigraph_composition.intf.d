@@ -1,0 +1,1 @@
+examples/multigraph_composition.mli:

@@ -1,0 +1,1 @@
+examples/network_management.ml: Cypher_engine Cypher_gen Cypher_graph Cypher_table Format Generate Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cypher_engine Cypher_graph Cypher_table Cypher_values Format Printf String

@@ -1,0 +1,1 @@
+examples/temporal_queries.ml: Cypher_engine Cypher_graph Cypher_table Format

@@ -1,0 +1,1 @@
+examples/temporal_queries.mli:

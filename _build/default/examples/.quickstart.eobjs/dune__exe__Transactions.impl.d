@@ -1,0 +1,1 @@
+examples/transactions.ml: Cypher_graph Cypher_schema Cypher_session Cypher_table Format List Printf

@@ -1,0 +1,56 @@
+(* The fraud-detection example of Section 3: account holders sharing
+   personal information (social security numbers, phone numbers,
+   addresses) form potential fraud rings.
+
+   The dataset is synthetic: a configurable fraction of identifier nodes
+   is shared by several account holders.
+
+   Run with:  dune exec examples/fraud_detection.exe *)
+
+open Cypher_gen
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Table = Cypher_table.Table
+
+let () =
+  let g =
+    Generate.fraud ~seed:99 ~holders:120 ~identifiers:200 ~ring_fraction:0.12
+  in
+  Printf.printf "Generated identity data: %d nodes, %d HAS relationships\n\n"
+    (Graph.node_count g) (Graph.rel_count g);
+
+  (* The paper's query, verbatim modulo the paper's own fraudRing /
+     fraudRingCount typo. *)
+  let rings =
+    Engine.run g
+      "MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo) \
+       WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address \
+       WITH pInfo, collect(accHolder.uniqueId) AS accountHolders, \
+            count(*) AS fraudRingCount \
+       WHERE fraudRingCount > 1 \
+       RETURN accountHolders, labels(pInfo) AS personalInformation, \
+              fraudRingCount \
+       ORDER BY fraudRingCount DESC LIMIT 10"
+  in
+  Format.printf "Potential fraud rings (shared identifiers):@.%a@.@." Table.pp
+    rings;
+
+  (* Ring connectivity: holders transitively connected through shared
+     identifiers. *)
+  let connected =
+    Engine.run g
+      "MATCH (a:AccountHolder)-[:HAS]->()<-[:HAS]-(b:AccountHolder) \
+       WHERE a.uniqueId < b.uniqueId \
+       RETURN count(DISTINCT a) AS holders_in_rings, count(*) AS links"
+  in
+  Format.printf "Ring connectivity:@.%a@.@." Table.pp connected;
+
+  (* Second-degree rings: holders that do not share an identifier but are
+     linked through a middleman. *)
+  let second_degree =
+    Engine.run g
+      "MATCH (a:AccountHolder)-[:HAS*2]-(m)-[:HAS*2]-(b:AccountHolder) \
+       WHERE a.uniqueId < b.uniqueId AND NOT (a)-[:HAS]->()<-[:HAS]-(b) \
+       RETURN count(DISTINCT a) AS second_degree_holders LIMIT 1"
+  in
+  Format.printf "Second-degree suspects:@.%a@." Table.pp second_degree

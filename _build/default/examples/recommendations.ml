@@ -1,0 +1,50 @@
+(* A real-time recommendation engine — one of the application domains the
+   paper's introduction credits for the expansion of property graphs.
+
+   Classic collaborative patterns over a social graph:
+   friends-of-friends who are not yet friends, ranked by the number of
+   common friends, and "people in your city you probably know".
+
+   Run with:  dune exec examples/recommendations.exe *)
+
+open Cypher_gen
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Table = Cypher_table.Table
+
+let () =
+  let g = Generate.social ~seed:31 ~people:150 ~avg_friends:6 in
+  Printf.printf "Social graph: %d people, %d friendships\n\n"
+    (Graph.node_count g) (Graph.rel_count g);
+
+  (* friend-of-friend, ranked by common friends *)
+  let fof =
+    Engine.run g
+      "MATCH (me:Person)-[:FRIEND]-(friend)-[:FRIEND]-(suggestion:Person) \
+       WHERE me <> suggestion AND NOT (me)-[:FRIEND]-(suggestion) \
+       WITH me, suggestion, count(DISTINCT friend) AS mutual \
+       WHERE mutual >= 2 \
+       RETURN me.name AS person, suggestion.name AS suggested, mutual \
+       ORDER BY mutual DESC, person, suggested LIMIT 10"
+  in
+  Format.printf "Friend-of-friend suggestions:@.%a@.@." Table.pp fof;
+
+  (* same-city strangers with at least one mutual friend *)
+  let local =
+    Engine.run g
+      "MATCH (me:Person)-[:FRIEND]-()-[:FRIEND]-(other:Person) \
+       WHERE me.city = other.city AND me <> other \
+       AND NOT (me)-[:FRIEND]-(other) \
+       RETURN me.city AS city, count(DISTINCT other) AS candidates \
+       ORDER BY candidates DESC, city LIMIT 5"
+  in
+  Format.printf "Same-city candidates per city:@.%a@.@." Table.pp local;
+
+  (* long-standing friendships as trust anchors *)
+  let anchors =
+    Engine.run g
+      "MATCH (a:Person)-[f:FRIEND]-(b:Person) WHERE a.name < b.name \
+       WITH a, b, f ORDER BY f.since LIMIT 5 \
+       RETURN a.name AS a, b.name AS b, f.since AS since"
+  in
+  Format.printf "Oldest friendships:@.%a@." Table.pp anchors

@@ -1,0 +1,45 @@
+(* Temporal types (paper, Section 6): event data with DateTime values and
+   Duration arithmetic, through the query language.
+
+   Run with:  dune exec examples/temporal_queries.exe *)
+
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Table = Cypher_table.Table
+
+let () =
+  (* Build a small conference schedule. *)
+  let { Engine.graph; _ } =
+    Engine.run_exn Graph.empty
+      "CREATE (:Talk {title: 'Keynote', day: '2018-06-11', start: '09:00', \
+       minutes: 60}), \
+       (:Talk {title: 'Cypher', day: '2018-06-12', start: '11:30', \
+       minutes: 25}), \
+       (:Talk {title: 'G-CORE', day: '2018-06-12', start: '11:55', \
+       minutes: 25})"
+  in
+  let t =
+    Engine.run graph
+      "MATCH (t:Talk) \
+       WITH t, localdatetime(t.day + 'T' + t.start) AS starts \
+       RETURN t.title AS title, toString(starts) AS starts, \
+       toString(starts + duration({minutes: t.minutes})) AS ends \
+       ORDER BY starts"
+  in
+  Format.printf "Schedule:@.%a@.@." Table.pp t;
+
+  let t =
+    Engine.run graph
+      "MATCH (t:Talk) WHERE date(t.day).dayOfWeek = 2 \
+       RETURN collect(t.title) AS tuesday_talks"
+  in
+  Format.printf "Tuesday talks:@.%a@.@." Table.pp t;
+
+  let t =
+    Engine.run Graph.empty
+      "WITH date('2018-06-10') AS sigmod \
+       RETURN sigmod.year AS y, sigmod.month AS m, sigmod.day AS d, \
+       toString(sigmod + duration('P1Y')) AS next_year, \
+       (date('2018-12-31') - sigmod).days AS days_left_in_2018"
+  in
+  Format.printf "Date arithmetic:@.%a@." Table.pp t

@@ -1,0 +1,1 @@
+lib/algos/algos.ml: Cypher_graph Cypher_values Float Graph Hashtbl Ids Int List Queue

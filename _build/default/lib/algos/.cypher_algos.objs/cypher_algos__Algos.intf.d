@@ -1,0 +1,1 @@
+lib/algos/algos.mli: Cypher_graph Cypher_values Graph Ids

@@ -1,0 +1,255 @@
+open Cypher_values
+open Cypher_graph
+module Nmap = Ids.Node_map
+module Nset = Ids.Node_set
+
+let neighbours g dir n =
+  match dir with
+  | `Out -> List.map (fun r -> Graph.tgt g r) (Graph.out_rels g n)
+  | `In -> List.map (fun r -> Graph.src g r) (Graph.in_rels g n)
+  | `Both -> List.map (fun r -> Graph.other_end g r n) (Graph.all_rels_of g n)
+
+let pagerank ?(damping = 0.85) ?(iterations = 50) ?(tolerance = 1e-9) g =
+  let nodes = Graph.nodes g in
+  let n = List.length nodes in
+  if n = 0 then []
+  else begin
+    let base = (1. -. damping) /. float_of_int n in
+    let init = 1. /. float_of_int n in
+    let scores = ref (List.fold_left (fun m v -> Nmap.add v init m) Nmap.empty nodes) in
+    let out_degree v = List.length (Graph.out_rels g v) in
+    let converged = ref false in
+    let iter = ref 0 in
+    while (not !converged) && !iter < iterations do
+      incr iter;
+      (* mass from dangling nodes is spread uniformly *)
+      let dangling =
+        List.fold_left
+          (fun acc v ->
+            if out_degree v = 0 then acc +. Nmap.find v !scores else acc)
+          0. nodes
+      in
+      let spread = damping *. dangling /. float_of_int n in
+      let next =
+        List.fold_left
+          (fun m v ->
+            let inflow =
+              List.fold_left
+                (fun acc r ->
+                  let u = Graph.src g r in
+                  acc +. (Nmap.find u !scores /. float_of_int (out_degree u)))
+                0. (Graph.in_rels g v)
+            in
+            Nmap.add v (base +. spread +. (damping *. inflow)) m)
+          Nmap.empty nodes
+      in
+      let delta =
+        List.fold_left
+          (fun acc v ->
+            acc +. Float.abs (Nmap.find v next -. Nmap.find v !scores))
+          0. nodes
+      in
+      scores := next;
+      if delta < tolerance then converged := true
+    done;
+    List.map (fun v -> (v, Nmap.find v !scores)) nodes
+  end
+
+let weakly_connected_components g =
+  let comp = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let visit start =
+    if not (Hashtbl.mem comp (Ids.node_to_int start)) then begin
+      let id = !next_id in
+      incr next_id;
+      let queue = Queue.create () in
+      Queue.add start queue;
+      Hashtbl.replace comp (Ids.node_to_int start) id;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun w ->
+            if not (Hashtbl.mem comp (Ids.node_to_int w)) then begin
+              Hashtbl.replace comp (Ids.node_to_int w) id;
+              Queue.add w queue
+            end)
+          (neighbours g `Both v)
+      done
+    end
+  in
+  List.iter visit (Graph.nodes g);
+  List.map (fun v -> (v, Hashtbl.find comp (Ids.node_to_int v))) (Graph.nodes g)
+
+let strongly_connected_components g =
+  (* Tarjan, iterative to survive deep graphs. *)
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Hashtbl.create 64 in
+  let comp_count = ref 0 in
+  let key n = Ids.node_to_int n in
+  let rec strongconnect v =
+    Hashtbl.replace index (key v) !counter;
+    Hashtbl.replace lowlink (key v) !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack (key v) true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index (key w)) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink (key v)
+            (min (Hashtbl.find lowlink (key v)) (Hashtbl.find lowlink (key w)))
+        end
+        else if Hashtbl.mem on_stack (key w) && Hashtbl.find on_stack (key w)
+        then
+          Hashtbl.replace lowlink (key v)
+            (min (Hashtbl.find lowlink (key v)) (Hashtbl.find index (key w))))
+      (neighbours g `Out v);
+    if Hashtbl.find lowlink (key v) = Hashtbl.find index (key v) then begin
+      let id = !comp_count in
+      incr comp_count;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack (key w) false;
+          Hashtbl.replace comp (key w) id;
+          if not (Ids.equal_node w v) then pop ()
+      in
+      pop ()
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem index (key v)) then strongconnect v)
+    (Graph.nodes g);
+  List.map (fun v -> (v, Hashtbl.find comp (key v))) (Graph.nodes g)
+
+let bfs_distances g ~from ?(direction = `Out) () =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist (Ids.node_to_int from) 0;
+  let queue = Queue.create () in
+  Queue.add from queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = Hashtbl.find dist (Ids.node_to_int v) in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem dist (Ids.node_to_int w)) then begin
+          Hashtbl.replace dist (Ids.node_to_int w) (d + 1);
+          Queue.add w queue
+        end)
+      (neighbours g direction v)
+  done;
+  List.filter_map
+    (fun v ->
+      match Hashtbl.find_opt dist (Ids.node_to_int v) with
+      | Some d -> Some (v, d)
+      | None -> None)
+    (Graph.nodes g)
+
+module Pq = struct
+  (* a tiny leftist-ish pairing heap for dijkstra *)
+  type 'a t = Empty | Node of float * 'a * 'a t list
+
+  let empty = Empty
+  let meld a b =
+    match a, b with
+    | Empty, x | x, Empty -> x
+    | Node (ka, va, la), Node (kb, vb, lb) ->
+      if ka <= kb then Node (ka, va, b :: la) else Node (kb, vb, a :: lb)
+
+  let insert k v h = meld (Node (k, v, [])) h
+
+  let rec meld_list = function
+    | [] -> Empty
+    | [ h ] -> h
+    | a :: b :: rest -> meld (meld a b) (meld_list rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (k, v, children) -> Some (k, v, meld_list children)
+end
+
+let dijkstra g ~src ~dst ~weight =
+  let dist = Hashtbl.create 64 in
+  let rec loop heap =
+    match Pq.pop heap with
+    | None -> None
+    | Some (d, (v, path_rev), heap) ->
+      if Ids.equal_node v dst then Some (d, List.rev path_rev)
+      else if Hashtbl.mem dist (Ids.node_to_int v) then loop heap
+      else begin
+        Hashtbl.replace dist (Ids.node_to_int v) d;
+        let heap =
+          List.fold_left
+            (fun heap r ->
+              let w = weight r in
+              if w < 0. then invalid_arg "Algos.dijkstra: negative weight";
+              let next = Graph.tgt g r in
+              if Hashtbl.mem dist (Ids.node_to_int next) then heap
+              else Pq.insert (d +. w) (next, r :: path_rev) heap)
+            heap (Graph.out_rels g v)
+        in
+        loop heap
+      end
+  in
+  loop (Pq.insert 0. (src, []) Pq.empty)
+
+let undirected_neighbour_set g n =
+  List.fold_left (fun s w -> Nset.add w s) Nset.empty (neighbours g `Both n)
+  |> Nset.remove n
+
+let triangle_count g =
+  (* each triangle {a,b,c} is counted once: a < b < c by id *)
+  let nodes = Graph.nodes g in
+  let nbrs = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace nbrs (Ids.node_to_int v) (undirected_neighbour_set g v))
+    nodes;
+  let nb v = Hashtbl.find nbrs (Ids.node_to_int v) in
+  List.fold_left
+    (fun acc a ->
+      Nset.fold
+        (fun b acc ->
+          if Ids.compare_node a b < 0 then
+            Nset.fold
+              (fun c acc ->
+                if Ids.compare_node b c < 0 && Nset.mem c (nb a) then acc + 1
+                else acc)
+              (nb b) acc
+          else acc)
+        (nb a) acc)
+    0 nodes
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Graph.degree g v in
+      Hashtbl.replace tbl d (1 + try Hashtbl.find tbl d with Not_found -> 0))
+    (Graph.nodes g);
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let local_clustering g n =
+  let nbrs = undirected_neighbour_set g n in
+  let k = Nset.cardinal nbrs in
+  if k < 2 then 0.
+  else begin
+    let links =
+      Nset.fold
+        (fun a acc ->
+          Nset.fold
+            (fun b acc ->
+              if Ids.compare_node a b < 0 && Nset.mem b (undirected_neighbour_set g a)
+              then acc + 1
+              else acc)
+            nbrs acc)
+        nbrs 0
+    in
+    2. *. float_of_int links /. float_of_int (k * (k - 1))
+  end

@@ -1,0 +1,1 @@
+lib/ast/ast.ml: Cypher_values List Option String Value

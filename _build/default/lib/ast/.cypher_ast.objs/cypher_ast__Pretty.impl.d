@@ -1,0 +1,1 @@
+lib/ast/pretty.ml: Ast Buffer Float Format List Option String

@@ -1,0 +1,1 @@
+lib/ast/pretty.mli: Ast Format

@@ -1,0 +1,340 @@
+(* Abstract syntax of core Cypher.
+
+   Patterns follow Figure 3 of the paper; expressions, clauses and
+   queries follow Figure 5, extended with the update clauses (CREATE,
+   DELETE, SET, REMOVE, MERGE of Section 2), ORDER BY / SKIP / LIMIT /
+   DISTINCT modifiers, aggregation, CASE, list comprehensions, pattern
+   predicates and parameters — the constructs exercised by the paper's
+   example queries. *)
+
+open Cypher_values
+
+(* ------------------------------------------------------------------ *)
+(* Patterns (Figure 3)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* d ∈ {→, ←, ↔} *)
+type direction = Left_to_right | Right_to_left | Undirected
+
+(* A node pattern χ = (a, L, P). *)
+type node_pattern = {
+  np_name : string option;
+  np_labels : string list;
+  np_props : (string * expr) list;
+}
+
+(* I = (m, n) with nil components; the whole [rp_len = None] is I = nil,
+   i.e. a rigid single-hop pattern. *)
+and len_range = { len_min : int option; len_max : int option }
+
+(* A relationship pattern ρ = (d, a, T, P, I). *)
+and rel_pattern = {
+  rp_dir : direction;
+  rp_name : string option;
+  rp_types : string list;
+  rp_props : (string * expr) list;
+  rp_len : len_range option;
+}
+
+(* A path pattern χ1 ρ1 χ2 ... ρn-1 χn, optionally named (π/a).  The
+   shortest-path modifier is the classic Cypher shortestPath(...) /
+   allShortestPaths(...) wrapper around a single-hop pattern. *)
+and path_pattern = {
+  pp_name : string option;
+  pp_first : node_pattern;
+  pp_rest : (rel_pattern * node_pattern) list;
+  pp_shortest : shortest_mode;
+}
+
+and shortest_mode = No_shortest | Shortest | All_shortest
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (Figure 5)                                              *)
+(* ------------------------------------------------------------------ *)
+
+and literal =
+  | L_null
+  | L_bool of bool
+  | L_int of int
+  | L_float of float
+  | L_string of string
+
+and cmp_op = Lt | Le | Ge | Gt | Eq | Neq
+
+and arith_op = Add | Sub | Mul | Div | Mod | Pow
+
+and agg_fn = Count | Sum | Avg | Min | Max | Collect | Std_dev | Std_dev_p
+
+and expr =
+  | E_lit of literal
+  | E_var of string (* a ∈ A *)
+  | E_param of string (* $param *)
+  | E_prop of expr * string (* expr.k *)
+  | E_map of (string * expr) list (* { prop_list } *)
+  | E_list of expr list (* [ expr_list ] *)
+  | E_in of expr * expr (* expr IN expr *)
+  | E_index of expr * expr (* expr[expr] *)
+  | E_slice of expr * expr option * expr option (* expr[e1..e2] *)
+  | E_starts_with of expr * expr
+  | E_ends_with of expr * expr
+  | E_contains of expr * expr
+  | E_regex_match of expr * expr (* expr =~ pattern *)
+  | E_or of expr * expr
+  | E_and of expr * expr
+  | E_xor of expr * expr
+  | E_not of expr
+  | E_is_null of expr
+  | E_is_not_null of expr
+  | E_cmp of cmp_op * expr * expr
+  | E_arith of arith_op * expr * expr
+  | E_neg of expr (* unary minus *)
+  | E_fn of string * expr list (* f(expr_list), f ∈ F *)
+  | E_count_star (* the count-star aggregate *)
+  | E_agg of agg_fn * bool * expr (* aggregate, DISTINCT flag *)
+  | E_agg_percentile of bool * bool * expr * expr
+      (* continuous? distinct? value-expr percentile-expr *)
+  | E_has_labels of expr * string list (* n:Label1:Label2 predicate *)
+  | E_case of case_expr
+  | E_list_comp of list_comp (* [x IN xs WHERE p | e] *)
+  | E_pattern_pred of path_pattern (* pattern as predicate in WHERE *)
+  | E_pattern_comp of pattern_comp (* [(a)-->(b) WHERE p | e] *)
+  | E_map_projection of expr * map_proj_item list (* n {.k, .*, k: e} *)
+  | E_exists_pattern of path_pattern (* exists((a)-[]->(b)) *)
+  | E_quantified of quantifier * string * expr * expr
+      (* all/any/none/single(x IN xs WHERE p) *)
+  | E_reduce of {
+      rd_acc : string;
+      rd_init : expr;
+      rd_var : string;
+      rd_list : expr;
+      rd_body : expr;
+    } (* reduce(acc = init, x IN xs | body) *)
+
+and quantifier = Q_all | Q_any | Q_none | Q_single
+
+and case_expr = {
+  case_subject : expr option; (* simple CASE e WHEN v ... vs searched CASE WHEN p ... *)
+  case_branches : (expr * expr) list;
+  case_default : expr option;
+}
+
+and list_comp = {
+  lc_var : string;
+  lc_source : expr;
+  lc_where : expr option;
+  lc_body : expr option; (* None means the variable itself *)
+}
+
+and pattern_comp = {
+  pc_pattern : path_pattern;
+  pc_where : expr option;
+  pc_body : expr;
+}
+
+and map_proj_item =
+  | Mp_property of string (* .key: copy one property *)
+  | Mp_all_properties (* .* : copy every property *)
+  | Mp_literal of string * expr (* key: expr *)
+  | Mp_variable of string (* var — shorthand for var: var *)
+
+(* ------------------------------------------------------------------ *)
+(* Clauses and queries (Figure 5 + update clauses)                     *)
+(* ------------------------------------------------------------------ *)
+
+type sort_dir = Asc | Desc
+
+type ret_item = { ri_expr : expr; ri_alias : string option }
+
+(* The body shared by RETURN and WITH: projection list or star, DISTINCT,
+   ORDER BY, SKIP, LIMIT. *)
+and projection = {
+  pj_distinct : bool;
+  pj_star : bool; (* a star item, possibly alongside explicit items *)
+  pj_items : ret_item list;
+  pj_order_by : (expr * sort_dir) list;
+  pj_skip : expr option;
+  pj_limit : expr option;
+}
+
+type set_item =
+  | S_prop of expr * string * expr (* e.k = expr *)
+  | S_all_props of string * expr (* n = {map} : replace all properties *)
+  | S_merge_props of string * expr (* n += {map} *)
+  | S_labels of string * string list (* n:Label1:Label2 *)
+
+type remove_item =
+  | R_prop of expr * string
+  | R_labels of string * string list
+
+type clause =
+  | C_foreach of {
+      fe_var : string;
+      fe_list : expr;
+      fe_clauses : clause list; (* update clauses only *)
+    }
+  | C_call of {
+      proc : string; (* qualified procedure name, e.g. db.labels *)
+      args : expr list;
+      yield_ : (string * string option) list;
+          (* yielded columns with optional aliases; [] means all *)
+    }
+  | C_match of {
+      opt : bool; (* OPTIONAL *)
+      pattern : path_pattern list; (* pattern_tuple *)
+      where : expr option;
+    }
+  | C_with of { proj : projection; where : expr option }
+  | C_unwind of expr * string (* UNWIND expr AS a *)
+  | C_create of path_pattern list
+  | C_delete of { detach : bool; exprs : expr list }
+  | C_set of set_item list
+  | C_remove of remove_item list
+  | C_merge of {
+      pattern : path_pattern;
+      on_create : set_item list;
+      on_match : set_item list;
+    }
+
+type query =
+  | Q_single of single_query
+  | Q_union of query * query
+  | Q_union_all of query * query
+
+and single_query = {
+  sq_clauses : clause list;
+  sq_return : projection option; (* None for update-only queries *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and small helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let node ?name ?(labels = []) ?(props = []) () =
+  { np_name = name; np_labels = labels; np_props = props }
+
+let rel ?name ?(types = []) ?(props = []) ?len dir =
+  { rp_dir = dir; rp_name = name; rp_types = types; rp_props = props; rp_len = len }
+
+let path ?name ?(shortest = No_shortest) first rest =
+  { pp_name = name; pp_first = first; pp_rest = rest; pp_shortest = shortest }
+
+let int_ i = E_lit (L_int i)
+let float_ f = E_lit (L_float f)
+let str s = E_lit (L_string s)
+let bool_ b = E_lit (L_bool b)
+let null = E_lit L_null
+let var a = E_var a
+let prop e k = E_prop (e, k)
+
+let value_of_literal = function
+  | L_null -> Value.Null
+  | L_bool b -> Value.Bool b
+  | L_int i -> Value.Int i
+  | L_float f -> Value.Float f
+  | L_string s -> Value.String s
+
+let projection_of_items ?(distinct = false) ?(star = false) ?(order_by = [])
+    ?skip ?limit items =
+  {
+    pj_distinct = distinct;
+    pj_star = star;
+    pj_items = items;
+    pj_order_by = order_by;
+    pj_skip = skip;
+    pj_limit = limit;
+  }
+
+let item ?alias e = { ri_expr = e; ri_alias = alias }
+
+(* Free variables of patterns (Section 4.2). *)
+
+let free_node_pattern np = Option.to_list np.np_name
+
+let free_rel_pattern rp = Option.to_list rp.rp_name
+
+let free_path_pattern pp =
+  let inner =
+    free_node_pattern pp.pp_first
+    @ List.concat_map
+        (fun (rp, np) -> free_rel_pattern rp @ free_node_pattern np)
+        pp.pp_rest
+  in
+  let named = match pp.pp_name with Some a -> [ a ] | None -> [] in
+  List.sort_uniq String.compare (named @ inner)
+
+let free_pattern_tuple pps =
+  List.sort_uniq String.compare (List.concat_map free_path_pattern pps)
+
+(* A relationship pattern is rigid when its range is a single number; a
+   path pattern is rigid when all its relationship patterns are. *)
+
+let range_of_len = function
+  | None -> (1, Some 1)
+  | Some { len_min; len_max } ->
+    (Option.value len_min ~default:1, len_max)
+
+let rel_is_rigid rp =
+  match rp.rp_len with
+  | None -> true
+  | Some { len_min = Some m; len_max = Some n } -> m = n
+  | Some _ -> false
+
+let path_is_rigid pp = List.for_all (fun (rp, _) -> rel_is_rigid rp) pp.pp_rest
+
+(* Free variables of an expression; comprehension and quantifier binders
+   are removed from the free variables of their bodies. *)
+let rec expr_free_vars = function
+  | E_lit _ | E_param _ | E_count_star -> []
+  | E_var a -> [ a ]
+  | E_prop (e, _) | E_not e | E_is_null e | E_is_not_null e | E_neg e
+  | E_has_labels (e, _) | E_agg (_, _, e) ->
+    expr_free_vars e
+  | E_agg_percentile (_, _, a, b) -> expr_free_vars a @ expr_free_vars b
+  | E_map kvs -> List.concat_map (fun (_, e) -> expr_free_vars e) kvs
+  | E_list es | E_fn (_, es) -> List.concat_map expr_free_vars es
+  | E_in (a, b) | E_index (a, b)
+  | E_starts_with (a, b) | E_ends_with (a, b) | E_contains (a, b)
+  | E_regex_match (a, b)
+  | E_or (a, b) | E_and (a, b) | E_xor (a, b)
+  | E_cmp (_, a, b) | E_arith (_, a, b) ->
+    expr_free_vars a @ expr_free_vars b
+  | E_slice (e, lo, hi) ->
+    expr_free_vars e
+    @ (match lo with Some e -> expr_free_vars e | None -> [])
+    @ (match hi with Some e -> expr_free_vars e | None -> [])
+  | E_case { case_subject; case_branches; case_default } ->
+    (match case_subject with Some e -> expr_free_vars e | None -> [])
+    @ List.concat_map
+        (fun (w, t) -> expr_free_vars w @ expr_free_vars t)
+        case_branches
+    @ (match case_default with Some e -> expr_free_vars e | None -> [])
+  | E_list_comp { lc_var; lc_source; lc_where; lc_body } ->
+    expr_free_vars lc_source
+    @ List.filter
+        (fun v -> not (String.equal v lc_var))
+        ((match lc_where with Some e -> expr_free_vars e | None -> [])
+        @ match lc_body with Some e -> expr_free_vars e | None -> [])
+  | E_quantified (_, x, src, pred) ->
+    expr_free_vars src
+    @ List.filter (fun v -> not (String.equal v x)) (expr_free_vars pred)
+  | E_reduce { rd_acc; rd_init; rd_var; rd_list; rd_body } ->
+    expr_free_vars rd_init @ expr_free_vars rd_list
+    @ List.filter
+        (fun v -> not (String.equal v rd_acc || String.equal v rd_var))
+        (expr_free_vars rd_body)
+  | E_map_projection (e, items) ->
+    expr_free_vars e
+    @ List.concat_map
+        (function
+          | Mp_property _ | Mp_all_properties -> []
+          | Mp_literal (_, e) -> expr_free_vars e
+          | Mp_variable v -> [ v ])
+        items
+  | E_pattern_pred p | E_exists_pattern p -> free_path_pattern p
+  | E_pattern_comp { pc_pattern; pc_where; pc_body } ->
+    let bound = free_path_pattern pc_pattern in
+    free_path_pattern pc_pattern
+    @ List.filter
+        (fun v -> not (List.mem v bound))
+        (expr_free_vars pc_body
+        @ match pc_where with Some e -> expr_free_vars e | None -> [])

@@ -1,0 +1,18 @@
+(** Pretty-printer from the AST back to Cypher surface syntax.
+
+    Besides human consumption, [expr_to_string] realises the paper's
+    injective function α mapping expressions to names (Section 4.3): an
+    un-aliased RETURN/WITH item is named by its printed text, which is
+    what real Cypher implementations do. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+
+val pp_node_pattern : Format.formatter -> Ast.node_pattern -> unit
+val pp_rel_pattern : Format.formatter -> Ast.rel_pattern -> unit
+val pp_path_pattern : Format.formatter -> Ast.path_pattern -> unit
+val pp_pattern_tuple : Format.formatter -> Ast.path_pattern list -> unit
+val pp_clause : Format.formatter -> Ast.clause -> unit
+val pp_projection : kw:string -> Format.formatter -> Ast.projection -> unit
+val pp_query : Format.formatter -> Ast.query -> unit
+val query_to_string : Ast.query -> string

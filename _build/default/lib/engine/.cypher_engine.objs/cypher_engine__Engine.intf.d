@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Config Cypher_graph Cypher_semantics Cypher_table Graph Seq Table

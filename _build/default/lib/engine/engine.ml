@@ -1,0 +1,376 @@
+open Cypher_graph
+open Cypher_table
+open Cypher_ast
+open Ast
+open Cypher_semantics
+module Build = Cypher_planner.Build
+module Exec = Cypher_planner.Exec
+module Plan = Cypher_planner.Plan
+
+(* force the algo.* procedures to link with the engine *)
+let () = Cypher_procs.Procs.ensure ()
+
+type mode = Reference | Planned
+
+type outcome = { graph : Graph.t; table : Table.t }
+
+(* Clauses executed by the reference implementation between plan
+   segments: updates and CALL. *)
+let is_update_clause = function
+  | C_create _ | C_delete _ | C_set _ | C_remove _ | C_merge _ | C_call _
+  | C_foreach _ ->
+    true
+  | C_match _ | C_with _ | C_unwind _ -> false
+
+(* Splits a clause list into alternating read segments and single update
+   clauses, preserving order. *)
+let segment clauses =
+  let rec go acc current = function
+    | [] -> List.rev (`Read (List.rev current) :: acc)
+    | c :: rest when is_update_clause c ->
+      go (`Update c :: `Read (List.rev current) :: acc) [] rest
+    | c :: rest -> go acc (c :: current) rest
+  in
+  go [] [] clauses
+
+(* Statistics are collected per graph value; the store is persistent, so
+   caching on physical identity can never serve stale numbers. *)
+let stats_cache : (Graph.t * Stats.t) option ref = ref None
+
+let stats_of g =
+  match !stats_cache with
+  | Some (g0, s) when g0 == g -> s
+  | _ ->
+    let s = Stats.collect g in
+    stats_cache := Some (g, s);
+    s
+
+let run_single_planned cfg g sq =
+  let stats = stats_of g in
+  let segments = segment sq.sq_clauses in
+  let rec go g table visible = function
+    | [] ->
+      (* all segments consumed; sq_return was folded into the last read
+         segment *)
+      { graph = g; table }
+    | [ `Read clauses ] ->
+      let { Build.plan; fields } =
+        Build.compile_clauses ~stats ~visible clauses sq.sq_return
+      in
+      let table = Exec.run cfg g ~fields plan table in
+      { graph = g; table }
+    | `Read clauses :: rest ->
+      let { Build.plan; fields } =
+        Build.compile_clauses ~stats ~visible clauses None
+      in
+      let table = Exec.run cfg g ~fields plan table in
+      go g table fields rest
+    | `Update c :: rest ->
+      let state =
+        Clauses.apply_clause cfg c { Clauses.graph = g; table }
+      in
+      go state.Clauses.graph state.Clauses.table
+        (Table.fields state.Clauses.table)
+        rest
+  in
+  let out = go g Table.unit [] segments in
+  match sq.sq_return with
+  | Some _ -> out
+  | None -> { out with table = Table.empty ~fields:[] }
+
+let rec run_query_planned cfg g = function
+  | Q_single sq -> run_single_planned cfg g sq
+  | Q_union (q1, q2) ->
+    let s1 = run_query_planned cfg g q1 in
+    let s2 = run_query_planned cfg s1.graph q2 in
+    { graph = s2.graph; table = Table.dedup (Table.union s1.table s2.table) }
+  | Q_union_all (q1, q2) ->
+    let s1 = run_query_planned cfg g q1 in
+    let s2 = run_query_planned cfg s1.graph q2 in
+    { graph = s2.graph; table = Table.union s1.table s2.table }
+
+type error =
+  | Parse_error of string
+  | Syntax_error of string (* static scope violations *)
+  | Type_error of string
+  | Runtime_error of string
+  | Unsupported of string
+
+let error_message = function
+  | Parse_error m -> "parse error: " ^ m
+  | Syntax_error m -> "syntax error: " ^ m
+  | Type_error m -> "type error: " ^ m
+  | Runtime_error m -> "runtime error: " ^ m
+  | Unsupported m -> "unsupported: " ^ m
+
+let catching_e f =
+  match f () with
+  | v -> Ok v
+  | exception Functions.Eval_error msg -> Error (Runtime_error msg)
+  | exception Cypher_values.Value.Type_error msg -> Error (Type_error msg)
+  | exception Build.Unsupported msg -> Error (Unsupported msg)
+  | exception Invalid_argument msg -> Error (Runtime_error msg)
+  | exception Division_by_zero -> Error (Runtime_error "division by zero")
+
+let catching f = Result.map_error error_message (catching_e f)
+
+(* DDL outside the query grammar: CREATE INDEX ON :Label(key) and
+   DROP INDEX ON :Label(key), as in Neo4j 3.x. *)
+let parse_index_ddl text =
+  let t = String.trim text in
+  let lower = String.lowercase_ascii t in
+  let prefix p = String.length lower >= String.length p && String.sub lower 0 (String.length p) = p in
+  let action =
+    if prefix "create index on" then Some `Create
+    else if prefix "drop index on" then Some `Drop
+    else None
+  in
+  match action with
+  | None -> None
+  | Some action -> (
+    match String.index_opt t ':' with
+    | None -> Some (Error "index DDL: expected :Label(key)")
+    | Some i -> (
+      let rest = String.sub t (i + 1) (String.length t - i - 1) in
+      match String.index_opt rest '(' with
+      | None -> Some (Error "index DDL: expected (key)")
+      | Some j -> (
+        let label = String.trim (String.sub rest 0 j) in
+        let after = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match String.index_opt after ')' with
+        | None -> Some (Error "index DDL: expected closing parenthesis")
+        | Some k ->
+          let key = String.trim (String.sub after 0 k) in
+          Some (Ok (action, label, key)))))
+
+let strip_prefix_kw kw text =
+  let t = String.trim text in
+  let n = String.length kw in
+  if
+    String.length t > n
+    && String.uppercase_ascii (String.sub t 0 n) = kw
+    && t.[n] = ' '
+  then Some (String.sub t n (String.length t - n))
+  else None
+
+let query_e ?(config = Config.default) ?(mode = Planned) g text =
+  match parse_index_ddl text with
+  | Some (Error e) -> Error (Parse_error e)
+  | Some (Ok (action, label, key)) ->
+    let g =
+      match action with
+      | `Create -> Graph.create_index g ~label ~key
+      | `Drop -> Graph.drop_index g ~label ~key
+    in
+    Ok { graph = g; table = Table.empty ~fields:[] }
+  | None ->
+  match Cypher_parser.Parser.parse_query text with
+  | Error e -> Error (Parse_error e)
+  | Ok ast when Result.is_error (Scope_check.check_query ast) ->
+    Error (Syntax_error (Result.get_error (Scope_check.check_query ast)))
+  | Ok ast ->
+    let use_reference =
+      mode = Reference || config.Config.morphism <> Config.Edge_isomorphism
+    in
+    let reference () =
+      let state = Clauses.run_query config g ast in
+      { graph = state.Clauses.graph; table = state.Clauses.table }
+    in
+    catching_e (fun () ->
+        if use_reference then reference ()
+        else
+          (* planner limitations (e.g. ORDER BY on a non-projected
+             variable under DISTINCT) fall back to the reference
+             semantics rather than failing *)
+          try run_query_planned config g ast
+          with Build.Unsupported _ -> reference ())
+
+let query_plain ?config ?mode g text =
+  Result.map_error error_message (query_e ?config ?mode g text)
+
+(* EXPLAIN/PROFILE as query prefixes return the rendering as a
+   one-column table (the [query] wrapper at the end of this file) *)
+let plan_table text =
+  let rows =
+    List.filter_map
+      (fun line -> if line = "" then None else Some (Record.of_list [ ("plan", Cypher_values.Value.String line) ]))
+      (String.split_on_char '\n' text)
+  in
+  Table.create ~fields:[ "plan" ] rows
+
+let run_exn ?config ?mode g text =
+  match query_plain ?config ?mode g text with
+  | Ok outcome -> outcome
+  | Error e -> failwith e
+
+let run ?config ?mode g text = (run_exn ?config ?mode g text).table
+
+let stream ?(config = Config.default) g text =
+  match Cypher_parser.Parser.parse_query text with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok ast when Result.is_error (Scope_check.check_query ast) ->
+    Error ("syntax error: " ^ Result.get_error (Scope_check.check_query ast))
+  | Ok (Q_single { sq_clauses; sq_return })
+    when not (List.exists is_update_clause sq_clauses) -> (
+    match
+      Build.compile_clauses ~stats:(stats_of g) ~visible:[] sq_clauses
+        sq_return
+    with
+    | { Build.plan; fields = _ } ->
+      Ok (Exec.rows config g plan (Seq.return Cypher_table.Record.empty))
+    | exception Build.Unsupported msg -> Error ("unsupported: " ^ msg))
+  | Ok _ -> Error "stream: only read-only single queries can be streamed"
+
+(* Splits a script on top-level semicolons (string literals and comments
+   are respected). *)
+let split_statements text =
+  let n = String.length text in
+  let out = ref [] and buf = Buffer.create 128 in
+  let flush () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then out := s :: !out
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | ';' -> flush ()
+    | ('\'' | '"') as quote ->
+      Buffer.add_char buf quote;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        Buffer.add_char buf text.[!i];
+        if text.[!i] = '\\' && !i + 1 < n then begin
+          incr i;
+          Buffer.add_char buf text.[!i]
+        end
+        else if text.[!i] = quote then closed := true;
+        incr i
+      done;
+      decr i
+    | '/' when !i + 1 < n && text.[!i + 1] = '/' ->
+      while !i < n && text.[!i] <> '\n' do incr i done;
+      Buffer.add_char buf '\n'
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !out
+
+let run_script ?config ?mode g text =
+  let rec go g last = function
+    | [] -> Ok { graph = g; table = (match last with Some t -> t | None -> Table.empty ~fields:[]) }
+    | stmt :: rest -> (
+      match query_plain ?config ?mode g stmt with
+      | Error e -> Error (Printf.sprintf "in statement %S: %s" stmt e)
+      | Ok outcome -> go outcome.graph (Some outcome.table) rest)
+  in
+  go g None (split_statements text)
+
+let explain ?(config = Config.default) g text =
+  ignore config;
+  match Cypher_parser.Parser.parse_query text with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok ast ->
+    let stats = stats_of g in
+    let buf = Buffer.create 256 in
+    let rec go_query = function
+      | Q_single sq -> go_single sq
+      | Q_union (q1, q2) ->
+        go_query q1;
+        Buffer.add_string buf "UNION\n";
+        go_query q2
+      | Q_union_all (q1, q2) ->
+        go_query q1;
+        Buffer.add_string buf "UNION ALL\n";
+        go_query q2
+    and go_single sq =
+      let segments = segment sq.sq_clauses in
+      let rec go visible = function
+        | [] -> ()
+        | [ `Read clauses ] -> (
+          match
+            Build.compile_clauses ~stats ~visible clauses sq.sq_return
+          with
+          | { Build.plan; _ } ->
+            Buffer.add_string buf
+              (Cypher_planner.Cost.explain_with_estimates stats plan)
+          | exception Build.Unsupported msg ->
+            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n"))
+        | `Read clauses :: rest -> (
+          match Build.compile_clauses ~stats ~visible clauses None with
+          | { Build.plan; fields } ->
+            Buffer.add_string buf
+              (Cypher_planner.Cost.explain_with_estimates stats plan);
+            go fields rest
+          | exception Build.Unsupported msg ->
+            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n");
+            go visible rest)
+        | `Update c :: rest ->
+          Buffer.add_string buf
+            (Format.asprintf "+ Update [%a]@." Cypher_ast.Pretty.pp_clause c);
+          go visible rest
+      in
+      go [] segments
+    in
+    (match catching (fun () -> go_query ast) with
+    | Ok () -> Ok (Buffer.contents buf)
+    | Error e -> Error e)
+
+let profile ?(config = Config.default) g text =
+  match Cypher_parser.Parser.parse_query text with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok (Q_single { sq_clauses; sq_return })
+    when not (List.exists is_update_clause sq_clauses) -> (
+    let stats = stats_of g in
+    match
+      Build.compile_clauses ~stats ~visible:[] sq_clauses sq_return
+    with
+    | { Build.plan; fields } ->
+      catching (fun () ->
+          let _table, actual =
+            Exec.run_profiled config g ~fields plan Table.unit
+          in
+          Format.asprintf "%a"
+            (Plan.pp_annotated ~annotate:(fun node ->
+                 Printf.sprintf "  (est. %.1f rows, actual %d rows)"
+                   (Cypher_planner.Cost.estimate stats node)
+                     .Cypher_planner.Cost.rows (actual node)))
+            plan)
+    | exception Build.Unsupported msg -> Error ("unsupported: " ^ msg))
+  | Ok _ -> explain ~config g text
+
+let cross_check ?(config = Config.default) g text =
+  match
+    ( query_plain ~config ~mode:Reference g text,
+      query_plain ~config ~mode:Planned g text )
+  with
+  | Error _, Error _ ->
+    (* both engines reject the query: that is agreement too *)
+    Ok (Table.empty ~fields:[])
+  | Error e, Ok _ ->
+    Error ("reference engine failed where planned succeeded: " ^ e)
+  | Ok _, Error e ->
+    Error ("planned engine failed where reference succeeded: " ^ e)
+  | Ok ref_out, Ok planned_out ->
+    if Table.bag_equal ref_out.table planned_out.table then Ok ref_out.table
+    else
+      Error
+        (Format.asprintf
+           "engines disagree on %S:@.reference:@.%a@.planned:@.%a" text
+           Table.pp ref_out.table Table.pp planned_out.table)
+
+let query ?config ?mode g text =
+  match strip_prefix_kw "EXPLAIN" text with
+  | Some rest ->
+    Result.map
+      (fun p -> { graph = g; table = plan_table p })
+      (explain ?config g rest)
+  | None -> (
+    match strip_prefix_kw "PROFILE" text with
+    | Some rest ->
+      Result.map
+        (fun p -> { graph = g; table = plan_table p })
+        (profile ?config g rest)
+    | None -> query_plain ?config ?mode g text)

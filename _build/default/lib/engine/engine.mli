@@ -1,0 +1,88 @@
+(** The query engine façade: parse, plan, execute.
+
+    Two execution modes are provided:
+
+    - [Reference] evaluates queries by a direct transcription of the
+      paper's denotational semantics (Sections 4.2–4.3) — the "reference
+      implementation against which others will be compared" that the
+      paper calls for;
+    - [Planned] compiles read-only pipelines into Volcano-style physical
+      plans with cost-based pattern ordering (the architecture the paper
+      attributes to Neo4j in Section 2) and executes update clauses
+      through the reference implementation.
+
+    Both modes implement the same language; {!cross_check} runs both and
+    verifies that the result bags agree. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_semantics
+
+type mode = Reference | Planned
+
+type outcome = { graph : Graph.t; table : Table.t }
+(** Result of a query: the possibly-updated graph and the output table
+    ([output(Q, G)] in the paper's notation). *)
+
+type error =
+  | Parse_error of string
+  | Syntax_error of string  (** static scope violations *)
+  | Type_error of string
+  | Runtime_error of string
+  | Unsupported of string
+
+val error_message : error -> string
+
+val query :
+  ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
+  (outcome, string) result
+(** Parses and evaluates a query.  Errors (parse errors, run-time type
+    errors, unbound names) are returned as a message.  A query prefixed
+    with [EXPLAIN] or [PROFILE] returns the plan rendering as a
+    one-column table instead of executing normally. *)
+
+val query_e :
+  ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
+  (outcome, error) result
+(** Like {!query} with a typed error (no EXPLAIN/PROFILE prefix
+    handling). *)
+
+val run : ?config:Config.t -> ?mode:mode -> Graph.t -> string -> Table.t
+(** Like {!query} but raises [Failure] on error and discards graph
+    updates — the convenient form for read-only queries. *)
+
+val run_exn :
+  ?config:Config.t -> ?mode:mode -> Graph.t -> string -> outcome
+(** Like {!query} but raises [Failure] on error. *)
+
+val stream :
+  ?config:Config.t -> Graph.t -> string ->
+  (Cypher_table.Record.t Seq.t, string) result
+(** Lazily executes a read-only single query through the Volcano
+    pipeline: rows are produced on demand, so consuming a prefix does
+    only a prefix of the work (see the LIMIT short-circuit test).
+    Queries the planner cannot compile are rejected. *)
+
+val run_script :
+  ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
+  (outcome, string) result
+(** Runs a semicolon-separated sequence of statements, threading the
+    graph; the outcome carries the final graph and the last statement's
+    table.  Semicolons inside string literals are handled. *)
+
+val explain : ?config:Config.t -> Graph.t -> string -> (string, string) result
+(** The physical plan that [Planned] mode would execute, rendered as an
+    indented operator tree with estimated row counts.  Queries with
+    update clauses show one plan per read segment. *)
+
+val profile : ?config:Config.t -> Graph.t -> string -> (string, string) result
+(** Executes the query and renders the plan with {e estimated vs actual}
+    rows per operator — PROFILE.  Only read-only single queries are
+    profiled; anything else falls back to the {!explain} rendering. *)
+
+val cross_check :
+  ?config:Config.t -> Graph.t -> string -> (Table.t, string) result
+(** Runs the query in both modes and checks that the outputs are equal as
+    bags; returns the reference output on success and a diagnostic
+    message on disagreement.  Used extensively by the test suite to keep
+    the planned engine honest against the formal semantics. *)

@@ -1,0 +1,1 @@
+lib/gen/generate.ml: Array Cypher_graph Cypher_values Graph List Printf Prng Value

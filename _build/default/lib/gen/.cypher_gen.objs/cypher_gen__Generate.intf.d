@@ -1,0 +1,1 @@
+lib/gen/generate.mli: Cypher_graph Graph

@@ -1,0 +1,1 @@
+lib/gen/paper_graphs.ml: Cypher_graph Cypher_values Graph Ids Value

@@ -1,0 +1,1 @@
+lib/gen/paper_graphs.mli: Cypher_graph Cypher_values Graph Ids

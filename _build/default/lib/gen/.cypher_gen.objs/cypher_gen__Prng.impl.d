@@ -1,0 +1,1 @@
+lib/gen/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/gen/workload.ml: Buffer List Printf Prng String

@@ -1,0 +1,1 @@
+lib/gen/workload.mli: Prng

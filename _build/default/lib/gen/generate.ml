@@ -1,0 +1,273 @@
+open Cypher_values
+open Cypher_graph
+
+let add_nodes g count make =
+  let rec go g ids i =
+    if i > count then (g, List.rev ids)
+    else
+      let labels, props = make i in
+      let g, id = Graph.add_node ~labels ~props g in
+      go g (id :: ids) (i + 1)
+  in
+  go g [] 1
+
+let chain ~n ~rel_type =
+  let g, ids = add_nodes Graph.empty n (fun i -> ([ "Node" ], [ ("idx", Value.Int i) ])) in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  for i = 0 to n - 2 do
+    let g', _ = Graph.add_rel ~src:arr.(i) ~tgt:arr.(i + 1) ~rel_type !g in
+    g := g'
+  done;
+  !g
+
+let cycle ~n ~rel_type =
+  let g, ids = add_nodes Graph.empty n (fun i -> ([ "Node" ], [ ("idx", Value.Int i) ])) in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  for i = 0 to n - 1 do
+    let g', _ =
+      Graph.add_rel ~src:arr.(i) ~tgt:arr.((i + 1) mod n) ~rel_type !g
+    in
+    g := g'
+  done;
+  !g
+
+let clique ~n ~rel_type =
+  let g, ids = add_nodes Graph.empty n (fun i -> ([ "Node" ], [ ("idx", Value.Int i) ])) in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let g', _ = Graph.add_rel ~src:arr.(i) ~tgt:arr.(j) ~rel_type !g in
+        g := g'
+      end
+    done
+  done;
+  !g
+
+let grid ~rows ~cols ~rel_type =
+  let g, ids =
+    add_nodes Graph.empty (rows * cols) (fun i ->
+        ( [ "Cell" ],
+          [
+            ("row", Value.Int ((i - 1) / cols)); ("col", Value.Int ((i - 1) mod cols));
+          ] ))
+  in
+  let arr = Array.of_list ids in
+  let at r c = arr.((r * cols) + c) in
+  let g = ref g in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then begin
+        let g', _ = Graph.add_rel ~src:(at r c) ~tgt:(at r (c + 1)) ~rel_type !g in
+        g := g'
+      end;
+      if r + 1 < rows then begin
+        let g', _ = Graph.add_rel ~src:(at r c) ~tgt:(at (r + 1) c) ~rel_type !g in
+        g := g'
+      end
+    done
+  done;
+  !g
+
+let binary_tree ~depth ~rel_type =
+  let n = (1 lsl depth) - 1 in
+  let g, ids =
+    add_nodes Graph.empty n (fun i -> ([ "Node" ], [ ("idx", Value.Int i) ]))
+  in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  for i = 0 to n - 1 do
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    if left < n then begin
+      let g', _ = Graph.add_rel ~src:arr.(i) ~tgt:arr.(left) ~rel_type !g in
+      g := g'
+    end;
+    if right < n then begin
+      let g', _ = Graph.add_rel ~src:arr.(i) ~tgt:arr.(right) ~rel_type !g in
+      g := g'
+    end
+  done;
+  !g
+
+let random_uniform ~seed ~nodes ~rels ~rel_types ~labels =
+  let rng = Prng.create seed in
+  let pick_label () = if labels = [] then [] else [ Prng.pick rng labels ] in
+  let g, ids =
+    add_nodes Graph.empty nodes (fun i ->
+        (pick_label (), [ ("idx", Value.Int i) ]))
+  in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  for _ = 1 to rels do
+    let src = Prng.pick_array rng arr and tgt = Prng.pick_array rng arr in
+    let rel_type = if rel_types = [] then "REL" else Prng.pick rng rel_types in
+    let g', _ = Graph.add_rel ~src ~tgt ~rel_type !g in
+    g := g'
+  done;
+  !g
+
+let first_names =
+  [| "Ada"; "Ben"; "Cleo"; "Dan"; "Eva"; "Finn"; "Gus"; "Hana"; "Iris"; "Jon";
+     "Kim"; "Leo"; "Mia"; "Nils"; "Ola"; "Pia"; "Quinn"; "Rut"; "Sam"; "Tea" |]
+
+let cities = [| "Malmo"; "London"; "Berlin"; "Oslo"; "Porto"; "Turin" |]
+
+let social ~seed ~people ~avg_friends =
+  let rng = Prng.create seed in
+  let g, ids =
+    add_nodes Graph.empty people (fun i ->
+        ( [ "Person" ],
+          [
+            ( "name",
+              Value.String
+                (Printf.sprintf "%s%d" (Prng.pick_array rng first_names) i) );
+            ("city", Value.String (Prng.pick_array rng cities));
+          ] ))
+  in
+  let arr = Array.of_list ids in
+  let g = ref g in
+  let total = people * avg_friends / 2 in
+  for _ = 1 to total do
+    let a = Prng.int rng people and b = Prng.int rng people in
+    if a <> b then begin
+      let g', _ =
+        Graph.add_rel ~src:arr.(a) ~tgt:arr.(b) ~rel_type:"FRIEND"
+          ~props:[ ("since", Value.Int (1990 + Prng.int rng 30)) ]
+          !g
+      in
+      g := g'
+    end
+  done;
+  !g
+
+let citation ~seed ~papers ~avg_cites =
+  let rng = Prng.create seed in
+  let g, paper_ids =
+    add_nodes Graph.empty papers (fun i ->
+        ([ "Publication" ], [ ("acmid", Value.Int (100 + i)) ]))
+  in
+  let arr = Array.of_list paper_ids in
+  let g = ref g in
+  (* citations point to strictly earlier papers: a DAG like Figure 1 *)
+  for i = 1 to papers - 1 do
+    let cites = Prng.int rng (2 * avg_cites) in
+    for _ = 1 to cites do
+      let j = Prng.int rng i in
+      let g', _ =
+        Graph.add_rel ~src:arr.(i) ~tgt:arr.(j) ~rel_type:"CITES" !g
+      in
+      g := g'
+    done
+  done;
+  (* researchers author recent papers and supervise students *)
+  let researchers = max 1 (papers / 4) in
+  for i = 1 to researchers do
+    let g', r =
+      Graph.add_node ~labels:[ "Researcher" ]
+        ~props:
+          [
+            ( "name",
+              Value.String
+                (Printf.sprintf "%s%d" (Prng.pick_array rng first_names) i) );
+          ]
+        !g
+    in
+    g := g';
+    let authored = 1 + Prng.int rng 3 in
+    for _ = 1 to authored do
+      let p = Prng.pick_array rng arr in
+      let g', _ = Graph.add_rel ~src:r ~tgt:p ~rel_type:"AUTHORS" !g in
+      g := g'
+    done;
+    let students = Prng.int rng 3 in
+    for s = 1 to students do
+      let g', st =
+        Graph.add_node ~labels:[ "Student" ]
+          ~props:[ ("name", Value.String (Printf.sprintf "Student%d_%d" i s)) ]
+          !g
+      in
+      let g', _ = Graph.add_rel ~src:r ~tgt:st ~rel_type:"SUPERVISES" g' in
+      g := g'
+    done
+  done;
+  !g
+
+let datacenter ~seed ~services ~layers =
+  let rng = Prng.create seed in
+  (* layer 0: services; middle layers: servers / switches; last: routers *)
+  let layer_label l =
+    if l = 0 then "Service"
+    else if l = layers - 1 then "Router"
+    else if l mod 2 = 1 then "Server"
+    else "Switch"
+  in
+  let g = ref Graph.empty in
+  let layer_ids =
+    Array.init layers (fun l ->
+        let width = max 1 (services / (1 lsl l)) in
+        Array.init width (fun i ->
+            let g', id =
+              Graph.add_node
+                ~labels:[ layer_label l; "Service" ]
+                ~props:
+                  [
+                    ("name", Value.String (Printf.sprintf "%s-%d-%d" (layer_label l) l i));
+                    ("layer", Value.Int l);
+                  ]
+                !g
+            in
+            g := g';
+            id))
+  in
+  (* every component depends on 1-2 components of the next layer *)
+  for l = 0 to layers - 2 do
+    Array.iter
+      (fun src ->
+        let deps = 1 + Prng.int rng 2 in
+        for _ = 1 to deps do
+          let tgt = Prng.pick_array rng layer_ids.(l + 1) in
+          let g', _ = Graph.add_rel ~src ~tgt ~rel_type:"DEPENDS_ON" !g in
+          g := g'
+        done)
+      layer_ids.(l)
+  done;
+  !g
+
+let fraud ~seed ~holders ~identifiers ~ring_fraction =
+  let rng = Prng.create seed in
+  let id_labels = [| "SSN"; "PhoneNumber"; "Address" |] in
+  let g = ref Graph.empty in
+  let holder_ids =
+    Array.init holders (fun i ->
+        let g', id =
+          Graph.add_node ~labels:[ "AccountHolder" ]
+            ~props:[ ("uniqueId", Value.String (Printf.sprintf "H%04d" i)) ]
+            !g
+        in
+        g := g';
+        id)
+  in
+  for i = 0 to identifiers - 1 do
+    let label = Prng.pick_array rng id_labels in
+    let g', ident =
+      Graph.add_node ~labels:[ label ]
+        ~props:[ ("value", Value.String (Printf.sprintf "%s-%05d" label i)) ]
+        !g
+    in
+    g := g';
+    let shared = Prng.float rng 1.0 < ring_fraction in
+    let owners = if shared then 2 + Prng.int rng 3 else 1 in
+    let chosen = ref [] in
+    for _ = 1 to owners do
+      let h = Prng.pick_array rng holder_ids in
+      if not (List.memq h !chosen) then begin
+        chosen := h :: !chosen;
+        let g', _ = Graph.add_rel ~src:h ~tgt:ident ~rel_type:"HAS" !g in
+        g := g'
+      end
+    done
+  done;
+  !g

@@ -1,0 +1,57 @@
+(** Synthetic graph generators.
+
+    The paper's evaluation material is drawn from industrial domains we
+    cannot access (data-center topologies, fraud data, customer social
+    networks); these generators produce graphs of the same *shape* so
+    that the example queries from Section 3 exercise the same code
+    paths.  Every generator is deterministic in its seed. *)
+
+open Cypher_graph
+
+(** {1 Structured shapes (for benchmarks and complexity tests)} *)
+
+val chain : n:int -> rel_type:string -> Graph.t
+(** n nodes in a line: 1 -> 2 -> ... -> n. *)
+
+val cycle : n:int -> rel_type:string -> Graph.t
+
+val clique : n:int -> rel_type:string -> Graph.t
+(** Complete directed graph (no loops): n(n-1) relationships. *)
+
+val grid : rows:int -> cols:int -> rel_type:string -> Graph.t
+(** Rectangular grid with right and down relationships. *)
+
+val binary_tree : depth:int -> rel_type:string -> Graph.t
+
+val random_uniform :
+  seed:int -> nodes:int -> rels:int -> rel_types:string list ->
+  labels:string list -> Graph.t
+(** Uniform random endpoints; each node gets one label uniformly, each
+    relationship one type uniformly. *)
+
+(** {1 Domain-shaped graphs (for the paper's industry examples)} *)
+
+val social :
+  seed:int -> people:int -> avg_friends:int -> Graph.t
+(** Person nodes with [name], FRIEND relationships with a [since] year —
+    the shape assumed by the Cypher 10 composition example (Section 6,
+    Example 6.1), including a [city] property used by its follow-up
+    query. *)
+
+val citation :
+  seed:int -> papers:int -> avg_cites:int -> Graph.t
+(** A citation DAG in the shape of Figure 1: Publication nodes with
+    [acmid]; CITES relationships only point to earlier papers, and
+    Researcher nodes AUTHOR a few papers each and SUPERVISE Students. *)
+
+val datacenter :
+  seed:int -> services:int -> layers:int -> Graph.t
+(** Service/server/router dependency layers with DEPENDS_ON
+    relationships pointing downwards — the network-management example of
+    Section 3. *)
+
+val fraud :
+  seed:int -> holders:int -> identifiers:int -> ring_fraction:float -> Graph.t
+(** AccountHolder nodes HAS-linked to SSN / PhoneNumber / Address
+    identifier nodes; a [ring_fraction] of identifiers is shared by 2-4
+    holders — the fraud-detection example of Section 3. *)

@@ -1,0 +1,72 @@
+open Cypher_values
+open Cypher_graph
+
+let node i = Ids.node_of_int i
+let rel i = Ids.rel_of_int i
+
+(* Figure 1 and Example 4.1.  Note: Example 4.1 in the paper swaps the
+   Researcher and Student labels of n1/n6/n10 vs n7/n8 by mistake; we
+   follow Figure 1 (and the Section 3 walkthrough, which depends on it):
+   n1, n6, n10 are researchers and n7, n8 are students.  Relationship
+   types are spelled uppercase as the queries use them. *)
+let academic () =
+  let g = Graph.empty in
+  let add_n g labels props =
+    let g, _ = Graph.add_node ~labels ~props g in
+    g
+  in
+  let g = add_n g [ "Researcher" ] [ ("name", Value.String "Nils") ] in
+  let g = add_n g [ "Publication" ] [ ("acmid", Value.Int 220) ] in
+  let g = add_n g [ "Publication" ] [ ("acmid", Value.Int 190) ] in
+  let g = add_n g [ "Publication" ] [ ("acmid", Value.Int 235) ] in
+  let g = add_n g [ "Publication" ] [ ("acmid", Value.Int 240) ] in
+  let g = add_n g [ "Researcher" ] [ ("name", Value.String "Elin") ] in
+  let g = add_n g [ "Student" ] [ ("name", Value.String "Sten") ] in
+  let g = add_n g [ "Student" ] [ ("name", Value.String "Linda") ] in
+  let g = add_n g [ "Publication" ] [ ("acmid", Value.Int 269) ] in
+  let g = add_n g [ "Researcher" ] [ ("name", Value.String "Thor") ] in
+  let add_r g src tgt rel_type =
+    let g, _ = Graph.add_rel ~src:(node src) ~tgt:(node tgt) ~rel_type g in
+    g
+  in
+  let g = add_r g 1 2 "AUTHORS" in
+  (* r1 *)
+  let g = add_r g 2 3 "CITES" in
+  (* r2 *)
+  let g = add_r g 4 2 "CITES" in
+  (* r3 *)
+  let g = add_r g 5 2 "CITES" in
+  (* r4 *)
+  let g = add_r g 6 5 "AUTHORS" in
+  (* r5 *)
+  let g = add_r g 6 7 "SUPERVISES" in
+  (* r6 *)
+  let g = add_r g 6 8 "SUPERVISES" in
+  (* r7 *)
+  let g = add_r g 10 7 "SUPERVISES" in
+  (* r8 *)
+  let g = add_r g 9 4 "CITES" in
+  (* r9 *)
+  let g = add_r g 6 9 "AUTHORS" in
+  (* r10 *)
+  let g = add_r g 9 5 "CITES" in
+  (* r11 *)
+  g
+
+(* Figure 4. *)
+let teachers () =
+  let g = Graph.empty in
+  let g, _n1 = Graph.add_node ~labels:[ "Teacher" ] g in
+  let g, _n2 = Graph.add_node ~labels:[ "Student" ] g in
+  let g, _n3 = Graph.add_node ~labels:[ "Teacher" ] g in
+  let g, _n4 = Graph.add_node ~labels:[ "Teacher" ] g in
+  let g, _r1 = Graph.add_rel ~src:(node 1) ~tgt:(node 2) ~rel_type:"KNOWS" g in
+  let g, _r2 = Graph.add_rel ~src:(node 2) ~tgt:(node 3) ~rel_type:"KNOWS" g in
+  let g, _r3 = Graph.add_rel ~src:(node 3) ~tgt:(node 4) ~rel_type:"KNOWS" g in
+  g
+
+let self_loop () =
+  let g = Graph.empty in
+  let g, n = Graph.add_node g in
+  let g, r = Graph.add_rel ~src:n ~tgt:n ~rel_type:"LOOP" g in
+  (g, n, r)

@@ -1,0 +1,30 @@
+(** The two concrete property graphs used throughout the paper.
+
+    {!academic} is Figure 1: researchers, students and publications with
+    AUTHORS, SUPERVISES and CITES relationships; its formal representation
+    is spelled out in Example 4.1.  {!teachers} is Figure 4: four nodes
+    and three KNOWS relationships, used by Examples 4.2–4.6.
+    {!self_loop} is the one-node, one-relationship graph of the
+    complexity discussion in Section 4.2. *)
+
+open Cypher_values
+open Cypher_graph
+
+val academic : unit -> Graph.t
+(** Figure 1.  Node ids are n1..n10 and relationship ids r1..r11 exactly
+    as in the paper: n1 Nils, n2–n5 publications 220/190/235/240, n6
+    Elin, n7 Sten, n8 Linda, n9 publication 269, n10 Thor. *)
+
+val teachers : unit -> Graph.t
+(** Figure 4: n1:Teacher, n2:Student, n3:Teacher, n4:Teacher with
+    r1 = n1-KNOWS->n2, r2 = n2-KNOWS->n3, r3 = n3-KNOWS->n4. *)
+
+val self_loop : unit -> Graph.t * Ids.node * Ids.rel
+(** A single node with a single loop relationship (type LOOP), used to
+    demonstrate why pattern matching must not repeat relationships. *)
+
+val node : int -> Ids.node
+(** [node i] is the paper's n{i} identifier (valid for graphs built by
+    this module, whose ids are allocated in order). *)
+
+val rel : int -> Ids.rel

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All workload generators take an explicit seed so that every
+    experiment in EXPERIMENTS.md is reproducible bit-for-bit; the
+    standard library's [Random] is avoided because its state is global
+    and its stream is not stable across OCaml versions. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** An independent generator (for nested generation). *)

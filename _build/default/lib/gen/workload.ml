@@ -1,0 +1,164 @@
+type vocabulary = {
+  labels : string list;
+  rel_types : string list;
+  keys : string list;
+}
+
+let default_vocabulary =
+  { labels = [ "X"; "Y" ]; rel_types = [ "A"; "B" ]; keys = [ "idx" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Random patterns                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_var rng used =
+  let rec go () =
+    let v = Printf.sprintf "v%d" (Prng.int rng 1000) in
+    if List.mem v !used then go ()
+    else begin
+      used := v :: !used;
+      v
+    end
+  in
+  go ()
+
+let node_pattern voc rng used ~allow_reuse =
+  let var =
+    if allow_reuse && !used <> [] && Prng.int rng 4 = 0 then Prng.pick rng !used
+    else if Prng.int rng 3 = 0 then "" (* anonymous *)
+    else fresh_var rng used
+  in
+  let label =
+    if Prng.int rng 2 = 0 then ":" ^ Prng.pick rng voc.labels else ""
+  in
+  let props =
+    if Prng.int rng 5 = 0 then
+      Printf.sprintf " {%s: %d}" (Prng.pick rng voc.keys) (Prng.int rng 5)
+    else ""
+  in
+  Printf.sprintf "(%s%s%s)" var label props
+
+let rel_pattern voc rng used =
+  let var = if Prng.int rng 4 = 0 then fresh_var rng used else "" in
+  let typ =
+    if Prng.int rng 2 = 0 then ":" ^ Prng.pick rng voc.rel_types else ""
+  in
+  let len =
+    match Prng.int rng 6 with
+    | 0 -> "*1..2"
+    | 1 -> "*..2"
+    | 2 -> "*2"
+    | _ -> ""
+  in
+  let body =
+    if var = "" && typ = "" && len = "" then ""
+    else Printf.sprintf "[%s%s%s]" var typ len
+  in
+  match Prng.int rng 3 with
+  | 0 -> Printf.sprintf "-%s->" body
+  | 1 -> Printf.sprintf "<-%s-" body
+  | _ -> Printf.sprintf "-%s-" body
+
+let path_pattern voc rng used =
+  let hops = Prng.int rng 3 in
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (node_pattern voc rng used ~allow_reuse:false);
+  for _ = 1 to hops do
+    Buffer.add_string buf (rel_pattern voc rng used);
+    Buffer.add_string buf (node_pattern voc rng used ~allow_reuse:true)
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Random predicates and items over bound variables                    *)
+(* ------------------------------------------------------------------ *)
+
+let predicate voc rng vars =
+  if vars = [] then "1 = 1"
+  else
+    let v = Prng.pick rng vars in
+    match Prng.int rng 6 with
+    | 0 -> Printf.sprintf "%s.%s > %d" v (Prng.pick rng voc.keys) (Prng.int rng 5)
+    | 1 -> Printf.sprintf "%s.%s IS NOT NULL" v (Prng.pick rng voc.keys)
+    | 2 -> Printf.sprintf "%s:%s" v (Prng.pick rng voc.labels)
+    | 3 ->
+      Printf.sprintf "%s.%s IN [%d, %d]" v (Prng.pick rng voc.keys)
+        (Prng.int rng 5) (Prng.int rng 5)
+    | 4 -> Printf.sprintf "NOT %s.%s = %d" v (Prng.pick rng voc.keys) (Prng.int rng 5)
+    | _ -> Printf.sprintf "id(%s) >= 0" v
+
+let return_item voc rng vars i =
+  if vars = [] then Printf.sprintf "%d AS c%d" (Prng.int rng 100) i
+  else
+    let v = Prng.pick rng vars in
+    match Prng.int rng 5 with
+    | 0 -> Printf.sprintf "%s AS c%d" v i
+    | 1 -> Printf.sprintf "%s.%s AS c%d" v (Prng.pick rng voc.keys) i
+    | 2 -> Printf.sprintf "labels(%s) AS c%d" v i
+    | 3 -> Printf.sprintf "count(%s) AS c%d" v i
+    | _ -> Printf.sprintf "count(*) AS c%d" i
+
+let random_read_query ?(vocabulary = default_vocabulary) rng =
+  let voc = vocabulary in
+  let used = ref [] in
+  let buf = Buffer.create 128 in
+  let n_matches = 1 + Prng.int rng 2 in
+  for i = 1 to n_matches do
+    let optional = i > 1 && Prng.int rng 3 = 0 in
+    Buffer.add_string buf (if optional then "OPTIONAL MATCH " else "MATCH ");
+    Buffer.add_string buf (path_pattern voc rng used);
+    if Prng.int rng 2 = 0 then begin
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf (predicate voc rng !used)
+    end;
+    Buffer.add_string buf " "
+  done;
+  (* optionally narrow through WITH *)
+  let vars = !used in
+  let vars =
+    if vars <> [] && Prng.int rng 3 = 0 then begin
+      let kept = Prng.pick rng vars in
+      Buffer.add_string buf (Printf.sprintf "WITH %s " kept);
+      [ kept ]
+    end
+    else vars
+  in
+  let items = 1 + Prng.int rng 2 in
+  Buffer.add_string buf "RETURN ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.init items (fun i -> return_item voc rng vars i)));
+  if Prng.int rng 3 = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf " ORDER BY c0%s" (if Prng.bool rng then " DESC" else ""));
+  if Prng.int rng 4 = 0 then
+    Buffer.add_string buf (Printf.sprintf " LIMIT %d" (1 + Prng.int rng 10));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Random literal expressions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec random_expression_sized rng depth =
+  if depth = 0 then
+    match Prng.int rng 5 with
+    | 0 -> string_of_int (Prng.int rng 100)
+    | 1 -> Printf.sprintf "%d.5" (Prng.int rng 10)
+    | 2 -> Printf.sprintf "'s%d'" (Prng.int rng 10)
+    | 3 -> "null"
+    | _ -> if Prng.bool rng then "true" else "false"
+  else
+    let sub () = random_expression_sized rng (depth - 1) in
+    match Prng.int rng 8 with
+    | 0 -> Printf.sprintf "(%s + %s)" (sub ()) (sub ())
+    | 1 -> Printf.sprintf "(%s = %s)" (sub ()) (sub ())
+    | 2 -> Printf.sprintf "[%s, %s]" (sub ()) (sub ())
+    | 3 -> Printf.sprintf "coalesce(%s, %s)" (sub ()) (sub ())
+    | 4 ->
+      Printf.sprintf "CASE WHEN %s IS NULL THEN %s ELSE %s END" (sub ())
+        (sub ()) (sub ())
+    | 5 -> Printf.sprintf "toString(%s)" (sub ())
+    | 6 -> Printf.sprintf "(%s IS NULL)" (sub ())
+    | _ -> Printf.sprintf "[x IN [1, 2, 3] | x + %d]" (Prng.int rng 5)
+
+let random_expression rng = random_expression_sized rng 3

@@ -1,0 +1,25 @@
+(** Random query generation (fuzzing workload).
+
+    Generates syntactically valid, scope-correct read queries over a
+    configurable vocabulary of labels, relationship types and property
+    keys.  Used to fuzz the two engines against each other: any
+    disagreement between the reference semantics and the planned executor
+    on a generated query is a bug in one of them. *)
+
+type vocabulary = {
+  labels : string list;
+  rel_types : string list;
+  keys : string list;  (** integer-valued property keys *)
+}
+
+val default_vocabulary : vocabulary
+(** Matches {!Generate.random_uniform} with labels [X;Y], types [A;B] and
+    the [idx] property. *)
+
+val random_read_query : ?vocabulary:vocabulary -> Prng.t -> string
+(** A random MATCH/OPTIONAL MATCH/WHERE/WITH/RETURN pipeline; always a
+    read-only query whose variables are used within scope. *)
+
+val random_expression : Prng.t -> string
+(** A random scalar expression over literals only (no variables); always
+    type-checks or evaluates to null, never references the graph. *)

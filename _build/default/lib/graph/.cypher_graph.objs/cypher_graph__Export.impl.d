@@ -1,0 +1,1 @@
+lib/graph/export.ml: Buffer Cypher_values Float Graph Ids Int64 List Printf String Value

@@ -1,0 +1,1 @@
+lib/graph/export.mli: Cypher_values Graph Value

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Cypher_values Format Ids List Map Option Set String Value

@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Format Graph List Map String

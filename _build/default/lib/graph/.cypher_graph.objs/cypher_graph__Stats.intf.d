@@ -1,0 +1,1 @@
+lib/graph/stats.mli: Format Graph

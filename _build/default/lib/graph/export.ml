@@ -1,0 +1,159 @@
+open Cypher_values
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '\'' -> Buffer.add_string buf "\\'"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec value_to_cypher v =
+  match v with
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%g" f
+  | Value.String s -> Printf.sprintf "'%s'" (escape s)
+  | Value.List vs ->
+    "[" ^ String.concat ", " (List.map value_to_cypher vs) ^ "]"
+  | Value.Map m ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s: %s" k (value_to_cypher v))
+           (Value.Smap.bindings m))
+    ^ "}"
+  | Value.Temporal t -> temporal_to_cypher t
+  | Value.Node _ | Value.Rel _ | Value.Path _ ->
+    invalid_arg "value_to_cypher: graph references cannot be serialized"
+
+and temporal_to_cypher t =
+  (* constructor-call syntax; the string argument uses the plain
+     representation components, so reconstruction needs the temporal
+     library registered (which the engine always has) *)
+  match t with
+  | Value.Date d ->
+    Printf.sprintf "date({year: %d, month: %d, day: %d})"
+      (let y, _, _ = ymd d in
+       y)
+      (let _, m, _ = ymd d in
+       m)
+      (let _, _, dd = ymd d in
+       dd)
+  | Value.Local_time n -> Printf.sprintf "localtime(%s)" (hms n)
+  | Value.Time (n, off) ->
+    Printf.sprintf "time({hour: %d, minute: %d, second: %d, offsetSeconds: %d})"
+      (Int64.to_int (Int64.div n 3_600_000_000_000L))
+      (Int64.to_int (Int64.rem (Int64.div n 60_000_000_000L) 60L))
+      (Int64.to_int (Int64.rem (Int64.div n 1_000_000_000L) 60L))
+      off
+  | Value.Local_datetime (d, n) ->
+    let y, m, dd = ymd d in
+    Printf.sprintf
+      "localdatetime({year: %d, month: %d, day: %d, hour: %d, minute: %d, \
+       second: %d})"
+      y m dd
+      (Int64.to_int (Int64.div n 3_600_000_000_000L))
+      (Int64.to_int (Int64.rem (Int64.div n 60_000_000_000L) 60L))
+      (Int64.to_int (Int64.rem (Int64.div n 1_000_000_000L) 60L))
+  | Value.Datetime (d, n, off) ->
+    let y, m, dd = ymd d in
+    Printf.sprintf
+      "datetime({year: %d, month: %d, day: %d, hour: %d, minute: %d, second: \
+       %d, offsetSeconds: %d})"
+      y m dd
+      (Int64.to_int (Int64.div n 3_600_000_000_000L))
+      (Int64.to_int (Int64.rem (Int64.div n 60_000_000_000L) 60L))
+      (Int64.to_int (Int64.rem (Int64.div n 1_000_000_000L) 60L))
+      off
+  | Value.Duration { months; days; nanos } ->
+    Printf.sprintf
+      "duration({months: %d, days: %d, seconds: %Ld, nanoseconds: %Ld})"
+      months days
+      (Int64.div nanos 1_000_000_000L)
+      (Int64.rem nanos 1_000_000_000L)
+
+(* minimal civil-from-days (duplicated from the temporal library to keep
+   the dependency direction: temporal depends on values, not on graph) *)
+and ymd days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+and hms n =
+  Printf.sprintf "'%02d:%02d:%02d'"
+    (Int64.to_int (Int64.div n 3_600_000_000_000L))
+    (Int64.to_int (Int64.rem (Int64.div n 60_000_000_000L) 60L))
+    (Int64.to_int (Int64.rem (Int64.div n 1_000_000_000L) 60L))
+
+let props_to_cypher props =
+  if Value.Smap.is_empty props then ""
+  else
+    " {"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s: %s" k (value_to_cypher v))
+           (Value.Smap.bindings props))
+    ^ "}"
+
+let to_cypher g =
+  let nodes = Graph.nodes g in
+  if nodes = [] then "RETURN 0"
+  else begin
+    let node_var n = Printf.sprintf "_n%d" (Ids.node_to_int n) in
+    let node_part n =
+      let data = Graph.node_data g n in
+      let labels =
+        String.concat ""
+          (List.map (fun l -> ":" ^ l) (Graph.Sset.elements data.Graph.labels))
+      in
+      Printf.sprintf "(%s%s%s)" (node_var n) labels
+        (props_to_cypher data.Graph.node_props)
+    in
+    let rel_part r =
+      let data = Graph.rel_data g r in
+      Printf.sprintf "(%s)-[:%s%s]->(%s)"
+        (node_var data.Graph.src)
+        data.Graph.rel_type
+        (props_to_cypher data.Graph.rel_props)
+        (node_var data.Graph.tgt)
+    in
+    "CREATE "
+    ^ String.concat ",\n       "
+        (List.map node_part nodes @ List.map rel_part (Graph.rels g))
+  end
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun n ->
+      let labels = String.concat ":" (Graph.labels g n) in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"n%d%s\"];\n" (Ids.node_to_int n)
+           (Ids.node_to_int n)
+           (if labels = "" then "" else ":" ^ labels)))
+    (Graph.nodes g);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n"
+           (Ids.node_to_int (Graph.src g r))
+           (Ids.node_to_int (Graph.tgt g r))
+           (Graph.rel_type g r)))
+    (Graph.rels g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

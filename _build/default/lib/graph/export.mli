@@ -1,0 +1,20 @@
+(** Graph serialization.
+
+    [to_cypher] renders a graph as a single CREATE statement, so a graph
+    can be shipped as a query and rebuilt by any Cypher implementation —
+    the natural interchange format for a query-language reference
+    implementation (the test suite round-trips graphs through it).
+    [to_dot] renders Graphviz input for visual inspection. *)
+
+open Cypher_values
+
+val to_cypher : Graph.t -> string
+(** One CREATE statement covering every node and relationship; node
+    variables are [_n1], [_n2], ... after the original identifiers.
+    Property values are printed as Cypher literals (temporal values as
+    constructor calls).  The empty graph yields ["RETURN 0"] (a no-op). *)
+
+val to_dot : ?name:string -> Graph.t -> string
+
+val value_to_cypher : Value.t -> string
+(** A value as a Cypher literal expression. *)

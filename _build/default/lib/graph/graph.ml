@@ -1,0 +1,454 @@
+open Cypher_values
+module Sset = Set.Make (String)
+module Smap = Value.Smap
+module Nmap = Ids.Node_map
+module Rmap = Ids.Rel_map
+module Vmap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+module Pmap = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type node_data = { labels : Sset.t; node_props : Value.t Smap.t }
+
+type rel_data = {
+  src : Ids.node;
+  tgt : Ids.node;
+  rel_type : string;
+  rel_props : Value.t Smap.t;
+}
+
+type t = {
+  node_map : node_data Nmap.t;
+  rel_map : rel_data Rmap.t;
+  (* Adjacency lists: relationship ids in reverse insertion order.  These
+     are the "direct references from each node via its edges to the
+     related nodes" of Section 2. *)
+  out_adj : Ids.rel list Nmap.t;
+  in_adj : Ids.rel list Nmap.t;
+  label_index : Ids.Node_set.t Smap.t;
+  type_index : Ids.Rel_set.t Smap.t;
+  (* (label, key) -> value -> nodes; maintained by every node update *)
+  prop_indexes : Ids.Node_set.t Vmap.t Pmap.t;
+  next_node : int;
+  next_rel : int;
+}
+
+let empty =
+  {
+    node_map = Nmap.empty;
+    rel_map = Rmap.empty;
+    out_adj = Nmap.empty;
+    in_adj = Nmap.empty;
+    label_index = Smap.empty;
+    type_index = Smap.empty;
+    prop_indexes = Pmap.empty;
+    next_node = 1;
+    next_rel = 1;
+  }
+
+let props_of_list kvs =
+  List.fold_left
+    (fun m (k, v) -> if Value.is_null v then m else Smap.add k v m)
+    Smap.empty kvs
+
+let index_add_node label n idx =
+  Smap.update label
+    (function
+      | None -> Some (Ids.Node_set.singleton n)
+      | Some s -> Some (Ids.Node_set.add n s))
+    idx
+
+let index_remove_node label n idx =
+  Smap.update label
+    (function
+      | None -> None
+      | Some s ->
+        let s = Ids.Node_set.remove n s in
+        if Ids.Node_set.is_empty s then None else Some s)
+    idx
+
+(* Adds/removes one node's contributions to every matching (label, key)
+   index. *)
+let pidx_update ~add g n (data : node_data) =
+  let update_entry indexes (label, key) =
+    if Sset.mem label data.labels then
+      match Smap.find_opt key data.node_props with
+      | None -> indexes
+      | Some v ->
+        Pmap.update (label, key)
+          (Option.map
+             (Vmap.update v (fun set ->
+                  let set = Option.value set ~default:Ids.Node_set.empty in
+                  let set =
+                    if add then Ids.Node_set.add n set
+                    else Ids.Node_set.remove n set
+                  in
+                  if Ids.Node_set.is_empty set then None else Some set)))
+          indexes
+    else indexes
+  in
+  {
+    g with
+    prop_indexes =
+      List.fold_left update_entry g.prop_indexes
+        (List.map fst (Pmap.bindings g.prop_indexes));
+  }
+
+let add_node ?(labels = []) ?(props = []) g =
+  let id = Ids.node_of_int g.next_node in
+  let data = { labels = Sset.of_list labels; node_props = props_of_list props } in
+  let label_index =
+    List.fold_left (fun idx l -> index_add_node l id idx) g.label_index labels
+  in
+  let g =
+    {
+      g with
+      node_map = Nmap.add id data g.node_map;
+      out_adj = Nmap.add id [] g.out_adj;
+      in_adj = Nmap.add id [] g.in_adj;
+      label_index;
+      next_node = g.next_node + 1;
+    }
+  in
+  (pidx_update ~add:true g id data, id)
+
+let mem_node g n = Nmap.mem n g.node_map
+let mem_rel g r = Rmap.mem r g.rel_map
+
+let adj_cons n r adj =
+  Nmap.update n (function None -> Some [ r ] | Some rs -> Some (r :: rs)) adj
+
+let adj_remove n r adj =
+  Nmap.update n
+    (function
+      | None -> None
+      | Some rs -> Some (List.filter (fun r' -> not (Ids.equal_rel r r')) rs))
+    adj
+
+let add_rel ~src ~tgt ~rel_type ?(props = []) g =
+  if not (mem_node g src && mem_node g tgt) then
+    invalid_arg "Graph.add_rel: endpoint not in graph";
+  let id = Ids.rel_of_int g.next_rel in
+  let data = { src; tgt; rel_type; rel_props = props_of_list props } in
+  let type_index =
+    Smap.update rel_type
+      (function
+        | None -> Some (Ids.Rel_set.singleton id)
+        | Some s -> Some (Ids.Rel_set.add id s))
+      g.type_index
+  in
+  ( {
+      g with
+      rel_map = Rmap.add id data g.rel_map;
+      out_adj = adj_cons src id g.out_adj;
+      in_adj = adj_cons tgt id g.in_adj;
+      type_index;
+      next_rel = g.next_rel + 1;
+    },
+    id )
+
+let node_data g n = Nmap.find n g.node_map
+let rel_data g r = Rmap.find r g.rel_map
+
+let out_rels g n = try Nmap.find n g.out_adj with Not_found -> []
+let in_rels g n = try Nmap.find n g.in_adj with Not_found -> []
+
+let all_rels_of g n =
+  let out = out_rels g n in
+  let inc =
+    List.filter
+      (fun r -> not (Ids.equal_node (rel_data g r).src n))
+      (in_rels g n)
+  in
+  out @ inc
+
+let degree g n = List.length (all_rels_of g n)
+
+let delete_rel g r =
+  match Rmap.find_opt r g.rel_map with
+  | None -> g
+  | Some data ->
+    let type_index =
+      Smap.update data.rel_type
+        (function
+          | None -> None
+          | Some s ->
+            let s = Ids.Rel_set.remove r s in
+            if Ids.Rel_set.is_empty s then None else Some s)
+        g.type_index
+    in
+    {
+      g with
+      rel_map = Rmap.remove r g.rel_map;
+      out_adj = adj_remove data.src r g.out_adj;
+      in_adj = adj_remove data.tgt r g.in_adj;
+      type_index;
+    }
+
+let remove_node_raw g n =
+  match Nmap.find_opt n g.node_map with
+  | None -> g
+  | Some data ->
+    let g = pidx_update ~add:false g n data in
+    let label_index =
+      Sset.fold (fun l idx -> index_remove_node l n idx) data.labels g.label_index
+    in
+    {
+      g with
+      node_map = Nmap.remove n g.node_map;
+      out_adj = Nmap.remove n g.out_adj;
+      in_adj = Nmap.remove n g.in_adj;
+      label_index;
+    }
+
+let delete_node g n =
+  if not (mem_node g n) then Ok g
+  else if all_rels_of g n <> [] then
+    Error
+      (Format.asprintf
+         "cannot delete %a: it still has relationships (use DETACH DELETE)"
+         Ids.pp_node n)
+  else Ok (remove_node_raw g n)
+
+let detach_delete_node g n =
+  if not (mem_node g n) then g
+  else
+    let incident = out_rels g n @ in_rels g n in
+    let g = List.fold_left delete_rel g incident in
+    remove_node_raw g n
+
+let update_node g n f =
+  match Nmap.find_opt n g.node_map with
+  | None -> g
+  | Some old_data ->
+    let new_data = f old_data in
+    let g = pidx_update ~add:false g n old_data in
+    let g = { g with node_map = Nmap.add n new_data g.node_map } in
+    pidx_update ~add:true g n new_data
+
+let update_rel g r f =
+  { g with rel_map = Rmap.update r (Option.map f) g.rel_map }
+
+let set_node_prop g n k v =
+  update_node g n (fun d ->
+      {
+        d with
+        node_props =
+          (if Value.is_null v then Smap.remove k d.node_props
+           else Smap.add k v d.node_props);
+      })
+
+let set_rel_prop g r k v =
+  update_rel g r (fun d ->
+      {
+        d with
+        rel_props =
+          (if Value.is_null v then Smap.remove k d.rel_props
+           else Smap.add k v d.rel_props);
+      })
+
+let remove_node_prop g n k = set_node_prop g n k Value.Null
+let remove_rel_prop g r k = set_rel_prop g r k Value.Null
+
+let add_label g n l =
+  let g = update_node g n (fun d -> { d with labels = Sset.add l d.labels }) in
+  { g with label_index = index_add_node l n g.label_index }
+
+let remove_label g n l =
+  let g = update_node g n (fun d -> { d with labels = Sset.remove l d.labels }) in
+  { g with label_index = index_remove_node l n g.label_index }
+
+let labels g n = Sset.elements (node_data g n).labels
+let has_label g n l = Sset.mem l (node_data g n).labels
+
+let node_prop g n k =
+  match Smap.find_opt k (node_data g n).node_props with
+  | Some v -> v
+  | None -> Value.Null
+
+let rel_prop g r k =
+  match Smap.find_opt k (rel_data g r).rel_props with
+  | Some v -> v
+  | None -> Value.Null
+
+let node_props g n = (node_data g n).node_props
+let rel_props g r = (rel_data g r).rel_props
+let src g r = (rel_data g r).src
+let tgt g r = (rel_data g r).tgt
+let rel_type g r = (rel_data g r).rel_type
+
+let nodes g = List.map fst (Nmap.bindings g.node_map)
+let rels g = List.map fst (Rmap.bindings g.rel_map)
+let node_count g = Nmap.cardinal g.node_map
+let rel_count g = Rmap.cardinal g.rel_map
+
+let other_end g r n =
+  let d = rel_data g r in
+  if Ids.equal_node d.src n then d.tgt else d.src
+
+let nodes_with_label g l =
+  match Smap.find_opt l g.label_index with
+  | Some s -> Ids.Node_set.elements s
+  | None -> []
+
+let rels_with_type g t =
+  match Smap.find_opt t g.type_index with
+  | Some s -> Ids.Rel_set.elements s
+  | None -> []
+
+let label_count g l =
+  match Smap.find_opt l g.label_index with
+  | Some s -> Ids.Node_set.cardinal s
+  | None -> 0
+
+let type_count g t =
+  match Smap.find_opt t g.type_index with
+  | Some s -> Ids.Rel_set.cardinal s
+  | None -> 0
+
+let all_labels g = List.map fst (Smap.bindings g.label_index)
+let all_types g = List.map fst (Smap.bindings g.type_index)
+
+let insert_node g n data =
+  let g =
+    match Nmap.find_opt n g.node_map with
+    | Some old_data -> pidx_update ~add:false g n old_data
+    | None -> g
+  in
+  let prev_labels =
+    match Nmap.find_opt n g.node_map with
+    | Some d -> d.labels
+    | None -> Sset.empty
+  in
+  let label_index =
+    Sset.fold (fun l idx -> index_remove_node l n idx) prev_labels g.label_index
+  in
+  let label_index =
+    Sset.fold (fun l idx -> index_add_node l n idx) data.labels label_index
+  in
+  let out_adj =
+    if Nmap.mem n g.out_adj then g.out_adj else Nmap.add n [] g.out_adj
+  in
+  let in_adj =
+    if Nmap.mem n g.in_adj then g.in_adj else Nmap.add n [] g.in_adj
+  in
+  let g =
+    {
+      g with
+      node_map = Nmap.add n data g.node_map;
+      out_adj;
+      in_adj;
+      label_index;
+      next_node = max g.next_node (Ids.node_to_int n + 1);
+    }
+  in
+  pidx_update ~add:true g n data
+
+let insert_rel g r data =
+  if not (mem_node g data.src && mem_node g data.tgt) then
+    invalid_arg "Graph.insert_rel: endpoint not in graph";
+  let g = if mem_rel g r then delete_rel g r else g in
+  let type_index =
+    Smap.update data.rel_type
+      (function
+        | None -> Some (Ids.Rel_set.singleton r)
+        | Some s -> Some (Ids.Rel_set.add r s))
+      g.type_index
+  in
+  {
+    g with
+    rel_map = Rmap.add r data g.rel_map;
+    out_adj = adj_cons data.src r g.out_adj;
+    in_adj = adj_cons data.tgt r g.in_adj;
+    type_index;
+    next_rel = max g.next_rel (Ids.rel_to_int r + 1);
+  }
+
+let union g1 g2 =
+  (* Remap g2's identifiers above g1's counters, preserving structure;
+     insert_node keeps every index (label and property) maintained. *)
+  let remap_node n = Ids.node_of_int (Ids.node_to_int n + g1.next_node) in
+  let g =
+    Nmap.fold
+      (fun n d g -> insert_node g (remap_node n) d)
+      g2.node_map g1
+  in
+  Rmap.fold
+    (fun _ d g ->
+      let g, _ =
+        add_rel ~src:(remap_node d.src) ~tgt:(remap_node d.tgt)
+          ~rel_type:d.rel_type
+          ~props:(Smap.bindings d.rel_props)
+          g
+      in
+      g)
+    g2.rel_map g
+
+let pp ppf g =
+  let pp_props ppf props =
+    if not (Smap.is_empty props) then
+      Format.fprintf ppf " {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (k, v) -> Format.fprintf ppf "%s: %a" k Value.pp v))
+        (Smap.bindings props)
+  in
+  Nmap.iter
+    (fun n d ->
+      Format.fprintf ppf "(%a%t%a)@." Ids.pp_node n
+        (fun ppf ->
+          Sset.iter (fun l -> Format.fprintf ppf ":%s" l) d.labels)
+        pp_props d.node_props)
+    g.node_map;
+  Rmap.iter
+    (fun r d ->
+      Format.fprintf ppf "(%a)-[%a:%s%a]->(%a)@." Ids.pp_node d.src Ids.pp_rel
+        r d.rel_type pp_props d.rel_props Ids.pp_node d.tgt)
+    g.rel_map
+
+let equal_structure g1 g2 =
+  String.equal (Format.asprintf "%a" pp g1) (Format.asprintf "%a" pp g2)
+
+
+(* --- property indexes ------------------------------------------------ *)
+
+let has_index g ~label ~key = Pmap.mem (label, key) g.prop_indexes
+
+let indexes g = List.map fst (Pmap.bindings g.prop_indexes)
+
+let create_index g ~label ~key =
+  if has_index g ~label ~key then g
+  else begin
+    let entries =
+      List.fold_left
+        (fun vmap n ->
+          match Smap.find_opt key (node_data g n).node_props with
+          | None -> vmap
+          | Some v ->
+            Vmap.update v
+              (fun set ->
+                Some
+                  (Ids.Node_set.add n
+                     (Option.value set ~default:Ids.Node_set.empty)))
+              vmap)
+        Vmap.empty (nodes_with_label g label)
+    in
+    { g with prop_indexes = Pmap.add (label, key) entries g.prop_indexes }
+  end
+
+let drop_index g ~label ~key =
+  { g with prop_indexes = Pmap.remove (label, key) g.prop_indexes }
+
+let index_seek g ~label ~key v =
+  match Pmap.find_opt (label, key) g.prop_indexes with
+  | None -> raise Not_found
+  | Some vmap -> (
+    match Vmap.find_opt v vmap with
+    | Some set -> Ids.Node_set.elements set
+    | None -> [])

@@ -1,0 +1,163 @@
+(** The property graph data model (paper, Section 4.1).
+
+    A property graph is a tuple [G = ⟨N, R, src, tgt, ι, λ, τ⟩]: finite
+    sets of node and relationship identifiers, source and target maps, a
+    partial property map ι from (id, key) to values, a node-labelling
+    function λ, and a relationship-typing function τ.
+
+    The implementation is persistent (purely functional): update clauses
+    produce new graphs, and snapshots used by OPTIONAL MATCH and MERGE
+    are free.  Each node keeps direct references to its incident
+    relationships, which is the structural property the paper ascribes to
+    Neo4j's store: the Expand operator "never needs to read any
+    unnecessary data, or proceed via an indirection such as an index in
+    order to find related nodes" (Section 2). *)
+
+open Cypher_values
+
+module Sset : Set.S with type elt = string
+
+type node_data = {
+  labels : Sset.t;  (** λ(n): finite set of node labels *)
+  node_props : Value.t Value.Smap.t;  (** ι(n, ·) *)
+}
+
+type rel_data = {
+  src : Ids.node;  (** src(r) *)
+  tgt : Ids.node;  (** tgt(r) *)
+  rel_type : string;  (** τ(r) *)
+  rel_props : Value.t Value.Smap.t;  (** ι(r, ·) *)
+}
+
+type t
+
+val empty : t
+
+(** {1 Construction} *)
+
+val add_node : ?labels:string list -> ?props:(string * Value.t) list -> t -> t * Ids.node
+(** Allocates a fresh node identifier. *)
+
+val add_rel :
+  src:Ids.node -> tgt:Ids.node -> rel_type:string ->
+  ?props:(string * Value.t) list -> t -> t * Ids.rel
+(** Allocates a fresh relationship.  Raises [Invalid_argument] if either
+    endpoint is not in the graph. *)
+
+val delete_node : t -> Ids.node -> (t, string) result
+(** Fails if the node still has incident relationships (Cypher's DELETE
+    rule); use {!detach_delete_node} to also remove them. *)
+
+val detach_delete_node : t -> Ids.node -> t
+val delete_rel : t -> Ids.rel -> t
+
+val set_node_prop : t -> Ids.node -> string -> Value.t -> t
+(** Setting a property to [Null] removes it, as in Cypher. *)
+
+val set_rel_prop : t -> Ids.rel -> string -> Value.t -> t
+val remove_node_prop : t -> Ids.node -> string -> t
+val remove_rel_prop : t -> Ids.rel -> string -> t
+val add_label : t -> Ids.node -> string -> t
+val remove_label : t -> Ids.node -> string -> t
+
+(** {1 Access} *)
+
+val mem_node : t -> Ids.node -> bool
+val mem_rel : t -> Ids.rel -> bool
+
+val node_data : t -> Ids.node -> node_data
+(** Raises [Not_found] for an id outside the graph. *)
+
+val rel_data : t -> Ids.rel -> rel_data
+
+val labels : t -> Ids.node -> string list
+(** λ(n), sorted. *)
+
+val has_label : t -> Ids.node -> string -> bool
+val node_prop : t -> Ids.node -> string -> Value.t
+(** ι(n, k), or [Null] when undefined — Cypher returns null for a missing
+    property. *)
+
+val rel_prop : t -> Ids.rel -> string -> Value.t
+val node_props : t -> Ids.node -> Value.t Value.Smap.t
+val rel_props : t -> Ids.rel -> Value.t Value.Smap.t
+val src : t -> Ids.rel -> Ids.node
+val tgt : t -> Ids.rel -> Ids.node
+val rel_type : t -> Ids.rel -> string
+
+val nodes : t -> Ids.node list
+(** All node ids, ascending. *)
+
+val rels : t -> Ids.rel list
+val node_count : t -> int
+val rel_count : t -> int
+
+(** {1 Adjacency — the substrate of Expand} *)
+
+val out_rels : t -> Ids.node -> Ids.rel list
+(** Relationships whose source is the node. *)
+
+val in_rels : t -> Ids.node -> Ids.rel list
+val all_rels_of : t -> Ids.node -> Ids.rel list
+(** Incident relationships in either direction (loops listed once). *)
+
+val degree : t -> Ids.node -> int
+
+val other_end : t -> Ids.rel -> Ids.node -> Ids.node
+(** The endpoint of [r] that is not [n]; for a loop, [n] itself. *)
+
+(** {1 Indexes} *)
+
+val nodes_with_label : t -> string -> Ids.node list
+val rels_with_type : t -> string -> Ids.rel list
+val label_count : t -> string -> int
+val type_count : t -> string -> int
+val all_labels : t -> string list
+val all_types : t -> string list
+
+(** {1 Property indexes}
+
+    The paper's history section (Section 5) ties Cypher's node labels to
+    "changes in the database implementation that increasingly automated
+    search optimizations through indexing of node data".  An index on
+    (label, key) maps property values to the nodes carrying them; it is
+    maintained incrementally by every update. *)
+
+val create_index : t -> label:string -> key:string -> t
+(** Builds the index over existing nodes and keeps it maintained. *)
+
+val drop_index : t -> label:string -> key:string -> t
+val has_index : t -> label:string -> key:string -> bool
+val indexes : t -> (string * string) list
+
+val index_seek : t -> label:string -> key:string -> Value.t -> Ids.node list
+(** Nodes with the label whose property equals the value (by the total
+    value equality).  Raises [Not_found] when the index does not exist. *)
+
+(** {1 Identity-preserving insertion}
+
+    The multiple-graphs extension (Section 6) projects new graphs whose
+    nodes keep their identity, so that a follow-up query can join them
+    against other graphs of the same universe. *)
+
+val insert_node : t -> Ids.node -> node_data -> t
+(** Inserts (or replaces) a node under a caller-chosen identifier.
+    Replacing keeps existing incident relationships. *)
+
+val insert_rel : t -> Ids.rel -> rel_data -> t
+(** Inserts (or replaces) a relationship under a caller-chosen
+    identifier; endpoints must exist. *)
+
+(** {1 Whole-graph operations} *)
+
+val union : t -> t -> t
+(** Disjoint union with id remapping of the second graph; used by the
+    multiple-graphs extension (Section 6). *)
+
+val equal_structure : t -> t -> bool
+(** Isomorphism up to identifier renaming is expensive; this checks
+    equality of the canonical dump, which is sufficient for graphs built
+    deterministically in tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Canonical human-readable dump: one line per node and relationship. *)

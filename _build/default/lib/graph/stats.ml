@@ -1,0 +1,75 @@
+module Smap = Map.Make (String)
+
+type t = {
+  nodes : float;
+  rels : float;
+  labels : float Smap.t;  (* label -> node count *)
+  types : float Smap.t;  (* rel type -> rel count *)
+  indexed : (string * string) list;
+}
+
+let collect g =
+  let nodes = float_of_int (Graph.node_count g) in
+  let rels = float_of_int (Graph.rel_count g) in
+  let labels =
+    List.fold_left
+      (fun m l -> Smap.add l (float_of_int (Graph.label_count g l)) m)
+      Smap.empty (Graph.all_labels g)
+  in
+  let types =
+    List.fold_left
+      (fun m t -> Smap.add t (float_of_int (Graph.type_count g t)) m)
+      Smap.empty (Graph.all_types g)
+  in
+  { nodes; rels; labels; types; indexed = Graph.indexes g }
+
+let node_count s = s.nodes
+let rel_count s = s.rels
+
+let label_cardinality s l =
+  match Smap.find_opt l s.labels with Some c -> c | None -> 0.
+
+let label_selectivity s l =
+  if s.nodes = 0. then 0. else label_cardinality s l /. s.nodes
+
+let type_cardinality s t =
+  match Smap.find_opt t s.types with Some c -> c | None -> 0.
+
+let type_selectivity s t =
+  if s.rels = 0. then 0. else type_cardinality s t /. s.rels
+
+let avg_out_degree s ~rel_type =
+  if s.nodes = 0. then 0.
+  else
+    match rel_type with
+    | None -> s.rels /. s.nodes
+    | Some t -> type_cardinality s t /. s.nodes
+
+let avg_in_degree = avg_out_degree
+
+let prop_selectivity _ = 0.1
+
+let has_index s ~label ~key = List.mem (label, key) s.indexed
+
+let estimate_expand s ~direction ~rel_types =
+  let one_type t =
+    match direction with
+    | `Out -> avg_out_degree s ~rel_type:t
+    | `In -> avg_in_degree s ~rel_type:t
+    | `Both -> avg_out_degree s ~rel_type:t +. avg_in_degree s ~rel_type:t
+  in
+  match rel_types with
+  | [] -> one_type None
+  | ts -> List.fold_left (fun acc t -> acc +. one_type (Some t)) 0. ts
+
+let pp ppf s =
+  Format.fprintf ppf "nodes=%.0f rels=%.0f labels=[%a] types=[%a]" s.nodes
+    s.rels
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (l, c) -> Format.fprintf ppf "%s:%.0f" l c))
+    (Smap.bindings s.labels)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (t, c) -> Format.fprintf ppf "%s:%.0f" t c))
+    (Smap.bindings s.types)

@@ -1,0 +1,43 @@
+(** Graph statistics backing the cost model.
+
+    The paper notes that Neo4j's planner is cost-based (IDP with the cost
+    model of Gubichev's thesis, Section 2).  The planner in this
+    reproduction estimates operator cardinalities from the statistics
+    collected here. *)
+
+type t
+
+val collect : Graph.t -> t
+(** One pass over the graph; cheap enough to recollect after updates. *)
+
+val node_count : t -> float
+val rel_count : t -> float
+
+val label_selectivity : t -> string -> float
+(** Fraction of nodes carrying the label (0 when the label is absent). *)
+
+val type_selectivity : t -> string -> float
+(** Fraction of relationships carrying the type. *)
+
+val avg_out_degree : t -> rel_type:string option -> float
+(** Average number of outgoing relationships per node, optionally
+    restricted to one relationship type. *)
+
+val avg_in_degree : t -> rel_type:string option -> float
+
+val label_cardinality : t -> string -> float
+(** Estimated number of nodes with the label. *)
+
+val prop_selectivity : t -> float
+(** Default selectivity of one property equality predicate. *)
+
+val has_index : t -> label:string -> key:string -> bool
+(** Whether the graph had a property index on (label, key) when the
+    statistics were collected. *)
+
+val pp : Format.formatter -> t -> unit
+
+val estimate_expand :
+  t -> direction:[ `Out | `In | `Both ] -> rel_types:string list -> float
+(** Expected fan-out of expanding one node along relationships of any of
+    the given types ([[]] means all types) in the given direction. *)

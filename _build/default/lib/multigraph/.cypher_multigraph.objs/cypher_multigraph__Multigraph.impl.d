@@ -1,0 +1,1 @@
+lib/multigraph/multigraph.ml: Ast Clauses Config Cypher_ast Cypher_graph Cypher_parser Cypher_semantics Cypher_table Cypher_values Eval Functions Graph List Map Printf Record String Table Value

@@ -1,0 +1,1 @@
+lib/multigraph/multigraph.mli: Config Cypher_graph Cypher_semantics Cypher_table Graph Table

@@ -1,0 +1,1 @@
+lib/parser/lexer.ml: Array Buffer Format List String

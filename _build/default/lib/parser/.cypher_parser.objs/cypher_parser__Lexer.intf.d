@@ -1,0 +1,1 @@
+lib/parser/lexer.mli: Format

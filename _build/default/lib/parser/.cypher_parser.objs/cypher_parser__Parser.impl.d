@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Array Ast Cypher_ast Format Lexer List String

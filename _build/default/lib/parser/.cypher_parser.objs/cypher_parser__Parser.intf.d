@@ -1,0 +1,1 @@
+lib/parser/parser.mli: Ast Cypher_ast Lexer

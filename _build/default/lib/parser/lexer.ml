@@ -1,0 +1,280 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Param of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Comma
+  | Dot
+  | Dotdot
+  | Pipe
+  | Lt
+  | Le
+  | Ge
+  | Gt
+  | Eq
+  | Eq_tilde
+  | Neq
+  | Plus
+  | Plus_eq
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Caret
+  | Eof
+
+type position = { line : int; col : int }
+
+exception Lex_error of string * position
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Lex_error (s, pos))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let position st = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st i =
+  let j = st.pos + i in
+  if j < String.length st.src then Some st.src.[j] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when peek st 1 = Some '/' ->
+    while peek st 0 <> None && peek st 0 <> Some '\n' do
+      advance st
+    done;
+    skip_ws st
+  | Some '/' when peek st 1 = Some '*' ->
+    let start = position st in
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st 0, peek st 1 with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        close ()
+      | None, _ -> error start "unterminated block comment"
+    in
+    close ();
+    skip_ws st
+  | _ -> ()
+
+let lex_string st quote =
+  let start = position st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st 0 with
+    | None -> error start "unterminated string literal"
+    | Some c when c = quote ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st 0 with
+      | None -> error start "unterminated escape sequence"
+      | Some c ->
+        advance st;
+        let decoded =
+          match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '\\' -> '\\'
+          | '\'' -> '\''
+          | '"' -> '"'
+          | c -> c
+        in
+        Buffer.add_char buf decoded;
+        go ())
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let lex_number st =
+  let start_pos = st.pos in
+  let pos = position st in
+  while (match peek st 0 with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match peek st 0, peek st 1 with
+    | Some '.', Some c when is_digit c ->
+      advance st;
+      while (match peek st 0 with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      true
+    | _ -> false
+  in
+  let with_exponent =
+    match peek st 0 with
+    | Some ('e' | 'E') ->
+      let save = st.pos in
+      advance st;
+      (match peek st 0 with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      if match peek st 0 with Some c -> is_digit c | None -> false then (
+        while (match peek st 0 with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true)
+      else (
+        st.pos <- save;
+        false)
+    | _ -> false
+  in
+  let text = String.sub st.src start_pos (st.pos - start_pos) in
+  if is_float || with_exponent then Float_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int_lit i
+    | None -> error pos "integer literal out of range: %s" text
+
+let lex_ident st =
+  let start_pos = st.pos in
+  while (match peek st 0 with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start_pos (st.pos - start_pos)
+
+let lex_backtick st =
+  let start = position st in
+  advance st;
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st 0 with
+    | None -> error start "unterminated backtick identifier"
+    | Some '`' ->
+      advance st;
+      Buffer.contents buf
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let next_token st =
+  skip_ws st;
+  let pos = position st in
+  let tok =
+    match peek st 0 with
+    | None -> Eof
+    | Some c -> (
+      match c with
+      | '(' -> advance st; Lparen
+      | ')' -> advance st; Rparen
+      | '[' -> advance st; Lbracket
+      | ']' -> advance st; Rbracket
+      | '{' -> advance st; Lbrace
+      | '}' -> advance st; Rbrace
+      | ':' -> advance st; Colon
+      | ',' -> advance st; Comma
+      | '|' -> advance st; Pipe
+      | '*' -> advance st; Star
+      | '/' -> advance st; Slash
+      | '%' -> advance st; Percent
+      | '^' -> advance st; Caret
+      | '.' ->
+        advance st;
+        if peek st 0 = Some '.' then (advance st; Dotdot) else Dot
+      | '+' ->
+        advance st;
+        if peek st 0 = Some '=' then (advance st; Plus_eq) else Plus
+      | '-' -> advance st; Minus
+      | '=' ->
+        advance st;
+        if peek st 0 = Some '~' then (advance st; Eq_tilde) else Eq
+      | '<' -> (
+        advance st;
+        match peek st 0 with
+        | Some '=' -> advance st; Le
+        | Some '>' -> advance st; Neq
+        | _ -> Lt)
+      | '>' ->
+        advance st;
+        if peek st 0 = Some '=' then (advance st; Ge) else Gt
+      | '\'' | '"' -> String_lit (lex_string st c)
+      | '`' -> Ident (lex_backtick st)
+      | '$' ->
+        advance st;
+        if match peek st 0 with Some c -> is_ident_start c | None -> false
+        then Param (lex_ident st)
+        else error pos "expected a parameter name after '$'"
+      | c when is_digit c -> lex_number st
+      | c when is_ident_start c -> Ident (lex_ident st)
+      | c -> error pos "unexpected character %C" c)
+  in
+  (tok, pos)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let (tok, _) as t = next_token st in
+    if tok = Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  Array.of_list (go [])
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Int_lit i -> Format.fprintf ppf "%d" i
+  | Float_lit f -> Format.fprintf ppf "%g" f
+  | String_lit s -> Format.fprintf ppf "'%s'" s
+  | Param s -> Format.fprintf ppf "$%s" s
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Lbracket -> Format.pp_print_string ppf "["
+  | Rbracket -> Format.pp_print_string ppf "]"
+  | Lbrace -> Format.pp_print_string ppf "{"
+  | Rbrace -> Format.pp_print_string ppf "}"
+  | Colon -> Format.pp_print_string ppf ":"
+  | Comma -> Format.pp_print_string ppf ","
+  | Dot -> Format.pp_print_string ppf "."
+  | Dotdot -> Format.pp_print_string ppf ".."
+  | Pipe -> Format.pp_print_string ppf "|"
+  | Lt -> Format.pp_print_string ppf "<"
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Gt -> Format.pp_print_string ppf ">"
+  | Eq -> Format.pp_print_string ppf "="
+  | Eq_tilde -> Format.pp_print_string ppf "=~"
+  | Neq -> Format.pp_print_string ppf "<>"
+  | Plus -> Format.pp_print_string ppf "+"
+  | Plus_eq -> Format.pp_print_string ppf "+="
+  | Minus -> Format.pp_print_string ppf "-"
+  | Star -> Format.pp_print_string ppf "*"
+  | Slash -> Format.pp_print_string ppf "/"
+  | Percent -> Format.pp_print_string ppf "%"
+  | Caret -> Format.pp_print_string ppf "^"
+  | Eof -> Format.pp_print_string ppf "<eof>"

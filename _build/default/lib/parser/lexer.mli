@@ -1,0 +1,52 @@
+(** Lexer for the Cypher surface syntax.
+
+    Keywords are not distinguished from identifiers here: Cypher keywords
+    are contextual (a node label may be called [All]), so the lexer emits
+    [Ident] tokens carrying the original spelling and the parser matches
+    them case-insensitively where the grammar expects a keyword. *)
+
+type token =
+  | Ident of string  (** identifier or contextual keyword *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Param of string  (** [$name] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Comma
+  | Dot
+  | Dotdot  (** [..] *)
+  | Pipe
+  | Lt
+  | Le
+  | Ge
+  | Gt
+  | Eq
+  | Eq_tilde  (** [=~], the regular-expression match *)
+  | Neq  (** [<>] *)
+  | Plus
+  | Plus_eq  (** [+=] *)
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Caret
+  | Eof
+
+type position = { line : int; col : int }
+
+exception Lex_error of string * position
+
+val tokenize : string -> (token * position) array
+(** Tokenizes a whole query; always ends with [Eof].  Supports [//] line
+    comments and [/* ... */] block comments, single- and double-quoted
+    strings with escapes, backtick-quoted identifiers, and numeric
+    literals (a [.] directly followed by another [.] terminates an
+    integer so that range syntax [1..2] lexes correctly). *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,1017 @@
+open Cypher_ast
+open Ast
+
+exception Parse_error of string * Lexer.position
+
+type state = { tokens : (Lexer.token * Lexer.position) array; mutable idx : int }
+
+let error st fmt =
+  let pos = snd st.tokens.(min st.idx (Array.length st.tokens - 1)) in
+  Format.kasprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+let cur st = fst st.tokens.(st.idx)
+
+let peek_at st k =
+  let j = st.idx + k in
+  if j < Array.length st.tokens then fst st.tokens.(j) else Lexer.Eof
+
+let advance st = if st.idx < Array.length st.tokens - 1 then st.idx <- st.idx + 1
+
+let eat st tok =
+  if cur st = tok then advance st
+  else error st "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token (cur st)
+
+(* Contextual keywords: an identifier token compared case-insensitively. *)
+let is_kw_tok tok kw =
+  match tok with
+  | Lexer.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let at_kw st kw = is_kw_tok (cur st) kw
+
+let eat_kw st kw =
+  if at_kw st kw then advance st
+  else error st "expected %s, found %a" kw Lexer.pp_token (cur st)
+
+let try_kw st kw =
+  if at_kw st kw then (
+    advance st;
+    true)
+  else false
+
+let ident st =
+  match cur st with
+  | Lexer.Ident s ->
+    advance st;
+    s
+  | tok -> error st "expected an identifier, found %a" Lexer.pp_token tok
+
+(* Backtracking: run [f]; on parse error, restore the cursor. *)
+let attempt st f =
+  let save = st.idx in
+  try Some (f st)
+  with Parse_error _ ->
+    st.idx <- save;
+    None
+
+let aggregate_of_name name =
+  match String.lowercase_ascii name with
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "collect" -> Some Collect
+  | "stdev" -> Some Std_dev
+  | "stdevp" -> Some Std_dev_p
+  | _ -> None
+
+(* Words that act as expression operators or literals can never name a
+   node in a pattern: allowing them makes (NOT {...}) ambiguous between a
+   negated map and a node pattern. *)
+let reserved_in_patterns =
+  [ "NOT"; "AND"; "OR"; "XOR"; "TRUE"; "FALSE"; "NULL"; "CASE"; "WHEN";
+    "THEN"; "ELSE"; "END"; "EXISTS" ]
+
+let quantifier_of_name name =
+  match String.lowercase_ascii name with
+  | "all" -> Some Q_all
+  | "any" -> Some Q_any
+  | "none" -> Some Q_none
+  | "single" -> Some Q_single
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_xor st in
+  if try_kw st "OR" then E_or (lhs, parse_or st) else lhs
+
+and parse_xor st =
+  let lhs = parse_and st in
+  if try_kw st "XOR" then E_xor (lhs, parse_xor st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if try_kw st "AND" then E_and (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if try_kw st "NOT" then E_not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let cmp_op () =
+    match cur st with
+    | Lexer.Eq -> Some Eq
+    | Lexer.Neq -> Some Neq
+    | Lexer.Lt -> Some Lt
+    | Lexer.Le -> Some Le
+    | Lexer.Gt -> Some Gt
+    | Lexer.Ge -> Some Ge
+    | _ -> None
+  in
+  (* a chain a op1 b op2 c means (a op1 b) AND (b op2 c), as in Cypher *)
+  let parse_cmp_chain first =
+    let rec collect acc prev =
+      match cmp_op () with
+      | Some op ->
+        advance st;
+        let rhs = parse_add_sub st in
+        collect (E_cmp (op, prev, rhs) :: acc) rhs
+      | None -> List.rev acc
+    in
+    match collect [] first with
+    | [] -> first
+    | [ single ] -> single
+    | c :: cs -> List.fold_left (fun acc c -> E_and (acc, c)) c cs
+  in
+  let lhs = parse_add_sub st in
+  let rec loop lhs =
+    match cur st with
+    | Lexer.Eq | Lexer.Neq | Lexer.Lt | Lexer.Le | Lexer.Gt | Lexer.Ge ->
+      loop (parse_cmp_chain lhs)
+    | Lexer.Colon ->
+      (* label predicate: expr:Label1:Label2 *)
+      let labels = ref [] in
+      while cur st = Lexer.Colon do
+        advance st;
+        labels := ident st :: !labels
+      done;
+      loop (E_has_labels (lhs, List.rev !labels))
+    | Lexer.Eq_tilde ->
+      advance st;
+      loop (E_regex_match (lhs, parse_add_sub st))
+    | tok when is_kw_tok tok "IN" ->
+      advance st;
+      loop (E_in (lhs, parse_add_sub st))
+    | tok when is_kw_tok tok "STARTS" ->
+      advance st;
+      eat_kw st "WITH";
+      loop (E_starts_with (lhs, parse_add_sub st))
+    | tok when is_kw_tok tok "ENDS" ->
+      advance st;
+      eat_kw st "WITH";
+      loop (E_ends_with (lhs, parse_add_sub st))
+    | tok when is_kw_tok tok "CONTAINS" ->
+      advance st;
+      loop (E_contains (lhs, parse_add_sub st))
+    | tok when is_kw_tok tok "IS" ->
+      advance st;
+      if try_kw st "NOT" then (
+        eat_kw st "NULL";
+        loop (E_is_not_null lhs))
+      else (
+        eat_kw st "NULL";
+        loop (E_is_null lhs))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_add_sub st =
+  let lhs = parse_mul_div st in
+  let rec loop lhs =
+    match cur st with
+    | Lexer.Plus ->
+      advance st;
+      loop (E_arith (Add, lhs, parse_mul_div st))
+    | Lexer.Minus ->
+      advance st;
+      loop (E_arith (Sub, lhs, parse_mul_div st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul_div st =
+  let lhs = parse_pow st in
+  let rec loop lhs =
+    match cur st with
+    | Lexer.Star ->
+      advance st;
+      loop (E_arith (Mul, lhs, parse_pow st))
+    | Lexer.Slash ->
+      advance st;
+      loop (E_arith (Div, lhs, parse_pow st))
+    | Lexer.Percent ->
+      advance st;
+      loop (E_arith (Mod, lhs, parse_pow st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_pow st =
+  let lhs = parse_unary st in
+  if cur st = Lexer.Caret then (
+    advance st;
+    E_arith (Pow, lhs, parse_pow st))
+  else lhs
+
+and parse_unary st =
+  match cur st with
+  | Lexer.Minus ->
+    advance st;
+    E_neg (parse_unary st)
+  | Lexer.Plus ->
+    advance st;
+    parse_unary st
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_atom st in
+  let rec loop e =
+    match cur st with
+    | Lexer.Lbrace ->
+      (* map projection: expr { .key, .*, key: expr, var } *)
+      advance st;
+      let rec items acc =
+        let item =
+          match cur st with
+          | Lexer.Dot ->
+            advance st;
+            if cur st = Lexer.Star then (
+              advance st;
+              Mp_all_properties)
+            else Mp_property (ident st)
+          | _ ->
+            let name = ident st in
+            if cur st = Lexer.Colon then (
+              advance st;
+              Mp_literal (name, parse_expr st))
+            else Mp_variable name
+        in
+        let acc = item :: acc in
+        if cur st = Lexer.Comma then (
+          advance st;
+          items acc)
+        else (
+          eat st Lexer.Rbrace;
+          List.rev acc)
+      in
+      let its = if cur st = Lexer.Rbrace then (advance st; []) else items [] in
+      loop (E_map_projection (e, its))
+    | Lexer.Dot ->
+      advance st;
+      loop (E_prop (e, ident st))
+    | Lexer.Lbracket ->
+      advance st;
+      (* index or slice *)
+      if cur st = Lexer.Dotdot then (
+        advance st;
+        if cur st = Lexer.Rbracket then (
+          advance st;
+          loop (E_slice (e, None, None)))
+        else
+          let hi = parse_expr st in
+          eat st Lexer.Rbracket;
+          loop (E_slice (e, None, Some hi)))
+      else
+        let first = parse_expr st in
+        if cur st = Lexer.Dotdot then (
+          advance st;
+          if cur st = Lexer.Rbracket then (
+            advance st;
+            loop (E_slice (e, Some first, None)))
+          else
+            let hi = parse_expr st in
+            eat st Lexer.Rbracket;
+            loop (E_slice (e, Some first, Some hi)))
+        else (
+          eat st Lexer.Rbracket;
+          loop (E_index (e, first)))
+    | _ -> e
+  in
+  loop e
+
+and parse_atom st =
+  match cur st with
+  | Lexer.Int_lit i ->
+    advance st;
+    E_lit (L_int i)
+  | Lexer.Float_lit f ->
+    advance st;
+    E_lit (L_float f)
+  | Lexer.String_lit s ->
+    advance st;
+    E_lit (L_string s)
+  | Lexer.Param p ->
+    advance st;
+    E_param p
+  | Lexer.Lbrace -> E_map (parse_map_entries st)
+  | Lexer.Lbracket -> parse_list_or_comprehension st
+  | Lexer.Lparen -> parse_paren_or_pattern st
+  | Lexer.Ident _ when at_kw st "CASE" -> parse_case st
+  | Lexer.Ident name -> (
+    match peek_at st 1 with
+    | Lexer.Lparen -> parse_call st name
+    | _ ->
+      advance st;
+      (match String.uppercase_ascii name with
+      | "NULL" -> E_lit L_null
+      | "TRUE" -> E_lit (L_bool true)
+      | "FALSE" -> E_lit (L_bool false)
+      | _ -> E_var name))
+  | tok -> error st "expected an expression, found %a" Lexer.pp_token tok
+
+and parse_map_entries st =
+  eat st Lexer.Lbrace;
+  if cur st = Lexer.Rbrace then (
+    advance st;
+    [])
+  else
+    let rec entries acc =
+      let key =
+        match cur st with
+        | Lexer.String_lit s ->
+          advance st;
+          s
+        | _ -> ident st
+      in
+      eat st Lexer.Colon;
+      let v = parse_expr st in
+      let acc = (key, v) :: acc in
+      if cur st = Lexer.Comma then (
+        advance st;
+        entries acc)
+      else (
+        eat st Lexer.Rbrace;
+        List.rev acc)
+    in
+    entries []
+
+and parse_list_or_comprehension st =
+  eat st Lexer.Lbracket;
+  if cur st = Lexer.Rbracket then (
+    advance st;
+    E_list [])
+  else
+    (* Pattern comprehension: [ (a)-->(b) WHERE p | body ] *)
+    let pattern_comp =
+      if cur st = Lexer.Lparen then
+        attempt st (fun st ->
+            let p = parse_anon_pattern st in
+            if p.pp_rest = [] then error st "not a pattern comprehension";
+            let where =
+              if try_kw st "WHERE" then Some (parse_expr st) else None
+            in
+            eat st Lexer.Pipe;
+            let body = parse_expr st in
+            eat st Lexer.Rbracket;
+            E_pattern_comp { pc_pattern = p; pc_where = where; pc_body = body })
+      else None
+    in
+    match pattern_comp with
+    | Some e -> e
+    | None ->
+    (* Lookahead for a comprehension: Ident IN ... *)
+    let comp =
+      match cur st, peek_at st 1 with
+      | Lexer.Ident _, tok when is_kw_tok tok "IN" ->
+        attempt st (fun st ->
+            let v = ident st in
+            (* [false IN xs] is a one-element list, not a comprehension
+               binding a variable named false *)
+            if List.mem (String.uppercase_ascii v) reserved_in_patterns then
+              error st "%s cannot be a comprehension variable" v;
+            eat_kw st "IN";
+            let src = parse_expr st in
+            let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+            let body =
+              if cur st = Lexer.Pipe then (
+                advance st;
+                Some (parse_expr st))
+              else None
+            in
+            eat st Lexer.Rbracket;
+            E_list_comp { lc_var = v; lc_source = src; lc_where = where; lc_body = body })
+      | _ -> None
+    in
+    match comp with
+    | Some e -> e
+    | None ->
+      let rec elems acc =
+        let e = parse_expr st in
+        let acc = e :: acc in
+        if cur st = Lexer.Comma then (
+          advance st;
+          elems acc)
+        else (
+          eat st Lexer.Rbracket;
+          E_list (List.rev acc))
+      in
+      elems []
+
+and parse_paren_or_pattern st =
+  (* A parenthesized sub-expression or a pattern predicate such as
+     (a)-[:KNOWS]->(b).  Try the pattern first (requiring either at least
+     one relationship hop or node decoration, so that plain (e) stays an
+     expression); fall back to a parenthesized expression. *)
+  let pattern =
+    attempt st (fun st ->
+        let p = parse_anon_pattern st in
+        let decorated =
+          p.pp_rest <> []
+          || p.pp_first.np_labels <> []
+          || p.pp_first.np_props <> []
+        in
+        if decorated then E_pattern_pred p else error st "not a pattern")
+  in
+  match pattern with
+  | Some e -> e
+  | None ->
+    eat st Lexer.Lparen;
+    let e = parse_expr st in
+    eat st Lexer.Rparen;
+    e
+
+and parse_case st =
+  eat_kw st "CASE";
+  let subject = if at_kw st "WHEN" then None else Some (parse_expr st) in
+  let rec branches acc =
+    if try_kw st "WHEN" then (
+      let w = parse_expr st in
+      eat_kw st "THEN";
+      let t = parse_expr st in
+      branches ((w, t) :: acc))
+    else List.rev acc
+  in
+  let bs = branches [] in
+  if bs = [] then error st "CASE requires at least one WHEN branch";
+  let default = if try_kw st "ELSE" then Some (parse_expr st) else None in
+  eat_kw st "END";
+  E_case { case_subject = subject; case_branches = bs; case_default = default }
+
+and parse_call st name =
+  advance st;
+  (* name *)
+  eat st Lexer.Lparen;
+  match String.lowercase_ascii name with
+  | "count" when cur st = Lexer.Star ->
+    advance st;
+    eat st Lexer.Rparen;
+    E_count_star
+  | "exists" -> (
+    (* exists(pattern) or exists(expr) *)
+    let pat =
+      attempt st (fun st ->
+          let p = parse_anon_pattern st in
+          if p.pp_rest = [] then error st "exists: not a pattern";
+          eat st Lexer.Rparen;
+          p)
+    in
+    match pat with
+    | Some p -> E_exists_pattern p
+    | None ->
+      let arg = parse_expr st in
+      eat st Lexer.Rparen;
+      E_fn ("exists", [ arg ]))
+  | "reduce" -> (
+    (* reduce(acc = init, x IN list | body) *)
+    let rd_acc = ident st in
+    eat st Lexer.Eq;
+    let rd_init = parse_expr st in
+    eat st Lexer.Comma;
+    let rd_var = ident st in
+    eat_kw st "IN";
+    let rd_list = parse_expr st in
+    eat st Lexer.Pipe;
+    let rd_body = parse_expr st in
+    eat st Lexer.Rparen;
+    E_reduce { rd_acc; rd_init; rd_var; rd_list; rd_body })
+  | "extract" | "filter" -> (
+    (* Cypher 9 sugar for list comprehensions:
+       extract(x IN xs | e)  =  [x IN xs | e]
+       filter(x IN xs WHERE p)  =  [x IN xs WHERE p] *)
+    let v = ident st in
+    eat_kw st "IN";
+    let src = parse_expr st in
+    let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+    let body =
+      if cur st = Lexer.Pipe then (
+        advance st;
+        Some (parse_expr st))
+      else None
+    in
+    eat st Lexer.Rparen;
+    E_list_comp { lc_var = v; lc_source = src; lc_where = where; lc_body = body })
+  | _ -> (
+    match quantifier_of_name name with
+    | Some q when (match cur st, peek_at st 1 with
+                  | Lexer.Ident _, tok -> is_kw_tok tok "IN"
+                  | _ -> false) ->
+      let v = ident st in
+      eat_kw st "IN";
+      let src = parse_expr st in
+      eat_kw st "WHERE";
+      let pred = parse_expr st in
+      eat st Lexer.Rparen;
+      E_quantified (q, v, src, pred)
+    | _ -> (
+      let distinct = try_kw st "DISTINCT" in
+      let args =
+        if cur st = Lexer.Rparen then []
+        else
+          let rec go acc =
+            let e = parse_expr st in
+            if cur st = Lexer.Comma then (
+              advance st;
+              go (e :: acc))
+            else List.rev (e :: acc)
+          in
+          go []
+      in
+      eat st Lexer.Rparen;
+      match String.lowercase_ascii name, args with
+      | "percentilecont", [ v; p ] -> E_agg_percentile (true, distinct, v, p)
+      | "percentiledisc", [ v; p ] -> E_agg_percentile (false, distinct, v, p)
+      | ("percentilecont" | "percentiledisc"), _ ->
+        error st "%s expects exactly two arguments" name
+      | _ ->
+      match aggregate_of_name name, args with
+      | Some agg, [ arg ] -> E_agg (agg, distinct, arg)
+      | Some _, _ when distinct ->
+        error st "%s: DISTINCT requires exactly one argument" name
+      | Some agg, _ when String.lowercase_ascii name = "min" || String.lowercase_ascii name = "max" ->
+        (* min/max with several args would be the scalar function; keep
+           the aggregate interpretation for one argument only. *)
+        ignore agg;
+        E_fn (String.lowercase_ascii name, args)
+      | Some _, _ -> error st "%s: expected exactly one argument" name
+      | None, _ ->
+        if distinct then error st "%s: DISTINCT is only valid in aggregates" name;
+        E_fn (String.lowercase_ascii name, args)))
+
+(* ------------------------------------------------------------------ *)
+(* Patterns (Figure 3)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and parse_node_pattern st =
+  eat st Lexer.Lparen;
+  let name =
+    match cur st with
+    | Lexer.Ident s ->
+      if List.mem (String.uppercase_ascii s) reserved_in_patterns then
+        error st "%s cannot name a node in a pattern" s
+      else (
+        advance st;
+        Some s)
+    | _ -> None
+  in
+  let labels = ref [] in
+  while cur st = Lexer.Colon do
+    advance st;
+    labels := ident st :: !labels
+  done;
+  let props =
+    if cur st = Lexer.Lbrace then parse_map_entries st
+    else if (match cur st with Lexer.Param _ -> true | _ -> false) then
+      error st "parameter property maps in patterns are not supported"
+    else []
+  in
+  eat st Lexer.Rparen;
+  { np_name = name; np_labels = List.rev !labels; np_props = props }
+
+and parse_len_range st =
+  (* after '*' *)
+  match cur st with
+  | Lexer.Int_lit m -> (
+    advance st;
+    if cur st = Lexer.Dotdot then (
+      advance st;
+      match cur st with
+      | Lexer.Int_lit n ->
+        advance st;
+        { len_min = Some m; len_max = Some n }
+      | _ -> { len_min = Some m; len_max = None })
+    else { len_min = Some m; len_max = Some m })
+  | Lexer.Dotdot -> (
+    advance st;
+    match cur st with
+    | Lexer.Int_lit n ->
+      advance st;
+      { len_min = None; len_max = Some n }
+    | _ -> error st "expected an integer after '..' in a length range")
+  | _ -> { len_min = None; len_max = None }
+
+and parse_rel_detail st =
+  (* inside [ ... ] *)
+  eat st Lexer.Lbracket;
+  let name =
+    match cur st with
+    | Lexer.Ident s ->
+      advance st;
+      Some s
+    | _ -> None
+  in
+  let types = ref [] in
+  if cur st = Lexer.Colon then (
+    advance st;
+    types := [ ident st ];
+    while cur st = Lexer.Pipe do
+      advance st;
+      if cur st = Lexer.Colon then advance st;
+      types := ident st :: !types
+    done);
+  let len =
+    if cur st = Lexer.Star then (
+      advance st;
+      Some (parse_len_range st))
+    else None
+  in
+  let props = if cur st = Lexer.Lbrace then parse_map_entries st else [] in
+  eat st Lexer.Rbracket;
+  (name, List.rev !types, len, props)
+
+and parse_rel_pattern st =
+  match cur st with
+  | Lexer.Lt ->
+    advance st;
+    eat st Lexer.Minus;
+    let name, types, len, props =
+      if cur st = Lexer.Lbracket then parse_rel_detail st else (None, [], None, [])
+    in
+    eat st Lexer.Minus;
+    if cur st = Lexer.Gt then error st "a relationship cannot point both ways";
+    { rp_dir = Right_to_left; rp_name = name; rp_types = types;
+      rp_props = props; rp_len = len }
+  | Lexer.Minus ->
+    advance st;
+    let name, types, len, props =
+      if cur st = Lexer.Lbracket then parse_rel_detail st else (None, [], None, [])
+    in
+    eat st Lexer.Minus;
+    let dir =
+      if cur st = Lexer.Gt then (
+        advance st;
+        Left_to_right)
+      else Undirected
+    in
+    { rp_dir = dir; rp_name = name; rp_types = types; rp_props = props;
+      rp_len = len }
+  | tok -> error st "expected a relationship pattern, found %a" Lexer.pp_token tok
+
+and parse_anon_pattern st =
+  let first = parse_node_pattern st in
+  let rec hops acc =
+    match cur st with
+    | Lexer.Minus | Lexer.Lt ->
+      let rp = parse_rel_pattern st in
+      let np = parse_node_pattern st in
+      hops ((rp, np) :: acc)
+    | _ -> List.rev acc
+  in
+  { pp_name = None; pp_first = first; pp_rest = hops []; pp_shortest = No_shortest }
+
+and parse_maybe_shortest st =
+  match cur st with
+  | Lexer.Ident name
+    when (String.lowercase_ascii name = "shortestpath"
+         || String.lowercase_ascii name = "allshortestpaths")
+         && peek_at st 1 = Lexer.Lparen ->
+    let mode =
+      if String.lowercase_ascii name = "shortestpath" then Shortest
+      else All_shortest
+    in
+    advance st;
+    eat st Lexer.Lparen;
+    let p = parse_anon_pattern st in
+    eat st Lexer.Rparen;
+    if List.length p.pp_rest <> 1 then
+      error st "%s requires a single-relationship pattern" name;
+    { p with pp_shortest = mode }
+  | _ -> parse_anon_pattern st
+
+and parse_pattern st =
+  (* [name =] [shortestPath(...)] anonymous_pattern *)
+  match cur st, peek_at st 1 with
+  | Lexer.Ident name, Lexer.Eq ->
+    advance st;
+    advance st;
+    let p = parse_maybe_shortest st in
+    { p with pp_name = Some name }
+  | _ -> parse_maybe_shortest st
+
+and parse_pattern_tuple st =
+  let rec go acc =
+    let p = parse_pattern st in
+    if cur st = Lexer.Comma then (
+      advance st;
+      go (p :: acc))
+    else List.rev (p :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Clauses and queries                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ret_items st =
+  let star = ref false in
+  let items = ref [] in
+  let one () =
+    if cur st = Lexer.Star && !items = [] && not !star then star := true
+    else begin
+      let e = parse_expr st in
+      let alias = if try_kw st "AS" then Some (ident st) else None in
+      items := { ri_expr = e; ri_alias = alias } :: !items
+    end
+  in
+  (if cur st = Lexer.Star then (
+     advance st;
+     star := true)
+   else one ());
+  while cur st = Lexer.Comma do
+    advance st;
+    one ()
+  done;
+  (!star, List.rev !items)
+
+let parse_order_by st =
+  if try_kw st "ORDER" then (
+    eat_kw st "BY";
+    let one () =
+      let e = parse_expr st in
+      let dir =
+        if try_kw st "DESC" || try_kw st "DESCENDING" then Desc
+        else if try_kw st "ASC" || try_kw st "ASCENDING" then Asc
+        else Asc
+      in
+      (e, dir)
+    in
+    let rec go acc =
+      let x = one () in
+      if cur st = Lexer.Comma then (
+        advance st;
+        go (x :: acc))
+      else List.rev (x :: acc)
+    in
+    go [])
+  else []
+
+let parse_projection st =
+  let distinct = try_kw st "DISTINCT" in
+  let star, items = parse_ret_items st in
+  let order_by = parse_order_by st in
+  let skip = if try_kw st "SKIP" then Some (parse_expr st) else None in
+  let limit = if try_kw st "LIMIT" then Some (parse_expr st) else None in
+  {
+    pj_distinct = distinct;
+    pj_star = star;
+    pj_items = items;
+    pj_order_by = order_by;
+    pj_skip = skip;
+    pj_limit = limit;
+  }
+
+let parse_set_item st =
+  match cur st, peek_at st 1 with
+  | Lexer.Ident a, Lexer.Eq ->
+    advance st;
+    advance st;
+    S_all_props (a, parse_expr st)
+  | Lexer.Ident a, Lexer.Plus_eq ->
+    advance st;
+    advance st;
+    S_merge_props (a, parse_expr st)
+  | Lexer.Ident a, Lexer.Colon ->
+    advance st;
+    let labels = ref [] in
+    while cur st = Lexer.Colon do
+      advance st;
+      labels := ident st :: !labels
+    done;
+    S_labels (a, List.rev !labels)
+  | _ -> (
+    let e = parse_postfix st in
+    match e with
+    | E_prop (target, k) ->
+      eat st Lexer.Eq;
+      S_prop (target, k, parse_expr st)
+    | _ -> error st "SET: expected variable.property, variable or variable:Label")
+
+let parse_set_items st =
+  let rec go acc =
+    let item = parse_set_item st in
+    if cur st = Lexer.Comma then (
+      advance st;
+      go (item :: acc))
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_remove_item st =
+  match cur st, peek_at st 1 with
+  | Lexer.Ident a, Lexer.Colon ->
+    advance st;
+    let labels = ref [] in
+    while cur st = Lexer.Colon do
+      advance st;
+      labels := ident st :: !labels
+    done;
+    R_labels (a, List.rev !labels)
+  | _ -> (
+    let e = parse_postfix st in
+    match e with
+    | E_prop (target, k) -> R_prop (target, k)
+    | _ -> error st "REMOVE: expected variable.property or variable:Label")
+
+let parse_remove_items st =
+  let rec go acc =
+    let item = parse_remove_item st in
+    if cur st = Lexer.Comma then (
+      advance st;
+      go (item :: acc))
+    else List.rev (item :: acc)
+  in
+  go []
+
+let rec parse_clauses st acc =
+  if try_kw st "OPTIONAL" then (
+    eat_kw st "MATCH";
+    let pattern = parse_pattern_tuple st in
+    let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+    parse_clauses st (C_match { opt = true; pattern; where } :: acc))
+  else if try_kw st "MATCH" then (
+    let pattern = parse_pattern_tuple st in
+    let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+    parse_clauses st (C_match { opt = false; pattern; where } :: acc))
+  else if try_kw st "WITH" then (
+    let proj = parse_projection st in
+    let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
+    parse_clauses st (C_with { proj; where } :: acc))
+  else if try_kw st "UNWIND" then (
+    let e = parse_expr st in
+    eat_kw st "AS";
+    let a = ident st in
+    parse_clauses st (C_unwind (e, a) :: acc))
+  else if try_kw st "CREATE" then (
+    let pattern = parse_pattern_tuple st in
+    parse_clauses st (C_create pattern :: acc))
+  else if try_kw st "DETACH" then (
+    eat_kw st "DELETE";
+    let exprs = parse_expr_list st in
+    parse_clauses st (C_delete { detach = true; exprs } :: acc))
+  else if try_kw st "DELETE" then (
+    let exprs = parse_expr_list st in
+    parse_clauses st (C_delete { detach = false; exprs } :: acc))
+  else if try_kw st "SET" then
+    parse_clauses st (C_set (parse_set_items st) :: acc)
+  else if try_kw st "REMOVE" then
+    parse_clauses st (C_remove (parse_remove_items st) :: acc)
+  else if try_kw st "CALL" then (
+    let rec qualified acc =
+      let part = ident st in
+      let acc = acc ^ part in
+      if cur st = Lexer.Dot then (
+        advance st;
+        qualified (acc ^ "."))
+      else acc
+    in
+    let proc = qualified "" in
+    let args =
+      if cur st = Lexer.Lparen then (
+        advance st;
+        if cur st = Lexer.Rparen then (
+          advance st;
+          [])
+        else
+          let rec go acc =
+            let e = parse_expr st in
+            if cur st = Lexer.Comma then (
+              advance st;
+              go (e :: acc))
+            else (
+              eat st Lexer.Rparen;
+              List.rev (e :: acc))
+          in
+          go [])
+      else []
+    in
+    let yield_ =
+      if try_kw st "YIELD" then
+        let rec go acc =
+          let c = ident st in
+          let alias = if try_kw st "AS" then Some (ident st) else None in
+          let acc = (c, alias) :: acc in
+          if cur st = Lexer.Comma then (
+            advance st;
+            go acc)
+          else List.rev acc
+        in
+        go []
+      else []
+    in
+    let call = C_call { proc; args; yield_ } in
+    (* CALL ... YIELD ... WHERE expr desugars to a star-projection with a
+       filter, as real Cypher treats the post-YIELD WHERE *)
+    if yield_ <> [] && at_kw st "WHERE" then (
+      eat_kw st "WHERE";
+      let where = Some (parse_expr st) in
+      let star_proj =
+        {
+          pj_distinct = false;
+          pj_star = true;
+          pj_items = [];
+          pj_order_by = [];
+          pj_skip = None;
+          pj_limit = None;
+        }
+      in
+      parse_clauses st (C_with { proj = star_proj; where } :: call :: acc))
+    else parse_clauses st (call :: acc))
+  else if try_kw st "FOREACH" then (
+    eat st Lexer.Lparen;
+    let fe_var = ident st in
+    eat_kw st "IN";
+    let fe_list = parse_expr st in
+    eat st Lexer.Pipe;
+    let fe_clauses = parse_clauses st [] in
+    if fe_clauses = [] then
+      error st "FOREACH requires at least one update clause";
+    List.iter
+      (function
+        | C_create _ | C_delete _ | C_set _ | C_remove _ | C_merge _
+        | C_foreach _ ->
+          ()
+        | _ -> error st "FOREACH may only contain update clauses")
+      fe_clauses;
+    eat st Lexer.Rparen;
+    parse_clauses st (C_foreach { fe_var; fe_list; fe_clauses } :: acc))
+  else if try_kw st "MERGE" then (
+    let pattern = parse_pattern st in
+    let on_create = ref [] and on_match = ref [] in
+    let rec on_clauses () =
+      if try_kw st "ON" then (
+        if try_kw st "CREATE" then (
+          eat_kw st "SET";
+          on_create := !on_create @ parse_set_items st)
+        else (
+          eat_kw st "MATCH";
+          eat_kw st "SET";
+          on_match := !on_match @ parse_set_items st);
+        on_clauses ())
+    in
+    on_clauses ();
+    parse_clauses st
+      (C_merge { pattern; on_create = !on_create; on_match = !on_match } :: acc))
+  else List.rev acc
+
+and parse_expr_list st =
+  let rec go acc =
+    let e = parse_expr st in
+    if cur st = Lexer.Comma then (
+      advance st;
+      go (e :: acc))
+    else List.rev (e :: acc)
+  in
+  go []
+
+let parse_single_query st =
+  let clauses = parse_clauses st [] in
+  let ret =
+    if try_kw st "RETURN" then Some (parse_projection st) else None
+  in
+  if clauses = [] && ret = None then
+    error st "expected a query clause, found %a" Lexer.pp_token (cur st);
+  { sq_clauses = clauses; sq_return = ret }
+
+let rec parse_query_tokens st =
+  let q = Q_single (parse_single_query st) in
+  let rec unions q =
+    if try_kw st "UNION" then
+      if try_kw st "ALL" then
+        unions (Q_union_all (q, Q_single (parse_single_query st)))
+      else unions (Q_union (q, Q_single (parse_single_query st)))
+    else q
+  in
+  let q = unions q in
+  ignore parse_query_tokens;
+  q
+
+let make_state src = { tokens = Lexer.tokenize src; idx = 0 }
+
+let finish st v =
+  if cur st <> Lexer.Eof then
+    error st "unexpected trailing input: %a" Lexer.pp_token (cur st)
+  else v
+
+let parse_query_exn src =
+  let st = make_state src in
+  finish st (parse_query_tokens st)
+
+let parse_query src =
+  match parse_query_exn src with
+  | q -> Ok q
+  | exception Parse_error (msg, pos) ->
+    Error (Format.asprintf "line %d, column %d: %s" pos.line pos.col msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Format.asprintf "line %d, column %d: %s" pos.line pos.col msg)
+
+let parse_expr_exn src =
+  let st = make_state src in
+  finish st (parse_expr st)
+
+let parse_pattern_exn src =
+  let st = make_state src in
+  finish st (parse_pattern_tuple st)

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the Cypher surface syntax of Figures 3
+    and 5, extended with the update clauses of Section 2 and the usual
+    RETURN/WITH modifiers (DISTINCT, ORDER BY, SKIP, LIMIT).
+
+    The concrete grammar follows openCypher; keywords are case
+    insensitive and contextual. *)
+
+open Cypher_ast
+
+exception Parse_error of string * Lexer.position
+
+val parse_query : string -> (Ast.query, string) result
+(** Parses a complete query.  The error string includes the 1-based line
+    and column of the offending token. *)
+
+val parse_query_exn : string -> Ast.query
+
+val parse_expr_exn : string -> Ast.expr
+(** Parses a standalone expression (for tests and the REPL). *)
+
+val parse_pattern_exn : string -> Ast.path_pattern list
+(** Parses a standalone pattern tuple (for tests). *)

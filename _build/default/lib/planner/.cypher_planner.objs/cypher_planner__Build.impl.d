@@ -1,0 +1,1 @@
+lib/planner/build.ml: Array Ast Cypher_ast Cypher_graph Cypher_semantics Float Format List Plan Printf Set Stats String

@@ -1,0 +1,1 @@
+lib/planner/build.mli: Ast Cypher_ast Cypher_graph Plan Stats

@@ -1,0 +1,1 @@
+lib/planner/cost.ml: Cypher_ast Cypher_graph Float Format List Plan Printf Stats

@@ -1,0 +1,1 @@
+lib/planner/cost.mli: Cypher_graph Plan Stats

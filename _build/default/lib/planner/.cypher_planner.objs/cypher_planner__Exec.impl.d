@@ -1,0 +1,1 @@
+lib/planner/exec.ml: Agg Cypher_graph Cypher_semantics Cypher_table Cypher_values Eval Fun Functions Graph Hashtbl Ids List Option Plan Record Seq Table Ternary Value

@@ -1,0 +1,1 @@
+lib/planner/exec.mli: Config Cypher_graph Cypher_semantics Cypher_table Graph Plan Record Seq Table

@@ -1,0 +1,1 @@
+lib/planner/plan.ml: Cypher_ast Cypher_semantics Format List Printf String

@@ -1,0 +1,1 @@
+lib/planner/plan.mli: Cypher_ast Cypher_semantics Format

@@ -1,0 +1,103 @@
+open Cypher_graph
+
+type estimate = { rows : float; cost : float }
+
+let filter_selectivity = 0.5
+
+let dir_to_expand = function
+  | Plan.Out -> `Out
+  | Plan.In -> `In
+  | Plan.Both -> `Both
+
+(* Expected output rows of one operator given the input row estimate. *)
+let rec rows_of stats plan : float =
+  let input_rows p =
+    match Plan.input_of p with Some i -> rows_of stats i | None -> 1.
+  in
+  match plan with
+  | Plan.Argument -> 1.
+  | Plan.All_nodes_scan _ -> input_rows plan *. Stats.node_count stats
+  | Plan.Node_by_label_scan { label; _ } ->
+    input_rows plan *. Float.max 1. (Stats.label_cardinality stats label)
+  | Plan.Rel_type_scan { types; dir; _ } ->
+    let per_type t = Stats.rel_count stats *. Stats.type_selectivity stats t in
+    let total = List.fold_left (fun acc t -> acc +. per_type t) 0. types in
+    let total = if dir = Plan.Both then 2. *. total else total in
+    input_rows plan *. Float.max 1. total
+  | Plan.Node_index_seek { label; _ } ->
+    input_rows plan
+    *. Float.max 1.
+         (Stats.label_cardinality stats label *. Stats.prop_selectivity stats)
+  | Plan.Expand { dir; types; _ } ->
+    input_rows plan
+    *. Float.max 0.1
+         (Stats.estimate_expand stats ~direction:(dir_to_expand dir)
+            ~rel_types:types)
+  | Plan.Var_expand { dir; types; min_len; max_len; _ } ->
+    let fanout =
+      Float.max 0.1
+        (Stats.estimate_expand stats ~direction:(dir_to_expand dir)
+           ~rel_types:types)
+    in
+    let max_len =
+      match max_len with
+      | Some n -> n
+      | None -> int_of_float (Float.min 8. (Stats.rel_count stats))
+    in
+    (* geometric sum of fanout^k for k in [min_len, max_len] *)
+    let rec sum k acc pow =
+      if k > max_len then acc
+      else
+        let pow = pow *. fanout in
+        sum (k + 1) (if k >= min_len then acc +. pow else acc) pow
+    in
+    input_rows plan *. Float.max 0.1 (sum 1 (if min_len = 0 then 1. else 0.) 1.)
+  | Plan.Filter _ -> input_rows plan *. filter_selectivity
+  | Plan.Project _ | Plan.Project_path _ -> input_rows plan
+  | Plan.Aggregate { keys; _ } ->
+    if keys = [] then 1. else Float.max 1. (sqrt (input_rows plan))
+  | Plan.Distinct _ -> Float.max 1. (input_rows plan *. 0.8)
+  | Plan.Sort _ -> input_rows plan
+  | Plan.Skip_rows _ -> Float.max 0. (input_rows plan -. 1.)
+  | Plan.Limit_rows { count; _ } -> (
+    match count with
+    | Cypher_ast.Ast.E_lit (Cypher_ast.Ast.L_int n) ->
+      Float.min (float_of_int n) (input_rows plan)
+    | _ -> Float.min 10. (input_rows plan))
+  | Plan.Unwind _ ->
+    (* lists are assumed small *)
+    input_rows plan *. 5.
+  | Plan.Optional { inner; _ } ->
+    (* at least one row per driving row *)
+    Float.max (input_rows plan) (input_rows plan *. rows_of stats inner)
+  | Plan.Rel_uniqueness _ -> input_rows plan *. 0.9
+
+and cost_of stats plan : float =
+  let self = rows_of stats plan in
+  let child_cost =
+    match Plan.input_of plan with Some i -> cost_of stats i | None -> 0.
+  in
+  let inner_cost =
+    match plan with
+    | Plan.Optional { inner; input; _ } ->
+      rows_of stats input *. cost_of stats inner
+    | _ -> 0.
+  in
+  child_cost +. inner_cost +. self
+
+let estimate stats plan = { rows = rows_of stats plan; cost = cost_of stats plan }
+
+let annotate stats plan =
+  let rec collect plan acc =
+    let acc = (plan, estimate stats plan) :: acc in
+    match Plan.input_of plan with
+    | Some input -> collect input acc
+    | None -> acc
+  in
+  List.rev (collect plan [])
+
+let explain_with_estimates stats plan =
+  Format.asprintf "%a"
+    (Plan.pp_annotated ~annotate:(fun node ->
+         Printf.sprintf "  (est. %.1f rows)" (rows_of stats node)))
+    plan

@@ -1,0 +1,23 @@
+(** Cardinality and cost estimation for physical plans.
+
+    The estimates drive nothing at execution time (the greedy ordering in
+    {!Build} uses {!Stats} directly); they annotate EXPLAIN output the
+    way cost-based engines do, and they are tested against the actual row
+    counts on known graphs to keep the model honest. *)
+
+open Cypher_graph
+
+type estimate = {
+  rows : float;  (** expected output rows *)
+  cost : float;  (** accumulated work: sum over operators of rows processed *)
+}
+
+val estimate : Stats.t -> Plan.t -> estimate
+(** Estimate for the plan's root (input assumed to be the unit table). *)
+
+val annotate : Stats.t -> Plan.t -> (Plan.t * estimate) list
+(** The operators of the plan (leaf last, matching {!Plan.pp} order)
+    paired with their estimates. *)
+
+val explain_with_estimates : Stats.t -> Plan.t -> string
+(** {!Plan.pp} output with estimated rows per operator appended. *)

@@ -1,0 +1,376 @@
+open Cypher_values
+open Cypher_graph
+open Cypher_table
+open Cypher_semantics
+
+let eval_error = Functions.eval_error
+
+let node_of row var =
+  match Record.find row var with
+  | Some (Value.Node n) -> Some n
+  | Some Value.Null | None -> None
+  | Some v ->
+    eval_error "expand: %s is bound to %s, not a node" var (Value.type_name v)
+
+(* Binds [var] to [v] in [row], or keeps the row only when the existing
+   binding agrees (Expand-into behaviour). *)
+let bind_or_check row var v =
+  match Record.find row var with
+  | None -> Some (Record.add row var v)
+  | Some v0 -> if Value.equal_total v0 v then Some row else None
+
+let seq_filter_map_concat f seq = Seq.concat_map f seq
+
+let expand_candidates g ~scan_rels ~dir n =
+  if not scan_rels then
+    match dir with
+    | Plan.Out -> List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g n)
+    | Plan.In -> List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g n)
+    | Plan.Both ->
+      List.map (fun r -> (r, Graph.other_end g r n)) (Graph.all_rels_of g n)
+  else
+    (* Baseline without adjacency locality: scan every relationship in
+       the graph and keep the incident ones. *)
+    List.filter_map
+      (fun r ->
+        let s = Graph.src g r and t = Graph.tgt g r in
+        match dir with
+        | Plan.Out -> if Ids.equal_node s n then Some (r, t) else None
+        | Plan.In -> if Ids.equal_node t n then Some (r, s) else None
+        | Plan.Both ->
+          if Ids.equal_node s n then Some (r, t)
+          else if Ids.equal_node t n then Some (r, s)
+          else None)
+      (Graph.rels g)
+
+(* A sequence whose computation is deferred until first demanded. *)
+let delayed (f : unit -> 'a Seq.t) : 'a Seq.t = fun () -> f () ()
+
+(* Bag grouping over plain record lists (rows out of different operator
+   branches need not be uniform, so this bypasses Table's field check). *)
+let group_rows rows ~key =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = key row in
+      let h = Hashtbl.hash (List.map Value.hash k) in
+      let bucket = try Hashtbl.find tbl h with Not_found -> [] in
+      match
+        List.find_opt (fun (k', _) -> List.equal Value.equal_total k k') bucket
+      with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+        let cell = ref [ row ] in
+        Hashtbl.replace tbl h ((k, cell) :: bucket);
+        order := (k, cell) :: !order)
+    rows;
+  List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !order
+
+let rel_ids_of_binding row = function
+  | Plan.Single_rel var -> (
+    match Record.find row var with
+    | Some (Value.Rel r) -> [ r ]
+    | _ -> [])
+  | Plan.Rel_list var -> (
+    match Record.find row var with
+    | Some (Value.List vs) ->
+      List.filter_map (function Value.Rel r -> Some r | _ -> None) vs
+    | _ -> [])
+
+(* Observation hook for PROFILE: when set, every row produced by every
+   operator is reported.  The hook is dynamically scoped around a fully
+   materialised profiled run, so laziness cannot leak rows outside it. *)
+let observer : (Plan.t -> unit) option ref = ref None
+
+let rec rows cfg g plan arg =
+  let produced = rows_body cfg g plan arg in
+  match !observer with
+  | None -> produced
+  | Some obs ->
+    Seq.map
+      (fun row ->
+        obs plan;
+        row)
+      produced
+
+and rows_body cfg g plan arg =
+  match plan with
+  | Plan.Argument -> arg
+  | Plan.All_nodes_scan { var; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match Record.find row var with
+        | Some (Value.Node n) when Graph.mem_node g n -> Seq.return row
+        | Some _ -> Seq.empty
+        | None ->
+          Seq.map
+            (fun n -> Record.add row var (Value.Node n))
+            (List.to_seq (Graph.nodes g)))
+      (rows cfg g input arg)
+  | Plan.Rel_type_scan { rel; types; from_; to_; dir; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        let rels = List.concat_map (Graph.rels_with_type g) types in
+        let oriented =
+          match dir with
+          | Plan.Out ->
+            List.map (fun r -> (r, Graph.src g r, Graph.tgt g r)) rels
+          | Plan.In ->
+            List.map (fun r -> (r, Graph.tgt g r, Graph.src g r)) rels
+          | Plan.Both ->
+            List.concat_map
+              (fun r ->
+                let s = Graph.src g r and t = Graph.tgt g r in
+                if Ids.equal_node s t then [ (r, s, t) ]
+                else [ (r, s, t); (r, t, s) ])
+              rels
+        in
+        Seq.filter_map
+          (fun (r, a, b) ->
+            Option.bind (bind_or_check row rel (Value.Rel r)) (fun row ->
+                Option.bind (bind_or_check row from_ (Value.Node a)) (fun row ->
+                    bind_or_check row to_ (Value.Node b))))
+          (List.to_seq oriented))
+      (rows cfg g input arg)
+  | Plan.Node_index_seek { var; label; key; value; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        let v = Eval.eval_expr cfg g row value in
+        if Value.is_null v then Seq.empty
+        else
+          let hits =
+            try Graph.index_seek g ~label ~key v
+            with Not_found ->
+              (* index dropped between planning and execution: recover by
+                 scanning the label *)
+              List.filter
+                (fun n -> Value.equal_total (Graph.node_prop g n key) v)
+                (Graph.nodes_with_label g label)
+          in
+          match Record.find row var with
+          | Some (Value.Node n0) ->
+            if List.exists (Ids.equal_node n0) hits then Seq.return row
+            else Seq.empty
+          | Some _ -> Seq.empty
+          | None ->
+            Seq.map
+              (fun n -> Record.add row var (Value.Node n))
+              (List.to_seq hits))
+      (rows cfg g input arg)
+  | Plan.Node_by_label_scan { var; label; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match Record.find row var with
+        | Some (Value.Node n) when Graph.has_label g n label -> Seq.return row
+        | Some _ -> Seq.empty
+        | None ->
+          Seq.map
+            (fun n -> Record.add row var (Value.Node n))
+            (List.to_seq (Graph.nodes_with_label g label)))
+      (rows cfg g input arg)
+  | Plan.Expand { from_; rel; types; dir; to_; scan_rels; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match node_of row from_ with
+        | None -> Seq.empty
+        | Some n ->
+          let candidates = expand_candidates g ~scan_rels ~dir n in
+          Seq.filter_map
+            (fun (r, other) ->
+              if types <> [] && not (List.mem (Graph.rel_type g r) types) then
+                None
+              else
+                Option.bind (bind_or_check row rel (Value.Rel r)) (fun row ->
+                    bind_or_check row to_ (Value.Node other)))
+            (List.to_seq candidates))
+      (rows cfg g input arg)
+  | Plan.Var_expand { from_; rel; types; dir; min_len; max_len; to_; input } ->
+    let cap =
+      match max_len with Some n -> n | None -> Graph.rel_count g
+    in
+    seq_filter_map_concat
+      (fun row ->
+        match node_of row from_ with
+        | None -> Seq.empty
+        | Some n0 ->
+          let results = ref [] in
+          let rec seg used cur depth rels_rev =
+            if depth >= min_len then begin
+              let rel_list =
+                Value.List (List.rev_map (fun r -> Value.Rel r) rels_rev)
+              in
+              match
+                Option.bind (bind_or_check row rel rel_list) (fun row ->
+                    bind_or_check row to_ (Value.Node cur))
+              with
+              | Some row' -> results := row' :: !results
+              | None -> ()
+            end;
+            if depth < cap then
+              List.iter
+                (fun (r, other) ->
+                  if
+                    (not (Ids.Rel_set.mem r used))
+                    && (types = [] || List.mem (Graph.rel_type g r) types)
+                  then
+                    seg (Ids.Rel_set.add r used) other (depth + 1) (r :: rels_rev))
+                (expand_candidates g ~scan_rels:false ~dir cur)
+          in
+          seg Ids.Rel_set.empty n0 0 [];
+          List.to_seq (List.rev !results))
+      (rows cfg g input arg)
+  | Plan.Filter { pred; input } ->
+    Seq.filter
+      (fun row -> Ternary.is_true (Eval.eval_truth cfg g row pred))
+      (rows cfg g input arg)
+  | Plan.Project { items; input } ->
+    Seq.map
+      (fun row ->
+        Record.of_list
+          (List.map (fun (name, e) -> (name, Eval.eval_expr cfg g row e)) items))
+      (rows cfg g input arg)
+  | Plan.Aggregate { keys; aggs; input } ->
+    delayed
+      (fun () ->
+        let materialized = List.of_seq (rows cfg g input arg) in
+        let groups =
+          if keys = [] then [ ([], materialized) ]
+          else
+            group_rows materialized ~key:(fun row ->
+                List.map (fun (_, e) -> Eval.eval_expr cfg g row e) keys)
+        in
+        List.to_seq
+          (List.map
+             (fun (key_vals, group_rows) ->
+               let base =
+                 if keys = [] then Record.empty
+                 else
+                   Record.of_list
+                     (List.map2 (fun (name, _) v -> (name, v)) keys key_vals)
+               in
+               List.fold_left
+                 (fun acc (name, spec) ->
+                   Record.add acc name (Agg.compute cfg g group_rows spec))
+                 base aggs)
+             groups))
+  | Plan.Distinct { input } ->
+    let seen = Hashtbl.create 64 in
+    Seq.filter
+      (fun row ->
+        let h = Record.hash row in
+        let bucket = try Hashtbl.find seen h with Not_found -> [] in
+        if List.exists (Record.equal row) bucket then false
+        else (
+          Hashtbl.replace seen h (row :: bucket);
+          true))
+      (rows cfg g input arg)
+  | Plan.Sort { by; input } ->
+    delayed
+      (fun () ->
+        let materialized = List.of_seq (rows cfg g input arg) in
+        let compare_rows r1 r2 =
+          let rec go = function
+            | [] -> 0
+            | (e, d) :: rest ->
+              let c =
+                Value.compare_total (Eval.eval_expr cfg g r1 e)
+                  (Eval.eval_expr cfg g r2 e)
+              in
+              let c = match d with Plan.Asc -> c | Plan.Desc -> -c in
+              if c <> 0 then c else go rest
+          in
+          go by
+        in
+        List.to_seq (List.stable_sort compare_rows materialized))
+  | Plan.Skip_rows { count; input } ->
+    let n = eval_count cfg g "SKIP" count in
+    Seq.drop n (rows cfg g input arg)
+  | Plan.Limit_rows { count; input } ->
+    let n = eval_count cfg g "LIMIT" count in
+    Seq.take n (rows cfg g input arg)
+  | Plan.Unwind { expr; var; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match Eval.eval_expr cfg g row expr with
+        | Value.List vs ->
+          Seq.map (fun v -> Record.add row var v) (List.to_seq vs)
+        | Value.Null -> Seq.empty
+        | v -> Seq.return (Record.add row var v))
+      (rows cfg g input arg)
+  | Plan.Optional { inner; introduced; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        (* Only the bindings of the introduced variables are taken from
+           the inner rows; inner-internal variables must not leak, so
+           that the output rows stay uniform with the null-padded ones. *)
+        let produced =
+          Seq.map
+            (fun inner_row ->
+              Record.overlay row (Record.project inner_row introduced))
+            (rows cfg g inner (Seq.return row))
+        in
+        match produced () with
+        | Seq.Nil ->
+          let missing =
+            List.filter (fun a -> not (Record.mem row a)) introduced
+          in
+          Seq.return (Record.with_nulls row missing)
+        | Seq.Cons (first, rest) -> Seq.cons first rest)
+      (rows cfg g input arg)
+  | Plan.Rel_uniqueness { vars; input } ->
+    Seq.filter
+      (fun row ->
+        let ids = List.concat_map (rel_ids_of_binding row) vars in
+        let set = Ids.Rel_set.of_list ids in
+        Ids.Rel_set.cardinal set = List.length ids)
+      (rows cfg g input arg)
+  | Plan.Project_path { var; start_var; hops; input } ->
+    Seq.filter_map
+      (fun row ->
+        match node_of row start_var with
+        | None -> None
+        | Some start ->
+          let steps =
+            List.concat_map (rel_ids_of_binding row) hops
+            |> List.fold_left
+                 (fun (cur, acc) r ->
+                   let next = Graph.other_end g r cur in
+                   (next, (r, next) :: acc))
+                 (start, [])
+            |> snd |> List.rev
+          in
+          bind_or_check row var
+            (Value.Path { path_start = start; path_steps = steps }))
+      (rows cfg g input arg)
+
+and eval_count cfg g what e =
+  match Eval.eval_expr cfg g Record.empty e with
+  | Value.Int n -> n
+  | v -> eval_error "%s: expected an integer, got %s" what (Value.type_name v)
+
+let run cfg g ~fields plan table =
+  let out = rows cfg g plan (List.to_seq (Table.rows table)) in
+  Table.create ~fields (List.of_seq out)
+
+let run_profiled cfg g ~fields plan table =
+  let counts : (Plan.t * int ref) list ref = ref [] in
+  let obs node =
+    match List.find_opt (fun (p, _) -> p == node) !counts with
+    | Some (_, c) -> incr c
+    | None -> counts := (node, ref 1) :: !counts
+  in
+  observer := Some obs;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> observer := None)
+      (fun () ->
+        Table.create ~fields
+          (List.of_seq (rows cfg g plan (List.to_seq (Table.rows table)))))
+  in
+  let count node =
+    match List.find_opt (fun (p, _) -> p == node) !counts with
+    | Some (_, c) -> !c
+    | None -> 0
+  in
+  (result, count)

@@ -1,0 +1,25 @@
+(** Volcano-style tuple-at-a-time execution of physical plans.
+
+    Rows flow through the operator tree as a lazy sequence, so LIMIT
+    stops producing work upstream — the "simple tuple-at-a-time
+    iterator-based execution model" of the paper's Section 2. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_semantics
+
+val rows :
+  Config.t -> Graph.t -> Plan.t -> Record.t Seq.t -> Record.t Seq.t
+(** Executes the plan with the given argument rows. *)
+
+val run :
+  Config.t -> Graph.t -> fields:string list -> Plan.t -> Table.t -> Table.t
+(** Runs a plan against a driving table and materialises the result with
+    the given output fields. *)
+
+val run_profiled :
+  Config.t -> Graph.t -> fields:string list -> Plan.t -> Table.t ->
+  Table.t * (Plan.t -> int)
+(** Like {!run}, additionally counting the rows every operator produced
+    (PROFILE).  The returned function maps each operator of this plan
+    (by physical identity) to its actual row count. *)

@@ -1,0 +1,1 @@
+lib/procs/procs.ml: Cypher_algos Cypher_semantics Cypher_values List Value

@@ -1,0 +1,1 @@
+lib/procs/procs.mli:

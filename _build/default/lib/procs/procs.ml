@@ -1,0 +1,65 @@
+open Cypher_values
+module A = Cypher_algos.Algos
+module P = Cypher_semantics.Procedures
+
+let no_args name args =
+  if args <> [] then Cypher_semantics.Functions.eval_error "%s takes no arguments" name
+
+let () =
+  P.register "algo.pagerank" (fun g args ->
+      no_args "algo.pagerank" args;
+      {
+        P.columns = [ "node"; "score" ];
+        rows =
+          List.map
+            (fun (n, s) -> [ Value.Node n; Value.Float s ])
+            (A.pagerank g);
+      });
+  P.register "algo.wcc" (fun g args ->
+      no_args "algo.wcc" args;
+      {
+        P.columns = [ "node"; "component" ];
+        rows =
+          List.map
+            (fun (n, c) -> [ Value.Node n; Value.Int c ])
+            (A.weakly_connected_components g);
+      });
+  P.register "algo.scc" (fun g args ->
+      no_args "algo.scc" args;
+      {
+        P.columns = [ "node"; "component" ];
+        rows =
+          List.map
+            (fun (n, c) -> [ Value.Node n; Value.Int c ])
+            (A.strongly_connected_components g);
+      });
+  P.register "algo.bfs" (fun g args ->
+      match args with
+      | [ Value.Node start ] ->
+        {
+          P.columns = [ "node"; "distance" ];
+          rows =
+            List.map
+              (fun (n, d) -> [ Value.Node n; Value.Int d ])
+              (A.bfs_distances g ~from:start ());
+        }
+      | _ ->
+        Cypher_semantics.Functions.eval_error
+          "algo.bfs expects a single node argument");
+  P.register "algo.trianglecount" (fun g args ->
+      no_args "algo.triangleCount" args;
+      {
+        P.columns = [ "triangles" ];
+        rows = [ [ Value.Int (A.triangle_count g) ] ];
+      });
+  P.register "algo.degreehistogram" (fun g args ->
+      no_args "algo.degreeHistogram" args;
+      {
+        P.columns = [ "degree"; "count" ];
+        rows =
+          List.map
+            (fun (d, c) -> [ Value.Int d; Value.Int c ])
+            (A.degree_histogram g);
+      })
+
+let ensure () = ()

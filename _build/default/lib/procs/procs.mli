@@ -1,0 +1,14 @@
+(** Graph-algorithm procedures for CALL ... YIELD.
+
+    Registers into {!Cypher_semantics.Procedures}:
+    - [algo.pagerank()] yielding [node, score];
+    - [algo.wcc()] yielding [node, component];
+    - [algo.scc()] yielding [node, component];
+    - [algo.bfs(start)] yielding [node, distance] (start must be a node);
+    - [algo.triangleCount()] yielding [triangles];
+    - [algo.degreeHistogram()] yielding [degree, count].
+
+    The registration runs at module initialisation; {!ensure} forces the
+    module to link. *)
+
+val ensure : unit -> unit

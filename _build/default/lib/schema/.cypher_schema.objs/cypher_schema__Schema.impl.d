@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Buffer Cypher_engine Cypher_graph Cypher_values Format Graph Hashtbl Ids List Printf String Value

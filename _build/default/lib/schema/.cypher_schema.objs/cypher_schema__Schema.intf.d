@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Cypher_engine Cypher_graph Cypher_semantics Format Graph

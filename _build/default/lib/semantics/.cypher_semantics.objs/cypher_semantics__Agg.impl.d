@@ -1,0 +1,1 @@
+lib/semantics/agg.ml: Ast Cypher_ast Cypher_values Eval Float Hashtbl List Ops Option Printf Value

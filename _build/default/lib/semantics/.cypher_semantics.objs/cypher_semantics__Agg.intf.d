@@ -1,0 +1,1 @@
+lib/semantics/agg.mli: Ast Config Cypher_ast Cypher_graph Cypher_table Cypher_values Graph Record Value

@@ -1,0 +1,1 @@
+lib/semantics/clauses.ml: Agg Ast Cypher_ast Cypher_graph Cypher_table Cypher_values Eval Functions Graph Hashtbl List Option Procedures Record String Table Ternary Value

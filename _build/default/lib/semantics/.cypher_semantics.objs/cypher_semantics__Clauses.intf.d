@@ -1,0 +1,1 @@
+lib/semantics/clauses.mli: Ast Config Cypher_ast Cypher_graph Cypher_table Graph Table

@@ -1,0 +1,1 @@
+lib/semantics/config.ml: Cypher_values List Value

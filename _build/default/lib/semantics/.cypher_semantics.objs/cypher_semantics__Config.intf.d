@@ -1,0 +1,1 @@
+lib/semantics/config.mli: Cypher_values Value

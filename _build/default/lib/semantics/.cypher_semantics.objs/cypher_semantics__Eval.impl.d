@@ -1,0 +1,1 @@
+lib/semantics/eval.ml: Ast Config Cypher_ast Cypher_graph Cypher_table Cypher_temporal Cypher_values Functions Graph Hashtbl Ids List Ops Option Re Record String Temporal_functions Ternary Value

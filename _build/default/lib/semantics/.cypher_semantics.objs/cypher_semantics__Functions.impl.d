@@ -1,0 +1,1 @@
+lib/semantics/functions.ml: Buffer Cypher_graph Cypher_values Float Format Graph Hashtbl Ids List Ops String Value

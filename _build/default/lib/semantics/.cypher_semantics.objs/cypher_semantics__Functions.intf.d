@@ -1,0 +1,1 @@
+lib/semantics/functions.mli: Cypher_graph Cypher_values Format Graph Value

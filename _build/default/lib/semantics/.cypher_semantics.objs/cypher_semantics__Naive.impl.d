@@ -1,0 +1,1 @@
+lib/semantics/naive.ml: Ast Config Cypher_ast Cypher_graph Cypher_table Cypher_values Eval Functions Graph Ids List Option Record Ternary Value

@@ -1,0 +1,1 @@
+lib/semantics/naive.mli: Ast Config Cypher_ast Cypher_graph Cypher_table Cypher_values Graph Record

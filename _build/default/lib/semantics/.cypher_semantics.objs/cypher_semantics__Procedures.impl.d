@@ -1,0 +1,1 @@
+lib/semantics/procedures.ml: Cypher_graph Cypher_values Functions Graph Hashtbl List String Value

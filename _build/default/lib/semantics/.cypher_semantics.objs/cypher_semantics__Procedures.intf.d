@@ -1,0 +1,1 @@
+lib/semantics/procedures.mli: Cypher_graph Cypher_values Graph Value

@@ -1,0 +1,1 @@
+lib/semantics/scope_check.ml: Ast Clauses Cypher_ast List Option Printf Set String

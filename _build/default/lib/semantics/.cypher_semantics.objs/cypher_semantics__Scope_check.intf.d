@@ -1,0 +1,1 @@
+lib/semantics/scope_check.mli: Ast Cypher_ast

@@ -1,0 +1,1 @@
+lib/semantics/temporal_functions.ml: Cypher_temporal Cypher_values Format Functions Value

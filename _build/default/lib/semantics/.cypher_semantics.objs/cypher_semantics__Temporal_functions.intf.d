@@ -1,0 +1,1 @@
+lib/semantics/temporal_functions.mli:

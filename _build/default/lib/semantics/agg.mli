@@ -1,0 +1,35 @@
+(** Aggregation: the evaluation of aggregating expressions in RETURN and
+    WITH items (paper, Section 3).
+
+    A projection item that contains an aggregate is evaluated in two
+    stages: the aggregate subterms are lifted out ({!extract_aggregates}),
+    computed over the rows of the group ({!compute}), and the remaining
+    expression is evaluated with the results bound to synthetic
+    variables.  The non-aggregating items act as the implicit grouping
+    key. *)
+
+open Cypher_values
+open Cypher_graph
+open Cypher_table
+open Cypher_ast
+
+type spec =
+  [ `Count_star  (** count( * ) — counts rows, including nulls *)
+  | `Agg of Ast.agg_fn * bool * Ast.expr  (** function, DISTINCT, argument *)
+  | `Percentile of bool * bool * Ast.expr * Ast.expr
+    (** continuous?, DISTINCT, value expression, percentile expression *)
+  ]
+
+val contains_aggregate : Ast.expr -> bool
+
+val extract_aggregates : Ast.expr -> Ast.expr * (string * spec) list
+(** Replaces every aggregate subterm with a fresh synthetic variable
+    (named [#agg1], [#agg2], ...) and returns the rewritten expression
+    together with the extracted specs. *)
+
+val compute :
+  Config.t -> Graph.t -> Record.t list -> spec -> Value.t
+(** Computes one aggregate over the rows of a group.  Null arguments are
+    skipped (except for [count( * )]); DISTINCT deduplicates the argument
+    multiset; [sum] of no values is 0, [avg]/[min]/[max] of no values is
+    null; [collect] of no values is the empty list. *)

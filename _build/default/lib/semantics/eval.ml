@@ -1,0 +1,691 @@
+open Cypher_values
+open Cypher_graph
+open Cypher_table
+open Cypher_ast
+open Ast
+
+exception Eval_error = Functions.Eval_error
+
+let eval_error = Functions.eval_error
+
+(* Force the temporal constructors into F whenever the evaluator links. *)
+let () = Temporal_functions.ensure ()
+
+let value_of_ternary = function
+  | Ternary.True -> Value.Bool true
+  | Ternary.False -> Value.Bool false
+  | Ternary.Unknown -> Value.Null
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: [[expr]]_{G,u}  (Section 4.3)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr cfg g u expr =
+  match expr with
+  | E_lit l -> Ast.value_of_literal l
+  | E_var a -> (
+    match Record.find u a with
+    | Some v -> v
+    | None -> eval_error "unbound variable: %s" a)
+  | E_param p -> (
+    match Value.Smap.find_opt p cfg.Config.params with
+    | Some v -> v
+    | None -> eval_error "missing parameter: $%s" p)
+  | E_prop (e, k) -> eval_prop_access cfg g u e k
+  | E_map kvs ->
+    Value.map_of_list (List.map (fun (k, e) -> (k, eval_expr cfg g u e)) kvs)
+  | E_list es -> Value.List (List.map (eval_expr cfg g u) es)
+  | E_in (e1, e2) ->
+    value_of_ternary (Ops.in_list (eval_expr cfg g u e1) (eval_expr cfg g u e2))
+  | E_index (e1, e2) -> Ops.index (eval_expr cfg g u e1) (eval_expr cfg g u e2)
+  | E_slice (e, lo, hi) ->
+    Ops.slice (eval_expr cfg g u e)
+      (Option.map (eval_expr cfg g u) lo)
+      (Option.map (eval_expr cfg g u) hi)
+  | E_starts_with (e1, e2) ->
+    value_of_ternary
+      (Ops.starts_with (eval_expr cfg g u e1) (eval_expr cfg g u e2))
+  | E_ends_with (e1, e2) ->
+    value_of_ternary (Ops.ends_with (eval_expr cfg g u e1) (eval_expr cfg g u e2))
+  | E_contains (e1, e2) ->
+    value_of_ternary (Ops.contains (eval_expr cfg g u e1) (eval_expr cfg g u e2))
+  | E_regex_match (e1, e2) -> (
+    match eval_expr cfg g u e1, eval_expr cfg g u e2 with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | Value.String s, Value.String pat -> (
+      (* whole-string match, PCRE dialect, as in Cypher *)
+      match Re.Pcre.re ("^(?:" ^ pat ^ ")$") with
+      | re -> Value.Bool (Re.execp (Re.compile re) s)
+      | exception _ -> eval_error "invalid regular expression: %s" pat)
+    | a, b ->
+      Value.type_error "=~: expected strings, got %s and %s"
+        (Value.type_name a) (Value.type_name b))
+  | E_or (e1, e2) ->
+    value_of_ternary
+      (Ternary.or_ (eval_truth cfg g u e1) (eval_truth cfg g u e2))
+  | E_and (e1, e2) ->
+    value_of_ternary
+      (Ternary.and_ (eval_truth cfg g u e1) (eval_truth cfg g u e2))
+  | E_xor (e1, e2) ->
+    value_of_ternary
+      (Ternary.xor (eval_truth cfg g u e1) (eval_truth cfg g u e2))
+  | E_not e -> value_of_ternary (Ternary.not_ (eval_truth cfg g u e))
+  | E_is_null e -> Value.Bool (Value.is_null (eval_expr cfg g u e))
+  | E_is_not_null e -> Value.Bool (not (Value.is_null (eval_expr cfg g u e)))
+  | E_cmp (op, e1, e2) ->
+    let v1 = eval_expr cfg g u e1 and v2 = eval_expr cfg g u e2 in
+    value_of_ternary
+      (match op with
+      | Eq -> Value.equal_ternary v1 v2
+      | Neq -> Ternary.not_ (Value.equal_ternary v1 v2)
+      | Lt -> Value.less_than v1 v2
+      | Le -> Value.less_eq v1 v2
+      | Gt -> Value.greater_than v1 v2
+      | Ge -> Value.greater_eq v1 v2)
+  | E_arith (op, e1, e2) -> (
+    let v1 = eval_expr cfg g u e1 and v2 = eval_expr cfg g u e2 in
+    match v1, v2 with
+    | Value.Temporal t1, Value.Temporal t2 -> (
+      match op with
+      | Add -> Cypher_temporal.Temporal.add t1 t2
+      | Sub -> Cypher_temporal.Temporal.sub t1 t2
+      | _ -> Value.type_error "unsupported temporal arithmetic")
+    | Value.Temporal t, (Value.Int _ | Value.Float _) when op = Mul ->
+      Cypher_temporal.Temporal.scale t (Ops.to_float v2)
+    | (Value.Int _ | Value.Float _), Value.Temporal t when op = Mul ->
+      Cypher_temporal.Temporal.scale t (Ops.to_float v1)
+    | _ -> (
+      match op with
+      | Add -> Ops.add v1 v2
+      | Sub -> Ops.sub v1 v2
+      | Mul -> Ops.mul v1 v2
+      | Div -> Ops.div v1 v2
+      | Mod -> Ops.modulo v1 v2
+      | Pow -> Ops.pow v1 v2))
+  | E_neg e -> Ops.neg (eval_expr cfg g u e)
+  | E_fn (name, args) -> eval_fn cfg g u name args
+  | E_count_star | E_agg _ | E_agg_percentile _ ->
+    eval_error "aggregation is only allowed in RETURN and WITH items"
+  | E_has_labels (e, labels) -> (
+    match eval_expr cfg g u e with
+    | Value.Null -> Value.Null
+    | Value.Node n ->
+      Value.Bool (List.for_all (fun l -> Graph.has_label g n l) labels)
+    | v ->
+      Value.type_error "label predicate: expected a node, got %s"
+        (Value.type_name v))
+  | E_case { case_subject; case_branches; case_default } -> (
+    let matches (w, _) =
+      match case_subject with
+      | Some s ->
+        Ternary.is_true
+          (Value.equal_ternary (eval_expr cfg g u s) (eval_expr cfg g u w))
+      | None -> Ternary.is_true (eval_truth cfg g u w)
+    in
+    match List.find_opt matches case_branches with
+    | Some (_, t) -> eval_expr cfg g u t
+    | None -> (
+      match case_default with
+      | Some d -> eval_expr cfg g u d
+      | None -> Value.Null))
+  | E_list_comp { lc_var; lc_source; lc_where; lc_body } -> (
+    match eval_expr cfg g u lc_source with
+    | Value.Null -> Value.Null
+    | Value.List elems ->
+      let keep v =
+        match lc_where with
+        | None -> true
+        | Some w -> Ternary.is_true (eval_truth cfg g (Record.add u lc_var v) w)
+      in
+      let body v =
+        match lc_body with
+        | None -> v
+        | Some b -> eval_expr cfg g (Record.add u lc_var v) b
+      in
+      Value.List (List.map body (List.filter keep elems))
+    | v ->
+      Value.type_error "list comprehension: expected a list, got %s"
+        (Value.type_name v))
+  | E_map_projection (e, items) -> (
+    match eval_expr cfg g u e with
+    | Value.Null -> Value.Null
+    | subject ->
+      let props_of () =
+        match subject with
+        | Value.Node n -> Graph.node_props g n
+        | Value.Rel r -> Graph.rel_props g r
+        | Value.Map m -> m
+        | v ->
+          Value.type_error
+            "map projection: expected a node, relationship or map, got %s"
+            (Value.type_name v)
+      in
+      let prop k =
+        match subject with
+        | Value.Node n -> Graph.node_prop g n k
+        | Value.Rel r -> Graph.rel_prop g r k
+        | Value.Map m -> (
+          match Value.Smap.find_opt k m with Some v -> v | None -> Value.Null)
+        | v ->
+          Value.type_error
+            "map projection: expected a node, relationship or map, got %s"
+            (Value.type_name v)
+      in
+      Value.Map
+        (List.fold_left
+           (fun acc item ->
+             match item with
+             | Mp_property k -> Value.Smap.add k (prop k) acc
+             | Mp_all_properties ->
+               Value.Smap.union (fun _ _ v -> Some v) acc (props_of ())
+             | Mp_literal (k, e) -> Value.Smap.add k (eval_expr cfg g u e) acc
+             | Mp_variable v -> Value.Smap.add v (eval_expr cfg g u (E_var v)) acc)
+           Value.Smap.empty items))
+  | E_pattern_pred p | E_exists_pattern p ->
+    Value.Bool (match_pattern_tuple cfg g u [ p ] <> [])
+  | E_reduce { rd_acc; rd_init; rd_var; rd_list; rd_body } -> (
+    match eval_expr cfg g u rd_list with
+    | Value.Null -> Value.Null
+    | Value.List elems ->
+      List.fold_left
+        (fun acc v ->
+          eval_expr cfg g
+            (Record.add (Record.add u rd_acc acc) rd_var v)
+            rd_body)
+        (eval_expr cfg g u rd_init)
+        elems
+    | v -> Value.type_error "reduce: expected a list, got %s" (Value.type_name v))
+  | E_pattern_comp { pc_pattern; pc_where; pc_body } ->
+    (* one body value per match of the pattern under the current
+       assignment, in match order *)
+    let matches = match_pattern_tuple cfg g u [ pc_pattern ] in
+    let envs = List.map (fun u' -> Record.overlay u u') matches in
+    let envs =
+      match pc_where with
+      | None -> envs
+      | Some w ->
+        List.filter (fun env -> Ternary.is_true (eval_truth cfg g env w)) envs
+    in
+    Value.List (List.map (fun env -> eval_expr cfg g env pc_body) envs)
+  | E_quantified (q, x, src, pred) -> (
+    match eval_expr cfg g u src with
+    | Value.Null -> Value.Null
+    | Value.List elems ->
+      let truths =
+        List.map (fun v -> eval_truth cfg g (Record.add u x v) pred) elems
+      in
+      let count t = List.length (List.filter (Ternary.equal t) truths) in
+      let trues = count Ternary.True
+      and falses = count Ternary.False
+      and unknowns = count Ternary.Unknown in
+      value_of_ternary
+        (match q with
+        | Q_all ->
+          if falses > 0 then Ternary.False
+          else if unknowns > 0 then Ternary.Unknown
+          else Ternary.True
+        | Q_any ->
+          if trues > 0 then Ternary.True
+          else if unknowns > 0 then Ternary.Unknown
+          else Ternary.False
+        | Q_none ->
+          if trues > 0 then Ternary.False
+          else if unknowns > 0 then Ternary.Unknown
+          else Ternary.True
+        | Q_single ->
+          if trues > 1 then Ternary.False
+          else if unknowns > 0 then Ternary.Unknown
+          else if trues = 1 then Ternary.True
+          else Ternary.False)
+    | v ->
+      Value.type_error "quantifier: expected a list, got %s" (Value.type_name v))
+
+and eval_prop_access cfg g u e k =
+  match eval_expr cfg g u e with
+  | Value.Null -> Value.Null
+  | Value.Node n -> Graph.node_prop g n k
+  | Value.Rel r -> Graph.rel_prop g r k
+  | Value.Map m -> (
+    match Value.Smap.find_opt k m with Some v -> v | None -> Value.Null)
+  | Value.Temporal t -> (
+    match Cypher_temporal.Temporal.component t k with
+    | Some v -> v
+    | None -> Value.type_error "unknown temporal component: %s" k)
+  | v ->
+    Value.type_error "property access .%s: expected a node, relationship or map, got %s"
+      k (Value.type_name v)
+
+and eval_fn cfg g u name args =
+  (* exists(n.prop) tests whether ι is defined on (n, prop): it must see
+     the expression, not its value, because a missing property already
+     evaluates to null. *)
+  match String.lowercase_ascii name, args with
+  | "exists", [ E_prop (e, k) ] -> (
+    match eval_expr cfg g u e with
+    | Value.Null -> Value.Null
+    | Value.Node n -> Value.Bool (Value.Smap.mem k (Graph.node_props g n))
+    | Value.Rel r -> Value.Bool (Value.Smap.mem k (Graph.rel_props g r))
+    | Value.Map m -> Value.Bool (Value.Smap.mem k m)
+    | v -> Value.type_error "exists: cannot apply to %s" (Value.type_name v))
+  | "exists", [ e ] -> Value.Bool (not (Value.is_null (eval_expr cfg g u e)))
+  (* size((a)-->(b)) counts the matches of the pattern (Neo4j 3.x
+     behaviour); it must see the pattern, whose generic evaluation is a
+     boolean. *)
+  | ("size" | "length"), [ (E_pattern_pred p | E_exists_pattern p) ] ->
+    Value.Int (List.length (match_pattern_tuple cfg g u [ p ]))
+  | _ -> Functions.apply g name (List.map (eval_expr cfg g u) args)
+
+and eval_truth cfg g u e =
+  match eval_expr cfg g u e with
+  | Value.Bool b -> Ternary.of_bool b
+  | Value.Null -> Ternary.Unknown
+  | v ->
+    Value.type_error "expected a boolean predicate, got %s" (Value.type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching: match(π̄, G, u)  (Section 4.2)                     *)
+(* ------------------------------------------------------------------ *)
+
+and match_pattern_tuple cfg g u patterns =
+  let results = ref [] in
+  let free = Ast.free_pattern_tuple patterns in
+  let new_names = List.filter (fun a -> not (Record.mem u a)) free in
+  let cap =
+    match cfg.Config.var_length_cap with
+    | Some c -> c
+    | None -> Graph.rel_count g
+  in
+  let track_nodes = cfg.Config.morphism = Config.Node_isomorphism in
+  let track_rels = cfg.Config.morphism <> Config.Homomorphism in
+  (* state passed along the search *)
+  let module S = struct
+    type t = {
+      bnd : Record.t;
+      used_rels : Ids.Rel_set.t;
+      used_nodes : Ids.Node_set.t;
+      deferred : (Record.t -> bool) list;
+    }
+  end in
+  let open S in
+  let init =
+    {
+      bnd = u;
+      used_rels = Ids.Rel_set.empty;
+      used_nodes = Ids.Node_set.empty;
+      deferred = [];
+    }
+  in
+  (* Evaluates a pattern property constraint; if evaluation fails because
+     a variable is bound later in the pattern, defer the check. *)
+  let check_prop st mk_actual (_k, e) kont =
+    match eval_expr cfg g st.bnd e with
+    | expected ->
+      if Ternary.is_true (Value.equal_ternary (mk_actual ()) expected) then
+        kont st
+    | exception Eval_error _ ->
+      let check bnd =
+        Ternary.is_true
+          (Value.equal_ternary (mk_actual ()) (eval_expr cfg g bnd e))
+      in
+      kont { st with deferred = check :: st.deferred }
+  in
+  let rec check_props st mk_actual props kont =
+    match props with
+    | [] -> kont st
+    | p :: rest -> check_prop st (mk_actual p) p (fun st -> check_props st mk_actual rest kont)
+  in
+  let check_node_props st n props kont =
+    check_props st (fun (k, _) () -> Graph.node_prop g n k) props kont
+  in
+  let check_rel_props st r props kont =
+    check_props st (fun (k, _) () -> Graph.rel_prop g r k) props kont
+  in
+  (* Binds [name] to [v] in [st], or checks consistency if already bound. *)
+  let bind st name v kont =
+    match name with
+    | None -> kont st
+    | Some a -> (
+      match Record.find st.bnd a with
+      | Some v0 -> if Value.equal_total v0 v then kont st
+      | None -> kont { st with bnd = Record.add st.bnd a v })
+  in
+  (* (n, G, u) |= χ, extending the assignment.  Under node isomorphism a
+     node already visited is only acceptable when the pattern refers to
+     it through the same, already-bound variable. *)
+  let match_node st n (np : node_pattern) kont =
+    let already_this_node =
+      match np.np_name with
+      | Some a -> (
+        match Record.find st.bnd a with
+        | Some (Value.Node n0) -> Ids.equal_node n0 n
+        | Some _ -> false
+        | None -> false)
+      | None -> false
+    in
+    let node_iso_ok =
+      (not track_nodes) || already_this_node
+      || not (Ids.Node_set.mem n st.used_nodes)
+    in
+    if node_iso_ok && List.for_all (fun l -> Graph.has_label g n l) np.np_labels
+    then
+      let st =
+        if track_nodes then
+          { st with used_nodes = Ids.Node_set.add n st.used_nodes }
+        else st
+      in
+      bind st np.np_name (Value.Node n) (fun st ->
+          check_node_props st n np.np_props kont)
+  in
+  (* Enumerates matches of one relationship hop (ρ, χ_next) starting at
+     [node]; calls [kont st steps] for every way, where [steps] is the
+     list of (rel, node) steps taken (empty for a zero-length match). *)
+  let match_hop st node (rp : rel_pattern) (np_next : node_pattern) kont =
+    let kmin, kmax_opt = Ast.range_of_len rp.rp_len in
+    let kmax = match kmax_opt with Some n -> n | None -> cap in
+    let bind_rel_var st rels_rev kont =
+      let v =
+        match rp.rp_len with
+        | None -> (
+          match rels_rev with
+          | [ r ] -> Value.Rel r
+          | _ -> assert false)
+        | Some _ -> Value.List (List.rev_map (fun r -> Value.Rel r) rels_rev)
+      in
+      bind st rp.rp_name v kont
+    in
+    let rec seg st cur depth rels_rev steps_rev =
+      (* end the segment here: [cur] becomes the node of χ_next *)
+      if depth >= kmin then
+        bind_rel_var st rels_rev (fun st ->
+            match_node st cur np_next (fun st -> kont st (List.rev steps_rev)));
+      (* or extend it: [cur] becomes an intermediate node of the
+         variable-length segment *)
+      if depth < kmax then begin
+        let st_opt =
+          if track_nodes && depth >= 1 then
+            if Ids.Node_set.mem cur st.used_nodes then None
+            else Some { st with used_nodes = Ids.Node_set.add cur st.used_nodes }
+          else Some st
+        in
+        match st_opt with
+        | None -> ()
+        | Some st ->
+          let candidates =
+            match rp.rp_dir with
+            | Left_to_right ->
+              List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
+            | Right_to_left ->
+              List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
+            | Undirected ->
+              List.map
+                (fun r -> (r, Graph.other_end g r cur))
+                (Graph.all_rels_of g cur)
+          in
+          List.iter
+            (fun (r, next) ->
+              let rel_ok =
+                (not track_rels) || not (Ids.Rel_set.mem r st.used_rels)
+              in
+              let type_ok =
+                rp.rp_types = [] || List.mem (Graph.rel_type g r) rp.rp_types
+              in
+              if rel_ok && type_ok then
+                check_rel_props st r rp.rp_props (fun st ->
+                    let st =
+                      if track_rels then
+                        { st with used_rels = Ids.Rel_set.add r st.used_rels }
+                      else st
+                    in
+                    seg st next (depth + 1) (r :: rels_rev)
+                      ((r, next) :: steps_rev)))
+            candidates
+      end
+    in
+    seg st node 0 [] []
+  in
+  let candidates_of st (np : node_pattern) =
+    match np.np_name with
+    | Some a when Record.mem st.bnd a -> (
+      match Record.find st.bnd a with
+      | Some (Value.Node n) when Graph.mem_node g n -> [ n ]
+      | _ -> [])
+    | _ -> (
+      match np.np_labels with
+      | l :: _ -> Graph.nodes_with_label g l
+      | [] -> Graph.nodes g)
+  in
+  (* Shortest paths between two fixed nodes: breadth-first search that
+     respects the relationship pattern.  Returns the step lists of the
+     minimal-length paths (one for [Shortest], all for [All_shortest]).
+     Minimal-length walks never repeat a node (a repetition could be cut,
+     contradicting minimality), so node-marking BFS is sound; the cyclic
+     case s = e falls back to iterative deepening over the DFS segments. *)
+  let shortest_steps st (rp : rel_pattern) s e ~all =
+    let kmin, kmax_opt = Ast.range_of_len rp.rp_len in
+    let kmax = match kmax_opt with Some n -> n | None -> cap in
+    let neighbours cur acc_fn =
+      let cands =
+        match rp.rp_dir with
+        | Left_to_right ->
+          List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
+        | Right_to_left ->
+          List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
+        | Undirected ->
+          List.map (fun r -> (r, Graph.other_end g r cur)) (Graph.all_rels_of g cur)
+      in
+      List.filter
+        (fun (r, _) ->
+          (rp.rp_types = [] || List.mem (Graph.rel_type g r) rp.rp_types)
+          && (not track_rels || not (Ids.Rel_set.mem r st.used_rels))
+          && List.for_all
+               (fun (k, e) ->
+                 match eval_expr cfg g st.bnd e with
+                 | expected ->
+                   Ternary.is_true
+                     (Value.equal_ternary (Graph.rel_prop g r k) expected)
+                 | exception Eval_error _ -> false)
+               rp.rp_props)
+        cands
+      |> acc_fn
+    in
+    if Ids.equal_node s e then begin
+      (* shortest cycle through s: iterative deepening over path lengths *)
+      if kmin = 0 then [ [] ]
+      else begin
+        let found = ref [] in
+        let l = ref (max 1 kmin) in
+        while !found = [] && !l <= kmax do
+          let target_len = !l in
+          let rec dfs used cur depth steps_rev =
+            if depth = target_len then begin
+              if Ids.equal_node cur e then found := List.rev steps_rev :: !found
+            end
+            else
+              neighbours cur (fun cands ->
+                  List.iter
+                    (fun (r, next) ->
+                      if not (Ids.Rel_set.mem r used) then
+                        dfs (Ids.Rel_set.add r used) next (depth + 1)
+                          ((r, next) :: steps_rev))
+                    cands)
+          in
+          dfs Ids.Rel_set.empty s 0 [];
+          incr l
+        done;
+        match !found, all with
+        | [], _ -> []
+        | paths, true -> List.rev paths
+        | p :: _, false -> [ p ]
+      end
+    end
+    else begin
+      (* level-synchronised BFS; within a level several paths may reach
+         the same node (needed for All_shortest) *)
+      let visited = ref (Ids.Node_set.singleton s) in
+      let rec level depth frontier =
+        if depth >= kmax || frontier = [] then []
+        else begin
+          let expansions =
+            List.concat_map
+              (fun (cur, steps_rev) ->
+                neighbours cur (fun cands ->
+                    List.filter_map
+                      (fun (r, next) ->
+                        if Ids.Node_set.mem next !visited then None
+                        else Some (next, (r, next) :: steps_rev))
+                      cands))
+              frontier
+          in
+          let completions =
+            if depth + 1 >= kmin then
+              List.filter_map
+                (fun (n, steps_rev) ->
+                  if Ids.equal_node n e then Some (List.rev steps_rev) else None)
+                expansions
+            else []
+          in
+          if completions <> [] then
+            if all then completions else [ List.hd completions ]
+          else begin
+            let next_frontier =
+              List.filter (fun (n, _) -> not (Ids.equal_node n e)) expansions
+            in
+            (* mark this level visited; for Shortest one path per node is
+               enough, for All_shortest keep them all *)
+            List.iter
+              (fun (n, _) -> visited := Ids.Node_set.add n !visited)
+              next_frontier;
+            let next_frontier =
+              if all then next_frontier
+              else
+                let seen = Hashtbl.create 16 in
+                List.filter
+                  (fun (n, _) ->
+                    let key = Ids.node_to_int n in
+                    if Hashtbl.mem seen key then false
+                    else (
+                      Hashtbl.add seen key ();
+                      true))
+                  next_frontier
+            in
+            level (depth + 1) next_frontier
+          end
+        end
+      in
+      (* when s <> e a zero-length path never connects, so kmin = 0
+         degenerates to kmin = 1 here *)
+      level 0 [ (s, []) ]
+    end
+  in
+  (* Matches a shortestPath / allShortestPaths pattern: both endpoints
+     are enumerated (bound endpoints give singleton candidate sets), and
+     the BFS produces the minimal-length connecting paths. *)
+  let match_path_shortest st (pp : path_pattern) ~all kont =
+    match pp.pp_rest with
+    | [ (rp, np_end) ] ->
+      List.iter
+        (fun s ->
+          match_node st s pp.pp_first (fun st ->
+              List.iter
+                (fun e ->
+                  let steps_list = shortest_steps st rp s e ~all in
+                  List.iter
+                    (fun steps ->
+                      let rel_value =
+                        match rp.rp_len with
+                        | None -> (
+                          match steps with
+                          | [ (r, _) ] -> Some (Value.Rel r)
+                          | _ -> None)
+                        | Some _ ->
+                          Some
+                            (Value.List (List.map (fun (r, _) -> Value.Rel r) steps))
+                      in
+                      let bind_rel st kont =
+                        match rp.rp_name, rel_value with
+                        | None, _ -> kont st
+                        | Some _, None -> ()
+                        | Some a, Some v -> bind st (Some a) v kont
+                      in
+                      let st =
+                        if track_rels then
+                          {
+                            st with
+                            used_rels =
+                              List.fold_left
+                                (fun acc (r, _) -> Ids.Rel_set.add r acc)
+                                st.used_rels steps;
+                          }
+                        else st
+                      in
+                      bind_rel st (fun st ->
+                          match_node st e np_end (fun st ->
+                              bind st pp.pp_name
+                                (Value.Path { path_start = s; path_steps = steps })
+                                kont)))
+                    steps_list)
+                (candidates_of st np_end)))
+        (candidates_of st pp.pp_first)
+    | _ ->
+      eval_error
+        "shortestPath requires a pattern with exactly one relationship"
+  in
+  (* Matches a whole path pattern, producing the path value. *)
+  let match_path st (pp : path_pattern) kont =
+    match pp.pp_shortest with
+    | Shortest -> match_path_shortest st pp ~all:false kont
+    | All_shortest -> match_path_shortest st pp ~all:true kont
+    | No_shortest ->
+      let start_candidates = candidates_of st pp.pp_first in
+      List.iter
+        (fun n0 ->
+          match_node st n0 pp.pp_first (fun st ->
+              let rec hops st cur remaining steps_acc =
+                match remaining with
+                | [] ->
+                  let path =
+                    Value.Path
+                      { path_start = n0; path_steps = List.rev steps_acc }
+                  in
+                  bind st pp.pp_name path kont
+                | (rp, np) :: rest ->
+                  match_hop st cur rp np (fun st steps ->
+                      let cur' =
+                        match List.rev steps with
+                        | (_, last) :: _ -> last
+                        | [] -> cur
+                      in
+                      hops st cur' rest (List.rev_append steps steps_acc))
+              in
+              hops st n0 pp.pp_rest []))
+        start_candidates
+  in
+  let rec match_all st = function
+    | [] ->
+      if List.for_all (fun check -> check st.bnd) st.deferred then
+        results := Record.project st.bnd new_names :: !results
+    | pp :: rest -> match_path st pp (fun st -> match_all st rest)
+  in
+  match_all init patterns;
+  List.rev !results
+
+(* Direct transcription of the base case of pattern satisfaction: given a
+   node pattern χ = (a, L, P), [(n, G, u) |= χ] iff (a is nil or u(a) = n),
+   L ⊆ λ(n), and [[ι(n,k) = P(k)]]_{G,u} is true for each defined key.  The
+   assignment [u] must already bind every free variable. *)
+let satisfies_node_pattern cfg g u n np =
+  let name_ok =
+    match np.np_name with
+    | None -> true
+    | Some a -> (
+      match Record.find u a with
+      | Some (Value.Node n0) -> Ids.equal_node n0 n
+      | Some _ | None -> false)
+  in
+  name_ok
+  && List.for_all (fun l -> Graph.has_label g n l) np.np_labels
+  && List.for_all
+       (fun (k, e) ->
+         Ternary.is_true
+           (Value.equal_ternary (Graph.node_prop g n k) (eval_expr cfg g u e)))
+       np.np_props

@@ -1,0 +1,28 @@
+(** The set F of base functions (paper, Section 4.1).
+
+    "Every real-life query language will have a number of functions
+    defined on its values ... we assume a finite set F of predefined
+    functions that can be applied to values."  This module provides the
+    standard openCypher instances; the semantics is parameterized by this
+    registry and new functions can be registered. *)
+
+open Cypher_values
+open Cypher_graph
+
+exception Eval_error of string
+
+val eval_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val apply : Graph.t -> string -> Value.t list -> Value.t
+(** [apply g name args] applies the base function [name] (lowercase).
+    Raises {!Eval_error} for an unknown function or a wrong argument
+    count, and {!Value.Type_error} for ill-typed arguments. *)
+
+val is_known : string -> bool
+
+val names : unit -> string list
+(** All registered function names, sorted. *)
+
+val register : string -> (Graph.t -> Value.t list -> Value.t) -> unit
+(** Extends F (last registration wins).  Used by the temporal library to
+    add the Cypher 10 temporal constructors. *)

@@ -1,0 +1,40 @@
+(** A literal, executable transcription of the paper's pattern-matching
+    definition (Section 4.2) — used as an oracle.
+
+    Where {!Eval.match_pattern_tuple} searches hop by hop, this module
+    does exactly what the paper's definitions say:
+
+    - [rigid π] enumerates the rigid extension {e rigid(π)} — every rigid
+      pattern subsumed by π — up to the sound cut-off (no satisfiable
+      rigid pattern is longer than |R(G)|, because paths cannot repeat
+      relationships);
+    - [paths G n] enumerates every path of the graph with pairwise
+      distinct relationships, up to length n;
+    - [satisfy π' p u] decides [(p, G, u·u') |= π'] for a rigid pattern
+      by the inductive definition, returning the unique extension [u']
+      when it exists (the paper observes that rigid patterns admit at
+      most one assignment per path);
+    - [match_pattern] is Equation (1): the bag union over all pairs
+      (π', p̄).
+
+    The complexity is catastrophic by design — it exists to validate the
+    optimized matcher on small graphs, which the test suite does with
+    qcheck. *)
+
+open Cypher_graph
+open Cypher_table
+open Cypher_ast
+
+val rigid : max_total:int -> Ast.path_pattern -> Ast.path_pattern list
+(** All rigid patterns subsumed by the pattern whose total relationship
+    count is at most [max_total].  A rigid pattern subsumes only itself.
+    Raises [Invalid_argument] on shortest-path patterns. *)
+
+val paths : Graph.t -> max_len:int -> Cypher_values.Value.path list
+(** Every path of [G] (as in the paper: relationship-distinct walks),
+    including the single-node paths, up to [max_len] relationships. *)
+
+val match_pattern :
+  Config.t -> Graph.t -> Record.t -> Ast.path_pattern list -> Record.t list
+(** [match(π̄, G, u)] computed by literal enumeration; the result is a
+    bag with the same multiplicities as {!Eval.match_pattern_tuple}. *)

@@ -1,0 +1,60 @@
+open Cypher_values
+open Cypher_graph
+
+type result = { columns : string list; rows : Value.t list list }
+
+let registry : (string, Graph.t -> Value.t list -> result) Hashtbl.t =
+  Hashtbl.create 16
+
+let register name f = Hashtbl.replace registry (String.lowercase_ascii name) f
+let is_known name = Hashtbl.mem registry (String.lowercase_ascii name)
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+  |> List.sort_uniq String.compare
+
+let call g name args =
+  match Hashtbl.find_opt registry (String.lowercase_ascii name) with
+  | Some f -> f g args
+  | None -> Functions.eval_error "unknown procedure: %s" name
+
+let no_args name args =
+  if args <> [] then Functions.eval_error "%s takes no arguments" name
+
+let () =
+  register "db.labels" (fun g args ->
+      no_args "db.labels" args;
+      {
+        columns = [ "label" ];
+        rows = List.map (fun l -> [ Value.String l ]) (Graph.all_labels g);
+      });
+  register "db.relationshiptypes" (fun g args ->
+      no_args "db.relationshipTypes" args;
+      {
+        columns = [ "relationshipType" ];
+        rows = List.map (fun t -> [ Value.String t ]) (Graph.all_types g);
+      });
+  register "db.propertykeys" (fun g args ->
+      no_args "db.propertyKeys" args;
+      let keys = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          Value.Smap.iter (fun k _ -> Hashtbl.replace keys k ()) (Graph.node_props g n))
+        (Graph.nodes g);
+      List.iter
+        (fun r ->
+          Value.Smap.iter (fun k _ -> Hashtbl.replace keys k ()) (Graph.rel_props g r))
+        (Graph.rels g);
+      {
+        columns = [ "propertyKey" ];
+        rows =
+          Hashtbl.fold (fun k () acc -> k :: acc) keys []
+          |> List.sort String.compare
+          |> List.map (fun k -> [ Value.String k ]);
+      });
+  register "db.functions" (fun _g args ->
+      no_args "db.functions" args;
+      {
+        columns = [ "name" ];
+        rows = List.map (fun f -> [ Value.String f ]) (Functions.names ());
+      })

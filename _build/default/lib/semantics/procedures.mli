@@ -1,0 +1,22 @@
+(** Procedure registry for CALL ... YIELD.
+
+    Procedures take the current graph and evaluated arguments and return
+    a small result table (column names plus rows of values); the CALL
+    clause cross-joins those rows with each driving row.  Built-in
+    [db.labels], [db.relationshipTypes], [db.propertyKeys] and
+    [db.functions] are registered here; the graph-algorithm procedures
+    ([algo.*]) are registered by the [cypher_procs] library. *)
+
+open Cypher_values
+open Cypher_graph
+
+type result = { columns : string list; rows : Value.t list list }
+
+val register : string -> (Graph.t -> Value.t list -> result) -> unit
+(** Names are lowercased; last registration wins. *)
+
+val call : Graph.t -> string -> Value.t list -> result
+(** Raises {!Functions.Eval_error} for unknown procedures. *)
+
+val is_known : string -> bool
+val names : unit -> string list

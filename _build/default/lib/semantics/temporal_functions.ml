@@ -1,0 +1,152 @@
+open Cypher_values
+module T = Cypher_temporal.Temporal
+
+let eval_error = Functions.eval_error
+
+let int_field m key default =
+  match Value.Smap.find_opt key m with
+  | Some (Value.Int i) -> i
+  | Some v ->
+    Value.type_error "temporal component %s: expected an integer, got %s" key
+      (Value.type_name v)
+  | None -> default
+
+let wrap name f _g args =
+  match args with
+  | [ Value.Null ] -> Value.Null
+  | [ arg ] -> (
+    try f arg
+    with T.Temporal_error msg -> eval_error "%s: %s" name msg)
+  | _ -> eval_error "%s expects one argument" name
+
+let date_of = function
+  | Value.String s -> T.parse_date s
+  | Value.Map m ->
+    T.date
+      ~day:(int_field m "day" 1)
+      ~month:(int_field m "month" 1)
+      ~year:(int_field m "year" 1970)
+      ()
+  | Value.Temporal (Value.Date _) as v -> v
+  | Value.Temporal (Value.Local_datetime (d, _))
+  | Value.Temporal (Value.Datetime (d, _, _)) ->
+    Value.Temporal (Value.Date d)
+  | v -> Value.type_error "date: cannot construct from %s" (Value.type_name v)
+
+let local_time_of = function
+  | Value.String s -> T.parse_local_time s
+  | Value.Map m ->
+    T.local_time
+      ~nanosecond:(int_field m "nanosecond" 0)
+      ~second:(int_field m "second" 0)
+      ~minute:(int_field m "minute" 0)
+      ~hour:(int_field m "hour" 0)
+      ()
+  | Value.Temporal (Value.Local_time _) as v -> v
+  | Value.Temporal (Value.Local_datetime (_, t)) ->
+    Value.Temporal (Value.Local_time t)
+  | v ->
+    Value.type_error "localtime: cannot construct from %s" (Value.type_name v)
+
+let time_of = function
+  | Value.String s -> T.parse_time s
+  | Value.Map m ->
+    T.time
+      ~nanosecond:(int_field m "nanosecond" 0)
+      ~second:(int_field m "second" 0)
+      ~minute:(int_field m "minute" 0)
+      ~offset_seconds:(int_field m "offsetSeconds" 0)
+      ~hour:(int_field m "hour" 0)
+      ()
+  | Value.Temporal (Value.Time _) as v -> v
+  | v -> Value.type_error "time: cannot construct from %s" (Value.type_name v)
+
+let local_datetime_of = function
+  | Value.String s -> T.parse_local_datetime s
+  | Value.Map m ->
+    let date =
+      T.date
+        ~day:(int_field m "day" 1)
+        ~month:(int_field m "month" 1)
+        ~year:(int_field m "year" 1970)
+        ()
+    in
+    let time =
+      T.local_time
+        ~nanosecond:(int_field m "nanosecond" 0)
+        ~second:(int_field m "second" 0)
+        ~minute:(int_field m "minute" 0)
+        ~hour:(int_field m "hour" 0)
+        ()
+    in
+    T.local_datetime ~date ~time
+  | Value.Temporal (Value.Local_datetime _) as v -> v
+  | v ->
+    Value.type_error "localdatetime: cannot construct from %s"
+      (Value.type_name v)
+
+let datetime_of = function
+  | Value.String s -> T.parse_datetime s
+  | Value.Map m ->
+    let date =
+      T.date
+        ~day:(int_field m "day" 1)
+        ~month:(int_field m "month" 1)
+        ~year:(int_field m "year" 1970)
+        ()
+    in
+    let time =
+      T.local_time
+        ~nanosecond:(int_field m "nanosecond" 0)
+        ~second:(int_field m "second" 0)
+        ~minute:(int_field m "minute" 0)
+        ~hour:(int_field m "hour" 0)
+        ()
+    in
+    T.datetime ~offset_seconds:(int_field m "offsetSeconds" 0) ~date ~time ()
+  | Value.Temporal (Value.Datetime _) as v -> v
+  | v ->
+    Value.type_error "datetime: cannot construct from %s" (Value.type_name v)
+
+let duration_of = function
+  | Value.String s -> T.parse_duration s
+  | Value.Map m ->
+    T.duration
+      ~years:(int_field m "years" 0)
+      ~months:(int_field m "months" 0)
+      ~weeks:(int_field m "weeks" 0)
+      ~days:(int_field m "days" 0)
+      ~hours:(int_field m "hours" 0)
+      ~minutes:(int_field m "minutes" 0)
+      ~seconds:(int_field m "seconds" 0)
+      ~nanoseconds:(int_field m "nanoseconds" 0)
+      ()
+  | Value.Temporal (Value.Duration _) as v -> v
+  | v ->
+    Value.type_error "duration: cannot construct from %s" (Value.type_name v)
+
+let to_string _g = function
+  | [ Value.Null ] -> Value.Null
+  | [ Value.Temporal t ] -> Value.String (T.to_iso_string t)
+  | [ Value.String s ] -> Value.String s
+  | [ v ] -> Value.String (Format.asprintf "%a" Value.pp_plain v)
+  | _ -> eval_error "toString expects one argument"
+
+let fn_truncate _g = function
+  | [ Value.Null; _ ] | [ _; Value.Null ] -> Value.Null
+  | [ Value.String unit_; Value.Temporal t ] -> (
+    try T.truncate unit_ t
+    with T.Temporal_error msg -> eval_error "truncate: %s" msg)
+  | _ -> eval_error "truncate expects (unit string, temporal value)"
+
+let () =
+  Functions.register "truncate" fn_truncate;
+  Functions.register "date" (wrap "date" date_of);
+  Functions.register "localtime" (wrap "localtime" local_time_of);
+  Functions.register "time" (wrap "time" time_of);
+  Functions.register "localdatetime" (wrap "localdatetime" local_datetime_of);
+  Functions.register "datetime" (wrap "datetime" datetime_of);
+  Functions.register "duration" (wrap "duration" duration_of);
+  Functions.register "tostring" to_string
+
+let ensure () = ()

@@ -1,0 +1,9 @@
+(** Registration of the Cypher 10 temporal constructors (Section 6) into
+    the base function set F: [date], [time], [localtime], [datetime],
+    [localdatetime] and [duration], each accepting an ISO-8601 string or
+    a component map, plus an ISO-aware [toString].
+
+    The registration runs as a module initialiser; {!ensure} exists only
+    to force linking from the evaluator. *)
+
+val ensure : unit -> unit

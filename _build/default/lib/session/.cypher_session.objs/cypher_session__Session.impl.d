@@ -1,0 +1,1 @@
+lib/session/session.ml: Cypher_engine Cypher_graph Cypher_schema Cypher_semantics Format Graph List

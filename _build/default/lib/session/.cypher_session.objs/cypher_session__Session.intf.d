@@ -1,0 +1,1 @@
+lib/session/session.mli: Cypher_engine Cypher_graph Cypher_schema Cypher_table Cypher_values Graph Table

@@ -1,0 +1,75 @@
+open Cypher_graph
+module Schema = Cypher_schema.Schema
+module Config = Cypher_semantics.Config
+
+type t = {
+  mutable current : Graph.t;
+  mutable snapshots : Graph.t list; (* innermost first *)
+  mutable config : Config.t;
+  schema : Schema.t;
+  mode : Cypher_engine.Engine.mode;
+}
+
+let create ?(schema = Schema.empty) ?(params = []) ?(mode = Cypher_engine.Engine.Planned) g =
+  {
+    current = g;
+    snapshots = [];
+    config = Config.with_params params Config.default;
+    schema;
+    mode;
+  }
+
+let graph t = t.current
+let set_params t params = t.config <- Config.with_params params t.config
+let in_transaction t = t.snapshots <> []
+let depth t = List.length t.snapshots
+
+let validate t g =
+  match Schema.check t.schema g with
+  | [] -> Ok ()
+  | v :: _ -> Error (Format.asprintf "schema violation: %a" Schema.pp_violation v)
+
+let run t text =
+  match Cypher_engine.Engine.query ~config:t.config ~mode:t.mode t.current text with
+  | Error e -> Error e
+  | Ok outcome ->
+    let g = outcome.Cypher_engine.Engine.graph in
+    if in_transaction t then begin
+      (* deferred validation: the schema is checked at commit *)
+      t.current <- g;
+      Ok outcome.Cypher_engine.Engine.table
+    end
+    else begin
+      match validate t g with
+      | Ok () ->
+        t.current <- g;
+        Ok outcome.Cypher_engine.Engine.table
+      | Error e -> Error (e ^ " (statement rejected)")
+    end
+
+let begin_tx t = t.snapshots <- t.current :: t.snapshots
+
+let commit t =
+  match t.snapshots with
+  | [] -> Error "no open transaction"
+  | [ outermost ] -> (
+    match validate t t.current with
+    | Ok () ->
+      t.snapshots <- [];
+      Ok ()
+    | Error e ->
+      t.current <- outermost;
+      t.snapshots <- [];
+      Error (e ^ " (transaction rolled back)"))
+  | _ :: rest ->
+    (* inner commit: effects become part of the enclosing transaction *)
+    t.snapshots <- rest;
+    Ok ()
+
+let rollback t =
+  match t.snapshots with
+  | [] -> Error "no open transaction"
+  | snapshot :: rest ->
+    t.current <- snapshot;
+    t.snapshots <- rest;
+    Ok ()

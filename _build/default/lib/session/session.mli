@@ -1,0 +1,46 @@
+(** Sessions: a mutable handle over the persistent store with
+    transactions.
+
+    The paper notes that an implementation "can use database
+    synchronization primitives such as locking to ensure that patterns
+    matched by MERGE are unique" (Section 2); this single-threaded
+    reproduction gets transactional behaviour for free from the
+    persistent graph: a transaction is a snapshot, rollback restores it,
+    and nesting is a stack of snapshots.  A session also carries the
+    schema (Section 8) — every committed state must conform — and the
+    query parameters. *)
+
+open Cypher_graph
+open Cypher_table
+
+type t
+
+val create :
+  ?schema:Cypher_schema.Schema.t ->
+  ?params:(string * Cypher_values.Value.t) list ->
+  ?mode:Cypher_engine.Engine.mode ->
+  Graph.t ->
+  t
+
+val graph : t -> Graph.t
+val set_params : t -> (string * Cypher_values.Value.t) list -> unit
+
+val run : t -> string -> (Table.t, string) result
+(** Executes one statement against the current state.  Updates are
+    applied immediately (auto-commit when no transaction is open) and
+    validated against the schema; a violating statement is rejected and
+    leaves the state untouched. *)
+
+val begin_tx : t -> unit
+(** Opens a (possibly nested) transaction: snapshots the current graph. *)
+
+val commit : t -> (unit, string) result
+(** Closes the innermost transaction, keeping its effects.  The schema is
+    validated at the outermost commit; a violation rolls back instead.
+    Fails if no transaction is open. *)
+
+val rollback : t -> (unit, string) result
+(** Discards all changes since the matching {!begin_tx}. *)
+
+val in_transaction : t -> bool
+val depth : t -> int

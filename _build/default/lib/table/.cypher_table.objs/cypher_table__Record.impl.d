@@ -1,0 +1,1 @@
+lib/table/record.ml: Cypher_values Format Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/table/record.mli: Cypher_values Format Value

@@ -1,0 +1,1 @@
+lib/table/table.ml: Cypher_values Format Hashtbl List Record String Value

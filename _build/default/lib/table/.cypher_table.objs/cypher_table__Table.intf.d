@@ -1,0 +1,1 @@
+lib/table/table.mli: Cypher_values Format Record Value

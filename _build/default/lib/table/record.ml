@@ -1,0 +1,61 @@
+open Cypher_values
+module Smap = Value.Smap
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let of_list kvs = List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty kvs
+let to_list u = Smap.bindings u
+let dom u = List.map fst (Smap.bindings u)
+let mem u a = Smap.mem a u
+let find u a = Smap.find_opt a u
+let find_or_null u a = match Smap.find_opt a u with Some v -> v | None -> Value.Null
+let add u a v = Smap.add a v u
+
+let combine u u' =
+  Smap.union
+    (fun a v v' ->
+      if Value.equal_total v v' then Some v
+      else invalid_arg ("Record.combine: conflicting bindings for " ^ a))
+    u u'
+
+let project u names =
+  List.fold_left
+    (fun acc a ->
+      match Smap.find_opt a u with Some v -> Smap.add a v acc | None -> acc)
+    Smap.empty names
+
+let overlay base over = Smap.union (fun _ _ v -> Some v) base over
+
+let with_nulls u names =
+  List.fold_left (fun acc a -> Smap.add a Value.Null acc) u names
+
+let uniform u u' = List.equal String.equal (dom u) (dom u')
+
+let compare u u' =
+  let rec go bs bs' =
+    match bs, bs' with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (a, v) :: rest, (a', v') :: rest' ->
+      let c = String.compare a a' in
+      if c <> 0 then c
+      else
+        let c = Value.compare_total v v' in
+        if c <> 0 then c else go rest rest'
+  in
+  go (Smap.bindings u) (Smap.bindings u')
+
+let equal u u' = compare u u' = 0
+
+let hash u =
+  Smap.fold (fun a v acc -> (acc * 31) + Hashtbl.hash a + Value.hash v) u 17
+  land max_int
+
+let pp ppf u =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (a, v) -> Format.fprintf ppf "%s: %a" a Value.pp v))
+    (Smap.bindings u)

@@ -1,0 +1,51 @@
+(** Records: partial functions from names to values (paper, Section 4.1).
+
+    A record is conventionally written [(a1 : v1, ..., an : vn)] with
+    distinct names.  [dom u] is the set of names used. *)
+
+open Cypher_values
+
+type t
+
+val empty : t
+(** The empty record [()]. *)
+
+val of_list : (string * Value.t) list -> t
+val to_list : t -> (string * Value.t) list
+(** Bindings sorted by name. *)
+
+val dom : t -> string list
+(** Sorted domain. *)
+
+val mem : t -> string -> bool
+val find : t -> string -> Value.t option
+val find_or_null : t -> string -> Value.t
+val add : t -> string -> Value.t -> t
+(** Overrides an existing binding. *)
+
+val combine : t -> t -> t
+(** The paper's [(u, u')]; raises [Invalid_argument] when the domains
+    overlap with conflicting values (overlap with identical values is
+    tolerated, which the pattern-matching semantics relies on). *)
+
+val project : t -> string list -> t
+(** Keeps only the given names (missing names are simply absent). *)
+
+val overlay : t -> t -> t
+(** [overlay base over]: all bindings of both records, with [over]
+    winning on common names.  Unlike {!combine} it never fails. *)
+
+val with_nulls : t -> string list -> t
+(** [(u, (A : null))]: extends [u] with null bindings for each name —
+    used by OPTIONAL MATCH. *)
+
+val uniform : t -> t -> bool
+(** Same domain. *)
+
+val compare : t -> t -> int
+(** Total order: lexicographic on the sorted bindings using
+    {!Value.compare_total}. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

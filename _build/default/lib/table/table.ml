@@ -1,0 +1,126 @@
+open Cypher_values
+
+type t = { table_fields : string list; table_rows : Record.t list }
+
+let normalize_fields fields = List.sort_uniq String.compare fields
+
+let check_uniform fields row =
+  if not (List.equal String.equal (Record.dom row) fields) then
+    invalid_arg
+      (Format.asprintf "Table: row %a does not match fields [%s]" Record.pp row
+         (String.concat "; " fields))
+
+let create ~fields rows =
+  let fields = normalize_fields fields in
+  List.iter (check_uniform fields) rows;
+  { table_fields = fields; table_rows = rows }
+
+let unit = { table_fields = []; table_rows = [ Record.empty ] }
+let empty ~fields = { table_fields = normalize_fields fields; table_rows = [] }
+let fields t = t.table_fields
+let rows t = t.table_rows
+let row_count t = List.length t.table_rows
+let is_empty t = t.table_rows = []
+
+let add_row t row =
+  check_uniform t.table_fields row;
+  { t with table_rows = t.table_rows @ [ row ] }
+
+let union t1 t2 =
+  if not (List.equal String.equal t1.table_fields t2.table_fields) then
+    invalid_arg "Table.union: field mismatch";
+  { t1 with table_rows = t1.table_rows @ t2.table_rows }
+
+let concat_map t f ~fields =
+  let fields = normalize_fields fields in
+  let out = List.concat_map f t.table_rows in
+  List.iter (check_uniform fields) out;
+  { table_fields = fields; table_rows = out }
+
+let dedup t =
+  let seen = Hashtbl.create 64 in
+  let keep row =
+    let h = Record.hash row in
+    let bucket = try Hashtbl.find seen h with Not_found -> [] in
+    if List.exists (Record.equal row) bucket then false
+    else (
+      Hashtbl.replace seen h (row :: bucket);
+      true)
+  in
+  { t with table_rows = List.filter keep t.table_rows }
+
+let filter t p = { t with table_rows = List.filter p t.table_rows }
+let sort t ~by = { t with table_rows = List.stable_sort by t.table_rows }
+
+let skip t n =
+  let rec drop n = function xs when n <= 0 -> xs | [] -> [] | _ :: xs -> drop (n - 1) xs in
+  { t with table_rows = drop n t.table_rows }
+
+let limit t n =
+  let rec take n = function
+    | _ when n <= 0 -> []
+    | [] -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  { t with table_rows = take n t.table_rows }
+
+let group_by t ~key =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = key row in
+      let h = Hashtbl.hash (List.map Value.hash k) in
+      let bucket = try Hashtbl.find tbl h with Not_found -> [] in
+      match
+        List.find_opt (fun (k', _) -> List.equal Value.equal_total k k') bucket
+      with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+        let cell = ref [ row ] in
+        Hashtbl.replace tbl h ((k, cell) :: bucket);
+        order := (k, cell) :: !order)
+    t.table_rows;
+  List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !order
+
+let bag_equal t1 t2 =
+  List.equal String.equal t1.table_fields t2.table_fields
+  && List.length t1.table_rows = List.length t2.table_rows
+  &&
+  let sorted t = List.sort Record.compare t.table_rows in
+  List.equal Record.equal (sorted t1) (sorted t2)
+
+let equal_ordered t1 t2 =
+  List.equal String.equal t1.table_fields t2.table_fields
+  && List.equal Record.equal t1.table_rows t2.table_rows
+
+let render ~columns t =
+  let cell row c =
+    match Record.find row c with
+    | Some v -> Format.asprintf "%a" Value.pp_plain v
+    | None -> ""
+  in
+  let all_rows = List.map (fun r -> List.map (cell r) columns) t.table_rows in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w cells -> max w (String.length (List.nth cells i)))
+          (String.length c) all_rows)
+      columns
+  in
+  let line parts =
+    String.concat " | "
+      (List.map2 (fun w s -> s ^ String.make (max 0 (w - String.length s)) ' ') widths parts)
+  in
+  let sep = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line columns :: sep :: List.map line all_rows)
+
+let pp_with ~columns ppf t = Format.pp_print_string ppf (render ~columns t)
+
+let pp ppf t =
+  if t.table_fields = [] then
+    Format.fprintf ppf "(no fields; %d row(s))" (row_count t)
+  else pp_with ~columns:t.table_fields ppf t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/tck/feature.ml: Cypher_graph Cypher_parser Cypher_semantics Cypher_table Cypher_values In_channel List Printf String Tck Value

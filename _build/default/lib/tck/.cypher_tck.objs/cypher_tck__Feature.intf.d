@@ -1,0 +1,1 @@
+lib/tck/feature.mli: Cypher_semantics Tck

@@ -1,0 +1,1 @@
+lib/tck/tck.ml: Cypher_engine Cypher_graph Cypher_parser Cypher_semantics Cypher_table Cypher_values Format Graph Ids List Printf Record Table Value

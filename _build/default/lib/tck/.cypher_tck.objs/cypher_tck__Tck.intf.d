@@ -1,0 +1,1 @@
+lib/tck/tck.mli: Cypher_engine Cypher_graph Cypher_semantics Cypher_values Graph Value

@@ -1,0 +1,1 @@
+lib/temporal/temporal.ml: Buffer Cypher_values Format Int64 Option Printf String Value

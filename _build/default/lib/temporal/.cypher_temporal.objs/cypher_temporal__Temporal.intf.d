@@ -1,0 +1,1 @@
+lib/temporal/temporal.mli: Cypher_values Format Value

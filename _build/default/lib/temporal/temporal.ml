@@ -1,0 +1,455 @@
+open Cypher_values
+
+exception Temporal_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Temporal_error s)) fmt
+
+let ns_per_second = 1_000_000_000L
+let ns_per_minute = 60_000_000_000L
+let ns_per_hour = 3_600_000_000_000L
+let ns_per_day = 86_400_000_000_000L
+
+(* --- proleptic Gregorian calendar (shared with value printing) ----- *)
+
+module Cal = Cypher_values.Calendar
+
+let is_leap_year = Cal.is_leap_year
+
+let days_in_month y m =
+  try Cal.days_in_month y m with Invalid_argument msg -> err "%s" msg
+
+let days_of_ymd ymd =
+  try Cal.days_of_ymd ymd with Invalid_argument msg -> err "%s" msg
+
+let ymd_of_days = Cal.ymd_of_days
+
+(* --- construction --------------------------------------------------- *)
+
+let date ?(day = 1) ?(month = 1) ~year () =
+  Value.Temporal (Value.Date (days_of_ymd (year, month, day)))
+
+let nanos_of_hms ~hour ~minute ~second ~nanosecond =
+  if hour < 0 || hour > 23 then err "invalid hour %d" hour;
+  if minute < 0 || minute > 59 then err "invalid minute %d" minute;
+  if second < 0 || second > 59 then err "invalid second %d" second;
+  if nanosecond < 0 || nanosecond >= 1_000_000_000 then
+    err "invalid nanosecond %d" nanosecond;
+  Int64.add
+    (Int64.add
+       (Int64.mul (Int64.of_int hour) ns_per_hour)
+       (Int64.mul (Int64.of_int minute) ns_per_minute))
+    (Int64.add
+       (Int64.mul (Int64.of_int second) ns_per_second)
+       (Int64.of_int nanosecond))
+
+let local_time ?(nanosecond = 0) ?(second = 0) ?(minute = 0) ~hour () =
+  Value.Temporal (Value.Local_time (nanos_of_hms ~hour ~minute ~second ~nanosecond))
+
+let time ?(nanosecond = 0) ?(second = 0) ?(minute = 0) ?(offset_seconds = 0)
+    ~hour () =
+  Value.Temporal
+    (Value.Time (nanos_of_hms ~hour ~minute ~second ~nanosecond, offset_seconds))
+
+let local_datetime ~date ~time =
+  match date, time with
+  | Value.Temporal (Value.Date d), Value.Temporal (Value.Local_time t) ->
+    Value.Temporal (Value.Local_datetime (d, t))
+  | _ -> err "localdatetime: expected a date and a local time"
+
+let datetime ?(offset_seconds = 0) ~date ~time () =
+  match date, time with
+  | Value.Temporal (Value.Date d), Value.Temporal (Value.Local_time t) ->
+    Value.Temporal (Value.Datetime (d, t, offset_seconds))
+  | Value.Temporal (Value.Date d), Value.Temporal (Value.Time (t, off)) ->
+    Value.Temporal (Value.Datetime (d, t, off))
+  | _ -> err "datetime: expected a date and a time"
+
+let duration ?(years = 0) ?(months = 0) ?(weeks = 0) ?(days = 0) ?(hours = 0)
+    ?(minutes = 0) ?(seconds = 0) ?(nanoseconds = 0) () =
+  let nanos =
+    Int64.add
+      (Int64.add
+         (Int64.mul (Int64.of_int hours) ns_per_hour)
+         (Int64.mul (Int64.of_int minutes) ns_per_minute))
+      (Int64.add
+         (Int64.mul (Int64.of_int seconds) ns_per_second)
+         (Int64.of_int nanoseconds))
+  in
+  Value.Temporal
+    (Value.Duration
+       { months = (years * 12) + months; days = (weeks * 7) + days; nanos })
+
+(* --- parsing --------------------------------------------------------- *)
+
+let parse_int s ~what =
+  match int_of_string_opt s with Some i -> i | None -> err "invalid %s: %s" what s
+
+let parse_date_parts s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+    days_of_ymd
+      ( parse_int y ~what:"year",
+        parse_int m ~what:"month",
+        parse_int d ~what:"day" )
+  | _ -> err "invalid date: %s (expected YYYY-MM-DD)" s
+
+let parse_date s = Value.Temporal (Value.Date (parse_date_parts s))
+
+let parse_time_parts s =
+  let parse_frac frac =
+    (* fraction of a second, up to 9 digits *)
+    let digits = String.sub (frac ^ "000000000") 0 9 in
+    parse_int digits ~what:"fraction"
+  in
+  match String.split_on_char ':' s with
+  | [ h; m ] ->
+    nanos_of_hms ~hour:(parse_int h ~what:"hour")
+      ~minute:(parse_int m ~what:"minute") ~second:0 ~nanosecond:0
+  | [ h; m; sec ] ->
+    let second, nanosecond =
+      match String.split_on_char '.' sec with
+      | [ whole ] -> (parse_int whole ~what:"second", 0)
+      | [ whole; frac ] -> (parse_int whole ~what:"second", parse_frac frac)
+      | _ -> err "invalid seconds: %s" sec
+    in
+    nanos_of_hms ~hour:(parse_int h ~what:"hour")
+      ~minute:(parse_int m ~what:"minute") ~second ~nanosecond
+  | _ -> err "invalid time: %s" s
+
+let parse_local_time s = Value.Temporal (Value.Local_time (parse_time_parts s))
+
+let split_offset s =
+  (* returns (local part, offset seconds option) *)
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = 'Z' then (String.sub s 0 (n - 1), Some 0)
+  else
+    (* search for + or - after the first ':' to avoid eating date dashes *)
+    let rec find i =
+      if i >= n then None
+      else if s.[i] = '+' || s.[i] = '-' then Some i
+      else find (i + 1)
+    in
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some colon -> (
+      match find colon with
+      | None -> (s, None)
+      | Some i ->
+        let sign = if s.[i] = '-' then -1 else 1 in
+        let off = String.sub s (i + 1) (n - i - 1) in
+        let seconds =
+          match String.split_on_char ':' off with
+          | [ h ] -> parse_int h ~what:"offset hours" * 3600
+          | [ h; m ] ->
+            (parse_int h ~what:"offset hours" * 3600)
+            + (parse_int m ~what:"offset minutes" * 60)
+          | _ -> err "invalid offset: %s" off
+        in
+        (String.sub s 0 i, Some (sign * seconds)))
+
+let parse_time s =
+  let local, offset = split_offset s in
+  Value.Temporal (Value.Time (parse_time_parts local, Option.value offset ~default:0))
+
+let split_datetime s =
+  match String.index_opt s 'T' with
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> err "invalid datetime: %s (expected <date>T<time>)" s
+
+let parse_local_datetime s =
+  let d, t = split_datetime s in
+  Value.Temporal (Value.Local_datetime (parse_date_parts d, parse_time_parts t))
+
+let parse_datetime s =
+  let d, t = split_datetime s in
+  let local, offset = split_offset t in
+  Value.Temporal
+    (Value.Datetime
+       (parse_date_parts d, parse_time_parts local, Option.value offset ~default:0))
+
+let parse_duration s =
+  let n = String.length s in
+  if n = 0 || s.[0] <> 'P' then err "invalid duration: %s" s;
+  let months = ref 0 and days = ref 0 and nanos = ref 0L in
+  let in_time = ref false in
+  let i = ref 1 in
+  let read_number () =
+    let start = !i in
+    while
+      !i < n
+      && (match s.[!i] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+    do
+      incr i
+    done;
+    if start = !i then err "invalid duration: %s" s;
+    String.sub s start (!i - start)
+  in
+  while !i < n do
+    if s.[!i] = 'T' then (
+      in_time := true;
+      incr i)
+    else begin
+      let num = read_number () in
+      if !i >= n then err "invalid duration: %s (missing unit)" s;
+      let unit = s.[!i] in
+      incr i;
+      let as_int () = parse_int num ~what:"duration component" in
+      let as_nanos mult =
+        let f = float_of_string num in
+        Int64.of_float (f *. Int64.to_float mult)
+      in
+      match unit, !in_time with
+      | 'Y', false -> months := !months + (12 * as_int ())
+      | 'M', false -> months := !months + as_int ()
+      | 'W', false -> days := !days + (7 * as_int ())
+      | 'D', false -> days := !days + as_int ()
+      | 'H', true -> nanos := Int64.add !nanos (as_nanos ns_per_hour)
+      | 'M', true -> nanos := Int64.add !nanos (as_nanos ns_per_minute)
+      | 'S', true -> nanos := Int64.add !nanos (as_nanos ns_per_second)
+      | _ -> err "invalid duration unit %C in %s" unit s
+    end
+  done;
+  Value.Temporal (Value.Duration { months = !months; days = !days; nanos = !nanos })
+
+(* --- components ------------------------------------------------------ *)
+
+let time_components = Cal.time_components
+let day_of_week = Cal.day_of_week
+
+let component t key =
+  let date_comp d key =
+    let y, m, dd = ymd_of_days d in
+    match key with
+    | "year" -> Some (Value.Int y)
+    | "month" -> Some (Value.Int m)
+    | "day" -> Some (Value.Int dd)
+    | "epochDays" | "epochdays" -> Some (Value.Int d)
+    | "dayOfWeek" | "dayofweek" -> Some (Value.Int (day_of_week d))
+    | _ -> None
+  in
+  let time_comp tm key =
+    let h, mi, sec, ns = time_components tm in
+    match key with
+    | "hour" -> Some (Value.Int h)
+    | "minute" -> Some (Value.Int mi)
+    | "second" -> Some (Value.Int sec)
+    | "millisecond" -> Some (Value.Int (ns / 1_000_000))
+    | "microsecond" -> Some (Value.Int (ns / 1_000))
+    | "nanosecond" -> Some (Value.Int ns)
+    | _ -> None
+  in
+  match t with
+  | Value.Date d -> date_comp d key
+  | Value.Local_time tm -> time_comp tm key
+  | Value.Time (tm, off) -> (
+    match key with
+    | "offsetSeconds" | "offsetseconds" -> Some (Value.Int off)
+    | _ -> time_comp tm key)
+  | Value.Local_datetime (d, tm) -> (
+    match date_comp d key with Some v -> Some v | None -> time_comp tm key)
+  | Value.Datetime (d, tm, off) -> (
+    match key with
+    | "offsetSeconds" | "offsetseconds" -> Some (Value.Int off)
+    | "epochSeconds" | "epochseconds" ->
+      Some
+        (Value.Int
+           ((d * 86_400)
+           + Int64.to_int (Int64.div tm ns_per_second)
+           - off))
+    | _ -> (
+      match date_comp d key with Some v -> Some v | None -> time_comp tm key))
+  | Value.Duration { months; days; nanos } -> (
+    match key with
+    | "months" -> Some (Value.Int months)
+    | "years" -> Some (Value.Int (months / 12))
+    | "days" -> Some (Value.Int days)
+    | "weeks" -> Some (Value.Int (days / 7))
+    | "hours" -> Some (Value.Int (Int64.to_int (Int64.div nanos ns_per_hour)))
+    | "minutes" ->
+      Some (Value.Int (Int64.to_int (Int64.div nanos ns_per_minute)))
+    | "seconds" ->
+      Some (Value.Int (Int64.to_int (Int64.div nanos ns_per_second)))
+    | "nanoseconds" -> Some (Value.Int (Int64.to_int nanos))
+    | _ -> None)
+
+(* --- arithmetic ------------------------------------------------------- *)
+
+let add_months_to_date d months =
+  let y, m, day = ymd_of_days d in
+  let total = ((y * 12) + (m - 1)) + months in
+  let y' = if total >= 0 then total / 12 else (total - 11) / 12 in
+  let m' = total - (y' * 12) + 1 in
+  let day' = min day (days_in_month y' m') in
+  days_of_ymd (y', m', day')
+
+(* A plain mirror of the inline record carried by [Value.Duration]. *)
+type dur = { d_months : int; d_days : int; d_nanos : int64 }
+
+let dur_of_temporal = function
+  | Value.Duration { months; days; nanos } ->
+    { d_months = months; d_days = days; d_nanos = nanos }
+  | _ -> err "expected a duration"
+
+let temporal_of_dur { d_months; d_days; d_nanos } =
+  Value.Duration { months = d_months; days = d_days; nanos = d_nanos }
+
+(* Applies a duration to (days, time-of-day nanos), returning the new
+   date part and time part with carry. *)
+let shift_datetime (d, tm) dur =
+  let d = add_months_to_date d dur.d_months + dur.d_days in
+  let total = Int64.add tm dur.d_nanos in
+  let day_shift, tm' =
+    let q = Int64.div total ns_per_day and r = Int64.rem total ns_per_day in
+    if Int64.compare r 0L < 0 then
+      (Int64.to_int q - 1, Int64.add r ns_per_day)
+    else (Int64.to_int q, r)
+  in
+  (d + day_shift, tm')
+
+let neg_duration d =
+  { d_months = -d.d_months; d_days = -d.d_days; d_nanos = Int64.neg d.d_nanos }
+
+let add a b =
+  match a, b with
+  | Value.Duration _, Value.Duration _ ->
+    let x = dur_of_temporal a and y = dur_of_temporal b in
+    Value.Temporal
+      (temporal_of_dur
+         {
+           d_months = x.d_months + y.d_months;
+           d_days = x.d_days + y.d_days;
+           d_nanos = Int64.add x.d_nanos y.d_nanos;
+         })
+  | Value.Date d, (Value.Duration _ as dv) | (Value.Duration _ as dv), Value.Date d ->
+    let dur = dur_of_temporal dv in
+    (* a date plus a sub-day duration stays a date (time part dropped) *)
+    let d', _ = shift_datetime (d, 0L) dur in
+    Value.Temporal (Value.Date d')
+  | Value.Local_time t, (Value.Duration _ as dv)
+  | (Value.Duration _ as dv), Value.Local_time t ->
+    let _, tm' = shift_datetime (0, t) (dur_of_temporal dv) in
+    Value.Temporal (Value.Local_time tm')
+  | Value.Time (t, off), (Value.Duration _ as dv)
+  | (Value.Duration _ as dv), Value.Time (t, off) ->
+    let _, tm' = shift_datetime (0, t) (dur_of_temporal dv) in
+    Value.Temporal (Value.Time (tm', off))
+  | Value.Local_datetime (d, t), (Value.Duration _ as dv)
+  | (Value.Duration _ as dv), Value.Local_datetime (d, t) ->
+    let d', t' = shift_datetime (d, t) (dur_of_temporal dv) in
+    Value.Temporal (Value.Local_datetime (d', t'))
+  | Value.Datetime (d, t, off), (Value.Duration _ as dv)
+  | (Value.Duration _ as dv), Value.Datetime (d, t, off) ->
+    let d', t' = shift_datetime (d, t) (dur_of_temporal dv) in
+    Value.Temporal (Value.Datetime (d', t', off))
+  | _ -> err "cannot add these temporal values"
+
+let sub a b =
+  match a, b with
+  | _, Value.Duration _ ->
+    add a (temporal_of_dur (neg_duration (dur_of_temporal b)))
+  | Value.Date d1, Value.Date d2 ->
+    Value.Temporal (Value.Duration { months = 0; days = d1 - d2; nanos = 0L })
+  | Value.Local_time t1, Value.Local_time t2 ->
+    Value.Temporal
+      (Value.Duration { months = 0; days = 0; nanos = Int64.sub t1 t2 })
+  | Value.Local_datetime (d1, t1), Value.Local_datetime (d2, t2) ->
+    Value.Temporal
+      (Value.Duration { months = 0; days = d1 - d2; nanos = Int64.sub t1 t2 })
+  | Value.Datetime (d1, t1, o1), Value.Datetime (d2, t2, o2) ->
+    let nanos =
+      Int64.sub
+        (Int64.sub t1 (Int64.mul (Int64.of_int o1) ns_per_second))
+        (Int64.sub t2 (Int64.mul (Int64.of_int o2) ns_per_second))
+    in
+    Value.Temporal (Value.Duration { months = 0; days = d1 - d2; nanos })
+  | _ -> err "cannot subtract these temporal values"
+
+let scale t f =
+  match t with
+  | Value.Duration { months; days; nanos } ->
+    Value.Temporal
+      (Value.Duration
+         {
+           months = int_of_float (float_of_int months *. f);
+           days = int_of_float (float_of_int days *. f);
+           nanos = Int64.of_float (Int64.to_float nanos *. f);
+         })
+  | _ -> err "only durations can be multiplied by a number"
+
+let truncate unit t =
+  let tr_date d u =
+    let y, m, _ = ymd_of_days d in
+    match u with
+    | "year" -> days_of_ymd (y, 1, 1)
+    | "month" -> days_of_ymd (y, m, 1)
+    | "day" -> d
+    | _ -> err "cannot truncate a date to %s" u
+  in
+  let tr_time tm u =
+    let h, mi, s, _ = Cal.time_components tm in
+    let rebuild ~h ~mi ~s =
+      Int64.add
+        (Int64.add
+           (Int64.mul (Int64.of_int h) ns_per_hour)
+           (Int64.mul (Int64.of_int mi) ns_per_minute))
+        (Int64.mul (Int64.of_int s) ns_per_second)
+    in
+    match u with
+    | "year" | "month" | "day" -> 0L
+    | "hour" -> rebuild ~h ~mi:0 ~s:0
+    | "minute" -> rebuild ~h ~mi ~s:0
+    | "second" -> rebuild ~h ~mi ~s
+    | _ -> err "unknown truncation unit: %s" u
+  in
+  let u = String.lowercase_ascii unit in
+  match t with
+  | Value.Date d -> Value.Temporal (Value.Date (tr_date d u))
+  | Value.Local_time tm -> Value.Temporal (Value.Local_time (tr_time tm u))
+  | Value.Time (tm, off) -> Value.Temporal (Value.Time (tr_time tm u, off))
+  | Value.Local_datetime (d, tm) ->
+    let d' = match u with "year" | "month" -> tr_date d u | _ -> d in
+    Value.Temporal (Value.Local_datetime (d', tr_time tm u))
+  | Value.Datetime (d, tm, off) ->
+    let d' = match u with "year" | "month" -> tr_date d u | _ -> d in
+    Value.Temporal (Value.Datetime (d', tr_time tm u, off))
+  | Value.Duration _ -> err "durations cannot be truncated"
+
+(* --- printing --------------------------------------------------------- *)
+
+let iso_date = Cal.iso_date
+let iso_time = Cal.iso_time
+let iso_offset = Cal.iso_offset
+
+let to_iso_string = function
+  | Value.Date d -> iso_date d
+  | Value.Local_time t -> iso_time t
+  | Value.Time (t, off) -> iso_time t ^ iso_offset off
+  | Value.Local_datetime (d, t) -> iso_date d ^ "T" ^ iso_time t
+  | Value.Datetime (d, t, off) -> iso_date d ^ "T" ^ iso_time t ^ iso_offset off
+  | Value.Duration { months; days; nanos } ->
+    let buf = Buffer.create 16 in
+    Buffer.add_char buf 'P';
+    let years = months / 12 and ms = months mod 12 in
+    if years <> 0 then Buffer.add_string buf (string_of_int years ^ "Y");
+    if ms <> 0 then Buffer.add_string buf (string_of_int ms ^ "M");
+    if days <> 0 then Buffer.add_string buf (string_of_int days ^ "D");
+    if Int64.compare nanos 0L <> 0 then begin
+      Buffer.add_char buf 'T';
+      let open Int64 in
+      let h = div nanos ns_per_hour in
+      let mi = rem (div nanos ns_per_minute) 60L in
+      let s = rem (div nanos ns_per_second) 60L in
+      let ns = rem nanos ns_per_second in
+      if compare h 0L <> 0 then Buffer.add_string buf (to_string h ^ "H");
+      if compare mi 0L <> 0 then Buffer.add_string buf (to_string mi ^ "M");
+      if compare s 0L <> 0 || compare ns 0L <> 0 then
+        if compare ns 0L = 0 then Buffer.add_string buf (to_string s ^ "S")
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%Ld.%09LdS" s (Int64.abs ns))
+    end;
+    if Buffer.length buf = 1 then Buffer.add_string buf "T0S";
+    Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_iso_string t)

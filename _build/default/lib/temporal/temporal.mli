@@ -1,0 +1,94 @@
+(** Temporal types for Cypher 10 (paper, Section 6).
+
+    "A detailed proposal specifies support for temporal instant types
+    (DateTime, LocalDateTime, Date, Time, and LocalTime) and a duration
+    type."  This module implements those types over the plain
+    representation carried by {!Cypher_values.Value.temporal}: dates as
+    days since 1970-01-01 (proleptic Gregorian), times as nanoseconds
+    since midnight, zoned values with a UTC offset in seconds, and
+    durations as (months, days, nanoseconds) — the three-component model
+    of the openCypher proposal, where months and days do not have a fixed
+    length in nanoseconds. *)
+
+open Cypher_values
+
+exception Temporal_error of string
+
+(** {1 Calendar arithmetic} *)
+
+val days_of_ymd : int * int * int -> int
+(** [days_of_ymd (y, m, d)] is the number of days between 1970-01-01 and
+    the given proleptic-Gregorian date (negative before the epoch).
+    Raises {!Temporal_error} for an invalid date. *)
+
+val ymd_of_days : int -> int * int * int
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int
+
+(** {1 Construction} *)
+
+val date : ?day:int -> ?month:int -> year:int -> unit -> Value.t
+val local_time :
+  ?nanosecond:int -> ?second:int -> ?minute:int -> hour:int -> unit -> Value.t
+val time :
+  ?nanosecond:int -> ?second:int -> ?minute:int -> ?offset_seconds:int ->
+  hour:int -> unit -> Value.t
+val local_datetime : date:Value.t -> time:Value.t -> Value.t
+val datetime : ?offset_seconds:int -> date:Value.t -> time:Value.t -> unit -> Value.t
+
+val duration :
+  ?years:int -> ?months:int -> ?weeks:int -> ?days:int -> ?hours:int ->
+  ?minutes:int -> ?seconds:int -> ?nanoseconds:int -> unit -> Value.t
+
+(** {1 Parsing (ISO 8601)} *)
+
+val parse_date : string -> Value.t
+(** Accepts [YYYY-MM-DD]. *)
+
+val parse_local_time : string -> Value.t
+(** Accepts [hh:mm[:ss[.fraction]]]. *)
+
+val parse_time : string -> Value.t
+(** Accepts [hh:mm[:ss[.fraction]]][Z|±hh:mm]. *)
+
+val parse_local_datetime : string -> Value.t
+(** Accepts [<date>T<local time>]. *)
+
+val parse_datetime : string -> Value.t
+(** Accepts [<date>T<time>]. *)
+
+val parse_duration : string -> Value.t
+(** Accepts ISO 8601 durations such as [P1Y2M3DT4H5M6.5S] and [P2W]. *)
+
+(** {1 Components} *)
+
+val component : Value.temporal -> string -> Value.t option
+(** Component access as used by property syntax [d.year]: supported keys
+    include year, month, day, hour, minute, second, millisecond,
+    microsecond, nanosecond, offsetSeconds, epochDays, epochSeconds,
+    dayOfWeek (1 = Monday), and for durations months, days, seconds,
+    nanoseconds, plus the per-unit views years, weeks, hours, minutes. *)
+
+(** {1 Arithmetic} *)
+
+val add : Value.temporal -> Value.temporal -> Value.t
+(** instant + duration, duration + duration.  Raises for other
+    combinations. *)
+
+val sub : Value.temporal -> Value.temporal -> Value.t
+(** instant - duration, duration - duration, instant - instant (the last
+    produces a duration). *)
+
+val scale : Value.temporal -> float -> Value.t
+(** duration * number. *)
+
+val truncate : string -> Value.temporal -> Value.t
+(** [truncate unit t] zeroes every component smaller than [unit]
+    ('year', 'month', 'day', 'hour', 'minute', 'second'); dates can be
+    truncated to 'year'/'month'/'day', datetimes to any unit.  Raises
+    {!Temporal_error} for an unknown unit or an inapplicable value. *)
+
+(** {1 Printing} *)
+
+val to_iso_string : Value.temporal -> string
+val pp : Format.formatter -> Value.temporal -> unit

@@ -1,0 +1,1 @@
+lib/values/calendar.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/values/ids.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/values/ids.mli: Format Map Set

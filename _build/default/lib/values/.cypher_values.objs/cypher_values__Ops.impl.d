@@ -1,0 +1,1 @@
+lib/values/ops.ml: Float List Smap String Ternary Value

@@ -1,0 +1,1 @@
+lib/values/ops.mli: Ternary Value

@@ -1,0 +1,1 @@
+lib/values/ternary.mli: Format

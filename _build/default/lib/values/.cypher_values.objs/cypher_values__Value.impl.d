@@ -1,0 +1,1 @@
+lib/values/value.ml: Bool Buffer Calendar Float Format Hashtbl Ids Int Int64 List Map Printf String Ternary

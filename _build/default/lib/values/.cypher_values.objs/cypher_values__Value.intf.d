@@ -1,0 +1,1 @@
+lib/values/value.mli: Format Ids Map Ternary

@@ -1,0 +1,66 @@
+let ns_per_second = 1_000_000_000L
+let ns_per_minute = 60_000_000_000L
+let ns_per_hour = 3_600_000_000_000L
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> invalid_arg (Printf.sprintf "invalid month %d" m)
+
+(* Howard Hinnant's civil-from-days / days-from-civil algorithms, shifted
+   to the 1970-01-01 epoch. *)
+let days_of_ymd (y, m, d) =
+  if m < 1 || m > 12 then invalid_arg (Printf.sprintf "invalid month %d" m);
+  if d < 1 || d > days_in_month y m then
+    invalid_arg (Printf.sprintf "invalid day %d for %d-%02d" d y m);
+  let y' = if m <= 2 then y - 1 else y in
+  let era = (if y' >= 0 then y' else y' - 399) / 400 in
+  let yoe = y' - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let ymd_of_days days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let day_of_week days =
+  (* 1970-01-01 was a Thursday; ISO: Monday = 1 *)
+  (((days mod 7) + 7 + 3) mod 7) + 1
+
+let time_components t =
+  let open Int64 in
+  let hour = to_int (div t ns_per_hour) in
+  let minute = to_int (rem (div t ns_per_minute) 60L) in
+  let second = to_int (rem (div t ns_per_second) 60L) in
+  let nano = to_int (rem t ns_per_second) in
+  (hour, minute, second, nano)
+
+let iso_date d =
+  let y, m, dd = ymd_of_days d in
+  Printf.sprintf "%04d-%02d-%02d" y m dd
+
+let iso_time tm =
+  let h, mi, s, ns = time_components tm in
+  if ns = 0 then Printf.sprintf "%02d:%02d:%02d" h mi s
+  else Printf.sprintf "%02d:%02d:%02d.%09d" h mi s ns
+
+let iso_offset off =
+  if off = 0 then "Z"
+  else
+    let sign = if off < 0 then '-' else '+' in
+    let off = abs off in
+    Printf.sprintf "%c%02d:%02d" sign (off / 3600) (off mod 3600 / 60)

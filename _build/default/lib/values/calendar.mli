@@ -1,0 +1,26 @@
+(** Proleptic-Gregorian calendar arithmetic and ISO-8601 component
+    rendering over plain integers.
+
+    This lives below {!Value} so that value printing (tables, exports)
+    can render temporal values in ISO form; [Cypher_temporal.Temporal]
+    builds its parsing and arithmetic on the same functions. *)
+
+val is_leap_year : int -> bool
+val days_in_month : int -> int -> int
+(** Raises [Invalid_argument] for an invalid month. *)
+
+val days_of_ymd : int * int * int -> int
+(** Days since 1970-01-01; raises [Invalid_argument] for invalid dates. *)
+
+val ymd_of_days : int -> int * int * int
+
+val day_of_week : int -> int
+(** ISO: Monday = 1 ... Sunday = 7, from days since the epoch. *)
+
+val time_components : int64 -> int * int * int * int
+(** (hour, minute, second, nanosecond) of nanoseconds since midnight. *)
+
+val iso_date : int -> string
+val iso_time : int64 -> string
+val iso_offset : int -> string
+(** ["Z"] for 0, otherwise [±hh:mm]. *)

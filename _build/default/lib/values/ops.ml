@@ -1,0 +1,148 @@
+open Value
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_error "expected a number, got %s" (type_name v)
+
+let checked_int_exn op f =
+  if Float.is_integer f then int_of_float f
+  else type_error "%s: expected an integer, got %g" op f
+
+let numeric2 op_name int_op float_op a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | _ ->
+    type_error "%s: cannot apply to %s and %s" op_name (type_name a) (type_name b)
+
+let add a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | String x, String y -> String (x ^ y)
+  | List x, List y -> List (x @ y)
+  | List x, y -> List (x @ [ y ])
+  | x, List y -> List (x :: y)
+  | _ -> numeric2 "+" ( + ) ( +. ) a b
+
+let sub a b = numeric2 "-" ( - ) ( -. ) a b
+let mul a b = numeric2 "*" ( * ) ( *. ) a b
+
+let div a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> raise Division_by_zero
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a /. to_float b)
+  | _ -> type_error "/: cannot apply to %s and %s" (type_name a) (type_name b)
+
+let modulo a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> raise Division_by_zero
+  | Int x, Int y -> Int (x mod y)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    Float (Float.rem (to_float a) (to_float b))
+  | _ -> type_error "%%: cannot apply to %s and %s" (type_name a) (type_name b)
+
+let pow a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float a ** to_float b)
+  | _ -> type_error "^: cannot apply to %s and %s" (type_name a) (type_name b)
+
+let neg = function
+  | Null -> Null
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | v -> type_error "unary -: cannot apply to %s" (type_name v)
+
+let string2 op_name f a b =
+  match a, b with
+  | Null, _ | _, Null -> Ternary.Unknown
+  | String x, String y -> Ternary.of_bool (f x y)
+  | _ ->
+    type_error "%s: cannot apply to %s and %s" op_name (type_name a) (type_name b)
+
+let string_starts_with ~prefix s =
+  String.length prefix <= String.length s
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let string_ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  lx <= ls && String.equal suffix (String.sub s (ls - lx) lx)
+
+let string_contains ~sub s =
+  let ls = String.length s and lx = String.length sub in
+  let rec scan i = i + lx <= ls && (String.equal sub (String.sub s i lx) || scan (i + 1)) in
+  lx = 0 || scan 0
+
+let starts_with a b = string2 "STARTS WITH" (fun s p -> string_starts_with ~prefix:p s) a b
+let ends_with a b = string2 "ENDS WITH" (fun s x -> string_ends_with ~suffix:x s) a b
+let contains a b = string2 "CONTAINS" (fun s x -> string_contains ~sub:x s) a b
+
+let in_list v l =
+  match l with
+  | Null -> Ternary.Unknown
+  | List elems ->
+    let step acc e = Ternary.or_ acc (equal_ternary v e) in
+    List.fold_left step Ternary.False elems
+  | _ -> type_error "IN: expected a list, got %s" (type_name l)
+
+let normalize_index len i = if i < 0 then len + i else i
+
+let index l i =
+  match l, i with
+  | Null, _ | _, Null -> Null
+  | List elems, Int i ->
+    let len = List.length elems in
+    let i = normalize_index len i in
+    if i < 0 || i >= len then Null else List.nth elems i
+  | Map m, String k -> ( match Smap.find_opt k m with Some v -> v | None -> Null)
+  | _ -> type_error "[]: cannot index %s with %s" (type_name l) (type_name i)
+
+let clamp lo hi x = max lo (min hi x)
+
+let slice l lo hi =
+  let bound len default = function
+    | None -> default
+    | Some Null -> -1 (* propagated below *)
+    | Some (Int i) -> clamp 0 len (normalize_index len i)
+    | Some v -> type_error "[..]: expected an integer bound, got %s" (type_name v)
+  in
+  match l with
+  | Null -> Null
+  | List elems ->
+    if lo = Some Null || hi = Some Null then Null
+    else
+      let len = List.length elems in
+      let lo = bound len 0 lo and hi = bound len len hi in
+      if lo >= hi then List []
+      else
+        List
+          (List.filteri (fun idx _ -> idx >= lo && idx < hi) elems)
+  | _ -> type_error "[..]: cannot slice %s" (type_name l)
+
+let range lo hi step =
+  match lo, hi, step with
+  | Null, _, _ | _, Null, _ | _, _, Null -> Null
+  | Int lo, Int hi, Int step ->
+    if step = 0 then type_error "range: step must be non-zero"
+    else
+      let rec build acc i =
+        if (step > 0 && i > hi) || (step < 0 && i < hi) then List.rev acc
+        else build (Int i :: acc) (i + step)
+      in
+      List (build [] lo)
+  | _ ->
+    type_error "range: expected integers, got %s, %s, %s" (type_name lo)
+      (type_name hi) (type_name step)
+
+let size = function
+  | Null -> Null
+  | List elems -> Int (List.length elems)
+  | String s -> Int (String.length s)
+  | Map m -> Int (Smap.cardinal m)
+  | Path p -> Int (path_length p)
+  | v -> type_error "size: cannot apply to %s" (type_name v)

@@ -1,0 +1,64 @@
+(** Operations on Cypher values.
+
+    The paper assumes "a finite set F of predefined functions that can be
+    applied to values" (Section 4.1).  This module supplies the concrete
+    instances used by the expression semantics: arithmetic with int/float
+    promotion, string predicates (STARTS WITH / ENDS WITH / CONTAINS),
+    list construction, indexing and slicing, and the IN membership test.
+
+    All operations are null-propagating unless documented otherwise, and
+    raise {!Value.Type_error} on genuinely ill-typed applications. *)
+
+val add : Value.t -> Value.t -> Value.t
+(** Numeric addition, string concatenation, list concatenation. *)
+
+val sub : Value.t -> Value.t -> Value.t
+val mul : Value.t -> Value.t -> Value.t
+
+val div : Value.t -> Value.t -> Value.t
+(** Integer division when both sides are integers (truncating, like
+    Cypher); float division otherwise.  Division by integer zero raises
+    [Division_by_zero]; by float zero yields infinity. *)
+
+val modulo : Value.t -> Value.t -> Value.t
+val pow : Value.t -> Value.t -> Value.t
+(** Exponentiation always produces a float, as in Cypher. *)
+
+val neg : Value.t -> Value.t
+
+(** {1 Strings} *)
+
+val starts_with : Value.t -> Value.t -> Ternary.t
+val ends_with : Value.t -> Value.t -> Ternary.t
+val contains : Value.t -> Value.t -> Ternary.t
+
+(** {1 Lists} *)
+
+val in_list : Value.t -> Value.t -> Ternary.t
+(** [in_list v l]: Cypher's [v IN l], with SQL-like null semantics — if no
+    element is equal and some comparison was unknown, the result is
+    unknown. *)
+
+val index : Value.t -> Value.t -> Value.t
+(** [index l i]: list indexing with negative-from-end semantics, null if
+    out of bounds; also map indexing by string key and node/rel property
+    access is handled at the expression level, not here. *)
+
+val slice : Value.t -> Value.t option -> Value.t option -> Value.t
+(** [slice l lo hi]: Cypher's [l[lo..hi]], either bound optional,
+    negative indices count from the end, out-of-range clamped. *)
+
+val range : Value.t -> Value.t -> Value.t -> Value.t
+(** [range lo hi step]: the [range] function, inclusive bounds. *)
+
+val size : Value.t -> Value.t
+(** Length of a list or string, number of entries of a map. *)
+
+(** {1 Numeric coercions} *)
+
+val to_float : Value.t -> float
+(** Coerces Int/Float to float; raises on other kinds. *)
+
+val checked_int_exn : string -> float -> int
+(** Rounds a float known to be integral; raises {!Value.Type_error} with
+    the given operation name otherwise. *)

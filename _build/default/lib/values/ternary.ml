@@ -1,0 +1,36 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+let to_bool_opt = function True -> Some true | False -> Some false | Unknown -> None
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | Unknown, _ | _, Unknown -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | Unknown, _ | _, Unknown -> Unknown
+
+let xor a b =
+  match a, b with
+  | Unknown, _ | _, Unknown -> Unknown
+  | True, False | False, True -> True
+  | True, True | False, False -> False
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "null"
+
+let is_true = function True -> true | False | Unknown -> false

@@ -1,0 +1,24 @@
+(** SQL-style three-valued logic.
+
+    Cypher "uses 3-value logic for dealing with nulls.  The values are
+    true, false and null (unknown), and the rules for connectives and,
+    or, not, and xor, are exactly the same as in SQL" (Section 4.3). *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val to_bool_opt : t -> bool option
+(** [Some b] for [True]/[False], [None] for [Unknown]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_true : t -> bool
+(** [is_true t] holds only for [True]; [WHERE] keeps a row only when its
+    predicate evaluates to true (not false, not unknown). *)

@@ -1,0 +1,338 @@
+module Smap = Map.Make (String)
+
+type path = {
+  path_start : Ids.node;
+  path_steps : (Ids.rel * Ids.node) list;
+}
+
+type temporal =
+  | Date of int
+  | Local_time of int64
+  | Time of int64 * int
+  | Local_datetime of int * int64
+  | Datetime of int * int64 * int
+  | Duration of { months : int; days : int; nanos : int64 }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Map of t Smap.t
+  | Node of Ids.node
+  | Rel of Ids.rel
+  | Path of path
+  | Temporal of temporal
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let map_of_list kvs =
+  Map (List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty kvs)
+
+let list_ vs = List vs
+
+let path_nodes p = p.path_start :: List.map snd p.path_steps
+let path_rels p = List.map fst p.path_steps
+let path_length p = List.length p.path_steps
+let path_last p =
+  match List.rev p.path_steps with
+  | [] -> p.path_start
+  | (_, n) :: _ -> n
+
+let path_concat p1 p2 =
+  if Ids.equal_node (path_last p1) p2.path_start then
+    Some { path_start = p1.path_start; path_steps = p1.path_steps @ p2.path_steps }
+  else None
+
+let type_name = function
+  | Null -> "NULL"
+  | Bool _ -> "BOOLEAN"
+  | Int _ -> "INTEGER"
+  | Float _ -> "FLOAT"
+  | String _ -> "STRING"
+  | List _ -> "LIST"
+  | Map _ -> "MAP"
+  | Node _ -> "NODE"
+  | Rel _ -> "RELATIONSHIP"
+  | Path _ -> "PATH"
+  | Temporal (Date _) -> "DATE"
+  | Temporal (Local_time _) -> "LOCALTIME"
+  | Temporal (Time _) -> "TIME"
+  | Temporal (Local_datetime _) -> "LOCALDATETIME"
+  | Temporal (Datetime _) -> "DATETIME"
+  | Temporal (Duration _) -> "DURATION"
+
+let is_null = function Null -> true | _ -> false
+
+let truth = function
+  | Bool b -> Ternary.of_bool b
+  | Null -> Ternary.Unknown
+  | v -> type_error "expected a boolean predicate, got %s" (type_name v)
+
+(* Rank used by the total sort order; one rank per kind of value, with
+   numbers sharing a rank so that 1 and 1.0 interleave numerically. *)
+let kind_rank = function
+  | Map _ -> 0
+  | Node _ -> 1
+  | Rel _ -> 2
+  | List _ -> 3
+  | Path _ -> 4
+  | Temporal (Datetime _) -> 5
+  | Temporal (Local_datetime _) -> 6
+  | Temporal (Date _) -> 7
+  | Temporal (Time _) -> 8
+  | Temporal (Local_time _) -> 9
+  | Temporal (Duration _) -> 10
+  | String _ -> 11
+  | Bool _ -> 12
+  | Int _ | Float _ -> 13
+  | Null -> 14
+
+let compare_number a b =
+  match a, b with
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | _ -> None
+
+let temporal_repr = function
+  | Date d -> (0, d, 0L, 0)
+  | Local_time t -> (1, 0, t, 0)
+  | Time (t, off) -> (2, 0, t, off)
+  | Local_datetime (d, t) -> (3, d, t, 0)
+  | Datetime (d, t, off) -> (4, d, t, off)
+  | Duration { months; days; nanos } -> (5, months, nanos, days)
+
+(* Instants compare by their absolute position; only like kinds are
+   comparable in the ternary comparison, but the total order must order
+   everything, so it falls back to the structural representation. *)
+let compare_temporal_total a b =
+  compare (temporal_repr a) (temporal_repr b)
+
+let compare_temporal_opt a b =
+  match a, b with
+  | Date x, Date y -> Some (Int.compare x y)
+  | Local_time x, Local_time y -> Some (Int64.compare x y)
+  | Time (x, ox), Time (y, oy) ->
+    (* compare absolute instants: nanos - offset *)
+    let abs t off = Int64.sub t (Int64.mul (Int64.of_int off) 1_000_000_000L) in
+    Some (Int64.compare (abs x ox) (abs y oy))
+  | Local_datetime (dx, tx), Local_datetime (dy, ty) ->
+    Some (compare (dx, tx) (dy, ty))
+  | Datetime (dx, tx, ox), Datetime (dy, ty, oy) ->
+    let abs d t off =
+      Int64.add
+        (Int64.mul (Int64.of_int d) 86_400_000_000_000L)
+        (Int64.sub t (Int64.mul (Int64.of_int off) 1_000_000_000L))
+    in
+    Some (Int64.compare (abs dx tx ox) (abs dy ty oy))
+  | _ -> None
+
+let rec compare_total a b =
+  let ra = kind_rank a and rb = kind_rank b in
+  if ra <> rb then Int.compare ra rb
+  else
+    match a, b with
+    | Null, Null -> 0
+    | Bool x, Bool y -> Bool.compare x y
+    | (Int _ | Float _), (Int _ | Float _) -> (
+      match compare_number a b with Some c -> c | None -> assert false)
+    | String x, String y -> String.compare x y
+    | List xs, List ys -> compare_list xs ys
+    | Map mx, Map my -> Smap.compare compare_total mx my
+    | Node x, Node y -> Ids.compare_node x y
+    | Rel x, Rel y -> Ids.compare_rel x y
+    | Path x, Path y -> compare_path x y
+    | Temporal x, Temporal y -> compare_temporal_total x y
+    | _ -> assert false
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare_total x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+and compare_path p q =
+  let c = Ids.compare_node p.path_start q.path_start in
+  if c <> 0 then c
+  else
+    compare_list
+      (List.concat_map (fun (r, n) -> [ Rel r; Node n ]) p.path_steps)
+      (List.concat_map (fun (r, n) -> [ Rel r; Node n ]) q.path_steps)
+
+let equal_total a b = compare_total a b = 0
+
+let hash v =
+  (* Structural hash compatible with [equal_total]: floats that equal an
+     integer hash as that integer. *)
+  let rec go acc v =
+    let combine acc x = (acc * 31) + x in
+    match v with
+    | Null -> combine acc 1
+    | Bool b -> combine acc (if b then 2 else 3)
+    | Int i -> combine (combine acc 4) (Hashtbl.hash (float_of_int i))
+    | Float f -> combine (combine acc 4) (Hashtbl.hash f)
+    | String s -> combine (combine acc 5) (Hashtbl.hash s)
+    | List xs -> List.fold_left go (combine acc 6) xs
+    | Map m ->
+      Smap.fold (fun k x acc -> go (combine acc (Hashtbl.hash k)) x) m (combine acc 7)
+    | Node n -> combine (combine acc 8) (Ids.node_to_int n)
+    | Rel r -> combine (combine acc 9) (Ids.rel_to_int r)
+    | Path p ->
+      List.fold_left
+        (fun acc (r, n) ->
+          combine (combine acc (Ids.rel_to_int r)) (Ids.node_to_int n))
+        (combine (combine acc 10) (Ids.node_to_int p.path_start))
+        p.path_steps
+    | Temporal t -> combine (combine acc 11) (Hashtbl.hash (temporal_repr t))
+  in
+  go 17 v land max_int
+
+(* Ternary equality: Cypher's [=].  Null anywhere inside propagates as
+   Unknown; values of different kinds are simply not equal. *)
+let rec equal_ternary a b =
+  match a, b with
+  | Null, _ | _, Null -> Ternary.Unknown
+  | Bool x, Bool y -> Ternary.of_bool (Bool.equal x y)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+    match compare_number a b with
+    | Some c -> Ternary.of_bool (c = 0)
+    | None -> assert false)
+  | String x, String y -> Ternary.of_bool (String.equal x y)
+  | List xs, List ys ->
+    if List.length xs <> List.length ys then Ternary.False
+    else
+      List.fold_left2
+        (fun acc x y -> Ternary.and_ acc (equal_ternary x y))
+        Ternary.True xs ys
+  | Map mx, Map my ->
+    if not (List.equal String.equal (List.map fst (Smap.bindings mx))
+              (List.map fst (Smap.bindings my)))
+    then Ternary.False
+    else
+      Smap.fold
+        (fun k x acc -> Ternary.and_ acc (equal_ternary x (Smap.find k my)))
+        mx Ternary.True
+  | Node x, Node y -> Ternary.of_bool (Ids.equal_node x y)
+  | Rel x, Rel y -> Ternary.of_bool (Ids.equal_rel x y)
+  | Path x, Path y -> Ternary.of_bool (compare_path x y = 0)
+  | Temporal x, Temporal y -> (
+    match compare_temporal_opt x y with
+    | Some c -> Ternary.of_bool (c = 0)
+    | None -> Ternary.of_bool (compare_temporal_total x y = 0))
+  | _ -> Ternary.False
+
+let rec compare_opt a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | (Int _ | Float _), (Int _ | Float _) -> compare_number a b
+  | String x, String y -> Some (String.compare x y)
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | List xs, List ys -> compare_list_opt xs ys
+  | Temporal x, Temporal y -> compare_temporal_opt x y
+  | _ -> None
+
+and compare_list_opt xs ys =
+  match xs, ys with
+  | [], [] -> Some 0
+  | [], _ :: _ -> Some (-1)
+  | _ :: _, [] -> Some 1
+  | x :: xs', y :: ys' -> (
+    match compare_opt x y with
+    | None -> None
+    | Some 0 -> compare_list_opt xs' ys'
+    | Some c -> Some c)
+
+let cmp_to_ternary f a b =
+  match compare_opt a b with
+  | None -> Ternary.Unknown
+  | Some c -> Ternary.of_bool (f c 0)
+
+let less_than a b = cmp_to_ternary ( < ) a b
+let less_eq a b = cmp_to_ternary ( <= ) a b
+let greater_than a b = cmp_to_ternary ( > ) a b
+let greater_eq a b = cmp_to_ternary ( >= ) a b
+
+let pp_float ppf f =
+  if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.1f" f
+  else Format.fprintf ppf "%g" f
+
+let rec pp_gen ~quote ppf v =
+  match v with
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> pp_float ppf f
+  | String s ->
+    if quote then Format.fprintf ppf "'%s'" s else Format.pp_print_string ppf s
+  | List vs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_gen ~quote:true))
+      vs
+  | Map m ->
+    let bindings = Smap.bindings m in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%s: %a" k (pp_gen ~quote:true) v))
+      bindings
+  | Node n -> Ids.pp_node ppf n
+  | Rel r -> Ids.pp_rel ppf r
+  | Path p ->
+    Format.fprintf ppf "<%a" Ids.pp_node p.path_start;
+    List.iter
+      (fun (r, n) -> Format.fprintf ppf "-%a->%a" Ids.pp_rel r Ids.pp_node n)
+      p.path_steps;
+    Format.pp_print_string ppf ">"
+  | Temporal t -> pp_temporal ppf t
+
+and pp_temporal ppf t =
+  (* ISO-8601 via the shared calendar *)
+  let s =
+    match t with
+    | Date d -> Calendar.iso_date d
+    | Local_time tm -> Calendar.iso_time tm
+    | Time (tm, off) -> Calendar.iso_time tm ^ Calendar.iso_offset off
+    | Local_datetime (d, tm) -> Calendar.iso_date d ^ "T" ^ Calendar.iso_time tm
+    | Datetime (d, tm, off) ->
+      Calendar.iso_date d ^ "T" ^ Calendar.iso_time tm ^ Calendar.iso_offset off
+    | Duration { months; days; nanos } -> iso_duration ~months ~days ~nanos
+  in
+  Format.pp_print_string ppf s
+
+and iso_duration ~months ~days ~nanos =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf 'P';
+  let years = months / 12 and ms = months mod 12 in
+  if years <> 0 then Buffer.add_string buf (string_of_int years ^ "Y");
+  if ms <> 0 then Buffer.add_string buf (string_of_int ms ^ "M");
+  if days <> 0 then Buffer.add_string buf (string_of_int days ^ "D");
+  if Int64.compare nanos 0L <> 0 then begin
+    Buffer.add_char buf 'T';
+    let open Int64 in
+    let h = div nanos 3_600_000_000_000L in
+    let mi = rem (div nanos 60_000_000_000L) 60L in
+    let s = rem (div nanos 1_000_000_000L) 60L in
+    let ns = rem nanos 1_000_000_000L in
+    if compare h 0L <> 0 then Buffer.add_string buf (to_string h ^ "H");
+    if compare mi 0L <> 0 then Buffer.add_string buf (to_string mi ^ "M");
+    if compare s 0L <> 0 || compare ns 0L <> 0 then
+      if compare ns 0L = 0 then Buffer.add_string buf (to_string s ^ "S")
+      else Buffer.add_string buf (Printf.sprintf "%Ld.%09LdS" s (Int64.abs ns))
+  end;
+  if Buffer.length buf = 1 then Buffer.add_string buf "T0S";
+  Buffer.contents buf
+
+let pp ppf v = pp_gen ~quote:true ppf v
+let pp_plain ppf v = pp_gen ~quote:false ppf v
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,124 @@
+(** The Cypher value domain [V] (paper, Section 4.1).
+
+    Values are inductively defined: identifiers (node and relationship
+    ids), base types (we provide integers, floats and strings; the paper
+    illustrates with integers and strings), the booleans, [null], lists,
+    maps keyed by property keys, and paths.  We additionally carry the
+    Cypher 10 temporal values (paper, Section 6) so that the single value
+    type serves both language versions. *)
+
+module Smap : Map.S with type key = string
+(** String-keyed maps, used for Cypher map values and property maps. *)
+
+type path = {
+  path_start : Ids.node;
+  path_steps : (Ids.rel * Ids.node) list;
+}
+(** The paper's [path(n1, r1, n2, ..., rm-1, nm)]: a start node followed
+    by (relationship, node) hops.  A single node is a path with no steps. *)
+
+(** Temporal instants and durations (Cypher 10, Section 6).  The
+    representation is deliberately plain so that this module stays free of
+    calendar logic; the [Cypher_temporal] library provides construction,
+    parsing and arithmetic. *)
+type temporal =
+  | Date of int  (** days since 1970-01-01 *)
+  | Local_time of int64  (** nanoseconds since midnight *)
+  | Time of int64 * int  (** nanoseconds since midnight, UTC offset in seconds *)
+  | Local_datetime of int * int64  (** date part, local-time part *)
+  | Datetime of int * int64 * int  (** date part, time part, UTC offset in seconds *)
+  | Duration of { months : int; days : int; nanos : int64 }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Map of t Smap.t
+  | Node of Ids.node
+  | Rel of Ids.rel
+  | Path of path
+  | Temporal of temporal
+
+val map_of_list : (string * t) list -> t
+(** Builds a [Map] value from an association list; later bindings win. *)
+
+val list_ : t list -> t
+
+val path_nodes : path -> Ids.node list
+(** All nodes along a path, in order, including repetitions. *)
+
+val path_rels : path -> Ids.rel list
+(** All relationships along a path, in order. *)
+
+val path_length : path -> int
+(** Number of relationships traversed. *)
+
+val path_concat : path -> path -> path option
+(** [path_concat p1 p2] is the paper's [p1 · p2]: defined only when [p1]
+    ends in the node where [p2] starts. *)
+
+val path_last : path -> Ids.node
+
+(** {1 Equality and ordering} *)
+
+val equal_ternary : t -> t -> Ternary.t
+(** Cypher's [=]: null-propagating.  Comparing [null] with anything is
+    [Unknown]; lists and maps compare structurally with null propagation;
+    values of incomparable kinds compare [False] (they are well-typed,
+    just never equal); [Int] and [Float] compare numerically. *)
+
+val compare_opt : t -> t -> int option
+(** Orderability comparison: [None] when either side is [null] or the two
+    values are of kinds that do not admit comparison (e.g. an integer and
+    a string); [Some c] otherwise. *)
+
+val less_than : t -> t -> Ternary.t
+val less_eq : t -> t -> Ternary.t
+val greater_than : t -> t -> Ternary.t
+val greater_eq : t -> t -> Ternary.t
+
+val compare_total : t -> t -> int
+(** The global sort order used for ORDER BY, DISTINCT and grouping: a
+    total order on all values.  Nulls sort last (largest); values of
+    different kinds are ordered by a fixed kind rank; [Int] and [Float]
+    are ordered numerically within a single number kind. *)
+
+val equal_total : t -> t -> bool
+(** Equality induced by {!compare_total}; this is the equivalence used
+    for duplicate elimination and grouping keys, under which
+    [null = null] holds and [1 = 1.0] holds. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal_total}. *)
+
+(** {1 Classification and printing} *)
+
+val type_name : t -> string
+(** Human-readable type name, e.g. ["INTEGER"], ["LIST"], ["NODE"]. *)
+
+val is_null : t -> bool
+val truth : t -> Ternary.t
+(** Coerces a value to a truth value: booleans map to themselves, [Null]
+    to [Unknown]; anything else raises {!Type_error}. *)
+
+exception Type_error of string
+(** Raised by operations applied to values of the wrong kind (a run-time
+    type error in the dynamically typed language). *)
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [type_error fmt ...] raises {!Type_error} with a formatted message. *)
+
+val pp : Format.formatter -> t -> unit
+(** Cypher literal syntax: lists as [[1, 2]], maps as [{k: v}], strings
+    quoted, nodes as [n1], relationships as [r1], paths as
+    [<n1-r1->n2>]. *)
+
+val to_string : t -> string
+
+val pp_plain : Format.formatter -> t -> unit
+(** Like {!pp} but strings are printed without quotes — used when
+    rendering result tables the way the paper prints them (e.g. [Nils],
+    not ["Nils"]). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cypher_parser Cypher_semantics Cypher_table Cypher_values Ids List Record Table Value

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Cypher_algos Cypher_gen Cypher_graph Cypher_table Cypher_values Float Generate Helpers Ids Int List Value

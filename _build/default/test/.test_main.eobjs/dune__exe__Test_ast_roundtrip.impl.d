@@ -1,0 +1,1 @@
+test/test_ast_roundtrip.ml: Cypher_ast Cypher_parser Format List Printexc Printf QCheck QCheck_alcotest

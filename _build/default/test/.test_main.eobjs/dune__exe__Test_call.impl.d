@@ -1,0 +1,1 @@
+test/test_call.ml: Alcotest Cypher_ast Cypher_engine Cypher_gen Cypher_graph Cypher_parser Cypher_table Generate Helpers Paper_graphs String

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Cypher_engine Cypher_gen Cypher_graph Helpers List Paper_graphs Printf String

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Cypher_engine Cypher_gen Cypher_graph Cypher_values Export Graph Helpers String Value

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Cypher_engine Cypher_tck List String

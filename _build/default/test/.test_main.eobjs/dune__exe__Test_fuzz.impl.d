@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Cypher_ast Cypher_engine Cypher_gen Cypher_graph Cypher_parser Cypher_semantics Cypher_table Cypher_values Generate Helpers List Printexc Printf Prng String Workload

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cypher_gen Cypher_graph Cypher_values Graph Helpers Ids List Stats Value

@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Cypher_ast Cypher_engine Cypher_gen Cypher_graph Cypher_parser Cypher_planner Cypher_values Graph Helpers List Value

@@ -1,0 +1,1 @@
+test/test_multigraph.ml: Alcotest Cypher_engine Cypher_gen Cypher_graph Cypher_multigraph Cypher_semantics Cypher_table Graph Helpers List Seq

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Clauses Cypher_ast Cypher_gen Cypher_semantics Cypher_table Cypher_values Eval Helpers Ids Paper_graphs Printf Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ast Cypher_ast Cypher_parser Helpers List Pretty Printf String

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Cypher_ast Cypher_engine Cypher_gen Cypher_graph Cypher_parser Cypher_planner Cypher_table Cypher_values Generate Helpers List Option Paper_graphs String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Cypher_engine Cypher_gen Cypher_graph Cypher_table Cypher_temporal Cypher_values Format Ids List Ops Printf QCheck QCheck_alcotest Ternary Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Cypher_engine Cypher_graph Cypher_schema Cypher_values Helpers List String

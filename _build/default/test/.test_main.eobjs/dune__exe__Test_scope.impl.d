@@ -1,0 +1,1 @@
+test/test_scope.ml: Alcotest Cypher_engine Cypher_graph Helpers Printf String

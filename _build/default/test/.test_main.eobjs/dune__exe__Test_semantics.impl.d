@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Cypher_engine Cypher_gen Cypher_graph Cypher_parser Cypher_semantics Cypher_table Cypher_values Helpers List Paper_graphs Record Value

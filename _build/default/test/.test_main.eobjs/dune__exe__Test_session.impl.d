@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Cypher_graph Cypher_schema Cypher_session Helpers

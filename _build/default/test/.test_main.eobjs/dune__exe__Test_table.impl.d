@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Cypher_table Cypher_values Helpers List Record String Table Value

@@ -1,0 +1,1 @@
+test/test_tck2.ml: Cypher_tck Cypher_values Value

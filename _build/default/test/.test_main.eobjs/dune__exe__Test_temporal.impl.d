@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Cypher_engine Cypher_graph Cypher_temporal Cypher_values Helpers List Printf Ternary Value

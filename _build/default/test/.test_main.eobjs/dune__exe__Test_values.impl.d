@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Cypher_values Helpers Ids List Ops Ternary Value

@@ -1,0 +1,89 @@
+Feature: Aggregation
+
+  Scenario: Counting relationship types per node
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Hub), (a)-[:X]->(), (a)-[:X]->(), (a)-[:Y]->()
+      """
+    When executing query:
+      """
+      MATCH (a:Hub)-[r]->() RETURN type(r) AS t, count(*) AS c ORDER BY c DESC
+      """
+    Then the result should be, in order:
+      | t   | c |
+      | 'X' | 2 |
+      | 'Y' | 1 |
+
+  Scenario: Aggregates and grouping keys can interleave
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({g: 'a', v: 1}), ({g: 'a', v: 3}), ({g: 'b', v: 10})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN sum(n.v) AS s, n.g AS g, avg(n.v) AS a ORDER BY g
+      """
+    Then the result should be, in order:
+      | s  | g   | a    |
+      | 4  | 'a' | 2.0  |
+      | 10 | 'b' | 10.0 |
+
+  Scenario: Expressions over aggregates
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 2, 3] AS x RETURN sum(x) * 2 + count(*) AS v
+      """
+    Then the result should be, in any order:
+      | v  |
+      | 15 |
+
+  Scenario: min and max respect the value order
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND ['b', 'a', 'c'] AS x RETURN min(x) AS mn, max(x) AS mx
+      """
+    Then the result should be, in any order:
+      | mn  | mx  |
+      | 'a' | 'c' |
+
+  Scenario: collect preserves encounter order
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [3, 1, 2] AS x RETURN collect(x) AS l
+      """
+    Then the result should be, in any order:
+      | l         |
+      | [3, 1, 2] |
+
+  Scenario: count DISTINCT on properties
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({c: 'x'}), ({c: 'x'}), ({c: 'y'}), ()
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN count(DISTINCT n.c) AS c
+      """
+    Then the result should be, in any order:
+      | c |
+      | 2 |
+
+  Scenario: aggregation after WITH sees the narrowed rows
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 2}), ({v: 3}), ({v: 4})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH n.v AS v WHERE v % 2 = 0 RETURN sum(v) AS even_sum
+      """
+    Then the result should be, in any order:
+      | even_sum |
+      | 6        |

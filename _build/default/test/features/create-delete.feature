@@ -1,0 +1,85 @@
+Feature: Create and delete
+
+  Scenario: Creating two nodes and a relationship
+    Given an empty graph
+    When executing query:
+      """
+      CREATE (:A)-[:REL]->(:B)
+      """
+    Then the side effects should be:
+      | +nodes         | 2 |
+      | +relationships | 1 |
+
+  Scenario: Creating a node per unwound row
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [10, 20, 30] AS v CREATE (:Num {value: v})
+      """
+    Then the side effects should be:
+      | +nodes | 3 |
+
+  Scenario: Delete only the matched relationship
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A)-[:R1]->(:B), (:A)-[:R2]->(:B)
+      """
+    When executing query:
+      """
+      MATCH ()-[r:R1]->() DELETE r
+      """
+    Then the side effects should be:
+      | -relationships | 1 |
+
+  Scenario: Detach delete a whole component
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Gone)-[:T]->(:Gone2)<-[:T]-(a)
+      """
+    When executing query:
+      """
+      MATCH (n) DETACH DELETE n
+      """
+    Then the side effects should be:
+      | -nodes         | 2 |
+      | -relationships | 2 |
+
+  Scenario: Deleting a connected node without DETACH fails
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A)-[:T]->(:B)
+      """
+    When executing query:
+      """
+      MATCH (a:A) DELETE a
+      """
+    Then an Error should be raised
+
+  Scenario: Merge is idempotent
+    Given an empty graph
+    And having executed:
+      """
+      MERGE (:Town {name: 'Malmo'})
+      """
+    When executing query:
+      """
+      MERGE (:Town {name: 'Malmo'})
+      """
+    Then no side effects
+
+  Scenario: Set and return in one query
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Counter {n: 0})
+      """
+    When executing query:
+      """
+      MATCH (c:Counter) SET c.n = c.n + 1 RETURN c.n AS n
+      """
+    Then the result should be, in any order:
+      | n |
+      | 1 |

@@ -1,0 +1,86 @@
+Feature: Expressions
+
+  Scenario: List literals and operations
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [1, 2, 3] + [4] AS l, size([1, 2]) AS s, 2 IN [1, 2] AS m
+      """
+    Then the result should be, in any order:
+      | l            | s | m    |
+      | [1, 2, 3, 4] | 2 | true |
+
+  Scenario: Map projection chains
+    Given an empty graph
+    When executing query:
+      """
+      WITH {name: 'Alice', address: {city: 'Malmo'}} AS person
+      RETURN person.address.city AS city
+      """
+    Then the result should be, in any order:
+      | city    |
+      | 'Malmo' |
+
+  Scenario: Ternary logic in a filter keeps only true
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({age: 20}), ({age: 10}), ()
+      """
+    When executing query:
+      """
+      MATCH (n) WHERE n.age > 15 RETURN count(*) AS adults
+      """
+    Then the result should be, in any order:
+      | adults |
+      | 1      |
+
+  Scenario: CASE picks the matching branch
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [0, 1, 2] AS x
+      RETURN x, CASE x WHEN 0 THEN 'zero' WHEN 1 THEN 'one' ELSE 'many' END AS word
+      """
+    Then the result should be, in any order:
+      | x | word   |
+      | 0 | 'zero' |
+      | 1 | 'one'  |
+      | 2 | 'many' |
+
+  Scenario: String predicates
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({s: 'Cypher'}), ({s: 'SQL'})
+      """
+    When executing query:
+      """
+      MATCH (n) WHERE n.s STARTS WITH 'Cy' RETURN n.s AS s
+      """
+    Then the result should be, in any order:
+      | s        |
+      | 'Cypher' |
+
+  Scenario: Division by zero raises
+    Given an empty graph
+    When executing query:
+      """
+      RETURN 1 / 0
+      """
+    Then an ArithmeticError should be raised
+
+  Scenario: Quantified predicate over a collected list
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2}), ({v: 4}), ({v: 6})
+      """
+    When executing query:
+      """
+      MATCH (n) WITH collect(n.v) AS vs
+      RETURN all(v IN vs WHERE v % 2 = 0) AS all_even
+      """
+    Then the result should be, in any order:
+      | all_even |
+      | true     |

@@ -1,0 +1,83 @@
+Feature: Lists and maps
+
+  Scenario: Range and comprehension together
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [x IN range(1, 10) WHERE x % 3 = 0 | x * x] AS squares
+      """
+    Then the result should be, in any order:
+      | squares      |
+      | [9, 36, 81]  |
+
+  Scenario: Slicing is end-exclusive and clamps
+    Given an empty graph
+    When executing query:
+      """
+      WITH [0, 1, 2, 3, 4] AS l
+      RETURN l[1..3] AS mid, l[3..99] AS tail, l[-2..] AS last2
+      """
+    Then the result should be, in any order:
+      | mid    | tail   | last2  |
+      | [1, 2] | [3, 4] | [3, 4] |
+
+  Scenario: Nested map and list access
+    Given an empty graph
+    When executing query:
+      """
+      WITH {rows: [{cells: [1, 2]}, {cells: [3]}]} AS grid
+      RETURN grid.rows[1].cells[0] AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 3 |
+
+  Scenario: Lists are compared lexicographically
+    Given an empty graph
+    When executing query:
+      """
+      RETURN [1, 2] < [1, 3] AS a, [1] < [1, 0] AS b, [2] < [1, 9] AS c
+      """
+    Then the result should be, in any order:
+      | a    | b    | c     |
+      | true | true | false |
+
+  Scenario: Pattern comprehension against the graph
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Author {name: 'A'}), (a)-[:WROTE]->({t: 'x'}),
+             (a)-[:WROTE]->({t: 'y'})
+      """
+    When executing query:
+      """
+      MATCH (a:Author)
+      RETURN size([(a)-[:WROTE]->(b) | b.t]) AS works
+      """
+    Then the result should be, in any order:
+      | works |
+      | 2     |
+
+  Scenario: Map projection picks and computes
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:City {name: 'Malmo', pop: 350000, secret: true})
+      """
+    When executing query:
+      """
+      MATCH (c:City) RETURN c {.name, big: c.pop > 100000} AS view
+      """
+    Then the result should be, in any order:
+      | view                        |
+      | {big: true, name: 'Malmo'} |
+
+  Scenario: keys are sorted and stable
+    Given an empty graph
+    When executing query:
+      """
+      RETURN keys({b: 1, a: 2, c: 3}) AS ks
+      """
+    Then the result should be, in any order:
+      | ks              |
+      | ['a', 'b', 'c'] |

@@ -1,0 +1,91 @@
+# Scenarios in the shape of the openCypher TCK Match features.
+Feature: Match
+
+  Scenario: Returning a node property value
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Person {name: 'Tobias'}), (:Person {name: 'Petra'})
+      """
+    When executing query:
+      """
+      MATCH (p:Person) RETURN p.name AS name
+      """
+    Then the result should be, in any order:
+      | name     |
+      | 'Tobias' |
+      | 'Petra'  |
+    And no side effects
+
+  Scenario: Matching a relationship pattern in both directions
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:A {v: 1})-[:KNOWS]->(b:B {v: 2})
+      """
+    When executing query:
+      """
+      MATCH (x)-[:KNOWS]-(y) RETURN x.v AS x, y.v AS y
+      """
+    Then the result should be, in any order:
+      | x | y |
+      | 1 | 2 |
+      | 2 | 1 |
+
+  Scenario: Matching nothing on an empty graph
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (n) RETURN n
+      """
+    Then the result should be empty
+
+  Scenario: Fail when using a variable that is not bound
+    Given an empty graph
+    When executing query:
+      """
+      MATCH (a) RETURN b
+      """
+    Then a SyntaxError should be raised
+
+  Scenario: Matching a self loop both directions
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a:Looper)-[:LIKES]->(a)
+      """
+    When executing query:
+      """
+      MATCH (a)-[:LIKES]-(b) RETURN count(*) AS c
+      """
+    Then the result should be, in any order:
+      | c |
+      | 1 |
+
+  Scenario: Three-node friend chain
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {name: 'A'})-[:KNOWS]->(b {name: 'B'})-[:KNOWS]->(c {name: 'C'})
+      """
+    When executing query:
+      """
+      MATCH (a)-[:KNOWS]->()-[:KNOWS]->(c) RETURN a.name AS a, c.name AS c
+      """
+    Then the result should be, in any order:
+      | a   | c   |
+      | 'A' | 'C' |
+
+  Scenario: Variable length with lower bound
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({i: 1})-[:T]->({i: 2})-[:T]->({i: 3})-[:T]->({i: 4})
+      """
+    When executing query:
+      """
+      MATCH ({i: 1})-[:T*3..]->(x) RETURN x.i AS i
+      """
+    Then the result should be, in any order:
+      | i |
+      | 4 |

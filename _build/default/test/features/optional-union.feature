@@ -1,0 +1,79 @@
+Feature: OPTIONAL MATCH and UNION
+
+  Scenario: Optional match after aggregation
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:P {v: 1}), (:P {v: 2})
+      """
+    When executing query:
+      """
+      MATCH (p:P) WITH count(p) AS n
+      OPTIONAL MATCH (x:Missing) RETURN n, x
+      """
+    Then the result should be, in any order:
+      | n | x    |
+      | 2 | null |
+
+  Scenario: Optional match keeps multiplicities of the driving table
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH (n {v: 1}) OPTIONAL MATCH (n)-[:T]->(m) RETURN count(*) AS c
+      """
+    Then the result should be, in any order:
+      | c |
+      | 2 |
+
+  Scenario: Union distinct across branches
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:A {v: 1}), (:B {v: 1}), (:B {v: 2})
+      """
+    When executing query:
+      """
+      MATCH (n:A) RETURN n.v AS v
+      UNION
+      MATCH (n:B) RETURN n.v AS v
+      """
+    Then the result should be, in any order:
+      | v |
+      | 1 |
+      | 2 |
+
+  Scenario: Union all keeps every branch row
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND [1, 2] AS x RETURN x
+      UNION ALL
+      UNWIND [2, 3] AS x RETURN x
+      """
+    Then the result should be, in any order:
+      | x |
+      | 1 |
+      | 2 |
+      | 2 |
+      | 3 |
+
+  Scenario: Optional chain where only the head matches
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Head {v: 1})
+      """
+    When executing query:
+      """
+      MATCH (h:Head)
+      OPTIONAL MATCH (h)-[:T]->(m)
+      OPTIONAL MATCH (m)-[:T]->(t)
+      RETURN h.v AS v, m, t
+      """
+    Then the result should be, in any order:
+      | v | m    | t    |
+      | 1 | null | null |

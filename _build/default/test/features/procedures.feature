@@ -1,0 +1,55 @@
+Feature: CALL procedures
+
+  Scenario: Listing labels
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:B), (:A), (:B)
+      """
+    When executing query:
+      """
+      CALL db.labels() YIELD label RETURN label
+      """
+    Then the result should be, in any order:
+      | label |
+      | 'A'   |
+      | 'B'   |
+
+  Scenario: Connected components through a procedure
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:X)-[:T]->(:X), (:Lonely)
+      """
+    When executing query:
+      """
+      CALL algo.wcc() YIELD node, component
+      RETURN count(DISTINCT component) AS components
+      """
+    Then the result should be, in any order:
+      | components |
+      | 2          |
+
+  Scenario: Filtering yielded rows with WHERE
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {n: 'hub'}), (a)-[:T]->({n: 'x'}), (a)-[:T]->({n: 'y'})
+      """
+    When executing query:
+      """
+      MATCH (a {n: 'hub'})
+      CALL algo.bfs(a) YIELD node, distance WHERE distance = 1
+      RETURN count(*) AS direct
+      """
+    Then the result should be, in any order:
+      | direct |
+      | 2      |
+
+  Scenario: Unknown procedures are an error
+    Given an empty graph
+    When executing query:
+      """
+      CALL not.a.procedure()
+      """
+    Then an Error should be raised

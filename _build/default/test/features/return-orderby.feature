@@ -1,0 +1,75 @@
+Feature: Return and ordering
+
+  Scenario: Sorting with ORDER BY and LIMIT
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 5}), ({v: 3}), ({v: 9}), ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY v DESC LIMIT 2
+      """
+    Then the result should be, in order:
+      | v |
+      | 9 |
+      | 5 |
+
+  Scenario: DISTINCT on a projected expression
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 1}), ({v: 1}), ({v: 2})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN DISTINCT n.v % 2 AS parity
+      """
+    Then the result should be, in any order:
+      | parity |
+      | 1      |
+      | 0      |
+
+  Scenario: Aggregation with a grouping key
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Dog {name: 'Rex'}), (:Dog {name: 'Fido'}), (:Cat {name: 'Mia'})
+      """
+    When executing query:
+      """
+      MATCH (a) RETURN labels(a)[0] AS species, count(*) AS n ORDER BY n DESC
+      """
+    Then the result should be, in order:
+      | species | n |
+      | 'Dog'   | 2 |
+      | 'Cat'   | 1 |
+
+  Scenario: Parameters drive SKIP and LIMIT
+    Given an empty graph
+    And parameters are:
+      | lim | 2 |
+    When executing query:
+      """
+      UNWIND [1, 2, 3, 4] AS x RETURN x ORDER BY x LIMIT $lim
+      """
+    Then the result should be, in order:
+      | x |
+      | 1 |
+      | 2 |
+
+  Scenario: Null ordering places null last ascending
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({v: 2}), (), ({v: 1})
+      """
+    When executing query:
+      """
+      MATCH (n) RETURN n.v AS v ORDER BY v
+      """
+    Then the result should be, in order:
+      | v    |
+      | 1    |
+      | 2    |
+      | null |

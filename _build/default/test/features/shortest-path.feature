@@ -1,0 +1,66 @@
+Feature: Shortest paths
+
+  Scenario: shortestPath skips the long way round
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {n: 'a'}), (b {n: 'b'}), (c {n: 'c'}), (d {n: 'd'}),
+             (a)-[:R]->(b), (b)-[:R]->(c), (c)-[:R]->(d), (a)-[:R]->(d)
+      """
+    When executing query:
+      """
+      MATCH (a {n: 'a'}), (d {n: 'd'})
+      MATCH p = shortestPath((a)-[:R*]->(d))
+      RETURN length(p) AS len
+      """
+    Then the result should be, in any order:
+      | len |
+      | 1   |
+
+  Scenario: allShortestPaths returns each minimal route
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (s {n: 's'}), (m1), (m2), (t {n: 't'}),
+             (s)-[:R]->(m1), (s)-[:R]->(m2),
+             (m1)-[:R]->(t), (m2)-[:R]->(t)
+      """
+    When executing query:
+      """
+      MATCH (s {n: 's'}), (t {n: 't'})
+      MATCH p = allShortestPaths((s)-[:R*]->(t))
+      RETURN length(p) AS len, count(*) AS routes
+      """
+    Then the result should be, in any order:
+      | len | routes |
+      | 2   | 2      |
+
+  Scenario: no path means no row
+    Given an empty graph
+    And having executed:
+      """
+      CREATE ({n: 'a'}), ({n: 'b'})
+      """
+    When executing query:
+      """
+      MATCH (a {n: 'a'}), (b {n: 'b'})
+      MATCH p = shortestPath((a)-[:R*]->(b))
+      RETURN p
+      """
+    Then the result should be empty
+
+  Scenario: shortest path respects minimum length
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (a {n: 'a'})-[:R]->(b {n: 'b'}), (a)-[:R]->(x), (x)-[:R]->(b)
+      """
+    When executing query:
+      """
+      MATCH (a {n: 'a'}), (b {n: 'b'})
+      MATCH p = shortestPath((a)-[:R*2..]->(b))
+      RETURN length(p) AS len
+      """
+    Then the result should be, in any order:
+      | len |
+      | 2   |

@@ -1,0 +1,72 @@
+Feature: Temporal types (Cypher 10, paper Section 6)
+
+  Scenario: Date components
+    Given an empty graph
+    When executing query:
+      """
+      RETURN date('2018-06-10').year AS y, date('2018-06-10').month AS m,
+             date('2018-06-10').day AS d
+      """
+    Then the result should be, in any order:
+      | y    | m | d  |
+      | 2018 | 6 | 10 |
+
+  Scenario: Duration arithmetic on dates
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toString(date('2020-02-28') + duration('P2D')) AS leap
+      """
+    Then the result should be, in any order:
+      | leap         |
+      | '2020-03-01' |
+
+  Scenario: Durations between datetimes
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toString(datetime('2018-06-10T12:00:00Z') -
+                      datetime('2018-06-10T09:30:00Z')) AS dur
+      """
+    Then the result should be, in any order:
+      | dur      |
+      | 'PT2H30M' |
+
+  Scenario: Temporal values as properties
+    Given an empty graph
+    And having executed:
+      """
+      CREATE (:Event {at: date('2018-06-10')}),
+             (:Event {at: date('2018-06-12')})
+      """
+    When executing query:
+      """
+      MATCH (e:Event) WHERE e.at > date('2018-06-11')
+      RETURN toString(e.at) AS at
+      """
+    Then the result should be, in any order:
+      | at           |
+      | '2018-06-12' |
+
+  Scenario: Component maps construct temporal values
+    Given an empty graph
+    When executing query:
+      """
+      RETURN toString(localdatetime({year: 2018, month: 6, day: 10,
+                                     hour: 9, minute: 30})) AS ldt
+      """
+    Then the result should be, in any order:
+      | ldt                   |
+      | '2018-06-10T09:30:00' |
+
+  Scenario: Ordering dates
+    Given an empty graph
+    When executing query:
+      """
+      UNWIND ['2019-01-01', '2018-06-10', '2018-12-31'] AS s
+      WITH date(s) AS d ORDER BY d
+      RETURN collect(toString(d)) AS sorted
+      """
+    Then the result should be, in any order:
+      | sorted                                       |
+      | ['2018-06-10', '2018-12-31', '2019-01-01']   |

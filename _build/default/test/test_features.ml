@@ -1,0 +1,68 @@
+(* Runs the Gherkin feature files under test/features/ through the
+   feature-file front end of the TCK framework — the same textual format
+   the openCypher TCK uses (paper, Section 5). *)
+
+module Feature = Cypher_tck.Feature
+
+let feature_files =
+  [
+    "features/match.feature";
+    "features/return-orderby.feature";
+    "features/create-delete.feature";
+    "features/expressions.feature";
+    "features/temporal.feature";
+    "features/shortest-path.feature";
+    "features/procedures.feature";
+    "features/aggregation.feature";
+    "features/lists-maps.feature";
+    "features/optional-union.feature";
+  ]
+
+(* parser unit checks *)
+let parse_inline () =
+  let text =
+    "Feature: T\n\
+     \n\
+     \  Scenario: one\n\
+     \    Given an empty graph\n\
+     \    And having executed:\n\
+     \      \"\"\"\n\
+     \      CREATE (:X)\n\
+     \      \"\"\"\n\
+     \    When executing query:\n\
+     \      \"\"\"\n\
+     \      MATCH (n) RETURN count(*) AS c\n\
+     \      \"\"\"\n\
+     \    Then the result should be, in any order:\n\
+     \      | c |\n\
+     \      | 1 |\n\
+     \    And no side effects\n"
+  in
+  match Feature.parse text with
+  | Ok [ s ] -> (
+    Alcotest.(check string) "name" "T: one" s.Cypher_tck.Tck.name;
+    Alcotest.(check int) "one given" 1 (List.length s.Cypher_tck.Tck.given);
+    Alcotest.(check int) "two expectations" 2
+      (List.length s.Cypher_tck.Tck.then_);
+    match Cypher_tck.Tck.run_scenario ~mode:Cypher_engine.Engine.Planned s with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | Ok l -> Alcotest.failf "expected one scenario, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_errors_reported () =
+  (match Feature.parse "Scenario: x\n  When jumping wildly\n" with
+  | Ok _ -> Alcotest.fail "expected unsupported step error"
+  | Error e ->
+    Alcotest.(check bool) "mentions the step" true
+      (String.length e > 0));
+  match Feature.parse "Scenario: x\n  Given an empty graph\n" with
+  | Ok _ -> Alcotest.fail "expected missing-When error"
+  | Error _ -> ()
+
+let suite =
+  [
+    ("feature parser: inline scenario", `Quick, parse_inline);
+    ("feature parser: errors reported", `Quick, parse_errors_reported);
+  ]
+  @ List.concat_map Feature.run_file feature_files

@@ -1,0 +1,128 @@
+(* Unit tests for the property graph store and its statistics. *)
+
+open Helpers
+open Cypher_values
+open Cypher_graph
+
+let build_small () =
+  let g = Graph.empty in
+  let g, a = Graph.add_node ~labels:[ "A" ] ~props:[ ("v", vint 1) ] g in
+  let g, b = Graph.add_node ~labels:[ "B" ] g in
+  let g, r = Graph.add_rel ~src:a ~tgt:b ~rel_type:"T" ~props:[ ("w", vint 2) ] g in
+  (g, a, b, r)
+
+let basics () =
+  let g, a, b, r = build_small () in
+  Alcotest.(check int) "node count" 2 (Graph.node_count g);
+  Alcotest.(check int) "rel count" 1 (Graph.rel_count g);
+  Alcotest.(check (list string)) "labels" [ "A" ] (Graph.labels g a);
+  Alcotest.(check bool) "has label" true (Graph.has_label g a "A");
+  check_value "node prop" (vint 1) (Graph.node_prop g a "v");
+  check_value "missing prop is null" vnull (Graph.node_prop g a "zz");
+  check_value "rel prop" (vint 2) (Graph.rel_prop g r "w");
+  Alcotest.(check bool) "src" true (Ids.equal_node (Graph.src g r) a);
+  Alcotest.(check bool) "tgt" true (Ids.equal_node (Graph.tgt g r) b);
+  Alcotest.(check string) "type" "T" (Graph.rel_type g r)
+
+let adjacency () =
+  let g, a, b, r = build_small () in
+  Alcotest.(check int) "out degree a" 1 (List.length (Graph.out_rels g a));
+  Alcotest.(check int) "in degree b" 1 (List.length (Graph.in_rels g b));
+  Alcotest.(check int) "in degree a" 0 (List.length (Graph.in_rels g a));
+  Alcotest.(check bool) "other end" true
+    (Ids.equal_node (Graph.other_end g r a) b);
+  Alcotest.(check bool) "other end reversed" true
+    (Ids.equal_node (Graph.other_end g r b) a);
+  (* loops appear once in all_rels_of *)
+  let g, l = Graph.add_rel ~src:a ~tgt:a ~rel_type:"L" g in
+  ignore l;
+  Alcotest.(check int) "loop counted once" 2 (List.length (Graph.all_rels_of g a))
+
+let indexes () =
+  let g, a, _b, r = build_small () in
+  Alcotest.(check bool) "label index" true
+    (Graph.nodes_with_label g "A" = [ a ]);
+  Alcotest.(check bool) "type index" true (Graph.rels_with_type g "T" = [ r ]);
+  Alcotest.(check int) "label count" 1 (Graph.label_count g "A");
+  Alcotest.(check int) "absent label" 0 (Graph.label_count g "Zz");
+  let g = Graph.add_label g a "X" in
+  Alcotest.(check bool) "index updated on add_label" true
+    (Graph.nodes_with_label g "X" = [ a ]);
+  let g = Graph.remove_label g a "X" in
+  Alcotest.(check bool) "index updated on remove_label" true
+    (Graph.nodes_with_label g "X" = [])
+
+let deletion () =
+  let g, a, b, r = build_small () in
+  (match Graph.delete_node g a with
+  | Ok _ -> Alcotest.fail "deleting a connected node must fail"
+  | Error _ -> ());
+  let g2 = Graph.delete_rel g r in
+  Alcotest.(check int) "rel deleted" 0 (Graph.rel_count g2);
+  Alcotest.(check int) "adjacency updated" 0 (List.length (Graph.out_rels g2 a));
+  (match Graph.delete_node g2 a with
+  | Ok g3 -> Alcotest.(check int) "node deleted" 1 (Graph.node_count g3)
+  | Error e -> Alcotest.fail e);
+  let g4 = Graph.detach_delete_node g b in
+  Alcotest.(check int) "detach delete removes rels" 0 (Graph.rel_count g4);
+  Alcotest.(check int) "detach delete removes the node" 1 (Graph.node_count g4);
+  Alcotest.(check bool) "label index cleaned" true
+    (Graph.nodes_with_label g4 "B" = [])
+
+let persistence () =
+  (* the store is persistent: old versions remain valid *)
+  let g, a, _b, _r = build_small () in
+  let g2 = Graph.set_node_prop g a "v" (vint 99) in
+  check_value "new version" (vint 99) (Graph.node_prop g2 a "v");
+  check_value "old version untouched" (vint 1) (Graph.node_prop g a "v")
+
+let null_prop_removes () =
+  let g, a, _b, _r = build_small () in
+  let g = Graph.set_node_prop g a "v" vnull in
+  Alcotest.(check bool) "null removes the key" false
+    (Value.Smap.mem "v" (Graph.node_props g a))
+
+let insert_preserves_identity () =
+  let g, a, _b, _r = build_small () in
+  let data = Graph.node_data g a in
+  let g2 = Graph.insert_node Graph.empty a data in
+  Alcotest.(check bool) "same id" true (Graph.mem_node g2 a);
+  Alcotest.(check (list string)) "labels preserved" [ "A" ] (Graph.labels g2 a);
+  (* fresh allocation in the target graph does not collide *)
+  let _g2, c = Graph.add_node g2 in
+  Alcotest.(check bool) "fresh id distinct" false (Ids.equal_node a c)
+
+let union_remaps () =
+  let g1, _, _, _ = build_small () in
+  let g2, _, _, _ = build_small () in
+  let u = Graph.union g1 g2 in
+  Alcotest.(check int) "union node count" 4 (Graph.node_count u);
+  Alcotest.(check int) "union rel count" 2 (Graph.rel_count u);
+  Alcotest.(check int) "label index merged" 2 (Graph.label_count u "A")
+
+let stats () =
+  let g = Cypher_gen.Paper_graphs.academic () in
+  let s = Stats.collect g in
+  Alcotest.(check bool) "node count" true (Stats.node_count s = 10.);
+  Alcotest.(check bool) "rel count" true (Stats.rel_count s = 11.);
+  Alcotest.(check bool) "label cardinality" true
+    (Stats.label_cardinality s "Researcher" = 3.);
+  Alcotest.(check bool) "label selectivity" true
+    (Stats.label_selectivity s "Publication" = 0.5);
+  Alcotest.(check bool) "type selectivity" true
+    (abs_float (Stats.type_selectivity s "CITES" -. (5. /. 11.)) < 1e-9);
+  Alcotest.(check bool) "expand estimate" true
+    (Stats.estimate_expand s ~direction:`Out ~rel_types:[ "CITES" ] = 0.5)
+
+let suite =
+  [
+    tc "construction and access" basics;
+    tc "adjacency (Expand substrate)" adjacency;
+    tc "label and type indexes" indexes;
+    tc "deletion" deletion;
+    tc "persistence" persistence;
+    tc "setting a property to null removes it" null_prop_removes;
+    tc "identity-preserving insertion" insert_preserves_identity;
+    tc "union remaps identifiers" union_remaps;
+    tc "statistics" stats;
+  ]

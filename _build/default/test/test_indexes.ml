@@ -1,0 +1,142 @@
+(* Tests for property indexes: maintenance under every kind of update,
+   the planner's NodeIndexSeek, and the index DDL. *)
+
+open Helpers
+open Cypher_values
+open Cypher_graph
+module Engine = Cypher_engine.Engine
+module Build = Cypher_planner.Build
+module Plan = Cypher_planner.Plan
+module Stats = Cypher_graph.Stats
+
+let indexed_graph () =
+  let g = Graph.empty in
+  let g, a = Graph.add_node ~labels:[ "P" ] ~props:[ ("k", vint 1) ] g in
+  let g, b = Graph.add_node ~labels:[ "P" ] ~props:[ ("k", vint 2) ] g in
+  let g, c = Graph.add_node ~labels:[ "Q" ] ~props:[ ("k", vint 1) ] g in
+  let g = Graph.create_index g ~label:"P" ~key:"k" in
+  (g, a, b, c)
+
+let seek_basic () =
+  let g, a, _b, _c = indexed_graph () in
+  Alcotest.(check bool) "has index" true (Graph.has_index g ~label:"P" ~key:"k");
+  Alcotest.(check bool) "seek hits" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 1) = [ a ]);
+  Alcotest.(check bool) "seek misses" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 9) = []);
+  (* different label not in the index *)
+  Alcotest.(check int) "label respected" 1
+    (List.length (Graph.index_seek g ~label:"P" ~key:"k" (vint 1)))
+
+let maintenance_on_updates () =
+  let g, a, b, _c = indexed_graph () in
+  (* property update moves the node between buckets *)
+  let g = Graph.set_node_prop g a "k" (vint 7) in
+  Alcotest.(check bool) "old bucket emptied" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 1) = []);
+  Alcotest.(check bool) "new bucket filled" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 7) = [ a ]);
+  (* removing the property removes the entry *)
+  let g = Graph.remove_node_prop g b "k" in
+  Alcotest.(check bool) "removed property" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 2) = []);
+  (* label changes move nodes in and out of the index *)
+  let g, d = Graph.add_node ~props:[ ("k", vint 5) ] g in
+  Alcotest.(check bool) "unlabeled not indexed" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 5) = []);
+  let g = Graph.add_label g d "P" in
+  Alcotest.(check bool) "labeling adds to index" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 5) = [ d ]);
+  let g = Graph.remove_label g d "P" in
+  Alcotest.(check bool) "unlabeling removes from index" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 5) = []);
+  (* deletion removes entries *)
+  let g = Graph.detach_delete_node g a in
+  Alcotest.(check bool) "deletion cleans the index" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (vint 7) = [])
+
+let seek_values_by_total_equality () =
+  let g = Graph.empty in
+  let g, a = Graph.add_node ~labels:[ "P" ] ~props:[ ("k", vint 1) ] g in
+  let g = Graph.create_index g ~label:"P" ~key:"k" in
+  (* 1 and 1.0 are the same key in the total value order *)
+  Alcotest.(check bool) "1.0 finds 1" true
+    (Graph.index_seek g ~label:"P" ~key:"k" (Value.Float 1.0) = [ a ])
+
+let planner_uses_seek () =
+  let g, _, _, _ = indexed_graph () in
+  let compile q =
+    match Cypher_parser.Parser.parse_query_exn q with
+    | Cypher_ast.Ast.Q_single { sq_clauses; sq_return } ->
+      (Build.compile_clauses ~stats:(Stats.collect g) ~visible:[] sq_clauses
+         sq_return)
+        .Build.plan
+    | _ -> Alcotest.fail "bad query"
+  in
+  let rec has pred plan =
+    pred plan
+    ||
+    match Plan.input_of plan with Some i -> has pred i | None -> false
+  in
+  let plan = compile "MATCH (n:P {k: 1}) RETURN n" in
+  Alcotest.(check bool) "NodeIndexSeek chosen" true
+    (has (function Plan.Node_index_seek _ -> true | _ -> false) plan);
+  (* without a usable index: label scan *)
+  let plan2 = compile "MATCH (n:Q {k: 1}) RETURN n" in
+  Alcotest.(check bool) "no index, label scan" true
+    (has (function Plan.Node_by_label_scan _ -> true | _ -> false) plan2)
+
+let results_identical_with_index () =
+  (* same query with and without the index gives the same rows, in both
+     engines *)
+  let g =
+    Cypher_gen.Generate.random_uniform ~seed:77 ~nodes:50 ~rels:100
+      ~rel_types:[ "T" ] ~labels:[ "Node" ]
+  in
+  let gi = Graph.create_index g ~label:"Node" ~key:"idx" in
+  let q = "MATCH (n:Node {idx: 17})-[:T]->(m) RETURN m" in
+  check_table_bag "indexed vs unindexed" (run g q) (run gi q);
+  (match Engine.cross_check gi q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e)
+
+let ddl_through_engine () =
+  let { Engine.graph = g; _ } =
+    Engine.run_exn Cypher_graph.Graph.empty "CREATE (:P {k: 1}), (:P {k: 2})"
+  in
+  let { Engine.graph = g; _ } = Engine.run_exn g "CREATE INDEX ON :P(k)" in
+  Alcotest.(check bool) "DDL created the index" true
+    (Graph.has_index g ~label:"P" ~key:"k");
+  check_table_bag "query uses it transparently"
+    (table [ "k" ] [ [ ("k", vint 2) ] ])
+    (Engine.run g "MATCH (n:P {k: 2}) RETURN n.k AS k");
+  let { Engine.graph = g; _ } = Engine.run_exn g "DROP INDEX ON :P(k)" in
+  Alcotest.(check bool) "DDL dropped the index" false
+    (Graph.has_index g ~label:"P" ~key:"k")
+
+let index_after_updates_through_engine () =
+  let { Engine.graph = g; _ } =
+    Engine.run_exn Cypher_graph.Graph.empty
+      "CREATE (:User {uid: 1}), (:User {uid: 2})"
+  in
+  let { Engine.graph = g; _ } = Engine.run_exn g "CREATE INDEX ON :User(uid)" in
+  let { Engine.graph = g; _ } =
+    Engine.run_exn g "MATCH (u:User {uid: 2}) SET u.uid = 20"
+  in
+  check_table_bag "seek sees the update"
+    (table [ "c" ] [ [ ("c", vint 1) ] ])
+    (Engine.run g "MATCH (u:User {uid: 20}) RETURN count(*) AS c");
+  check_table_bag "old value gone"
+    (table [ "c" ] [ [ ("c", vint 0) ] ])
+    (Engine.run g "MATCH (u:User {uid: 2}) RETURN count(*) AS c")
+
+let suite =
+  [
+    tc "basic seek" seek_basic;
+    tc "maintenance across updates" maintenance_on_updates;
+    tc "seek uses the total value equality" seek_values_by_total_equality;
+    tc "planner chooses NodeIndexSeek" planner_uses_seek;
+    tc "results identical with and without the index" results_identical_with_index;
+    tc "CREATE/DROP INDEX DDL" ddl_through_engine;
+    tc "index stays fresh through query updates" index_after_updates_through_engine;
+  ]

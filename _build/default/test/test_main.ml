@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "cypher"
+    [
+      ("values", Test_values.suite);
+      ("table", Test_table.suite);
+      ("graph", Test_graph.suite);
+      ("export", Test_export.suite);
+      ("indexes", Test_indexes.suite);
+      ("parser", Test_parser.suite);
+      ("temporal", Test_temporal.suite);
+      ("planner", Test_planner.suite);
+      ("semantics", Test_semantics.suite);
+      ("scope-check", Test_scope.suite);
+      ("session", Test_session.suite);
+      ("naive-oracle", Test_naive_oracle.suite);
+      ("schema", Test_schema.suite);
+      ("algos", Test_algos.suite);
+      ("paper-examples", Test_paper.suite);
+      ("engine-cross-check", Test_engines.suite);
+      ("multigraph", Test_multigraph.suite);
+      ("tck", Test_tck.suite);
+      ("tck2", Test_tck2.suite);
+      ("call-procedures", Test_call.suite);
+      ("feature-files", Test_features.suite);
+      ("properties", Test_properties.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("ast-roundtrip", Test_ast_roundtrip.suite);
+    ]

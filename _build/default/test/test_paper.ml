@@ -1,0 +1,237 @@
+(* Reproduction of every worked example in the paper:
+
+   - the Section 3 step-by-step walkthrough on the Figure 1 graph
+     (Figures 2a/2b and the intermediate and final result tables);
+   - Examples 4.2-4.6 on the Figure 4 graph;
+   - the Section 4.2 self-loop complexity example. *)
+
+open Helpers
+open Cypher_values
+open Cypher_gen
+
+let section3_query =
+  "MATCH (r:Researcher) \
+   OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+   WITH r, count(s) AS studentsSupervised \
+   MATCH (r)-[:AUTHORS]->(p1:Publication) \
+   OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) \
+   RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount"
+
+(* E2: Figure 2a — bindings after line 2. *)
+let fig_2a () =
+  let g = Paper_graphs.academic () in
+  expect_bag g
+    "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+     RETURN r, s"
+    [ "r"; "s" ]
+    [
+      [ ("r", vnode 1); ("s", vnull) ];
+      [ ("r", vnode 6); ("s", vnode 7) ];
+      [ ("r", vnode 6); ("s", vnode 8) ];
+      [ ("r", vnode 10); ("s", vnode 7) ];
+    ]
+
+(* E3: Figure 2b — bindings after the WITH of line 3. *)
+let fig_2b () =
+  let g = Paper_graphs.academic () in
+  expect_bag g
+    "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+     WITH r, count(s) AS studentsSupervised RETURN r, studentsSupervised"
+    [ "r"; "studentsSupervised" ]
+    [
+      [ ("r", vnode 1); ("studentsSupervised", vint 0) ];
+      [ ("r", vnode 6); ("studentsSupervised", vint 2) ];
+      [ ("r", vnode 10); ("studentsSupervised", vint 1) ];
+    ]
+
+(* E4: the table after line 4 — Thor (n10) drops out. *)
+let after_line4 () =
+  let g = Paper_graphs.academic () in
+  expect_bag g
+    "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+     WITH r, count(s) AS studentsSupervised \
+     MATCH (r)-[:AUTHORS]->(p1:Publication) \
+     RETURN r, studentsSupervised, p1"
+    [ "r"; "studentsSupervised"; "p1" ]
+    [
+      [ ("r", vnode 1); ("studentsSupervised", vint 0); ("p1", vnode 2) ];
+      [ ("r", vnode 6); ("studentsSupervised", vint 2); ("p1", vnode 5) ];
+      [ ("r", vnode 6); ("studentsSupervised", vint 2); ("p1", vnode 9) ];
+    ]
+
+(* E5: the table after line 5, including the two duplicate rows marked
+   with a dagger in the paper (n9 reaches n2 both through n4 and through
+   n5). *)
+let after_line5 () =
+  let g = Paper_graphs.academic () in
+  expect_bag g
+    "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) \
+     WITH r, count(s) AS studentsSupervised \
+     MATCH (r)-[:AUTHORS]->(p1:Publication) \
+     OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication) \
+     RETURN r, studentsSupervised, p1, p2"
+    [ "r"; "studentsSupervised"; "p1"; "p2" ]
+    [
+      [ ("r", vnode 1); ("studentsSupervised", vint 0); ("p1", vnode 2); ("p2", vnode 4) ];
+      [ ("r", vnode 1); ("studentsSupervised", vint 0); ("p1", vnode 2); ("p2", vnode 9) ];
+      [ ("r", vnode 1); ("studentsSupervised", vint 0); ("p1", vnode 2); ("p2", vnode 5) ];
+      [ ("r", vnode 1); ("studentsSupervised", vint 0); ("p1", vnode 2); ("p2", vnode 9) ];
+      [ ("r", vnode 6); ("studentsSupervised", vint 2); ("p1", vnode 5); ("p2", vnode 9) ];
+      [ ("r", vnode 6); ("studentsSupervised", vint 2); ("p1", vnode 9); ("p2", vnull) ];
+    ]
+
+(* E6: the final result table. *)
+let final_result () =
+  let g = Paper_graphs.academic () in
+  expect_bag g section3_query
+    [ "r.name"; "studentsSupervised"; "citedCount" ]
+    [
+      [ ("r.name", vstr "Nils"); ("studentsSupervised", vint 0); ("citedCount", vint 3) ];
+      [ ("r.name", vstr "Elin"); ("studentsSupervised", vint 2); ("citedCount", vint 1) ];
+    ]
+
+(* E7: Example 4.2 — node pattern satisfaction on the Figure 4 graph. *)
+let example_4_2 () =
+  let g = Paper_graphs.teachers () in
+  let open Cypher_semantics in
+  let np_x_teacher =
+    Cypher_ast.Ast.node ~name:"x" ~labels:[ "Teacher" ] ()
+  in
+  let np_y = Cypher_ast.Ast.node ~name:"y" () in
+  let u_x i = record [ ("x", vnode i) ] in
+  let sat u n np = Eval.satisfies_node_pattern cfg g u n np in
+  Alcotest.(check bool) "(n1,G,x->n1) |= x:Teacher" true
+    (sat (u_x 1) (Ids.node_of_int 1) np_x_teacher);
+  Alcotest.(check bool) "(n2,G,u) |/= x:Teacher for any u" false
+    (sat (u_x 2) (Ids.node_of_int 2) np_x_teacher);
+  Alcotest.(check bool) "(n3,G,x->n3) |= x:Teacher" true
+    (sat (u_x 3) (Ids.node_of_int 3) np_x_teacher);
+  Alcotest.(check bool) "(n4,G,x->n4) |= x:Teacher" true
+    (sat (u_x 4) (Ids.node_of_int 4) np_x_teacher);
+  (* (ni, G, ui) |= (y) whenever ui maps y to ni *)
+  for i = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "(n%d,G,y->n%d) |= (y)" i i)
+      true
+      (sat (record [ ("y", vnode i) ]) (Ids.node_of_int i) np_y)
+  done;
+  (* mismatched assignment *)
+  Alcotest.(check bool) "(n1,G,x->n3) |/= x:Teacher" false
+    (sat (u_x 3) (Ids.node_of_int 1) np_x_teacher)
+
+(* E8: Example 4.3 — the rigid pattern (x:Teacher)-[:KNOWS*2]->(y) is
+   satisfied by exactly one assignment: x=n1, y=n3. *)
+let example_4_3 () =
+  let g = Paper_graphs.teachers () in
+  expect_bag g "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y"
+    [ "x"; "y" ]
+    [ [ ("x", vnode 1); ("y", vnode 3) ] ]
+
+(* E9: Example 4.4 — (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher)
+   matches p1 under u1 and p2 under u2 and u2'. *)
+let example_4_4 () =
+  let g = Paper_graphs.teachers () in
+  expect_bag g
+    "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) \
+     RETURN x, z, y"
+    [ "x"; "z"; "y" ]
+    [
+      [ ("x", vnode 1); ("z", vnode 2); ("y", vnode 3) ];
+      [ ("x", vnode 1); ("z", vnode 2); ("y", vnode 4) ];
+      [ ("x", vnode 1); ("z", vnode 3); ("y", vnode 4) ];
+    ]
+
+(* E10: Example 4.5 — with the middle node anonymous, the assignment
+   {x -> n1, y -> n4} is produced twice (two rigid patterns match the
+   same path). *)
+let example_4_5 () =
+  let g = Paper_graphs.teachers () in
+  expect_bag g
+    "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) \
+     RETURN x, y"
+    [ "x"; "y" ]
+    [
+      [ ("x", vnode 1); ("y", vnode 3) ];
+      [ ("x", vnode 1); ("y", vnode 4) ];
+      [ ("x", vnode 1); ("y", vnode 4) ];
+    ]
+
+(* E11: Example 4.6 — [[MATCH (x)-[:KNOWS*]->(y)]] applied to the driving
+   table {(x: n1); (x: n3)}. *)
+let example_4_6 () =
+  let g = Paper_graphs.teachers () in
+  let open Cypher_semantics in
+  let driving =
+    table [ "x" ] [ [ ("x", vnode 1) ]; [ ("x", vnode 3) ] ]
+  in
+  let clause =
+    match parse "MATCH (x)-[:KNOWS*]->(y) RETURN x, y" with
+    | Cypher_ast.Ast.Q_single { sq_clauses = [ c ]; _ } -> c
+    | _ -> Alcotest.fail "unexpected query shape"
+  in
+  let state =
+    Clauses.apply_clause cfg clause { Clauses.graph = g; table = driving }
+  in
+  check_table_bag "Example 4.6"
+    (table [ "x"; "y" ]
+       [
+         [ ("x", vnode 1); ("y", vnode 2) ];
+         [ ("x", vnode 1); ("y", vnode 3) ];
+         [ ("x", vnode 1); ("y", vnode 4) ];
+         [ ("x", vnode 3); ("y", vnode 4) ];
+       ])
+    state.Clauses.table
+
+(* E12: the Section 4.2 self-loop example — (x)-[*0..]->(x) returns
+   exactly two rows under Cypher's edge-isomorphism semantics: traversing
+   the loop zero times and once. *)
+let self_loop_two_matches () =
+  let g, n, _r = Paper_graphs.self_loop () in
+  let t = run g "MATCH (x)-[*0..]->(x) RETURN x" in
+  check_table_bag "self-loop"
+    (table [ "x" ]
+       [
+         [ ("x", Value.Node n) ];
+         [ ("x", Value.Node n) ];
+       ])
+    t
+
+(* Under homomorphism semantics the same pattern would be infinite; with
+   a cap of k hops it returns k+1 rows. *)
+let self_loop_homomorphism_capped () =
+  let g, _n, _r = Paper_graphs.self_loop () in
+  let config =
+    Cypher_semantics.Config.(
+      { default with morphism = Homomorphism; var_length_cap = Some 5 })
+  in
+  let t = run ~config g "MATCH (x)-[*0..]->(x) RETURN x" in
+  Alcotest.(check int) "capped homomorphism match count" 6
+    (Cypher_table.Table.row_count t)
+
+(* The network-management query shape of Section 3 (on the academic graph
+   re-purposed: who is transitively cited the most). *)
+let most_cited () =
+  let g = Paper_graphs.academic () in
+  expect_ordered g
+    "MATCH (p:Publication)<-[:CITES*]-(q:Publication) \
+     RETURN p.acmid AS acmid, count(DISTINCT q) AS citers \
+     ORDER BY citers DESC, acmid LIMIT 1"
+    [ "acmid"; "citers" ]
+    [ [ ("acmid", vint 190); ("citers", vint 4) ] ]
+
+let suite =
+  [
+    tc "E2: Figure 2a (OPTIONAL MATCH bindings)" fig_2a;
+    tc "E3: Figure 2b (WITH + count)" fig_2b;
+    tc "E4: table after line 4" after_line4;
+    tc "E5: table after line 5 (duplicate rows)" after_line5;
+    tc "E6: final result of the Section 3 query" final_result;
+    tc "E7: Example 4.2 node pattern satisfaction" example_4_2;
+    tc "E8: Example 4.3 rigid pattern" example_4_3;
+    tc "E9: Example 4.4 variable length pattern" example_4_4;
+    tc "E10: Example 4.5 multiplicity" example_4_5;
+    tc "E11: Example 4.6 MATCH semantics on a driving table" example_4_6;
+    tc "E12: self-loop, edge isomorphism" self_loop_two_matches;
+    tc "E12b: self-loop, capped homomorphism" self_loop_homomorphism_capped;
+    tc "most-transitively-cited (network query shape)" most_cited;
+  ]

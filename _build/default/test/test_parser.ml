@@ -1,0 +1,171 @@
+(* Unit tests for the lexer and parser: precedence, pattern shapes
+   (Figure 3), round-tripping through the pretty-printer, and error
+   reporting. *)
+
+open Helpers
+open Cypher_ast
+open Ast
+module P = Cypher_parser.Parser
+module L = Cypher_parser.Lexer
+
+let e = P.parse_expr_exn
+
+let roundtrip q =
+  let ast = parse q in
+  let printed = Pretty.query_to_string ast in
+  let ast2 = parse printed in
+  if Pretty.query_to_string ast2 <> printed then
+    Alcotest.failf "round trip not stable for %S:@.%s@.vs@.%s" q printed
+      (Pretty.query_to_string ast2)
+
+let precedence () =
+  Alcotest.(check bool) "mul binds tighter than add" true
+    (e "1 + 2 * 3" = E_arith (Add, int_ 1, E_arith (Mul, int_ 2, int_ 3)));
+  Alcotest.(check bool) "add is left associative" true
+    (e "1 - 2 - 3" = E_arith (Sub, E_arith (Sub, int_ 1, int_ 2), int_ 3));
+  Alcotest.(check bool) "pow is right associative" true
+    (e "2 ^ 3 ^ 4" = E_arith (Pow, int_ 2, E_arith (Pow, int_ 3, int_ 4)));
+  Alcotest.(check bool) "and binds tighter than or" true
+    (e "true OR false AND false"
+    = E_or (bool_ true, E_and (bool_ false, bool_ false)));
+  Alcotest.(check bool) "not under and" true
+    (e "NOT true AND false" = E_and (E_not (bool_ true), bool_ false));
+  Alcotest.(check bool) "comparison below and" true
+    (e "1 < 2 AND 3 < 4"
+    = E_and (E_cmp (Lt, int_ 1, int_ 2), E_cmp (Lt, int_ 3, int_ 4)));
+  Alcotest.(check bool) "unary minus binds tighter than mul" true
+    (e "-1 * 2" = E_arith (Mul, E_neg (int_ 1), int_ 2));
+  Alcotest.(check bool) "property access tightest" true
+    (e "a.b + 1" = E_arith (Add, E_prop (E_var "a", "b"), int_ 1));
+  Alcotest.(check bool) "parens override" true
+    (e "(1 + 2) * 3" = E_arith (Mul, E_arith (Add, int_ 1, int_ 2), int_ 3))
+
+let literals () =
+  Alcotest.(check bool) "int" true (e "42" = int_ 42);
+  Alcotest.(check bool) "float" true (e "4.5" = float_ 4.5);
+  Alcotest.(check bool) "exponent float" true (e "1e3" = float_ 1000.);
+  Alcotest.(check bool) "string escapes" true (e "'a\\'b'" = str "a'b");
+  Alcotest.(check bool) "double quoted" true (e "\"hi\"" = str "hi");
+  Alcotest.(check bool) "null kw any case" true (e "NULL" = null);
+  Alcotest.(check bool) "true kw" true (e "TRUE" = bool_ true);
+  Alcotest.(check bool) "backtick ident" true (e "`weird name`" = var "weird name");
+  Alcotest.(check bool) "param" true (e "$p" = E_param "p")
+
+let pattern_shapes () =
+  let pat q = List.hd (P.parse_pattern_exn q) in
+  let p = pat "(x:Person:Male {name: 'n', age: 30})" in
+  Alcotest.(check (option string)) "node name" (Some "x") p.pp_first.np_name;
+  Alcotest.(check (list string)) "labels" [ "Person"; "Male" ] p.pp_first.np_labels;
+  Alcotest.(check int) "props" 2 (List.length p.pp_first.np_props);
+  (* the paper's representation examples for relationship patterns *)
+  let rel_of q =
+    match (pat q).pp_rest with
+    | [ (rp, _) ] -> rp
+    | _ -> Alcotest.fail "expected one hop"
+  in
+  let r1 = rel_of "()-[:KNOWS*1 {since: 1985}]-()" in
+  Alcotest.(check bool) "*1 gives range (1,1)" true
+    (r1.rp_len = Some { len_min = Some 1; len_max = Some 1 });
+  let r2 = rel_of "()-[:KNOWS*1..1 {since: 1985}]-()" in
+  Alcotest.(check bool) "*1..1 same as *1" true (r2.rp_len = r1.rp_len);
+  let r3 = rel_of "()-[:KNOWS {since: 1985}]-()" in
+  Alcotest.(check bool) "no star: I = nil" true (r3.rp_len = None);
+  let r4 = rel_of "()-[*]->()" in
+  Alcotest.(check bool) "* gives (nil,nil)" true
+    (r4.rp_len = Some { len_min = None; len_max = None });
+  let r5 = rel_of "()-[*2..]->()" in
+  Alcotest.(check bool) "*2.. open upper" true
+    (r5.rp_len = Some { len_min = Some 2; len_max = None });
+  let r6 = rel_of "()-[*..3]->()" in
+  Alcotest.(check bool) "*..3 open lower" true
+    (r6.rp_len = Some { len_min = None; len_max = Some 3 });
+  Alcotest.(check bool) "direction right" true
+    ((rel_of "()-->()").rp_dir = Left_to_right);
+  Alcotest.(check bool) "direction left" true
+    ((rel_of "()<--()").rp_dir = Right_to_left);
+  Alcotest.(check bool) "undirected" true ((rel_of "()--()").rp_dir = Undirected);
+  Alcotest.(check bool) "type disjunction" true
+    ((rel_of "()-[:A|B|:C]->()").rp_types = [ "A"; "B"; "C" ]);
+  let named = pat "p = (a)-->(b)" in
+  Alcotest.(check (option string)) "named path" (Some "p") named.pp_name
+
+let rigidity () =
+  let pat q = List.hd (P.parse_pattern_exn q) in
+  Alcotest.(check bool) "single hop is rigid" true
+    (Ast.path_is_rigid (pat "(a)-[:T]->(b)"));
+  Alcotest.(check bool) "*2 is rigid" true
+    (Ast.path_is_rigid (pat "(a)-[:T*2]->(b)"));
+  Alcotest.(check bool) "*1..2 is not rigid" false
+    (Ast.path_is_rigid (pat "(a)-[:T*1..2]->(b)"));
+  Alcotest.(check (list string)) "free variables"
+    [ "a"; "b"; "p"; "r" ]
+    (Ast.free_path_pattern (pat "p = (a)-[r:T]->(b)-->()"))
+
+let keywords_contextual () =
+  (* keywords are not reserved: usable as labels, properties, variables *)
+  roundtrip "MATCH (match:Match {return: 1}) RETURN match.return AS create";
+  roundtrip "MATCH (n:All)-[r:Single]->(m) RETURN n, r, m"
+
+let roundtrips () =
+  List.iter roundtrip
+    [
+      "MATCH (a)-[r:KNOWS*2..3 {w: 1}]->(b) WHERE a.v > 1 RETURN a, r, b";
+      "MATCH (a) OPTIONAL MATCH (a)-->(b) WITH a, collect(b) AS bs \
+       RETURN a, size(bs) AS n ORDER BY n DESC SKIP 2 LIMIT 3";
+      "UNWIND [1, 2] AS x RETURN DISTINCT x, count(*) AS c";
+      "CREATE (a:X {v: 1})-[:R {w: 2}]->(b) RETURN a, b";
+      "MATCH (a) SET a.v = 1, a += {w: 2}, a:L REMOVE a.z, a:M \
+       DETACH DELETE a";
+      "MERGE (a:X {v: 1}) ON CREATE SET a.c = true ON MATCH SET a.m = true \
+       RETURN a";
+      "MATCH (a) WHERE a.name STARTS WITH 'x' AND a.name ENDS WITH 'y' OR \
+       a.name CONTAINS 'z' RETURN a";
+      "RETURN CASE 1 WHEN 1 THEN 'a' ELSE 'b' END AS r";
+      "RETURN [x IN range(1, 10) WHERE x % 2 = 0 | x ^ 2] AS squares";
+      "RETURN all(x IN [1] WHERE x > 0) AS a, $param AS p";
+      "MATCH (a) RETURN a.v[1..2] AS s, a.v[0] AS h, a.v[..2] AS i";
+      "MATCH (n) RETURN n UNION ALL MATCH (n) RETURN n";
+    ]
+
+let errors () =
+  let fails q =
+    match P.parse_query q with
+    | Ok _ -> Alcotest.failf "expected %S to fail" q
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions position (%s)" msg)
+        true
+        (String.length msg > 0 && String.sub msg 0 4 = "line")
+  in
+  fails "MATCH (a RETURN a";
+  fails "MATCH (a)-[->(b) RETURN a";
+  fails "RETURN 1 +";
+  fails "MATCH (a) WHERE RETURN a";
+  fails "RETURN 'unterminated";
+  fails "RETURN 1 2";
+  fails "MATCH (a)<-[:T]->(b) RETURN a";
+  fails "UNWIND [1,2] RETURN 1"
+
+let lexer_details () =
+  let toks q = Array.to_list (L.tokenize q) |> List.map fst in
+  Alcotest.(check bool) "1..2 lexes as int dotdot int" true
+    (toks "1..2" = [ L.Int_lit 1; L.Dotdot; L.Int_lit 2; L.Eof ]);
+  Alcotest.(check bool) "1.5 is a float" true
+    (toks "1.5" = [ L.Float_lit 1.5; L.Eof ]);
+  Alcotest.(check bool) "comments are skipped" true
+    (toks "1 // comment\n + /* block\n comment */ 2"
+    = [ L.Int_lit 1; L.Plus; L.Int_lit 2; L.Eof ]);
+  Alcotest.(check bool) "<> is one token" true (toks "<>" = [ L.Neq; L.Eof ]);
+  Alcotest.(check bool) "+= is one token" true (toks "+=" = [ L.Plus_eq; L.Eof ])
+
+let suite =
+  [
+    tc "operator precedence" precedence;
+    tc "literals" literals;
+    tc "pattern shapes (Figure 3 representations)" pattern_shapes;
+    tc "rigidity and free variables" rigidity;
+    tc "keywords are contextual" keywords_contextual;
+    tc "pretty-print round trips" roundtrips;
+    tc "parse errors carry positions" errors;
+    tc "lexer details" lexer_details;
+  ]

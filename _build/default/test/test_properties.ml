@@ -1,0 +1,313 @@
+(* Property-based tests (qcheck) on the core data structures and on the
+   pattern-matching invariants the paper's semantics promises. *)
+
+open Cypher_values
+module Q = QCheck
+
+(* --- generators ------------------------------------------------------- *)
+
+let gen_value : Value.t Q.Gen.t =
+  let open Q.Gen in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          let leaf =
+            oneof
+              [
+                return Value.Null;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) (int_range (-1000) 1000);
+                map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+                map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'z') (int_bound 6));
+                map (fun i -> Value.Node (Ids.node_of_int i)) (int_range 1 50);
+                map (fun i -> Value.Rel (Ids.rel_of_int i)) (int_range 1 50);
+              ]
+          in
+          if size <= 1 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                ( 1,
+                  map (fun vs -> Value.List vs)
+                    (list_size (int_bound 4) (self (size / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Value.map_of_list kvs)
+                    (list_size (int_bound 3)
+                       (pair (string_size ~gen:(char_range 'a' 'e') (return 1))
+                          (self (size / 2)))) );
+              ])
+        (min size 12))
+
+let arb_value = Q.make ~print:Value.to_string gen_value
+
+let gen_null_free =
+  let rec no_null = function
+    | Value.Null -> false
+    | Value.List vs -> List.for_all no_null vs
+    | Value.Map m -> Value.Smap.for_all (fun _ v -> no_null v) m
+    | _ -> true
+  in
+  Q.make ~print:Value.to_string
+    Q.Gen.(map (fun v -> if no_null v then v else Value.Int 0) gen_value)
+
+let gen_ternary =
+  Q.make
+    ~print:(fun t -> Format.asprintf "%a" Ternary.pp t)
+    Q.Gen.(oneofl [ Ternary.True; Ternary.False; Ternary.Unknown ])
+
+(* --- value order properties ------------------------------------------- *)
+
+let t_order_refl =
+  Q.Test.make ~name:"compare_total is reflexive" ~count:500 arb_value (fun v ->
+      Value.compare_total v v = 0)
+
+let t_order_antisym =
+  Q.Test.make ~name:"compare_total is antisymmetric" ~count:500
+    (Q.pair arb_value arb_value) (fun (a, b) ->
+      let c1 = Value.compare_total a b and c2 = Value.compare_total b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let t_order_trans =
+  Q.Test.make ~name:"compare_total is transitive" ~count:500
+    (Q.triple arb_value arb_value arb_value) (fun (a, b, c) ->
+      let le x y = Value.compare_total x y <= 0 in
+      not (le a b && le b c) || le a c)
+
+let t_hash_compat =
+  Q.Test.make ~name:"hash is compatible with equal_total" ~count:500
+    (Q.pair arb_value arb_value) (fun (a, b) ->
+      (not (Value.equal_total a b)) || Value.hash a = Value.hash b)
+
+let t_eq_ternary_sym =
+  Q.Test.make ~name:"equal_ternary is symmetric" ~count:500
+    (Q.pair arb_value arb_value) (fun (a, b) ->
+      Ternary.equal (Value.equal_ternary a b) (Value.equal_ternary b a))
+
+let t_eq_ternary_refl_null_free =
+  Q.Test.make ~name:"null-free values equal themselves" ~count:500 gen_null_free
+    (fun v -> Ternary.is_true (Value.equal_ternary v v))
+
+let t_equal_total_consistent =
+  Q.Test.make ~name:"equal_ternary True implies equal_total" ~count:500
+    (Q.pair arb_value arb_value) (fun (a, b) ->
+      (not (Ternary.is_true (Value.equal_ternary a b))) || Value.equal_total a b)
+
+(* --- ternary logic ---------------------------------------------------- *)
+
+let t_and_comm =
+  Q.Test.make ~name:"and is commutative" (Q.pair gen_ternary gen_ternary)
+    (fun (a, b) -> Ternary.equal (Ternary.and_ a b) (Ternary.and_ b a))
+
+let t_or_assoc =
+  Q.Test.make ~name:"or is associative"
+    (Q.triple gen_ternary gen_ternary gen_ternary) (fun (a, b, c) ->
+      Ternary.equal
+        (Ternary.or_ a (Ternary.or_ b c))
+        (Ternary.or_ (Ternary.or_ a b) c))
+
+let t_de_morgan =
+  Q.Test.make ~name:"De Morgan" (Q.pair gen_ternary gen_ternary) (fun (a, b) ->
+      Ternary.equal
+        (Ternary.not_ (Ternary.or_ a b))
+        (Ternary.and_ (Ternary.not_ a) (Ternary.not_ b)))
+
+let t_double_negation =
+  Q.Test.make ~name:"double negation" gen_ternary (fun a ->
+      Ternary.equal (Ternary.not_ (Ternary.not_ a)) a)
+
+(* --- list operations --------------------------------------------------- *)
+
+let small_list = Q.list_of_size Q.Gen.(int_bound 8) (Q.int_range 0 20)
+
+let t_slice_size =
+  Q.Test.make ~name:"slice never exceeds the list"
+    (Q.triple small_list (Q.int_range (-12) 12) (Q.int_range (-12) 12))
+    (fun (l, lo, hi) ->
+      let vl = Value.List (List.map (fun i -> Value.Int i) l) in
+      match Ops.slice vl (Some (Value.Int lo)) (Some (Value.Int hi)) with
+      | Value.List out -> List.length out <= List.length l
+      | _ -> false)
+
+let t_index_total =
+  Q.Test.make ~name:"index never raises for integer indices"
+    (Q.pair small_list (Q.int_range (-12) 12)) (fun (l, i) ->
+      let vl = Value.List (List.map (fun x -> Value.Int x) l) in
+      match Ops.index vl (Value.Int i) with
+      | Value.Null -> i >= List.length l || i < -List.length l
+      | Value.Int x -> List.mem x l
+      | _ -> false)
+
+let t_in_list_present =
+  Q.Test.make ~name:"IN finds present elements" (Q.pair Q.small_int small_list)
+    (fun (x, l) ->
+      let vl = Value.List (List.map (fun i -> Value.Int i) (x :: l)) in
+      Ternary.is_true (Ops.in_list (Value.Int x) vl))
+
+let t_range_arith =
+  Q.Test.make ~name:"range length matches arithmetic"
+    (Q.triple (Q.int_range 0 20) (Q.int_range 0 20) (Q.int_range 1 5))
+    (fun (lo, hi, step) ->
+      match Ops.range (Value.Int lo) (Value.Int hi) (Value.Int step) with
+      | Value.List l ->
+        let expected = if lo > hi then 0 else ((hi - lo) / step) + 1 in
+        List.length l = expected
+      | _ -> false)
+
+(* --- PRNG --------------------------------------------------------------- *)
+
+let t_prng_deterministic =
+  Q.Test.make ~name:"PRNG is deterministic in its seed" Q.small_int (fun seed ->
+      let a = Cypher_gen.Prng.create seed and b = Cypher_gen.Prng.create seed in
+      List.for_all
+        (fun _ -> Cypher_gen.Prng.next_int64 a = Cypher_gen.Prng.next_int64 b)
+        [ 1; 2; 3; 4; 5 ])
+
+let t_shuffle_perm =
+  Q.Test.make ~name:"shuffle is a permutation" (Q.pair Q.small_int small_list)
+    (fun (seed, l) ->
+      let rng = Cypher_gen.Prng.create seed in
+      List.sort compare (Cypher_gen.Prng.shuffle rng l) = List.sort compare l)
+
+(* --- temporal ------------------------------------------------------------ *)
+
+let t_calendar_roundtrip =
+  Q.Test.make ~name:"ymd_of_days / days_of_ymd roundtrip"
+    (Q.int_range (-1000000) 1000000) (fun days ->
+      Cypher_temporal.Temporal.(days_of_ymd (ymd_of_days days)) = days)
+
+let t_date_ordering =
+  Q.Test.make ~name:"adding days preserves order"
+    (Q.pair (Q.int_range (-10000) 10000) (Q.int_range 1 1000)) (fun (d, delta) ->
+      let open Cypher_temporal.Temporal in
+      let y1, m1, dd1 = ymd_of_days d and y2, m2, dd2 = ymd_of_days (d + delta) in
+      (y1, m1, dd1) < (y2, m2, dd2))
+
+let t_temporal_add_sub_inverse =
+  Q.Test.make ~name:"date + PnD - PnD is the identity"
+    (Q.pair (Q.int_range (-100000) 100000) (Q.int_range 0 10000))
+    (fun (epoch_day, days) ->
+      let open Cypher_temporal.Temporal in
+      let date = Value.Temporal (Value.Date epoch_day) in
+      let dur = duration ~days () in
+      match date, dur with
+      | Value.Temporal d, Value.Temporal du -> (
+        match add d du with
+        | Value.Temporal sum -> (
+          match sub sum du with
+          | Value.Temporal back -> back = d
+          | _ -> false)
+        | _ -> false)
+      | _ -> false)
+
+let t_temporal_monotone =
+  Q.Test.make ~name:"adding a positive duration moves a date forward"
+    (Q.pair (Q.int_range (-10000) 10000) (Q.int_range 1 5000))
+    (fun (epoch_day, days) ->
+      let open Cypher_temporal.Temporal in
+      match duration ~days () with
+      | Value.Temporal du -> (
+        match add (Value.Date epoch_day) du with
+        | Value.Temporal (Value.Date d') -> d' > epoch_day
+        | _ -> false)
+      | _ -> false)
+
+let t_duration_roundtrip =
+  Q.Test.make ~name:"durations round-trip through ISO text"
+    (Q.triple (Q.int_range 0 50) (Q.int_range 0 400) (Q.int_range 0 86399))
+    (fun (months, days, seconds) ->
+      let open Cypher_temporal.Temporal in
+      match duration ~months ~days ~seconds () with
+      | Value.Temporal d -> (
+        match parse_duration (to_iso_string d) with
+        | Value.Temporal d' -> d = d'
+        | _ -> false)
+      | _ -> false)
+
+(* --- pattern matching invariants ----------------------------------------- *)
+
+let arb_graph =
+  let gen =
+    Q.Gen.(
+      map2
+        (fun seed rels ->
+          Cypher_gen.Generate.random_uniform ~seed ~nodes:8 ~rels
+            ~rel_types:[ "A"; "B" ] ~labels:[ "X"; "Y" ])
+        (int_bound 10000) (int_range 0 20))
+  in
+  Q.make gen ~print:(fun g -> Format.asprintf "%a" Cypher_graph.Graph.pp g)
+
+let rel_ids_distinct row name =
+  match Cypher_table.Record.find row name with
+  | Some (Value.List vs) ->
+    let ids =
+      List.filter_map (function Value.Rel r -> Some r | _ -> None) vs
+    in
+    List.length (List.sort_uniq Ids.compare_rel ids) = List.length ids
+  | _ -> true
+
+let t_edge_isomorphism =
+  Q.Test.make ~name:"variable-length matches never repeat a relationship"
+    ~count:60 arb_graph (fun g ->
+      let t =
+        Cypher_engine.Engine.run g "MATCH (a)-[r*1..4]->(b) RETURN r"
+      in
+      List.for_all (fun row -> rel_ids_distinct row "r") (Cypher_table.Table.rows t))
+
+let t_engines_agree_random =
+  Q.Test.make ~name:"engines agree on random graphs" ~count:40 arb_graph
+    (fun g ->
+      List.for_all
+        (fun q ->
+          match Cypher_engine.Engine.cross_check g q with
+          | Ok _ -> true
+          | Error _ -> false)
+        [
+          "MATCH (a)-[r]->(b) RETURN a, b, type(r)";
+          "MATCH (a:X)-[*1..2]->(b) RETURN a, b";
+          "MATCH (a) OPTIONAL MATCH (a)-[r:A]->(b) RETURN a, count(b) AS c";
+          "MATCH (a)-[r1]->(b)-[r2]->(c) RETURN count(*) AS c";
+          "MATCH (a) RETURN labels(a) AS l, count(*) AS c";
+        ])
+
+let t_match_monotone_bounds =
+  Q.Test.make ~name:"longer variable-length upper bounds match at least as much"
+    ~count:40 arb_graph (fun g ->
+      let count k =
+        let q = Printf.sprintf "MATCH (a)-[*1..%d]->(b) RETURN count(*) AS c" k in
+        match
+          Cypher_table.Table.rows (Cypher_engine.Engine.run g q)
+        with
+        | [ row ] -> (
+          match Cypher_table.Record.find row "c" with
+          | Some (Value.Int n) -> n
+          | _ -> -1)
+        | _ -> -1
+      in
+      count 1 <= count 2 && count 2 <= count 3)
+
+let t_create_then_count =
+  Q.Test.make ~name:"creating n nodes adds n to count" (Q.int_range 1 20)
+    (fun n ->
+      let q =
+        Printf.sprintf
+          "UNWIND range(1, %d) AS i CREATE (x:Fresh {v: i}) RETURN count(*) AS c"
+          n
+      in
+      let out = Cypher_engine.Engine.run_exn Cypher_graph.Graph.empty q in
+      Cypher_graph.Graph.node_count out.Cypher_engine.Engine.graph = n)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      t_order_refl; t_order_antisym; t_order_trans; t_hash_compat;
+      t_eq_ternary_sym; t_eq_ternary_refl_null_free; t_equal_total_consistent;
+      t_and_comm; t_or_assoc; t_de_morgan; t_double_negation;
+      t_slice_size; t_index_total; t_in_list_present; t_range_arith;
+      t_prng_deterministic; t_shuffle_perm;
+      t_calendar_roundtrip; t_date_ordering;
+      t_temporal_add_sub_inverse; t_temporal_monotone; t_duration_roundtrip;
+      t_edge_isomorphism; t_engines_agree_random; t_match_monotone_bounds;
+      t_create_then_count;
+    ]

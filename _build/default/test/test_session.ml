@@ -1,0 +1,113 @@
+(* Tests for the session / transaction layer over the persistent store. *)
+
+open Helpers
+module Session = Cypher_session.Session
+module Schema = Cypher_schema.Schema
+module Graph = Cypher_graph.Graph
+
+let run_ok sess q =
+  match Session.run sess q with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%s failed: %s" q e
+
+let node_count sess = Graph.node_count (Session.graph sess)
+
+let autocommit () =
+  let sess = Session.create Graph.empty in
+  ignore (run_ok sess "CREATE (:A)");
+  ignore (run_ok sess "CREATE (:B)");
+  Alcotest.(check int) "two nodes" 2 (node_count sess);
+  Alcotest.(check bool) "no transaction open" false (Session.in_transaction sess)
+
+let rollback_restores () =
+  let sess = Session.create Graph.empty in
+  ignore (run_ok sess "CREATE (:Base)");
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:Temp1)");
+  ignore (run_ok sess "CREATE (:Temp2)");
+  Alcotest.(check int) "changes visible inside tx" 3 (node_count sess);
+  (match Session.rollback sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "rolled back" 1 (node_count sess);
+  (* the session still works after rollback *)
+  ignore (run_ok sess "CREATE (:After)");
+  Alcotest.(check int) "after rollback" 2 (node_count sess)
+
+let commit_keeps () =
+  let sess = Session.create Graph.empty in
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:X)");
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "committed" 1 (node_count sess)
+
+let nested_transactions () =
+  let sess = Session.create Graph.empty in
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:Outer)");
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:Inner)");
+  Alcotest.(check int) "depth" 2 (Session.depth sess);
+  (match Session.rollback sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "inner rolled back" 1 (node_count sess);
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "outer committed" 1 (node_count sess);
+  Alcotest.(check bool) "closed" false (Session.in_transaction sess)
+
+let schema_on_autocommit () =
+  let schema =
+    Schema.(add (Node_property_unique { label = "U"; key = "k" }) empty)
+  in
+  let sess = Session.create ~schema Graph.empty in
+  ignore (run_ok sess "CREATE (:U {k: 1})");
+  (match Session.run sess "CREATE (:U {k: 1})" with
+  | Ok _ -> Alcotest.fail "duplicate should be rejected"
+  | Error _ -> ());
+  Alcotest.(check int) "rejected statement left no trace" 1 (node_count sess)
+
+let schema_deferred_to_commit () =
+  (* inside a transaction, a temporary violation is fine as long as the
+     commit state conforms *)
+  let schema =
+    Schema.(add (Node_property_exists { label = "P"; key = "name" }) empty)
+  in
+  let sess = Session.create ~schema Graph.empty in
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P)");
+  (* violating intermediate state *)
+  ignore (run_ok sess "MATCH (p:P) SET p.name = 'fixed'");
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "committed" 1 (node_count sess);
+  (* and a commit that still violates rolls back *)
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P)");
+  (match Session.commit sess with
+  | Ok () -> Alcotest.fail "violating commit must fail"
+  | Error _ -> ());
+  Alcotest.(check int) "rolled back to conforming state" 1 (node_count sess)
+
+let params_and_reads () =
+  let sess = Session.create Graph.empty in
+  Session.set_params sess [ ("n", vint 3) ];
+  check_table_bag "parameterized read"
+    (table [ "x" ] [ [ ("x", vint 1) ]; [ ("x", vint 2) ]; [ ("x", vint 3) ] ])
+    (run_ok sess "UNWIND range(1, $n) AS x RETURN x")
+
+let tx_errors () =
+  let sess = Session.create Graph.empty in
+  (match Session.commit sess with
+  | Ok () -> Alcotest.fail "commit without tx"
+  | Error _ -> ());
+  match Session.rollback sess with
+  | Ok () -> Alcotest.fail "rollback without tx"
+  | Error _ -> ()
+
+let suite =
+  [
+    tc "auto-commit" autocommit;
+    tc "rollback restores the snapshot" rollback_restores;
+    tc "commit keeps effects" commit_keeps;
+    tc "nested transactions" nested_transactions;
+    tc "schema enforced per statement outside tx" schema_on_autocommit;
+    tc "schema deferred to commit inside tx" schema_deferred_to_commit;
+    tc "session parameters" params_and_reads;
+    tc "commit/rollback without a transaction fail" tx_errors;
+  ]

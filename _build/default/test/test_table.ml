@@ -1,0 +1,131 @@
+(* Unit tests for records and tables (bags of uniform records). *)
+
+open Helpers
+open Cypher_values
+open Cypher_table
+
+let record_basics () =
+  let u = record [ ("a", vint 1); ("b", vstr "x") ] in
+  Alcotest.(check (list string)) "dom" [ "a"; "b" ] (Record.dom u);
+  Alcotest.(check bool) "mem" true (Record.mem u "a");
+  check_value "find_or_null present" (vint 1) (Record.find_or_null u "a");
+  check_value "find_or_null absent" vnull (Record.find_or_null u "zz");
+  let u' = Record.add u "a" (vint 9) in
+  check_value "add overrides" (vint 9) (Record.find_or_null u' "a")
+
+let record_combine () =
+  let u = record [ ("a", vint 1) ] and v = record [ ("b", vint 2) ] in
+  let w = Record.combine u v in
+  Alcotest.(check (list string)) "combined dom" [ "a"; "b" ] (Record.dom w);
+  (* combining with an agreeing overlap is tolerated *)
+  let w2 = Record.combine w (record [ ("a", vint 1); ("c", vint 3) ]) in
+  Alcotest.(check (list string)) "agreeing overlap" [ "a"; "b"; "c" ] (Record.dom w2);
+  Alcotest.check_raises "conflicting overlap"
+    (Invalid_argument "Record.combine: conflicting bindings for a") (fun () ->
+      ignore (Record.combine w (record [ ("a", vint 2) ])))
+
+let record_overlay_project () =
+  let u = record [ ("a", vint 1); ("b", vint 2) ] in
+  let v = record [ ("b", vint 9); ("c", vint 3) ] in
+  let w = Record.overlay u v in
+  check_value "overlay right wins" (vint 9) (Record.find_or_null w "b");
+  check_value "overlay keeps left" (vint 1) (Record.find_or_null w "a");
+  let p = Record.project w [ "a"; "zz" ] in
+  Alcotest.(check (list string)) "project drops missing" [ "a" ] (Record.dom p);
+  let n = Record.with_nulls u [ "x"; "y" ] in
+  check_value "with_nulls" vnull (Record.find_or_null n "x")
+
+let unit_table () =
+  Alcotest.(check int) "T() has one row" 1 (Table.row_count Table.unit);
+  Alcotest.(check (list string)) "T() has no fields" [] (Table.fields Table.unit)
+
+let bag_union () =
+  let t1 = table [ "a" ] [ [ ("a", vint 1) ] ] in
+  let t2 = table [ "a" ] [ [ ("a", vint 1) ]; [ ("a", vint 2) ] ] in
+  let u = Table.union t1 t2 in
+  Alcotest.(check int) "multiplicities add" 3 (Table.row_count u);
+  let d = Table.dedup u in
+  Alcotest.(check int) "dedup" 2 (Table.row_count d);
+  Alcotest.check_raises "field mismatch"
+    (Invalid_argument "Table.union: field mismatch") (fun () ->
+      ignore (Table.union t1 (table [ "b" ] [])))
+
+let uniformity_checked () =
+  Alcotest.(check bool) "create rejects non-uniform rows" true
+    (match
+       Table.create ~fields:[ "a" ] [ record [ ("b", vint 1) ] ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let group_by_order () =
+  let t =
+    table [ "g"; "v" ]
+      [
+        [ ("g", vstr "x"); ("v", vint 1) ];
+        [ ("g", vstr "y"); ("v", vint 2) ];
+        [ ("g", vstr "x"); ("v", vint 3) ];
+      ]
+  in
+  let groups = Table.group_by t ~key:(fun r -> [ Record.find_or_null r "g" ]) in
+  Alcotest.(check int) "group count" 2 (List.length groups);
+  (match groups with
+  | (k1, rows1) :: (k2, _) :: [] ->
+    Alcotest.(check bool) "first-occurrence order" true
+      (List.equal Value.equal_total k1 [ vstr "x" ]
+      && List.equal Value.equal_total k2 [ vstr "y" ]);
+    Alcotest.(check int) "rows in group" 2 (List.length rows1)
+  | _ -> Alcotest.fail "unexpected group structure")
+
+let sort_stability () =
+  let t =
+    table [ "k"; "i" ]
+      [
+        [ ("k", vint 1); ("i", vint 1) ];
+        [ ("k", vint 0); ("i", vint 2) ];
+        [ ("k", vint 1); ("i", vint 3) ];
+      ]
+  in
+  let sorted =
+    Table.sort t ~by:(fun r1 r2 ->
+        Value.compare_total (Record.find_or_null r1 "k") (Record.find_or_null r2 "k"))
+  in
+  let is_vals = List.map (fun r -> Record.find_or_null r "i") (Table.rows sorted) in
+  Alcotest.(check bool) "stable ties keep order" true
+    (List.equal Value.equal_total is_vals [ vint 2; vint 1; vint 3 ])
+
+let skip_limit () =
+  let t = table [ "a" ] [ [ ("a", vint 1) ]; [ ("a", vint 2) ]; [ ("a", vint 3) ] ] in
+  Alcotest.(check int) "skip" 2 (Table.row_count (Table.skip t 1));
+  Alcotest.(check int) "skip beyond" 0 (Table.row_count (Table.skip t 9));
+  Alcotest.(check int) "limit" 2 (Table.row_count (Table.limit t 2));
+  Alcotest.(check int) "limit beyond" 3 (Table.row_count (Table.limit t 9))
+
+let bag_equality () =
+  let t1 = table [ "a" ] [ [ ("a", vint 1) ]; [ ("a", vint 2) ] ] in
+  let t2 = table [ "a" ] [ [ ("a", vint 2) ]; [ ("a", vint 1) ] ] in
+  Alcotest.(check bool) "bag equal ignores order" true (Table.bag_equal t1 t2);
+  Alcotest.(check bool) "ordered differs" false (Table.equal_ordered t1 t2);
+  let t3 = table [ "a" ] [ [ ("a", vint 1) ]; [ ("a", vint 1) ] ] in
+  Alcotest.(check bool) "multiplicity matters" false (Table.bag_equal t1 t3)
+
+let rendering () =
+  let t = table [ "a"; "b" ] [ [ ("a", vint 1); ("b", vstr "xy") ] ] in
+  let s = Table.to_string t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0 && String.sub s 0 1 = "a")
+
+let suite =
+  [
+    tc "record basics" record_basics;
+    tc "record combine" record_combine;
+    tc "record overlay and project" record_overlay_project;
+    tc "the unit table T()" unit_table;
+    tc "bag union and dedup" bag_union;
+    tc "uniformity is checked" uniformity_checked;
+    tc "group_by keeps first-occurrence order" group_by_order;
+    tc "sort is stable" sort_stability;
+    tc "skip and limit" skip_limit;
+    tc "bag equality" bag_equality;
+    tc "table rendering" rendering;
+  ]

@@ -1,0 +1,678 @@
+(* A TCK-style scenario battery in the shape of the openCypher
+   Technology Compatibility Kit (paper, Section 5).  Every scenario runs
+   under both the reference semantics and the planned engine. *)
+
+open Cypher_tck.Tck
+open Cypher_values
+
+let s = scenario
+
+(* --- MATCH ---------------------------------------------------------- *)
+
+let match_scenarios =
+  [
+    s "match all nodes on empty graph" ~when_:"MATCH (n) RETURN n"
+      ~then_:[ Empty_result ];
+    s "match all nodes"
+      ~given:[ "CREATE (:A), (:B), ()" ]
+      ~when_:"MATCH (n) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "3" ] ]) ];
+    s "match by label"
+      ~given:[ "CREATE (:A {v: 1}), (:B {v: 2}), (:A {v: 3})" ]
+      ~when_:"MATCH (n:A) RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ]; [ "3" ] ]) ];
+    s "match by two labels"
+      ~given:[ "CREATE (:A:B {v: 1}), (:A {v: 2}), (:B {v: 3})" ]
+      ~when_:"MATCH (n:A:B) RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ] ]) ];
+    s "match by property"
+      ~given:[ "CREATE ({v: 1, w: 'x'}), ({v: 2}), ({v: 1})" ]
+      ~when_:"MATCH (n {v: 1}) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "property pattern with missing property never matches"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n {v: 1}) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "directed relationship"
+      ~given:[ "CREATE (a {n: 'a'})-[:T]->(b {n: 'b'})" ]
+      ~when_:"MATCH (x)-[:T]->(y) RETURN x.n AS x, y.n AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "'a'"; "'b'" ] ]) ];
+    s "reversed relationship"
+      ~given:[ "CREATE (a {n: 'a'})-[:T]->(b {n: 'b'})" ]
+      ~when_:"MATCH (x)<-[:T]-(y) RETURN x.n AS x, y.n AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "'b'"; "'a'" ] ]) ];
+    s "undirected relationship matches both ways"
+      ~given:[ "CREATE (a {n: 'a'})-[:T]->(b {n: 'b'})" ]
+      ~when_:"MATCH (x)-[:T]-(y) RETURN x.n AS x ORDER BY x"
+      ~then_:[ Rows_ordered ([ "x" ], [ [ "'a'" ]; [ "'b'" ] ]) ];
+    s "relationship type disjunction"
+      ~given:[ "CREATE (a)-[:X]->(b), (a)-[:Y]->(b), (a)-[:Z]->(b)" ]
+      ~when_:"MATCH ()-[r:X|Y]->() RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "relationship property map"
+      ~given:[ "CREATE (a)-[:T {w: 1}]->(b), (a)-[:T {w: 2}]->(b)" ]
+      ~when_:"MATCH ()-[r:T {w: 2}]->() RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "relationship variable binds"
+      ~given:[ "CREATE (a)-[:T {w: 7}]->(b)" ]
+      ~when_:"MATCH ()-[r]->() RETURN r.w AS w, type(r) AS t"
+      ~then_:[ Rows ([ "w"; "t" ], [ [ "7"; "'T'" ] ]) ];
+    s "no repeated relationship in one match (edge isomorphism)"
+      ~given:[ "CREATE (a)-[:T]->(b)" ]
+      ~when_:"MATCH (x)-[r1:T]->(y), (x2)-[r2:T]->(y2) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "0" ] ]) ];
+    s "repeated node variable forces the same node"
+      ~given:[ "CREATE (a)-[:T]->(b)-[:T]->(a)" ]
+      ~when_:"MATCH (x)-[:T]->(y)-[:T]->(x) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "self-loop matches a cyclic node pattern once"
+      ~given:[ "CREATE (a)-[:T]->(a)" ]
+      ~when_:"MATCH (x)-[:T]->(x) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "disconnected pattern tuple is a cross product"
+      ~given:[ "CREATE (:A), (:A), (:B)" ]
+      ~when_:"MATCH (a:A), (b:B) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "match cannot redeclare a bound variable's node"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->(:B {v: 2})" ]
+      ~when_:"MATCH (a:A) MATCH (a)-[:T]->(b) RETURN a.v AS a, b.v AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "1"; "2" ] ]) ];
+  ]
+
+(* --- variable length ------------------------------------------------- *)
+
+let var_length_scenarios =
+  [
+    s "star means one or more"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:"MATCH ({v: 1})-[:T*]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "2" ]; [ "3" ] ]) ];
+    s "star zero includes the start node"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})" ]
+      ~when_:"MATCH ({v: 1})-[:T*0..]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ]; [ "2" ] ]) ];
+    s "exact length"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})-[:T]->({v: 4})" ]
+      ~when_:"MATCH ({v: 1})-[:T*2]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "3" ] ]) ];
+    s "bounded range"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})-[:T]->({v: 4})" ]
+      ~when_:"MATCH ({v: 1})-[:T*2..3]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "3" ]; [ "4" ] ]) ];
+    s "upper bound only"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:"MATCH ({v: 1})-[:T*..1]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "2" ] ]) ];
+    s "variable length binds the list of relationships"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:"MATCH ({v: 1})-[r:T*2]->(x) RETURN size(r) AS n"
+      ~then_:[ Rows ([ "n" ], [ [ "2" ] ]) ];
+    s "variable length over a diamond counts both paths"
+      ~given:
+        [
+          "CREATE (s {v: 0}), (a {v: 1}), (b {v: 2}), (t {v: 3}), \
+           (s)-[:T]->(a), (s)-[:T]->(b), (a)-[:T]->(t), (b)-[:T]->(t)";
+        ]
+      ~when_:"MATCH ({v: 0})-[:T*2]->(x {v: 3}) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "undirected variable length"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})<-[:T]-({v: 3})" ]
+      ~when_:"MATCH ({v: 1})-[:T*2]-(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "3" ] ]) ];
+    s "edge isomorphism bounds variable length on a cycle"
+      ~given:[ "CREATE (a {v: 1})-[:T]->(b {v: 2}), (b)-[:T]->(a)" ]
+      ~when_:"MATCH ({v: 1})-[:T*]->(x) RETURN x.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "2" ]; [ "1" ] ]) ];
+  ]
+
+(* --- WHERE and null semantics ---------------------------------------- *)
+
+let where_scenarios =
+  [
+    s "where keeps only true (not null)"
+      ~given:[ "CREATE ({v: 1}), ({v: 2}), ()" ]
+      ~when_:"MATCH (n) WHERE n.v > 1 RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "is null"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) WHERE n.v IS NULL RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "is not null"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) WHERE n.v IS NOT NULL RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "null = null is null, not true"
+      ~when_:"RETURN null = null AS eq, null <> null AS neq"
+      ~then_:[ Rows ([ "eq"; "neq" ], [ [ "null"; "null" ] ]) ];
+    s "three-valued OR"
+      ~when_:"RETURN true OR null AS a, false OR null AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "true"; "null" ] ]) ];
+    s "three-valued AND"
+      ~when_:"RETURN false AND null AS a, true AND null AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "false"; "null" ] ]) ];
+    s "three-valued XOR and NOT"
+      ~when_:"RETURN true XOR null AS a, NOT null AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "null"; "null" ] ]) ];
+    s "comparison with null is null"
+      ~when_:"RETURN 1 < null AS a, null >= 2 AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "null"; "null" ] ]) ];
+    s "incomparable kinds compare to null"
+      ~when_:"RETURN 1 < 'a' AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "label predicate in where"
+      ~given:[ "CREATE (:A), (:B)" ]
+      ~when_:"MATCH (n) WHERE n:A RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "pattern predicate in where"
+      ~given:[ "CREATE (a {v: 1})-[:T]->(), ({v: 2})" ]
+      ~when_:"MATCH (n) WHERE (n)-[:T]->() RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ] ]) ];
+    s "negated pattern predicate"
+      ~given:[ "CREATE (a {v: 1})-[:T]->({v: 2})" ]
+      ~when_:"MATCH (n) WHERE NOT (n)-[:T]->() RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "2" ] ]) ];
+    s "where on missing property filters row out"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) WHERE n.v = 1 RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+  ]
+
+(* --- OPTIONAL MATCH --------------------------------------------------- *)
+
+let optional_scenarios =
+  [
+    s "optional match pads with null"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN a.v AS a, b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "1"; "null" ] ]) ];
+    s "optional match keeps matches"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->({w: 2})" ]
+      ~when_:"MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN a.v AS a, b.w AS w"
+      ~then_:[ Rows ([ "a"; "w" ], [ [ "1"; "2" ] ]) ];
+    s "optional match where applies inside"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->({w: 2})" ]
+      ~when_:
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) WHERE b.w > 5 \
+         RETURN a.v AS a, b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "1"; "null" ] ]) ];
+    s "optional match on empty driving table stays empty"
+      ~when_:"MATCH (a:Nope) OPTIONAL MATCH (a)-[:T]->(b) RETURN a, b"
+      ~then_:[ Empty_result ];
+    s "standalone optional match produces one null row"
+      ~when_:"OPTIONAL MATCH (a:Nope) RETURN a"
+      ~then_:[ Rows ([ "a" ], [ [ "null" ] ]) ];
+  ]
+
+(* --- projection, ORDER BY, SKIP, LIMIT, DISTINCT ---------------------- *)
+
+let projection_scenarios =
+  [
+    s "return star"
+      ~given:[ "CREATE ({v: 1})" ]
+      ~when_:"MATCH (n) RETURN *"
+      ~then_:[ Row_count 1 ];
+    s "alias and expression columns"
+      ~when_:"RETURN 1 + 1 AS two, 'x' AS s"
+      ~then_:[ Rows ([ "two"; "s" ], [ [ "2"; "'x'" ] ]) ];
+    s "unaliased column is named by its text"
+      ~when_:"RETURN 1 + 1"
+      ~then_:[ Rows ([ "1 + 1" ], [ [ "2" ] ]) ];
+    s "distinct removes duplicates"
+      ~given:[ "CREATE ({v: 1}), ({v: 1}), ({v: 2})" ]
+      ~when_:"MATCH (n) RETURN DISTINCT n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ]; [ "2" ] ]) ];
+    s "distinct treats nulls as equal"
+      ~given:[ "CREATE (), ()" ]
+      ~when_:"MATCH (n) RETURN DISTINCT n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "null" ] ]) ];
+    s "order by ascending"
+      ~given:[ "CREATE ({v: 3}), ({v: 1}), ({v: 2})" ]
+      ~when_:"MATCH (n) RETURN n.v AS v ORDER BY v"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "1" ]; [ "2" ]; [ "3" ] ]) ];
+    s "order by descending"
+      ~given:[ "CREATE ({v: 3}), ({v: 1}), ({v: 2})" ]
+      ~when_:"MATCH (n) RETURN n.v AS v ORDER BY v DESC"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "3" ]; [ "2" ]; [ "1" ] ]) ];
+    s "null sorts last ascending"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN n.v AS v ORDER BY v"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "1" ]; [ "null" ] ]) ];
+    s "order by non-projected expression"
+      ~given:[ "CREATE ({v: 2, w: 1}), ({v: 1, w: 2})" ]
+      ~when_:"MATCH (n) RETURN n.v AS v ORDER BY n.w"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "2" ]; [ "1" ] ]) ];
+    s "skip and limit"
+      ~when_:"UNWIND [1, 2, 3, 4, 5] AS x RETURN x ORDER BY x SKIP 1 LIMIT 2"
+      ~then_:[ Rows_ordered ([ "x" ], [ [ "2" ]; [ "3" ] ]) ];
+    s "limit zero"
+      ~when_:"UNWIND [1, 2] AS x RETURN x LIMIT 0"
+      ~then_:[ Empty_result ];
+    s "order by multiple keys"
+      ~when_:
+        "UNWIND [[1, 'b'], [1, 'a'], [0, 'z']] AS p \
+         RETURN p[0] AS a, p[1] AS b ORDER BY a, b"
+      ~then_:
+        [ Rows_ordered ([ "a"; "b" ], [ [ "0"; "'z'" ]; [ "1"; "'a'" ]; [ "1"; "'b'" ] ]) ];
+  ]
+
+(* --- aggregation ------------------------------------------------------ *)
+
+let aggregation_scenarios =
+  [
+    s "count star counts rows including nulls"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "count expression skips nulls"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN count(n.v) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "count distinct"
+      ~when_:"UNWIND [1, 1, 2, null] AS x RETURN count(DISTINCT x) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "count on empty input is zero (one row)"
+      ~when_:"MATCH (n:Nope) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "0" ] ]) ];
+    s "grouped count produces no row for empty input"
+      ~when_:"MATCH (n:Nope) RETURN n.v AS v, count(*) AS c"
+      ~then_:[ Empty_result ];
+    s "implicit grouping key"
+      ~given:[ "CREATE ({g: 'a'}), ({g: 'a'}), ({g: 'b'})" ]
+      ~when_:"MATCH (n) RETURN n.g AS g, count(*) AS c ORDER BY g"
+      ~then_:[ Rows_ordered ([ "g"; "c" ], [ [ "'a'"; "2" ]; [ "'b'"; "1" ] ]) ];
+    s "sum avg min max collect"
+      ~when_:
+        "UNWIND [1, 2, 3, null] AS x RETURN sum(x) AS s, avg(x) AS a, \
+         min(x) AS mn, max(x) AS mx, collect(x) AS l"
+      ~then_:
+        [ Rows ([ "s"; "a"; "mn"; "mx"; "l" ], [ [ "6"; "2.0"; "1"; "3"; "[1, 2, 3]" ] ]) ];
+    s "sum of empty is zero, avg of empty is null"
+      ~when_:"MATCH (n:Nope) RETURN sum(n.v) AS s, avg(n.v) AS a"
+      ~then_:[ Rows ([ "s"; "a" ], [ [ "0"; "null" ] ]) ];
+    s "collect of nothing is the empty list"
+      ~when_:"MATCH (n:Nope) RETURN collect(n) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[]" ] ]) ];
+    s "aggregate inside an expression"
+      ~when_:"UNWIND [1, 2, 3] AS x RETURN count(x) + 10 AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "13" ] ]) ];
+    s "two aggregates in one projection"
+      ~when_:"UNWIND [1, 2, 2, null] AS x RETURN count(x) AS c, count(*) AS all"
+      ~then_:[ Rows ([ "c"; "all" ], [ [ "3"; "4" ] ]) ];
+    s "collect distinct"
+      ~when_:"UNWIND [2, 1, 2] AS x RETURN collect(DISTINCT x) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[2, 1]" ] ]) ];
+  ]
+
+(* --- WITH and UNWIND -------------------------------------------------- *)
+
+let with_unwind_scenarios =
+  [
+    s "with narrows scope"
+      ~given:[ "CREATE ({v: 1})" ]
+      ~when_:"MATCH (n) WITH n.v AS v RETURN v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ] ]) ];
+    s "with where filters"
+      ~when_:"UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN collect(x) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[2, 3]" ] ]) ];
+    s "with aggregation then match (the Section 3 shape)"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->(:B), (:A {v: 2})" ]
+      ~when_:
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b:B) WITH a, count(b) AS c \
+         RETURN a.v AS v, c ORDER BY v"
+      ~then_:[ Rows_ordered ([ "v"; "c" ], [ [ "1"; "1" ]; [ "2"; "0" ] ]) ];
+    s "with distinct"
+      ~when_:"UNWIND [1, 1, 2] AS x WITH DISTINCT x RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "with order by limit"
+      ~when_:"UNWIND [3, 1, 2] AS x WITH x ORDER BY x DESC LIMIT 1 RETURN x"
+      ~then_:[ Rows ([ "x" ], [ [ "3" ] ]) ];
+    s "unwind a list"
+      ~when_:"UNWIND [1, 2, 3] AS x RETURN x"
+      ~then_:[ Rows ([ "x" ], [ [ "1" ]; [ "2" ]; [ "3" ] ]) ];
+    s "unwind empty list produces no rows"
+      ~when_:"UNWIND [] AS x RETURN x"
+      ~then_:[ Empty_result ];
+    s "unwind null produces no rows"
+      ~when_:"UNWIND null AS x RETURN x"
+      ~then_:[ Empty_result ];
+    s "unwind a scalar produces one row"
+      ~when_:"UNWIND 7 AS x RETURN x"
+      ~then_:[ Rows ([ "x" ], [ [ "7" ] ]) ];
+    s "nested unwind"
+      ~when_:"UNWIND [[1, 2], [3]] AS l UNWIND l AS x RETURN collect(x) AS all"
+      ~then_:[ Rows ([ "all" ], [ [ "[1, 2, 3]" ] ]) ];
+    s "unwind multiplies rows"
+      ~when_:"UNWIND [1, 2] AS x UNWIND ['a', 'b'] AS y RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "4" ] ]) ];
+  ]
+
+(* --- UNION ------------------------------------------------------------ *)
+
+let union_scenarios =
+  [
+    s "union deduplicates"
+      ~when_:"RETURN 1 AS x UNION RETURN 1 AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "1" ] ]) ];
+    s "union all keeps duplicates"
+      ~when_:"RETURN 1 AS x UNION ALL RETURN 1 AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "1" ]; [ "1" ] ]) ];
+    s "union of different branches"
+      ~given:[ "CREATE (:A {v: 1}), (:B {v: 2})" ]
+      ~when_:"MATCH (n:A) RETURN n.v AS v UNION MATCH (n:B) RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ]; [ "2" ] ]) ];
+  ]
+
+(* --- expressions ------------------------------------------------------ *)
+
+let expression_scenarios =
+  [
+    s "arithmetic"
+      ~when_:"RETURN 7 / 2 AS intdiv, 7.0 / 2 AS fdiv, 7 % 3 AS m, 2 ^ 10 AS p"
+      ~then_:
+        [ Rows ([ "intdiv"; "fdiv"; "m"; "p" ], [ [ "3"; "3.5"; "1"; "1024.0" ] ]) ];
+    s "string concatenation and predicates"
+      ~when_:
+        "RETURN 'ab' + 'cd' AS s, 'abcd' STARTS WITH 'ab' AS sw, \
+         'abcd' ENDS WITH 'cd' AS ew, 'abcd' CONTAINS 'bc' AS ct"
+      ~then_:
+        [ Rows ([ "s"; "sw"; "ew"; "ct" ], [ [ "'abcd'"; "true"; "true"; "true" ] ]) ];
+    s "list indexing and slicing"
+      ~when_:
+        "WITH [1, 2, 3, 4] AS l \
+         RETURN l[0] AS a, l[-1] AS b, l[1..3] AS c, l[..2] AS d, l[2..] AS e"
+      ~then_:
+        [
+          Rows
+            ( [ "a"; "b"; "c"; "d"; "e" ],
+              [ [ "1"; "4"; "[2, 3]"; "[1, 2]"; "[3, 4]" ] ] );
+        ];
+    s "index out of bounds is null"
+      ~when_:"RETURN [1, 2][10] AS x, [1, 2][-10] AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "null"; "null" ] ]) ];
+    s "IN with nulls"
+      ~when_:
+        "RETURN 1 IN [1, 2] AS a, 3 IN [1, 2] AS b, 3 IN [1, null] AS c, \
+         null IN [1] AS d"
+      ~then_:[ Rows ([ "a"; "b"; "c"; "d" ], [ [ "true"; "false"; "null"; "null" ] ]) ];
+    s "list concatenation with +"
+      ~when_:"RETURN [1] + [2, 3] AS l, [1] + 2 AS m"
+      ~then_:[ Rows ([ "l"; "m" ], [ [ "[1, 2, 3]"; "[1, 2]" ] ]) ];
+    s "maps"
+      ~when_:"WITH {a: 1, b: {c: 2}} AS m RETURN m.a AS a, m.b.c AS c, m['a'] AS ia"
+      ~then_:[ Rows ([ "a"; "c"; "ia" ], [ [ "1"; "2"; "1" ] ]) ];
+    s "missing map key is null"
+      ~when_:"RETURN {a: 1}.b AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "list comprehension"
+      ~when_:"RETURN [x IN [1, 2, 3, 4] WHERE x % 2 = 0 | x * 10] AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[20, 40]" ] ]) ];
+    s "list comprehension without body"
+      ~when_:"RETURN [x IN [1, 2, 3] WHERE x > 1] AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[2, 3]" ] ]) ];
+    s "simple case"
+      ~when_:"UNWIND [1, 2, 3] AS x RETURN CASE x WHEN 1 THEN 'one' WHEN 2 \
+              THEN 'two' ELSE 'many' END AS w"
+      ~then_:[ Rows ([ "w" ], [ [ "'one'" ]; [ "'two'" ]; [ "'many'" ] ]) ];
+    s "searched case without else is null"
+      ~when_:"RETURN CASE WHEN false THEN 1 END AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "quantifiers"
+      ~when_:
+        "WITH [1, 2, 3] AS l RETURN all(x IN l WHERE x > 0) AS a, \
+         any(x IN l WHERE x > 2) AS b, none(x IN l WHERE x > 3) AS c, \
+         single(x IN l WHERE x = 2) AS d"
+      ~then_:
+        [ Rows ([ "a"; "b"; "c"; "d" ], [ [ "true"; "true"; "true"; "true" ] ]) ];
+    s "range function"
+      ~when_:"RETURN range(1, 5) AS a, range(0, 10, 3) AS b, range(5, 1, -2) AS c"
+      ~then_:
+        [
+          Rows
+            ( [ "a"; "b"; "c" ],
+              [ [ "[1, 2, 3, 4, 5]"; "[0, 3, 6, 9]"; "[5, 3, 1]" ] ] );
+        ];
+    s "coalesce"
+      ~when_:"RETURN coalesce(null, null, 3, 4) AS x, coalesce(null) AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "3"; "null" ] ]) ];
+    s "string functions"
+      ~when_:
+        "RETURN toUpper('ab') AS u, toLower('AB') AS l, trim('  x ') AS t, \
+         split('a,b,c', ',') AS sp, substring('hello', 1, 3) AS sub, \
+         replace('aaa', 'a', 'b') AS r, reverse('abc') AS rev, size('abcd') AS n"
+      ~then_:
+        [
+          Rows
+            ( [ "u"; "l"; "t"; "sp"; "sub"; "r"; "rev"; "n" ],
+              [
+                [ "'AB'"; "'ab'"; "'x'"; "['a', 'b', 'c']"; "'ell'"; "'bbb'";
+                  "'cba'"; "4" ];
+              ] );
+        ];
+    s "numeric functions"
+      ~when_:
+        "RETURN abs(-3) AS a, sign(-2) AS s, round(2.5) AS r, ceil(2.1) AS c, \
+         floor(2.9) AS f, sqrt(16.0) AS q, toInteger('42') AS i, toFloat(1) AS ft"
+      ~then_:
+        [
+          Rows
+            ( [ "a"; "s"; "r"; "c"; "f"; "q"; "i"; "ft" ],
+              [ [ "3"; "-1"; "3.0"; "3.0"; "2.0"; "4.0"; "42"; "1.0" ] ] );
+        ];
+    s "head last tail"
+      ~when_:
+        "WITH [1, 2, 3] AS l RETURN head(l) AS h, last(l) AS la, tail(l) AS t, \
+         head([]) AS hn"
+      ~then_:[ Rows ([ "h"; "la"; "t"; "hn" ], [ [ "1"; "3"; "[2, 3]"; "null" ] ]) ];
+    s "parameters"
+      ~params:[ ("limit", Value.Int 2); ("name", Value.String "x") ]
+      ~when_:"RETURN $limit + 1 AS l, $name AS n"
+      ~then_:[ Rows ([ "l"; "n" ], [ [ "3"; "'x'" ] ]) ];
+    s "division by zero is an error" ~when_:"RETURN 1 / 0 AS x"
+      ~then_:[ Error_raised ];
+    s "unknown function is an error" ~when_:"RETURN no_such_fn(1) AS x"
+      ~then_:[ Error_raised ];
+    s "unbound variable is an error" ~when_:"RETURN x" ~then_:[ Error_raised ];
+  ]
+
+(* --- graph functions --------------------------------------------------- *)
+
+let graph_fn_scenarios =
+  [
+    s "labels and keys"
+      ~given:[ "CREATE (:A:B {x: 1, y: 2})" ]
+      ~when_:"MATCH (n) RETURN labels(n) AS l, keys(n) AS k"
+      ~then_:[ Rows ([ "l"; "k" ], [ [ "['A', 'B']"; "['x', 'y']" ] ]) ];
+    s "type startNode endNode"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})" ]
+      ~when_:
+        "MATCH ()-[r]->() RETURN type(r) AS t, startNode(r).v AS s, \
+         endNode(r).v AS e"
+      ~then_:[ Rows ([ "t"; "s"; "e" ], [ [ "'T'"; "1"; "2" ] ]) ];
+    s "id is stable within a query"
+      ~given:[ "CREATE ({v: 1})" ]
+      ~when_:"MATCH (a) MATCH (b) WHERE id(a) = id(b) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+    s "properties returns the map"
+      ~given:[ "CREATE ({x: 1})" ]
+      ~when_:"MATCH (n) RETURN properties(n) AS p"
+      ~then_:[ Rows ([ "p" ], [ [ "{x: 1}" ] ]) ];
+    s "exists on property"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN exists(n.v) AS e ORDER BY e"
+      ~then_:[ Rows_ordered ([ "e" ], [ [ "false" ]; [ "true" ] ]) ];
+    s "path functions"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:
+        "MATCH p = ({v: 1})-[:T*2]->() \
+         RETURN length(p) AS len, size(nodes(p)) AS ns, size(relationships(p)) AS rs"
+      ~then_:[ Rows ([ "len"; "ns"; "rs" ], [ [ "2"; "3"; "2" ] ]) ];
+    s "degree functions"
+      ~given:[ "CREATE (a {v: 1})-[:T]->(), (a)-[:T]->(), ()-[:T]->(a)" ]
+      ~when_:
+        "MATCH (n {v: 1}) RETURN outDegree(n) AS o, inDegree(n) AS i, degree(n) AS d"
+      ~then_:[ Rows ([ "o"; "i"; "d" ], [ [ "2"; "1"; "3" ] ]) ];
+  ]
+
+(* --- updates ----------------------------------------------------------- *)
+
+let update_scenarios =
+  [
+    s "create a node"
+      ~when_:"CREATE (n:A {v: 1})"
+      ~then_:
+        [ Side_effects { no_effects with nodes_created = 1 }; Empty_result ];
+    s "create a relationship"
+      ~when_:"CREATE (:A)-[:T]->(:B)"
+      ~then_:
+        [ Side_effects { no_effects with nodes_created = 2; rels_created = 1 } ];
+    s "create per row"
+      ~when_:"UNWIND [1, 2, 3] AS i CREATE (n {v: i})"
+      ~then_:[ Side_effects { no_effects with nodes_created = 3 } ];
+    s "create reuses bound nodes"
+      ~given:[ "CREATE (:A), (:B)" ]
+      ~when_:"MATCH (a:A), (b:B) CREATE (a)-[:T]->(b)"
+      ~then_:[ Side_effects { no_effects with rels_created = 1 } ];
+    s "delete relationship"
+      ~given:[ "CREATE (:A)-[:T]->(:B)" ]
+      ~when_:"MATCH ()-[r:T]->() DELETE r"
+      ~then_:[ Side_effects { no_effects with rels_deleted = 1 } ];
+    s "delete node with relationships is an error"
+      ~given:[ "CREATE (:A)-[:T]->(:B)" ]
+      ~when_:"MATCH (a:A) DELETE a"
+      ~then_:[ Error_raised ];
+    s "detach delete removes relationships too"
+      ~given:[ "CREATE (:A)-[:T]->(:B)" ]
+      ~when_:"MATCH (a:A) DETACH DELETE a"
+      ~then_:
+        [ Side_effects { no_effects with nodes_deleted = 1; rels_deleted = 1 } ];
+    s "set property"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) SET a.v = 10 RETURN a.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "10" ] ]) ];
+    s "set property to null removes it"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) SET a.v = null RETURN exists(a.v) AS e"
+      ~then_:[ Rows ([ "e" ], [ [ "false" ] ]) ];
+    s "set all properties replaces"
+      ~given:[ "CREATE (:A {v: 1, w: 2})" ]
+      ~when_:"MATCH (a:A) SET a = {x: 9} RETURN keys(a) AS k"
+      ~then_:[ Rows ([ "k" ], [ [ "['x']" ] ]) ];
+    s "set merge properties keeps others"
+      ~given:[ "CREATE (:A {v: 1, w: 2})" ]
+      ~when_:"MATCH (a:A) SET a += {w: 3, x: 4} RETURN a.v AS v, a.w AS w, a.x AS x"
+      ~then_:[ Rows ([ "v"; "w"; "x" ], [ [ "1"; "3"; "4" ] ]) ];
+    s "set label"
+      ~given:[ "CREATE (:A)" ]
+      ~when_:"MATCH (a:A) SET a:B:C RETURN labels(a) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "['A', 'B', 'C']" ] ]) ];
+    s "remove property and label"
+      ~given:[ "CREATE (:A:B {v: 1})" ]
+      ~when_:"MATCH (a:A) REMOVE a.v, a:B RETURN labels(a) AS l, exists(a.v) AS e"
+      ~then_:[ Rows ([ "l"; "e" ], [ [ "['A']"; "false" ] ]) ];
+    s "merge creates when absent"
+      ~when_:"MERGE (n:A {v: 1}) RETURN n.v AS v"
+      ~then_:
+        [ Rows ([ "v" ], [ [ "1" ] ]); Side_effects { no_effects with nodes_created = 1 } ];
+    s "merge matches when present"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MERGE (n:A {v: 1}) RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ] ]); Side_effects no_effects ];
+    s "merge on create / on match"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:
+        "MERGE (n:A {v: 1}) ON MATCH SET n.seen = true ON CREATE SET \
+         n.created = true RETURN n.seen AS s, n.created AS c"
+      ~then_:[ Rows ([ "s"; "c" ], [ [ "true"; "null" ] ]) ];
+    s "merge binds every existing match"
+      ~given:[ "CREATE (:A {v: 1}), (:A {v: 1})" ]
+      ~when_:"MERGE (n:A {v: 1}) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "merge a relationship between bound nodes"
+      ~given:[ "CREATE (:A), (:B)" ]
+      ~when_:
+        "MATCH (a:A), (b:B) MERGE (a)-[r:T]->(b) \
+         MERGE (a)-[r2:T]->(b) RETURN count(*) AS c"
+      ~then_:
+        [ Rows ([ "c" ], [ [ "1" ] ]); Side_effects { no_effects with rels_created = 1 } ];
+    s "create then read in the same query"
+      ~when_:"CREATE (a:A {v: 1}) WITH a MATCH (n:A) RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "1" ] ]) ];
+  ]
+
+
+(* --- shortest paths ---------------------------------------------------- *)
+
+let shortest_path_scenarios =
+  [
+    s "shortestPath finds the minimal length"
+      ~given:
+        [
+          "CREATE (a {v: 1}), (b {v: 2}), (c {v: 3}), (d {v: 4}), \
+           (a)-[:T]->(b), (b)-[:T]->(c), (c)-[:T]->(d), (a)-[:T]->(d)";
+        ]
+      ~when_:
+        "MATCH (a {v: 1}), (d {v: 4}) \
+         MATCH p = shortestPath((a)-[:T*]->(d)) RETURN length(p) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "1" ] ]) ];
+    s "allShortestPaths finds every minimal path"
+      ~given:
+        [
+          "CREATE (s {v: 0}), (a {v: 1}), (b {v: 2}), (t {v: 3}), \
+           (s)-[:T]->(a), (s)-[:T]->(b), (a)-[:T]->(t), (b)-[:T]->(t)";
+        ]
+      ~when_:
+        "MATCH (s {v: 0}), (t {v: 3}) \
+         MATCH p = allShortestPaths((s)-[:T*]->(t)) RETURN count(p) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "shortestPath respects direction"
+      ~given:[ "CREATE (a {v: 1})<-[:T]-(b {v: 2})" ]
+      ~when_:
+        "MATCH (a {v: 1}), (b {v: 2}) \
+         MATCH p = shortestPath((a)-[:T*]->(b)) RETURN p"
+      ~then_:[ Empty_result ];
+    s "shortestPath respects types"
+      ~given:
+        [
+          "CREATE (a {v: 1}), (b {v: 2}), (a)-[:GOOD]->(b), \
+           (a)-[:BAD]->(b)";
+        ]
+      ~when_:
+        "MATCH (a {v: 1}), (b {v: 2}) \
+         MATCH p = shortestPath((a)-[:GOOD*]->(b)) \
+         RETURN [r IN relationships(p) | type(r)] AS types"
+      ~then_:[ Rows ([ "types" ], [ [ "['GOOD']" ] ]) ];
+    s "shortestPath with unbound endpoints enumerates pairs"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:
+        "MATCH p = shortestPath((a)-[:T*]->(b)) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "3" ] ]) ];
+    s "shortestPath binds the relationship list"
+      ~given:[ "CREATE ({v: 1})-[:T {w: 5}]->({v: 2})" ]
+      ~when_:
+        "MATCH (a {v: 1}), (b {v: 2}) \
+         MATCH shortestPath((a)-[rs:T*]->(b)) RETURN size(rs) AS n"
+      ~then_:[ Rows ([ "n" ], [ [ "1" ] ]) ];
+    s "shortest cycle back to the start"
+      ~given:[ "CREATE (a {v: 1})-[:T]->(b)-[:T]->(a)" ]
+      ~when_:
+        "MATCH (a {v: 1}) MATCH p = shortestPath((a)-[:T*]->(a)) \
+         RETURN length(p) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "2" ] ]) ];
+    s "shortestPath in a longer chain picks the direct link"
+      ~given:
+        [
+          "CREATE (a {v: 1})-[:T]->({v: 2}), (a)-[:T]->({v: 9}) \
+           WITH a MATCH (x {v: 2}), (y {v: 9}) CREATE (x)-[:T]->(y)";
+        ]
+      ~when_:
+        "MATCH (a {v: 1}), (y {v: 9}) \
+         MATCH p = shortestPath((a)-[:T*]->(y)) RETURN length(p) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "1" ] ]) ];
+  ]
+
+let suite =
+  to_alcotest
+    (match_scenarios @ var_length_scenarios @ where_scenarios
+   @ optional_scenarios @ projection_scenarios @ aggregation_scenarios
+   @ with_unwind_scenarios @ union_scenarios @ expression_scenarios
+   @ graph_fn_scenarios @ update_scenarios @ shortest_path_scenarios)

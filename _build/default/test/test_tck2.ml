@@ -1,0 +1,555 @@
+(* TCK scenario battery, part 2: corners not covered by the first batch —
+   null propagation in string/list operators, scope and shadowing in
+   WITH, update-clause edge cases, var-length property maps, named paths,
+   parameters in paging, and type coercions. *)
+
+open Cypher_tck.Tck
+open Cypher_values
+
+let s = scenario
+
+let string_null_scenarios =
+  [
+    s "STARTS WITH null is null"
+      ~when_:"RETURN 'abc' STARTS WITH null AS a, null STARTS WITH 'a' AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "null"; "null" ] ]) ];
+    s "string concatenation with null"
+      ~when_:"RETURN 'a' + null AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "substring and case functions propagate null"
+      ~when_:"RETURN toUpper(null) AS u, trim(null) AS t, split(null, ',') AS sp"
+      ~then_:[ Rows ([ "u"; "t"; "sp" ], [ [ "null"; "null"; "null" ] ]) ];
+    s "toString of booleans and floats"
+      ~when_:"RETURN toString(true) AS b, toString(2.5) AS f, toString(7) AS i"
+      ~then_:[ Rows ([ "b"; "f"; "i" ], [ [ "'true'"; "'2.5'"; "'7'" ] ]) ];
+    s "toInteger of garbage is null"
+      ~when_:"RETURN toInteger('abc') AS x, toBoolean('maybe') AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "null"; "null" ] ]) ];
+  ]
+
+let list_null_scenarios =
+  [
+    s "slice with null bound is null"
+      ~when_:"RETURN [1, 2, 3][null..2] AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "index with null is null"
+      ~when_:"RETURN [1, 2][null] AS x, null[0] AS y"
+      ~then_:[ Rows ([ "x"; "y" ], [ [ "null"; "null" ] ]) ];
+    s "IN over empty list is false"
+      ~when_:"RETURN 1 IN [] AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "false" ] ]) ];
+    s "IN compares lists structurally"
+      ~when_:"RETURN [1, 2] IN [[1, 2], [3]] AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "true" ] ]) ];
+    s "head and last of empty are null"
+      ~when_:"RETURN head([]) AS h, last([]) AS l, tail([]) AS t"
+      ~then_:[ Rows ([ "h"; "l"; "t" ], [ [ "null"; "null"; "[]" ] ]) ];
+    s "reverse of a list"
+      ~when_:"RETURN reverse([1, 2, 3]) AS r"
+      ~then_:[ Rows ([ "r" ], [ [ "[3, 2, 1]" ] ]) ];
+    s "size of null is null"
+      ~when_:"RETURN size(null) AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+  ]
+
+let scoping_scenarios =
+  [
+    s "WITH can shadow a variable with a new value"
+      ~given:[ "CREATE ({v: 41})" ]
+      ~when_:"MATCH (n) WITH n.v + 1 AS n RETURN n"
+      ~then_:[ Rows ([ "n" ], [ [ "42" ] ]) ];
+    s "variables not projected by WITH are out of scope"
+      ~given:[ "CREATE ({v: 1})" ]
+      ~when_:"MATCH (n) WITH n.v AS v RETURN n"
+      ~then_:[ Error_raised ];
+    s "WITH then MATCH joins on the projected variable"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->(:B {w: 2})" ]
+      ~when_:"MATCH (a:A) WITH a MATCH (a)-[:T]->(b) RETURN b.w AS w"
+      ~then_:[ Rows ([ "w" ], [ [ "2" ] ]) ];
+    s "aliases are visible to later clauses"
+      ~when_:"WITH 10 AS x UNWIND range(1, x / 5) AS y RETURN collect(y) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[1, 2]" ] ]) ];
+    s "RETURN star after WITH star"
+      ~given:[ "CREATE ({v: 5})" ]
+      ~when_:"MATCH (n) WITH * RETURN n.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "5" ] ]) ];
+  ]
+
+let update_edge_scenarios =
+  [
+    s "DELETE null is a no-op"
+      ~given:[ "CREATE (:A)" ]
+      ~when_:"MATCH (a:A) OPTIONAL MATCH (a)-[r:T]->() DELETE r RETURN 1 AS ok"
+      ~then_:[ Rows ([ "ok" ], [ [ "1" ] ]); Side_effects no_effects ];
+    s "SET on a null target is a no-op"
+      ~given:[ "CREATE (:A)" ]
+      ~when_:
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) SET b.v = 1 RETURN 1 AS ok"
+      ~then_:[ Rows ([ "ok" ], [ [ "1" ] ]) ];
+    s "REMOVE of an absent label or property is a no-op"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) REMOVE a.nothere, a:NotThere RETURN labels(a) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "['A']" ] ]) ];
+    s "deleting the same node from several rows is idempotent"
+      ~given:[ "CREATE (x:Hub), (:A)-[:T]->(x), (:A)-[:T]->(x)" ]
+      ~when_:"MATCH (:A)-[:T]->(x:Hub) DETACH DELETE x"
+      ~then_:
+        [ Side_effects { no_effects with nodes_deleted = 1; rels_deleted = 2 } ];
+    s "CREATE with a self loop"
+      ~when_:"CREATE (a:N)-[:SELF]->(a) RETURN 1 AS ok"
+      ~then_:
+        [ Side_effects { no_effects with nodes_created = 1; rels_created = 1 } ];
+    s "CREATE undirected relationship is an error"
+      ~when_:"CREATE (a)-[:T]-(b)"
+      ~then_:[ Error_raised ];
+    s "CREATE variable-length relationship is an error"
+      ~when_:"CREATE (a)-[:T*2]->(b)"
+      ~then_:[ Error_raised ];
+    s "MERGE creates the whole pattern when nothing matches"
+      ~when_:"MERGE (a:X)-[:R]->(b:Y) RETURN labels(a) AS la, labels(b) AS lb"
+      ~then_:
+        [
+          Rows ([ "la"; "lb" ], [ [ "['X']"; "['Y']" ] ]);
+          Side_effects { no_effects with nodes_created = 2; rels_created = 1 };
+        ];
+    s "MERGE matches the whole pattern when present"
+      ~given:[ "CREATE (:X)-[:R]->(:Y)" ]
+      ~when_:"MERGE (a:X)-[:R]->(b:Y)"
+      ~then_:[ Side_effects no_effects ];
+    s "SET a property from another property"
+      ~given:[ "CREATE (:A {v: 3})" ]
+      ~when_:"MATCH (a:A) SET a.w = a.v * 2 RETURN a.w AS w"
+      ~then_:[ Rows ([ "w" ], [ [ "6" ] ]) ];
+    s "update visible to later clauses in the same query"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) SET a.v = 2 WITH a MATCH (b {v: 2}) RETURN b.v AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "2" ] ]) ];
+  ]
+
+let var_length_scenarios2 =
+  [
+    s "property map applies to every hop"
+      ~given:
+        [
+          "CREATE (a {i: 0}), (b {i: 1}), (c {i: 2}), \
+           (a)-[:T {ok: true}]->(b), (b)-[:T {ok: false}]->(c)";
+        ]
+      ~when_:"MATCH ({i: 0})-[:T*1..2 {ok: true}]->(x) RETURN x.i AS i"
+      ~then_:[ Rows ([ "i" ], [ [ "1" ] ]) ];
+    s "zero-length binding is the empty list"
+      ~given:[ "CREATE ({v: 1})" ]
+      ~when_:"MATCH ({v: 1})-[r:T*0..0]->(x) RETURN size(r) AS n, x.v AS v"
+      ~then_:[ Rows ([ "n"; "v" ], [ [ "0"; "1" ] ]) ];
+    s "named path over a variable-length hop includes intermediates"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:
+        "MATCH p = ({v: 1})-[:T*2]->({v: 3}) \
+         RETURN [n IN nodes(p) | n.v] AS vs"
+      ~then_:[ Rows ([ "vs" ], [ [ "[1, 2, 3]" ] ]) ];
+    s "relationship list preserves traversal order"
+      ~given:
+        [
+          "CREATE ({v: 1})-[:T {i: 1}]->({v: 2})-[:T {i: 2}]->({v: 3})";
+        ]
+      ~when_:
+        "MATCH ({v: 1})-[rs:T*2]->({v: 3}) RETURN [r IN rs | r.i] AS order"
+      ~then_:[ Rows ([ "order" ], [ [ "[1, 2]" ] ]) ];
+    s "var-length respects the bound target"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})-[:T]->({v: 3})" ]
+      ~when_:
+        "MATCH (e {v: 3}) MATCH ({v: 1})-[:T*]->(e) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "1" ] ]) ];
+  ]
+
+let ordering_scenarios =
+  [
+    s "global sort order across kinds is total"
+      ~when_:
+        "UNWIND [1, 'a', true, null, [1], 2.5] AS x \
+         RETURN count(x) AS non_null"
+      ~then_:[ Rows ([ "non_null" ], [ [ "5" ] ]) ];
+    s "order by mixed kinds is deterministic"
+      ~when_:
+        "UNWIND ['b', 3, 'a', 1] AS x WITH x ORDER BY x \
+         RETURN collect(x) AS sorted"
+      ~then_:[ Rows ([ "sorted" ], [ [ "['a', 'b', 1, 3]" ] ]) ];
+    s "distinct on entity values"
+      ~given:[ "CREATE (a:A)-[:T]->(), (a)-[:T]->()" ]
+      ~when_:"MATCH (a:A)-[:T]->() RETURN DISTINCT a"
+      ~then_:[ Row_count 1 ];
+    s "parameters in SKIP and LIMIT"
+      ~params:[ ("s", Value.Int 1); ("l", Value.Int 2) ]
+      ~when_:"UNWIND [1, 2, 3, 4] AS x RETURN x ORDER BY x SKIP $s LIMIT $l"
+      ~then_:[ Rows_ordered ([ "x" ], [ [ "2" ]; [ "3" ] ]) ];
+    s "order by is stable for ties"
+      ~when_:
+        "UNWIND [[1, 'b'], [0, 'a'], [1, 'a']] AS p \
+         WITH p[0] AS k, p[1] AS v ORDER BY k \
+         RETURN collect(v) AS vs"
+      ~then_:[ Rows ([ "vs" ], [ [ "['a', 'b', 'a']" ] ]) ];
+  ]
+
+let entity_scenarios =
+  [
+    s "id of a relationship"
+      ~given:[ "CREATE ()-[:T]->()" ]
+      ~when_:"MATCH ()-[r:T]->() RETURN id(r) >= 0 AS has_id"
+      ~then_:[ Rows ([ "has_id" ], [ [ "true" ] ]) ];
+    s "startNode endNode under an undirected match"
+      ~given:[ "CREATE ({v: 1})-[:T]->({v: 2})" ]
+      ~when_:
+        "MATCH (a)-[r:T]-(b) \
+         RETURN DISTINCT startNode(r).v AS s, endNode(r).v AS e"
+      ~then_:[ Rows ([ "s"; "e" ], [ [ "1"; "2" ] ]) ];
+    s "keys of a map and of a node"
+      ~given:[ "CREATE ({b: 1, a: 2})" ]
+      ~when_:"MATCH (n) RETURN keys(n) AS nk, keys({z: 1, y: 2}) AS mk"
+      ~then_:[ Rows ([ "nk"; "mk" ], [ [ "['a', 'b']"; "['y', 'z']" ] ]) ];
+    s "labels are returned sorted"
+      ~given:[ "CREATE (:B:A:C)" ]
+      ~when_:"MATCH (n) RETURN labels(n) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "['A', 'B', 'C']" ] ]) ];
+    s "properties() of a relationship"
+      ~given:[ "CREATE ()-[:T {a: 1}]->()" ]
+      ~when_:"MATCH ()-[r]->() RETURN properties(r) AS p"
+      ~then_:[ Rows ([ "p" ], [ [ "{a: 1}" ] ]) ];
+  ]
+
+let misc_scenarios =
+  [
+    s "coalesce picks the first non-null"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN coalesce(n.v, 0) AS v ORDER BY v"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "0" ]; [ "1" ] ]) ];
+    s "CASE branches evaluate comparisons"
+      ~when_:
+        "UNWIND [1, 5, 10] AS x \
+         RETURN CASE WHEN x < 3 THEN 'low' WHEN x < 8 THEN 'mid' \
+         ELSE 'high' END AS band"
+      ~then_:[ Rows ([ "band" ], [ [ "'low'" ]; [ "'mid'" ]; [ "'high'" ] ]) ];
+    s "nested quantifiers"
+      ~when_:
+        "RETURN all(xs IN [[1], [1, 2]] WHERE any(x IN xs WHERE x = 1)) AS ok"
+      ~then_:[ Rows ([ "ok" ], [ [ "true" ] ]) ];
+    s "aggregation of lists"
+      ~when_:"UNWIND [[1], [2]] AS l RETURN collect(l) AS ll"
+      ~then_:[ Rows ([ "ll" ], [ [ "[[1], [2]]" ] ]) ];
+    s "min and max over mixed comparable values"
+      ~when_:"UNWIND [3, 1.5, 2] AS x RETURN min(x) AS mn, max(x) AS mx"
+      ~then_:[ Rows ([ "mn"; "mx" ], [ [ "1.5"; "3" ] ]) ];
+    s "exists() inside a projection"
+      ~given:[ "CREATE ({v: 1}), ()" ]
+      ~when_:"MATCH (n) RETURN exists(n.v) AS e ORDER BY e"
+      ~then_:[ Rows_ordered ([ "e" ], [ [ "false" ]; [ "true" ] ]) ];
+    s "union all across three branches"
+      ~when_:
+        "RETURN 1 AS x UNION ALL RETURN 2 AS x UNION ALL RETURN 1 AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "1" ]; [ "2" ]; [ "1" ] ]) ];
+    s "range with negative step through the engine"
+      ~when_:"RETURN range(5, 1, -2) AS r"
+      ~then_:[ Rows ([ "r" ], [ [ "[5, 3, 1]" ] ]) ];
+    s "unwind a collected aggregate"
+      ~given:[ "CREATE ({v: 2}), ({v: 1})" ]
+      ~when_:
+        "MATCH (n) WITH collect(n.v) AS vs UNWIND vs AS v \
+         RETURN v ORDER BY v"
+      ~then_:[ Rows_ordered ([ "v" ], [ [ "1" ]; [ "2" ] ]) ];
+    s "double optional match"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:X]->(x) OPTIONAL MATCH (a)-[:Y]->(y) \
+         RETURN a.v AS v, x, y"
+      ~then_:[ Rows ([ "v"; "x"; "y" ], [ [ "1"; "null"; "null" ] ]) ];
+  ]
+
+
+(* --- pattern comprehensions and chained comparisons ------------------- *)
+
+let pattern_comp_scenarios =
+  [
+    s "pattern comprehension collects per match"
+      ~given:
+        [
+          "CREATE (a:Person {name: 'Ann'}), (b {title: 'B1'}), \
+           (c {title: 'B2'}), (a)-[:WROTE]->(b), (a)-[:WROTE]->(c)";
+        ]
+      ~when_:
+        "MATCH (a:Person) RETURN size([(a)-[:WROTE]->(b) | b.title]) AS n"
+      ~then_:[ Rows ([ "n" ], [ [ "2" ] ]) ];
+    s "pattern comprehension with WHERE"
+      ~given:
+        [
+          "CREATE (a:P), (a)-[:T]->({v: 1}), (a)-[:T]->({v: 2}), \
+           (a)-[:T]->({v: 3})";
+        ]
+      ~when_:
+        "MATCH (a:P) RETURN [(a)-[:T]->(x) WHERE x.v > 1 | x.v] AS big"
+      ~then_:[ Row_count 1 ];
+    s "pattern comprehension over no matches is empty"
+      ~given:[ "CREATE (a:P)" ]
+      ~when_:"MATCH (a:P) RETURN [(a)-[:T]->(x) | x] AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[]" ] ]) ];
+    s "pattern comprehension uses outer bindings"
+      ~given:
+        [
+          "CREATE (a:Src {v: 1})-[:T]->({v: 1}), (a)-[:T]->({v: 9})";
+        ]
+      ~when_:
+        "MATCH (a:Src) RETURN [(a)-[:T]->(x) WHERE x.v = a.v | x.v] AS same"
+      ~then_:[ Rows ([ "same" ], [ [ "[1]" ] ]) ];
+    s "chained comparison is a conjunction"
+      ~when_:"UNWIND [0, 1, 2, 3] AS x WITH x WHERE 0 < x < 3 \
+              RETURN collect(x) AS mid"
+      ~then_:[ Rows ([ "mid" ], [ [ "[1, 2]" ] ]) ];
+    s "chained comparison with three links"
+      ~when_:"RETURN 1 < 2 <= 2 < 5 AS ok, 1 < 2 < 2 AS nope"
+      ~then_:[ Rows ([ "ok"; "nope" ], [ [ "true"; "false" ] ]) ];
+    s "chained comparison with null is null"
+      ~when_:"RETURN 1 < null < 3 AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+  ]
+
+let stdev_scenarios =
+  [
+    s "stDev of a known sample"
+      ~when_:"UNWIND [2, 4, 4, 4, 5, 5, 7, 9] AS x \
+              RETURN stDevP(x) AS p, stDev(x) > 2.13 AND stDev(x) < 2.14 AS s"
+      ~then_:[ Rows ([ "p"; "s" ], [ [ "2.0"; "true" ] ]) ];
+    s "stDev of nothing is null, of one value is zero"
+      ~when_:"MATCH (n:Nope) RETURN stDev(n.v) AS none"
+      ~then_:[ Rows ([ "none" ], [ [ "null" ] ]) ];
+  ]
+
+let reduce_extract_scenarios =
+  [
+    s "reduce folds from the left"
+      ~when_:"RETURN reduce(acc = 0, x IN [1, 2, 3] | acc + x) AS sum, \
+              reduce(s = '', w IN ['a', 'b'] | s + w) AS cat"
+      ~then_:[ Rows ([ "sum"; "cat" ], [ [ "6"; "'ab'" ] ]) ];
+    s "reduce over a null list is null"
+      ~when_:"RETURN reduce(acc = 0, x IN null | acc + x) AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "null" ] ]) ];
+    s "reduce over empty list returns the initial value"
+      ~when_:"RETURN reduce(acc = 42, x IN [] | 0) AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "42" ] ]) ];
+    s "extract is comprehension sugar"
+      ~when_:"RETURN extract(x IN [1, 2, 3] | x * 2) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[2, 4, 6]" ] ]) ];
+    s "filter is comprehension sugar"
+      ~when_:"RETURN filter(x IN [1, 2, 3, 4] WHERE x > 2) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[3, 4]" ] ]) ];
+    s "reduce binders do not leak"
+      ~when_:"RETURN reduce(acc = 0, x IN [1] | acc + x) + x AS v"
+      ~then_:[ Error_raised ];
+    s "path cost via reduce"
+      ~given:
+        [ "CREATE ({v: 1})-[:T {w: 2}]->({v: 2})-[:T {w: 3}]->({v: 3})" ]
+      ~when_:
+        "MATCH p = ({v: 1})-[:T*2]->({v: 3}) \
+         RETURN reduce(cost = 0, r IN relationships(p) | cost + r.w) AS cost"
+      ~then_:[ Rows ([ "cost" ], [ [ "5" ] ]) ];
+    s "math functions"
+      ~when_:"RETURN degrees(pi()) AS d, atan2(1.0, 1.0) < 0.786 AS a, e() > 2.7 AS e"
+      ~then_:[ Rows ([ "d"; "a"; "e" ], [ [ "180.0"; "true"; "true" ] ]) ];
+  ]
+
+let edge_case_scenarios =
+  [
+    s "same relationship variable across a pattern tuple never matches"
+      ~given:[ "CREATE (a)-[:T]->(b)" ]
+      ~when_:"MATCH (a)-[r:T]->(b), (c)-[r:T]->(d) RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "0" ] ]) ];
+    s "RETURN star with nothing in scope is an error"
+      ~when_:"RETURN *"
+      ~then_:[ Error_raised ];
+    s "DISTINCT respects 1 = 1.0"
+      ~when_:"UNWIND [1, 1.0, 2] AS x RETURN count(DISTINCT x) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "2" ] ]) ];
+    s "grouping keys use the same equivalence"
+      ~when_:"UNWIND [1, 1.0] AS x RETURN x, count(*) AS c"
+      ~then_:[ Row_count 1 ];
+    s "empty MATCH tuple cross product with zero rows stays empty"
+      ~given:[ "CREATE (:A)" ]
+      ~when_:"MATCH (a:A), (b:Nope) RETURN a, b"
+      ~then_:[ Empty_result ];
+    s "WHERE on an OPTIONAL MATCH row can test for null"
+      ~given:[ "CREATE (:A {v: 1})-[:T]->(:B), (:A {v: 2})" ]
+      ~when_:
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) WITH a, b WHERE b IS NULL \
+         RETURN a.v AS lonely"
+      ~then_:[ Rows ([ "lonely" ], [ [ "2" ] ]) ];
+  ]
+
+let regex_scenarios =
+  [
+    s "regex matches the whole string"
+      ~when_:"RETURN 'Cypher' =~ 'Cy.*' AS a, 'Cypher' =~ 'yph' AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "true"; "false" ] ]) ];
+    s "regex with character classes"
+      ~given:[ "CREATE ({s: 'abc123'}), ({s: 'nope'})" ]
+      ~when_:"MATCH (n) WHERE n.s =~ '[a-z]+[0-9]+' RETURN n.s AS s"
+      ~then_:[ Rows ([ "s" ], [ [ "'abc123'" ] ]) ];
+    s "regex with null is null"
+      ~when_:"RETURN null =~ 'x' AS a, 'x' =~ null AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "null"; "null" ] ]) ];
+    s "regex alternation and anchors are implicit"
+      ~when_:"RETURN 'cat' =~ 'cat|dog' AS a, 'catfish' =~ 'cat|dog' AS b"
+      ~then_:[ Rows ([ "a"; "b" ], [ [ "true"; "false" ] ]) ];
+    s "invalid regex is an error"
+      ~when_:"RETURN 'x' =~ '(' AS a"
+      ~then_:[ Error_raised ];
+  ]
+
+let merge_direction_scenarios =
+  [
+    s "MERGE matches an existing relationship in the stated direction only"
+      ~given:[ "CREATE (:A)-[:R]->(:B)" ]
+      ~when_:"MATCH (a:A), (b:B) MERGE (b)-[:R]->(a)"
+      ~then_:[ Side_effects { no_effects with rels_created = 1 } ];
+    s "MERGE with ON CREATE sees pattern variables"
+      ~when_:"MERGE (a:N {k: 1})-[r:R]->(b:N {k: 2}) \
+              ON CREATE SET r.created_between = a.k + b.k \
+              RETURN r.created_between AS v"
+      ~then_:[ Rows ([ "v" ], [ [ "3" ] ]) ];
+    s "DELETE of a named path removes its relationships"
+      ~given:[ "CREATE (:A)-[:T]->(:B)-[:T]->(:C)" ]
+      ~when_:"MATCH p = (:A)-[:T*2]->(:C) DETACH DELETE p"
+      ~then_:
+        [ Side_effects { no_effects with nodes_deleted = 3; rels_deleted = 2 } ];
+    s "WITH DISTINCT then ORDER BY"
+      ~when_:"UNWIND [3, 1, 3, 2, 1] AS x WITH DISTINCT x ORDER BY x \
+              RETURN collect(x) AS l"
+      ~then_:[ Rows ([ "l" ], [ [ "[1, 2, 3]" ] ]) ];
+    s "multiple UNWINDs after aggregation"
+      ~given:[ "CREATE ({v: 1}), ({v: 2})" ]
+      ~when_:
+        "MATCH (n) WITH collect(n.v) AS vs \
+         UNWIND vs AS a UNWIND vs AS b RETURN count(*) AS pairs"
+      ~then_:[ Rows ([ "pairs" ], [ [ "4" ] ]) ];
+    s "OPTIONAL MATCH with equality join on two optionals"
+      ~given:[ "CREATE (:L {v: 1}), (:R {v: 1}), (:R {v: 2})" ]
+      ~when_:
+        "MATCH (l:L) OPTIONAL MATCH (r:R) WHERE r.v = l.v \
+         RETURN l.v AS lv, r.v AS rv"
+      ~then_:[ Rows ([ "lv"; "rv" ], [ [ "1"; "1" ] ]) ];
+    s "SET from CASE expression"
+      ~given:[ "CREATE ({v: 5}), ({v: 15})" ]
+      ~when_:
+        "MATCH (n) SET n.band = CASE WHEN n.v < 10 THEN 'low' ELSE 'high' END \
+         RETURN collect(n.band) AS bands"
+      ~then_:[ Row_count 1 ];
+    s "aggregate of an arithmetic expression"
+      ~given:[ "CREATE ({v: 1}), ({v: 2}), ({v: 3})" ]
+      ~when_:"MATCH (n) RETURN sum(n.v * n.v) AS sq"
+      ~then_:[ Rows ([ "sq" ], [ [ "14" ] ]) ];
+  ]
+
+let side_effect_scenarios =
+  [
+    s "SET counts changed properties"
+      ~given:[ "CREATE (:A {v: 1, w: 2})" ]
+      ~when_:"MATCH (a:A) SET a.v = 10, a.x = 3"
+      ~then_:[ Side_effects { no_effects with props_set = 2 } ];
+    s "SET to the same value is not a change"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) SET a.v = 1"
+      ~then_:[ Side_effects no_effects ];
+    s "REMOVE counts as a property change"
+      ~given:[ "CREATE (:A {v: 1})" ]
+      ~when_:"MATCH (a:A) REMOVE a.v"
+      ~then_:[ Side_effects { no_effects with props_set = 1 } ];
+    s "label additions and removals are counted"
+      ~given:[ "CREATE (:A:B)" ]
+      ~when_:"MATCH (a:A) SET a:C:D REMOVE a:B"
+      ~then_:
+        [ Side_effects { no_effects with labels_added = 2; labels_removed = 1 } ];
+    s "replacing all properties counts each key"
+      ~given:[ "CREATE (:A {v: 1, w: 2})" ]
+      ~when_:"MATCH (a:A) SET a = {x: 9}"
+      ~then_:[ Side_effects { no_effects with props_set = 3 } ];
+    s "relationship property changes are counted"
+      ~given:[ "CREATE ()-[:T {w: 1}]->()" ]
+      ~when_:"MATCH ()-[r:T]->() SET r.w = 2"
+      ~then_:[ Side_effects { no_effects with props_set = 1 } ];
+  ]
+
+let percentile_scenarios =
+  [
+    s "percentileDisc picks an actual value"
+      ~when_:"UNWIND [10, 20, 30, 40] AS x \
+              RETURN percentileDisc(x, 0.5) AS med, percentileDisc(x, 1.0) AS top"
+      ~then_:[ Rows ([ "med"; "top" ], [ [ "20"; "40" ] ]) ];
+    s "percentileCont interpolates"
+      ~when_:"UNWIND [10, 20, 30, 40] AS x RETURN percentileCont(x, 0.5) AS med"
+      ~then_:[ Rows ([ "med" ], [ [ "25.0" ] ]) ];
+    s "percentile of nothing is null"
+      ~when_:"MATCH (n:Nope) RETURN percentileCont(n.v, 0.5) AS x"
+      ~then_:[ Rows ([ "x" ], [ [ "null" ] ]) ];
+    s "percentile outside [0,1] is an error"
+      ~when_:"UNWIND [1] AS x RETURN percentileDisc(x, 1.5) AS bad"
+      ~then_:[ Error_raised ];
+  ]
+
+let map_projection_scenarios =
+  [
+    s "map projection copies selected properties"
+      ~given:[ "CREATE (:P {name: 'Ann', age: 30, ssn: 'secret'})" ]
+      ~when_:"MATCH (p:P) RETURN p {.name, .age} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "{age: 30, name: 'Ann'}" ] ]) ];
+    s "map projection with .* and literal entries"
+      ~given:[ "CREATE (:P {a: 1})" ]
+      ~when_:"MATCH (p:P) RETURN p {.*, extra: 2} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "{a: 1, extra: 2}" ] ]) ];
+    s "map projection of a missing property is null"
+      ~given:[ "CREATE (:P)" ]
+      ~when_:"MATCH (p:P) RETURN p {.ghost} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "{ghost: null}" ] ]) ];
+    s "map projection with a variable item"
+      ~given:[ "CREATE (:P {a: 1})" ]
+      ~when_:"MATCH (p:P) WITH p, 9 AS score RETURN p {.a, score} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "{a: 1, score: 9}" ] ]) ];
+    s "map projection over a map value"
+      ~when_:"WITH {a: 1, b: 2} AS m RETURN m {.a, c: 3} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "{a: 1, c: 3}" ] ]) ];
+    s "map projection of null subject is null"
+      ~given:[ "CREATE (:P)" ]
+      ~when_:"MATCH (p:P) OPTIONAL MATCH (p)-[:T]->(q) RETURN q {.a} AS view"
+      ~then_:[ Rows ([ "view" ], [ [ "null" ] ]) ];
+  ]
+
+let foreach_scenarios =
+  [
+    s "FOREACH sets a property per element"
+      ~given:[ "CREATE ({v: 1}), ({v: 2}), ({v: 3})" ]
+      ~when_:
+        "MATCH (n) WITH collect(n) AS ns FOREACH (x IN ns | SET x.seen = true) \
+         WITH ns MATCH (m) WHERE m.seen RETURN count(*) AS c"
+      ~then_:[ Rows ([ "c" ], [ [ "3" ] ]) ];
+    s "FOREACH creates per element"
+      ~when_:"FOREACH (i IN range(1, 4) | CREATE (:Made {i: i}))"
+      ~then_:[ Side_effects { no_effects with nodes_created = 4 } ];
+    s "FOREACH over null does nothing"
+      ~when_:"FOREACH (x IN null | CREATE (:Never))"
+      ~then_:[ Side_effects no_effects ];
+    s "nested FOREACH"
+      ~when_:
+        "FOREACH (i IN [1, 2] | FOREACH (j IN [1, 2, 3] | CREATE (:Cell)))"
+      ~then_:[ Side_effects { no_effects with nodes_created = 6 } ];
+    s "FOREACH variable does not leak"
+      ~when_:"FOREACH (x IN [1] | CREATE (:A)) RETURN x"
+      ~then_:[ Error_raised ];
+    s "FOREACH with MERGE deduplicates"
+      ~when_:
+        "FOREACH (i IN [1, 2, 1, 2, 1] | MERGE (:U {k: i}))"
+      ~then_:[ Side_effects { no_effects with nodes_created = 2 } ];
+  ]
+
+let suite =
+  to_alcotest
+    (string_null_scenarios @ list_null_scenarios @ scoping_scenarios
+   @ update_edge_scenarios @ var_length_scenarios2 @ ordering_scenarios
+   @ entity_scenarios @ misc_scenarios @ pattern_comp_scenarios
+   @ foreach_scenarios @ map_projection_scenarios @ stdev_scenarios
+   @ percentile_scenarios @ side_effect_scenarios
+   @ merge_direction_scenarios @ regex_scenarios @ edge_case_scenarios
+   @ reduce_extract_scenarios)

@@ -1,0 +1,175 @@
+(* Unit tests for the Cypher 10 temporal types (paper, Section 6). *)
+
+open Helpers
+open Cypher_values
+module Tp = Cypher_temporal.Temporal
+
+let iso v =
+  match v with
+  | Value.Temporal t -> Tp.to_iso_string t
+  | _ -> Alcotest.fail "expected a temporal value"
+
+let calendar_roundtrip () =
+  (* days_of_ymd / ymd_of_days are mutually inverse across eras *)
+  List.iter
+    (fun (y, m, d) ->
+      let days = Tp.days_of_ymd (y, m, d) in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%04d-%02d-%02d" y m d)
+        (y, m, d) (Tp.ymd_of_days days))
+    [
+      (1970, 1, 1); (2000, 2, 29); (1999, 12, 31); (2024, 2, 29); (1900, 3, 1);
+      (1582, 10, 15); (1, 1, 1); (2400, 2, 29); (2018, 6, 10);
+    ];
+  Alcotest.(check int) "epoch is day zero" 0 (Tp.days_of_ymd (1970, 1, 1));
+  Alcotest.(check int) "day one" 1 (Tp.days_of_ymd (1970, 1, 2))
+
+let leap_years () =
+  Alcotest.(check bool) "2000 leap" true (Tp.is_leap_year 2000);
+  Alcotest.(check bool) "1900 not leap" false (Tp.is_leap_year 1900);
+  Alcotest.(check bool) "2024 leap" true (Tp.is_leap_year 2024);
+  Alcotest.(check int) "feb 2024" 29 (Tp.days_in_month 2024 2);
+  Alcotest.(check int) "feb 2023" 28 (Tp.days_in_month 2023 2)
+
+let invalid_dates () =
+  Alcotest.(check bool) "month 13 rejected" true
+    (match Tp.days_of_ymd (2020, 13, 1) with
+    | _ -> false
+    | exception Tp.Temporal_error _ -> true);
+  Alcotest.(check bool) "feb 30 rejected" true
+    (match Tp.days_of_ymd (2020, 2, 30) with
+    | _ -> false
+    | exception Tp.Temporal_error _ -> true)
+
+let parsing () =
+  Alcotest.(check string) "date" "2018-06-10" (iso (Tp.parse_date "2018-06-10"));
+  Alcotest.(check string) "local time" "14:30:00"
+    (iso (Tp.parse_local_time "14:30"));
+  Alcotest.(check string) "local time with fraction" "14:30:05.500000000"
+    (iso (Tp.parse_local_time "14:30:05.5"));
+  Alcotest.(check string) "time with offset" "12:00:00+02:00"
+    (iso (Tp.parse_time "12:00:00+02:00"));
+  Alcotest.(check string) "zulu" "12:00:00Z" (iso (Tp.parse_time "12:00:00Z"));
+  Alcotest.(check string) "local datetime" "2018-06-10T09:30:00"
+    (iso (Tp.parse_local_datetime "2018-06-10T09:30"));
+  Alcotest.(check string) "datetime" "2018-06-10T09:30:00-05:00"
+    (iso (Tp.parse_datetime "2018-06-10T09:30-05:00"));
+  Alcotest.(check string) "duration" "P1Y2M3DT4H5M6S"
+    (iso (Tp.parse_duration "P1Y2M3DT4H5M6S"));
+  Alcotest.(check string) "weeks duration" "P14D" (iso (Tp.parse_duration "P2W"))
+
+let components () =
+  let d = Tp.parse_date "2018-06-10" in
+  let get v k =
+    match v with
+    | Value.Temporal t -> (
+      match Tp.component t k with Some v -> v | None -> Alcotest.fail k)
+    | _ -> Alcotest.fail "not temporal"
+  in
+  check_value "year" (vint 2018) (get d "year");
+  check_value "month" (vint 6) (get d "month");
+  check_value "day" (vint 10) (get d "day");
+  (* 2018-06-10 was a Sunday: ISO day 7 *)
+  check_value "dayOfWeek" (vint 7) (get d "dayOfWeek");
+  let dt = Tp.parse_datetime "1970-01-02T00:00:30Z" in
+  check_value "epochSeconds" (vint 86430) (get dt "epochSeconds");
+  let dur = Tp.parse_duration "P1Y6MT90S" in
+  check_value "months of duration" (vint 18) (get dur "months");
+  check_value "seconds of duration" (vint 90) (get dur "seconds")
+
+let arithmetic () =
+  let date s = Tp.parse_date s in
+  let dur s = Tp.parse_duration s in
+  let add a b =
+    match a, b with
+    | Value.Temporal x, Value.Temporal y -> Tp.add x y
+    | _ -> Alcotest.fail "not temporal"
+  in
+  let sub a b =
+    match a, b with
+    | Value.Temporal x, Value.Temporal y -> Tp.sub x y
+    | _ -> Alcotest.fail "not temporal"
+  in
+  Alcotest.(check string) "date + P1D" "2020-03-01"
+    (iso (add (date "2020-02-29") (dur "P1D")));
+  Alcotest.(check string) "date + P1M clamps" "2020-02-29"
+    (iso (add (date "2020-01-31") (dur "P1M")));
+  Alcotest.(check string) "date + P1M clamps (non leap)" "2021-02-28"
+    (iso (add (date "2021-01-31") (dur "P1M")));
+  Alcotest.(check string) "date - P1Y" "2019-06-10"
+    (iso (sub (date "2020-06-10") (dur "P1Y")));
+  Alcotest.(check string) "date - date" "P3D"
+    (iso (sub (date "2020-01-04") (date "2020-01-01")));
+  Alcotest.(check string) "duration + duration" "P1Y1M1D"
+    (iso (add (dur "P1Y1D") (dur "P1M")));
+  Alcotest.(check string) "time carry" "2020-01-02T01:00:00"
+    (iso (add (Tp.parse_local_datetime "2020-01-01T23:00") (dur "PT2H")))
+
+let comparisons () =
+  let lt a b =
+    Ternary.is_true (Value.less_than (Tp.parse_date a) (Tp.parse_date b))
+  in
+  Alcotest.(check bool) "date order" true (lt "2018-06-10" "2018-06-11");
+  (* zoned times compare by instant *)
+  let t1 = Tp.parse_time "10:00:00+02:00" and t2 = Tp.parse_time "09:30:00Z" in
+  Alcotest.(check bool) "zoned time by instant" true
+    (Ternary.is_true (Value.less_than t1 t2));
+  (* different temporal kinds are incomparable *)
+  Alcotest.(check bool) "date vs duration incomparable" true
+    (Value.compare_opt (Tp.parse_date "2020-01-01") (Tp.parse_duration "P1D")
+    = None)
+
+let through_the_engine () =
+  (* the temporal constructors are registered in F and usable in queries *)
+  let g = Cypher_graph.Graph.empty in
+  check_table_bag "date function"
+    (table [ "y" ] [ [ ("y", vint 2018) ] ])
+    (run g "RETURN date('2018-06-10').year AS y");
+  check_table_bag "datetime arithmetic"
+    (table [ "d" ] [ [ ("d", vstr "2018-06-13") ] ])
+    (run g "RETURN toString(date('2018-06-10') + duration('P3D')) AS d");
+  check_table_bag "duration between"
+    (table [ "d" ] [ [ ("d", vstr "P9D") ] ])
+    (run g "RETURN toString(date('2018-06-10') - date('2018-06-01')) AS d");
+  check_table_bag "temporal comparison"
+    (table [ "b" ] [ [ ("b", vbool true) ] ])
+    (run g "RETURN date('2018-06-10') < date('2019-01-01') AS b")
+
+let truncation () =
+  let g = Cypher_graph.Graph.empty in
+  check_table_bag "truncate to month"
+    (table [ "m" ] [ [ ("m", vstr "2018-06-01") ] ])
+    (run g "RETURN toString(truncate('month', date('2018-06-10'))) AS m");
+  check_table_bag "truncate to year"
+    (table [ "y" ] [ [ ("y", vstr "2018-01-01T00:00:00") ] ])
+    (run g
+       "RETURN toString(truncate('year', localdatetime('2018-06-10T09:45:30'))) AS y");
+  check_table_bag "truncate to minute keeps the offset"
+    (table [ "t" ] [ [ ("t", vstr "09:45:00+02:00") ] ])
+    (run g "RETURN toString(truncate('minute', time('09:45:30+02:00'))) AS t");
+  check_table_bag "truncate null propagates"
+    (table [ "x" ] [ [ ("x", vnull) ] ])
+    (run g "RETURN truncate('day', null) AS x");
+  match Cypher_engine.Engine.query g "RETURN truncate('fortnight', date('2018-06-10'))" with
+  | Ok _ -> Alcotest.fail "unknown unit must fail"
+  | Error _ -> ()
+
+let iso_rendering_in_tables () =
+  (* Value.pp renders temporal values in ISO form directly *)
+  check_value "date prints ISO"
+    (vstr "2018-06-10")
+    (Value.String (Value.to_string (Cypher_temporal.Temporal.parse_date "2018-06-10")))
+
+let suite =
+  [
+    tc "calendar roundtrip" calendar_roundtrip;
+    tc "truncation" truncation;
+    tc "ISO rendering in value printing" iso_rendering_in_tables;
+    tc "leap years" leap_years;
+    tc "invalid dates rejected" invalid_dates;
+    tc "ISO parsing and printing" parsing;
+    tc "component access" components;
+    tc "temporal arithmetic" arithmetic;
+    tc "temporal comparisons" comparisons;
+    tc "temporal values through the engine" through_the_engine;
+  ]

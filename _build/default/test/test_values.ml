@@ -1,0 +1,164 @@
+(* Unit tests for the value domain: three-valued logic, Cypher equality
+   and comparability, the global sort order, and the operations of F. *)
+
+open Helpers
+open Cypher_values
+module T = Ternary
+
+let t3 = Alcotest.testable T.pp T.equal
+
+let check_t3 = Alcotest.check t3
+
+let ternary_connectives () =
+  (* the SQL truth tables of Section 4.3 *)
+  check_t3 "t and u" T.Unknown (T.and_ T.True T.Unknown);
+  check_t3 "f and u" T.False (T.and_ T.False T.Unknown);
+  check_t3 "u and u" T.Unknown (T.and_ T.Unknown T.Unknown);
+  check_t3 "t or u" T.True (T.or_ T.True T.Unknown);
+  check_t3 "f or u" T.Unknown (T.or_ T.False T.Unknown);
+  check_t3 "not u" T.Unknown (T.not_ T.Unknown);
+  check_t3 "t xor u" T.Unknown (T.xor T.True T.Unknown);
+  check_t3 "t xor f" T.True (T.xor T.True T.False);
+  check_t3 "t xor t" T.False (T.xor T.True T.True)
+
+let de_morgan () =
+  let all = [ T.True; T.False; T.Unknown ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_t3 "¬(a ∧ b) = ¬a ∨ ¬b"
+            (T.not_ (T.and_ a b))
+            (T.or_ (T.not_ a) (T.not_ b)))
+        all)
+    all
+
+let equality_nulls () =
+  check_t3 "null = null" T.Unknown (Value.equal_ternary vnull vnull);
+  check_t3 "1 = null" T.Unknown (Value.equal_ternary (vint 1) vnull);
+  check_t3 "[1, null] = [1, 2]" T.Unknown
+    (Value.equal_ternary (vlist [ vint 1; vnull ]) (vlist [ vint 1; vint 2 ]));
+  check_t3 "[1, null] = [2, null]" T.False
+    (Value.equal_ternary (vlist [ vint 1; vnull ]) (vlist [ vint 2; vnull ]));
+  check_t3 "lists of different length" T.False
+    (Value.equal_ternary (vlist [ vint 1 ]) (vlist [ vint 1; vint 2 ]))
+
+let equality_numbers () =
+  check_t3 "1 = 1.0" T.True (Value.equal_ternary (vint 1) (Value.Float 1.0));
+  check_t3 "1 = 1.5" T.False (Value.equal_ternary (vint 1) (Value.Float 1.5));
+  check_t3 "int vs string" T.False (Value.equal_ternary (vint 1) (vstr "1"))
+
+let equality_maps () =
+  let m1 = Value.map_of_list [ ("a", vint 1); ("b", vnull) ] in
+  let m2 = Value.map_of_list [ ("a", vint 1); ("b", vint 2) ] in
+  let m3 = Value.map_of_list [ ("a", vint 1) ] in
+  check_t3 "maps with null member" T.Unknown (Value.equal_ternary m1 m2);
+  check_t3 "maps with different keys" T.False (Value.equal_ternary m1 m3)
+
+let comparability () =
+  check_t3 "1 < 2" T.True (Value.less_than (vint 1) (vint 2));
+  check_t3 "2 <= 2" T.True (Value.less_eq (vint 2) (vint 2));
+  check_t3 "1 < 1.5" T.True (Value.less_than (vint 1) (Value.Float 1.5));
+  check_t3 "'a' < 'b'" T.True (Value.less_than (vstr "a") (vstr "b"));
+  check_t3 "1 < 'a' is unknown" T.Unknown (Value.less_than (vint 1) (vstr "a"));
+  check_t3 "null < 1 is unknown" T.Unknown (Value.less_than vnull (vint 1));
+  check_t3 "false < true" T.True (Value.less_than (vbool false) (vbool true));
+  check_t3 "[1, 2] < [1, 3]" T.True
+    (Value.less_than (vlist [ vint 1; vint 2 ]) (vlist [ vint 1; vint 3 ]))
+
+let total_order () =
+  Alcotest.(check bool) "null sorts after numbers" true
+    (Value.compare_total vnull (vint 5) > 0);
+  Alcotest.(check bool) "string sorts before number" true
+    (Value.compare_total (vstr "z") (vint 0) < 0);
+  Alcotest.(check bool) "1 and 1.0 are tied" true
+    (Value.compare_total (vint 1) (Value.Float 1.0) = 0);
+  Alcotest.(check bool) "equal_total on equal lists" true
+    (Value.equal_total (vlist [ vint 1 ]) (vlist [ Value.Float 1.0 ]));
+  Alcotest.(check bool) "hash agrees with equal_total" true
+    (Value.hash (vlist [ vint 1 ]) = Value.hash (vlist [ Value.Float 1.0 ]))
+
+let paths () =
+  let p1 =
+    { Value.path_start = Ids.node_of_int 1;
+      path_steps = [ (Ids.rel_of_int 1, Ids.node_of_int 2) ] }
+  in
+  let p2 =
+    { Value.path_start = Ids.node_of_int 2;
+      path_steps = [ (Ids.rel_of_int 2, Ids.node_of_int 3) ] }
+  in
+  Alcotest.(check int) "path length" 1 (Value.path_length p1);
+  Alcotest.(check bool) "concat compatible" true
+    (Value.path_concat p1 p2 <> None);
+  Alcotest.(check bool) "concat incompatible" true
+    (Value.path_concat p2 p1 = None);
+  (match Value.path_concat p1 p2 with
+  | Some p ->
+    Alcotest.(check int) "concat length" 2 (Value.path_length p);
+    Alcotest.(check int) "nodes along path" 3 (List.length (Value.path_nodes p))
+  | None -> Alcotest.fail "expected concatenation")
+
+let ops_arithmetic () =
+  check_value "int add" (vint 3) (Ops.add (vint 1) (vint 2));
+  check_value "mixed add" (Value.Float 3.5) (Ops.add (vint 1) (Value.Float 2.5));
+  check_value "string add" (vstr "ab") (Ops.add (vstr "a") (vstr "b"));
+  check_value "null add" vnull (Ops.add vnull (vint 1));
+  check_value "int div truncates" (vint 3) (Ops.div (vint 7) (vint 2));
+  check_value "float div" (Value.Float 3.5) (Ops.div (Value.Float 7.) (vint 2));
+  check_value "mod" (vint 1) (Ops.modulo (vint 7) (vint 3));
+  check_value "pow is float" (Value.Float 8.) (Ops.pow (vint 2) (vint 3));
+  check_value "neg" (vint (-3)) (Ops.neg (vint 3));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ops.div (vint 1) (vint 0)));
+  Alcotest.check_raises "type error"
+    (Value.Type_error "+: cannot apply to BOOLEAN and INTEGER") (fun () ->
+      ignore (Ops.add (vbool true) (vint 1)))
+
+let ops_lists () =
+  let l = vlist [ vint 10; vint 20; vint 30 ] in
+  check_value "index 1" (vint 20) (Ops.index l (vint 1));
+  check_value "index -1" (vint 30) (Ops.index l (vint (-1)));
+  check_value "index out" vnull (Ops.index l (vint 9));
+  check_value "slice" (vlist [ vint 20 ]) (Ops.slice l (Some (vint 1)) (Some (vint 2)));
+  check_value "slice negative"
+    (vlist [ vint 20; vint 30 ])
+    (Ops.slice l (Some (vint (-2))) None);
+  check_value "slice clamps"
+    (vlist [ vint 10; vint 20; vint 30 ])
+    (Ops.slice l (Some (vint (-10))) (Some (vint 10)));
+  check_value "empty slice" (vlist []) (Ops.slice l (Some (vint 2)) (Some (vint 1)));
+  check_value "size" (vint 3) (Ops.size l);
+  check_value "range desc" (vlist [ vint 3; vint 2; vint 1 ])
+    (Ops.range (vint 3) (vint 1) (vint (-1)))
+
+let ops_strings () =
+  let t = Alcotest.testable Ternary.pp Ternary.equal in
+  Alcotest.check t "starts" T.True (Ops.starts_with (vstr "abc") (vstr "ab"));
+  Alcotest.check t "ends" T.True (Ops.ends_with (vstr "abc") (vstr "bc"));
+  Alcotest.check t "contains" T.True (Ops.contains (vstr "abc") (vstr "b"));
+  Alcotest.check t "contains empty" T.True (Ops.contains (vstr "abc") (vstr ""));
+  Alcotest.check t "null propagates" T.Unknown (Ops.contains vnull (vstr "a"))
+
+let printing () =
+  Alcotest.(check string) "list" "[1, 'a', null]"
+    (Value.to_string (vlist [ vint 1; vstr "a"; vnull ]));
+  Alcotest.(check string) "map" "{a: 1}"
+    (Value.to_string (Value.map_of_list [ ("a", vint 1) ]));
+  Alcotest.(check string) "float" "1.5" (Value.to_string (Value.Float 1.5));
+  Alcotest.(check string) "integral float" "2.0" (Value.to_string (Value.Float 2.))
+
+let suite =
+  [
+    tc "ternary connectives (SQL tables)" ternary_connectives;
+    tc "ternary De Morgan" de_morgan;
+    tc "equality with nulls" equality_nulls;
+    tc "numeric equality" equality_numbers;
+    tc "map equality" equality_maps;
+    tc "comparability" comparability;
+    tc "global sort order" total_order;
+    tc "path values" paths;
+    tc "arithmetic operations" ops_arithmetic;
+    tc "list operations" ops_lists;
+    tc "string operations" ops_strings;
+    tc "value printing" printing;
+  ]
