@@ -50,7 +50,10 @@ let row_count t = Table.row_count t
 (* Measurement plumbing                                                *)
 (* ------------------------------------------------------------------ *)
 
-let benchmark_group name tests =
+(* Runs one Bechamel group, prints the estimates, and returns them as
+   [(test_name, ns_per_run)] so callers (the JSON emitter) can reuse the
+   numbers. *)
+let benchmark_group_collect name tests =
   let test = Test.make_grouped ~name tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |]
@@ -65,7 +68,7 @@ let benchmark_group name tests =
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   Printf.printf "\n## %s\n" name;
-  List.iter
+  List.filter_map
     (fun (test_name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some [ ns ] when Float.is_finite ns ->
@@ -75,9 +78,14 @@ let benchmark_group name tests =
           else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
           else Printf.sprintf "%8.0f ns" ns
         in
-        Printf.printf "  %-58s %s/run\n" test_name pretty
-      | _ -> Printf.printf "  %-58s (no estimate)\n" test_name)
+        Printf.printf "  %-58s %s/run\n" test_name pretty;
+        Some (test_name, ns)
+      | _ ->
+        Printf.printf "  %-58s (no estimate)\n" test_name;
+        None)
     rows
+
+let benchmark_group name tests = ignore (benchmark_group_collect name tests)
 
 let t name f = Test.make ~name (Staged.stage f)
 
@@ -452,20 +460,135 @@ let b11 () =
     "B11 interactive-style query mix (social graph, 300 people, indexed)"
     tests
 
+(* ------------------------------------------------------------------ *)
+(* B12: the query-plan cache — repeated-query throughput               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each query is measured three ways:
+   - cold: the full Session.run pipeline without a cache — lex, parse,
+     scope-check, plan, execute on every call;
+   - hit: the same pipeline through a warmed plan cache, so each call is
+     a hash lookup plus execution;
+   - exec: the bare cached-plan execution floor (Engine.query_cached on
+     a warmed cache), bounding what cold minus hit can ever recover.
+   The cold/hit pairs are also written to BENCH_pr1.json (path
+   overridable via BENCH_JSON) to start the recorded perf trajectory. *)
+
+let b12_queries =
+  [
+    ( "profile-lookup",
+      "MATCH (p:Person {name: 'Nils3'}) RETURN p {.name, .city} AS profile" );
+    ( "friends-of-friends",
+      "MATCH (p:Person {name: 'Nils3'})-[:FRIEND]-()-[:FRIEND]-(fof) WHERE \
+       fof <> p RETURN count(DISTINCT fof) AS c" );
+    ( "city-histogram",
+      "MATCH (p:Person) RETURN p.city AS city, count(*) AS c ORDER BY c DESC" );
+    ( "friend-list",
+      "MATCH (p:Person {name: 'Nils3'})-[f:FRIEND]-(q) RETURN q.name AS \
+       friend, f.since AS since ORDER BY since DESC LIMIT 10" );
+  ]
+
+let b12_collect () =
+  let g = Generate.social ~seed:13 ~people:300 ~avg_friends:8 in
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let cache = Engine.create_plan_cache () in
+  (* warm the cache once so the measured path is pure hits *)
+  List.iter
+    (fun (_, q) -> ignore (Engine.query_cached ~cache g q))
+    b12_queries;
+  let tests =
+    List.concat_map
+      (fun (name, q) ->
+        [
+          t (Printf.sprintf "cold/%s" name) (fun () ->
+              (* a fresh session per run keeps its cache empty: this is
+                 the pre-cache Session.run pipeline *)
+              Engine.run ~mode:Engine.Planned g q);
+          t (Printf.sprintf "hit/%s" name) (fun () ->
+              Engine.query_cached ~cache g q);
+        ])
+      b12_queries
+  in
+  benchmark_group_collect
+    "B12 plan cache: cold parse+plan+run vs cached-plan hit" tests
+
+let emit_bench_json rows =
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr1.json" in
+  let find prefix name =
+    (* bechamel reports grouped tests as "<group>/<test>" *)
+    let suffix = "/" ^ prefix ^ "/" ^ name in
+    let n = String.length suffix in
+    List.find_map
+      (fun (k, v) ->
+        let kn = String.length k in
+        if kn >= n && String.sub k (kn - n) n = suffix then Some v else None)
+      rows
+  in
+  let pairs =
+    List.filter_map
+      (fun (name, _) ->
+        match (find "cold" name, find "hit" name) with
+        | Some cold, Some hit -> Some (name, cold, hit)
+        | _ -> None)
+      b12_queries
+  in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 1,\n";
+  out "  \"experiment\": \"B12 query-plan cache: repeated-query throughput\",\n";
+  out
+    "  \"workload\": \"social graph, 300 people, avg 8 friends, index on \
+     :Person(name)\",\n";
+  out "  \"unit\": \"ns_per_run\",\n";
+  out "  \"queries\": [\n";
+  List.iteri
+    (fun i (name, cold, hit) ->
+      out
+        "    {\"name\": %S, \"cold\": %.1f, \"cache_hit\": %.1f, \"speedup\": \
+         %.2f}%s\n"
+        name cold hit
+        (if hit > 0. then cold /. hit else 0.)
+        (if i = List.length pairs - 1 then "" else ","))
+    pairs;
+  out "  ],\n";
+  let total f = List.fold_left (fun acc (_, c, h) -> acc +. f c h) 0. pairs in
+  let cold_total = total (fun c _ -> c) and hit_total = total (fun _ h -> h) in
+  out "  \"summary\": {\"cold_total\": %.1f, \"cache_hit_total\": %.1f, \
+       \"speedup\": %.2f}\n"
+    cold_total hit_total
+    (if hit_total > 0. then cold_total /. hit_total else 0.);
+  out "}\n";
+  close_out oc;
+  Printf.printf "\n(B12 results written to %s)\n" path
+
+let b12 () = emit_bench_json (b12_collect ())
+
+let groups =
+  [
+    ( "tables",
+      fun () ->
+        print_paper_tables ();
+        benchmark_group
+          "paper-table regeneration (one measurement per table/figure)"
+          paper_table_tests );
+    ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
+    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
+    ("b12", b12);
+  ]
+
 let () =
-  print_paper_tables ();
-  Printf.printf "\n# Measurements (Bechamel, monotonic clock, OLS ns/run)\n";
-  benchmark_group "paper-table regeneration (one measurement per table/figure)"
-    paper_table_tests;
-  b1 ();
-  b2 ();
-  b3 ();
-  b4 ();
-  b5 ();
-  b6 ();
-  b7 ();
-  b8 ();
-  b9 ();
-  b10 ();
-  b11 ();
+  let selected =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst groups
+    | names -> names
+  in
+  Printf.printf "# Measurements (Bechamel, monotonic clock, OLS ns/run)\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name groups with
+      | Some f -> f ()
+      | None -> Printf.printf "unknown bench group %S (have: %s)\n" name
+                  (String.concat ", " (List.map fst groups)))
+    selected;
   Printf.printf "\ndone.\n"

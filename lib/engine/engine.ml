@@ -33,16 +33,17 @@ let segment clauses =
   in
   go [] [] clauses
 
-(* Statistics are collected per graph value; the store is persistent, so
-   caching on physical identity can never serve stale numbers. *)
-let stats_cache : (Graph.t * Stats.t) option ref = ref None
+(* Statistics are cached per graph version; versions are drawn from a
+   process-global counter, so equal versions always denote the same graph
+   value and the cache can never serve stale numbers. *)
+let stats_cache : (int * Stats.t) option ref = ref None
 
 let stats_of g =
   match !stats_cache with
-  | Some (g0, s) when g0 == g -> s
+  | Some (v, s) when v = Graph.version g -> s
   | _ ->
     let s = Stats.collect g in
-    stats_cache := Some (g, s);
+    stats_cache := Some (Graph.version g, s);
     s
 
 let run_single_planned cfg g sq =
@@ -153,6 +154,25 @@ let strip_prefix_kw kw text =
   then Some (String.sub t n (String.length t - n))
   else None
 
+(* Evaluation of an already-parsed, already-scope-checked query — shared
+   between the one-shot path and the plan-cache hit path. *)
+let run_ast config mode g ast =
+  let use_reference =
+    mode = Reference || config.Config.morphism <> Config.Edge_isomorphism
+  in
+  let reference () =
+    let state = Clauses.run_query config g ast in
+    { graph = state.Clauses.graph; table = state.Clauses.table }
+  in
+  catching_e (fun () ->
+      if use_reference then reference ()
+      else
+        (* planner limitations (e.g. ORDER BY on a non-projected
+           variable under DISTINCT) fall back to the reference
+           semantics rather than failing *)
+        try run_query_planned config g ast
+        with Build.Unsupported _ -> reference ())
+
 let query_e ?(config = Config.default) ?(mode = Planned) g text =
   match parse_index_ddl text with
   | Some (Error e) -> Error (Parse_error e)
@@ -168,22 +188,7 @@ let query_e ?(config = Config.default) ?(mode = Planned) g text =
   | Error e -> Error (Parse_error e)
   | Ok ast when Result.is_error (Scope_check.check_query ast) ->
     Error (Syntax_error (Result.get_error (Scope_check.check_query ast)))
-  | Ok ast ->
-    let use_reference =
-      mode = Reference || config.Config.morphism <> Config.Edge_isomorphism
-    in
-    let reference () =
-      let state = Clauses.run_query config g ast in
-      { graph = state.Clauses.graph; table = state.Clauses.table }
-    in
-    catching_e (fun () ->
-        if use_reference then reference ()
-        else
-          (* planner limitations (e.g. ORDER BY on a non-projected
-             variable under DISTINCT) fall back to the reference
-             semantics rather than failing *)
-          try run_query_planned config g ast
-          with Build.Unsupported _ -> reference ())
+  | Ok ast -> run_ast config mode g ast
 
 let query_plain ?config ?mode g text =
   Result.map_error error_message (query_e ?config ?mode g text)
@@ -374,3 +379,103 @@ let query ?config ?mode g text =
         (fun p -> { graph = g; table = plan_table p })
         (profile ?config g rest)
     | None -> query_plain ?config ?mode g text)
+
+(* ------------------------------------------------------------------ *)
+(* The query-plan cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A cache entry always carries the parsed, scope-checked AST (reusable
+   against any graph); read-only single queries additionally carry the
+   compiled physical plan tagged with the version of the graph whose
+   statistics drove the compilation.  A version mismatch keeps the AST
+   but replans, so updates invalidate cardinality estimates without
+   paying for parsing again. *)
+type cache_entry = {
+  ce_ast : Ast.query;
+  mutable ce_plan : (int * Build.compiled) option;
+}
+
+type plan_cache = {
+  entries : cache_entry Plan_cache.t;
+  mutable replans : int;
+}
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_replans : int;
+  cache_evictions : int;
+}
+
+let create_plan_cache ?capacity () =
+  { entries = Plan_cache.create ?capacity (); replans = 0 }
+
+let cache_stats c =
+  {
+    cache_hits = Plan_cache.hits c.entries;
+    cache_misses = Plan_cache.misses c.entries;
+    cache_replans = c.replans;
+    cache_evictions = Plan_cache.evictions c.entries;
+  }
+
+(* Only read-only single queries with a RETURN have their physical plan
+   cached; everything else still amortises parse + scope check. *)
+let plan_cacheable = function
+  | Q_single { sq_clauses; sq_return = Some _ } ->
+    not (List.exists is_update_clause sq_clauses)
+  | _ -> false
+
+let run_cached_entry cache config g entry =
+  if plan_cacheable entry.ce_ast then begin
+    let version = Graph.version g in
+    let compiled =
+      match entry.ce_plan with
+      | Some (v, c) when v = version -> Some c
+      | prior -> (
+        match entry.ce_ast with
+        | Q_single { sq_clauses; sq_return } -> (
+          match
+            Build.compile_clauses ~stats:(stats_of g) ~visible:[] sq_clauses
+              sq_return
+          with
+          | c ->
+            if Option.is_some prior then cache.replans <- cache.replans + 1;
+            entry.ce_plan <- Some (version, c);
+            Some c
+          | exception Build.Unsupported _ -> None)
+        | _ -> None)
+    in
+    match compiled with
+    | Some { Build.plan; fields } ->
+      catching_e (fun () ->
+          { graph = g; table = Exec.run config g ~fields plan Table.unit })
+    | None -> run_ast config Planned g entry.ce_ast
+  end
+  else run_ast config Planned g entry.ce_ast
+
+let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
+  let cacheable_config =
+    mode = Planned && config.Config.morphism = Config.Edge_isomorphism
+  in
+  if not cacheable_config then query ~config ~mode g text
+  else begin
+    let params =
+      List.map fst (Cypher_values.Value.Smap.bindings config.Config.params)
+    in
+    let key = Plan_cache.key ~text ~params in
+    match Plan_cache.find cache.entries key with
+    | Some entry ->
+      Result.map_error error_message (run_cached_entry cache config g entry)
+    | None -> (
+      (* Miss: parse and scope-check once.  Index DDL and EXPLAIN/PROFILE
+         prefixes do not parse as queries and take the uncached path. *)
+      match Cypher_parser.Parser.parse_query text with
+      | Error _ -> query ~config ~mode g text
+      | Ok ast -> (
+        match Scope_check.check_query ast with
+        | Error e -> Error (error_message (Syntax_error e))
+        | Ok _ ->
+          let entry = { ce_ast = ast; ce_plan = None } in
+          Plan_cache.add cache.entries key entry;
+          Result.map_error error_message (run_cached_entry cache config g entry)))
+  end

@@ -80,6 +80,42 @@ val profile : ?config:Config.t -> Graph.t -> string -> (string, string) result
     rows per operator — PROFILE.  Only read-only single queries are
     profiled; anything else falls back to the {!explain} rendering. *)
 
+(** {1 The query-plan cache}
+
+    [Session.run] re-lexed, re-parsed and re-planned every statement from
+    scratch; the plan cache amortises that to zero for repeated read-only
+    queries.  Entries are keyed by query text plus the parameter
+    signature; each entry holds the parsed AST (valid against any graph)
+    and, for read-only single queries, the compiled physical plan tagged
+    with the {!Graph.version} whose statistics it was compiled from.
+    When the graph changes, the next execution replans against fresh
+    statistics — cached cardinality estimates can never go stale —
+    while the parse and scope check are still reused. *)
+
+type plan_cache
+
+val create_plan_cache : ?capacity:int -> unit -> plan_cache
+(** LRU over [capacity] (default 128) query texts. *)
+
+type cache_stats = {
+  cache_hits : int;  (** lookups that found an entry *)
+  cache_misses : int;
+  cache_replans : int;
+      (** cached plans recompiled because the graph version moved *)
+  cache_evictions : int;
+}
+
+val cache_stats : plan_cache -> cache_stats
+
+val query_cached :
+  cache:plan_cache ->
+  ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
+  (outcome, string) result
+(** Like {!query}, going through the cache.  Semantically transparent:
+    results are identical to the uncached path; [Reference] mode,
+    non-default morphisms, EXPLAIN/PROFILE and index DDL bypass the
+    cache. *)
+
 val cross_check :
   ?config:Config.t -> Graph.t -> string -> (Table.t, string) result
 (** Runs the query in both modes and checks that the outputs are equal as

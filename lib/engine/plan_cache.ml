@@ -1,0 +1,75 @@
+type 'a entry = { mutable value : 'a; mutable last_used : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
+}
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create capacity;
+    tick = 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let key ~text ~params =
+  match params with
+  | [] -> text
+  | _ -> text ^ "\x00" ^ String.concat "\x00" params
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+    t.hit_count <- t.hit_count + 1;
+    touch t e;
+    Some e.value
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.last_used -> acc
+        | _ -> Some (k, e.last_used))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.eviction_count <- t.eviction_count + 1
+  | None -> ()
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+    e.value <- v;
+    touch t e
+  | None ->
+    if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+    let e = { value = v; last_used = 0 } in
+    touch t e;
+    Hashtbl.replace t.tbl k e
+
+let clear t = Hashtbl.reset t.tbl
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let evictions t = t.eviction_count

@@ -37,7 +37,20 @@ type t = {
   prop_indexes : Ids.Node_set.t Vmap.t Pmap.t;
   next_node : int;
   next_rel : int;
+  (* Monotonic modification stamp drawn from a process-global counter, so
+     no two distinct non-empty graph values ever share a version — the
+     plan cache keys cardinality estimates on it.  Only [empty] is
+     version 0. *)
+  version : int;
 }
+
+let version_counter = ref 0
+
+let stamp g =
+  incr version_counter;
+  { g with version = !version_counter }
+
+let version g = g.version
 
 let empty =
   {
@@ -50,6 +63,7 @@ let empty =
     prop_indexes = Pmap.empty;
     next_node = 1;
     next_rel = 1;
+    version = 0;
   }
 
 let props_of_list kvs =
@@ -116,7 +130,7 @@ let add_node ?(labels = []) ?(props = []) g =
       next_node = g.next_node + 1;
     }
   in
-  (pidx_update ~add:true g id data, id)
+  (stamp (pidx_update ~add:true g id data), id)
 
 let mem_node g n = Nmap.mem n g.node_map
 let mem_rel g r = Rmap.mem r g.rel_map
@@ -143,14 +157,15 @@ let add_rel ~src ~tgt ~rel_type ?(props = []) g =
         | Some s -> Some (Ids.Rel_set.add id s))
       g.type_index
   in
-  ( {
-      g with
-      rel_map = Rmap.add id data g.rel_map;
-      out_adj = adj_cons src id g.out_adj;
-      in_adj = adj_cons tgt id g.in_adj;
-      type_index;
-      next_rel = g.next_rel + 1;
-    },
+  ( stamp
+      {
+        g with
+        rel_map = Rmap.add id data g.rel_map;
+        out_adj = adj_cons src id g.out_adj;
+        in_adj = adj_cons tgt id g.in_adj;
+        type_index;
+        next_rel = g.next_rel + 1;
+      },
     id )
 
 let node_data g n = Nmap.find n g.node_map
@@ -183,13 +198,14 @@ let delete_rel g r =
             if Ids.Rel_set.is_empty s then None else Some s)
         g.type_index
     in
-    {
-      g with
-      rel_map = Rmap.remove r g.rel_map;
-      out_adj = adj_remove data.src r g.out_adj;
-      in_adj = adj_remove data.tgt r g.in_adj;
-      type_index;
-    }
+    stamp
+      {
+        g with
+        rel_map = Rmap.remove r g.rel_map;
+        out_adj = adj_remove data.src r g.out_adj;
+        in_adj = adj_remove data.tgt r g.in_adj;
+        type_index;
+      }
 
 let remove_node_raw g n =
   match Nmap.find_opt n g.node_map with
@@ -199,13 +215,14 @@ let remove_node_raw g n =
     let label_index =
       Sset.fold (fun l idx -> index_remove_node l n idx) data.labels g.label_index
     in
-    {
-      g with
-      node_map = Nmap.remove n g.node_map;
-      out_adj = Nmap.remove n g.out_adj;
-      in_adj = Nmap.remove n g.in_adj;
-      label_index;
-    }
+    stamp
+      {
+        g with
+        node_map = Nmap.remove n g.node_map;
+        out_adj = Nmap.remove n g.out_adj;
+        in_adj = Nmap.remove n g.in_adj;
+        label_index;
+      }
 
 let delete_node g n =
   if not (mem_node g n) then Ok g
@@ -230,10 +247,10 @@ let update_node g n f =
     let new_data = f old_data in
     let g = pidx_update ~add:false g n old_data in
     let g = { g with node_map = Nmap.add n new_data g.node_map } in
-    pidx_update ~add:true g n new_data
+    stamp (pidx_update ~add:true g n new_data)
 
 let update_rel g r f =
-  { g with rel_map = Rmap.update r (Option.map f) g.rel_map }
+  stamp { g with rel_map = Rmap.update r (Option.map f) g.rel_map }
 
 let set_node_prop g n k v =
   update_node g n (fun d ->
@@ -348,7 +365,7 @@ let insert_node g n data =
       next_node = max g.next_node (Ids.node_to_int n + 1);
     }
   in
-  pidx_update ~add:true g n data
+  stamp (pidx_update ~add:true g n data)
 
 let insert_rel g r data =
   if not (mem_node g data.src && mem_node g data.tgt) then
@@ -361,14 +378,15 @@ let insert_rel g r data =
         | Some s -> Some (Ids.Rel_set.add r s))
       g.type_index
   in
-  {
-    g with
-    rel_map = Rmap.add r data g.rel_map;
-    out_adj = adj_cons data.src r g.out_adj;
-    in_adj = adj_cons data.tgt r g.in_adj;
-    type_index;
-    next_rel = max g.next_rel (Ids.rel_to_int r + 1);
-  }
+  stamp
+    {
+      g with
+      rel_map = Rmap.add r data g.rel_map;
+      out_adj = adj_cons data.src r g.out_adj;
+      in_adj = adj_cons data.tgt r g.in_adj;
+      type_index;
+      next_rel = max g.next_rel (Ids.rel_to_int r + 1);
+    }
 
 let union g1 g2 =
   (* Remap g2's identifiers above g1's counters, preserving structure;
@@ -439,11 +457,11 @@ let create_index g ~label ~key =
               vmap)
         Vmap.empty (nodes_with_label g label)
     in
-    { g with prop_indexes = Pmap.add (label, key) entries g.prop_indexes }
+    stamp { g with prop_indexes = Pmap.add (label, key) entries g.prop_indexes }
   end
 
 let drop_index g ~label ~key =
-  { g with prop_indexes = Pmap.remove (label, key) g.prop_indexes }
+  stamp { g with prop_indexes = Pmap.remove (label, key) g.prop_indexes }
 
 let index_seek g ~label ~key v =
   match Pmap.find_opt (label, key) g.prop_indexes with

@@ -33,6 +33,14 @@ type t
 
 val empty : t
 
+val version : t -> int
+(** Modification stamp.  Every update produces a graph with a fresh stamp
+    drawn from a process-global monotonic counter, so within one process
+    two graphs with the same version are the same value ([empty] alone is
+    version 0).  The plan cache uses this to invalidate cached physical
+    plans — and their cardinality estimates — when the store changes,
+    while repeated read-only queries keep hitting the cache. *)
+
 (** {1 Construction} *)
 
 val add_node : ?labels:string list -> ?props:(string * Value.t) list -> t -> t * Ids.node

@@ -23,11 +23,22 @@ let seq_filter_map_concat f seq = Seq.concat_map f seq
 
 let expand_candidates g ~scan_rels ~dir n =
   if not scan_rels then
+    (* One adjacency-list traversal per direction, one [rel_data] lookup
+       per candidate — no intermediate list assembly. *)
     match dir with
     | Plan.Out -> List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g n)
     | Plan.In -> List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g n)
     | Plan.Both ->
-      List.map (fun r -> (r, Graph.other_end g r n)) (Graph.all_rels_of g n)
+      let out = List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g n) in
+      let inc =
+        (* loops already appear among the outgoing candidates *)
+        List.filter_map
+          (fun r ->
+            let s = Graph.src g r in
+            if Ids.equal_node s n then None else Some (r, s))
+          (Graph.in_rels g n)
+      in
+      out @ inc
   else
     (* Baseline without adjacency locality: scan every relationship in
        the graph and keep the incident ones. *)
@@ -98,6 +109,9 @@ and rows_body cfg g plan arg =
   match plan with
   | Plan.Argument -> arg
   | Plan.All_nodes_scan { var; input } ->
+    (* the node list does not depend on the row: assemble it once per
+       execution, not once per input row *)
+    let all_nodes = lazy (Graph.nodes g) in
     seq_filter_map_concat
       (fun row ->
         match Record.find row var with
@@ -106,32 +120,34 @@ and rows_body cfg g plan arg =
         | None ->
           Seq.map
             (fun n -> Record.add row var (Value.Node n))
-            (List.to_seq (Graph.nodes g)))
+            (List.to_seq (Lazy.force all_nodes)))
       (rows cfg g input arg)
   | Plan.Rel_type_scan { rel; types; from_; to_; dir; input } ->
+    (* likewise, orient the relationship set once per execution *)
+    let oriented =
+      lazy
+        (let rels = List.concat_map (Graph.rels_with_type g) types in
+         match dir with
+         | Plan.Out ->
+           List.map (fun r -> (r, Graph.src g r, Graph.tgt g r)) rels
+         | Plan.In ->
+           List.map (fun r -> (r, Graph.tgt g r, Graph.src g r)) rels
+         | Plan.Both ->
+           List.concat_map
+             (fun r ->
+               let s = Graph.src g r and t = Graph.tgt g r in
+               if Ids.equal_node s t then [ (r, s, t) ]
+               else [ (r, s, t); (r, t, s) ])
+             rels)
+    in
     seq_filter_map_concat
       (fun row ->
-        let rels = List.concat_map (Graph.rels_with_type g) types in
-        let oriented =
-          match dir with
-          | Plan.Out ->
-            List.map (fun r -> (r, Graph.src g r, Graph.tgt g r)) rels
-          | Plan.In ->
-            List.map (fun r -> (r, Graph.tgt g r, Graph.src g r)) rels
-          | Plan.Both ->
-            List.concat_map
-              (fun r ->
-                let s = Graph.src g r and t = Graph.tgt g r in
-                if Ids.equal_node s t then [ (r, s, t) ]
-                else [ (r, s, t); (r, t, s) ])
-              rels
-        in
         Seq.filter_map
           (fun (r, a, b) ->
             Option.bind (bind_or_check row rel (Value.Rel r)) (fun row ->
                 Option.bind (bind_or_check row from_ (Value.Node a)) (fun row ->
                     bind_or_check row to_ (Value.Node b))))
-          (List.to_seq oriented))
+          (List.to_seq (Lazy.force oriented)))
       (rows cfg g input arg)
   | Plan.Node_index_seek { var; label; key; value; input } ->
     seq_filter_map_concat
@@ -159,6 +175,7 @@ and rows_body cfg g plan arg =
               (List.to_seq hits))
       (rows cfg g input arg)
   | Plan.Node_by_label_scan { var; label; input } ->
+    let labelled = lazy (Graph.nodes_with_label g label) in
     seq_filter_map_concat
       (fun row ->
         match Record.find row var with
@@ -167,7 +184,7 @@ and rows_body cfg g plan arg =
         | None ->
           Seq.map
             (fun n -> Record.add row var (Value.Node n))
-            (List.to_seq (Graph.nodes_with_label g label)))
+            (List.to_seq (Lazy.force labelled)))
       (rows cfg g input arg)
   | Plan.Expand { from_; rel; types; dir; to_; scan_rels; input } ->
     seq_filter_map_concat
@@ -346,12 +363,13 @@ and rows_body cfg g plan arg =
 
 and eval_count cfg g what e =
   match Eval.eval_expr cfg g Record.empty e with
-  | Value.Int n -> n
+  | Value.Int n when n >= 0 -> n
+  | Value.Int n ->
+    eval_error "%s: expected a non-negative integer, got %d" what n
   | v -> eval_error "%s: expected an integer, got %s" what (Value.type_name v)
 
 let run cfg g ~fields plan table =
-  let out = rows cfg g plan (List.to_seq (Table.rows table)) in
-  Table.create ~fields (List.of_seq out)
+  Table.of_seq ~fields (rows cfg g plan (Table.to_seq table))
 
 let run_profiled cfg g ~fields plan table =
   let counts : (Plan.t * int ref) list ref = ref [] in
@@ -364,9 +382,7 @@ let run_profiled cfg g ~fields plan table =
   let result =
     Fun.protect
       ~finally:(fun () -> observer := None)
-      (fun () ->
-        Table.create ~fields
-          (List.of_seq (rows cfg g plan (List.to_seq (Table.rows table)))))
+      (fun () -> Table.of_seq ~fields (rows cfg g plan (Table.to_seq table)))
   in
   let count node =
     match List.find_opt (fun (p, _) -> p == node) !counts with

@@ -166,7 +166,9 @@ let apply_projection cfg ~kw proj { graph = g; table } =
     | None -> None
     | Some e -> (
       match Eval.eval_expr cfg g Record.empty e with
-      | Value.Int n -> Some n
+      | Value.Int n when n >= 0 -> Some n
+      | Value.Int n ->
+        eval_error "%s: expected a non-negative integer, got %d" what n
       | v ->
         eval_error "%s: expected an integer, got %s" what (Value.type_name v))
   in

@@ -8,15 +8,18 @@ type t = {
   mutable config : Config.t;
   schema : Schema.t;
   mode : Cypher_engine.Engine.mode;
+  cache : Cypher_engine.Engine.plan_cache;
 }
 
-let create ?(schema = Schema.empty) ?(params = []) ?(mode = Cypher_engine.Engine.Planned) g =
+let create ?(schema = Schema.empty) ?(params = [])
+    ?(mode = Cypher_engine.Engine.Planned) ?plan_cache_capacity g =
   {
     current = g;
     snapshots = [];
     config = Config.with_params params Config.default;
     schema;
     mode;
+    cache = Cypher_engine.Engine.create_plan_cache ?capacity:plan_cache_capacity ();
   }
 
 let graph t = t.current
@@ -29,8 +32,13 @@ let validate t g =
   | [] -> Ok ()
   | v :: _ -> Error (Format.asprintf "schema violation: %a" Schema.pp_violation v)
 
+let cache_stats t = Cypher_engine.Engine.cache_stats t.cache
+
 let run t text =
-  match Cypher_engine.Engine.query ~config:t.config ~mode:t.mode t.current text with
+  match
+    Cypher_engine.Engine.query_cached ~cache:t.cache ~config:t.config
+      ~mode:t.mode t.current text
+  with
   | Error e -> Error e
   | Ok outcome ->
     let g = outcome.Cypher_engine.Engine.graph in

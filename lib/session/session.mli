@@ -19,8 +19,13 @@ val create :
   ?schema:Cypher_schema.Schema.t ->
   ?params:(string * Cypher_values.Value.t) list ->
   ?mode:Cypher_engine.Engine.mode ->
+  ?plan_cache_capacity:int ->
   Graph.t ->
   t
+(** Every session owns a query-plan cache (default capacity 128):
+    repeated statements skip lexing, parsing and — while the graph is
+    unchanged — planning.  Updates bump the graph version, so the next
+    run of a cached query replans against fresh statistics. *)
 
 val graph : t -> Graph.t
 val set_params : t -> (string * Cypher_values.Value.t) list -> unit
@@ -44,3 +49,6 @@ val rollback : t -> (unit, string) result
 
 val in_transaction : t -> bool
 val depth : t -> int
+
+val cache_stats : t -> Cypher_engine.Engine.cache_stats
+(** Hit/miss/replan counters of this session's plan cache. *)

@@ -28,14 +28,26 @@ val fields : t -> string list
 (** Sorted field names. *)
 
 val rows : t -> Record.t list
+val to_seq : t -> Record.t Seq.t
 val row_count : t -> int
 val is_empty : t -> bool
 
+val iter : (Record.t -> unit) -> t -> unit
+val fold_left : ('a -> Record.t -> 'a) -> 'a -> t -> 'a
+
 val add_row : t -> Record.t -> t
-(** Appends; the row must be uniform with the table. *)
+(** Appends; the row must be uniform with the table.  A linear chain of
+    appends runs in amortised O(1) per row (rows are written into a
+    shared pre-sized buffer); appending to an older version of a table
+    copies its window first. *)
+
+val of_seq : fields:string list -> Record.t Seq.t -> t
+(** Materialises a row stream into a table, checking uniformity row by
+    row — the executor's sink, with no intermediate list. *)
 
 val union : t -> t -> t
-(** [T ⊎ T']: bag union.  Both tables must have the same fields. *)
+(** [T ⊎ T']: bag union.  Both tables must have the same fields.
+    O(|T| + |T'|). *)
 
 val concat_map : t -> (Record.t -> Record.t list) -> fields:string list -> t
 (** The workhorse for clause semantics: maps every row to a bag of rows
@@ -51,7 +63,11 @@ val sort : t -> by:(Record.t -> Record.t -> int) -> t
 (** Stable sort — ORDER BY must preserve the relative order of ties. *)
 
 val skip : t -> int -> t
+(** Drops the first [n] rows (all of them when [n] exceeds the row
+    count, none when [n <= 0]).  O(1): only the window moves. *)
+
 val limit : t -> int -> t
+(** Keeps the first [n] rows.  O(1). *)
 
 val group_by : t -> key:(Record.t -> Value.t list) -> (Value.t list * Record.t list) list
 (** Groups rows by key (using {!Value.compare_total} on key vectors);

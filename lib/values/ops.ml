@@ -17,6 +17,14 @@ let numeric2 op_name int_op float_op a b =
   | _ ->
     type_error "%s: cannot apply to %s and %s" op_name (type_name a) (type_name b)
 
+(* Scalars that [+] concatenates with a string: 'a' + 1 = 'a1', and
+   symmetrically.  Rendered the way toString does (pp_plain), so the two
+   agree. *)
+let string_of_scalar = function
+  | (Bool _ | Int _ | Float _ | Temporal _) as v ->
+    Some (Format.asprintf "%a" pp_plain v)
+  | _ -> None
+
 let add a b =
   match a, b with
   | Null, _ | _, Null -> Null
@@ -24,6 +32,14 @@ let add a b =
   | List x, List y -> List (x @ y)
   | List x, y -> List (x @ [ y ])
   | x, List y -> List (x :: y)
+  | String x, y -> (
+    match string_of_scalar y with
+    | Some s -> String (x ^ s)
+    | None -> type_error "+: cannot apply to STRING and %s" (type_name y))
+  | x, String y -> (
+    match string_of_scalar x with
+    | Some s -> String (s ^ y)
+    | None -> type_error "+: cannot apply to %s and STRING" (type_name x))
   | _ -> numeric2 "+" ( + ) ( +. ) a b
 
 let sub a b = numeric2 "-" ( - ) ( -. ) a b

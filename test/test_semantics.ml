@@ -99,7 +99,11 @@ let nested_expressions () =
 let arithmetic_null_and_errors () =
   check_value "null + 1" vnull (eval "null + 1");
   check_value "null * 2" vnull (eval "null * 2");
-  (match eval "1 + 'a'" with
+  check_value "number-string concatenation" (vstr "1a") (eval "1 + 'a'");
+  (match eval "1 + [2]" with
+  | Value.List _ -> ()
+  | v -> Alcotest.failf "expected list append, got %a" Value.pp v);
+  (match eval "true + 1" with
   | exception Value.Type_error _ -> ()
   | v -> Alcotest.failf "expected a type error, got %a" Value.pp v);
   check_value "unary minus of null" vnull (eval "-null")
