@@ -564,6 +564,122 @@ let emit_bench_json rows =
 
 let b12 () = emit_bench_json (b12_collect ())
 
+(* ------------------------------------------------------------------ *)
+(* B13: durable storage — snapshot save/load, WAL append and replay    *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Cypher_storage.Snapshot
+module Wal = Cypher_storage.Wal
+
+(* Four measurements on the B12 social graph (300 people, ~1200
+   relationships): the full snapshot encode+fsync+rename, the full
+   decode+rebuild (including the property index), one fsync'd WAL
+   commit, and the recovery replay of a 100-statement log through the
+   engine.  The derived throughputs go to BENCH_pr2.json. *)
+
+let b13_replay_stmts = 100
+
+let b13_collect () =
+  let g = Generate.social ~seed:13 ~people:300 ~avg_friends:8 in
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let tmp = Filename.get_temp_dir_name () in
+  let snap = Filename.concat tmp "cypher_bench_snapshot.bin" in
+  let replay_wal = Filename.concat tmp "cypher_bench_replay.log" in
+  let append_wal = Filename.concat tmp "cypher_bench_append.log" in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ snap; replay_wal; append_wal ];
+  Snapshot.save g snap;
+  let w = Wal.open_writer replay_wal in
+  ignore
+    (Wal.append w
+       (List.init b13_replay_stmts (fun i ->
+            ( "CREATE (:B {v: $v})",
+              [ ("v", Cypher_values.Value.Int i) ] ))));
+  Wal.close_writer w;
+  let records =
+    match Wal.scan replay_wal with
+    | Ok scan -> scan.Wal.records
+    | Error e -> failwith e
+  in
+  let aw = Wal.open_writer append_wal in
+  let tests =
+    [
+      t "snapshot-save" (fun () -> Snapshot.save g snap);
+      t "snapshot-load" (fun () ->
+          match Snapshot.load snap with
+          | Ok g -> g
+          | Error e -> failwith e);
+      t "wal-append-fsync" (fun () ->
+          Wal.append aw [ ("CREATE (:B {v: 1})", []) ]);
+      t "wal-replay-100" (fun () ->
+          match Wal.replay Graph.empty records with
+          | Ok g -> g
+          | Error e -> failwith e);
+    ]
+  in
+  let rows =
+    benchmark_group_collect
+      "B13 durable storage: snapshot save/load, WAL append (fsync) and replay"
+      tests
+  in
+  Wal.close_writer aw;
+  (rows, Graph.node_count g, Graph.rel_count g)
+
+let emit_bench_pr2 (rows, nodes, rels) =
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr2.json" in
+  let find name =
+    let suffix = "/" ^ name in
+    let n = String.length suffix in
+    List.find_map
+      (fun (k, v) ->
+        let kn = String.length k in
+        if kn >= n && String.sub k (kn - n) n = suffix then Some v else None)
+      rows
+  in
+  match
+    (find "snapshot-save", find "snapshot-load", find "wal-append-fsync",
+     find "wal-replay-100")
+  with
+  | Some save, Some load, Some append, Some replay ->
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    let per_s ns = if ns > 0. then 1e9 /. ns else 0. in
+    let entities = nodes + rels in
+    out "{\n";
+    out "  \"pr\": 2,\n";
+    out
+      "  \"experiment\": \"B13 durable storage: snapshot save/load and WAL \
+       throughput\",\n";
+    out
+      "  \"workload\": \"social graph, %d nodes, %d relationships, index on \
+       :Person(name); %d-statement WAL\",\n"
+      nodes rels b13_replay_stmts;
+    out "  \"unit\": \"ns_per_run\",\n";
+    out "  \"measurements\": {\n";
+    out
+      "    \"snapshot_save\": {\"ns\": %.1f, \"entities_per_s\": %.0f},\n"
+      save
+      (per_s save *. float_of_int entities);
+    out
+      "    \"snapshot_load\": {\"ns\": %.1f, \"entities_per_s\": %.0f},\n"
+      load
+      (per_s load *. float_of_int entities);
+    out
+      "    \"wal_append_fsync\": {\"ns\": %.1f, \"commits_per_s\": %.0f},\n"
+      append (per_s append);
+    out
+      "    \"wal_replay\": {\"ns\": %.1f, \"statements_per_s\": %.0f}\n"
+      replay
+      (per_s replay *. float_of_int b13_replay_stmts);
+    out "  }\n";
+    out "}\n";
+    close_out oc;
+    Printf.printf "\n(B13 results written to %s)\n" path
+  | _ -> Printf.printf "\n(B13: missing measurements, no JSON written)\n"
+
+let b13 () = emit_bench_pr2 (b13_collect ())
+
 let groups =
   [
     ( "tables",
@@ -574,7 +690,7 @@ let groups =
           paper_table_tests );
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12);
+    ("b12", b12); ("b13", b13);
   ]
 
 let () =

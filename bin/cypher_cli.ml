@@ -3,6 +3,9 @@
    Usage:
      cypher_cli                          start a REPL on an empty graph
      cypher_cli --graph academic         start on a built-in graph
+     cypher_cli --db path/to/db          open (or create) a durable database:
+                                         statements are committed to a
+                                         write-ahead log and survive restarts
      cypher_cli -q "MATCH (n) RETURN n"  run one query and exit
      cypher_cli --script file.cypher     run a ;-separated script
 
@@ -25,6 +28,7 @@
      :constraints        list constraints and check the graph
      :procedures         list CALL procedures
      :functions          list registered functions
+     :checkpoint         (--db only) snapshot the graph, truncate the WAL
      :quit               exit *)
 
 open Cypher_gen
@@ -34,6 +38,8 @@ module Export = Cypher_graph.Export
 module Stats = Cypher_graph.Stats
 module Schema = Cypher_schema.Schema
 module Mg = Cypher_multigraph.Multigraph
+module Store = Cypher_storage.Store
+module Session = Cypher_session.Session
 
 let builtin_graph = function
   | "academic" -> Some (Paper_graphs.academic ())
@@ -51,29 +57,57 @@ type state = {
   mode : Engine.mode;
   schema : Schema.t;
   catalog : Mg.Catalog.t;
+  store : Store.t option;  (** present when opened with [--db] *)
 }
 
+(* In durable mode the graph lives in the store's session; [st.graph] is
+   only the in-memory fallback. *)
+let current_graph st =
+  match st.store with Some s -> Store.graph s | None -> st.graph
+
 let run_query st q =
-  let result =
-    if Schema.constraints st.schema = [] then Engine.query ~mode:st.mode st.graph q
-    else Schema.guarded_query ~schema:st.schema st.graph q
-  in
-  match result with
-  | Ok outcome ->
-    Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
-    { st with graph = outcome.Engine.graph }
-  | Error e ->
-    Printf.printf "%s\n" e;
-    st
+  match st.store with
+  | Some store -> (
+    match Store.run store q with
+    | Ok table ->
+      Format.printf "%a@." Cypher_table.Table.pp table;
+      st
+    | Error e ->
+      Printf.printf "%s\n" e;
+      st)
+  | None -> (
+    let result =
+      if Schema.constraints st.schema = [] then
+        Engine.query ~mode:st.mode st.graph q
+      else Schema.guarded_query ~schema:st.schema st.graph q
+    in
+    match result with
+    | Ok outcome ->
+      Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
+      { st with graph = outcome.Engine.graph }
+    | Error e ->
+      Printf.printf "%s\n" e;
+      st)
 
 let run_script st text =
-  match Engine.run_script ~mode:st.mode st.graph text with
-  | Ok outcome ->
-    Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
-    { st with graph = outcome.Engine.graph }
-  | Error e ->
-    Printf.printf "%s\n" e;
-    st
+  match st.store with
+  | Some _ ->
+    (* split on top-level semicolons crudely: the durable session logs
+       statement by statement, so feed them one at a time *)
+    List.fold_left
+      (fun st stmt ->
+        let stmt = String.trim stmt in
+        if stmt = "" then st else run_query st stmt)
+      st
+      (String.split_on_char ';' text)
+  | None -> (
+    match Engine.run_script ~mode:st.mode st.graph text with
+    | Ok outcome ->
+      Format.printf "%a@." Cypher_table.Table.pp outcome.Engine.table;
+      { st with graph = outcome.Engine.graph }
+    | Error e ->
+      Printf.printf "%s\n" e;
+      st)
 
 let with_arg line prefix f st =
   if
@@ -103,23 +137,30 @@ let commands : (string * (state -> string -> state)) list =
           st) );
     ( ":graph ",
       fun st arg ->
-        (match builtin_graph arg with
-        | Some g ->
-          Printf.printf "loaded graph %s (%d nodes, %d relationships)\n" arg
-            (Graph.node_count g) (Graph.rel_count g);
-          { st with graph = g }
-        | None ->
-          Printf.printf "unknown graph: %s\n" arg;
-          st) );
+        if st.store <> None then begin
+          Printf.printf
+            ":graph is not available with --db (the durable graph lives in \
+             the store)\n";
+          st
+        end
+        else
+          (match builtin_graph arg with
+          | Some g ->
+            Printf.printf "loaded graph %s (%d nodes, %d relationships)\n" arg
+              (Graph.node_count g) (Graph.rel_count g);
+            { st with graph = g }
+          | None ->
+            Printf.printf "unknown graph: %s\n" arg;
+            st) );
     ( ":explain ",
       fun st arg ->
-        (match Engine.explain st.graph arg with
+        (match Engine.explain (current_graph st) arg with
         | Ok plan -> print_string plan
         | Error e -> Printf.printf "%s\n" e);
         st );
     ( ":profile ",
       fun st arg ->
-        (match Engine.profile st.graph arg with
+        (match Engine.profile (current_graph st) arg with
         | Ok plan -> print_string plan
         | Error e -> Printf.printf "%s\n" e);
         st );
@@ -127,7 +168,7 @@ let commands : (string * (state -> string -> state)) list =
       fun st arg ->
         (match
            Out_channel.with_open_text arg (fun oc ->
-               Out_channel.output_string oc (Export.to_cypher st.graph);
+               Out_channel.output_string oc (Export.to_cypher (current_graph st));
                Out_channel.output_string oc "\n")
          with
         | () -> Printf.printf "graph written to %s\n" arg
@@ -143,22 +184,27 @@ let commands : (string * (state -> string -> state)) list =
     ( ":publish ",
       fun st arg ->
         Printf.printf "current graph stored in the catalog as %s\n" arg;
-        { st with catalog = Mg.Catalog.add arg st.graph st.catalog } );
+        { st with catalog = Mg.Catalog.add arg (current_graph st) st.catalog } );
     ( ":use ",
       fun st arg ->
-        (match Mg.Catalog.find arg st.catalog with
-        | Some g ->
-          Printf.printf "switched to catalog graph %s (%d nodes)\n" arg
-            (Graph.node_count g);
-          { st with graph = g }
-        | None ->
-          Printf.printf "no such graph in the catalog: %s\n" arg;
-          st) );
+        if st.store <> None then begin
+          Printf.printf ":use is not available with --db\n";
+          st
+        end
+        else
+          (match Mg.Catalog.find arg st.catalog with
+          | Some g ->
+            Printf.printf "switched to catalog graph %s (%d nodes)\n" arg
+              (Graph.node_count g);
+            { st with graph = g }
+          | None ->
+            Printf.printf "no such graph in the catalog: %s\n" arg;
+            st) );
     ( ":composed ",
       fun st arg ->
         (match In_channel.with_open_text arg In_channel.input_all with
         | text -> (
-          let catalog = Mg.Catalog.add "current" st.graph st.catalog in
+          let catalog = Mg.Catalog.add "current" (current_graph st) st.catalog in
           match Mg.run ~catalog ~default:"current" text with
           | Ok r ->
             Format.printf "%a@." Cypher_table.Table.pp r.Mg.table;
@@ -188,15 +234,15 @@ let handle_line st line =
   if line = "" then Some st
   else if line = ":quit" || line = ":q" then None
   else if line = ":stats" then begin
-    Format.printf "%a@." Stats.pp (Stats.collect st.graph);
+    Format.printf "%a@." Stats.pp (Stats.collect (current_graph st));
     Some st
   end
   else if line = ":export" then begin
-    print_endline (Export.to_cypher st.graph);
+    print_endline (Export.to_cypher (current_graph st));
     Some st
   end
   else if line = ":dot" then begin
-    print_string (Export.to_dot st.graph);
+    print_string (Export.to_dot (current_graph st));
     Some st
   end
   else if line = ":constraints" then begin
@@ -204,9 +250,22 @@ let handle_line st line =
     | [] -> print_endline "(no constraints)"
     | cs ->
       List.iter (fun c -> Format.printf "%a@." Schema.pp_constraint c) cs;
-      match Schema.check st.schema st.graph with
+      match Schema.check st.schema (current_graph st) with
       | [] -> print_endline "graph conforms"
       | vs -> List.iter (fun v -> Format.printf "%a@." Schema.pp_violation v) vs);
+    Some st
+  end
+  else if line = ":checkpoint" then begin
+    (match st.store with
+    | None -> print_endline ":checkpoint requires a durable database (--db PATH)"
+    | Some store -> (
+      match Store.checkpoint store with
+      | Ok () ->
+        let g = Store.graph store in
+        Printf.printf
+          "checkpoint written (%d nodes, %d relationships); WAL truncated\n"
+          (Graph.node_count g) (Graph.rel_count g)
+      | Error e -> Printf.printf "%s\n" e));
     Some st
   end
   else if line = ":graphs" then begin
@@ -239,8 +298,8 @@ let repl st =
   let rec loop st =
     print_string "cypher> ";
     match read_line () with
-    | exception End_of_file -> ()
-    | line -> ( match handle_line st line with Some st -> loop st | None -> ())
+    | exception End_of_file -> st
+    | line -> ( match handle_line st line with Some st -> loop st | None -> st)
   in
   loop st
 
@@ -274,10 +333,23 @@ let () =
         Printf.eprintf "%s\n" e;
         exit 1)
     | "--explain" :: q :: rest ->
-      (match Engine.explain st.graph q with
+      (match Engine.explain (current_graph st) q with
       | Ok plan -> print_string plan
       | Error e -> Printf.printf "%s\n" e);
       parse st rest
+    | "--db" :: path :: rest -> (
+      match Store.open_ ~mode:st.mode path with
+      | Ok store ->
+        let g = Store.graph store in
+        Printf.printf
+          "opened database %s (%d nodes, %d relationships, %d WAL records \
+           replayed)\n"
+          path (Graph.node_count g) (Graph.rel_count g)
+          (Store.wal_records store);
+        parse { st with store = Some store } rest
+      | Error e ->
+        Printf.eprintf "cannot open database %s: %s\n" path e;
+        exit 1)
     | arg :: _ ->
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 1
@@ -288,11 +360,16 @@ let () =
       mode = Engine.Planned;
       schema = Schema.empty;
       catalog = Mg.Catalog.empty;
+      store = None;
     }
   in
+  let finish st = Option.iter Store.close st.store in
   match parse st (List.tl args) with
   | `Repl st ->
     if
       List.exists (fun a -> a = "-q" || a = "--explain" || a = "--script") args
-    then ()
-    else repl st
+    then finish st
+    else begin
+      let st = repl st in
+      finish st
+    end

@@ -388,6 +388,18 @@ let insert_rel g r data =
       next_rel = max g.next_rel (Ids.rel_to_int r + 1);
     }
 
+let next_ids g = (g.next_node, g.next_rel)
+
+let reserve_ids g ~next_node ~next_rel =
+  if next_node <= g.next_node && next_rel <= g.next_rel then g
+  else
+    stamp
+      {
+        g with
+        next_node = max g.next_node next_node;
+        next_rel = max g.next_rel next_rel;
+      }
+
 let union g1 g2 =
   (* Remap g2's identifiers above g1's counters, preserving structure;
      insert_node keeps every index (label and property) maintained. *)

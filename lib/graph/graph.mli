@@ -156,6 +156,24 @@ val insert_rel : t -> Ids.rel -> rel_data -> t
 (** Inserts (or replaces) a relationship under a caller-chosen
     identifier; endpoints must exist. *)
 
+(** {1 Identifier allocation}
+
+    Fresh ids come from two monotonic per-graph counters; these are the
+    single entry point through which the storage layer observes and
+    restores them, so a reloaded graph can never hand out an id that
+    collides with — or drifts from — a persisted identifier, even when
+    the highest-numbered node or relationship was deleted before the
+    snapshot was taken. *)
+
+val next_ids : t -> int * int
+(** [(next_node, next_rel)]: the integer ids the next {!add_node} and
+    {!add_rel} will allocate. *)
+
+val reserve_ids : t -> next_node:int -> next_rel:int -> t
+(** Advances the allocation counters to at least the given values;
+    counters never move backwards, so reserving below the current
+    watermark is a no-op. *)
+
 (** {1 Whole-graph operations} *)
 
 val union : t -> t -> t

@@ -2,24 +2,35 @@ open Cypher_graph
 module Schema = Cypher_schema.Schema
 module Config = Cypher_semantics.Config
 
+type logged = {
+  lg_text : string;
+  lg_params : (string * Cypher_values.Value.t) list;
+}
+
 type t = {
   mutable current : Graph.t;
   mutable snapshots : Graph.t list; (* innermost first *)
+  (* update statements of each open transaction, one frame per snapshot,
+     newest statement first within a frame *)
+  mutable pending : logged list list;
   mutable config : Config.t;
   schema : Schema.t;
   mode : Cypher_engine.Engine.mode;
   cache : Cypher_engine.Engine.plan_cache;
+  on_commit : (logged list -> unit) option;
 }
 
 let create ?(schema = Schema.empty) ?(params = [])
-    ?(mode = Cypher_engine.Engine.Planned) ?plan_cache_capacity g =
+    ?(mode = Cypher_engine.Engine.Planned) ?plan_cache_capacity ?on_commit g =
   {
     current = g;
     snapshots = [];
+    pending = [];
     config = Config.with_params params Config.default;
     schema;
     mode;
     cache = Cypher_engine.Engine.create_plan_cache ?capacity:plan_cache_capacity ();
+    on_commit;
   }
 
 let graph t = t.current
@@ -34,6 +45,11 @@ let validate t g =
 
 let cache_stats t = Cypher_engine.Engine.cache_stats t.cache
 
+let emit t batch =
+  match t.on_commit with
+  | Some f when batch <> [] -> f batch
+  | _ -> ()
+
 let run t text =
   match
     Cypher_engine.Engine.query_cached ~cache:t.cache ~config:t.config
@@ -42,35 +58,62 @@ let run t text =
   | Error e -> Error e
   | Ok outcome ->
     let g = outcome.Cypher_engine.Engine.graph in
+    (* An update always stamps a fresh version (the counter is global and
+       monotonic), so version equality means the statement was read-only
+       and need not reach the write-ahead log. *)
+    let updated = Graph.version g <> Graph.version t.current in
+    let logged () =
+      {
+        lg_text = text;
+        lg_params = Cypher_values.Value.Smap.bindings t.config.Config.params;
+      }
+    in
     if in_transaction t then begin
       (* deferred validation: the schema is checked at commit *)
       t.current <- g;
+      if updated then
+        t.pending <-
+          (match t.pending with
+          | frame :: rest -> (logged () :: frame) :: rest
+          | [] -> assert false);
       Ok outcome.Cypher_engine.Engine.table
     end
     else begin
       match validate t g with
       | Ok () ->
         t.current <- g;
+        if updated then emit t [ logged () ];
         Ok outcome.Cypher_engine.Engine.table
       | Error e -> Error (e ^ " (statement rejected)")
     end
 
-let begin_tx t = t.snapshots <- t.current :: t.snapshots
+let begin_tx t =
+  t.snapshots <- t.current :: t.snapshots;
+  t.pending <- [] :: t.pending
 
 let commit t =
-  match t.snapshots with
-  | [] -> Error "no open transaction"
-  | [ outermost ] -> (
+  match (t.snapshots, t.pending) with
+  | [], _ -> Error "no open transaction"
+  | [ outermost ], frames -> (
+    let batch = match frames with f :: _ -> f | [] -> [] in
     match validate t t.current with
     | Ok () ->
       t.snapshots <- [];
+      t.pending <- [];
+      emit t (List.rev batch);
       Ok ()
     | Error e ->
       t.current <- outermost;
       t.snapshots <- [];
+      t.pending <- [];
       Error (e ^ " (transaction rolled back)"))
-  | _ :: rest ->
-    (* inner commit: effects become part of the enclosing transaction *)
+  | _ :: rest, inner :: outer :: frames ->
+    (* inner commit: effects — and their log records — become part of the
+       enclosing transaction *)
+    t.snapshots <- rest;
+    t.pending <- (inner @ outer) :: frames;
+    Ok ()
+  | _ :: rest, _ ->
     t.snapshots <- rest;
     Ok ()
 
@@ -80,4 +123,5 @@ let rollback t =
   | snapshot :: rest ->
     t.current <- snapshot;
     t.snapshots <- rest;
+    t.pending <- (match t.pending with _ :: frames -> frames | [] -> []);
     Ok ()

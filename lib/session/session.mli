@@ -15,17 +15,35 @@ open Cypher_table
 
 type t
 
+type logged = {
+  lg_text : string;  (** the statement, verbatim *)
+  lg_params : (string * Cypher_values.Value.t) list;
+      (** the parameter bindings in force when it ran *)
+}
+(** One committed update statement, as reported to {!create}'s
+    [on_commit] hook — the bridge to the durable storage layer's
+    write-ahead log. *)
+
 val create :
   ?schema:Cypher_schema.Schema.t ->
   ?params:(string * Cypher_values.Value.t) list ->
   ?mode:Cypher_engine.Engine.mode ->
   ?plan_cache_capacity:int ->
+  ?on_commit:(logged list -> unit) ->
   Graph.t ->
   t
 (** Every session owns a query-plan cache (default capacity 128):
     repeated statements skip lexing, parsing and — while the graph is
     unchanged — planning.  Updates bump the graph version, so the next
-    run of a cached query replans against fresh statistics. *)
+    run of a cached query replans against fresh statistics.
+
+    [on_commit] makes the session durable: it is called with the update
+    statements of a batch exactly when their effects become permanent —
+    at the outermost {!commit} (in execution order), or immediately for
+    an auto-committed update outside any transaction.  Statements of a
+    rolled-back (or schema-rejected) transaction are never reported;
+    read-only statements are never reported.  It is not called with an
+    empty batch. *)
 
 val graph : t -> Graph.t
 val set_params : t -> (string * Cypher_values.Value.t) list -> unit

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+    every snapshot body and WAL record against bit rot and torn writes.
+
+    The checksum is returned as a non-negative [int] in the range
+    [0, 2^32).  Incremental use: feed the previous digest back in via
+    [?crc] to checksum a sequence of fragments. *)
+
+val digest : ?crc:int -> string -> int
+(** [digest s] is the CRC-32 of the whole string. *)
+
+val digest_sub : ?crc:int -> string -> pos:int -> len:int -> int
+(** Checksum of the substring [s.[pos .. pos+len-1]].  Raises
+    [Invalid_argument] when the range is out of bounds. *)

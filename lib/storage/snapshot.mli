@@ -1,0 +1,43 @@
+(** Binary whole-graph snapshots.
+
+    A snapshot is the durable image of one property graph: every node
+    and relationship under its original identifier, all labels, types
+    and properties, the set of (label, key) property indexes, the id
+    allocation watermarks, and the WAL sequence number up to which the
+    image is current.
+
+    File layout:
+
+    {v
+    "CYSNAP" · version u16-LE      8-byte magic
+    body                           Codec-encoded, see below
+    crc32(body)                    4 bytes LE
+    v}
+
+    The body is: [last_seq], [next_node], [next_rel], the nodes in
+    ascending id order (id, labels, properties), the relationships in
+    ascending id order (id, src, tgt, type, properties), and the index
+    descriptors.  Identifiers are preserved exactly, so paths stored in
+    WAL parameters and property indexes rebuild against the same ids,
+    and [save] followed by [load] is an isomorphism that is the
+    identity on ids.
+
+    [save] is atomic: the image is written to a temporary sibling,
+    fsync'd, and renamed over the target, so a crash mid-save leaves
+    the previous snapshot intact. *)
+
+open Cypher_graph
+
+val save : ?last_seq:int -> Graph.t -> string -> unit
+(** [save g path] writes the snapshot.  [last_seq] (default 0) is the
+    sequence number of the last WAL record already reflected in [g];
+    recovery skips WAL records at or below it.  Raises [Sys_error] /
+    [Unix.Unix_error] on I/O failure. *)
+
+val load : string -> (Graph.t, string) result
+(** Rebuilds the graph.  The result is a fresh value with a bumped
+    {!Graph.version} (cached plans replan) and allocation counters at
+    least as high as when the snapshot was taken. *)
+
+val load_with_seq : string -> (Graph.t * int, string) result
+(** Like {!load}, also returning the stored [last_seq]. *)

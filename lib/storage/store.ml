@@ -1,0 +1,102 @@
+open Cypher_graph
+module Session = Cypher_session.Session
+module Engine = Cypher_engine.Engine
+
+type t = {
+  dir : string;
+  writer : Wal.writer;
+  session : Session.t;
+  (* statements logged since the last checkpoint; mirrors the WAL tail *)
+  mutable tail_records : int;
+  mutable last_seq : int;
+}
+
+let snapshot_file dir = Filename.concat dir "snapshot.bin"
+let wal_file dir = Filename.concat dir "wal.log"
+
+let session t = t.session
+let graph t = Session.graph t.session
+let run t text = Session.run t.session text
+let wal_records t = t.tail_records
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (dir ^ ": exists and is not a directory")
+  else
+    match Sys.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Sys_error e -> Error e
+
+let ( let* ) = Result.bind
+
+let open_ ?schema ?mode dir =
+  let* () = ensure_dir dir in
+  let snap = snapshot_file dir in
+  let wal = wal_file dir in
+  (* 1. latest snapshot, if any *)
+  let* base, snap_seq =
+    if Sys.file_exists snap then Snapshot.load_with_seq snap
+    else Ok (Graph.empty, 0)
+  in
+  (* 2. the WAL tail: drop a torn last record, refuse a corrupt interior,
+     skip records the snapshot already contains *)
+  let* records, next_seq =
+    if not (Sys.file_exists wal) then Ok ([], snap_seq + 1)
+    else
+      let* scan = Wal.scan wal in
+      if scan.Wal.torn then Wal.truncate_file wal scan.Wal.valid_len;
+      let last_seq =
+        List.fold_left (fun acc r -> max acc r.Wal.seq) snap_seq
+          scan.Wal.records
+      in
+      let tail =
+        List.filter (fun r -> r.Wal.seq > snap_seq) scan.Wal.records
+      in
+      Ok (tail, last_seq + 1)
+  in
+  let* g = Wal.replay ?mode base records in
+  (* 3. wire the durable session: committed batches append + fsync *)
+  let writer = Wal.open_writer ~next_seq wal in
+  let store = ref None in
+  let on_commit batch =
+    let seq =
+      Wal.append writer
+        (List.map
+           (fun l -> (l.Session.lg_text, l.Session.lg_params))
+           batch)
+    in
+    match !store with
+    | Some t ->
+      t.tail_records <- t.tail_records + List.length batch;
+      if seq > 0 then t.last_seq <- seq
+    | None -> ()
+  in
+  let session = Session.create ?schema ?mode ~on_commit g in
+  let t =
+    {
+      dir;
+      writer;
+      session;
+      tail_records = List.length records;
+      last_seq = next_seq - 1;
+    }
+  in
+  store := Some t;
+  Ok t
+
+let checkpoint t =
+  if Session.in_transaction t.session then
+    Error "checkpoint refused: a transaction is open"
+  else begin
+    match Snapshot.save ~last_seq:t.last_seq (graph t) (snapshot_file t.dir) with
+    | () ->
+      Wal.truncate t.writer;
+      t.tail_records <- 0;
+      Ok ()
+    | exception Sys_error e -> Error ("checkpoint failed: " ^ e)
+    | exception Unix.Unix_error (err, _, _) ->
+      Error ("checkpoint failed: " ^ Unix.error_message err)
+  end
+
+let close t = Wal.close_writer t.writer

@@ -1,0 +1,73 @@
+(** The durable store: a directory holding one graph database.
+
+    {v
+    <dir>/snapshot.bin   latest checkpointed image ({!Snapshot})
+    <dir>/wal.log        committed statements since that image ({!Wal})
+    v}
+
+    Opening recovers the database: load the snapshot (if any), scan the
+    WAL, drop a torn tail left by a crash, skip records already covered
+    by the snapshot's [last_seq] watermark, and re-execute the rest
+    through the engine.  A log whose {e interior} is corrupt (CRC
+    mismatch on a complete record) refuses to open with a clear error
+    rather than silently dropping acknowledged commits.
+
+    The returned handle owns a {!Cypher_session.Session} wired so that
+    every committed update statement — auto-commit, or the batch of an
+    outermost commit — is appended to the WAL and fsync'd before the
+    commit returns.  Rolled-back statements never reach the log.
+
+    {!checkpoint} makes the crash-recovery invariant explicit:
+
+    + write the new snapshot atomically (tmp + rename), carrying the
+      sequence number of the last logged record;
+    + truncate the WAL back to its header.
+
+    A crash between the two steps is safe: the stale WAL records are at
+    or below the snapshot's watermark, so recovery skips them instead
+    of applying them twice.  Sequence numbers keep increasing across
+    checkpoints and reopens. *)
+
+open Cypher_graph
+module Session = Cypher_session.Session
+
+type t
+
+val open_ :
+  ?schema:Cypher_schema.Schema.t ->
+  ?mode:Cypher_engine.Engine.mode ->
+  string ->
+  (t, string) result
+(** [open_ dir] opens (creating the directory and files if needed) and
+    recovers the database.  The error case reports an unreadable or
+    corrupt snapshot, a corrupt WAL interior, or a replay failure. *)
+
+val session : t -> Session.t
+(** The durable session; run statements through {!Session.run} and
+    group them with {!Session.begin_tx} / {!Session.commit}. *)
+
+val graph : t -> Graph.t
+(** The current graph — [Session.graph (session t)]. *)
+
+val run : t -> string -> (Cypher_table.Table.t, string) result
+(** Convenience for [Session.run (session t)]. *)
+
+val checkpoint : t -> (unit, string) result
+(** Snapshots the current graph and truncates the WAL (see above).
+    Refused while a transaction is open — the snapshot must only ever
+    contain committed state. *)
+
+val wal_records : t -> int
+(** Number of committed statements currently in the WAL tail (i.e. not
+    yet absorbed by a checkpoint) — observability for tests, the CLI
+    and monitoring. *)
+
+val close : t -> unit
+(** Closes the WAL file descriptor.  Deliberately does {e not}
+    checkpoint: close must be equivalent to a crash, so that the
+    recovery path is the only path. *)
+
+val snapshot_file : string -> string
+(** [snapshot_file dir] is the snapshot path inside a store directory. *)
+
+val wal_file : string -> string

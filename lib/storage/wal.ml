@@ -1,0 +1,169 @@
+open Cypher_values
+module Engine = Cypher_engine.Engine
+module Config = Cypher_semantics.Config
+
+let magic = "CYWAL"
+let version = 1
+let header_len = String.length magic + 2
+
+let header =
+  let buf = Buffer.create header_len in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr (version land 0xFF));
+  Buffer.add_char buf (Char.chr ((version lsr 8) land 0xFF));
+  Buffer.contents buf
+
+type record = {
+  seq : int;
+  text : string;
+  params : (string * Value.t) list;
+}
+
+(* --- appending ------------------------------------------------------- *)
+
+type writer = { fd : Unix.file_descr; mutable next_seq : int }
+
+let write_all fd data =
+  let len = String.length data in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring fd data !written (len - !written)
+  done
+
+let open_writer ?(next_seq = 1) path =
+  let exists = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 in
+  if exists then begin
+    let head =
+      In_channel.with_open_bin path (fun ic ->
+          really_input_string ic (min header_len (Int64.to_int (In_channel.length ic))))
+    in
+    if head <> header then
+      failwith (path ^ ": not a WAL file (bad or unsupported header)")
+  end;
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  if not exists then begin
+    write_all fd header;
+    Unix.fsync fd
+  end;
+  { fd; next_seq }
+
+let encode_record ~seq (text, params) =
+  let payload = Buffer.create (64 + String.length text) in
+  Codec.write_uvarint payload seq;
+  Codec.write_string payload text;
+  Codec.write_uvarint payload (List.length params);
+  List.iter
+    (fun (k, v) ->
+      Codec.write_string payload k;
+      Codec.write_value payload v)
+    params;
+  let payload = Buffer.contents payload in
+  let framed = Buffer.create (String.length payload + 8) in
+  let u32 n =
+    for i = 0 to 3 do
+      Buffer.add_char framed (Char.chr ((n lsr (8 * i)) land 0xFF))
+    done
+  in
+  u32 (String.length payload);
+  u32 (Crc32.digest payload);
+  Buffer.add_string framed payload;
+  Buffer.contents framed
+
+let append w stmts =
+  match stmts with
+  | [] -> 0
+  | _ ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun stmt ->
+        Buffer.add_string buf (encode_record ~seq:w.next_seq stmt);
+        w.next_seq <- w.next_seq + 1)
+      stmts;
+    write_all w.fd (Buffer.contents buf);
+    Unix.fsync w.fd;
+    w.next_seq - 1
+
+let truncate w =
+  Unix.ftruncate w.fd header_len;
+  Unix.fsync w.fd
+
+let close_writer w = Unix.close w.fd
+
+(* --- recovery -------------------------------------------------------- *)
+
+type scan = { records : record list; valid_len : int; torn : bool }
+
+let truncate_file path len = Unix.truncate path len
+
+let decode_payload payload =
+  let r = Codec.reader payload in
+  let seq = Codec.read_uvarint r in
+  let text = Codec.read_string r in
+  let nparams = Codec.read_uvarint r in
+  let params =
+    List.init nparams (fun _ ->
+        let k = Codec.read_string r in
+        (k, Codec.read_value r))
+  in
+  if Codec.remaining r <> 0 then
+    raise (Codec.Corrupt "trailing bytes in WAL record payload");
+  { seq; text; params }
+
+let scan path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | data ->
+    let len = String.length data in
+    if len < header_len || String.sub data 0 header_len <> header then
+      Error (path ^ ": not a WAL file (bad or unsupported header)")
+    else begin
+      let u32 pos =
+        let b i = Char.code data.[pos + i] in
+        b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+      in
+      let rec go pos acc =
+        if pos = len then Ok { records = List.rev acc; valid_len = pos; torn = false }
+        else if len - pos < 8 then
+          (* crash cut the length/crc prologue short *)
+          Ok { records = List.rev acc; valid_len = pos; torn = true }
+        else begin
+          let payload_len = u32 pos in
+          let crc = u32 (pos + 4) in
+          if len - pos - 8 < payload_len then
+            (* crash cut the payload short *)
+            Ok { records = List.rev acc; valid_len = pos; torn = true }
+          else if Crc32.digest_sub data ~pos:(pos + 8) ~len:payload_len <> crc
+          then
+            Error
+              (Printf.sprintf
+                 "%s: corrupt WAL record at offset %d (checksum mismatch on a \
+                  complete record); refusing to recover past committed data"
+                 path pos)
+          else
+            match decode_payload (String.sub data (pos + 8) payload_len) with
+            | record -> go (pos + 8 + payload_len) (record :: acc)
+            | exception Codec.Corrupt msg ->
+              Error
+                (Printf.sprintf "%s: corrupt WAL record at offset %d: %s" path
+                   pos msg)
+        end
+      in
+      go header_len []
+    end
+
+let replay ?(mode = Engine.Planned) g records =
+  List.fold_left
+    (fun acc record ->
+      match acc with
+      | Error _ as e -> e
+      | Ok g -> (
+        let config = Config.with_params record.params Config.default in
+        match Engine.query ~config ~mode g record.text with
+        | Ok outcome -> Ok outcome.Engine.graph
+        | Error e ->
+          Error
+            (Printf.sprintf "WAL replay failed at record %d (%s): %s"
+               record.seq record.text e)))
+    (Ok g) records

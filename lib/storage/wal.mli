@@ -1,0 +1,87 @@
+(** The write-ahead statement log.
+
+    The WAL is an append-only file of committed update statements; it
+    is what makes a commit durable before the next checkpoint rewrites
+    the snapshot.  Each record carries the statement text and the
+    parameter bindings it ran with (encoded with {!Codec}), plus a
+    monotonically increasing sequence number that ties the log to the
+    snapshot's [last_seq] watermark.
+
+    File layout:
+
+    {v
+    "CYWAL" · version u16-LE                    7-byte header
+    record*                                     append-only
+    record := len u32-LE · crc32(payload) u32-LE · payload
+    payload := seq uvarint · text string · nparams uvarint
+               · (key string · value)*
+    v}
+
+    Recovery semantics of {!scan}:
+
+    - a record whose bytes are complete and whose CRC matches is valid;
+    - an {e incomplete} record at the end of the file (the log was cut
+      mid-write by a crash) is a {e torn tail}: scanning stops at the
+      last valid record and reports [torn = true] with the byte offset
+      to truncate to;
+    - a {e complete} record whose CRC does not match is corruption, not
+      a crash artefact, and the whole scan is refused with an error —
+      silently dropping acknowledged commits is worse than failing
+      loudly. *)
+
+open Cypher_values
+
+type record = {
+  seq : int;  (** strictly increasing, 1-based across the store's life *)
+  text : string;  (** the committed update statement, verbatim *)
+  params : (string * Value.t) list;  (** the [$param] bindings it ran with *)
+}
+
+(** {1 Appending} *)
+
+type writer
+
+val open_writer : ?next_seq:int -> string -> writer
+(** Opens (creating if necessary) the log for appending.  [next_seq]
+    (default 1) is the sequence number the next record will get; pass
+    [last valid seq + 1] when reopening an existing log.  Raises
+    [Failure] if the file exists but does not start with a WAL header. *)
+
+val append : writer -> (string * (string * Value.t) list) list -> int
+(** Appends one record per statement — a single [write] followed by a
+    single [fsync], so a multi-statement transaction reaches the disk
+    as one batch.  Returns the sequence number of the last record
+    written (0 if the batch was empty, which performs no I/O). *)
+
+val truncate : writer -> unit
+(** Cuts the log back to the bare header (checkpoint), with an fsync.
+    Sequence numbers keep increasing: the snapshot's [last_seq]
+    watermark, not file position, decides what replay skips. *)
+
+val close_writer : writer -> unit
+
+(** {1 Recovery} *)
+
+type scan = {
+  records : record list;  (** the valid prefix, in append order *)
+  valid_len : int;  (** file offset just past the last valid record *)
+  torn : bool;  (** an incomplete record was cut off at [valid_len] *)
+}
+
+val scan : string -> (scan, string) result
+(** Reads the valid prefix of the log (see recovery semantics above). *)
+
+val truncate_file : string -> int -> unit
+(** Truncates the file to [len] bytes — used to drop a torn tail before
+    reopening the log for appending. *)
+
+val replay :
+  ?mode:Cypher_engine.Engine.mode ->
+  Cypher_graph.Graph.t ->
+  record list ->
+  (Cypher_graph.Graph.t, string) result
+(** Re-executes each record through the engine with its original
+    parameter bindings, threading the graph.  A record that fails to
+    execute stops the replay with a diagnostic naming the sequence
+    number — records were committed once, so failure here means the
+    log and snapshot disagree. *)

@@ -12,6 +12,7 @@ let () =
       ("semantics", Test_semantics.suite);
       ("scope-check", Test_scope.suite);
       ("session", Test_session.suite);
+      ("storage", Test_storage.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("naive-oracle", Test_naive_oracle.suite);
       ("schema", Test_schema.suite);
