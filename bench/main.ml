@@ -680,6 +680,171 @@ let emit_bench_pr2 (rows, nodes, rels) =
 
 let b13 () = emit_bench_pr2 (b13_collect ())
 
+(* ------------------------------------------------------------------ *)
+(* B14: the query server — read throughput under concurrent clients    *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Cypher_server.Server
+module Client = Cypher_server.Client
+module Store = Cypher_storage.Store
+
+(* Wall-clock measurements (Bechamel's per-run model does not fit a
+   multi-threaded workload), two workload shapes:
+
+   - closed loop with think time: each client is a connected user that
+     issues an indexed point lookup every ~[b14_think_s] — the TPC-style
+     shape.  One client leaves the server idle during its think time;
+     the aggregate-throughput gain at 4 and 16 clients measures how well
+     the server overlaps independent clients (the readers never queue
+     behind each other on the shared store's lock);
+   - saturation: clients fire back-to-back with zero think time.  On a
+     single-core host this measures the round-trip service rate — the
+     hard ceiling the closed-loop curve approaches from below.
+
+   Both are recorded, next to the same lookup run in-process through a
+   warmed plan cache (the no-server floor). *)
+
+let b14_query = "MATCH (p:Person {name: $name}) RETURN p.city AS city"
+let b14_think_s = 0.0005
+let b14_requests_each = 400
+
+(* Returns (wall-clock seconds, mean per-request round-trip seconds).
+   Round-trip time is measured around each query, so it excludes the
+   think-time sleeps. *)
+let b14_run_clients ~port ~clients ~requests_each ~think_s =
+  let errors = Atomic.make 0 in
+  let in_flight = Array.make clients 0. in
+  let worker i =
+    match Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () with
+    | Error _ -> Atomic.incr errors
+    | Ok c ->
+      let params = [ ("name", Cypher_values.Value.String "Nils3") ] in
+      for _ = 1 to requests_each do
+        let t0 = Unix.gettimeofday () in
+        (match Client.query ~params c b14_query with
+        | Ok _ -> ()
+        | Error _ -> Atomic.incr errors);
+        in_flight.(i) <- in_flight.(i) +. (Unix.gettimeofday () -. t0);
+        if think_s > 0. then Unix.sleepf think_s
+      done;
+      Client.close c
+  in
+  let started = Unix.gettimeofday () in
+  let threads = List.init clients (Thread.create worker) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+  if Atomic.get errors > 0 then
+    failwith (Printf.sprintf "B14: %d failed requests" (Atomic.get errors));
+  let total_in_flight = Array.fold_left ( +. ) 0. in_flight in
+  (elapsed, total_in_flight /. float_of_int (clients * requests_each))
+
+let b14 () =
+  let g = Generate.social ~seed:13 ~people:300 ~avg_friends:8 in
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cypher_bench_b14_%d.db" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Array.to_list (Sys.readdir dir));
+  (* seed the store through a snapshot rather than replaying CREATEs *)
+  Snapshot.save g (Store.snapshot_file dir);
+  let store =
+    match Store.open_ dir with Ok s -> s | Error e -> failwith e
+  in
+  let server =
+    match
+      Server.start ~config:{ Server.default_config with Server.port = 0 } store
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let port = Server.port server in
+  (* in-process baseline: same lookups through a warmed plan cache *)
+  let config =
+    Cypher_semantics.Config.with_params
+      [ ("name", Cypher_values.Value.String "Nils3") ]
+      Cypher_semantics.Config.default
+  in
+  let cache = Engine.create_plan_cache () in
+  let graph = Store.graph store in
+  let baseline_n = 2000 in
+  ignore (Engine.query_cached ~cache ~config graph b14_query);
+  let started = Unix.gettimeofday () in
+  for _ = 1 to baseline_n do
+    ignore (Engine.query_cached ~cache ~config graph b14_query)
+  done;
+  let baseline_s = Unix.gettimeofday () -. started in
+  (* warm the server's plan cache and the connection path *)
+  ignore (b14_run_clients ~port ~clients:2 ~requests_each:20 ~think_s:0.);
+  (* saturation: back-to-back requests; on one core this is the
+     round-trip service-rate ceiling the closed-loop curve approaches *)
+  let sat_elapsed, sat_lat =
+    b14_run_clients ~port ~clients:1 ~requests_each:2000 ~think_s:0.
+  in
+  let saturation_rps = 2000. /. sat_elapsed in
+  let levels =
+    List.map
+      (fun clients ->
+        let elapsed, lat_s =
+          b14_run_clients ~port ~clients ~requests_each:b14_requests_each
+            ~think_s:b14_think_s
+        in
+        let total = b14_requests_each * clients in
+        (clients, total, float_of_int total /. elapsed, lat_s *. 1e6))
+      [ 1; 4; 16 ]
+  in
+  (match Server.stop server with Ok () -> () | Error e -> failwith e);
+  let baseline_rps = float_of_int baseline_n /. baseline_s in
+  let rps_of n = match List.find (fun (c, _, _, _) -> c = n) levels with
+    | _, _, rps, _ -> rps
+  in
+  Printf.printf "\nB14 query server: point lookups, social graph (300 people)\n";
+  Printf.printf "  in-process baseline   %10.0f req/s\n" baseline_rps;
+  Printf.printf "  saturation (1 client) %10.0f req/s   %8.1f us/req\n"
+    saturation_rps (sat_lat *. 1e6);
+  Printf.printf "  closed loop, %.0f us think time per client:\n"
+    (b14_think_s *. 1e6);
+  List.iter
+    (fun (clients, _, rps, lat_us) ->
+      Printf.printf "  %2d client(s)          %10.0f req/s   %8.1f us/req\n"
+        clients rps lat_us)
+    levels;
+  Printf.printf "  aggregate speedup 4 vs 1 clients: %.2fx\n"
+    (rps_of 4 /. rps_of 1);
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr3.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 3,\n";
+  out
+    "  \"experiment\": \"B14 query server: requests/sec and latency under \
+     concurrent clients\",\n";
+  out
+    "  \"workload\": \"indexed point lookup over TCP, social graph (300 \
+     people); closed loop, %.0f us client think time, %d requests per \
+     client\",\n"
+    (b14_think_s *. 1e6) b14_requests_each;
+  out "  \"baseline_inprocess_rps\": %.0f,\n" baseline_rps;
+  out "  \"saturation_1_client_rps\": %.0f,\n" saturation_rps;
+  out "  \"levels\": [\n";
+  List.iteri
+    (fun i (clients, total, rps, lat_us) ->
+      out
+        "    {\"clients\": %d, \"requests\": %d, \"rps\": %.0f, \
+         \"latency_us\": %.1f}%s\n"
+        clients total rps lat_us
+        (if i = List.length levels - 1 then "" else ","))
+    levels;
+  out "  ],\n";
+  out "  \"speedup_4_clients_vs_1\": %.2f,\n" (rps_of 4 /. rps_of 1);
+  out "  \"speedup_16_clients_vs_1\": %.2f\n" (rps_of 16 /. rps_of 1);
+  out "}\n";
+  close_out oc;
+  Printf.printf "(B14 results written to %s)\n" path
+
 let groups =
   [
     ( "tables",
@@ -690,7 +855,7 @@ let groups =
           paper_table_tests );
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
-    ("b12", b12); ("b13", b13);
+    ("b12", b12); ("b13", b13); ("b14", b14);
   ]
 
 let () =

@@ -6,6 +6,10 @@
      cypher_cli --db path/to/db          open (or create) a durable database:
                                          statements are committed to a
                                          write-ahead log and survive restarts
+     cypher_cli --serve HOST:PORT --db PATH
+                                         serve the database to concurrent
+                                         network clients until interrupted
+     cypher_cli --connect HOST:PORT      REPL against a running server
      cypher_cli -q "MATCH (n) RETURN n"  run one query and exit
      cypher_cli --script file.cypher     run a ;-separated script
 
@@ -29,6 +33,11 @@
      :procedures         list CALL procedures
      :functions          list registered functions
      :checkpoint         (--db only) snapshot the graph, truncate the WAL
+     :stats              graph statistics; with --db or --connect, also the
+                         store health (WAL length, last sequence number,
+                         snapshot age, plan-cache counters)
+     :server-stats       (--connect only) server metrics: connections,
+                         requests, errors, timeouts, latency, bytes
      :quit               exit *)
 
 open Cypher_gen
@@ -40,6 +49,8 @@ module Schema = Cypher_schema.Schema
 module Mg = Cypher_multigraph.Multigraph
 module Store = Cypher_storage.Store
 module Session = Cypher_session.Session
+module Server = Cypher_server.Server
+module Client = Cypher_server.Client
 
 let builtin_graph = function
   | "academic" -> Some (Paper_graphs.academic ())
@@ -58,6 +69,7 @@ type state = {
   schema : Schema.t;
   catalog : Mg.Catalog.t;
   store : Store.t option;  (** present when opened with [--db] *)
+  client : Client.t option;  (** present when opened with [--connect] *)
 }
 
 (* In durable mode the graph lives in the store's session; [st.graph] is
@@ -65,7 +77,39 @@ type state = {
 let current_graph st =
   match st.store with Some s -> Store.graph s | None -> st.graph
 
+(* host:port, as taken by --serve and --connect *)
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> Error (s ^ ": expected HOST:PORT")
+  | Some i -> (
+    let host = String.sub s 0 i in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when port >= 0 && port < 65536 -> Ok (host, port)
+    | _ -> Error (s ^ ": invalid port"))
+
+let print_stat_pairs pairs =
+  List.iter
+    (fun (k, v) -> Format.printf "  %-24s %a@." k Cypher_values.Value.pp v)
+    pairs
+
+let run_remote_query client q =
+  match Client.query client q with
+  | Ok { Client.columns; rows } ->
+    let table =
+      Cypher_table.Table.create ~fields:columns
+        (List.map
+           (fun row -> Cypher_table.Record.of_list (List.combine columns row))
+           rows)
+    in
+    Format.printf "%a@." Cypher_table.Table.pp table
+  | Error e -> Printf.printf "%s\n" (Client.error_message e)
+
 let run_query st q =
+  match st.client with
+  | Some client ->
+    run_remote_query client q;
+    st
+  | None ->
   match st.store with
   | Some store -> (
     match Store.run store q with
@@ -234,7 +278,47 @@ let handle_line st line =
   if line = "" then Some st
   else if line = ":quit" || line = ":q" then None
   else if line = ":stats" then begin
-    Format.printf "%a@." Stats.pp (Stats.collect (current_graph st));
+    (match st.client with
+    | Some client -> (
+      (* remote: the server's view of the store *)
+      match Client.store_health client with
+      | Ok pairs ->
+        print_endline "store health (remote):";
+        print_stat_pairs pairs
+      | Error e -> Printf.printf "%s\n" (Client.error_message e))
+    | None -> (
+      Format.printf "%a@." Stats.pp (Stats.collect (current_graph st));
+      match st.store with
+      | None -> ()
+      | Some store ->
+        print_endline "store health:";
+        let cache = Session.cache_stats (Store.session store) in
+        print_stat_pairs
+          Cypher_values.Value.
+            [
+              ("wal_records", Int (Store.wal_records store));
+              ("last_seq", Int (Store.last_seq store));
+              ( "snapshot_age_s",
+                match Store.snapshot_age store with
+                | Some age -> Float age
+                | None -> Null );
+              ("plan_cache_hits", Int cache.Engine.cache_hits);
+              ("plan_cache_misses", Int cache.Engine.cache_misses);
+              ("plan_cache_replans", Int cache.Engine.cache_replans);
+              ("plan_cache_evictions", Int cache.Engine.cache_evictions);
+            ]));
+    Some st
+  end
+  else if line = ":server-stats" then begin
+    (match st.client with
+    | None ->
+      print_endline ":server-stats requires a server connection (--connect)"
+    | Some client -> (
+      match Client.server_stats client with
+      | Ok pairs ->
+        print_endline "server metrics:";
+        print_stat_pairs pairs
+      | Error e -> Printf.printf "%s\n" (Client.error_message e)));
     Some st
   end
   else if line = ":export" then begin
@@ -303,8 +387,38 @@ let repl st =
   in
   loop st
 
+(* Serves the durable store until SIGINT/SIGTERM, then drains in-flight
+   requests, checkpoints and closes the WAL. *)
+let serve_forever st (host, port) =
+  match st.store with
+  | None ->
+    Printf.eprintf "--serve requires a durable database (--db PATH)\n";
+    exit 1
+  | Some store -> (
+    let config = { Server.default_config with host; port } in
+    match Server.start ~config ~schema:st.schema ~mode:st.mode store with
+    | Error e ->
+      Printf.eprintf "cannot start server: %s\n" e;
+      exit 1
+    | Ok server ->
+      let stop_requested = ref false in
+      let request_stop _ = stop_requested := true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Printf.printf "serving %s on %s:%d (ctrl-C to stop)\n%!"
+        (match st.store with Some _ -> "database" | None -> "graph")
+        host (Server.port server);
+      while not !stop_requested do
+        Unix.sleepf 0.2
+      done;
+      Printf.printf "draining connections and checkpointing...\n%!";
+      (match Server.stop server with
+      | Ok () -> Printf.printf "server stopped; checkpoint written\n"
+      | Error e -> Printf.printf "server stopped; %s\n" e))
+
 let () =
   let args = Array.to_list Sys.argv in
+  let serve_endpoint = ref None in
   let rec parse st = function
     | [] -> `Repl st
     | "--graph" :: name :: rest -> (
@@ -337,6 +451,27 @@ let () =
       | Ok plan -> print_string plan
       | Error e -> Printf.printf "%s\n" e);
       parse st rest
+    | "--serve" :: endpoint :: rest -> (
+      match parse_endpoint endpoint with
+      | Ok hp ->
+        serve_endpoint := Some hp;
+        parse st rest
+      | Error e ->
+        Printf.eprintf "--serve %s\n" e;
+        exit 1)
+    | "--connect" :: endpoint :: rest -> (
+      match parse_endpoint endpoint with
+      | Error e ->
+        Printf.eprintf "--connect %s\n" e;
+        exit 1
+      | Ok (host, port) -> (
+        match Client.connect ~host ~port () with
+        | Ok client ->
+          Printf.printf "connected to %s:%d\n" host port;
+          parse { st with client = Some client } rest
+        | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1))
     | "--db" :: path :: rest -> (
       match Store.open_ ~mode:st.mode path with
       | Ok store ->
@@ -361,15 +496,27 @@ let () =
       schema = Schema.empty;
       catalog = Mg.Catalog.empty;
       store = None;
+      client = None;
     }
   in
-  let finish st = Option.iter Store.close st.store in
+  let finish st =
+    Option.iter Client.close st.client;
+    Option.iter Store.close st.store
+  in
   match parse st (List.tl args) with
-  | `Repl st ->
-    if
-      List.exists (fun a -> a = "-q" || a = "--explain" || a = "--script") args
-    then finish st
-    else begin
-      let st = repl st in
-      finish st
-    end
+  | `Repl st -> (
+    match !serve_endpoint with
+    | Some endpoint ->
+      (* Server.stop closes the store itself *)
+      Option.iter Client.close st.client;
+      serve_forever st endpoint
+    | None ->
+      if
+        List.exists
+          (fun a -> a = "-q" || a = "--explain" || a = "--script")
+          args
+      then finish st
+      else begin
+        let st = repl st in
+        finish st
+      end)

@@ -35,15 +35,26 @@ let segment clauses =
 
 (* Statistics are cached per graph version; versions are drawn from a
    process-global counter, so equal versions always denote the same graph
-   value and the cache can never serve stale numbers. *)
+   value and the cache can never serve stale numbers.  The cache is
+   process-global too and the server plans on concurrent threads, hence
+   the mutex; a racing miss at worst collects the statistics twice. *)
 let stats_cache : (int * Stats.t) option ref = ref None
+let stats_lock = Mutex.create ()
 
 let stats_of g =
-  match !stats_cache with
+  let cached =
+    Mutex.lock stats_lock;
+    let c = !stats_cache in
+    Mutex.unlock stats_lock;
+    c
+  in
+  match cached with
   | Some (v, s) when v = Graph.version g -> s
   | _ ->
     let s = Stats.collect g in
+    Mutex.lock stats_lock;
     stats_cache := Some (Graph.version g, s);
+    Mutex.unlock stats_lock;
     s
 
 let run_single_planned cfg g sq =

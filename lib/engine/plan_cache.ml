@@ -3,6 +3,10 @@ type 'a entry = { mutable value : 'a; mutable last_used : int }
 type 'a t = {
   cap : int;
   tbl : (string, 'a entry) Hashtbl.t;
+  (* The server shares a session between its reader pool and the write
+     path, so every Hashtbl mutation and every counter update happens
+     under this lock. *)
+  lock : Mutex.t;
   mutable tick : int;
   mutable hit_count : int;
   mutable miss_count : int;
@@ -14,33 +18,48 @@ let create ?(capacity = 128) () =
   {
     cap = capacity;
     tbl = Hashtbl.create capacity;
+    lock = Mutex.create ();
     tick = 0;
     hit_count = 0;
     miss_count = 0;
     eviction_count = 0;
   }
 
-let capacity t = t.cap
-let length t = Hashtbl.length t.tbl
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let capacity t = t.cap
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* Each segment is length-prefixed so no (text, params) pair can forge
+   another's key: the old "\x00"-joined form collided whenever the query
+   text or a parameter name itself contained a NUL byte. *)
 let key ~text ~params =
-  match params with
-  | [] -> text
-  | _ -> text ^ "\x00" ^ String.concat "\x00" params
+  let buf = Buffer.create (String.length text + 16) in
+  let segment s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  segment text;
+  List.iter segment params;
+  Buffer.contents buf
 
 let touch t e =
   t.tick <- t.tick + 1;
   e.last_used <- t.tick
 
 let find t k =
-  match Hashtbl.find_opt t.tbl k with
-  | Some e ->
-    t.hit_count <- t.hit_count + 1;
-    touch t e;
-    Some e.value
-  | None ->
-    t.miss_count <- t.miss_count + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+        t.hit_count <- t.hit_count + 1;
+        touch t e;
+        Some e.value
+      | None ->
+        t.miss_count <- t.miss_count + 1;
+        None)
 
 let evict_lru t =
   let victim =
@@ -58,18 +77,19 @@ let evict_lru t =
   | None -> ()
 
 let add t k v =
-  match Hashtbl.find_opt t.tbl k with
-  | Some e ->
-    e.value <- v;
-    touch t e
-  | None ->
-    if Hashtbl.length t.tbl >= t.cap then evict_lru t;
-    let e = { value = v; last_used = 0 } in
-    touch t e;
-    Hashtbl.replace t.tbl k e
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+        e.value <- v;
+        touch t e
+      | None ->
+        if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+        let e = { value = v; last_used = 0 } in
+        touch t e;
+        Hashtbl.replace t.tbl k e)
 
-let clear t = Hashtbl.reset t.tbl
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
 
-let hits t = t.hit_count
-let misses t = t.miss_count
-let evictions t = t.eviction_count
+let hits t = locked t (fun () -> t.hit_count)
+let misses t = locked t (fun () -> t.miss_count)
+let evictions t = locked t (fun () -> t.eviction_count)

@@ -18,7 +18,9 @@ val length : 'a t -> int
 val key : text:string -> params:string list -> string
 (** Builds a cache key from the query text and the (sorted) parameter
     names in scope — two sessions differing only in which parameters they
-    bind never share an entry. *)
+    bind never share an entry.  Every segment is length-prefixed, so keys
+    are injective in [(text, params)] even when a segment contains NUL
+    or digit/colon bytes. *)
 
 val find : 'a t -> string -> 'a option
 (** Refreshes the entry's recency on a hit. *)

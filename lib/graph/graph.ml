@@ -46,9 +46,18 @@ type t = {
 
 let version_counter = ref 0
 
+(* The counter is process-global and the server runs sessions on
+   concurrent threads, so the increment must be atomic: two racing
+   stamps yielding the same version would defeat every version-keyed
+   cache (plan cache, statistics cache, read-only detection). *)
+let version_mutex = Mutex.create ()
+
 let stamp g =
+  Mutex.lock version_mutex;
   incr version_counter;
-  { g with version = !version_counter }
+  let v = !version_counter in
+  Mutex.unlock version_mutex;
+  { g with version = v }
 
 let version g = g.version
 

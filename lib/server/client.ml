@@ -1,0 +1,89 @@
+(* A blocking client for the wire protocol — used by the test suite, the
+   benchmark harness, and the CLI's [--connect] remote mode. *)
+
+module Value = Cypher_values.Value
+
+type t = { fd : Unix.file_descr; max_frame : int }
+
+type error = { kind : Protocol.error_kind; message : string }
+
+type result_set = { columns : string list; rows : Value.t list list }
+
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ()
+
+let connect ?(timeout = 0.) ?(max_frame = Protocol.default_max_frame) ~host
+    ~port () =
+  ignore_sigpipe ();
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error ("invalid server address: " ^ host)
+  | addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s:%d: %s" host port
+           (Unix.error_message err))
+    | () ->
+      if timeout > 0. then begin
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+      end;
+      Ok { fd; max_frame })
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* One request/response round trip.  Transport failures (connection
+   reset, timeout, malformed response) are [Error] with a synthesised
+   protocol-violation kind, so callers see one error type. *)
+let roundtrip t request k =
+  let transport message =
+    Error { kind = Protocol.Protocol_violation; message }
+  in
+  match
+    Protocol.write_frame t.fd (Protocol.encode_request request);
+    Protocol.read_frame ~max_frame:t.max_frame t.fd
+  with
+  | None -> transport "server closed the connection"
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | Protocol.Error { kind; message } -> Error { kind; message }
+    | response -> k response
+    | exception Protocol.Protocol_error msg -> transport msg)
+  | exception Protocol.Protocol_error msg -> transport msg
+  | exception Unix.Unix_error (err, _, _) ->
+    transport (Unix.error_message err)
+
+let query ?(params = []) ?(options = []) t text =
+  roundtrip t (Protocol.Query { text; params; options }) (function
+    | Protocol.Result { columns; rows } -> Ok { columns; rows }
+    | Protocol.Stats _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected stats response to a query";
+        }
+    | Protocol.Error _ -> assert false (* handled by [roundtrip] *))
+
+let stats_request t request =
+  roundtrip t request (function
+    | Protocol.Stats pairs -> Ok pairs
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "expected a stats response";
+        })
+
+let server_stats t = stats_request t Protocol.Server_stats
+let store_health t = stats_request t Protocol.Store_health
+
+let error_message { kind; message } =
+  match kind with
+  | Protocol.Protocol_violation -> "protocol: " ^ message
+  | Protocol.Timeout | Protocol.Server_error ->
+    Protocol.error_kind_name kind ^ ": " ^ message
+  | _ -> message (* engine messages already carry their prefix *)

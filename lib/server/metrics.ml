@@ -1,0 +1,104 @@
+(* Server-side counters and a request-latency histogram, shared by every
+   connection thread and therefore mutex-guarded.
+
+   Latencies land in power-of-two microsecond buckets (1µs, 2µs, … ~67s);
+   p50/p95 are read off the cumulative histogram as the upper bound of
+   the bucket containing that quantile — coarse, but monotone, cheap to
+   record, and honest about its own resolution. *)
+
+let bucket_count = 27 (* 2^26 µs ≈ 67 s; the last bucket is open-ended *)
+
+type t = {
+  lock : Mutex.t;
+  mutable connections_accepted : int;
+  mutable connections_active : int;
+  mutable requests : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  latency : int array; (* count per bucket *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    connections_accepted = 0;
+    connections_active = 0;
+    requests = 0;
+    errors = 0;
+    timeouts = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    latency = Array.make bucket_count 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let connection_opened t =
+  locked t (fun () ->
+      t.connections_accepted <- t.connections_accepted + 1;
+      t.connections_active <- t.connections_active + 1)
+
+let connection_closed t =
+  locked t (fun () -> t.connections_active <- t.connections_active - 1)
+
+let bucket_of_us us =
+  let rec go b bound = if us <= bound || b = bucket_count - 1 then b else go (b + 1) (bound * 2) in
+  go 0 1
+
+(* Upper bound of bucket [b] in microseconds. *)
+let bucket_bound_us b = 1 lsl b
+
+let observe t ~elapsed ~bytes_in ~bytes_out ~outcome =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      t.bytes_in <- t.bytes_in + bytes_in;
+      t.bytes_out <- t.bytes_out + bytes_out;
+      (match outcome with
+      | `Ok -> ()
+      | `Error -> t.errors <- t.errors + 1
+      | `Timeout ->
+        t.errors <- t.errors + 1;
+        t.timeouts <- t.timeouts + 1);
+      let us = int_of_float (elapsed *. 1e6) in
+      let b = bucket_of_us (max us 1) in
+      t.latency.(b) <- t.latency.(b) + 1)
+
+let percentile_us t q =
+  let total = Array.fold_left ( + ) 0 t.latency in
+  if total = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int total)) in
+    let acc = ref 0 and result = ref (bucket_bound_us (bucket_count - 1)) in
+    (try
+       Array.iteri
+         (fun b n ->
+           acc := !acc + n;
+           if !acc >= target then begin
+             result := bucket_bound_us b;
+             raise Exit
+           end)
+         t.latency
+     with Exit -> ());
+    !result
+  end
+
+(* A stable snapshot as (name, value) pairs — the [:server-stats]
+   protocol verb ships exactly this, Codec-encoded as a map. *)
+let snapshot t =
+  locked t (fun () ->
+      let open Cypher_values.Value in
+      [
+        ("connections_accepted", Int t.connections_accepted);
+        ("connections_active", Int t.connections_active);
+        ("requests", Int t.requests);
+        ("errors", Int t.errors);
+        ("timeouts", Int t.timeouts);
+        ("bytes_in", Int t.bytes_in);
+        ("bytes_out", Int t.bytes_out);
+        ("latency_p50_us", Int (percentile_us t 0.50));
+        ("latency_p95_us", Int (percentile_us t 0.95));
+      ])

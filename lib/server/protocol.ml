@@ -1,0 +1,226 @@
+(* The wire protocol: length-prefixed frames over TCP, payloads encoded
+   with the storage codec so the full Cypher value domain (NaN floats,
+   temporals, nodes, paths…) round-trips between client and server
+   exactly as it round-trips to disk.
+
+   Frame:    u32-le payload length | payload
+   Payload:  1 verb byte | verb-specific body (Codec-encoded)
+
+   Requests:
+     'Q'  query       text, #params, (name, value)*, #options, (name, value)*
+     'S'  server-stats  (empty body)  — the [:server-stats] verb
+     'H'  store-health  (empty body)  — WAL/snapshot/plan-cache counters
+
+   Responses:
+     'R'  result      #columns, column names, #rows, values row-major
+     'E'  error       kind byte, message
+     'S'  stats       one Codec map value (string keys)
+
+   A malformed or oversized frame is a protocol error: the server
+   replies with an 'E' frame where it still can, then closes. *)
+
+open Cypher_values
+module Codec = Cypher_storage.Codec
+
+let default_max_frame = 16 * 1024 * 1024
+
+exception Protocol_error of string
+exception Closed
+
+type request =
+  | Query of {
+      text : string;
+      params : (string * Value.t) list;
+      options : (string * Value.t) list;
+          (* per-request overrides; the server understands
+             "timeout_ms" : Int *)
+    }
+  | Server_stats
+  | Store_health
+
+type error_kind =
+  | Parse_error
+  | Syntax_error
+  | Type_error
+  | Runtime_error
+  | Unsupported
+  | Timeout
+  | Server_error
+  | Protocol_violation
+
+type response =
+  | Result of { columns : string list; rows : Value.t list list }
+  | Error of { kind : error_kind; message : string }
+  | Stats of (string * Value.t) list
+
+let error_kind_to_byte = function
+  | Parse_error -> 0
+  | Syntax_error -> 1
+  | Type_error -> 2
+  | Runtime_error -> 3
+  | Unsupported -> 4
+  | Timeout -> 5
+  | Server_error -> 6
+  | Protocol_violation -> 7
+
+let error_kind_of_byte = function
+  | 0 -> Parse_error
+  | 1 -> Syntax_error
+  | 2 -> Type_error
+  | 3 -> Runtime_error
+  | 4 -> Unsupported
+  | 5 -> Timeout
+  | 6 -> Server_error
+  | 7 -> Protocol_violation
+  | b -> raise (Protocol_error (Printf.sprintf "unknown error kind 0x%02x" b))
+
+let error_kind_name = function
+  | Parse_error -> "parse error"
+  | Syntax_error -> "syntax error"
+  | Type_error -> "type error"
+  | Runtime_error -> "runtime error"
+  | Unsupported -> "unsupported"
+  | Timeout -> "timeout"
+  | Server_error -> "server error"
+  | Protocol_violation -> "protocol violation"
+
+(* --- frame I/O -------------------------------------------------------- *)
+
+let write_all fd data =
+  let len = String.length data in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write_substring fd data !sent (len - !sent)
+  done
+
+(* Reads exactly [n] bytes; [None] on a clean EOF at a frame boundary.
+   An EOF mid-read is a truncated frame and therefore a protocol
+   error. *)
+let read_exactly ?(at_boundary = false) fd n =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  (try
+     while !got < n do
+       let r = Unix.read fd buf !got (n - !got) in
+       if r = 0 then
+         if !got = 0 && at_boundary then raise Closed
+         else raise (Protocol_error "connection closed mid-frame");
+       got := !got + r
+     done
+   with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+     if !got = 0 && at_boundary then raise Closed
+     else raise (Protocol_error "connection reset mid-frame"));
+  Bytes.unsafe_to_string buf
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let head = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set head i (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done;
+  write_all fd (Bytes.unsafe_to_string head ^ payload)
+
+(* [None] on clean EOF.  Raises [Protocol_error] on an oversized frame —
+   the caller must not try to resynchronise after that. *)
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exactly ~at_boundary:true fd 4 with
+  | exception Closed -> None
+  | head ->
+    let b i = Char.code head.[i] in
+    let n = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    if n < 1 then raise (Protocol_error "empty frame")
+    else if n > max_frame then
+      raise
+        (Protocol_error
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+              max_frame))
+    else Some (read_exactly fd n)
+
+(* --- payload encode/decode -------------------------------------------- *)
+
+let write_pairs buf pairs =
+  Codec.write_uvarint buf (List.length pairs);
+  List.iter
+    (fun (k, v) ->
+      Codec.write_string buf k;
+      Codec.write_value buf v)
+    pairs
+
+let read_pairs r =
+  let n = Codec.read_uvarint r in
+  List.init n (fun _ ->
+      let k = Codec.read_string r in
+      (k, Codec.read_value r))
+
+let encode_request req =
+  let buf = Buffer.create 128 in
+  (match req with
+  | Query { text; params; options } ->
+    Buffer.add_char buf 'Q';
+    Codec.write_string buf text;
+    write_pairs buf params;
+    write_pairs buf options
+  | Server_stats -> Buffer.add_char buf 'S'
+  | Store_health -> Buffer.add_char buf 'H');
+  Buffer.contents buf
+
+let encode_response resp =
+  let buf = Buffer.create 256 in
+  (match resp with
+  | Result { columns; rows } ->
+    Buffer.add_char buf 'R';
+    Codec.write_uvarint buf (List.length columns);
+    List.iter (Codec.write_string buf) columns;
+    Codec.write_uvarint buf (List.length rows);
+    List.iter (fun row -> List.iter (Codec.write_value buf) row) rows
+  | Error { kind; message } ->
+    Buffer.add_char buf 'E';
+    Buffer.add_char buf (Char.chr (error_kind_to_byte kind));
+    Codec.write_string buf message
+  | Stats pairs ->
+    Buffer.add_char buf 'S';
+    write_pairs buf pairs);
+  Buffer.contents buf
+
+let decoding payload f =
+  if String.length payload < 1 then raise (Protocol_error "empty payload");
+  let r = Codec.reader ~pos:1 payload in
+  match f payload.[0] r with
+  | v ->
+    if Codec.remaining r <> 0 then
+      raise (Protocol_error "trailing bytes in frame");
+    v
+  | exception Codec.Corrupt msg ->
+    raise (Protocol_error ("malformed frame: " ^ msg))
+
+let decode_request payload =
+  decoding payload (fun verb r ->
+      match verb with
+      | 'Q' ->
+        let text = Codec.read_string r in
+        let params = read_pairs r in
+        let options = read_pairs r in
+        Query { text; params; options }
+      | 'S' -> Server_stats
+      | 'H' -> Store_health
+      | c -> raise (Protocol_error (Printf.sprintf "unknown request verb %C" c)))
+
+let decode_response payload =
+  decoding payload (fun verb r ->
+      match verb with
+      | 'R' ->
+        let ncols = Codec.read_uvarint r in
+        let columns = List.init ncols (fun _ -> Codec.read_string r) in
+        let nrows = Codec.read_uvarint r in
+        let rows =
+          List.init nrows (fun _ ->
+              List.init ncols (fun _ -> Codec.read_value r))
+        in
+        Result { columns; rows }
+      | 'E' ->
+        let kind = error_kind_of_byte (Codec.read_uvarint r) in
+        let message = Codec.read_string r in
+        Error { kind; message }
+      | 'S' -> Stats (read_pairs r)
+      | c ->
+        raise (Protocol_error (Printf.sprintf "unknown response verb %C" c)))

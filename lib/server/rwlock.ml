@@ -1,0 +1,67 @@
+(* A writer-preferring readers–writer lock over the shared store.
+
+   Read queries only ever *observe* a committed graph value (the graph
+   itself is a persistent data structure), so any number of them may run
+   at once; an update or commit must exclude both readers — so that no
+   reader captures a graph the writer is about to supersede mid-request
+   — and other writers, whose WAL appends and [Store.publish] must be
+   serialised.  Waiting writers block new readers, otherwise a steady
+   read load would starve commits forever. *)
+
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;         (* active readers *)
+  mutable writer : bool;         (* a writer holds the lock *)
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let read_lock t =
+  Mutex.lock t.m;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let read_unlock t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let write_lock t =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let write_unlock t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  if t.waiting_writers > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.m
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

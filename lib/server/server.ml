@@ -1,0 +1,377 @@
+(* The concurrent query server.
+
+   One process, one shared {!Cypher_storage.Store}, thread-per-connection
+   (threads.posix).  Every connection gets a private
+   {!Cypher_session.Session} — its own plan cache and its own transaction
+   state — whose [on_commit] appends committed batches to the shared WAL.
+
+   Concurrency discipline (see DESIGN.md):
+   - the graph is a persistent value, so a read query runs against the
+     committed graph it captured under a shared {!Rwlock} read lock;
+   - whether a statement was read-only is detected exactly as
+     [Session.on_commit] detects it: the result graph's version equals
+     the input graph's version.  A statement that turns out to be an
+     update is discarded and re-run under the exclusive write lock
+     through the session (schema validation, WAL append, publish);
+   - an explicit transaction holds the write lock from BEGIN to the
+     outermost COMMIT/ROLLBACK.
+
+   Timeouts are cooperative: the engine is not preemptible, so the
+   server measures each request's wall-clock time and converts an
+   overrun into a typed [Timeout] error (the work is complete but its
+   result is withheld); socket-level timeouts bound dead peers. *)
+
+open Cypher_graph
+module Store = Cypher_storage.Store
+module Session = Cypher_session.Session
+module Engine = Cypher_engine.Engine
+module Config = Cypher_semantics.Config
+module Value = Cypher_values.Value
+
+type config = {
+  host : string;
+  port : int;  (* 0 picks an ephemeral port; read it back with {!port} *)
+  backlog : int;
+  max_frame : int;
+  request_timeout : float;  (* seconds; 0. disables the check *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7688;
+    backlog = 64;
+    max_frame = Protocol.default_max_frame;
+    request_timeout = 30.;
+  }
+
+type t = {
+  config : config;
+  store : Store.t;
+  schema : Cypher_schema.Schema.t;
+  mode : Engine.mode;
+  lock : Rwlock.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable stopping : bool;
+  state_lock : Mutex.t;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let store t = t.store
+
+(* --- error classification --------------------------------------------- *)
+
+(* Engine and session errors arrive as rendered strings ("parse error:
+   …"); map the stable prefixes back to typed wire errors. *)
+let classify msg =
+  let has p =
+    String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+  in
+  if has "parse error" then Protocol.Parse_error
+  else if has "syntax error" then Protocol.Syntax_error
+  else if has "type error" then Protocol.Type_error
+  else if has "unsupported" then Protocol.Unsupported
+  else Protocol.Runtime_error
+
+let error_response kind message = Protocol.Error { kind; message }
+
+let table_response table =
+  let columns = Cypher_table.Table.fields table in
+  let rows =
+    Cypher_table.Table.fold_left
+      (fun acc row ->
+        List.map (Cypher_table.Record.find_or_null row) columns :: acc)
+      [] table
+  in
+  Protocol.Result { columns; rows = List.rev rows }
+
+(* --- per-connection state --------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  mutable tx_depth : int;  (* > 0 iff this connection holds the write lock *)
+}
+
+let is_keyword text kw = String.uppercase_ascii (String.trim text) = kw
+
+let store_health t conn =
+  let stats = Session.cache_stats conn.session in
+  [
+    ("wal_records", Value.Int (Store.wal_records t.store));
+    ("last_seq", Value.Int (Store.last_seq t.store));
+    ( "snapshot_age_s",
+      match Store.snapshot_age t.store with
+      | Some age -> Value.Float age
+      | None -> Value.Null );
+    ("plan_cache_hits", Value.Int stats.Engine.cache_hits);
+    ("plan_cache_misses", Value.Int stats.Engine.cache_misses);
+    ("plan_cache_replans", Value.Int stats.Engine.cache_replans);
+    ("plan_cache_evictions", Value.Int stats.Engine.cache_evictions);
+  ]
+
+(* Executes one Query request.  Caller handles metrics and framing. *)
+let execute t conn text params =
+  if is_keyword text "BEGIN" then begin
+    if conn.tx_depth = 0 then begin
+      Rwlock.write_lock t.lock;
+      Session.set_graph conn.session (Store.graph t.store)
+    end;
+    Session.begin_tx conn.session;
+    conn.tx_depth <- conn.tx_depth + 1;
+    Protocol.Result { columns = []; rows = [] }
+  end
+  else if is_keyword text "COMMIT" then begin
+    if conn.tx_depth = 0 then
+      error_response Protocol.Runtime_error "runtime error: no open transaction"
+    else
+      match Session.commit conn.session with
+      | Ok () ->
+        conn.tx_depth <- conn.tx_depth - 1;
+        if conn.tx_depth = 0 then begin
+          Store.publish t.store (Session.graph conn.session);
+          Rwlock.write_unlock t.lock
+        end;
+        Protocol.Result { columns = []; rows = [] }
+      | Error e ->
+        (* an outermost commit that fails validation has rolled the
+           whole transaction back: nothing was published or logged *)
+        conn.tx_depth <- 0;
+        Rwlock.write_unlock t.lock;
+        error_response (classify e) e
+  end
+  else if is_keyword text "ROLLBACK" then begin
+    if conn.tx_depth = 0 then
+      error_response Protocol.Runtime_error "runtime error: no open transaction"
+    else
+      match Session.rollback conn.session with
+      | Ok () ->
+        conn.tx_depth <- conn.tx_depth - 1;
+        if conn.tx_depth = 0 then Rwlock.write_unlock t.lock;
+        Protocol.Result { columns = []; rows = [] }
+      | Error e -> error_response (classify e) e
+  end
+  else if conn.tx_depth > 0 then begin
+    (* inside a transaction: the write lock is already held *)
+    Session.set_params conn.session params;
+    match Session.run conn.session text with
+    | Ok table -> table_response table
+    | Error e -> error_response (classify e) e
+  end
+  else begin
+    (* Auto-commit statement.  Optimistic read: run under the shared
+       lock against the committed graph; only when the result proves to
+       be an update (version changed) re-run exclusively through the
+       session, which validates, logs and publishes. *)
+    let read_attempt =
+      Rwlock.with_read t.lock (fun () ->
+          let g0 = Store.graph t.store in
+          let config = Config.with_params params Config.default in
+          ( g0,
+            Engine.query_cached
+              ~cache:(Session.plan_cache conn.session)
+              ~config ~mode:t.mode g0 text ))
+    in
+    match read_attempt with
+    | _, Error e -> error_response (classify e) e
+    | g0, Ok outcome
+      when Graph.version outcome.Engine.graph = Graph.version g0 ->
+      table_response outcome.Engine.table
+    | _, Ok _ ->
+      Rwlock.with_write t.lock (fun () ->
+          Session.set_graph conn.session (Store.graph t.store);
+          Session.set_params conn.session params;
+          match Session.run conn.session text with
+          | Ok table ->
+            Store.publish t.store (Session.graph conn.session);
+            table_response table
+          | Error e -> error_response (classify e) e)
+  end
+
+let handle_request t conn payload =
+  let started = Unix.gettimeofday () in
+  let timeout = ref t.config.request_timeout in
+  let response =
+    match Protocol.decode_request payload with
+    | exception Protocol.Protocol_error msg ->
+      error_response Protocol.Protocol_violation msg
+    | Server_stats -> Protocol.Stats (Metrics.snapshot t.metrics)
+    | Store_health -> Protocol.Stats (store_health t conn)
+    | Query { text; params; options } -> (
+      (match List.assoc_opt "timeout_ms" options with
+      | Some (Value.Int ms) -> timeout := float_of_int ms /. 1000.
+      | _ -> ());
+      match execute t conn text params with
+      | response -> response
+      | exception e ->
+        error_response Protocol.Server_error
+          ("internal error: " ^ Printexc.to_string e))
+  in
+  let elapsed = Unix.gettimeofday () -. started in
+  let timed_out = !timeout > 0. && elapsed > !timeout in
+  let response =
+    if timed_out then
+      error_response Protocol.Timeout
+        (Printf.sprintf "request exceeded its %.3fs time budget (took %.3fs)"
+           !timeout elapsed)
+    else response
+  in
+  let encoded = Protocol.encode_response response in
+  Protocol.write_frame conn.fd encoded;
+  let outcome =
+    if timed_out then `Timeout
+    else match response with Protocol.Error _ -> `Error | _ -> `Ok
+  in
+  Metrics.observe t.metrics ~elapsed
+    ~bytes_in:(String.length payload + 4)
+    ~bytes_out:(String.length encoded + 4)
+    ~outcome
+
+(* Waits until [fd] is readable, in slices so shutdown is noticed; the
+   answer also turns true on EOF (read_frame then reports it). *)
+let rec readable t fd =
+  if t.stopping then false
+  else
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> readable t fd
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> readable t fd
+
+let serve_connection t fd =
+  Metrics.connection_opened t.metrics;
+  let conn =
+    {
+      fd;
+      session =
+        Session.create ~schema:t.schema ~mode:t.mode
+          ~on_commit:(fun batch -> Store.wal_append t.store batch)
+          (Store.graph t.store);
+      tx_depth = 0;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* a connection that dies mid-transaction must not keep the store
+         locked; its uncommitted changes were never published or logged,
+         so dropping them is exactly a rollback *)
+      if conn.tx_depth > 0 then begin
+        conn.tx_depth <- 0;
+        Rwlock.write_unlock t.lock
+      end;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Metrics.connection_closed t.metrics)
+    (fun () ->
+      let rec loop () =
+        if readable t fd then
+          match Protocol.read_frame ~max_frame:t.config.max_frame fd with
+          | None -> () (* client closed *)
+          | Some payload ->
+            handle_request t conn payload;
+            loop ()
+      in
+      try loop () with
+      | Protocol.Protocol_error msg ->
+        (* oversized or malformed frame: report once, then close — the
+           stream cannot be resynchronised *)
+        (try
+           Protocol.write_frame fd
+             (Protocol.encode_response
+                (error_response Protocol.Protocol_violation msg))
+         with _ -> ());
+        Metrics.observe t.metrics ~elapsed:0. ~bytes_in:0 ~bytes_out:0
+          ~outcome:`Error
+      | Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let rec loop () =
+    if not t.stopping then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        let thread = Thread.create (fun () -> serve_connection t fd) () in
+        Mutex.lock t.state_lock;
+        t.conn_threads <- thread :: t.conn_threads;
+        Mutex.unlock t.state_lock;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ ->
+        (* listen socket closed by [stop] *)
+        ()
+    end
+  in
+  loop ()
+
+(* A peer that disappears mid-write must surface as EPIPE on the write,
+   not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ()
+
+let start ?(config = default_config) ?(schema = Cypher_schema.Schema.empty)
+    ?(mode = Engine.Planned) store =
+  ignore_sigpipe ();
+  match Unix.inet_addr_of_string config.host with
+  | exception Failure _ -> Error ("invalid listen address: " ^ config.host)
+  | addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    match Unix.bind fd (Unix.ADDR_INET (addr, config.port)) with
+    | exception Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      Error
+        (Printf.sprintf "cannot bind %s:%d: %s" config.host config.port
+           (Unix.error_message err))
+    | () ->
+      Unix.listen fd config.backlog;
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
+      in
+      let t =
+        {
+          config;
+          store;
+          schema;
+          mode;
+          lock = Rwlock.create ();
+          metrics = Metrics.create ();
+          listen_fd = fd;
+          bound_port;
+          stopping = false;
+          state_lock = Mutex.create ();
+          conn_threads = [];
+          accept_thread = None;
+        }
+      in
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      Ok t)
+
+(* Graceful shutdown: stop accepting, let every connection finish its
+   in-flight request (the per-connection loop re-checks [stopping] at
+   each frame boundary), then checkpoint and close the WAL. *)
+let stop t =
+  t.stopping <- true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter Thread.join t.accept_thread;
+  t.accept_thread <- None;
+  let threads =
+    Mutex.lock t.state_lock;
+    let th = t.conn_threads in
+    t.conn_threads <- [];
+    Mutex.unlock t.state_lock;
+    th
+  in
+  List.iter Thread.join threads;
+  let checkpoint_result = Store.checkpoint t.store in
+  Store.close t.store;
+  checkpoint_result
+
+let wait t = Option.iter Thread.join t.accept_thread

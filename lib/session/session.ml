@@ -34,6 +34,17 @@ let create ?(schema = Schema.empty) ?(params = [])
   }
 
 let graph t = t.current
+
+(* Re-bases the session on [g] — the server uses this to sync a
+   connection's view to the latest committed graph before each request.
+   Refused mid-transaction: the open snapshot stack refers to the old
+   base. *)
+let set_graph t g =
+  if t.snapshots <> [] then
+    invalid_arg "Session.set_graph: a transaction is open";
+  t.current <- g
+
+let plan_cache t = t.cache
 let set_params t params = t.config <- Config.with_params params t.config
 let in_transaction t = t.snapshots <> []
 let depth t = List.length t.snapshots

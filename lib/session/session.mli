@@ -46,6 +46,17 @@ val create :
     empty batch. *)
 
 val graph : t -> Graph.t
+
+val set_graph : t -> Graph.t -> unit
+(** Re-bases the session on a new graph without running a statement —
+    the network server uses this to sync a connection's session to the
+    latest committed state before each request.  Raises
+    [Invalid_argument] while a transaction is open. *)
+
+val plan_cache : t -> Cypher_engine.Engine.plan_cache
+(** This session's plan cache, for callers (the server's read path) that
+    execute via {!Cypher_engine.Engine.query_cached} directly. *)
+
 val set_params : t -> (string * Cypher_values.Value.t) list -> unit
 
 val run : t -> string -> (Table.t, string) result

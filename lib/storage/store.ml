@@ -18,6 +18,29 @@ let session t = t.session
 let graph t = Session.graph t.session
 let run t text = Session.run t.session text
 let wal_records t = t.tail_records
+let last_seq t = t.last_seq
+
+(* Seconds since the last checkpoint wrote the snapshot, if one exists. *)
+let snapshot_age t =
+  match Unix.stat (snapshot_file t.dir) with
+  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+  | exception Unix.Unix_error _ -> None
+
+(* Appends a committed batch to the WAL (one write + fsync) and advances
+   the tail bookkeeping.  The store's own session commits through this,
+   and so do the per-connection sessions of the network server. *)
+let wal_append t batch =
+  let seq =
+    Wal.append t.writer
+      (List.map (fun l -> (l.Session.lg_text, l.Session.lg_params)) batch)
+  in
+  t.tail_records <- t.tail_records + List.length batch;
+  if seq > 0 then t.last_seq <- seq
+
+(* Publishes [g] as the committed graph.  Callers must have already made
+   the statements that produced [g] durable via [wal_append] — the
+   server does both under its exclusive write lock. *)
+let publish t g = Session.set_graph t.session g
 
 let ensure_dir dir =
   if Sys.file_exists dir then
@@ -60,16 +83,8 @@ let open_ ?schema ?mode dir =
   let writer = Wal.open_writer ~next_seq wal in
   let store = ref None in
   let on_commit batch =
-    let seq =
-      Wal.append writer
-        (List.map
-           (fun l -> (l.Session.lg_text, l.Session.lg_params))
-           batch)
-    in
     match !store with
-    | Some t ->
-      t.tail_records <- t.tail_records + List.length batch;
-      if seq > 0 then t.last_seq <- seq
+    | Some t -> wal_append t batch
     | None -> ()
   in
   let session = Session.create ?schema ?mode ~on_commit g in

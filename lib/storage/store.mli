@@ -62,6 +62,28 @@ val wal_records : t -> int
     yet absorbed by a checkpoint) — observability for tests, the CLI
     and monitoring. *)
 
+val last_seq : t -> int
+(** Sequence number of the most recently logged statement (0 for a
+    fresh, never-written store). *)
+
+val snapshot_age : t -> float option
+(** Seconds since the snapshot file was last written, or [None] if no
+    checkpoint has ever completed. *)
+
+val wal_append : t -> Session.logged list -> unit
+(** Appends a committed batch to the WAL with one write + fsync and
+    advances the [wal_records]/[last_seq] bookkeeping.  The store's own
+    session commits through this hook; the network server calls it from
+    the [on_commit] of its per-connection sessions, always under the
+    store's exclusive write lock. *)
+
+val publish : t -> Graph.t -> unit
+(** Publishes [g] as the committed graph visible to {!graph}.  The
+    caller must already have made the statements producing [g] durable
+    via {!wal_append}; the server does both while holding its write
+    lock.  Raises [Invalid_argument] if the store's own session has a
+    transaction open. *)
+
 val close : t -> unit
 (** Closes the WAL file descriptor.  Deliberately does {e not}
     checkpoint: close must be equivalent to a crash, so that the

@@ -13,6 +13,7 @@ let () =
       ("scope-check", Test_scope.suite);
       ("session", Test_session.suite);
       ("storage", Test_storage.suite);
+      ("server", Test_server.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("naive-oracle", Test_naive_oracle.suite);
       ("schema", Test_schema.suite);

@@ -198,8 +198,30 @@ let table_append_linear_cost () =
   | [ r ] -> check_value "last row" (vint n) (Record.find_or_null r "a")
   | _ -> Alcotest.fail "windowing broke"
 
+(* The old key ("text \x00 params-joined-by-\x00") collided whenever the
+   query text or a parameter name itself contained a NUL: the pairs below
+   all concatenated to the same bytes.  Length-prefixed segments make the
+   key injective. *)
+let cache_key_is_injective () =
+  let key = Cypher_engine.Plan_cache.key in
+  let distinct a b =
+    if a = b then Alcotest.failf "cache keys collide: %S" a
+  in
+  distinct (key ~text:"a\x00b" ~params:[]) (key ~text:"a" ~params:[ "b" ]);
+  distinct
+    (key ~text:"a" ~params:[ "b\x00c" ])
+    (key ~text:"a" ~params:[ "b"; "c" ]);
+  distinct (key ~text:"a\x00" ~params:[ "b" ]) (key ~text:"a" ~params:[ "\x00b" ]);
+  (* and digit/colon prefixes cannot forge a length prefix *)
+  distinct (key ~text:"1:a" ~params:[]) (key ~text:"a" ~params:[]);
+  (* equal inputs still share an entry *)
+  Alcotest.(check string) "stable" (key ~text:"q" ~params:[ "x"; "y" ])
+    (key ~text:"q" ~params:[ "x"; "y" ])
+
 let suite =
   [
+    tc "cache key is injective in text and parameter names"
+      cache_key_is_injective;
     tc "cache hit, then CREATE forces a replan" cache_hit_and_invalidation;
     tc "index DDL invalidates cached plans" cache_sees_new_index;
     tc "parameter rebinding is transparent" cache_is_parameter_transparent;

@@ -1,0 +1,546 @@
+(* The concurrent query server: protocol round trips, the framed wire
+   format's size guard, full value-domain transport, typed errors,
+   transactions over the wire, a 16-client concurrency run checked
+   against a single-threaded oracle, crash recovery from a
+   server-produced WAL with a torn tail, timeouts, metrics, and graceful
+   shutdown. *)
+
+open Helpers
+open Cypher_values
+module Graph = Cypher_graph.Graph
+module Session = Cypher_session.Session
+module Store = Cypher_storage.Store
+module Wal = Cypher_storage.Wal
+module Protocol = Cypher_server.Protocol
+module Server = Cypher_server.Server
+module Client = Cypher_server.Client
+module Metrics = Cypher_server.Metrics
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cypher_server_test_%d_%d.db" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+    else Sys.mkdir d 0o755;
+    d
+
+let open_store dir =
+  match Store.open_ dir with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "cannot open store %s: %s" dir e
+
+(* Starts a server over a fresh store on an ephemeral port and hands the
+   callback a connector; always stops the server (checkpoint + close). *)
+let with_server ?config f =
+  let dir = fresh_dir () in
+  let store = open_store dir in
+  let config =
+    match config with
+    | Some c -> { c with Server.port = 0 }
+    | None -> { Server.default_config with Server.port = 0 }
+  in
+  match Server.start ~config store with
+  | Error e -> Alcotest.failf "cannot start server: %s" e
+  | Ok server ->
+    let connect () =
+      match
+        Client.connect ~timeout:30. ~host:"127.0.0.1"
+          ~port:(Server.port server) ()
+      with
+      | Ok c -> c
+      | Error e -> Alcotest.failf "cannot connect: %s" e
+    in
+    let stopped = ref false in
+    let stop () =
+      if not !stopped then begin
+        stopped := true;
+        match Server.stop server with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "server stop: %s" e
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> if not !stopped then ignore (Server.stop server))
+      (fun () -> f ~dir ~server ~connect ~stop)
+
+let ok_query ?params client q =
+  match Client.query ?params client q with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "query %S failed: %s" q (Client.error_message e)
+
+let count_of { Client.columns; rows } =
+  match (columns, rows) with
+  | [ _ ], [ [ Value.Int n ] ] -> n
+  | _ -> Alcotest.fail "expected a single integer cell"
+
+(* --- protocol --------------------------------------------------------- *)
+
+let protocol_roundtrip () =
+  let requests =
+    [
+      Protocol.Query
+        {
+          text = "MATCH (n) WHERE n.k = $k RETURN n";
+          params =
+            [
+              ("k", Value.List [ Value.Int 1; Value.Null; Value.Float nan ]);
+              ("nul\x00key", Value.String "nul\x00value");
+            ];
+          options = [ ("timeout_ms", Value.Int 250) ];
+        };
+      Protocol.Server_stats;
+      Protocol.Store_health;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let decoded = Protocol.decode_request (Protocol.encode_request req) in
+      (* NaN breaks structural equality; compare via the value codec's
+         total order where needed *)
+      match (req, decoded) with
+      | Protocol.Query q1, Protocol.Query q2 ->
+        Alcotest.(check string) "text" q1.text q2.text;
+        Alcotest.(check int) "params" (List.length q1.params)
+          (List.length q2.params);
+        List.iter2
+          (fun (k1, v1) (k2, v2) ->
+            Alcotest.(check string) "param name" k1 k2;
+            Alcotest.(check int) "param value" 0 (Value.compare_total v1 v2))
+          q1.params q2.params
+      | Protocol.Server_stats, Protocol.Server_stats -> ()
+      | Protocol.Store_health, Protocol.Store_health -> ()
+      | _ -> Alcotest.fail "request did not round-trip")
+    requests;
+  let responses =
+    [
+      Protocol.Result
+        {
+          columns = [ "a"; "b" ];
+          rows = [ [ Value.Int 1; Value.String "x" ]; [ Value.Null; Value.Bool true ] ];
+        };
+      Protocol.Error { kind = Protocol.Timeout; message = "too slow" };
+      Protocol.Stats [ ("requests", Value.Int 7) ];
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match (resp, Protocol.decode_response (Protocol.encode_response resp)) with
+      | Protocol.Result r1, Protocol.Result r2 ->
+        Alcotest.(check (list string)) "columns" r1.columns r2.columns;
+        List.iter2
+          (List.iter2 (fun v1 v2 ->
+               Alcotest.(check int) "cell" 0 (Value.compare_total v1 v2)))
+          r1.rows r2.rows
+      | Protocol.Error e1, Protocol.Error e2 ->
+        Alcotest.(check string) "message" e1.message e2.message;
+        Alcotest.(check bool) "kind" true (e1.kind = e2.kind)
+      | Protocol.Stats s1, Protocol.Stats s2 ->
+        Alcotest.(check int) "stats" (List.length s1) (List.length s2)
+      | _ -> Alcotest.fail "response did not round-trip")
+    responses;
+  (* malformed payloads are protocol errors, not crashes *)
+  List.iter
+    (fun payload ->
+      match Protocol.decode_request payload with
+      | exception Protocol.Protocol_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed payload %S" payload)
+    [ ""; "Z"; "Q\xff\xff\xff\xff" ]
+
+let value_domain_over_the_wire () =
+  with_server (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let tricky =
+            Value.
+              [
+                Int min_int;
+                Float nan;
+                Float neg_infinity;
+                Float (-0.);
+                String "nul\x00led";
+                List [ Int 1; List [ Null; Bool false ]; Map Smap.empty ];
+                Map (Smap.add "k" (List [ Float infinity ]) Smap.empty);
+                Temporal (Date 738000);
+                Temporal (Datetime (738000, 43_200_000_000_000L, -3600));
+                Temporal (Duration { months = -1; days = 400; nanos = 5L });
+              ]
+          in
+          List.iter
+            (fun v ->
+              let r = ok_query ~params:[ ("x", v) ] client "RETURN $x AS x" in
+              match r.Client.rows with
+              | [ [ got ] ] ->
+                if Value.compare_total v got <> 0 then
+                  Alcotest.failf "value did not survive the wire: %s"
+                    (Value.to_string v)
+              | _ -> Alcotest.fail "expected exactly one cell")
+            tricky))
+
+let typed_errors () =
+  with_server (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let expect_kind kind q =
+            match Client.query client q with
+            | Ok _ -> Alcotest.failf "%S unexpectedly succeeded" q
+            | Error e ->
+              if e.Client.kind <> kind then
+                Alcotest.failf "%S: expected %s, got %s (%s)" q
+                  (Protocol.error_kind_name kind)
+                  (Protocol.error_kind_name e.Client.kind)
+                  e.Client.message
+          in
+          expect_kind Protocol.Parse_error "MATCH (";
+          expect_kind Protocol.Syntax_error "MATCH (n) RETURN m";
+          expect_kind Protocol.Runtime_error "COMMIT"))
+
+let frame_size_guard () =
+  let config = { Server.default_config with Server.max_frame = 4096 } in
+  with_server ~config (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let huge = "RETURN '" ^ String.make 8192 'x' ^ "' AS s" in
+          match Client.query client huge with
+          | Ok _ -> Alcotest.fail "oversized frame accepted"
+          | Error e ->
+            Alcotest.(check bool) "protocol violation" true
+              (e.Client.kind = Protocol.Protocol_violation);
+          (* the stream is unrecoverable: the server must have closed it *)
+          match Client.query client "RETURN 1 AS one" with
+          | Ok _ -> Alcotest.fail "server kept a poisoned connection open"
+          | Error _ -> ()))
+
+(* --- transactions over the wire --------------------------------------- *)
+
+let transactions_over_the_wire () =
+  with_server (fun ~dir ~server:_ ~connect ~stop ->
+      let client = connect () in
+      (* rolled back: nothing visible, nothing logged *)
+      ignore (ok_query client "BEGIN");
+      ignore (ok_query client "CREATE (:T {v: 1})");
+      Alcotest.(check int) "visible inside the tx" 1
+        (count_of (ok_query client "MATCH (t:T) RETURN count(t) AS c"));
+      ignore (ok_query client "ROLLBACK");
+      Alcotest.(check int) "rolled back" 0
+        (count_of (ok_query client "MATCH (t:T) RETURN count(t) AS c"));
+      (* committed: visible to a second connection, logged once *)
+      ignore (ok_query client "BEGIN");
+      ignore (ok_query client "CREATE (:T {v: 2})");
+      ignore (ok_query client "CREATE (:T {v: 3})");
+      ignore (ok_query client "COMMIT");
+      let other = connect () in
+      Alcotest.(check int) "committed, seen by another connection" 2
+        (count_of (ok_query other "MATCH (t:T) RETURN count(t) AS c"));
+      Client.close other;
+      Client.close client;
+      stop ();
+      (* durable across restart through the normal recovery path *)
+      let again = open_store dir in
+      (match Store.run again "MATCH (t:T) RETURN count(t) AS c" with
+      | Ok table ->
+        (match Cypher_table.Table.rows table with
+        | [ row ] ->
+          Alcotest.(check bool) "recovered count" true
+            (Cypher_table.Record.find row "c" = Some (Value.Int 2))
+        | _ -> Alcotest.fail "expected one row")
+      | Error e -> Alcotest.fail e);
+      Store.close again)
+
+let abrupt_disconnect_mid_transaction () =
+  with_server (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let dying = connect () in
+      ignore (ok_query dying "BEGIN");
+      ignore (ok_query dying "CREATE (:Dead {v: 1})");
+      (* vanish without COMMIT: the server must release the write lock
+         and discard the uncommitted changes *)
+      Client.close dying;
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* this read blocks forever if the lock leaked *)
+          Alcotest.(check int) "uncommitted changes discarded" 0
+            (count_of
+               (ok_query client "MATCH (d:Dead) RETURN count(d) AS c"))))
+
+(* --- concurrency against a single-threaded oracle ---------------------- *)
+
+let n_clients = 16
+let creates_per_client = 8
+
+let concurrent_clients_match_oracle () =
+  with_server (fun ~dir ~server:_ ~connect ~stop ->
+      let failures = Queue.create () in
+      let failures_lock = Mutex.create () in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Mutex.lock failures_lock;
+            Queue.add msg failures;
+            Mutex.unlock failures_lock)
+          fmt
+      in
+      let client_thread i =
+        let client = connect () in
+        Fun.protect ~finally:(fun () -> Client.close client)
+          (fun () ->
+            for j = 1 to creates_per_client do
+              (match
+                 Client.query client
+                   ~params:[ ("c", Value.Int i); ("j", Value.Int j) ]
+                   "CREATE (:C {c: $c, j: $j})"
+               with
+              | Ok _ -> ()
+              | Error e ->
+                fail "client %d create %d: %s" i j (Client.error_message e));
+              (* read-your-writes: only this thread creates c = i, so the
+                 count is deterministic even under full concurrency *)
+              match
+                Client.query client ~params:[ ("c", Value.Int i) ]
+                  "MATCH (n:C {c: $c}) RETURN count(n) AS k"
+              with
+              | Ok r ->
+                let k =
+                  match r.Client.rows with
+                  | [ [ Value.Int k ] ] -> k
+                  | _ -> -1
+                in
+                if k <> j then
+                  fail "client %d saw %d of its %d commits" i k j
+              | Error e ->
+                fail "client %d read %d: %s" i j (Client.error_message e)
+            done)
+      in
+      let threads = List.init n_clients (Thread.create client_thread) in
+      List.iter Thread.join threads;
+      (match Queue.fold (fun acc m -> m :: acc) [] failures with
+      | [] -> ()
+      | msgs -> Alcotest.fail (String.concat "\n" msgs));
+      (* aggregate state vs. a single-threaded oracle running the same
+         statements (order across clients is irrelevant: each client
+         touches a disjoint key) *)
+      let oracle = Session.create Graph.empty in
+      for i = 0 to n_clients - 1 do
+        for j = 1 to creates_per_client do
+          Session.set_params oracle [ ("c", Value.Int i); ("j", Value.Int j) ];
+          match Session.run oracle "CREATE (:C {c: $c, j: $j})" with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e
+        done
+      done;
+      let summary_q =
+        "MATCH (n:C) RETURN n.c AS c, count(n) AS k ORDER BY c"
+      in
+      let oracle_table =
+        match Session.run oracle summary_q with
+        | Ok t -> t
+        | Error e -> Alcotest.fail e
+      in
+      let client = connect () in
+      let served = ok_query client summary_q in
+      Client.close client;
+      let oracle_rows =
+        List.map
+          (fun row ->
+            List.map
+              (Cypher_table.Record.find_or_null row)
+              (Cypher_table.Table.fields oracle_table))
+          (Cypher_table.Table.rows oracle_table)
+      in
+      Alcotest.(check int) "row count vs oracle" (List.length oracle_rows)
+        (List.length served.Client.rows);
+      List.iter2
+        (List.iter2 (fun v1 v2 ->
+             Alcotest.(check int) "cell vs oracle" 0
+               (Value.compare_total v1 v2)))
+        oracle_rows served.Client.rows;
+      stop ();
+      (* and the WAL + checkpoint survive a restart *)
+      let again = open_store dir in
+      (match Store.run again "MATCH (n:C) RETURN count(n) AS c" with
+      | Ok table ->
+        (match Cypher_table.Table.rows table with
+        | [ row ] ->
+          Alcotest.(check bool) "recovered total" true
+            (Cypher_table.Record.find row "c"
+            = Some (Value.Int (n_clients * creates_per_client)))
+        | _ -> Alcotest.fail "expected one row")
+      | Error e -> Alcotest.fail e);
+      Store.close again)
+
+(* --- crash recovery from a server-produced WAL ------------------------- *)
+
+let kill_mid_commit_recovers () =
+  let committed = 5 in
+  let dir = fresh_dir () in
+  let wal_copy_dir = fresh_dir () in
+  let store = open_store dir in
+  let config = { Server.default_config with Server.port = 0 } in
+  (match Server.start ~config store with
+  | Error e -> Alcotest.failf "cannot start server: %s" e
+  | Ok server ->
+    let client =
+      match
+        Client.connect ~timeout:30. ~host:"127.0.0.1"
+          ~port:(Server.port server) ()
+      with
+      | Ok c -> c
+      | Error e -> Alcotest.failf "cannot connect: %s" e
+    in
+    for i = 1 to committed do
+      ignore
+        (ok_query client ~params:[ ("i", Value.Int i) ]
+           "CREATE (:K {i: $i})")
+    done;
+    (* every commit above was acknowledged, so its WAL record is already
+       fsync'd: capture the live WAL bytes as a kill would leave them,
+       with a torn half-record appended — a commit cut down mid-write *)
+    let wal_bytes =
+      In_channel.with_open_bin (Store.wal_file dir) In_channel.input_all
+    in
+    let torn =
+      (* length prefix promising 200 payload bytes, then silence *)
+      "\xc8\x00\x00\x00\xde\xad\xbe\xef" ^ String.make 40 'x'
+    in
+    Out_channel.with_open_bin
+      (Store.wal_file wal_copy_dir)
+      (fun oc -> Out_channel.output_string oc (wal_bytes ^ torn));
+    Client.close client;
+    ignore (Server.stop server));
+  (* the existing recovery path must drop the torn tail and replay all
+     acknowledged commits *)
+  let recovered = open_store wal_copy_dir in
+  (match Store.run recovered "MATCH (k:K) RETURN count(k) AS c" with
+  | Ok table ->
+    (match Cypher_table.Table.rows table with
+    | [ row ] ->
+      Alcotest.(check bool) "all acknowledged commits recovered" true
+        (Cypher_table.Record.find row "c" = Some (Value.Int committed))
+    | _ -> Alcotest.fail "expected one row")
+  | Error e -> Alcotest.fail e);
+  Store.close recovered
+
+(* --- timeouts, metrics, stats verbs ------------------------------------ *)
+
+let request_timeout () =
+  with_server (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          ignore
+            (ok_query client "UNWIND range(1, 400) AS i CREATE (:N {i: i})");
+          match
+            Client.query client
+              ~options:[ ("timeout_ms", Value.Int 1) ]
+              "MATCH (a:N), (b:N) RETURN count(*) AS c"
+          with
+          | Ok _ -> Alcotest.fail "a 160k-pair product finished within 1ms?"
+          | Error e ->
+            Alcotest.(check bool) "timeout kind" true
+              (e.Client.kind = Protocol.Timeout)))
+
+let stats_verbs_and_metrics () =
+  with_server (fun ~dir:_ ~server ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          ignore (ok_query client "CREATE (:M {v: 1})");
+          ignore (ok_query client "MATCH (m:M) RETURN m.v AS v");
+          (match Client.query client "MATCH (" with
+          | Ok _ -> Alcotest.fail "parse error accepted"
+          | Error _ -> ());
+          let health =
+            match Client.store_health client with
+            | Ok pairs -> pairs
+            | Error e -> Alcotest.failf "store health: %s" (Client.error_message e)
+          in
+          Alcotest.(check bool) "one WAL record" true
+            (List.assoc_opt "wal_records" health = Some (Value.Int 1));
+          Alcotest.(check bool) "last_seq advanced" true
+            (List.assoc_opt "last_seq" health = Some (Value.Int 1));
+          let stats =
+            match Client.server_stats client with
+            | Ok pairs -> pairs
+            | Error e -> Alcotest.failf "server stats: %s" (Client.error_message e)
+          in
+          let geti k =
+            match List.assoc_opt k stats with
+            | Some (Value.Int n) -> n
+            | _ -> Alcotest.failf "missing metric %s" k
+          in
+          Alcotest.(check bool) "requests counted" true (geti "requests" >= 3);
+          Alcotest.(check bool) "error counted" true (geti "errors" >= 1);
+          Alcotest.(check int) "one active connection" 1
+            (geti "connections_active");
+          Alcotest.(check bool) "bytes move" true
+            (geti "bytes_in" > 0 && geti "bytes_out" > 0);
+          Alcotest.(check bool) "p50 <= p95" true
+            (geti "latency_p50_us" <= geti "latency_p95_us");
+          ignore (Metrics.snapshot (Server.metrics server))))
+
+let graceful_stop_checkpoints () =
+  let dir = fresh_dir () in
+  let store = open_store dir in
+  (match Server.start ~config:{ Server.default_config with Server.port = 0 } store with
+  | Error e -> Alcotest.failf "cannot start server: %s" e
+  | Ok server ->
+    let client =
+      match
+        Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+      with
+      | Ok c -> c
+      | Error e -> Alcotest.failf "cannot connect: %s" e
+    in
+    ignore (ok_query client "CREATE (:G {v: 1})");
+    Client.close client;
+    (match Server.stop server with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "graceful stop: %s" e);
+    (* stop checkpoints: snapshot written, WAL truncated back to header *)
+    Alcotest.(check bool) "snapshot exists" true
+      (Sys.file_exists (Store.snapshot_file dir));
+    match Wal.scan (Store.wal_file dir) with
+    | Ok scan ->
+      Alcotest.(check int) "WAL empty after checkpoint" 0
+        (List.length scan.Wal.records)
+    | Error e -> Alcotest.fail e);
+  let again = open_store dir in
+  (match Store.run again "MATCH (g:G) RETURN count(g) AS c" with
+  | Ok table ->
+    (match Cypher_table.Table.rows table with
+    | [ row ] ->
+      Alcotest.(check bool) "state survives graceful stop" true
+        (Cypher_table.Record.find row "c" = Some (Value.Int 1))
+    | _ -> Alcotest.fail "expected one row")
+  | Error e -> Alcotest.fail e);
+  Store.close again
+
+let suite =
+  [
+    tc "protocol round-trips requests, responses and malformed input"
+      protocol_roundtrip;
+    tc "full value domain round-trips over the wire" value_domain_over_the_wire;
+    tc "errors arrive with their typed kind" typed_errors;
+    tc "oversized frames are rejected and the connection closed"
+      frame_size_guard;
+    tc "transactions over the wire: rollback, commit, restart"
+      transactions_over_the_wire;
+    tc "abrupt disconnect mid-transaction releases the store"
+      abrupt_disconnect_mid_transaction;
+    tc "16 concurrent clients match the single-threaded oracle"
+      concurrent_clients_match_oracle;
+    tc "kill mid-commit leaves a WAL that recovery replays cleanly"
+      kill_mid_commit_recovers;
+    tc "per-request timeout returns a typed error" request_timeout;
+    tc "stats verbs and server metrics" stats_verbs_and_metrics;
+    tc "graceful stop drains, checkpoints and truncates the WAL"
+      graceful_stop_checkpoints;
+  ]
