@@ -12,10 +12,16 @@
      cypher_cli --connect HOST:PORT      REPL against a running server
      cypher_cli -q "MATCH (n) RETURN n"  run one query and exit
      cypher_cli --script file.cypher     run a ;-separated script
+     cypher_cli --slow-query-ms N ...    log queries slower than N ms (with
+                                         their per-phase span timings)
+     cypher_cli --trace out.jsonl ...    write trace spans (parse, plan,
+                                         execute, fsync, locks…) as JSONL
 
    REPL commands (anything else is sent to the engine as Cypher):
      :explain <query>    show the physical plan with row estimates
-     :profile <query>    run the query, showing estimated vs actual rows
+                         (works remotely over --connect too)
+     :profile <query>    run the query, showing per-operator estimated vs
+                         actual rows, db hits, and elapsed time
      :mode ref|plan      switch execution mode
      :graph <name>       load a built-in graph (academic, teachers, empty,
                          social, datacenter, fraud, citation)
@@ -38,6 +44,8 @@
                          snapshot age, plan-cache counters)
      :server-stats       (--connect only) server metrics: connections,
                          requests, errors, timeouts, latency, bytes
+     :metrics            the process-wide metrics registry (engine, storage
+                         and server series); with --connect, the server's
      :quit               exit *)
 
 open Cypher_gen
@@ -91,6 +99,23 @@ let print_stat_pairs pairs =
   List.iter
     (fun (k, v) -> Format.printf "  %-24s %a@." k Cypher_values.Value.pp v)
     pairs
+
+(* EXPLAIN/PROFILE against a server: ask via the request option so the
+   query text travels unmodified, and print the one-column plan. *)
+let run_remote_plan client option q =
+  match
+    Client.query ~options:[ (option, Cypher_values.Value.Bool true) ] client q
+  with
+  | Ok { Client.rows; _ } ->
+    List.iter
+      (function
+        | [ Cypher_values.Value.String line ] -> print_endline line
+        | row ->
+          List.iter
+            (fun v -> Format.printf "%a@." Cypher_values.Value.pp v)
+            row)
+      rows
+  | Error e -> Printf.printf "%s\n" (Client.error_message e)
 
 let run_remote_query client q =
   match Client.query client q with
@@ -198,15 +223,21 @@ let commands : (string * (state -> string -> state)) list =
             st) );
     ( ":explain ",
       fun st arg ->
-        (match Engine.explain (current_graph st) arg with
-        | Ok plan -> print_string plan
-        | Error e -> Printf.printf "%s\n" e);
+        (match st.client with
+        | Some client -> run_remote_plan client "explain" arg
+        | None -> (
+          match Engine.explain (current_graph st) arg with
+          | Ok plan -> print_string plan
+          | Error e -> Printf.printf "%s\n" e));
         st );
     ( ":profile ",
       fun st arg ->
-        (match Engine.profile (current_graph st) arg with
-        | Ok plan -> print_string plan
-        | Error e -> Printf.printf "%s\n" e);
+        (match st.client with
+        | Some client -> run_remote_plan client "profile" arg
+        | None -> (
+          match Engine.profile (current_graph st) arg with
+          | Ok plan -> print_string plan
+          | Error e -> Printf.printf "%s\n" e));
         st );
     ( ":save ",
       fun st arg ->
@@ -307,6 +338,18 @@ let handle_line st line =
               ("plan_cache_replans", Int cache.Engine.cache_replans);
               ("plan_cache_evictions", Int cache.Engine.cache_evictions);
             ]));
+    Some st
+  end
+  else if line = ":metrics" then begin
+    (match st.client with
+    | Some client -> (
+      (* the server process's registry *)
+      match Client.metrics client with
+      | Ok pairs ->
+        print_endline "metrics (remote):";
+        print_stat_pairs pairs
+      | Error e -> Printf.printf "%s\n" (Client.error_message e))
+    | None -> print_string (Cypher_obs.Registry.expose ()));
     Some st
   end
   else if line = ":server-stats" then begin
@@ -451,6 +494,23 @@ let () =
       | Ok plan -> print_string plan
       | Error e -> Printf.printf "%s\n" e);
       parse st rest
+    | "--slow-query-ms" :: ms :: rest -> (
+      match float_of_string_opt ms with
+      | Some ms when ms >= 0. ->
+        Cypher_obs.Slowlog.set_threshold_ms (Some ms);
+        parse st rest
+      | _ ->
+        Printf.eprintf "--slow-query-ms: expected a non-negative number, got %s\n" ms;
+        exit 1)
+    | "--trace" :: path :: rest -> (
+      match Cypher_obs.Trace.to_file path with
+      | () ->
+        (* flush the JSONL sink however the process exits *)
+        at_exit Cypher_obs.Trace.close;
+        parse st rest
+      | exception Sys_error e ->
+        Printf.eprintf "--trace: %s\n" e;
+        exit 1)
     | "--serve" :: endpoint :: rest -> (
       match parse_endpoint endpoint with
       | Ok hp ->

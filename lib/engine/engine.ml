@@ -6,13 +6,76 @@ open Cypher_semantics
 module Build = Cypher_planner.Build
 module Exec = Cypher_planner.Exec
 module Plan = Cypher_planner.Plan
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
+module Slowlog = Cypher_obs.Slowlog
 
 (* force the algo.* procedures to link with the engine *)
 let () = Cypher_procs.Procs.ensure ()
 
+(* --- observability ---------------------------------------------------- *)
+
+let m_queries_planned =
+  Registry.counter ~help:"queries executed in Planned mode"
+    "cypher_engine_queries_planned_total"
+
+let m_queries_reference =
+  Registry.counter ~help:"queries executed in Reference mode"
+    "cypher_engine_queries_reference_total"
+
+let m_query_errors =
+  Registry.counter ~help:"queries rejected with an error"
+    "cypher_engine_query_errors_total"
+
+let m_rows_produced =
+  Registry.counter ~help:"result rows returned by all queries"
+    "cypher_engine_rows_produced_total"
+
+let m_query_latency =
+  Registry.histogram ~help:"end-to-end query latency (microsecond buckets)"
+    "cypher_engine_query_latency"
+
 type mode = Reference | Planned
 
 type outcome = { graph : Graph.t; table : Table.t }
+
+let mode_name = function Planned -> "planned" | Reference -> "reference"
+
+(* One observation per top-level engine call: mode and latency series,
+   rows produced, and — when armed — the slow-query log with its
+   per-span breakdown.  The public entry points ({!query_e},
+   {!query_cached}) wrap exactly once; everything they call internally
+   goes through unobserved helpers, so nothing double-counts. *)
+let observe_query ~mode ~text f =
+  Registry.incr
+    (match mode with
+    | Planned -> m_queries_planned
+    | Reference -> m_queries_reference);
+  let slow = Slowlog.armed () in
+  if slow then Trace.begin_collect ();
+  let t0 = Trace.now_us () in
+  let result =
+    match Trace.with_span "query" f with
+    | r -> r
+    | exception e ->
+      if slow then ignore (Trace.end_collect ());
+      Registry.incr m_query_errors;
+      raise e
+  in
+  let elapsed_us = Trace.now_us () - t0 in
+  Registry.observe_us m_query_latency elapsed_us;
+  let spans = if slow then Trace.end_collect () else [] in
+  let rows =
+    match result with
+    | Ok outcome -> Table.row_count outcome.table
+    | Error _ -> 0
+  in
+  (match result with
+  | Ok _ -> Registry.add m_rows_produced rows
+  | Error _ -> Registry.incr m_query_errors);
+  if slow then
+    Slowlog.note ~query:text ~mode:(mode_name mode) ~elapsed_us ~rows ~spans;
+  result
 
 (* Clauses executed by the reference implementation between plan
    segments: updates and CALL. *)
@@ -67,15 +130,21 @@ let run_single_planned cfg g sq =
       { graph = g; table }
     | [ `Read clauses ] ->
       let { Build.plan; fields } =
-        Build.compile_clauses ~stats ~visible clauses sq.sq_return
+        Trace.with_span "plan" (fun () ->
+            Build.compile_clauses ~stats ~visible clauses sq.sq_return)
       in
-      let table = Exec.run cfg g ~fields plan table in
+      let table =
+        Trace.with_span "execute" (fun () -> Exec.run cfg g ~fields plan table)
+      in
       { graph = g; table }
     | `Read clauses :: rest ->
       let { Build.plan; fields } =
-        Build.compile_clauses ~stats ~visible clauses None
+        Trace.with_span "plan" (fun () ->
+            Build.compile_clauses ~stats ~visible clauses None)
       in
-      let table = Exec.run cfg g ~fields plan table in
+      let table =
+        Trace.with_span "execute" (fun () -> Exec.run cfg g ~fields plan table)
+      in
       go g table fields rest
     | `Update c :: rest ->
       let state =
@@ -124,8 +193,6 @@ let catching_e f =
   | exception Invalid_argument msg -> Error (Runtime_error msg)
   | exception Division_by_zero -> Error (Runtime_error "division by zero")
 
-let catching f = Result.map_error error_message (catching_e f)
-
 (* DDL outside the query grammar: CREATE INDEX ON :Label(key) and
    DROP INDEX ON :Label(key), as in Neo4j 3.x. *)
 let parse_index_ddl text =
@@ -172,8 +239,9 @@ let run_ast config mode g ast =
     mode = Reference || config.Config.morphism <> Config.Edge_isomorphism
   in
   let reference () =
-    let state = Clauses.run_query config g ast in
-    { graph = state.Clauses.graph; table = state.Clauses.table }
+    Trace.with_span "execute" (fun () ->
+        let state = Clauses.run_query config g ast in
+        { graph = state.Clauses.graph; table = state.Clauses.table })
   in
   catching_e (fun () ->
       if use_reference then reference ()
@@ -184,7 +252,120 @@ let run_ast config mode g ast =
         try run_query_planned config g ast
         with Build.Unsupported _ -> reference ())
 
-let query_e ?(config = Config.default) ?(mode = Planned) g text =
+(* EXPLAIN/PROFILE as query prefixes return the rendering as a
+   one-column table, so the same plans travel over the wire protocol
+   as any other result. *)
+let plan_table text =
+  let rows =
+    List.filter_map
+      (fun line -> if line = "" then None else Some (Record.of_list [ ("plan", Cypher_values.Value.String line) ]))
+      (String.split_on_char '\n' text)
+  in
+  Table.create ~fields:[ "plan" ] rows
+
+let parse_q text =
+  Trace.with_span "parse" (fun () -> Cypher_parser.Parser.parse_query text)
+
+let explain_e ?(config = Config.default) g text =
+  ignore config;
+  match parse_q text with
+  | Error e -> Error (Parse_error e)
+  | Ok ast ->
+    let stats = stats_of g in
+    let buf = Buffer.create 256 in
+    let rec go_query = function
+      | Q_single sq -> go_single sq
+      | Q_union (q1, q2) ->
+        go_query q1;
+        Buffer.add_string buf "UNION\n";
+        go_query q2
+      | Q_union_all (q1, q2) ->
+        go_query q1;
+        Buffer.add_string buf "UNION ALL\n";
+        go_query q2
+    and go_single sq =
+      let segments = segment sq.sq_clauses in
+      let rec go visible = function
+        | [] -> ()
+        | [ `Read clauses ] -> (
+          match
+            Trace.with_span "plan" (fun () ->
+                Build.compile_clauses ~stats ~visible clauses sq.sq_return)
+          with
+          | { Build.plan; _ } ->
+            Buffer.add_string buf
+              (Cypher_planner.Cost.explain_with_estimates stats plan)
+          | exception Build.Unsupported msg ->
+            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n"))
+        | `Read clauses :: rest -> (
+          match
+            Trace.with_span "plan" (fun () ->
+                Build.compile_clauses ~stats ~visible clauses None)
+          with
+          | { Build.plan; fields } ->
+            Buffer.add_string buf
+              (Cypher_planner.Cost.explain_with_estimates stats plan);
+            go fields rest
+          | exception Build.Unsupported msg ->
+            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n");
+            go visible rest)
+        | `Update c :: rest ->
+          Buffer.add_string buf
+            (Format.asprintf "+ Update [%a]@." Cypher_ast.Pretty.pp_clause c);
+          go visible rest
+      in
+      go [] segments
+    in
+    (match catching_e (fun () -> go_query ast) with
+    | Ok () -> Ok (Buffer.contents buf)
+    | Error e -> Error e)
+
+(* PROFILE time rendering: microseconds below a millisecond, then ms. *)
+let pp_prof_ns ns =
+  let us = float_of_int ns /. 1e3 in
+  if us < 1000. then Printf.sprintf "%.1fus" us
+  else Printf.sprintf "%.2fms" (us /. 1000.)
+
+let profile_e ?(config = Config.default) g text =
+  match parse_q text with
+  | Error e -> Error (Parse_error e)
+  | Ok (Q_single { sq_clauses; sq_return })
+    when not (List.exists is_update_clause sq_clauses) -> (
+    let stats = stats_of g in
+    match
+      Trace.with_span "plan" (fun () ->
+          Build.compile_clauses ~stats ~visible:[] sq_clauses sq_return)
+    with
+    | { Build.plan; fields } ->
+      catching_e (fun () ->
+          let table, actual =
+            Trace.with_span "execute" (fun () ->
+                Exec.run_profiled config g ~fields plan Table.unit)
+          in
+          let rendered =
+            Format.asprintf "%a"
+              (Plan.pp_annotated ~annotate:(fun node ->
+                   let incl = actual node in
+                   let self = Exec.self_profile actual node in
+                   Printf.sprintf
+                     "  (est. %.1f rows, actual %d rows, %d db-hits, %s)"
+                     (Cypher_planner.Cost.estimate stats node)
+                       .Cypher_planner.Cost.rows incl.Exec.prof_rows
+                     self.Exec.prof_hits (pp_prof_ns self.Exec.prof_ns)))
+              plan
+          in
+          let total = actual plan in
+          rendered
+          ^ Printf.sprintf "total: %d rows, %d db-hits, %s\n"
+              (Table.row_count table) total.Exec.prof_hits
+              (pp_prof_ns total.Exec.prof_ns))
+    | exception Build.Unsupported msg -> Error (Unsupported msg))
+  | Ok _ -> explain_e ~config g text
+
+(* Unobserved evaluation: the shared body of every public entry point.
+   EXPLAIN/PROFILE prefixes and index DDL are handled here so the typed
+   path used by the server sees them too, not only the string API. *)
+let query_raw ?(config = Config.default) ?(mode = Planned) g text =
   match parse_index_ddl text with
   | Some (Error e) -> Error (Parse_error e)
   | Some (Ok (action, label, key)) ->
@@ -195,24 +376,29 @@ let query_e ?(config = Config.default) ?(mode = Planned) g text =
     in
     Ok { graph = g; table = Table.empty ~fields:[] }
   | None ->
-  match Cypher_parser.Parser.parse_query text with
-  | Error e -> Error (Parse_error e)
-  | Ok ast when Result.is_error (Scope_check.check_query ast) ->
-    Error (Syntax_error (Result.get_error (Scope_check.check_query ast)))
-  | Ok ast -> run_ast config mode g ast
+  match strip_prefix_kw "EXPLAIN" text with
+  | Some rest ->
+    Result.map
+      (fun p -> { graph = g; table = plan_table p })
+      (explain_e ~config g rest)
+  | None ->
+  match strip_prefix_kw "PROFILE" text with
+  | Some rest ->
+    Result.map
+      (fun p -> { graph = g; table = plan_table p })
+      (profile_e ~config g rest)
+  | None -> (
+    match parse_q text with
+    | Error e -> Error (Parse_error e)
+    | Ok ast when Result.is_error (Scope_check.check_query ast) ->
+      Error (Syntax_error (Result.get_error (Scope_check.check_query ast)))
+    | Ok ast -> run_ast config mode g ast)
+
+let query_e ?(config = Config.default) ?(mode = Planned) g text =
+  observe_query ~mode ~text (fun () -> query_raw ~config ~mode g text)
 
 let query_plain ?config ?mode g text =
   Result.map_error error_message (query_e ?config ?mode g text)
-
-(* EXPLAIN/PROFILE as query prefixes return the rendering as a
-   one-column table (the [query] wrapper at the end of this file) *)
-let plan_table text =
-  let rows =
-    List.filter_map
-      (fun line -> if line = "" then None else Some (Record.of_list [ ("plan", Cypher_values.Value.String line) ]))
-      (String.split_on_char '\n' text)
-  in
-  Table.create ~fields:[ "plan" ] rows
 
 let run_exn ?config ?mode g text =
   match query_plain ?config ?mode g text with
@@ -284,78 +470,11 @@ let run_script ?config ?mode g text =
   in
   go g None (split_statements text)
 
-let explain ?(config = Config.default) g text =
-  ignore config;
-  match Cypher_parser.Parser.parse_query text with
-  | Error e -> Error ("parse error: " ^ e)
-  | Ok ast ->
-    let stats = stats_of g in
-    let buf = Buffer.create 256 in
-    let rec go_query = function
-      | Q_single sq -> go_single sq
-      | Q_union (q1, q2) ->
-        go_query q1;
-        Buffer.add_string buf "UNION\n";
-        go_query q2
-      | Q_union_all (q1, q2) ->
-        go_query q1;
-        Buffer.add_string buf "UNION ALL\n";
-        go_query q2
-    and go_single sq =
-      let segments = segment sq.sq_clauses in
-      let rec go visible = function
-        | [] -> ()
-        | [ `Read clauses ] -> (
-          match
-            Build.compile_clauses ~stats ~visible clauses sq.sq_return
-          with
-          | { Build.plan; _ } ->
-            Buffer.add_string buf
-              (Cypher_planner.Cost.explain_with_estimates stats plan)
-          | exception Build.Unsupported msg ->
-            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n"))
-        | `Read clauses :: rest -> (
-          match Build.compile_clauses ~stats ~visible clauses None with
-          | { Build.plan; fields } ->
-            Buffer.add_string buf
-              (Cypher_planner.Cost.explain_with_estimates stats plan);
-            go fields rest
-          | exception Build.Unsupported msg ->
-            Buffer.add_string buf ("(not planned: " ^ msg ^ ")\n");
-            go visible rest)
-        | `Update c :: rest ->
-          Buffer.add_string buf
-            (Format.asprintf "+ Update [%a]@." Cypher_ast.Pretty.pp_clause c);
-          go visible rest
-      in
-      go [] segments
-    in
-    (match catching (fun () -> go_query ast) with
-    | Ok () -> Ok (Buffer.contents buf)
-    | Error e -> Error e)
+let explain ?config g text =
+  Result.map_error error_message (explain_e ?config g text)
 
-let profile ?(config = Config.default) g text =
-  match Cypher_parser.Parser.parse_query text with
-  | Error e -> Error ("parse error: " ^ e)
-  | Ok (Q_single { sq_clauses; sq_return })
-    when not (List.exists is_update_clause sq_clauses) -> (
-    let stats = stats_of g in
-    match
-      Build.compile_clauses ~stats ~visible:[] sq_clauses sq_return
-    with
-    | { Build.plan; fields } ->
-      catching (fun () ->
-          let _table, actual =
-            Exec.run_profiled config g ~fields plan Table.unit
-          in
-          Format.asprintf "%a"
-            (Plan.pp_annotated ~annotate:(fun node ->
-                 Printf.sprintf "  (est. %.1f rows, actual %d rows)"
-                   (Cypher_planner.Cost.estimate stats node)
-                     .Cypher_planner.Cost.rows (actual node)))
-            plan)
-    | exception Build.Unsupported msg -> Error ("unsupported: " ^ msg))
-  | Ok _ -> explain ~config g text
+let profile ?config g text =
+  Result.map_error error_message (profile_e ?config g text)
 
 let cross_check ?(config = Config.default) g text =
   match
@@ -377,19 +496,9 @@ let cross_check ?(config = Config.default) g text =
            "engines disagree on %S:@.reference:@.%a@.planned:@.%a" text
            Table.pp ref_out.table Table.pp planned_out.table)
 
-let query ?config ?mode g text =
-  match strip_prefix_kw "EXPLAIN" text with
-  | Some rest ->
-    Result.map
-      (fun p -> { graph = g; table = plan_table p })
-      (explain ?config g rest)
-  | None -> (
-    match strip_prefix_kw "PROFILE" text with
-    | Some rest ->
-      Result.map
-        (fun p -> { graph = g; table = plan_table p })
-        (profile ?config g rest)
-    | None -> query_plain ?config ?mode g text)
+(* EXPLAIN/PROFILE prefixes and index DDL are handled inside
+   {!query_e}, so the string and typed APIs behave identically. *)
+let query ?config ?mode g text = query_plain ?config ?mode g text
 
 (* ------------------------------------------------------------------ *)
 (* The query-plan cache                                                *)
@@ -446,8 +555,9 @@ let run_cached_entry cache config g entry =
         match entry.ce_ast with
         | Q_single { sq_clauses; sq_return } -> (
           match
-            Build.compile_clauses ~stats:(stats_of g) ~visible:[] sq_clauses
-              sq_return
+            Trace.with_span "plan" (fun () ->
+                Build.compile_clauses ~stats:(stats_of g) ~visible:[]
+                  sq_clauses sq_return)
           with
           | c ->
             if Option.is_some prior then cache.replans <- cache.replans + 1;
@@ -459,16 +569,22 @@ let run_cached_entry cache config g entry =
     match compiled with
     | Some { Build.plan; fields } ->
       catching_e (fun () ->
-          { graph = g; table = Exec.run config g ~fields plan Table.unit })
+          { graph = g;
+            table =
+              Trace.with_span "execute" (fun () ->
+                  Exec.run config g ~fields plan Table.unit);
+          })
     | None -> run_ast config Planned g entry.ce_ast
   end
   else run_ast config Planned g entry.ce_ast
 
 let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
+  observe_query ~mode ~text @@ fun () ->
   let cacheable_config =
     mode = Planned && config.Config.morphism = Config.Edge_isomorphism
   in
-  if not cacheable_config then query ~config ~mode g text
+  if not cacheable_config then
+    Result.map_error error_message (query_raw ~config ~mode g text)
   else begin
     let params =
       List.map fst (Cypher_values.Value.Smap.bindings config.Config.params)
@@ -480,8 +596,8 @@ let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
     | None -> (
       (* Miss: parse and scope-check once.  Index DDL and EXPLAIN/PROFILE
          prefixes do not parse as queries and take the uncached path. *)
-      match Cypher_parser.Parser.parse_query text with
-      | Error _ -> query ~config ~mode g text
+      match parse_q text with
+      | Error _ -> Result.map_error error_message (query_raw ~config ~mode g text)
       | Ok ast -> (
         match Scope_check.check_query ast with
         | Error e -> Error (error_message (Syntax_error e))

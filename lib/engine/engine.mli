@@ -44,8 +44,10 @@ val query :
 val query_e :
   ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
   (outcome, error) result
-(** Like {!query} with a typed error (no EXPLAIN/PROFILE prefix
-    handling). *)
+(** Like {!query} with a typed error.  EXPLAIN/PROFILE prefixes and
+    index DDL are handled exactly as in {!query}, so remote clients —
+    which reach the engine through this typed path — can ask for plans
+    too. *)
 
 val run : ?config:Config.t -> ?mode:mode -> Graph.t -> string -> Table.t
 (** Like {!query} but raises [Failure] on error and discards graph
@@ -76,9 +78,13 @@ val explain : ?config:Config.t -> Graph.t -> string -> (string, string) result
     update clauses show one plan per read segment. *)
 
 val profile : ?config:Config.t -> Graph.t -> string -> (string, string) result
-(** Executes the query and renders the plan with {e estimated vs actual}
-    rows per operator — PROFILE.  Only read-only single queries are
-    profiled; anything else falls back to the {!explain} rendering. *)
+(** Executes the query and renders the plan annotated per operator with
+    estimated vs actual rows, {e db hits} (store accesses, see
+    {!Graph.count_db_hits}) and elapsed time — PROFILE in the style of
+    Neo4j.  Hits and time are the operator's own share (inputs
+    subtracted); a [total:] footer gives the whole query.  Only
+    read-only single queries are profiled; anything else falls back to
+    the {!explain} rendering. *)
 
 (** {1 The query-plan cache}
 

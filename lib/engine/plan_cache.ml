@@ -1,3 +1,18 @@
+(* Process-wide series aggregated across every cache instance; the
+   per-instance counters below survive for {!Engine.cache_stats}'s
+   per-session view. *)
+let m_hits =
+  Cypher_obs.Registry.counter ~help:"plan cache lookups served from cache"
+    "cypher_plan_cache_hits_total"
+
+let m_misses =
+  Cypher_obs.Registry.counter ~help:"plan cache lookups that missed"
+    "cypher_plan_cache_misses_total"
+
+let m_evictions =
+  Cypher_obs.Registry.counter ~help:"plan cache LRU evictions"
+    "cypher_plan_cache_evictions_total"
+
 type 'a entry = { mutable value : 'a; mutable last_used : int }
 
 type 'a t = {
@@ -55,10 +70,12 @@ let find t k =
       match Hashtbl.find_opt t.tbl k with
       | Some e ->
         t.hit_count <- t.hit_count + 1;
+        Cypher_obs.Registry.incr m_hits;
         touch t e;
         Some e.value
       | None ->
         t.miss_count <- t.miss_count + 1;
+        Cypher_obs.Registry.incr m_misses;
         None)
 
 let evict_lru t =
@@ -73,7 +90,8 @@ let evict_lru t =
   match victim with
   | Some (k, _) ->
     Hashtbl.remove t.tbl k;
-    t.eviction_count <- t.eviction_count + 1
+    t.eviction_count <- t.eviction_count + 1;
+    Cypher_obs.Registry.incr m_evictions
   | None -> ()
 
 let add t k v =

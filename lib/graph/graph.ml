@@ -44,6 +44,27 @@ type t = {
   version : int;
 }
 
+(* --- db-hit accounting ----------------------------------------------- *)
+
+(* PROFILE's cost unit: one "db hit" per store access — an entity-record
+   fetch (node_data/rel_data, and everything routed through them:
+   property reads, labels, endpoints), an adjacency-list read, or an
+   index lookup.  Disabled by default: the counter costs one boolean
+   load per access.  The counter is process-global and deliberately
+   unsynchronised — concurrent PROFILEs would interleave their counts,
+   which is acceptable for a diagnostic (and the profiled executor is
+   driven from one thread at a time). *)
+
+let db_hit_counting = ref false
+let db_hit_counter = ref 0
+
+let db_hits () = !db_hit_counter
+let count_db_hits enabled = db_hit_counting := enabled
+let db_hit_counting_on () = !db_hit_counting
+
+let[@inline] db_hit () =
+  if !db_hit_counting then incr db_hit_counter
+
 let version_counter = ref 0
 
 (* The counter is process-global and the server runs sessions on
@@ -177,11 +198,21 @@ let add_rel ~src ~tgt ~rel_type ?(props = []) g =
       },
     id )
 
-let node_data g n = Nmap.find n g.node_map
-let rel_data g r = Rmap.find r g.rel_map
+let node_data g n =
+  db_hit ();
+  Nmap.find n g.node_map
 
-let out_rels g n = try Nmap.find n g.out_adj with Not_found -> []
-let in_rels g n = try Nmap.find n g.in_adj with Not_found -> []
+let rel_data g r =
+  db_hit ();
+  Rmap.find r g.rel_map
+
+let out_rels g n =
+  db_hit ();
+  try Nmap.find n g.out_adj with Not_found -> []
+
+let in_rels g n =
+  db_hit ();
+  try Nmap.find n g.in_adj with Not_found -> []
 
 let all_rels_of g n =
   let out = out_rels g n in
@@ -309,8 +340,19 @@ let src g r = (rel_data g r).src
 let tgt g r = (rel_data g r).tgt
 let rel_type g r = (rel_data g r).rel_type
 
-let nodes g = List.map fst (Nmap.bindings g.node_map)
-let rels g = List.map fst (Rmap.bindings g.rel_map)
+(* Whole-store scans count one hit per entity touched: a full
+   AllNodesScan is as expensive as fetching every record. *)
+let nodes g =
+  let ns = List.map fst (Nmap.bindings g.node_map) in
+  if !db_hit_counting then
+    db_hit_counter := !db_hit_counter + List.length ns;
+  ns
+
+let rels g =
+  let rs = List.map fst (Rmap.bindings g.rel_map) in
+  if !db_hit_counting then
+    db_hit_counter := !db_hit_counter + List.length rs;
+  rs
 let node_count g = Nmap.cardinal g.node_map
 let rel_count g = Rmap.cardinal g.rel_map
 
@@ -318,14 +360,26 @@ let other_end g r n =
   let d = rel_data g r in
   if Ids.equal_node d.src n then d.tgt else d.src
 
+(* Label and type scans, like whole-store scans, cost one hit per entity
+   they surface (plus one for the index lookup itself). *)
 let nodes_with_label g l =
+  db_hit ();
   match Smap.find_opt l g.label_index with
-  | Some s -> Ids.Node_set.elements s
+  | Some s ->
+    let ns = Ids.Node_set.elements s in
+    if !db_hit_counting then
+      db_hit_counter := !db_hit_counter + List.length ns;
+    ns
   | None -> []
 
 let rels_with_type g t =
+  db_hit ();
   match Smap.find_opt t g.type_index with
-  | Some s -> Ids.Rel_set.elements s
+  | Some s ->
+    let rs = Ids.Rel_set.elements s in
+    if !db_hit_counting then
+      db_hit_counter := !db_hit_counter + List.length rs;
+    rs
   | None -> []
 
 let label_count g l =
@@ -485,9 +539,14 @@ let drop_index g ~label ~key =
   stamp { g with prop_indexes = Pmap.remove (label, key) g.prop_indexes }
 
 let index_seek g ~label ~key v =
+  db_hit ();
   match Pmap.find_opt (label, key) g.prop_indexes with
   | None -> raise Not_found
   | Some vmap -> (
     match Vmap.find_opt v vmap with
-    | Some set -> Ids.Node_set.elements set
+    | Some set ->
+      let ns = Ids.Node_set.elements set in
+      if !db_hit_counting then
+        db_hit_counter := !db_hit_counter + List.length ns;
+      ns
     | None -> [])

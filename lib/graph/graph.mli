@@ -41,6 +41,26 @@ val version : t -> int
     plans — and their cardinality estimates — when the store changes,
     while repeated read-only queries keep hitting the cache. *)
 
+(** {1 Db-hit accounting}
+
+    PROFILE's cost unit, in the style of Neo4j: one "db hit" per store
+    access — an entity-record fetch ([node_data]/[rel_data] and every
+    reader routed through them, e.g. property and label reads), one per
+    entity surfaced by a scan ([nodes], [nodes_with_label], …), an
+    adjacency-list read, or an index lookup.  Counting is off by default
+    and costs one boolean load per access when off.  The counter is
+    process-global and unsynchronised: a diagnostic, not a metric —
+    concurrent profiled runs interleave their counts. *)
+
+val count_db_hits : bool -> unit
+(** Enables or disables the counter (it is never reset: readers take
+    deltas). *)
+
+val db_hits : unit -> int
+(** The running total of store accesses while counting was enabled. *)
+
+val db_hit_counting_on : unit -> bool
+
 (** {1 Construction} *)
 
 val add_node : ?labels:string list -> ?props:(string * Value.t) list -> t -> t * Ids.node

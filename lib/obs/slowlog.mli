@@ -1,0 +1,25 @@
+(** The slow-query log: queries whose wall-clock time reaches a
+    configurable threshold are reported as one JSON line each, with
+    query text, mode, rows, total time and the per-span breakdown.
+    Disarmed by default; arming costs the engine one atomic load per
+    query plus a {!Trace} collector around each statement. *)
+
+val set_threshold_ms : float option -> unit
+(** [Some ms] arms the log (0. logs every query); [None] disarms it.
+    Raises [Invalid_argument] on a negative threshold. *)
+
+val threshold_ms : unit -> float option
+val armed : unit -> bool
+
+val set_sink : (string -> unit) option -> unit
+(** Where the JSON lines go; [None] restores the default (stderr). *)
+
+val note :
+  query:string ->
+  mode:string ->
+  elapsed_us:int ->
+  rows:int ->
+  spans:(string * int) list ->
+  unit
+(** Reports one finished query; writes to the sink only when armed and
+    [elapsed_us] is at or above the threshold. *)

@@ -1,0 +1,191 @@
+(* Trace spans: dynamically-scoped named timers emitting JSON-lines
+   events to an optional sink.
+
+   [with_span name f] times [f] on the wall clock and, when a sink is
+   attached, emits one JSON object per completed span:
+
+     {"name":"execute","thread":3,"depth":1,"seq":17,
+      "start_us":123456789,"dur_us":842,"attrs":{"query":"MATCH ..."}}
+
+   Spans nest per thread: [depth] is the number of enclosing open spans
+   on the same thread, so a consumer can rebuild the tree from the flat
+   line stream (children are emitted before their parents close, with a
+   strictly greater depth).  [seq] is a process-global emission counter.
+
+   When no sink is attached and no span collection is active the span
+   machinery is two atomic reads around the call — the whole point is
+   that production code can leave [with_span] in every hot path (the B15
+   benchmark prices this at well under 5% on an indexed read).
+
+   The slow-query log reuses the same spans: a thread can open a
+   collector with [begin_collect]; until [end_collect], every completed
+   span on that thread adds its duration to a per-name total, giving the
+   per-phase breakdown (parse/plan/execute/fsync/…) of one query without
+   any sink configured. *)
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* --- sink ------------------------------------------------------------- *)
+
+let sink : (string -> unit) option Atomic.t = Atomic.make None
+let sink_channel : out_channel option ref = ref None
+let sink_lock = Mutex.create ()
+
+let set_sink s = Atomic.set sink s
+
+(* Routes spans to [path] (JSONL, appended, line-buffered under a lock);
+   [close ()] flushes and detaches. *)
+let to_file path =
+  Mutex.lock sink_lock;
+  (match !sink_channel with Some oc -> close_out_noerr oc | None -> ());
+  let oc = open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path in
+  sink_channel := Some oc;
+  Mutex.unlock sink_lock;
+  set_sink
+    (Some
+       (fun line ->
+         Mutex.lock sink_lock;
+         (match !sink_channel with
+         | Some oc ->
+           output_string oc line;
+           output_char oc '\n'
+         | None -> ());
+         Mutex.unlock sink_lock))
+
+let close () =
+  set_sink None;
+  Mutex.lock sink_lock;
+  (match !sink_channel with
+  | Some oc ->
+    flush oc;
+    close_out_noerr oc
+  | None -> ());
+  sink_channel := None;
+  Mutex.unlock sink_lock
+
+let enabled () = Atomic.get sink <> None
+
+(* --- per-thread state ------------------------------------------------- *)
+
+type collector = {
+  mutable totals : (string * int) list;  (* span name -> Σ dur_us *)
+}
+
+type thread_state = { mutable depth : int; mutable collector : collector option }
+
+(* Thread ids are small ints; the table is touched only when a sink or a
+   collector is active, so the mutex is off every no-observer path. *)
+let threads : (int, thread_state) Hashtbl.t = Hashtbl.create 16
+let threads_lock = Mutex.create ()
+
+(* Count of active collectors; lets [with_span] skip the thread-table
+   lookup entirely when nobody is collecting and no sink is attached. *)
+let collectors = Atomic.make 0
+
+let thread_state () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock threads_lock;
+  let st =
+    match Hashtbl.find_opt threads id with
+    | Some st -> st
+    | None ->
+      let st = { depth = 0; collector = None } in
+      Hashtbl.replace threads id st;
+      st
+  in
+  Mutex.unlock threads_lock;
+  st
+
+let begin_collect () =
+  let st = thread_state () in
+  (match st.collector with
+  | None -> Atomic.incr collectors
+  | Some _ -> ());
+  st.collector <- Some { totals = [] }
+
+let end_collect () =
+  let st = thread_state () in
+  match st.collector with
+  | None -> []
+  | Some c ->
+    st.collector <- None;
+    Atomic.decr collectors;
+    List.rev c.totals
+
+let collecting () = Atomic.get collectors > 0
+
+(* --- span emission ---------------------------------------------------- *)
+
+let seq = Atomic.make 0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit out ~name ~thread ~depth ~start_us ~dur_us ~attrs =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"thread\":%d,\"depth\":%d,\"seq\":%d,\"start_us\":%d,\"dur_us\":%d"
+       (json_escape name) thread depth (Atomic.fetch_and_add seq 1) start_us
+       dur_us);
+  if attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      attrs;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  out (Buffer.contents buf)
+
+let add_total c name dur =
+  let rec go = function
+    | [] -> c.totals <- c.totals @ [ (name, dur) ]
+    | (n, _) :: _ when n = name ->
+      c.totals <-
+        List.map (fun (n', d) -> if n' = name then (n', d + dur) else (n', d)) c.totals
+    | _ :: rest -> go rest
+  in
+  go c.totals
+
+let with_span ?(attrs = []) name f =
+  match Atomic.get sink with
+  | None when not (collecting ()) -> f ()
+  | observer -> (
+    let st = thread_state () in
+    match (observer, st.collector) with
+    | None, None ->
+      (* some other thread is collecting, not this one *)
+      f ()
+    | _ ->
+      let start_us = now_us () in
+      st.depth <- st.depth + 1;
+      let finish () =
+        let dur_us = now_us () - start_us in
+        st.depth <- st.depth - 1;
+        (match st.collector with
+        | Some c -> add_total c name dur_us
+        | None -> ());
+        match observer with
+        | Some out ->
+          emit out ~name
+            ~thread:(Thread.id (Thread.self ()))
+            ~depth:st.depth ~start_us ~dur_us ~attrs
+        | None -> ()
+      in
+      Fun.protect ~finally:finish f)

@@ -1,0 +1,45 @@
+(** Trace spans: wall-clock timers around engine phases (parse, plan,
+    execute, commit, fsync, checkpoint, lock acquisition…) emitting
+    JSON-lines events to an optional sink.  With no sink attached and no
+    collector open, {!with_span} costs two atomic loads — it is left in
+    every hot path permanently (benchmark B15 keeps this honest). *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a named span.  On completion (normal or
+    exceptional) the span is emitted to the sink, if any, and its
+    duration is added to the calling thread's open collector, if any.
+    Spans nest per thread; the emitted [depth] field is the number of
+    enclosing spans still open on the same thread. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Attaches a consumer for completed-span JSON lines (one object per
+    line, no trailing newline), or detaches it with [None].  The
+    consumer runs on the thread that closed the span. *)
+
+val to_file : string -> unit
+(** Appends span events to a JSONL file (the CLI's [--trace PATH]). *)
+
+val close : unit -> unit
+(** Detaches and closes a {!to_file} sink; detaches any other sink. *)
+
+val enabled : unit -> bool
+
+(** {1 Per-thread span collection}
+
+    The slow-query log's per-phase breakdown: between [begin_collect]
+    and [end_collect], every span completed on the calling thread adds
+    its duration to a per-name running total. *)
+
+val begin_collect : unit -> unit
+val end_collect : unit -> (string * int) list
+(** Aggregated [(span name, Σ duration µs)] in first-seen order; empty
+    when no collector was open. *)
+
+val collecting : unit -> bool
+(** Whether any thread currently holds an open collector. *)
+
+val now_us : unit -> int
+(** The clock used by spans: wall-clock microseconds. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (shared with the slow-query log). *)

@@ -89,21 +89,42 @@ let rel_ids_of_binding row = function
       List.filter_map (function Value.Rel r -> Some r | _ -> None) vs
     | _ -> [])
 
-(* Observation hook for PROFILE: when set, every row produced by every
-   operator is reported.  The hook is dynamically scoped around a fully
-   materialised profiled run, so laziness cannot leak rows outside it. *)
-let observer : (Plan.t -> unit) option ref = ref None
+(* Observation hook for PROFILE.  When the profiler is set, every
+   operator's output sequence is wrapped so that each pull is measured:
+   rows produced, db hits (via the {!Graph} access counter) and
+   wall-clock time.  A pull of an operator forces pulls of its inputs
+   inside it, so the recorded hits and time are *inclusive* — per-node
+   self costs are recovered by {!self_profile}.  The hook is dynamically
+   scoped around a fully materialised profiled run, so laziness cannot
+   leak measurements outside it. *)
+
+type profile = { prof_rows : int; prof_hits : int; prof_ns : int }
+
+type prof_entry = {
+  mutable e_rows : int;
+  mutable e_hits : int;
+  mutable e_ns : int;
+}
+
+let profiler : (Plan.t -> prof_entry) option ref = ref None
+
+let rec instrument entry (seq : 'a Seq.t) : 'a Seq.t =
+ fun () ->
+  let h0 = Graph.db_hits () in
+  let t0 = Unix.gettimeofday () in
+  let step = seq () in
+  entry.e_ns <- entry.e_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+  entry.e_hits <- entry.e_hits + (Graph.db_hits () - h0);
+  match step with
+  | Seq.Nil -> Seq.Nil
+  | Seq.Cons (x, rest) ->
+    entry.e_rows <- entry.e_rows + 1;
+    Seq.Cons (x, instrument entry rest)
 
 let rec rows cfg g plan arg =
-  let produced = rows_body cfg g plan arg in
-  match !observer with
-  | None -> produced
-  | Some obs ->
-    Seq.map
-      (fun row ->
-        obs plan;
-        row)
-      produced
+  match !profiler with
+  | None -> rows_body cfg g plan arg
+  | Some find -> instrument (find plan) (rows_body cfg g plan arg)
 
 and rows_body cfg g plan arg =
   match plan with
@@ -372,21 +393,48 @@ let run cfg g ~fields plan table =
   Table.of_seq ~fields (rows cfg g plan (Table.to_seq table))
 
 let run_profiled cfg g ~fields plan table =
-  let counts : (Plan.t * int ref) list ref = ref [] in
-  let obs node =
-    match List.find_opt (fun (p, _) -> p == node) !counts with
-    | Some (_, c) -> incr c
-    | None -> counts := (node, ref 1) :: !counts
+  let entries : (Plan.t * prof_entry) list ref = ref [] in
+  let find node =
+    match List.find_opt (fun (p, _) -> p == node) !entries with
+    | Some (_, e) -> e
+    | None ->
+      let e = { e_rows = 0; e_hits = 0; e_ns = 0 } in
+      entries := (node, e) :: !entries;
+      e
   in
-  observer := Some obs;
+  let was_counting = Graph.db_hit_counting_on () in
+  Graph.count_db_hits true;
+  profiler := Some find;
   let result =
     Fun.protect
-      ~finally:(fun () -> observer := None)
+      ~finally:(fun () ->
+        profiler := None;
+        Graph.count_db_hits was_counting)
       (fun () -> Table.of_seq ~fields (rows cfg g plan (Table.to_seq table)))
   in
-  let count node =
-    match List.find_opt (fun (p, _) -> p == node) !counts with
-    | Some (_, c) -> !c
-    | None -> 0
+  let stats node =
+    match List.find_opt (fun (p, _) -> p == node) !entries with
+    | Some (_, e) -> { prof_rows = e.e_rows; prof_hits = e.e_hits; prof_ns = e.e_ns }
+    | None -> { prof_rows = 0; prof_hits = 0; prof_ns = 0 }
   in
-  (result, count)
+  (result, stats)
+
+(* The direct inputs whose inclusive measurements are nested inside a
+   node's own: the pipeline input plus, for OptionalApply, the applied
+   inner plan. *)
+let prof_children node =
+  (match node with Plan.Optional { inner; _ } -> [ inner ] | _ -> [])
+  @ (match Plan.input_of node with Some i -> [ i ] | None -> [])
+
+let self_profile stats node =
+  let incl = stats node in
+  let minus f =
+    max 0
+      (f incl
+      - List.fold_left (fun acc k -> acc + f (stats k)) 0 (prof_children node))
+  in
+  {
+    prof_rows = incl.prof_rows;
+    prof_hits = minus (fun p -> p.prof_hits);
+    prof_ns = minus (fun p -> p.prof_ns);
+  }

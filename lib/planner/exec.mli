@@ -17,9 +17,22 @@ val run :
 (** Runs a plan against a driving table and materialises the result with
     the given output fields. *)
 
+type profile = { prof_rows : int; prof_hits : int; prof_ns : int }
+(** One operator's PROFILE measurements: rows produced, db hits (store
+    accesses, see {!Graph.db_hits}) and wall-clock nanoseconds.  As
+    returned by {!run_profiled} the hits and time are {e inclusive} of
+    the operator's inputs — a pull forces the inputs' pulls inside it;
+    {!self_profile} recovers per-operator self costs. *)
+
 val run_profiled :
   Config.t -> Graph.t -> fields:string list -> Plan.t -> Table.t ->
-  Table.t * (Plan.t -> int)
-(** Like {!run}, additionally counting the rows every operator produced
-    (PROFILE).  The returned function maps each operator of this plan
-    (by physical identity) to its actual row count. *)
+  Table.t * (Plan.t -> profile)
+(** Like {!run}, additionally measuring every operator (PROFILE): rows
+    produced, db hits and elapsed time.  Db-hit counting is enabled for
+    the duration of the run.  The returned function maps each operator
+    of this plan (by physical identity) to its measurements. *)
+
+val self_profile : (Plan.t -> profile) -> Plan.t -> profile
+(** Converts {!run_profiled}'s inclusive measurements into the node's
+    own share: hits and time minus those of its direct inputs (clamped
+    at zero — per-pull clock reads make tiny negatives possible). *)

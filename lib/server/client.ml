@@ -81,6 +81,9 @@ let stats_request t request =
 let server_stats t = stats_request t Protocol.Server_stats
 let store_health t = stats_request t Protocol.Store_health
 
+let metrics t = stats_request t Protocol.Metrics
+(* the process-wide registry: engine + storage + server series *)
+
 let error_message { kind; message } =
   match kind with
   | Protocol.Protocol_violation -> "protocol: " ^ message

@@ -1,104 +1,96 @@
-(* Server-side counters and a request-latency histogram, shared by every
-   connection thread and therefore mutex-guarded.
+(* Server-side request counters and the request-latency histogram.
 
-   Latencies land in power-of-two microsecond buckets (1µs, 2µs, … ~67s);
-   p50/p95 are read off the cumulative histogram as the upper bound of
-   the bucket containing that quantile — coarse, but monotone, cheap to
-   record, and honest about its own resolution. *)
+   Since PR 4 these are named series on the process-wide
+   {!Cypher_obs.Registry} rather than a private mutex-guarded record:
+   the same numbers show up in the 'S' (server-stats) verb, the 'M'
+   (metrics) verb and a local [:metrics] read-out, all from one source.
+   Registration is idempotent, so every [create] returns a handle onto
+   the same series — two servers in one process share them, which is
+   what a process-wide exposition wants. *)
 
-let bucket_count = 27 (* 2^26 µs ≈ 67 s; the last bucket is open-ended *)
+module Registry = Cypher_obs.Registry
 
 type t = {
-  lock : Mutex.t;
-  mutable connections_accepted : int;
-  mutable connections_active : int;
-  mutable requests : int;
-  mutable errors : int;
-  mutable timeouts : int;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  latency : int array; (* count per bucket *)
+  connections_accepted : Registry.counter;
+  connections_active : Registry.gauge;
+  requests : Registry.counter;
+  errors : Registry.counter;
+  timeouts : Registry.counter;
+  bytes_in : Registry.counter;
+  bytes_out : Registry.counter;
+  latency : Registry.histogram;
 }
 
 let create () =
   {
-    lock = Mutex.create ();
-    connections_accepted = 0;
-    connections_active = 0;
-    requests = 0;
-    errors = 0;
-    timeouts = 0;
-    bytes_in = 0;
-    bytes_out = 0;
-    latency = Array.make bucket_count 0;
+    connections_accepted =
+      Registry.counter ~help:"TCP connections accepted"
+        "cypher_server_connections_accepted_total";
+    connections_active =
+      Registry.gauge ~help:"currently open connections"
+        "cypher_server_connections_active";
+    requests =
+      Registry.counter ~help:"requests served"
+        "cypher_server_requests_total";
+    errors =
+      Registry.counter ~help:"requests answered with an error frame"
+        "cypher_server_errors_total";
+    timeouts =
+      Registry.counter ~help:"requests cancelled by the per-query timeout"
+        "cypher_server_timeouts_total";
+    bytes_in =
+      Registry.counter ~help:"request payload bytes received"
+        "cypher_server_bytes_in_total";
+    bytes_out =
+      Registry.counter ~help:"response payload bytes sent"
+        "cypher_server_bytes_out_total";
+    latency =
+      Registry.histogram ~help:"request latency (microsecond buckets)"
+        "cypher_server_request_latency";
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
 let connection_opened t =
-  locked t (fun () ->
-      t.connections_accepted <- t.connections_accepted + 1;
-      t.connections_active <- t.connections_active + 1)
+  Registry.incr t.connections_accepted;
+  Registry.gauge_incr t.connections_active
 
-let connection_closed t =
-  locked t (fun () -> t.connections_active <- t.connections_active - 1)
-
-let bucket_of_us us =
-  let rec go b bound = if us <= bound || b = bucket_count - 1 then b else go (b + 1) (bound * 2) in
-  go 0 1
-
-(* Upper bound of bucket [b] in microseconds. *)
-let bucket_bound_us b = 1 lsl b
+let connection_closed t = Registry.gauge_decr t.connections_active
 
 let observe t ~elapsed ~bytes_in ~bytes_out ~outcome =
-  locked t (fun () ->
-      t.requests <- t.requests + 1;
-      t.bytes_in <- t.bytes_in + bytes_in;
-      t.bytes_out <- t.bytes_out + bytes_out;
-      (match outcome with
-      | `Ok -> ()
-      | `Error -> t.errors <- t.errors + 1
-      | `Timeout ->
-        t.errors <- t.errors + 1;
-        t.timeouts <- t.timeouts + 1);
-      let us = int_of_float (elapsed *. 1e6) in
-      let b = bucket_of_us (max us 1) in
-      t.latency.(b) <- t.latency.(b) + 1)
-
-let percentile_us t q =
-  let total = Array.fold_left ( + ) 0 t.latency in
-  if total = 0 then 0
-  else begin
-    let target = int_of_float (ceil (q *. float_of_int total)) in
-    let acc = ref 0 and result = ref (bucket_bound_us (bucket_count - 1)) in
-    (try
-       Array.iteri
-         (fun b n ->
-           acc := !acc + n;
-           if !acc >= target then begin
-             result := bucket_bound_us b;
-             raise Exit
-           end)
-         t.latency
-     with Exit -> ());
-    !result
-  end
+  Registry.incr t.requests;
+  Registry.add t.bytes_in bytes_in;
+  Registry.add t.bytes_out bytes_out;
+  (match outcome with
+  | `Ok -> ()
+  | `Error -> Registry.incr t.errors
+  | `Timeout ->
+    Registry.incr t.errors;
+    Registry.incr t.timeouts);
+  Registry.observe_s t.latency elapsed
 
 (* A stable snapshot as (name, value) pairs — the [:server-stats]
    protocol verb ships exactly this, Codec-encoded as a map. *)
 let snapshot t =
-  locked t (fun () ->
-      let open Cypher_values.Value in
-      [
-        ("connections_accepted", Int t.connections_accepted);
-        ("connections_active", Int t.connections_active);
-        ("requests", Int t.requests);
-        ("errors", Int t.errors);
-        ("timeouts", Int t.timeouts);
-        ("bytes_in", Int t.bytes_in);
-        ("bytes_out", Int t.bytes_out);
-        ("latency_p50_us", Int (percentile_us t 0.50));
-        ("latency_p95_us", Int (percentile_us t 0.95));
-      ])
+  let open Cypher_values.Value in
+  let s = Registry.hist_snapshot t.latency in
+  let q p =
+    match List.assoc_opt p s.Registry.quantiles with
+    | Some { Registry.q_us; _ } -> q_us
+    | None -> 0
+  in
+  let saturated =
+    List.exists (fun (_, x) -> x.Registry.saturated) s.Registry.quantiles
+  in
+  [
+    ("connections_accepted", Int (Registry.value t.connections_accepted));
+    ("connections_active", Int (Registry.gauge_value t.connections_active));
+    ("requests", Int (Registry.value t.requests));
+    ("errors", Int (Registry.value t.errors));
+    ("timeouts", Int (Registry.value t.timeouts));
+    ("bytes_in", Int (Registry.value t.bytes_in));
+    ("bytes_out", Int (Registry.value t.bytes_out));
+    ("latency_p50_us", Int (q 0.5));
+    ("latency_p95_us", Int (q 0.95));
+    ("latency_p99_us", Int (q 0.99));
+    ("latency_max_us", Int s.Registry.max_us);
+    ("latency_saturated", Bool saturated);
+  ]

@@ -10,6 +10,8 @@
      'Q'  query       text, #params, (name, value)*, #options, (name, value)*
      'S'  server-stats  (empty body)  — the [:server-stats] verb
      'H'  store-health  (empty body)  — WAL/snapshot/plan-cache counters
+     'M'  metrics       (empty body)  — the whole process-wide registry
+                                        (engine + storage + server series)
 
    Responses:
      'R'  result      #columns, column names, #rows, values row-major
@@ -33,10 +35,11 @@ type request =
       params : (string * Value.t) list;
       options : (string * Value.t) list;
           (* per-request overrides; the server understands
-             "timeout_ms" : Int *)
+             "timeout_ms" : Int, "explain" : Bool and "profile" : Bool *)
     }
   | Server_stats
   | Store_health
+  | Metrics
 
 type error_kind =
   | Parse_error
@@ -161,7 +164,8 @@ let encode_request req =
     write_pairs buf params;
     write_pairs buf options
   | Server_stats -> Buffer.add_char buf 'S'
-  | Store_health -> Buffer.add_char buf 'H');
+  | Store_health -> Buffer.add_char buf 'H'
+  | Metrics -> Buffer.add_char buf 'M');
   Buffer.contents buf
 
 let encode_response resp =
@@ -203,6 +207,7 @@ let decode_request payload =
         Query { text; params; options }
       | 'S' -> Server_stats
       | 'H' -> Store_health
+      | 'M' -> Metrics
       | c -> raise (Protocol_error (Printf.sprintf "unknown request verb %C" c)))
 
 let decode_response payload =

@@ -27,6 +27,8 @@ module Session = Cypher_session.Session
 module Engine = Cypher_engine.Engine
 module Config = Cypher_semantics.Config
 module Value = Cypher_values.Value
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
 
 type config = {
   host : string;
@@ -119,7 +121,7 @@ let store_health t conn =
 let execute t conn text params =
   if is_keyword text "BEGIN" then begin
     if conn.tx_depth = 0 then begin
-      Rwlock.write_lock t.lock;
+      Trace.with_span "write_lock" (fun () -> Rwlock.write_lock t.lock);
       Session.set_graph conn.session (Store.graph t.store)
     end;
     Session.begin_tx conn.session;
@@ -130,7 +132,7 @@ let execute t conn text params =
     if conn.tx_depth = 0 then
       error_response Protocol.Runtime_error "runtime error: no open transaction"
     else
-      match Session.commit conn.session with
+      match Trace.with_span "commit" (fun () -> Session.commit conn.session) with
       | Ok () ->
         conn.tx_depth <- conn.tx_depth - 1;
         if conn.tx_depth = 0 then begin
@@ -167,9 +169,13 @@ let execute t conn text params =
     (* Auto-commit statement.  Optimistic read: run under the shared
        lock against the committed graph; only when the result proves to
        be an update (version changed) re-run exclusively through the
-       session, which validates, logs and publishes. *)
+       session, which validates, logs and publishes.  Lock acquisitions
+       are spanned so the slow-query log can tell waiting from work. *)
     let read_attempt =
-      Rwlock.with_read t.lock (fun () ->
+      Trace.with_span "read_lock" (fun () -> Rwlock.read_lock t.lock);
+      Fun.protect
+        ~finally:(fun () -> Rwlock.read_unlock t.lock)
+        (fun () ->
           let g0 = Store.graph t.store in
           let config = Config.with_params params Config.default in
           ( g0,
@@ -183,7 +189,10 @@ let execute t conn text params =
       when Graph.version outcome.Engine.graph = Graph.version g0 ->
       table_response outcome.Engine.table
     | _, Ok _ ->
-      Rwlock.with_write t.lock (fun () ->
+      Trace.with_span "write_lock" (fun () -> Rwlock.write_lock t.lock);
+      Fun.protect
+        ~finally:(fun () -> Rwlock.write_unlock t.lock)
+        (fun () ->
           Session.set_graph conn.session (Store.graph t.store);
           Session.set_params conn.session params;
           match Session.run conn.session text with
@@ -192,6 +201,15 @@ let execute t conn text params =
             table_response table
           | Error e -> error_response (classify e) e)
   end
+
+(* The whole process-wide registry — engine, storage and server series
+   alike — as protocol stats pairs, for the 'M' verb. *)
+let registry_pairs () =
+  List.map
+    (function
+      | Registry.Int_sample (name, v) -> (name, Value.Int v)
+      | Registry.Float_sample (name, v) -> (name, Value.Float v))
+    (Registry.samples ())
 
 let handle_request t conn payload =
   let started = Unix.gettimeofday () in
@@ -202,10 +220,24 @@ let handle_request t conn payload =
       error_response Protocol.Protocol_violation msg
     | Server_stats -> Protocol.Stats (Metrics.snapshot t.metrics)
     | Store_health -> Protocol.Stats (store_health t conn)
+    | Metrics -> Protocol.Stats (registry_pairs ())
     | Query { text; params; options } -> (
       (match List.assoc_opt "timeout_ms" options with
       | Some (Value.Int ms) -> timeout := float_of_int ms /. 1000.
       | _ -> ());
+      (* "explain"/"profile" request options let remote clients ask for
+         the plan without editing their query text; they compose with
+         the engine's own prefix handling. *)
+      let flag name =
+        match List.assoc_opt name options with
+        | Some (Value.Bool b) -> b
+        | _ -> false
+      in
+      let text =
+        if flag "explain" then "EXPLAIN " ^ text
+        else if flag "profile" then "PROFILE " ^ text
+        else text
+      in
       match execute t conn text params with
       | response -> response
       | exception e ->

@@ -1,5 +1,23 @@
 open Cypher_graph
 open Cypher_values
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
+
+let m_save =
+  Registry.histogram
+    ~help:"snapshot encode+write+fsync duration (microsecond buckets)"
+    "cypher_storage_snapshot_save_duration"
+
+let m_load =
+  Registry.histogram
+    ~help:"snapshot read+decode duration (microsecond buckets)"
+    "cypher_storage_snapshot_load_duration"
+
+let timed hist f =
+  let t0 = Trace.now_us () in
+  Fun.protect
+    ~finally:(fun () -> Registry.observe_us hist (Trace.now_us () - t0))
+    f
 
 let magic = "CYSNAP"
 let version = 1
@@ -100,7 +118,9 @@ let encode ?(last_seq = 0) g =
   done;
   Buffer.contents buf
 
-let save ?last_seq g path = write_file_atomic path (encode ?last_seq g)
+let save ?last_seq g path =
+  Trace.with_span "snapshot_save" (fun () ->
+      timed m_save (fun () -> write_file_atomic path (encode ?last_seq g)))
 
 (* --- decoding -------------------------------------------------------- *)
 
@@ -173,8 +193,10 @@ let decode data =
   end
 
 let load_with_seq path =
-  match read_file path with
-  | exception Sys_error e -> Error e
-  | data -> decode data
+  Trace.with_span "snapshot_load" (fun () ->
+      timed m_load (fun () ->
+          match read_file path with
+          | exception Sys_error e -> Error e
+          | data -> decode data))
 
 let load path = Result.map fst (load_with_seq path)

@@ -1,6 +1,16 @@
 open Cypher_graph
 module Session = Cypher_session.Session
 module Engine = Cypher_engine.Engine
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
+
+let m_checkpoints =
+  Registry.counter ~help:"completed checkpoints (snapshot + WAL truncate)"
+    "cypher_storage_checkpoints_total"
+
+let m_recoveries =
+  Registry.counter ~help:"store opens that replayed a non-empty WAL tail"
+    "cypher_storage_recoveries_total"
 
 type t = {
   dir : string;
@@ -78,7 +88,11 @@ let open_ ?schema ?mode dir =
       in
       Ok (tail, last_seq + 1)
   in
-  let* g = Wal.replay ?mode base records in
+  let* g =
+    Trace.with_span "recovery_replay" (fun () ->
+        if records <> [] then Registry.incr m_recoveries;
+        Wal.replay ?mode base records)
+  in
   (* 3. wire the durable session: committed batches append + fsync *)
   let writer = Wal.open_writer ~next_seq wal in
   let store = ref None in
@@ -104,10 +118,12 @@ let checkpoint t =
   if Session.in_transaction t.session then
     Error "checkpoint refused: a transaction is open"
   else begin
+    Trace.with_span "checkpoint" @@ fun () ->
     match Snapshot.save ~last_seq:t.last_seq (graph t) (snapshot_file t.dir) with
     | () ->
       Wal.truncate t.writer;
       t.tail_records <- 0;
+      Registry.incr m_checkpoints;
       Ok ()
     | exception Sys_error e -> Error ("checkpoint failed: " ^ e)
     | exception Unix.Unix_error (err, _, _) ->

@@ -1,6 +1,24 @@
 open Cypher_values
 module Engine = Cypher_engine.Engine
 module Config = Cypher_semantics.Config
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
+
+let m_appends =
+  Registry.counter ~help:"WAL append batches (one fsync each)"
+    "cypher_storage_wal_appends_total"
+
+let m_records =
+  Registry.counter ~help:"statements appended to the WAL"
+    "cypher_storage_wal_records_total"
+
+let m_fsync =
+  Registry.histogram ~help:"WAL fsync latency (microsecond buckets)"
+    "cypher_storage_wal_fsync_latency"
+
+let m_replayed =
+  Registry.counter ~help:"WAL records re-executed during recovery"
+    "cypher_storage_recovery_replayed_total"
 
 let magic = "CYWAL"
 let version = 1
@@ -75,6 +93,7 @@ let append w stmts =
   match stmts with
   | [] -> 0
   | _ ->
+    Trace.with_span "wal_append" @@ fun () ->
     let buf = Buffer.create 256 in
     List.iter
       (fun stmt ->
@@ -82,7 +101,11 @@ let append w stmts =
         w.next_seq <- w.next_seq + 1)
       stmts;
     write_all w.fd (Buffer.contents buf);
-    Unix.fsync w.fd;
+    let t0 = Trace.now_us () in
+    Trace.with_span "fsync" (fun () -> Unix.fsync w.fd);
+    Registry.observe_us m_fsync (Trace.now_us () - t0);
+    Registry.incr m_appends;
+    Registry.add m_records (List.length stmts);
     w.next_seq - 1
 
 let truncate w =
@@ -161,7 +184,9 @@ let replay ?(mode = Engine.Planned) g records =
       | Ok g -> (
         let config = Config.with_params record.params Config.default in
         match Engine.query ~config ~mode g record.text with
-        | Ok outcome -> Ok outcome.Engine.graph
+        | Ok outcome ->
+          Registry.incr m_replayed;
+          Ok outcome.Engine.graph
         | Error e ->
           Error
             (Printf.sprintf "WAL replay failed at record %d (%s): %s"

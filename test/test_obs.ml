@@ -1,0 +1,241 @@
+(* The observability layer: registry correctness under concurrent
+   writers, arbitrary quantiles with open-bucket saturation reporting,
+   db-hit accounting distinguishing known plans, the slow-query log's
+   threshold, and span nesting in the JSONL trace sink. *)
+
+open Helpers
+module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
+module Slowlog = Cypher_obs.Slowlog
+module Graph = Cypher_graph.Graph
+module Stats = Cypher_graph.Stats
+module Build = Cypher_planner.Build
+module Exec = Cypher_planner.Exec
+module Engine = Cypher_engine.Engine
+module Value = Cypher_values.Value
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- registry --------------------------------------------------------- *)
+
+let registry_concurrency () =
+  let c = Registry.counter "test_obs_counter_total" in
+  let g = Registry.gauge "test_obs_gauge" in
+  let h = Registry.histogram "test_obs_latency" in
+  let before = Registry.value c in
+  let h_before = (Registry.hist_snapshot h).Registry.count in
+  let threads = 8 and per = 5_000 in
+  let ts =
+    List.init threads (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 1 to per do
+              Registry.incr c;
+              Registry.gauge_incr g;
+              Registry.gauge_decr g;
+              Registry.observe_us h (((i * j) mod 1000) + 1)
+            done)
+          ())
+  in
+  List.iter Thread.join ts;
+  Alcotest.(check int) "counter saw every increment"
+    (before + (threads * per))
+    (Registry.value c);
+  Alcotest.(check int) "gauge settled back to zero" 0 (Registry.gauge_value g);
+  Alcotest.(check int) "histogram saw every observation" (h_before + (threads * per))
+    (Registry.hist_snapshot h).Registry.count;
+  (* the registered names surface in both expositions *)
+  Alcotest.(check bool) "prometheus exposition carries the series" true
+    (contains (Registry.expose ()) "test_obs_counter_total");
+  Alcotest.(check bool) "json exposition carries the series" true
+    (contains (Registry.expose_json ()) "test_obs_latency_p99_us")
+
+let quantiles_and_saturation () =
+  let h = Registry.histogram "test_obs_saturation" in
+  for _ = 1 to 99 do
+    Registry.observe_us h 100
+  done;
+  (* 200 s: far beyond the last bounded bucket (~67 s) *)
+  Registry.observe_us h 200_000_000;
+  let q50 = Registry.quantile h 0.5 in
+  Alcotest.(check bool) "p50 is not saturated" false q50.Registry.saturated;
+  Alcotest.(check bool) "p50 within its bucket's resolution" true
+    (q50.Registry.q_us >= 100 && q50.Registry.q_us <= 256);
+  let q100 = Registry.quantile h 1.0 in
+  Alcotest.(check bool) "the open bucket reports saturation" true
+    q100.Registry.saturated;
+  Alcotest.(check int) "…and the exact maximum, not a bucket bound"
+    200_000_000 q100.Registry.q_us;
+  let qs =
+    List.map
+      (fun p -> (Registry.quantile h p).Registry.q_us)
+      [ 0.0; 0.1; 0.5; 0.9; 0.99; 1.0 ]
+  in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "quantiles are monotone" true (mono qs)
+
+let registry_kind_clash () =
+  ignore (Registry.counter "test_obs_kind_clash");
+  (match Registry.gauge "test_obs_kind_clash" with
+  | _ -> Alcotest.fail "name rebound to a different metric kind"
+  | exception Invalid_argument _ -> ());
+  (* idempotent re-registration hands back the same series *)
+  let a = Registry.counter "test_obs_kind_clash" in
+  Registry.incr a;
+  let b = Registry.counter "test_obs_kind_clash" in
+  Registry.incr b;
+  Alcotest.(check int) "same underlying counter" 2 (Registry.value a)
+
+(* --- db hits ---------------------------------------------------------- *)
+
+let cfg = Cypher_semantics.Config.default
+
+(* Total db hits of the plan the optimiser picks for [q] on [g]. *)
+let total_hits g q =
+  match Cypher_parser.Parser.parse_query_exn q with
+  | Cypher_ast.Ast.Q_single { sq_clauses; sq_return } ->
+    let { Build.plan; fields } =
+      Build.compile_clauses ~stats:(Stats.collect g) ~visible:[] sq_clauses
+        sq_return
+    in
+    let _table, actual =
+      Exec.run_profiled cfg g ~fields plan Cypher_table.Table.unit
+    in
+    (actual plan).Exec.prof_hits
+  | _ -> Alcotest.fail "expected a single query"
+
+let db_hits_indexed_vs_scan () =
+  let g = ref Graph.empty in
+  for i = 1 to 200 do
+    let g', _ =
+      Graph.add_node ~labels:[ "P" ] ~props:[ ("k", Value.Int i) ] !g
+    in
+    g := g'
+  done;
+  let q = "MATCH (n:P {k: 137}) RETURN n" in
+  let scan_hits = total_hits !g q in
+  let indexed = Graph.create_index !g ~label:"P" ~key:"k" in
+  let seek_hits = total_hits indexed q in
+  Alcotest.(check bool)
+    (Printf.sprintf "index seek (%d hits) beats label scan (%d hits)"
+       seek_hits scan_hits)
+    true
+    (seek_hits < scan_hits);
+  Alcotest.(check bool) "the seek still touches the store" true (seek_hits > 0);
+  (* counting is a profiling device: off outside run_profiled *)
+  Alcotest.(check bool) "counting disabled after a profiled run" false
+    (Graph.db_hit_counting_on ())
+
+(* --- slow-query log --------------------------------------------------- *)
+
+let slow_query_log_threshold () =
+  let lines = ref [] in
+  Slowlog.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () ->
+      Slowlog.set_sink None;
+      Slowlog.set_threshold_ms None)
+    (fun () ->
+      Slowlog.set_threshold_ms (Some 1000.);
+      Slowlog.note ~query:"just_under" ~mode:"planned" ~elapsed_us:999_999
+        ~rows:0 ~spans:[];
+      Alcotest.(check int) "below the threshold: silent" 0 (List.length !lines);
+      Slowlog.note ~query:"right_at" ~mode:"planned" ~elapsed_us:1_000_000
+        ~rows:3
+        ~spans:[ ("execute", 42) ];
+      Alcotest.(check int) "at the threshold: logged" 1 (List.length !lines);
+      let line = List.hd !lines in
+      Alcotest.(check bool) "line carries the query text" true
+        (contains line "right_at");
+      Alcotest.(check bool) "line carries the span breakdown" true
+        (contains line "\"execute\":42");
+      (* end to end: an armed engine reports a real query with its
+         per-phase spans *)
+      Slowlog.set_threshold_ms (Some 0.);
+      (match Engine.query Graph.empty "RETURN 1 AS one" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "armed engine logs the query" true
+        (List.length !lines >= 2);
+      let last = List.hd !lines in
+      Alcotest.(check bool) "engine line names its parse span" true
+        (contains last "parse");
+      (* disarmed again: nothing further *)
+      Slowlog.set_threshold_ms None;
+      let n = List.length !lines in
+      (match Engine.query Graph.empty "RETURN 2 AS two" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check int) "disarmed engine is silent" n (List.length !lines))
+
+(* --- trace spans ------------------------------------------------------ *)
+
+let span_nesting_wellformed () =
+  let lines = ref [] in
+  Trace.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner_a" (fun () -> ());
+          Trace.with_span "inner_b" (fun () -> ()));
+      match List.rev !lines with
+      | [ a; b; outer ] ->
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) "each event is one JSON object" true
+              (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+          [ a; b; outer ];
+        (* children close (and emit) before their parent, one level down *)
+        Alcotest.(check bool) "first child" true
+          (contains a "\"name\":\"inner_a\"" && contains a "\"depth\":1");
+        Alcotest.(check bool) "second child" true
+          (contains b "\"name\":\"inner_b\"" && contains b "\"depth\":1");
+        Alcotest.(check bool) "parent closes last at depth 0" true
+          (contains outer "\"name\":\"outer\"" && contains outer "\"depth\":0")
+      | ls -> Alcotest.failf "expected 3 span events, got %d" (List.length ls));
+  (* an engine query nests parse/plan/execute inside its query span *)
+  lines := [];
+  Trace.set_sink (Some (fun l -> lines := l :: !lines));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      ignore (Engine.run Graph.empty "RETURN 1 AS one");
+      Alcotest.(check bool) "parse emitted at depth 1" true
+        (List.exists
+           (fun l -> contains l "\"name\":\"parse\"" && contains l "\"depth\":1")
+           !lines);
+      match !lines with
+      | last :: _ ->
+        Alcotest.(check bool) "query span closes last at depth 0" true
+          (contains last "\"name\":\"query\"" && contains last "\"depth\":0")
+      | [] -> Alcotest.fail "no spans emitted")
+
+let span_overhead_off_path () =
+  (* with no sink and no collector, with_span must still return the
+     thunk's value and propagate exceptions *)
+  Alcotest.(check int) "value through" 7 (Trace.with_span "s" (fun () -> 7));
+  match Trace.with_span "s" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "exception through" "boom" m
+
+let suite =
+  [
+    tc "registry: concurrent writers lose no updates" registry_concurrency;
+    tc "histogram: arbitrary quantiles, saturation on the open bucket"
+      quantiles_and_saturation;
+    tc "registry: kind clashes rejected, re-registration idempotent"
+      registry_kind_clash;
+    tc "db hits: indexed lookup beats label scan" db_hits_indexed_vs_scan;
+    tc "slow-query log fires at or above its threshold only"
+      slow_query_log_threshold;
+    tc "trace spans nest well-formed in the JSONL sink"
+      span_nesting_wellformed;
+    tc "spans are transparent with no sink attached" span_overhead_off_path;
+  ]

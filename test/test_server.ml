@@ -486,6 +486,61 @@ let stats_verbs_and_metrics () =
             (geti "latency_p50_us" <= geti "latency_p95_us");
           ignore (Metrics.snapshot (Server.metrics server))))
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let metrics_verb_and_remote_profile () =
+  with_server (fun ~dir:_ ~server:_ ~connect ~stop:_ ->
+      let client = connect () in
+      Fun.protect ~finally:(fun () -> Client.close client)
+        (fun () ->
+          ignore (ok_query client "CREATE (:R {v: 1})");
+          ignore (ok_query client "MATCH (n:R) RETURN n.v AS v");
+          let pairs =
+            match Client.metrics client with
+            | Ok pairs -> pairs
+            | Error e -> Alcotest.failf "metrics: %s" (Client.error_message e)
+          in
+          let geti k =
+            match List.assoc_opt k pairs with
+            | Some (Value.Int n) -> n
+            | _ -> Alcotest.failf "missing series %s" k
+          in
+          (* one registry: engine, storage and server series all present *)
+          Alcotest.(check bool) "engine series over the wire" true
+            (geti "cypher_engine_queries_planned_total" > 0);
+          Alcotest.(check bool) "storage series over the wire" true
+            (geti "cypher_storage_wal_records_total" > 0);
+          Alcotest.(check bool) "server series over the wire" true
+            (geti "cypher_server_requests_total" > 0);
+          (* PROFILE travels over the wire: as a query prefix… *)
+          (match Client.query client "PROFILE MATCH (n:R) RETURN n" with
+          | Ok { Client.columns; rows } ->
+            Alcotest.(check (list string)) "plan column" [ "plan" ] columns;
+            Alcotest.(check bool) "per-operator db-hits and rows shown" true
+              (List.exists
+                 (function
+                   | [ Value.String line ] ->
+                     contains line "db-hits" && contains line "actual"
+                   | _ -> false)
+                 rows)
+          | Error e ->
+            Alcotest.failf "remote PROFILE: %s" (Client.error_message e));
+          (* …and as a request option, leaving the text untouched *)
+          match
+            Client.query
+              ~options:[ ("profile", Value.Bool true) ]
+              client "MATCH (n:R) RETURN n"
+          with
+          | Ok { Client.columns; rows } ->
+            Alcotest.(check (list string)) "option plan column" [ "plan" ]
+              columns;
+            Alcotest.(check bool) "option yields a plan" true (rows <> [])
+          | Error e ->
+            Alcotest.failf "profile option: %s" (Client.error_message e)))
+
 let graceful_stop_checkpoints () =
   let dir = fresh_dir () in
   let store = open_store dir in
@@ -541,6 +596,8 @@ let suite =
       kill_mid_commit_recovers;
     tc "per-request timeout returns a typed error" request_timeout;
     tc "stats verbs and server metrics" stats_verbs_and_metrics;
+    tc "metrics verb exposes the whole registry; PROFILE works remotely"
+      metrics_verb_and_remote_profile;
     tc "graceful stop drains, checkpoints and truncates the WAL"
       graceful_stop_checkpoints;
   ]
