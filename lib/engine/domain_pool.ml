@@ -1,0 +1,169 @@
+(* The process-wide worker-domain pool behind parallel read execution.
+
+   One pool per process, sized lazily: domains are spawned the first
+   time a job asks for them and kept for the life of the process, so
+   the spawn cost (~ tens of microseconds plus a runtime ring slot) is
+   paid once, not per query.  A job ([run ~workers n f]) is a bag of
+   [n] independent index-addressed tasks; scheduling is work-stealing
+   over a single atomic next-index counter, so morsel imbalance (one
+   morsel hits a hub node, another is all misses) self-corrects: fast
+   workers just claim more indices.
+
+   The caller always participates as one of the workers.  That bounds
+   the helpers needed at [workers - 1], and — more importantly — makes
+   the pool deadlock-free under concurrent jobs: even if every pool
+   domain is busy with other jobs, each caller drives its own job to
+   completion alone, merely without speed-up.
+
+   Tasks MUST NOT raise: the executor wraps each morsel and stores the
+   outcome; a leaked exception here would kill a worker domain.  As a
+   backstop, leaked exceptions are swallowed (and counted).
+
+   OCaml's runtime joins live domains at process exit, so an [at_exit]
+   hook shuts the pool down: it flips [shutting_down], wakes every
+   sleeper, and joins.  Without it, any process that ever ran a
+   parallel query would hang on exit. *)
+
+module Registry = Cypher_obs.Registry
+
+let m_domains =
+  Registry.gauge ~help:"worker domains spawned by the pool"
+    "cypher_pool_domains"
+
+let m_busy =
+  Registry.gauge ~help:"pool domains currently executing tasks"
+    "cypher_pool_busy"
+
+let m_tasks =
+  Registry.counter ~help:"tasks (morsels) executed on pool domains"
+    "cypher_pool_tasks_total"
+
+let m_jobs =
+  Registry.counter ~help:"parallel jobs submitted to the pool"
+    "cypher_pool_jobs_total"
+
+let m_task_errors =
+  Registry.counter ~help:"tasks that leaked an exception (executor bug)"
+    "cypher_pool_task_errors_total"
+
+(* Hard ceiling on pool size; requests beyond it are clamped, not
+   refused.  8 helpers saturate any plausible host for this workload
+   long before memory bandwidth stops scaling. *)
+let max_domains = 8
+
+type job = {
+  j_run : int -> unit;
+  j_total : int;
+  j_next : int Atomic.t;  (* next unclaimed task index *)
+  j_done : int Atomic.t;  (* completed tasks *)
+  j_mutex : Mutex.t;
+  j_cond : Condition.t;
+  mutable j_finished : bool;
+}
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : job Queue.t = Queue.create ()
+let domains : unit Domain.t list ref = ref []
+let shutting_down = ref false  (* under [lock] *)
+
+(* Claims task indices until the job is drained.  Runs on pool domains
+   and on the caller alike. *)
+let help job ~on_pool =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.j_next 1 in
+    if i < job.j_total then begin
+      if on_pool then Registry.incr m_tasks;
+      (try job.j_run i
+       with _ -> Registry.incr m_task_errors);
+      let completed = 1 + Atomic.fetch_and_add job.j_done 1 in
+      if completed = job.j_total then begin
+        Mutex.lock job.j_mutex;
+        job.j_finished <- true;
+        Condition.broadcast job.j_cond;
+        Mutex.unlock job.j_mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop () =
+  Mutex.lock lock;
+  while Queue.is_empty queue && not !shutting_down do
+    Condition.wait work_available lock
+  done;
+  if !shutting_down then Mutex.unlock lock
+  else begin
+    let job = Queue.pop queue in
+    Mutex.unlock lock;
+    Registry.gauge_incr m_busy;
+    help job ~on_pool:true;
+    Registry.gauge_decr m_busy;
+    worker_loop ()
+  end
+
+(* Grows the pool to [n] domains; no-op once it is there.  Under
+   [lock] so two racing jobs cannot over-spawn. *)
+let ensure_domains n =
+  let n = min n max_domains in
+  Mutex.lock lock;
+  while List.length !domains < n && not !shutting_down do
+    domains := Domain.spawn worker_loop :: !domains;
+    Registry.gauge_incr m_domains
+  done;
+  Mutex.unlock lock
+
+let size () =
+  Mutex.lock lock;
+  let n = List.length !domains in
+  Mutex.unlock lock;
+  n
+
+let run ~workers n f =
+  if n > 0 then begin
+    if workers <= 1 || n = 1 then
+      for i = 0 to n - 1 do f i done
+    else begin
+      Registry.incr m_jobs;
+      let helpers = min (workers - 1) (n - 1) in
+      ensure_domains helpers;
+      let job =
+        {
+          j_run = f;
+          j_total = n;
+          j_next = Atomic.make 0;
+          j_done = Atomic.make 0;
+          j_mutex = Mutex.create ();
+          j_cond = Condition.create ();
+          j_finished = false;
+        }
+      in
+      Mutex.lock lock;
+      (* one queue entry per helper we want on this job; a domain that
+         pops a handle after the job drained exits [help] immediately *)
+      for _ = 1 to helpers do Queue.push job queue done;
+      Condition.broadcast work_available;
+      Mutex.unlock lock;
+      help job ~on_pool:false;
+      Mutex.lock job.j_mutex;
+      while not job.j_finished do Condition.wait job.j_cond job.j_mutex done;
+      Mutex.unlock job.j_mutex
+    end
+  end
+
+let shutdown () =
+  Mutex.lock lock;
+  shutting_down := true;
+  Queue.clear queue;
+  Condition.broadcast work_available;
+  let ds = !domains in
+  domains := [];
+  Mutex.unlock lock;
+  List.iter Domain.join ds;
+  Mutex.lock lock;
+  shutting_down := false;
+  Mutex.unlock lock
+
+(* see the module comment: live domains block process exit *)
+let () = at_exit shutdown

@@ -1,0 +1,29 @@
+(** The process-wide worker-domain pool for parallel read execution.
+
+    Domains are spawned lazily on first use and kept for the life of
+    the process (an [at_exit] hook joins them, since the OCaml runtime
+    waits for live domains).  Scheduling is work-stealing over an
+    atomic task counter, and the caller of {!run} always participates
+    as one worker, which makes concurrent jobs deadlock-free: a job
+    never waits on pool capacity, it only speeds up with it.
+
+    The pool exposes its state on {!Cypher_obs.Registry}:
+    [cypher_pool_domains], [cypher_pool_busy], [cypher_pool_tasks_total],
+    [cypher_pool_jobs_total] and [cypher_pool_task_errors_total]. *)
+
+val run : workers:int -> int -> (int -> unit) -> unit
+(** [run ~workers n f] executes [f 0 .. f (n-1)], each exactly once,
+    on up to [workers] domains (the calling one included; helper count
+    is clamped to the pool's hard ceiling).  Returns when all [n] have
+    completed.  [f] must not raise — exceptions are swallowed and
+    counted, so callers must capture outcomes themselves.  With
+    [workers <= 1] (or [n <= 1]) the tasks run inline on the caller in
+    index order, bypassing the pool entirely. *)
+
+val size : unit -> int
+(** Worker domains currently alive. *)
+
+val shutdown : unit -> unit
+(** Joins every pool domain (they finish their current task first).
+    Installed as an [at_exit] hook; safe to call more than once, and
+    the pool re-grows on the next {!run} after a manual shutdown. *)

@@ -120,6 +120,21 @@ let stats_of g =
     Mutex.unlock stats_lock;
     s
 
+(* The executor entry point for read segments: sequential by default,
+   morsel-parallel over the domain pool when the session's config asks
+   for more than one worker.  Only full-table runs are routed — PROFILE
+   and [stream] keep the sequential executor, whose per-pull
+   instrumentation and laziness do not decompose. *)
+let exec_run cfg g ~fields plan table =
+  let workers = cfg.Config.parallel in
+  if workers > 1 then
+    Cypher_planner.Par_exec.run
+      { Cypher_planner.Par_exec.workers;
+        run_tasks = (fun n f -> Domain_pool.run ~workers n f);
+      }
+      cfg g ~fields plan table
+  else Exec.run cfg g ~fields plan table
+
 let run_single_planned cfg g sq =
   let stats = stats_of g in
   let segments = segment sq.sq_clauses in
@@ -134,7 +149,7 @@ let run_single_planned cfg g sq =
             Build.compile_clauses ~stats ~visible clauses sq.sq_return)
       in
       let table =
-        Trace.with_span "execute" (fun () -> Exec.run cfg g ~fields plan table)
+        Trace.with_span "execute" (fun () -> exec_run cfg g ~fields plan table)
       in
       { graph = g; table }
     | `Read clauses :: rest ->
@@ -143,7 +158,7 @@ let run_single_planned cfg g sq =
             Build.compile_clauses ~stats ~visible clauses None)
       in
       let table =
-        Trace.with_span "execute" (fun () -> Exec.run cfg g ~fields plan table)
+        Trace.with_span "execute" (fun () -> exec_run cfg g ~fields plan table)
       in
       go g table fields rest
     | `Update c :: rest ->
@@ -572,7 +587,7 @@ let run_cached_entry cache config g entry =
           { graph = g;
             table =
               Trace.with_span "execute" (fun () ->
-                  Exec.run config g ~fields plan Table.unit);
+                  exec_run config g ~fields plan Table.unit);
           })
     | None -> run_ast config Planned g entry.ce_ast
   end

@@ -49,21 +49,28 @@ type t = {
 (* PROFILE's cost unit: one "db hit" per store access — an entity-record
    fetch (node_data/rel_data, and everything routed through them:
    property reads, labels, endpoints), an adjacency-list read, or an
-   index lookup.  Disabled by default: the counter costs one boolean
-   load per access.  The counter is process-global and deliberately
-   unsynchronised — concurrent PROFILEs would interleave their counts,
-   which is acceptable for a diagnostic (and the profiled executor is
-   driven from one thread at a time). *)
+   index lookup.  Disabled by default: the counter costs one atomic
+   boolean load per access.  Both cells are [Atomic]: the parallel
+   executor's worker domains touch the store in true parallel, and a
+   plain load-incr-store would drop hits (an unsynchronised int ref was
+   exact under single-domain systhreads, but no longer).  Concurrent
+   PROFILEs still interleave their counts into the one global — an
+   accepted diagnostic limitation. *)
 
-let db_hit_counting = ref false
-let db_hit_counter = ref 0
+let db_hit_counting = Atomic.make false
+let db_hit_counter = Atomic.make 0
 
-let db_hits () = !db_hit_counter
-let count_db_hits enabled = db_hit_counting := enabled
-let db_hit_counting_on () = !db_hit_counting
+let db_hits () = Atomic.get db_hit_counter
+let count_db_hits enabled = Atomic.set db_hit_counting enabled
+let db_hit_counting_on () = Atomic.get db_hit_counting
 
 let[@inline] db_hit () =
-  if !db_hit_counting then incr db_hit_counter
+  if Atomic.get db_hit_counting then
+    ignore (Atomic.fetch_and_add db_hit_counter 1)
+
+let[@inline] db_hit_n n =
+  if Atomic.get db_hit_counting then
+    ignore (Atomic.fetch_and_add db_hit_counter n)
 
 let version_counter = ref 0
 
@@ -344,14 +351,12 @@ let rel_type g r = (rel_data g r).rel_type
    AllNodesScan is as expensive as fetching every record. *)
 let nodes g =
   let ns = List.map fst (Nmap.bindings g.node_map) in
-  if !db_hit_counting then
-    db_hit_counter := !db_hit_counter + List.length ns;
+  db_hit_n (List.length ns);
   ns
 
 let rels g =
   let rs = List.map fst (Rmap.bindings g.rel_map) in
-  if !db_hit_counting then
-    db_hit_counter := !db_hit_counter + List.length rs;
+  db_hit_n (List.length rs);
   rs
 let node_count g = Nmap.cardinal g.node_map
 let rel_count g = Rmap.cardinal g.rel_map
@@ -367,8 +372,7 @@ let nodes_with_label g l =
   match Smap.find_opt l g.label_index with
   | Some s ->
     let ns = Ids.Node_set.elements s in
-    if !db_hit_counting then
-      db_hit_counter := !db_hit_counter + List.length ns;
+    db_hit_n (List.length ns);
     ns
   | None -> []
 
@@ -377,8 +381,7 @@ let rels_with_type g t =
   match Smap.find_opt t g.type_index with
   | Some s ->
     let rs = Ids.Rel_set.elements s in
-    if !db_hit_counting then
-      db_hit_counter := !db_hit_counter + List.length rs;
+    db_hit_n (List.length rs);
     rs
   | None -> []
 
@@ -546,7 +549,6 @@ let index_seek g ~label ~key v =
     match Vmap.find_opt v vmap with
     | Some set ->
       let ns = Ids.Node_set.elements set in
-      if !db_hit_counting then
-        db_hit_counter := !db_hit_counter + List.length ns;
+      db_hit_n (List.length ns);
       ns
     | None -> [])

@@ -1,0 +1,15 @@
+(* Monotonic time for durations.
+
+   Wall-clock time (Unix.gettimeofday) can step backwards under NTP
+   adjustment, which used to surface as negative durations in traces,
+   the slow-query log and PROFILE output.  Every duration in this
+   codebase is now a difference of two [now_ns]/[now_us] reads, which
+   CLOCK_MONOTONIC guarantees to be non-negative.
+
+   The epoch is arbitrary (boot time on Linux): these values order and
+   subtract, they do not date.  Wall-clock timestamps for logs keep
+   using [Unix.gettimeofday]. *)
+
+external now_ns : unit -> int = "cypher_obs_monotonic_ns" [@@noalloc]
+
+let now_us () = now_ns () / 1_000

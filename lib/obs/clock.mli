@@ -1,0 +1,13 @@
+(** Monotonic time for durations.
+
+    [Unix.gettimeofday] follows the wall clock, which NTP can step
+    backwards; differences of it occasionally go negative.  These
+    readings come from [CLOCK_MONOTONIC]: the epoch is arbitrary, but
+    differences are guaranteed non-negative, so they are what every
+    span, slowlog and PROFILE duration is computed from. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed point; never decreases. *)
+
+val now_us : unit -> int
+(** [now_ns () / 1000]. *)

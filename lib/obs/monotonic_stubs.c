@@ -1,0 +1,19 @@
+/* CLOCK_MONOTONIC for span and profile timing.
+ *
+ * The OCaml Unix library only exposes gettimeofday, which steps when
+ * NTP adjusts the wall clock and can therefore produce negative span
+ * durations.  This stub reads the monotonic clock instead.  The result
+ * is returned as a tagged immediate (Val_long) rather than a boxed
+ * int64 so the call never allocates: 63-bit nanoseconds overflow after
+ * ~146 years of uptime, which is not a real concern.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cypher_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -17,21 +17,17 @@
    [cypher_server_requests_total]).  The registry table itself is
    mutex-guarded.
 
-   CONCURRENCY MODEL.  Updates are plain unsynchronised writes on
-   mutable int fields.  This is exact — not merely approximate — under
-   the concurrency model this codebase uses throughout: POSIX systhreads
-   in a single runtime domain.  Such threads never run in parallel and
-   are preempted only at safepoints (allocations, function entries, loop
-   back-edges), so a load-add-store on an int field can never be torn or
-   interleaved.  The payoff is the hot path: a counter bump or histogram
-   observation is a handful of plain stores, which benchmark B15 prices
-   at a few nanoseconds per query.  There is no [Domain.spawn] anywhere
-   in this repository; if domains are ever introduced, every mutable
-   field in this module must become [Atomic] (and the histogram needs a
-   bucket-before-count ordering discipline for lock-free readers).
+   CONCURRENCY MODEL.  Every metric field is an [Atomic.t]: since the
+   parallel executor's domain pool arrived, updates can race in true
+   parallel (worker domains bump the Graph db-hit counter and the pool
+   gauges while server threads bump request series), and plain int
+   writes would drop increments.  [Atomic.fetch_and_add] keeps counters
+   and sums exact; the histogram maximum is maintained with a CAS loop.
+   The cost is a lock-prefixed add instead of a plain store per update —
+   benchmark B15 still prices a counter bump in nanoseconds.
 
-   A histogram observation still increments its bucket *before* the
-   count, so a reader interleaved between the two sees at most one
+   A histogram observation increments its bucket *before* the count, so
+   a lock-free reader interleaved between the two sees at most one
    bucket entry the count does not yet cover — a quantile scan therefore
    always resolves its rank inside the bucket array.
 
@@ -51,10 +47,10 @@ let bucket_count = 28
 type histogram = {
   h_name : string;
   h_help : string;
-  buckets : int array;
-  mutable h_count : int;
-  mutable h_sum_us : int;
-  mutable h_max_us : int;
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum_us : int Atomic.t;
+  h_max_us : int Atomic.t;
 }
 
 let bucket_of_us us =
@@ -65,17 +61,22 @@ let bucket_of_us us =
 
 let bucket_bound_us b = 1 lsl b
 
-(* On the hot path of every query: a handful of plain stores (see the
-   module comment for why they are exact without synchronisation).
-   Bucket before count, so readers' quantile ranks always resolve. *)
+(* Raises [cell] to at least [v]; exact under contention. *)
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+(* On the hot path of every query: a few atomic adds (see the module
+   comment).  Bucket before count, so readers' quantile ranks always
+   resolve. *)
 let[@inline] observe_us h us =
   if Atomic.get enabled then begin
     let us = max us 0 in
     let b = bucket_of_us (max us 1) in
-    h.buckets.(b) <- h.buckets.(b) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum_us <- h.h_sum_us + us;
-    if us > h.h_max_us then h.h_max_us <- us
+    ignore (Atomic.fetch_and_add h.buckets.(b) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum_us us);
+    atomic_max h.h_max_us us
   end
 
 let observe_s h s = observe_us h (int_of_float (s *. 1e6))
@@ -98,7 +99,7 @@ let quantile_at h count q =
     (try
        Array.iteri
          (fun b n ->
-           acc := !acc + n;
+           acc := !acc + Atomic.get n;
            if !acc >= target then begin
              result := Some b;
              raise Exit
@@ -107,11 +108,11 @@ let quantile_at h count q =
      with Exit -> ());
     match !result with
     | Some b when b < bucket_count - 1 ->
-      { q_us = min (bucket_bound_us b) h.h_max_us; saturated = false }
-    | _ -> { q_us = h.h_max_us; saturated = true }
+      { q_us = min (bucket_bound_us b) (Atomic.get h.h_max_us); saturated = false }
+    | _ -> { q_us = Atomic.get h.h_max_us; saturated = true }
   end
 
-let quantile h q = quantile_at h h.h_count q
+let quantile h q = quantile_at h (Atomic.get h.h_count) q
 
 type hist_snapshot = {
   count : int;
@@ -121,27 +122,35 @@ type hist_snapshot = {
 }
 
 let hist_snapshot ?(qs = [ 0.5; 0.95; 0.99 ]) h =
-  let count = h.h_count in
+  let count = Atomic.get h.h_count in
   {
     count;
-    sum_us = h.h_sum_us;
-    max_us = h.h_max_us;
+    sum_us = Atomic.get h.h_sum_us;
+    max_us = Atomic.get h.h_max_us;
     quantiles = List.map (fun q -> (q, quantile_at h count q)) qs;
   }
 
 (* --- counters and gauges ---------------------------------------------- *)
 
-type counter = { c_name : string; c_help : string; mutable c_v : int }
-type gauge = { g_name : string; g_help : string; mutable g_v : int }
+type counter = { c_name : string; c_help : string; c_v : int Atomic.t }
+type gauge = { g_name : string; g_help : string; g_v : int Atomic.t }
 
-let[@inline] incr c = if Atomic.get enabled then c.c_v <- c.c_v + 1
-let[@inline] add c n = if Atomic.get enabled then c.c_v <- c.c_v + n
-let value c = c.c_v
+let[@inline] incr c =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v 1)
 
-let[@inline] gauge_incr g = if Atomic.get enabled then g.g_v <- g.g_v + 1
-let[@inline] gauge_decr g = if Atomic.get enabled then g.g_v <- g.g_v - 1
-let gauge_set g n = if Atomic.get enabled then g.g_v <- n
-let gauge_value g = g.g_v
+let[@inline] add c n =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_v n)
+
+let value c = Atomic.get c.c_v
+
+let[@inline] gauge_incr g =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add g.g_v 1)
+
+let[@inline] gauge_decr g =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add g.g_v (-1))
+
+let gauge_set g n = if Atomic.get enabled then Atomic.set g.g_v n
+let gauge_value g = Atomic.get g.g_v
 
 (* --- the registry ----------------------------------------------------- *)
 
@@ -176,12 +185,12 @@ let register name mk describe =
 
 let counter ?(help = "") name =
   register name
-    (fun () -> Counter { c_name = name; c_help = help; c_v = 0 })
+    (fun () -> Counter { c_name = name; c_help = help; c_v = Atomic.make 0 })
     (function Counter c -> Some c | _ -> None)
 
 let gauge ?(help = "") name =
   register name
-    (fun () -> Gauge { g_name = name; g_help = help; g_v = 0 })
+    (fun () -> Gauge { g_name = name; g_help = help; g_v = Atomic.make 0 })
     (function Gauge g -> Some g | _ -> None)
 
 let histogram ?(help = "") name =
@@ -191,10 +200,10 @@ let histogram ?(help = "") name =
         {
           h_name = name;
           h_help = help;
-          buckets = Array.make bucket_count 0;
-          h_count = 0;
-          h_sum_us = 0;
-          h_max_us = 0;
+          buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum_us = Atomic.make 0;
+          h_max_us = Atomic.make 0;
         })
     (function Histogram h -> Some h | _ -> None)
 
@@ -212,13 +221,13 @@ let reset_all () =
   Mutex.lock registry_lock;
   Hashtbl.iter
     (fun _ -> function
-      | Counter c -> c.c_v <- 0
-      | Gauge g -> g.g_v <- 0
+      | Counter c -> Atomic.set c.c_v 0
+      | Gauge g -> Atomic.set g.g_v 0
       | Histogram h ->
-        Array.fill h.buckets 0 bucket_count 0;
-        h.h_count <- 0;
-        h.h_sum_us <- 0;
-        h.h_max_us <- 0)
+        Array.iter (fun b -> Atomic.set b 0) h.buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum_us 0;
+        Atomic.set h.h_max_us 0)
     registry;
   Mutex.unlock registry_lock
 
@@ -232,8 +241,8 @@ type sample = Int_sample of string * int | Float_sample of string * float
 let samples () =
   List.concat_map
     (function
-      | Counter c -> [ Int_sample (c.c_name, c.c_v) ]
-      | Gauge g -> [ Int_sample (g.g_name, g.g_v) ]
+      | Counter c -> [ Int_sample (c.c_name, Atomic.get c.c_v) ]
+      | Gauge g -> [ Int_sample (g.g_name, Atomic.get g.g_v) ]
       | Histogram h ->
         let s = hist_snapshot h in
         let q p =
@@ -270,16 +279,18 @@ let expose () =
     (function
       | Counter c ->
         header c.c_name c.c_help "counter";
-        Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name (c.c_v))
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.c_v))
       | Gauge g ->
         header g.g_name g.g_help "gauge";
-        Buffer.add_string buf (Printf.sprintf "%s %d\n" g.g_name (g.g_v))
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" g.g_name (Atomic.get g.g_v))
       | Histogram h ->
         header h.h_name h.h_help "histogram";
         let cumulative = ref 0 in
         Array.iteri
           (fun b n ->
-            cumulative := !cumulative + n;
+            cumulative := !cumulative + Atomic.get n;
             if b < bucket_count - 1 then
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" h.h_name
@@ -289,9 +300,9 @@ let expose () =
           (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name !cumulative);
         Buffer.add_string buf
           (Printf.sprintf "%s_sum %.6f\n" h.h_name
-             (float_of_int (h.h_sum_us) /. 1e6));
+             (float_of_int (Atomic.get h.h_sum_us) /. 1e6));
         Buffer.add_string buf
-          (Printf.sprintf "%s_count %d\n" h.h_name (h.h_count)))
+          (Printf.sprintf "%s_count %d\n" h.h_name (Atomic.get h.h_count)))
     (metrics_in_order ());
   Buffer.contents buf
 

@@ -1,8 +1,8 @@
 (* Trace spans: dynamically-scoped named timers emitting JSON-lines
    events to an optional sink.
 
-   [with_span name f] times [f] on the wall clock and, when a sink is
-   attached, emits one JSON object per completed span:
+   [with_span name f] times [f] on the monotonic clock and, when a sink
+   is attached, emits one JSON object per completed span:
 
      {"name":"execute","thread":3,"depth":1,"seq":17,
       "start_us":123456789,"dur_us":842,"attrs":{"query":"MATCH ..."}}
@@ -23,7 +23,11 @@
    per-phase breakdown (parse/plan/execute/fsync/…) of one query without
    any sink configured. *)
 
-let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+(* Monotonic, so [dur_us] can never go negative when NTP steps the wall
+   clock.  [start_us] is therefore relative to an arbitrary epoch, which
+   is fine for ordering and duration; consumers wanting wall-clock dates
+   must correlate externally. *)
+let now_us = Clock.now_us
 
 (* --- sink ------------------------------------------------------------- *)
 
@@ -162,6 +166,27 @@ let add_total c name dur =
     | _ :: rest -> go rest
   in
   go c.totals
+
+(* An externally-timed span: the parallel executor times morsels on
+   worker domains (which have no per-thread span state) and reports the
+   aggregate from the coordinating thread, so collectors and sinks see
+   worker time attributed to the query that spent it. *)
+let note ?(attrs = []) name dur_us =
+  match Atomic.get sink with
+  | None when not (collecting ()) -> ()
+  | observer -> (
+    let st = thread_state () in
+    (match st.collector with
+    | Some c -> add_total c name dur_us
+    | None -> ());
+    match observer with
+    | Some out ->
+      emit out ~name
+        ~thread:(Thread.id (Thread.self ()))
+        ~depth:st.depth
+        ~start_us:(now_us () - dur_us)
+        ~dur_us ~attrs
+    | None -> ())
 
 let with_span ?(attrs = []) name f =
   match Atomic.get sink with

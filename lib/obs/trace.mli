@@ -1,4 +1,4 @@
-(** Trace spans: wall-clock timers around engine phases (parse, plan,
+(** Trace spans: monotonic-clock timers around engine phases (parse, plan,
     execute, commit, fsync, checkpoint, lock acquisition…) emitting
     JSON-lines events to an optional sink.  With no sink attached and no
     collector open, {!with_span} costs two atomic loads — it is left in
@@ -10,6 +10,14 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     duration is added to the calling thread's open collector, if any.
     Spans nest per thread; the emitted [depth] field is the number of
     enclosing spans still open on the same thread. *)
+
+val note : ?attrs:(string * string) list -> string -> int -> unit
+(** [note name dur_us] records a span that was timed externally: it is
+    emitted to the sink and added to the calling thread's collector as
+    if a [with_span] of that duration had just completed here.  The
+    parallel executor uses this to report time spent on worker domains
+    (which carry no per-thread span state) from the coordinating
+    thread. *)
 
 val set_sink : (string -> unit) option -> unit
 (** Attaches a consumer for completed-span JSON lines (one object per
@@ -39,7 +47,7 @@ val collecting : unit -> bool
 (** Whether any thread currently holds an open collector. *)
 
 val now_us : unit -> int
-(** The clock used by spans: wall-clock microseconds. *)
+(** The clock used by spans: monotonic microseconds (arbitrary epoch). *)
 
 val json_escape : string -> string
 (** JSON string-body escaping (shared with the slow-query log). *)

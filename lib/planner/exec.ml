@@ -106,14 +106,21 @@ type prof_entry = {
   mutable e_ns : int;
 }
 
-let profiler : (Plan.t -> prof_entry) option ref = ref None
+(* Dynamically scoped per *domain*, not a plain global: a profiled run
+   on one server thread must not instrument — or race against — a
+   parallel query whose morsels execute on worker domains at the same
+   time.  Workers start from the key's initializer, so they always see
+   [None]; profiled runs themselves stay entirely on one domain. *)
+let profiler_key : (Plan.t -> prof_entry) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let rec instrument entry (seq : 'a Seq.t) : 'a Seq.t =
  fun () ->
   let h0 = Graph.db_hits () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Cypher_obs.Clock.now_ns () in
   let step = seq () in
-  entry.e_ns <- entry.e_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+  (* monotonic difference: non-negative even if NTP steps the wall clock *)
+  entry.e_ns <- entry.e_ns + (Cypher_obs.Clock.now_ns () - t0);
   entry.e_hits <- entry.e_hits + (Graph.db_hits () - h0);
   match step with
   | Seq.Nil -> Seq.Nil
@@ -122,7 +129,7 @@ let rec instrument entry (seq : 'a Seq.t) : 'a Seq.t =
     Seq.Cons (x, instrument entry rest)
 
 let rec rows cfg g plan arg =
-  match !profiler with
+  match Domain.DLS.get profiler_key with
   | None -> rows_body cfg g plan arg
   | Some find -> instrument (find plan) (rows_body cfg g plan arg)
 
@@ -404,11 +411,11 @@ let run_profiled cfg g ~fields plan table =
   in
   let was_counting = Graph.db_hit_counting_on () in
   Graph.count_db_hits true;
-  profiler := Some find;
+  Domain.DLS.set profiler_key (Some find);
   let result =
     Fun.protect
       ~finally:(fun () ->
-        profiler := None;
+        Domain.DLS.set profiler_key None;
         Graph.count_db_hits was_counting)
       (fun () -> Table.of_seq ~fields (rows cfg g plan (Table.to_seq table)))
   in

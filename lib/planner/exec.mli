@@ -19,7 +19,7 @@ val run :
 
 type profile = { prof_rows : int; prof_hits : int; prof_ns : int }
 (** One operator's PROFILE measurements: rows produced, db hits (store
-    accesses, see {!Graph.db_hits}) and wall-clock nanoseconds.  As
+    accesses, see {!Graph.db_hits}) and monotonic-clock nanoseconds.  As
     returned by {!run_profiled} the hits and time are {e inclusive} of
     the operator's inputs — a pull forces the inputs' pulls inside it;
     {!self_profile} recovers per-operator self costs. *)

@@ -1,0 +1,394 @@
+(* Morsel-driven parallel execution of read-only plans.
+
+   The sequential executor ({!Exec}) evaluates a plan as one lazy row
+   stream.  This driver splits that stream across worker domains while
+   producing the *same table, in the same row order*:
+
+   - The plan chain is decomposed (bottom-up) into a morsel source, a
+     streaming pipeline segment, at most one specially-handled pipeline
+     breaker, and a sequential remainder.
+   - The source rows — the output of the leaf scan (or the driving
+     table itself, when a later query part is driven by many rows) —
+     are split into contiguous morsels.  Contiguity is the load-bearing
+     property: every streaming operator maps each input row to a
+     sub-stream independently of its neighbours, so concatenating the
+     per-morsel outputs in morsel order reproduces the sequential
+     output row-for-row, not merely as a bag.
+   - Each morsel runs the pipeline segment through the ordinary
+     sequential executor on a worker domain (the plan, graph and config
+     are immutable and shared; every per-execution cache in [Exec] is
+     created inside the per-morsel call, so nothing is forced across
+     domains).
+   - Merges at the first pipeline breaker:
+       Aggregate  — per-morsel grouping and argument-value evaluation
+                    (the expensive, parallelisable part), then a
+                    combine step that concatenates per-group value
+                    lists in morsel order and finalises sequentially.
+                    Concatenation order matters: float sums are not
+                    associative, and replaying the exact sequential
+                    fold order makes results bitwise-identical.
+       Sort       — per-morsel stable sort, then a k-way merge that
+                    breaks ties toward the lower morsel index; together
+                    with per-morsel stability this equals a stable sort
+                    of the whole stream.
+       Limit      — the limit is pushed into each morsel (no morsel
+                    produces more than n rows) and re-applied globally.
+       Distinct   — per-morsel dedup (keeps first occurrences, shrinks
+                    the merge) followed by the global dedup.
+       anything else (Skip, or no breaker) — ordered concatenation.
+   - Everything above the handled breaker runs sequentially on the
+     merged stream, exactly as before.
+
+   Error semantics match sequential first-error behaviour: each morsel
+   captures its exception, and the lowest-index failure is re-raised —
+   the same error the sequential executor would have hit first.
+
+   The driver takes a {!runner} rather than touching the domain pool
+   directly, so the planner layer stays independent of the engine layer
+   that owns the pool. *)
+
+open Cypher_values
+open Cypher_table
+open Cypher_semantics
+module Clock = Cypher_obs.Clock
+module Trace = Cypher_obs.Trace
+
+type runner = {
+  workers : int;  (** parallelism budget, caller included *)
+  run_tasks : int -> (int -> unit) -> unit;
+      (** [run_tasks n f] executes [f 0 .. f (n-1)] each exactly once,
+          possibly on other domains, returning when all are done.  [f]
+          must not raise. *)
+}
+
+(* Operators that must see their whole input before emitting: the
+   pipeline segment distributed to workers stops below the first of
+   these. *)
+let is_breaker = function
+  | Plan.Aggregate _ | Plan.Distinct _ | Plan.Sort _ | Plan.Skip_rows _
+  | Plan.Limit_rows _ ->
+    true
+  | _ -> false
+
+(* The operator chain from just above [Argument] up to the root.
+   Plans are linear chains ([Optional]'s inner plan hangs off the
+   operator itself and travels with it). *)
+let ops_bottom_up plan =
+  let rec go p acc =
+    match Plan.input_of p with None -> acc | Some input -> go input (p :: acc)
+  in
+  go plan []
+
+let rebuild ops =
+  List.fold_left (fun input op -> Plan.with_input op input) Plan.Argument ops
+
+let split_streaming ops =
+  let rec go acc = function
+    | op :: rest when not (is_breaker op) -> go (op :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go [] ops
+
+(* [parallel_map runner n task] with sequential first-error semantics
+   and per-task monotonic timing (for the observability report). *)
+let parallel_map runner n task =
+  let out = Array.make n None in
+  runner.run_tasks n (fun i ->
+      let t0 = Clock.now_us () in
+      let r =
+        match task i with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      out.(i) <- Some (r, Clock.now_us () - t0));
+  let worker_us = ref 0 in
+  let results =
+    Array.init n (fun i ->
+        match out.(i) with
+        | Some (r, dur) ->
+          worker_us := !worker_us + dur;
+          r
+        | None -> assert false)
+  in
+  (* lowest-index failure first, matching the sequential error order *)
+  ( Array.map
+      (fun r ->
+        match r with
+        | Ok v -> v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results,
+    !worker_us )
+
+(* Same grouping as the sequential Aggregate: hash on the key vector,
+   groups in order of first occurrence, rows in input order. *)
+let group_rows cfg g keys rows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = List.map (fun (_, e) -> Eval.eval_expr cfg g row e) keys in
+      let h = Hashtbl.hash (List.map Value.hash k) in
+      let bucket = try Hashtbl.find tbl h with Not_found -> [] in
+      match
+        List.find_opt (fun (k', _) -> List.equal Value.equal_total k k') bucket
+      with
+      | Some (_, cell) -> cell := row :: !cell
+      | None ->
+        let cell = ref [ row ] in
+        Hashtbl.replace tbl h ((k, cell) :: bucket);
+        order := (k, cell) :: !order)
+    rows;
+  List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !order
+
+(* One group's contribution from one morsel. *)
+type partial_group = {
+  pg_key : Value.t list;
+  pg_first : Record.t option;  (* the group's first row in this morsel *)
+  pg_count : int;
+  pg_vals : Value.t list list;  (* per agg spec, values in row order *)
+}
+
+(* Combine accumulator for one group across morsels. *)
+type group_acc = {
+  mutable a_first : Record.t option;  (* from the lowest morsel *)
+  mutable a_count : int;
+  a_vals : Value.t list list array;  (* per spec, morsel lists, reversed *)
+}
+
+let combine_partials nspecs (partials : partial_group list array) =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (List.iter (fun pg ->
+         let h = Hashtbl.hash (List.map Value.hash pg.pg_key) in
+         let bucket = try Hashtbl.find tbl h with Not_found -> [] in
+         let acc =
+           match
+             List.find_opt
+               (fun (k', _) -> List.equal Value.equal_total pg.pg_key k')
+               bucket
+           with
+           | Some (_, acc) -> acc
+           | None ->
+             let acc =
+               {
+                 a_first = None;
+                 a_count = 0;
+                 a_vals = Array.make nspecs [];
+               }
+             in
+             Hashtbl.replace tbl h ((pg.pg_key, acc) :: bucket);
+             order := (pg.pg_key, acc) :: !order;
+             acc
+         in
+         (match acc.a_first with
+         | None -> acc.a_first <- pg.pg_first
+         | Some _ -> ());
+         acc.a_count <- acc.a_count + pg.pg_count;
+         List.iteri
+           (fun j vals -> acc.a_vals.(j) <- vals :: acc.a_vals.(j))
+           pg.pg_vals))
+    partials;
+  List.rev !order
+
+(* K-way merge of per-morsel stably-sorted chunks.  Ties prefer the
+   lower morsel index, so the result equals a stable sort of the
+   morsel-ordered concatenation — i.e. the sequential Sort output. *)
+let merge_sorted compare_rows (chunks : Record.t list array) =
+  let heads = Array.copy chunks in
+  let total = Array.fold_left (fun n l -> n + List.length l) 0 heads in
+  let out = ref [] in
+  for _ = 1 to total do
+    let best = ref (-1) in
+    Array.iteri
+      (fun i l ->
+        match l with
+        | [] -> ()
+        | x :: _ ->
+          if
+            !best < 0
+            || compare_rows x (List.hd heads.(!best)) < 0
+          then best := i)
+      heads;
+    out := List.hd heads.(!best) :: !out;
+    heads.(!best) <- List.tl heads.(!best)
+  done;
+  List.rev !out
+
+let run runner cfg g ~fields plan table =
+  let sequential () = Exec.run cfg g ~fields plan table in
+  if runner.workers <= 1 then sequential ()
+  else
+    let ops = ops_bottom_up plan in
+    (* Pick the morsel source.  A driving table with several rows (a
+       later part of a multi-part query) is already materialised — its
+       rows are the morsels.  Otherwise the bottom operator (typically
+       a leaf scan) is run sequentially once and its output split. *)
+    let source =
+      if Table.row_count table > 1 then Some (`Windows, ops)
+      else
+        match ops with
+        | src :: rest when not (is_breaker src) -> Some (`Op src, rest)
+        | _ -> None
+    in
+    match source with
+    | None -> sequential ()
+    | Some (src, rest_ops) -> (
+      let source_len, slice =
+        match src with
+        | `Windows ->
+          (* the driving table is already materialised: morsels are
+             zero-copy windows over its shared row buffer *)
+          ( Table.row_count table,
+            fun lo len -> Table.to_seq (Table.sub table ~off:lo ~len) )
+        | `Op op ->
+          let rows_arr =
+            Array.of_seq (Exec.rows cfg g (rebuild [ op ]) (Table.to_seq table))
+          in
+          ( Array.length rows_arr,
+            fun lo len -> Seq.init len (fun j -> rows_arr.(lo + j)) )
+      in
+      if source_len < 2 then sequential ()
+      else begin
+        let pipeline_ops, above_ops = split_streaming rest_ops in
+        (* more morsels than workers, so the pool's work stealing can
+           even out skew (a hub node in one morsel, misses in another) *)
+        let morsel_count = min source_len (runner.workers * 4) in
+        let bounds =
+          Array.init morsel_count (fun i ->
+              let lo = i * source_len / morsel_count
+              and hi = (i + 1) * source_len / morsel_count in
+              (lo, hi - lo))
+        in
+        let morsel i =
+          let lo, len = bounds.(i) in
+          slice lo len
+        in
+        let pipe chunk_plan i = Exec.rows cfg g chunk_plan (morsel i) in
+        let note worker_us =
+          Trace.note "parallel_workers" worker_us
+            ~attrs:
+              [
+                ("morsels", string_of_int morsel_count);
+                ("workers", string_of_int runner.workers);
+              ]
+        in
+        let finish_rows above rows_list =
+          Table.of_seq ~fields
+            (Exec.rows cfg g (rebuild above) (List.to_seq rows_list))
+        in
+        match above_ops with
+        | Plan.Aggregate { keys; aggs; _ } :: rest_above ->
+          let chunk_plan = rebuild pipeline_ops in
+          let nspecs = List.length aggs in
+          let partials, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                let rows = List.of_seq (pipe chunk_plan i) in
+                let groups =
+                  if keys = [] then [ ([], rows) ]
+                  else group_rows cfg g keys rows
+                in
+                List.map
+                  (fun (kvals, grows) ->
+                    {
+                      pg_key = kvals;
+                      pg_first =
+                        (match grows with r :: _ -> Some r | [] -> None);
+                      pg_count = List.length grows;
+                      pg_vals =
+                        List.map
+                          (fun (_, spec) -> Agg.arg_values cfg g grows spec)
+                          aggs;
+                    })
+                  groups)
+          in
+          note worker_us;
+          let combined = combine_partials nspecs partials in
+          let agg_rows =
+            List.map
+              (fun (kvals, acc) ->
+                let base =
+                  if keys = [] then Record.empty
+                  else
+                    Record.of_list
+                      (List.map2 (fun (name, _) v -> (name, v)) keys kvals)
+                in
+                let r = ref base in
+                List.iteri
+                  (fun j (name, spec) ->
+                    let values = List.concat (List.rev acc.a_vals.(j)) in
+                    r :=
+                      Record.add !r name
+                        (Agg.finalize cfg g ~first_row:acc.a_first
+                           ~row_count:acc.a_count values spec))
+                  aggs;
+                !r)
+              combined
+          in
+          finish_rows rest_above agg_rows
+        | Plan.Sort { by; _ } :: rest_above ->
+          let chunk_plan = rebuild pipeline_ops in
+          let compare_rows r1 r2 =
+            let rec go = function
+              | [] -> 0
+              | (e, d) :: rest ->
+                let c =
+                  Value.compare_total (Eval.eval_expr cfg g r1 e)
+                    (Eval.eval_expr cfg g r2 e)
+                in
+                let c = match d with Plan.Asc -> c | Plan.Desc -> -c in
+                if c <> 0 then c else go rest
+            in
+            go by
+          in
+          let chunks, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                List.stable_sort compare_rows (List.of_seq (pipe chunk_plan i)))
+          in
+          note worker_us;
+          finish_rows rest_above (merge_sorted compare_rows chunks)
+        | (Plan.Limit_rows _ as lim) :: _ ->
+          (* push the limit into each morsel (bounds per-morsel work);
+             [above_ops] still starts with the Limit, which re-applies
+             it to the merged stream *)
+          let chunk_plan = rebuild (pipeline_ops @ [ lim ]) in
+          let chunks, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                List.of_seq (pipe chunk_plan i))
+          in
+          note worker_us;
+          finish_rows above_ops (List.concat (Array.to_list chunks))
+        | (Plan.Distinct _ as d) :: _ ->
+          (* per-morsel dedup keeps each morsel's first occurrences —
+             idempotent, so the global Distinct in [above_ops] yields
+             exactly the sequential result while merging fewer rows *)
+          let chunk_plan = rebuild (pipeline_ops @ [ d ]) in
+          let chunks, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                List.of_seq (pipe chunk_plan i))
+          in
+          note worker_us;
+          finish_rows above_ops (List.concat (Array.to_list chunks))
+        | [] ->
+          (* whole plan is one streaming pipeline: workers materialise
+             their morsel outputs straight into tables, and the merge
+             is an ordered bag-union blit *)
+          let chunk_plan = rebuild pipeline_ops in
+          let chunks, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                Table.of_seq ~fields (pipe chunk_plan i))
+          in
+          note worker_us;
+          Table.concat ~fields (Array.to_list chunks)
+        | above ->
+          (* remaining breaker is Skip (or a breaker chain): ordered
+             concatenation of per-morsel streams is the sequential
+             stream; the remainder runs on it sequentially *)
+          let chunk_plan = rebuild pipeline_ops in
+          let chunks, worker_us =
+            parallel_map runner morsel_count (fun i ->
+                List.of_seq (pipe chunk_plan i))
+          in
+          note worker_us;
+          finish_rows above (List.concat (Array.to_list chunks))
+      end)

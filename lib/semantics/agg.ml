@@ -148,22 +148,39 @@ let dedup_values values =
         true))
     values
 
-let compute cfg g rows spec =
+(* The argument values an aggregate consumes: evaluated per row with
+   nulls dropped, in row order, *before* any DISTINCT dedup.  Exposed
+   separately from [finalize] so the parallel executor can evaluate
+   values per morsel on worker domains and combine by concatenating the
+   per-morsel lists in morsel order — that reproduces the sequential
+   row order exactly, so the non-associative float folds in [finalize]
+   (sum, avg, stddev) return bitwise-identical results either way. *)
+let arg_values cfg g rows spec =
   match spec with
-  | `Count_star -> Value.Int (List.length rows)
-  | `Percentile (cont, distinct, value_expr, pct_expr) -> (
-    let values =
-      List.filter
-        (fun v -> not (Value.is_null v))
-        (List.map (fun row -> Eval.eval_expr cfg g row value_expr) rows)
-    in
+  | `Count_star -> []
+  | `Percentile (_, _, value_expr, _) | `Agg (_, _, value_expr) ->
+    List.filter
+      (fun v -> not (Value.is_null v))
+      (List.map (fun row -> Eval.eval_expr cfg g row value_expr) rows)
+
+(* Folds pre-evaluated argument values down to the aggregate's result.
+   [first_row] is the group's first input row in sequential order (the
+   percentile expression is evaluated against it, as [compute] always
+   did); [row_count] is the group's total input row count ([count( * )]
+   counts rows, not non-null values). *)
+let finalize cfg g ~first_row ~row_count values spec =
+  match spec with
+  | `Count_star -> Value.Int row_count
+  | `Percentile (cont, distinct, _, pct_expr) -> (
     let values = if distinct then dedup_values values else values in
     let pct =
-      match rows with
-      | row :: _ -> Ops.to_float (Eval.eval_expr cfg g row pct_expr)
-      | [] -> 0.
+      match first_row with
+      | Some row -> Ops.to_float (Eval.eval_expr cfg g row pct_expr)
+      | None -> 0.
     in
-    if pct < 0. || pct > 1. then
+    (* [not (>= && <=)] rather than [< || >]: NaN fails every comparison,
+       so the old form let a NaN percentile through to [int_of_float]. *)
+    if not (pct >= 0. && pct <= 1.) then
       Value.type_error "percentile must be between 0.0 and 1.0";
     match List.sort Value.compare_total values with
     | [] -> Value.Null
@@ -184,12 +201,7 @@ let compute cfg g rows spec =
         let rank = max 0 (int_of_float (Float.ceil (pct *. float_of_int n)) - 1) in
         List.nth sorted rank
       end)
-  | `Agg (fn, distinct, arg) -> (
-    let values =
-      List.filter
-        (fun v -> not (Value.is_null v))
-        (List.map (fun row -> Eval.eval_expr cfg g row arg) rows)
-    in
+  | `Agg (fn, distinct, _) -> (
     let values = if distinct then dedup_values values else values in
     match fn with
     | Count -> Value.Int (List.length values)
@@ -231,4 +243,11 @@ let compute cfg g rows spec =
         in
         let divisor = if fn = Std_dev then n -. 1. else n in
         Value.Float (sqrt (ss /. divisor))))
+
+let compute cfg g rows spec =
+  finalize cfg g
+    ~first_row:(match rows with row :: _ -> Some row | [] -> None)
+    ~row_count:(List.length rows)
+    (arg_values cfg g rows spec)
+    spec
 

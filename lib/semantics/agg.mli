@@ -33,3 +33,28 @@ val compute :
     skipped (except for [count( * )]); DISTINCT deduplicates the argument
     multiset; [sum] of no values is 0, [avg]/[min]/[max] of no values is
     null; [collect] of no values is the empty list. *)
+
+(** {2 Split evaluation}
+
+    [compute] is [finalize] over [arg_values].  The parallel executor
+    evaluates {!arg_values} per morsel on worker domains, concatenates
+    the per-morsel lists in morsel order (which reproduces the
+    sequential row order exactly, so non-associative float folds agree
+    bitwise), and calls {!finalize} once per group. *)
+
+val arg_values : Config.t -> Graph.t -> Record.t list -> spec -> Value.t list
+(** The aggregate's argument evaluated per row, nulls dropped, in row
+    order, before any DISTINCT dedup.  Empty for [`Count_star]. *)
+
+val finalize :
+  Config.t ->
+  Graph.t ->
+  first_row:Record.t option ->
+  row_count:int ->
+  Value.t list ->
+  spec ->
+  Value.t
+(** Folds pre-evaluated argument values to the aggregate's result.
+    [first_row] is the group's first input row (percentile evaluates its
+    percentile expression against it); [row_count] is the group's total
+    row count (what [count( * )] reports). *)

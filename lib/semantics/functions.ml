@@ -192,15 +192,22 @@ let fn_coalesce _g args =
   | None -> Value.Null
 
 let fn_to_integer =
+  (* [int_of_float] is unspecified for NaN, ±infinity and floats beyond
+     the 63-bit native range (toInteger(1e300) would return whatever the
+     hardware truncation produced), so those raise a runtime error. *)
+  let of_float f =
+    if Ops.float_fits_int f then Value.Int (int_of_float f)
+    else eval_error "toInteger: cannot represent %g as an integer" f
+  in
   null_prop1 (function
     | Value.Int i -> Value.Int i
-    | Value.Float f -> Value.Int (int_of_float f)
+    | Value.Float f -> of_float f
     | Value.String s -> (
       match int_of_string_opt (String.trim s) with
       | Some i -> Value.Int i
       | None -> (
         match float_of_string_opt (String.trim s) with
-        | Some f -> Value.Int (int_of_float f)
+        | Some f -> of_float f
         | None -> Value.Null))
     | v -> Value.type_error "toInteger: cannot convert %s" (Value.type_name v))
 

@@ -117,8 +117,14 @@ let store_health t conn =
     ("plan_cache_evictions", Value.Int stats.Engine.cache_evictions);
   ]
 
-(* Executes one Query request.  Caller handles metrics and framing. *)
-let execute t conn text params =
+(* Executes one Query request.  Caller handles metrics and framing.
+   [parallel] is the request's worker-domain budget for read execution;
+   it is sticky on the connection's session (like parameters), so a
+   client can set it once per connection. *)
+let execute t conn ~parallel text params =
+  (match parallel with
+  | Some n -> Session.set_parallel conn.session n
+  | None -> ());
   if is_keyword text "BEGIN" then begin
     if conn.tx_depth = 0 then begin
       Trace.with_span "write_lock" (fun () -> Rwlock.write_lock t.lock);
@@ -177,7 +183,11 @@ let execute t conn text params =
         ~finally:(fun () -> Rwlock.read_unlock t.lock)
         (fun () ->
           let g0 = Store.graph t.store in
-          let config = Config.with_params params Config.default in
+          let config =
+            Config.with_parallel
+              (Session.parallel conn.session)
+              (Config.with_params params Config.default)
+          in
           ( g0,
             Engine.query_cached
               ~cache:(Session.plan_cache conn.session)
@@ -212,7 +222,9 @@ let registry_pairs () =
     (Registry.samples ())
 
 let handle_request t conn payload =
-  let started = Unix.gettimeofday () in
+  (* monotonic, so the timeout check and the latency histogram cannot be
+     skewed by an NTP wall-clock step mid-request *)
+  let started_ns = Cypher_obs.Clock.now_ns () in
   let timeout = ref t.config.request_timeout in
   let response =
     match Protocol.decode_request payload with
@@ -238,13 +250,22 @@ let handle_request t conn payload =
         else if flag "profile" then "PROFILE " ^ text
         else text
       in
-      match execute t conn text params with
+      (* "parallel" (Int n) sets the read-execution worker budget for
+         this connection's session; writes stay single-writer *)
+      let parallel =
+        match List.assoc_opt "parallel" options with
+        | Some (Value.Int n) when n >= 1 -> Some n
+        | _ -> None
+      in
+      match execute t conn ~parallel text params with
       | response -> response
       | exception e ->
         error_response Protocol.Server_error
           ("internal error: " ^ Printexc.to_string e))
   in
-  let elapsed = Unix.gettimeofday () -. started in
+  let elapsed =
+    float_of_int (Cypher_obs.Clock.now_ns () - started_ns) /. 1e9
+  in
   let timed_out = !timeout > 0. && elapsed > !timeout in
   let response =
     if timed_out then

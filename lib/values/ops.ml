@@ -5,9 +5,20 @@ let to_float = function
   | Float f -> f
   | v -> type_error "expected a number, got %s" (type_name v)
 
+(* OCaml's native int is 63-bit: every float in [-2^62, 2^62) truncates
+   to a representable int, while [int_of_float] on NaN, ±infinity or
+   anything outside that window is unspecified (the hardware conversion
+   may return min_int, 0, or garbage depending on the target).  Both
+   bounds below are exact floats. *)
+let float_fits_int f =
+  f >= -4.611686018427387904e18 && f < 4.611686018427387904e18
+
 let checked_int_exn op f =
-  if Float.is_integer f then int_of_float f
-  else type_error "%s: expected an integer, got %g" op f
+  if not (Float.is_integer f) then
+    type_error "%s: expected an integer, got %g" op f
+  else if not (float_fits_int f) then
+    type_error "%s: %g is out of the 63-bit integer range" op f
+  else int_of_float f
 
 let numeric2 op_name int_op float_op a b =
   match a, b with

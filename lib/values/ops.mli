@@ -59,6 +59,12 @@ val size : Value.t -> Value.t
 val to_float : Value.t -> float
 (** Coerces Int/Float to float; raises on other kinds. *)
 
+val float_fits_int : float -> bool
+(** Whether truncating this float with [int_of_float] is well-defined:
+    false for NaN, ±infinity and magnitudes beyond the 63-bit native int
+    range. *)
+
 val checked_int_exn : string -> float -> int
 (** Rounds a float known to be integral; raises {!Value.Type_error} with
-    the given operation name otherwise. *)
+    the given operation name otherwise, including for integral floats
+    outside the native int range (where [int_of_float] is unspecified). *)

@@ -28,5 +28,6 @@ let () =
       ("feature-files", Test_features.suite);
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite);
       ("ast-roundtrip", Test_ast_roundtrip.suite);
     ]
