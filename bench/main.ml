@@ -1150,6 +1150,189 @@ let b16 () =
   close_out oc;
   Printf.printf "(B16 results written to %s)\n" path
 
+(* ------------------------------------------------------------------ *)
+(* B17: MVCC snapshot reads + WAL group commit                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims to price (wall-clock, like B14 — multi-threaded):
+
+   - group commit lifts the write ceiling: each auto-commit CREATE costs
+     one fsync when commits cannot group (the B13 replay ceiling); with
+     group commit, concurrent committers share a leader's single fsync,
+     so commits/s at 4 and 16 writers should beat the one-fsync-per-
+     commit rate.  The fsyncs-per-commit ratio (from the WAL append
+     counter) shows the mechanism directly.
+   - MVCC keeps readers out of the write path: an analytic scan's p95
+     must not degrade materially while 8 writers commit back-to-back,
+     because a read pins a snapshot and takes no lock. *)
+
+module Obs_reg = Cypher_obs.Registry
+
+let b17_wal_appends = Obs_reg.counter "cypher_storage_wal_appends_total"
+let b17_write_q = "CREATE (:W {c: $c, j: $j})"
+let b17_read_q = "MATCH (p:Person) RETURN count(p) AS c"
+
+(* Back-to-back writers; returns (commits/s, fsyncs per commit). *)
+let b17_write_burst ~port ~clients ~requests_each =
+  let errors = Atomic.make 0 in
+  let worker w =
+    match Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () with
+    | Error _ -> Atomic.incr errors
+    | Ok c ->
+      for j = 1 to requests_each do
+        match
+          Client.query c
+            ~params:
+              [
+                ("c", Cypher_values.Value.Int w);
+                ("j", Cypher_values.Value.Int j);
+              ]
+            b17_write_q
+        with
+        | Ok _ -> ()
+        | Error _ -> Atomic.incr errors
+      done;
+      Client.close c
+  in
+  let appends0 = Obs_reg.value b17_wal_appends in
+  let started = Unix.gettimeofday () in
+  let threads = List.init clients (Thread.create worker) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+  if Atomic.get errors > 0 then
+    failwith (Printf.sprintf "B17: %d failed writes" (Atomic.get errors));
+  let commits = clients * requests_each in
+  let fsyncs = Obs_reg.value b17_wal_appends - appends0 in
+  (float_of_int commits /. elapsed, float_of_int fsyncs /. float_of_int commits)
+
+(* p95 round-trip of [n] analytic scans on one connection, in us. *)
+let b17_read_p95 ~port ~n =
+  match Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () with
+  | Error e -> failwith ("B17 reader: " ^ e)
+  | Ok c ->
+    let lat = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      (match Client.query c b17_read_q with
+      | Ok _ -> ()
+      | Error _ -> failwith "B17 reader: query failed");
+      lat.(i) <- Unix.gettimeofday () -. t0
+    done;
+    Client.close c;
+    Array.sort compare lat;
+    lat.(min (n - 1) (n * 95 / 100)) *. 1e6
+
+let b17 () =
+  let g = Generate.social ~seed:17 ~people:300 ~avg_friends:8 in
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cypher_bench_b17_%d.db" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Array.to_list (Sys.readdir dir));
+  Snapshot.save g (Store.snapshot_file dir);
+  let store =
+    match Store.open_ dir with Ok s -> s | Error e -> failwith e
+  in
+  let server =
+    match
+      Server.start ~config:{ Server.default_config with Server.port = 0 } store
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let port = Server.port server in
+  (* warm connections, plan caches and the write path *)
+  ignore (b17_write_burst ~port ~clients:2 ~requests_each:10);
+  ignore (b17_read_p95 ~port ~n:20);
+  let requests_each = 150 in
+  let levels =
+    List.map
+      (fun clients ->
+        Store.set_group_commit store false;
+        let solo_rps, solo_fpc = b17_write_burst ~port ~clients ~requests_each in
+        Store.set_group_commit store true;
+        let grp_rps, grp_fpc = b17_write_burst ~port ~clients ~requests_each in
+        (clients, solo_rps, solo_fpc, grp_rps, grp_fpc))
+      [ 1; 4; 16 ]
+  in
+  (* read p95: idle server vs during an 8-writer commit burst *)
+  let p95_solo = b17_read_p95 ~port ~n:300 in
+  let stop_writers = Atomic.make false in
+  let burst_writer w =
+    match Client.connect ~timeout:30. ~host:"127.0.0.1" ~port () with
+    | Error _ -> ()
+    | Ok c ->
+      let j = ref 0 in
+      while not (Atomic.get stop_writers) do
+        incr j;
+        ignore
+          (Client.query c
+             ~params:
+               [
+                 ("c", Cypher_values.Value.Int (1000 + w));
+                 ("j", Cypher_values.Value.Int !j);
+               ]
+             b17_write_q)
+      done;
+      Client.close c
+  in
+  let writers = List.init 8 (Thread.create burst_writer) in
+  let p95_burst = b17_read_p95 ~port ~n:300 in
+  Atomic.set stop_writers true;
+  List.iter Thread.join writers;
+  (match Server.stop server with Ok () -> () | Error e -> failwith e);
+  let pick n = List.find (fun (c, _, _, _, _) -> c = n) levels in
+  let grp_rps_of n = match pick n with _, _, _, r, _ -> r in
+  Printf.printf
+    "\nB17 MVCC + group commit: auto-commit CREATEs over TCP (fsync-bound)\n";
+  List.iter
+    (fun (clients, solo_rps, solo_fpc, grp_rps, grp_fpc) ->
+      Printf.printf
+        "  %2d writer(s)  ungrouped %8.0f commits/s (%.2f fsync/commit)   \
+         grouped %8.0f commits/s (%.2f fsync/commit)\n"
+        clients solo_rps solo_fpc grp_rps grp_fpc)
+    levels;
+  Printf.printf "  read p95 (Person scan)  idle %8.1f us   during 8-writer \
+                 burst %8.1f us\n"
+    p95_solo p95_burst;
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr6.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 6,\n";
+  out
+    "  \"experiment\": \"B17 MVCC snapshot reads + WAL group commit: \
+     commits/sec with and without grouping, read p95 during a write \
+     burst\",\n";
+  out
+    "  \"workload\": \"auto-commit CREATE over TCP, %d per writer; read = \
+     full Person scan (300 people); group commit toggled via \
+     Store.set_group_commit\",\n"
+    requests_each;
+  out "  \"write_levels\": [\n";
+  List.iteri
+    (fun i (clients, solo_rps, solo_fpc, grp_rps, grp_fpc) ->
+      out
+        "    {\"writers\": %d, \"ungrouped_commits_per_s\": %.0f, \
+         \"ungrouped_fsyncs_per_commit\": %.2f, \
+         \"grouped_commits_per_s\": %.0f, \"grouped_fsyncs_per_commit\": \
+         %.2f}%s\n"
+        clients solo_rps solo_fpc grp_rps grp_fpc
+        (if i = List.length levels - 1 then "" else ","))
+    levels;
+  out "  ],\n";
+  out "  \"group_commit_speedup_16_writers\": %.2f,\n"
+    (grp_rps_of 16 /. (match pick 16 with _, r, _, _, _ -> r));
+  out "  \"read_p95_us_idle\": %.1f,\n" p95_solo;
+  out "  \"read_p95_us_during_8_writer_burst\": %.1f\n" p95_burst;
+  out "}\n";
+  close_out oc;
+  Printf.printf "(B17 results written to %s)\n" path
+
 let groups =
   [
     ( "tables",
@@ -1161,6 +1344,7 @@ let groups =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
+    ("b17", b17);
   ]
 
 let () =

@@ -247,6 +247,44 @@ let strip_prefix_kw kw text =
   then Some (String.sub t n (String.length t - n))
   else None
 
+(* --- statement classification ----------------------------------------- *)
+
+(* Whether a statement can mutate the graph, decided from the AST before
+   execution.  The server uses this to route reads to a lock-free MVCC
+   snapshot and writes to the single-writer path, instead of the old
+   run-under-read-lock-then-discard-and-rerun dance that executed every
+   update twice.  CALL is conservatively a write (a procedure may
+   mutate); a Write-classified statement that turns out to touch nothing
+   simply produces no commit.  Read_only is sound: no read clause can
+   change the graph. *)
+type stmt_class = Read_only | Update
+
+let rec classify_ast = function
+  | Q_single sq ->
+    if List.exists is_update_clause sq.sq_clauses then Update else Read_only
+  | Q_union (q1, q2) | Q_union_all (q1, q2) ->
+    if classify_ast q1 = Update || classify_ast q2 = Update then Update
+    else Read_only
+
+let classify text =
+  match parse_index_ddl text with
+  | Some (Ok _) -> Update
+  | Some (Error _) -> Read_only (* rejected before touching the graph *)
+  | None -> (
+    (* EXPLAIN never executes; PROFILE executes read-only queries and
+       falls back to EXPLAIN for updates — neither mutates. *)
+    match strip_prefix_kw "EXPLAIN" text with
+    | Some _ -> Read_only
+    | None -> (
+      match strip_prefix_kw "PROFILE" text with
+      | Some _ -> Read_only
+      | None -> (
+        match Cypher_parser.Parser.parse_query text with
+        | Error _ ->
+          (* unparseable: let the lock-free read path report the error *)
+          Read_only
+        | Ok ast -> classify_ast ast)))
+
 (* Evaluation of an already-parsed, already-scope-checked query — shared
    between the one-shot path and the plan-cache hit path. *)
 let run_ast config mode g ast =
@@ -532,6 +570,10 @@ type cache_entry = {
 
 type plan_cache = {
   entries : cache_entry Plan_cache.t;
+  (* statement classification memoised per query text; bounded, guarded
+     by [classes_m] because the server classifies on connection threads *)
+  classes : (string, stmt_class) Hashtbl.t;
+  classes_m : Mutex.t;
   mutable replans : int;
 }
 
@@ -543,7 +585,29 @@ type cache_stats = {
 }
 
 let create_plan_cache ?capacity () =
-  { entries = Plan_cache.create ?capacity (); replans = 0 }
+  {
+    entries = Plan_cache.create ?capacity ();
+    classes = Hashtbl.create 64;
+    classes_m = Mutex.create ();
+    replans = 0;
+  }
+
+let max_class_cache = 1024
+
+let classify_cached ~cache text =
+  Mutex.lock cache.classes_m;
+  let hit = Hashtbl.find_opt cache.classes text in
+  Mutex.unlock cache.classes_m;
+  match hit with
+  | Some c -> c
+  | None ->
+    let c = classify text in
+    Mutex.lock cache.classes_m;
+    if Hashtbl.length cache.classes >= max_class_cache then
+      Hashtbl.reset cache.classes;
+    Hashtbl.replace cache.classes text c;
+    Mutex.unlock cache.classes_m;
+    c
 
 let cache_stats c =
   {

@@ -33,6 +33,21 @@ type error =
 
 val error_message : error -> string
 
+type stmt_class = Read_only | Update
+(** Whether a statement can mutate the graph, decided statically. *)
+
+val classify : string -> stmt_class
+(** Classifies a statement from its AST {e before} execution — the basis
+    of the server's MVCC routing: [Read_only] statements run lock-free
+    against a pinned snapshot, [Update] statements serialise on the
+    single-writer path and execute exactly once.  Conservative where it
+    must be: CALL counts as [Update] (a procedure may mutate), index DDL
+    is [Update], EXPLAIN/PROFILE are [Read_only] (PROFILE of an update
+    falls back to the plan rendering and never executes the update).
+    [Read_only] is sound — no read clause can change the graph.  A
+    statement that does not parse is [Read_only]: the lock-free path
+    reports the identical parse error. *)
+
 val query :
   ?config:Config.t -> ?mode:mode -> Graph.t -> string ->
   (outcome, string) result
@@ -112,6 +127,10 @@ type cache_stats = {
 }
 
 val cache_stats : plan_cache -> cache_stats
+
+val classify_cached : cache:plan_cache -> string -> stmt_class
+(** {!classify}, memoised per query text in the session's plan cache so
+    repeated statements skip the classification parse. *)
 
 val query_cached :
   cache:plan_cache ->

@@ -1,5 +1,9 @@
 (* Morsel-driven parallel execution of read-only plans.
 
+   The graph handed in is immutable — under the server it is a pinned
+   MVCC snapshot — so morsels run concurrently with committing writers
+   as a matter of course: parallel reads need no lock and take none.
+
    The sequential executor ({!Exec}) evaluates a plan as one lazy row
    stream.  This driver splits that stream across worker domains while
    producing the *same table, in the same row order*:

@@ -3,25 +3,30 @@
    One process, one shared {!Cypher_storage.Store}, thread-per-connection
    (threads.posix).  Every connection gets a private
    {!Cypher_session.Session} — its own plan cache and its own transaction
-   state — whose [on_commit] appends committed batches to the shared WAL.
+   state.
 
-   Concurrency discipline (see DESIGN.md):
-   - the graph is a persistent value, so a read query runs against the
-     committed graph it captured under a shared {!Rwlock} read lock;
-   - whether a statement was read-only is detected exactly as
-     [Session.on_commit] detects it: the result graph's version equals
-     the input graph's version.  A statement that turns out to be an
-     update is discarded and re-run under the exclusive write lock
-     through the session (schema validation, WAL append, publish);
-   - an explicit transaction holds the write lock from BEGIN to the
-     outermost COMMIT/ROLLBACK.
+   Concurrency discipline is MVCC (see DESIGN.md):
+   - every statement is classified read/write from its AST up front
+     ({!Cypher_engine.Engine.classify_cached}), so a write executes
+     exactly once and a read never speculates;
+   - a read pins the latest committed version ({!Store.snapshot} — a
+     pointer read behind a short mutex) and runs against it with NO
+     lock held: a slow analytic read cannot stall writers, and a write
+     burst cannot starve readers;
+   - writers serialise only among themselves on the store's writer
+     lock; their committed batches go through the store's WAL group
+     commit — the writer lock is released before the fsync wait, so
+     the next writer executes while the previous group syncs and
+     concurrent commits share one fsync;
+   - an explicit transaction holds the writer lock from BEGIN to the
+     outermost COMMIT/ROLLBACK; readers on other connections keep
+     reading the committed version throughout.
 
    Timeouts are cooperative: the engine is not preemptible, so the
    server measures each request's wall-clock time and converts an
    overrun into a typed [Timeout] error (the work is complete but its
    result is withheld); socket-level timeouts bound dead peers. *)
 
-open Cypher_graph
 module Store = Cypher_storage.Store
 module Session = Cypher_session.Session
 module Engine = Cypher_engine.Engine
@@ -52,7 +57,6 @@ type t = {
   store : Store.t;
   schema : Cypher_schema.Schema.t;
   mode : Engine.mode;
-  lock : Rwlock.t;
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -97,7 +101,10 @@ let table_response table =
 type conn = {
   fd : Unix.file_descr;
   session : Session.t;
-  mutable tx_depth : int;  (* > 0 iff this connection holds the write lock *)
+  (* the batch captured by the session's [on_commit] hook, handed to the
+     store's group commit once the writer lock can be released *)
+  pending : Session.logged list ref;
+  mutable tx_depth : int;  (* > 0 iff this connection holds the writer lock *)
 }
 
 let is_keyword text kw = String.uppercase_ascii (String.trim text) = kw
@@ -117,6 +124,28 @@ let store_health t conn =
     ("plan_cache_evictions", Value.Int stats.Engine.cache_evictions);
   ]
 
+(* Hands the batch captured by the connection's [on_commit] hook to the
+   store's group commit and releases the writer lock.  The lock is
+   dropped *before* the fsync wait: the next writer executes while this
+   group syncs, which is what lets concurrent commits share one fsync.
+   Called with the writer lock held; always releases it. *)
+let finish_commit t conn =
+  let batch = !(conn.pending) in
+  conn.pending := [];
+  match batch with
+  | [] ->
+    (* write-classified but effect-free (or read-only in a tx): nothing
+       to log, nothing to publish *)
+    Store.writer_unlock t.store;
+    Ok ()
+  | batch ->
+    let ticket =
+      Store.enqueue_commit t.store ~graph:(Session.graph conn.session) batch
+    in
+    Store.writer_unlock t.store;
+    Trace.with_span "group_commit" (fun () ->
+        Store.await_commit t.store ticket)
+
 (* Executes one Query request.  Caller handles metrics and framing.
    [parallel] is the request's worker-domain budget for read execution;
    it is sticky on the connection's session (like parameters), so a
@@ -127,8 +156,8 @@ let execute t conn ~parallel text params =
   | None -> ());
   if is_keyword text "BEGIN" then begin
     if conn.tx_depth = 0 then begin
-      Trace.with_span "write_lock" (fun () -> Rwlock.write_lock t.lock);
-      Session.set_graph conn.session (Store.graph t.store)
+      Trace.with_span "writer_lock" (fun () -> Store.writer_lock t.store);
+      Session.set_graph conn.session (Store.head t.store)
     end;
     Session.begin_tx conn.session;
     conn.tx_depth <- conn.tx_depth + 1;
@@ -142,15 +171,18 @@ let execute t conn ~parallel text params =
       | Ok () ->
         conn.tx_depth <- conn.tx_depth - 1;
         if conn.tx_depth = 0 then begin
-          Store.publish t.store (Session.graph conn.session);
-          Rwlock.write_unlock t.lock
-        end;
-        Protocol.Result { columns = []; rows = [] }
+          match finish_commit t conn with
+          | Ok () -> Protocol.Result { columns = []; rows = [] }
+          | Error e ->
+            error_response Protocol.Server_error ("commit failed: " ^ e)
+        end
+        else Protocol.Result { columns = []; rows = [] }
       | Error e ->
         (* an outermost commit that fails validation has rolled the
            whole transaction back: nothing was published or logged *)
         conn.tx_depth <- 0;
-        Rwlock.write_unlock t.lock;
+        conn.pending := [];
+        Store.writer_unlock t.store;
         error_response (classify e) e
   end
   else if is_keyword text "ROLLBACK" then begin
@@ -160,56 +192,71 @@ let execute t conn ~parallel text params =
       match Session.rollback conn.session with
       | Ok () ->
         conn.tx_depth <- conn.tx_depth - 1;
-        if conn.tx_depth = 0 then Rwlock.write_unlock t.lock;
+        if conn.tx_depth = 0 then begin
+          conn.pending := [];
+          Store.writer_unlock t.store
+        end;
         Protocol.Result { columns = []; rows = [] }
       | Error e -> error_response (classify e) e
   end
   else if conn.tx_depth > 0 then begin
-    (* inside a transaction: the write lock is already held *)
+    (* inside a transaction: the writer lock is already held and the
+       session's working graph carries the uncommitted state *)
     Session.set_params conn.session params;
     match Session.run conn.session text with
     | Ok table -> table_response table
     | Error e -> error_response (classify e) e
   end
   else begin
-    (* Auto-commit statement.  Optimistic read: run under the shared
-       lock against the committed graph; only when the result proves to
-       be an update (version changed) re-run exclusively through the
-       session, which validates, logs and publishes.  Lock acquisitions
-       are spanned so the slow-query log can tell waiting from work. *)
-    let read_attempt =
-      Trace.with_span "read_lock" (fun () -> Rwlock.read_lock t.lock);
-      Fun.protect
-        ~finally:(fun () -> Rwlock.read_unlock t.lock)
-        (fun () ->
-          let g0 = Store.graph t.store in
-          let config =
-            Config.with_parallel
-              (Session.parallel conn.session)
-              (Config.with_params params Config.default)
-          in
-          ( g0,
-            Engine.query_cached
-              ~cache:(Session.plan_cache conn.session)
-              ~config ~mode:t.mode g0 text ))
-    in
-    match read_attempt with
-    | _, Error e -> error_response (classify e) e
-    | g0, Ok outcome
-      when Graph.version outcome.Engine.graph = Graph.version g0 ->
-      table_response outcome.Engine.table
-    | _, Ok _ ->
-      Trace.with_span "write_lock" (fun () -> Rwlock.write_lock t.lock);
-      Fun.protect
-        ~finally:(fun () -> Rwlock.write_unlock t.lock)
-        (fun () ->
-          Session.set_graph conn.session (Store.graph t.store);
+    (* Auto-commit statement, classified from the AST up front so it
+       executes exactly once. *)
+    match
+      Engine.classify_cached ~cache:(Session.plan_cache conn.session) text
+    with
+    | Engine.Read_only -> (
+      (* MVCC read: pin the latest committed version and run with no
+         lock held — a writer can commit concurrently and a write burst
+         cannot delay this request. *)
+      let g = Store.snapshot t.store in
+      let config =
+        Config.with_parallel
+          (Session.parallel conn.session)
+          (Config.with_params params Config.default)
+      in
+      match
+        Engine.query_cached
+          ~cache:(Session.plan_cache conn.session)
+          ~config ~mode:t.mode g text
+      with
+      | Ok outcome -> table_response outcome.Engine.table
+      | Error e -> error_response (classify e) e)
+    | Engine.Update -> (
+      (* Single-writer path: rebase the session on the latest committed
+         version, execute once (validation + capture of the logged
+         batch), then group-commit.  The lock acquisition is spanned so
+         the slow-query log can tell waiting from work. *)
+      Trace.with_span "writer_lock" (fun () -> Store.writer_lock t.store);
+      let result =
+        match
+          Session.set_graph conn.session (Store.head t.store);
           Session.set_params conn.session params;
-          match Session.run conn.session text with
-          | Ok table ->
-            Store.publish t.store (Session.graph conn.session);
-            table_response table
-          | Error e -> error_response (classify e) e)
+          conn.pending := [];
+          Session.run conn.session text
+        with
+        | r -> r
+        | exception e ->
+          Store.writer_unlock t.store;
+          raise e
+      in
+      match result with
+      | Ok table -> (
+        match finish_commit t conn with
+        | Ok () -> table_response table
+        | Error e ->
+          error_response Protocol.Server_error ("commit failed: " ^ e))
+      | Error e ->
+        Store.writer_unlock t.store;
+        error_response (classify e) e)
   end
 
 (* The whole process-wide registry — engine, storage and server series
@@ -297,13 +344,18 @@ let rec readable t fd =
 
 let serve_connection t fd =
   Metrics.connection_opened t.metrics;
+  (* the commit hook only captures the batch: the connection decides
+     when to hand it to the group commit, because the writer lock must
+     be released first *)
+  let pending = ref [] in
   let conn =
     {
       fd;
       session =
         Session.create ~schema:t.schema ~mode:t.mode
-          ~on_commit:(fun batch -> Store.wal_append t.store batch)
-          (Store.graph t.store);
+          ~on_commit:(fun batch -> pending := batch)
+          (Store.snapshot t.store);
+      pending;
       tx_depth = 0;
     }
   in
@@ -314,7 +366,8 @@ let serve_connection t fd =
          so dropping them is exactly a rollback *)
       if conn.tx_depth > 0 then begin
         conn.tx_depth <- 0;
-        Rwlock.write_unlock t.lock
+        conn.pending := [];
+        Store.writer_unlock t.store
       end;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Metrics.connection_closed t.metrics)
@@ -392,7 +445,6 @@ let start ?(config = default_config) ?(schema = Cypher_schema.Schema.empty)
           store;
           schema;
           mode;
-          lock = Rwlock.create ();
           metrics = Metrics.create ();
           listen_fd = fd;
           bound_port;

@@ -43,7 +43,13 @@ val create :
     an auto-committed update outside any transaction.  Statements of a
     rolled-back (or schema-rejected) transaction are never reported;
     read-only statements are never reported.  It is not called with an
-    empty batch. *)
+    empty batch.
+
+    The hook decides the durability story, not the session: the store's
+    local session appends and fsyncs inside the hook, while the network
+    server's hook only {e captures} the batch — the connection hands it
+    to the store's WAL group commit after releasing the writer lock, so
+    concurrent commits can share one fsync. *)
 
 val graph : t -> Graph.t
 

@@ -3,6 +3,7 @@ module Session = Cypher_session.Session
 module Engine = Cypher_engine.Engine
 module Registry = Cypher_obs.Registry
 module Trace = Cypher_obs.Trace
+module Clock = Cypher_obs.Clock
 
 let m_checkpoints =
   Registry.counter ~help:"completed checkpoints (snapshot + WAL truncate)"
@@ -12,45 +13,235 @@ let m_recoveries =
   Registry.counter ~help:"store opens that replayed a non-empty WAL tail"
     "cypher_storage_recoveries_total"
 
+let m_group_flushes =
+  Registry.counter ~help:"group-commit flushes (one WAL append + fsync each)"
+    "cypher_storage_group_flushes_total"
+
+let m_group_members =
+  Registry.counter ~help:"commits made durable by group-commit flushes"
+    "cypher_storage_group_members_total"
+
+(* One commit waiting in (or flushed from) the group-commit queue. *)
+type pending = {
+  p_ticket : int;
+  p_batch : Session.logged list;
+  p_graph : Graph.t;
+}
+
+type ticket = int
+
 type t = {
   dir : string;
   writer : Wal.writer;
-  session : Session.t;
+  session : Session.t;  (* the local (CLI / recovery) session *)
+  (* Writers — statement execution and version production — serialise on
+     [writer_m].  Readers never touch it: they pin [committed] below. *)
+  writer_m : Mutex.t;
+  (* [m] guards everything else: the committed-version pointer, the WAL
+     tail bookkeeping and the group-commit queue.  Critical sections are
+     a few pointer moves — never I/O — except in the flush leader, which
+     drops [m] around the append+fsync. *)
+  m : Mutex.t;
+  flushed_cv : Condition.t;
+  mutable committed : Graph.t;  (* latest durable published version *)
+  (* the newest version produced by any writer, possibly still waiting
+     in the commit queue.  The next writer must build on this, not on
+     [committed], or it would silently drop the queued commits' effects;
+     once the queue drains the two pointers coincide. *)
+  mutable head : Graph.t;
   (* statements logged since the last checkpoint; mirrors the WAL tail *)
   mutable tail_records : int;
   mutable last_seq : int;
+  (* group commit: tickets are issued under [writer_m] in version order;
+     one leader appends every pending batch with a single fsync *)
+  mutable next_ticket : int;
+  mutable flushed : int;  (* highest ticket made durable *)
+  mutable pending : pending list;  (* unflushed, unordered *)
+  mutable leader : bool;
+  mutable failed : (int * string) list;  (* per-ticket append failures *)
+  mutable poisoned : string option;  (* a flush failed: stop accepting *)
+  mutable group_limit : int;  (* max commits per flush; for benchmarks *)
+  (* monotonic anchor of the last checkpoint completed by this process;
+     [None] until then (the snapshot may predate the process) *)
+  mutable checkpoint_ns : int option;
 }
 
 let snapshot_file dir = Filename.concat dir "snapshot.bin"
 let wal_file dir = Filename.concat dir "wal.log"
 
 let session t = t.session
-let graph t = Session.graph t.session
-let run t text = Session.run t.session text
 let wal_records t = t.tail_records
 let last_seq t = t.last_seq
 
-(* Seconds since the last checkpoint wrote the snapshot, if one exists. *)
+(* The latest committed durable version — a pointer read behind a short
+   mutex.  The caller keeps the returned graph (a persistent value) for
+   as long as it likes: that is the whole MVCC pinning story. *)
+let snapshot t =
+  Mutex.lock t.m;
+  let g = t.committed in
+  Mutex.unlock t.m;
+  g
+
+(* The local session's working graph: equal to [snapshot] except inside
+   a local transaction, where it shows the uncommitted working state. *)
+let graph t = Session.graph t.session
+
+(* The write base: the newest enqueued version.  Only meaningful while
+   holding the writer lock (otherwise another writer may move it before
+   the caller uses it). *)
+let head t =
+  Mutex.lock t.m;
+  let g = t.head in
+  Mutex.unlock t.m;
+  g
+
+(* Seconds since the last checkpoint.  Anchored on the monotonic clock
+   when this process has checkpointed; otherwise derived from the
+   snapshot file's mtime, clamped at >= 0 so an NTP step can never
+   report a negative age through [:stats] / the health verb. *)
 let snapshot_age t =
-  match Unix.stat (snapshot_file t.dir) with
-  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
-  | exception Unix.Unix_error _ -> None
+  match t.checkpoint_ns with
+  | Some ns -> Some (float_of_int (Clock.now_ns () - ns) /. 1e9)
+  | None -> (
+    match Unix.stat (snapshot_file t.dir) with
+    | st -> Some (Float.max 0. (Unix.gettimeofday () -. st.Unix.st_mtime))
+    | exception Unix.Unix_error _ -> None)
 
-(* Appends a committed batch to the WAL (one write + fsync) and advances
-   the tail bookkeeping.  The store's own session commits through this,
-   and so do the per-connection sessions of the network server. *)
-let wal_append t batch =
-  let seq =
-    Wal.append t.writer
-      (List.map (fun l -> (l.Session.lg_text, l.Session.lg_params)) batch)
+let set_group_commit t enabled =
+  Mutex.lock t.m;
+  t.group_limit <- (if enabled then max_int else 1);
+  Mutex.unlock t.m
+
+(* --- the single-writer lock ------------------------------------------- *)
+
+let writer_lock t = Mutex.lock t.writer_m
+let writer_unlock t = Mutex.unlock t.writer_m
+
+(* --- group commit ------------------------------------------------------ *)
+
+(* Caller holds [writer_m], so tickets are issued in the order versions
+   were produced; that order is the WAL append order and the publication
+   order. *)
+let enqueue_commit t ~graph batch =
+  Mutex.lock t.m;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  t.head <- graph;
+  t.pending <- { p_ticket = ticket; p_batch = batch; p_graph = graph } :: t.pending;
+  Mutex.unlock t.m;
+  ticket
+
+(* Flushes [group] (sorted by ticket): one [Wal.append] + fsync for every
+   member, then publication of the newest version.  Runs without [m]
+   held; returns with it re-taken. *)
+let flush_group t group =
+  let stmts =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun l -> (l.Session.lg_text, l.Session.lg_params))
+          p.p_batch)
+      group
   in
-  t.tail_records <- t.tail_records + List.length batch;
-  if seq > 0 then t.last_seq <- seq
+  let result =
+    match Wal.append t.writer stmts with
+    | seq -> Ok seq
+    | exception e -> Error (Printexc.to_string e)
+  in
+  Mutex.lock t.m;
+  (match result with
+  | Ok seq ->
+    t.tail_records <- t.tail_records + List.length stmts;
+    if seq > 0 then t.last_seq <- seq;
+    (* versions are linear, so the group's newest graph carries every
+       member's effects; publishing it publishes them all in order *)
+    (match List.rev group with
+    | newest :: _ -> t.committed <- newest.p_graph
+    | [] -> ());
+    Registry.incr m_group_flushes;
+    Registry.add m_group_members (List.length group)
+  | Error e ->
+    (* an fsync that failed leaves durability undecided: report the
+       error to every member and refuse all further commits rather than
+       acknowledging writes that may not survive a crash *)
+    t.failed <-
+      List.map (fun p -> (p.p_ticket, e)) group @ t.failed;
+    t.poisoned <- Some e);
+  let top = List.fold_left (fun acc p -> max acc p.p_ticket) t.flushed group in
+  t.flushed <- top;
+  t.leader <- false;
+  Condition.broadcast t.flushed_cv
 
-(* Publishes [g] as the committed graph.  Callers must have already made
-   the statements that produced [g] durable via [wal_append] — the
-   server does both under its exclusive write lock. *)
-let publish t g = Session.set_graph t.session g
+(* Waits until [ticket] is durable (leading a flush if no leader is
+   active), then reports its outcome.  Must be called after releasing
+   the writer lock, so the next writer executes while this group syncs. *)
+let await_commit t ticket =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.flushed >= ticket then begin
+      let res =
+        match List.assoc_opt ticket t.failed with
+        | Some e ->
+          t.failed <- List.remove_assoc ticket t.failed;
+          Error e
+        | None -> Ok ()
+      in
+      Mutex.unlock t.m;
+      res
+    end
+    else if t.leader then begin
+      Condition.wait t.flushed_cv t.m;
+      loop ()
+    end
+    else begin
+      match t.poisoned with
+      | Some e ->
+        Mutex.unlock t.m;
+        Error e
+      | None ->
+        t.leader <- true;
+        let sorted =
+          List.sort (fun a b -> compare a.p_ticket b.p_ticket) t.pending
+        in
+        (* group_limit = 1 disables grouping (benchmark baseline): the
+           leader takes only the oldest pending commit per fsync *)
+        let rec take n = function
+          | [] -> ([], [])
+          | rest when n = 0 -> ([], rest)
+          | p :: rest ->
+            let g, r = take (n - 1) rest in
+            (p :: g, r)
+        in
+        let group, rest = take t.group_limit sorted in
+        t.pending <- rest;
+        Mutex.unlock t.m;
+        flush_group t group;
+        (* m is held again; our ticket may or may not be in the flushed
+           range (a bounded group can leave it pending) *)
+        loop ()
+    end
+  in
+  loop ()
+
+(* Appends a committed batch and publishes [graph] through the group
+   commit queue, serialising with other writers.  This is the local
+   session's commit hook; the network server drives [writer_lock] /
+   [enqueue_commit] / [await_commit] itself so statement execution and
+   the fsync wait are decoupled. *)
+let local_commit t batch =
+  writer_lock t;
+  let ticket = enqueue_commit t ~graph:(Session.graph t.session) batch in
+  writer_unlock t;
+  match await_commit t ticket with
+  | Ok () -> ()
+  | Error e -> failwith ("commit failed: " ^ e)
+
+(* Runs a statement through the local session, first syncing it to the
+   latest committed version (a no-op unless a server shares the store). *)
+let run t text =
+  if not (Session.in_transaction t.session) then
+    Session.set_graph t.session (snapshot t);
+  Session.run t.session text
 
 let ensure_dir dir =
   if Sys.file_exists dir then
@@ -93,12 +284,13 @@ let open_ ?schema ?mode dir =
         if records <> [] then Registry.incr m_recoveries;
         Wal.replay ?mode base records)
   in
-  (* 3. wire the durable session: committed batches append + fsync *)
+  (* 3. wire the durable session: committed batches go through the group
+     commit queue (append + fsync + publish) *)
   let writer = Wal.open_writer ~next_seq wal in
   let store = ref None in
   let on_commit batch =
     match !store with
-    | Some t -> wal_append t batch
+    | Some t -> local_commit t batch
     | None -> ()
   in
   let session = Session.create ?schema ?mode ~on_commit g in
@@ -107,22 +299,51 @@ let open_ ?schema ?mode dir =
       dir;
       writer;
       session;
+      writer_m = Mutex.create ();
+      m = Mutex.create ();
+      flushed_cv = Condition.create ();
+      committed = g;
+      head = g;
       tail_records = List.length records;
       last_seq = next_seq - 1;
+      next_ticket = 1;
+      flushed = 0;
+      pending = [];
+      leader = false;
+      failed = [];
+      poisoned = None;
+      group_limit = max_int;
+      checkpoint_ns = None;
     }
   in
   store := Some t;
   Ok t
 
+(* A checkpoint must capture a (graph, last_seq) pair that agree —
+   otherwise the truncate could drop records the snapshot lacks.  Taking
+   [writer_m] stops new commits from being enqueued, draining the queue
+   makes every issued ticket durable, and then the committed pointer and
+   [last_seq] are exactly in step. *)
 let checkpoint t =
   if Session.in_transaction t.session then
     Error "checkpoint refused: a transaction is open"
   else begin
     Trace.with_span "checkpoint" @@ fun () ->
-    match Snapshot.save ~last_seq:t.last_seq (graph t) (snapshot_file t.dir) with
+    Mutex.lock t.writer_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.writer_m) @@ fun () ->
+    Mutex.lock t.m;
+    while t.leader || t.pending <> [] do
+      Condition.wait t.flushed_cv t.m
+    done;
+    let g = t.committed and seq = t.last_seq in
+    Mutex.unlock t.m;
+    match Snapshot.save ~last_seq:seq g (snapshot_file t.dir) with
     | () ->
       Wal.truncate t.writer;
+      Mutex.lock t.m;
       t.tail_records <- 0;
+      Mutex.unlock t.m;
+      t.checkpoint_ns <- Some (Clock.now_ns ());
       Registry.incr m_checkpoints;
       Ok ()
     | exception Sys_error e -> Error ("checkpoint failed: " ^ e)

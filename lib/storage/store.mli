@@ -1,4 +1,5 @@
-(** The durable store: a directory holding one graph database.
+(** The durable store: a directory holding one graph database, served
+    under MVCC snapshot reads and WAL group commit.
 
     {v
     <dir>/snapshot.bin   latest checkpointed image ({!Snapshot})
@@ -12,21 +13,56 @@
     mismatch on a complete record) refuses to open with a clear error
     rather than silently dropping acknowledged commits.
 
-    The returned handle owns a {!Cypher_session.Session} wired so that
-    every committed update statement — auto-commit, or the batch of an
-    outermost commit — is appended to the WAL and fsync'd before the
-    commit returns.  Rolled-back statements never reach the log.
+    {2 Version lifecycle}
+
+    The graph is a persistent value, so a "version" is simply a graph
+    value; the store holds a pointer to the latest {e committed,
+    durable} one.  {!snapshot} reads that pointer behind a short mutex —
+    that is the entire read-side protocol.  A reader pins a version by
+    keeping the returned value; it can never observe a torn or
+    in-flight state, never blocks a writer, and is never blocked by
+    one.  Old versions are reclaimed by the GC when the last reader
+    drops them.
+
+    Writers serialise {e only among themselves}:
+
+    + take {!writer_lock} and build the next version from the latest
+      committed one;
+    + {!enqueue_commit} the logged batch and the new version — this
+      issues a ticket in version order;
+    + release {!writer_lock} (the next writer proceeds immediately,
+      pipelined ahead of durability);
+    + {!await_commit} the ticket: once its group's single fsync
+      completes, the version is published for readers and the commit is
+      acknowledged.
+
+    {2 Group leader protocol}
+
+    Concurrent committers park their batches in a queue.  The first
+    awaiting thread becomes the {e leader}: it drains every pending
+    ticket (in order), performs {e one} [Wal.append] + fsync for the
+    whole group, publishes the group's newest version (versions are
+    linear, so it carries all members' effects), wakes the members, and
+    steps down; a member whose ticket is still pending leads the next
+    group.  Under a commit burst the fsync cost is shared by the whole
+    group — the write-throughput ceiling becomes group-size × the
+    single-fsync rate.  A failed append poisons the store: every
+    member of the failed group gets the error and later commits are
+    refused, because acknowledging a write whose durability is unknown
+    is worse than stopping.
 
     {!checkpoint} makes the crash-recovery invariant explicit:
 
+    + quiesce writers and drain the commit queue, so the committed
+      version and [last_seq] agree;
     + write the new snapshot atomically (tmp + rename), carrying the
       sequence number of the last logged record;
     + truncate the WAL back to its header.
 
-    A crash between the two steps is safe: the stale WAL records are at
-    or below the snapshot's watermark, so recovery skips them instead
-    of applying them twice.  Sequence numbers keep increasing across
-    checkpoints and reopens. *)
+    A crash between the last two steps is safe: the stale WAL records
+    are at or below the snapshot's watermark, so recovery skips them
+    instead of applying them twice.  Sequence numbers keep increasing
+    across checkpoints and reopens. *)
 
 open Cypher_graph
 module Session = Cypher_session.Session
@@ -43,19 +79,28 @@ val open_ :
     corrupt snapshot, a corrupt WAL interior, or a replay failure. *)
 
 val session : t -> Session.t
-(** The durable session; run statements through {!Session.run} and
-    group them with {!Session.begin_tx} / {!Session.commit}. *)
+(** The local session (the CLI shell and recovery commit through it);
+    its committed batches go through the same group-commit queue as
+    everyone else's. *)
+
+val snapshot : t -> Graph.t
+(** The latest committed durable version — a pointer read behind a
+    short mutex.  Keep the value to pin the version; no lock is held
+    after return and no unpin is needed. *)
 
 val graph : t -> Graph.t
-(** The current graph — [Session.graph (session t)]. *)
+(** The local session's working graph: equal to {!snapshot} except
+    inside a local transaction, where it shows the uncommitted state. *)
 
 val run : t -> string -> (Cypher_table.Table.t, string) result
-(** Convenience for [Session.run (session t)]. *)
+(** Runs one statement through the local session, first syncing it to
+    the latest committed version (unless a local transaction is open). *)
 
 val checkpoint : t -> (unit, string) result
-(** Snapshots the current graph and truncates the WAL (see above).
-    Refused while a transaction is open — the snapshot must only ever
-    contain committed state. *)
+(** Quiesces writers, drains the commit queue, snapshots the committed
+    graph and truncates the WAL (see above).  Refused while a local
+    transaction is open — the snapshot must only ever contain committed
+    state.  Blocks while a wire transaction holds the writer lock. *)
 
 val wal_records : t -> int
 (** Number of committed statements currently in the WAL tail (i.e. not
@@ -67,22 +112,50 @@ val last_seq : t -> int
     fresh, never-written store). *)
 
 val snapshot_age : t -> float option
-(** Seconds since the snapshot file was last written, or [None] if no
-    checkpoint has ever completed. *)
+(** Seconds since the last checkpoint, or [None] if no checkpoint has
+    ever completed.  Anchored on the monotonic clock when this process
+    has checkpointed; otherwise derived from the snapshot file's mtime
+    and clamped at [>= 0.], so a wall-clock (NTP) step can never report
+    a negative age. *)
 
-val wal_append : t -> Session.logged list -> unit
-(** Appends a committed batch to the WAL with one write + fsync and
-    advances the [wal_records]/[last_seq] bookkeeping.  The store's own
-    session commits through this hook; the network server calls it from
-    the [on_commit] of its per-connection sessions, always under the
-    store's exclusive write lock. *)
+(** {1 The write path}
 
-val publish : t -> Graph.t -> unit
-(** Publishes [g] as the committed graph visible to {!graph}.  The
-    caller must already have made the statements producing [g] durable
-    via {!wal_append}; the server does both while holding its write
-    lock.  Raises [Invalid_argument] if the store's own session has a
-    transaction open. *)
+    The network server drives these directly so that statement
+    execution (under the writer lock) and the fsync wait (off it) are
+    decoupled — that decoupling is what lets commits group. *)
+
+val writer_lock : t -> unit
+(** Serialises writers.  Readers never take this: they use
+    {!snapshot}. *)
+
+val writer_unlock : t -> unit
+
+val head : t -> Graph.t
+(** The write base: the newest version produced by any writer, which may
+    still be waiting in the commit queue.  A writer must build on this —
+    building on {!snapshot} would silently drop queued commits' effects.
+    Only stable while holding {!writer_lock}; once the queue drains it
+    coincides with {!snapshot}. *)
+
+type ticket
+(** A commit parked in the group-commit queue. *)
+
+val enqueue_commit : t -> graph:Graph.t -> Session.logged list -> ticket
+(** Parks a committed batch and the version it produced.  Must be
+    called while holding {!writer_lock}, so tickets are issued in
+    version order — the WAL append order and the publication order. *)
+
+val await_commit : t -> ticket -> (unit, string) result
+(** Blocks until the ticket's group is flushed (leading the flush if no
+    leader is active) and returns its outcome.  Call {e after}
+    releasing {!writer_lock}.  [Ok ()] means the batch is fsync'd and
+    its version published to {!snapshot}; [Error _] means the append
+    failed and nothing of the group was published. *)
+
+val set_group_commit : t -> bool -> unit
+(** Benchmarks only: [false] caps flush groups at one commit each, the
+    one-fsync-per-commit baseline; [true] (the default) restores
+    unbounded grouping. *)
 
 val close : t -> unit
 (** Closes the WAL file descriptor.  Deliberately does {e not}

@@ -260,16 +260,22 @@ let abrupt_disconnect_mid_transaction () =
       let dying = connect () in
       ignore (ok_query dying "BEGIN");
       ignore (ok_query dying "CREATE (:Dead {v: 1})");
-      (* vanish without COMMIT: the server must release the write lock
+      (* vanish without COMMIT: the server must release the writer lock
          and discard the uncommitted changes *)
       Client.close dying;
       let client = connect () in
       Fun.protect ~finally:(fun () -> Client.close client)
         (fun () ->
-          (* this read blocks forever if the lock leaked *)
+          (* under MVCC a read never takes a lock, so only a write can
+             regression-test the lock release: this CREATE blocks
+             forever if the writer lock leaked *)
+          ignore (ok_query client "CREATE (:Alive {v: 1})");
           Alcotest.(check int) "uncommitted changes discarded" 0
             (count_of
-               (ok_query client "MATCH (d:Dead) RETURN count(d) AS c"))))
+               (ok_query client "MATCH (d:Dead) RETURN count(d) AS c"));
+          Alcotest.(check int) "writer lock released for later writes" 1
+            (count_of
+               (ok_query client "MATCH (a:Alive) RETURN count(a) AS c"))))
 
 (* --- concurrency against a single-threaded oracle ---------------------- *)
 
