@@ -1333,6 +1333,378 @@ let b17 () =
   close_out oc;
   Printf.printf "(B17 results written to %s)\n" path
 
+(* ------------------------------------------------------------------ *)
+(* B18: replication at scale — 1 primary + 0/1/2 replicas             *)
+(* ------------------------------------------------------------------ *)
+
+(* The standing closed-loop benchmark for the replicated deployment: a
+   fixed pool of workers, each driving its own replica-aware Router,
+   fires a sustained mixed workload (indexed point reads, 2-hop friend
+   traversals, grouped neighborhood aggregates, and bursts of writes)
+   against one primary plus 0, 1 or 2 WAL-shipping replicas, all served
+   from a large generator graph.  Latencies land in registry histograms
+   (per topology and operation class) and the JSON reports throughput
+   and p50/p95/p99 from those, plus the replication health series:
+   end-of-run replica lag, convergence time, resyncs, and how many
+   reads the routers actually served from replicas vs bounced back to
+   the primary on staleness.
+
+   Scale knobs (environment): B18_NODES (default 1,000,000 people),
+   B18_FRIENDS (avg degree, default 4), B18_CLIENTS (workers, default
+   4), B18_SECONDS (per-topology duration, default 5).  CI runs a
+   scaled-down shape; the defaults are the headline configuration.
+
+   Honesty note, as in B14/B16: on a single-core host every server,
+   replica applier and client worker time-shares one core, so adding
+   replicas cannot add throughput — the curve is expected flat-to-
+   slightly-down (replication itself costs cycles), and the JSON
+   records [host_cores] so a reader can tell that from a scaling
+   failure.  What the benchmark pins down everywhere is the *price* of
+   replication (lag, convergence, stale fallbacks) under load. *)
+
+module Replica = Cypher_replication.Replica
+module Router = Cypher_replication.Router
+module Value = Cypher_values.Value
+
+let b18_env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let b18_fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cypher_bench_b18_%s_%d.db" tag (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Array.to_list (Sys.readdir dir));
+  dir
+
+let b18_point_q = "MATCH (p:Person {name: $name}) RETURN p.city AS city"
+
+let b18_hop2_q =
+  "MATCH (p:Person {name: $name})-[:FRIEND]->()-[:FRIEND]->(q) RETURN \
+   count(q) AS n"
+
+let b18_agg_q =
+  "MATCH (p:Person {name: $name})-[:FRIEND]->(q) RETURN q.city AS city, \
+   count(q) AS n"
+
+let b18_write_q = "CREATE (:Event {w: $w, j: $j})"
+let b18_burst = 8 (* writes per burst draw *)
+
+(* Evenly-spaced sample of Person names: the workload's key space.  The
+   generator derives names from its own PRNG stream, so they are read
+   back from the graph rather than re-derived. *)
+let b18_sample_names g =
+  let ids = Array.of_list (Graph.nodes_with_label g "Person") in
+  let n = Array.length ids in
+  let take = min 4096 n in
+  Array.init take (fun i ->
+      match Graph.node_prop g ids.(i * n / take) "name" with
+      | Value.String s -> s
+      | _ -> failwith "B18: Person without a string name")
+
+type b18_hists = {
+  h_point : Obs_reg.histogram;
+  h_hop : Obs_reg.histogram;
+  h_agg : Obs_reg.histogram;
+  h_write : Obs_reg.histogram;
+}
+
+(* Histogram names carry the topology so three runs in one process do
+   not blend; the registry keeps them all for the final read-out. *)
+let b18_make_hists nrep =
+  let h cls =
+    Obs_reg.histogram (Printf.sprintf "cypher_bench_b18_r%d_%s_us" nrep cls)
+  in
+  {
+    h_point = h "point_read";
+    h_hop = h "hop2";
+    h_agg = h "neighborhood_agg";
+    h_write = h "write";
+  }
+
+let b18_worker ~primary ~replicas ~names ~hists ~deadline ~errors ~ops w =
+  match Router.create ~primary ~replicas () with
+  | Error e ->
+    Atomic.incr errors;
+    prerr_endline ("B18 worker: " ^ e)
+  | Ok router ->
+    let rng = Random.State.make [| 0xB18; w |] in
+    let pick_name () = names.(Random.State.int rng (Array.length names)) in
+    let timed h q params =
+      let t0 = Unix.gettimeofday () in
+      (match Router.query ~params router q with
+      | Ok _ -> Atomic.incr ops
+      | Error _ -> Atomic.incr errors);
+      Obs_reg.observe_us h
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    in
+    let j = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      let name () = [ ("name", Value.String (pick_name ())) ] in
+      let r = Random.State.int rng 100 in
+      if r < 55 then timed hists.h_point b18_point_q (name ())
+      else if r < 80 then timed hists.h_hop b18_hop2_q (name ())
+      else if r < 92 then timed hists.h_agg b18_agg_q (name ())
+      else
+        (* a write burst, then back to reads: the next replica read is
+           stamped with the burst's commit seq (session consistency) *)
+        for _ = 1 to b18_burst do
+          incr j;
+          timed hists.h_write b18_write_q
+            [ ("w", Value.Int w); ("j", Value.Int !j) ]
+        done
+    done;
+    Router.close router
+
+type b18_result = {
+  br_replicas : int;
+  br_ops : int;
+  br_elapsed : float;
+  br_bootstrap_s : float;
+  br_classes : (string * Obs_reg.hist_snapshot) list;
+  br_reads_replica : int;
+  br_reads_primary : int;
+  br_stale : int;
+  br_records : int;
+  br_resyncs : int;
+  br_end_lag : int;
+  br_converge_s : float;
+}
+
+let b18_counter name = Obs_reg.value (Obs_reg.counter name)
+
+let b18_topology ~snapshot_bytes ~names ~clients ~duration nrep =
+  let pdir = b18_fresh_dir (Printf.sprintf "p_of_r%d" nrep) in
+  Snapshot.save_encoded ~bytes:snapshot_bytes (Store.snapshot_file pdir);
+  let pstore =
+    match Store.open_ pdir with Ok s -> s | Error e -> failwith e
+  in
+  let pserver =
+    match
+      Server.start ~config:{ Server.default_config with Server.port = 0 }
+        pstore
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let pport = Server.port pserver in
+  let boot0 = Unix.gettimeofday () in
+  let reps =
+    List.init nrep (fun i ->
+        let rdir = b18_fresh_dir (Printf.sprintf "r%d_of_r%d" i nrep) in
+        let rstore =
+          match Store.open_ rdir with Ok s -> s | Error e -> failwith e
+        in
+        let rserver =
+          match
+            Server.start
+              ~config:
+                {
+                  Server.default_config with
+                  Server.port = 0;
+                  Server.replica_of = Some ("127.0.0.1", pport);
+                }
+              rstore
+          with
+          | Ok s -> s
+          | Error e -> failwith e
+        in
+        let replica =
+          match Replica.start ~host:"127.0.0.1" ~port:pport rstore with
+          | Ok r -> r
+          | Error e -> failwith ("B18 replica: " ^ e)
+        in
+        (rserver, replica))
+  in
+  let bootstrap_s = Unix.gettimeofday () -. boot0 in
+  let primary = ("127.0.0.1", pport) in
+  let replicas =
+    List.map (fun (rs, _) -> ("127.0.0.1", Server.port rs)) reps
+  in
+  let hists = b18_make_hists nrep in
+  let errors = Atomic.make 0 and ops = Atomic.make 0 in
+  let reads_replica0 = b18_counter "cypher_router_reads_replica_total"
+  and reads_primary0 = b18_counter "cypher_router_reads_primary_total"
+  and stale0 = b18_counter "cypher_router_stale_fallbacks_total"
+  and records0 = b18_counter "cypher_repl_records_applied_total"
+  and resyncs0 = b18_counter "cypher_repl_resyncs_total" in
+  let started = Unix.gettimeofday () in
+  let deadline = started +. duration in
+  let threads =
+    List.init clients
+      (Thread.create
+         (b18_worker ~primary ~replicas ~names ~hists ~deadline ~errors ~ops))
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+  if Atomic.get errors > 0 then
+    failwith (Printf.sprintf "B18: %d failed requests" (Atomic.get errors));
+  (* replication health at the moment the load stops, then convergence *)
+  let p_seq = Store.last_seq pstore in
+  let end_lag =
+    List.fold_left
+      (fun acc (_, r) -> max acc (p_seq - Replica.last_applied r))
+      0 reps
+  in
+  let conv0 = Unix.gettimeofday () in
+  List.iter
+    (fun (_, r) ->
+      if not (Replica.wait_for_seq r ~seq:p_seq ~timeout:60.) then
+        failwith "B18: replica failed to converge after the run")
+    reps;
+  let converge_s = Unix.gettimeofday () -. conv0 in
+  List.iter (fun (_, r) -> Replica.stop r) reps;
+  List.iter
+    (fun (rs, _) ->
+      match Server.stop rs with Ok () -> () | Error e -> failwith e)
+    reps;
+  (match Server.stop pserver with Ok () -> () | Error e -> failwith e);
+  {
+    br_replicas = nrep;
+    br_ops = Atomic.get ops;
+    br_elapsed = elapsed;
+    br_bootstrap_s = bootstrap_s;
+    br_classes =
+      [
+        ("point_read", Obs_reg.hist_snapshot hists.h_point);
+        ("hop2", Obs_reg.hist_snapshot hists.h_hop);
+        ("neighborhood_agg", Obs_reg.hist_snapshot hists.h_agg);
+        ("write", Obs_reg.hist_snapshot hists.h_write);
+      ];
+    br_reads_replica =
+      b18_counter "cypher_router_reads_replica_total" - reads_replica0;
+    br_reads_primary =
+      b18_counter "cypher_router_reads_primary_total" - reads_primary0;
+    br_stale = b18_counter "cypher_router_stale_fallbacks_total" - stale0;
+    br_records = b18_counter "cypher_repl_records_applied_total" - records0;
+    br_resyncs = b18_counter "cypher_repl_resyncs_total" - resyncs0;
+    br_end_lag = end_lag;
+    br_converge_s = converge_s;
+  }
+
+let b18_q snap p = (List.assoc p snap.Obs_reg.quantiles).Obs_reg.q_us
+
+let b18 () =
+  let nodes = b18_env_int "B18_NODES" 1_000_000 in
+  let avg_friends = b18_env_int "B18_FRIENDS" 4 in
+  let clients = b18_env_int "B18_CLIENTS" 4 in
+  let duration = float_of_int (b18_env_int "B18_SECONDS" 5) in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\nB18 replication at scale: building the graph (%d people, avg %d \
+     friends)...\n\
+     %!"
+    nodes avg_friends;
+  let built0 = Unix.gettimeofday () in
+  let names, snapshot_bytes, rels =
+    let g = Generate.social ~seed:18 ~people:nodes ~avg_friends in
+    let g = Graph.create_index g ~label:"Person" ~key:"name" in
+    (b18_sample_names g, Snapshot.encode g, Graph.rel_count g)
+  in
+  Printf.printf "  built + encoded in %.1f s (snapshot %.1f MB)\n%!"
+    (Unix.gettimeofday () -. built0)
+    (float_of_int (String.length snapshot_bytes) /. 1048576.);
+  let results =
+    List.map
+      (fun nrep ->
+        Printf.printf "  running %d client(s) x %.0f s against 1 primary + \
+                       %d replica(s)...\n%!"
+          clients duration nrep;
+        b18_topology ~snapshot_bytes ~names ~clients ~duration nrep)
+      [ 0; 1; 2 ]
+  in
+  Printf.printf
+    "\nB18 closed loop, %d clients, %.0f s per topology (host cores: %d)\n"
+    clients duration host_cores;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %d replica(s)  %8.0f ops/s   reads replica/primary %d/%d  stale \
+         fallbacks %d\n"
+        r.br_replicas
+        (float_of_int r.br_ops /. r.br_elapsed)
+        r.br_reads_replica r.br_reads_primary r.br_stale;
+      List.iter
+        (fun (cls, snap) ->
+          if snap.Obs_reg.count > 0 then
+            Printf.printf
+              "      %-18s p50 %6d us   p95 %6d us   p99 %6d us   (%d ops)\n"
+              cls (b18_q snap 0.5) (b18_q snap 0.95) (b18_q snap 0.99)
+              snap.Obs_reg.count)
+        r.br_classes;
+      if r.br_replicas > 0 then
+        Printf.printf
+          "      end-of-run lag %d records, converged in %.3f s, %d \
+           records shipped, %d resync(s)\n"
+          r.br_end_lag r.br_converge_s r.br_records r.br_resyncs)
+    results;
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr7.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 7,\n";
+  out
+    "  \"experiment\": \"B18 replication at scale: closed-loop mixed \
+     workload against 1 primary + 0/1/2 WAL-shipping replicas\",\n";
+  out
+    "  \"workload\": \"per-op mix 55%% indexed point read, 25%% 2-hop \
+     traversal, 12%% grouped neighborhood aggregate, 8%% write bursts of \
+     %d CREATEs; each worker drives its own replica-aware Router \
+     (read-your-writes via min_seq)\",\n"
+    b18_burst;
+  out "  \"nodes\": %d,\n" nodes;
+  out "  \"rels\": %d,\n" rels;
+  out "  \"clients\": %d,\n" clients;
+  out "  \"seconds_per_topology\": %.0f,\n" duration;
+  out "  \"snapshot_mb\": %.1f,\n"
+    (float_of_int (String.length snapshot_bytes) /. 1048576.);
+  out "  \"host_cores\": %d,\n" host_cores;
+  out
+    "  \"note\": \"throughput is measured honestly on this host; on a \
+     single-core container the primary, replica appliers and client \
+     workers time-share one core, so the curve over replica counts is \
+     expected flat-to-down and the interesting series are the \
+     replication costs: lag, convergence, stale fallbacks\",\n";
+  out "  \"topologies\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\n";
+      out "      \"replicas\": %d,\n" r.br_replicas;
+      out "      \"ops\": %d,\n" r.br_ops;
+      out "      \"ops_per_s\": %.0f,\n"
+        (float_of_int r.br_ops /. r.br_elapsed);
+      out "      \"bootstrap_s\": %.3f,\n" r.br_bootstrap_s;
+      out "      \"reads_on_replicas\": %d,\n" r.br_reads_replica;
+      out "      \"reads_on_primary\": %d,\n" r.br_reads_primary;
+      out "      \"stale_fallbacks\": %d,\n" r.br_stale;
+      out "      \"records_shipped\": %d,\n" r.br_records;
+      out "      \"resyncs\": %d,\n" r.br_resyncs;
+      out "      \"end_of_run_lag_records\": %d,\n" r.br_end_lag;
+      out "      \"converge_s\": %.3f,\n" r.br_converge_s;
+      out "      \"latency_us\": {\n";
+      List.iteri
+        (fun j (cls, snap) ->
+          out
+            "        \"%s\": {\"count\": %d, \"p50\": %d, \"p95\": %d, \
+             \"p99\": %d}%s\n"
+            cls snap.Obs_reg.count (b18_q snap 0.5) (b18_q snap 0.95)
+            (b18_q snap 0.99)
+            (if j = List.length r.br_classes - 1 then "" else ","))
+        r.br_classes;
+      out "      }\n";
+      out "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "(B18 results written to %s)\n" path
+
 let groups =
   [
     ( "tables",
@@ -1344,7 +1716,7 @@ let groups =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
-    ("b17", b17);
+    ("b17", b17); ("b18", b18);
   ]
 
 let () =

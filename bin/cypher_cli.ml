@@ -9,6 +9,12 @@
      cypher_cli --serve HOST:PORT --db PATH
                                          serve the database to concurrent
                                          network clients until interrupted
+     cypher_cli --serve HOST:PORT --db PATH --replica-of PHOST:PPORT
+                                         serve as a read-only replica: the
+                                         database bootstraps from the primary
+                                         at PHOST:PPORT and keeps tailing its
+                                         WAL; writes are rejected with a
+                                         typed error naming the primary
      cypher_cli --connect HOST:PORT      REPL against a running server
      cypher_cli -q "MATCH (n) RETURN n"  run one query and exit
      cypher_cli --script file.cypher     run a ;-separated script
@@ -131,7 +137,7 @@ let run_remote_query ?(parallel = 1) client q =
     else []
   in
   match Client.query ~options client q with
-  | Ok { Client.columns; rows } ->
+  | Ok { Client.columns; rows; _ } ->
     let table =
       Cypher_table.Table.create ~fields:columns
         (List.map
@@ -445,30 +451,49 @@ let repl st =
   loop st
 
 (* Serves the durable store until SIGINT/SIGTERM, then drains in-flight
-   requests, checkpoints and closes the WAL. *)
-let serve_forever st (host, port) =
+   requests, checkpoints and closes the WAL.  With [replica_of], the
+   store is first bootstrapped from the primary and a background
+   applier keeps tailing its WAL; the server rejects writes. *)
+let serve_forever st ?replica_of (host, port) =
   match st.store with
   | None ->
     Printf.eprintf "--serve requires a durable database (--db PATH)\n";
     exit 1
   | Some store -> (
-    let config = { Server.default_config with host; port } in
+    let config = { Server.default_config with host; port; replica_of } in
     match Server.start ~config ~schema:st.schema ~mode:st.mode store with
     | Error e ->
       Printf.eprintf "cannot start server: %s\n" e;
       exit 1
     | Ok server ->
+      let replica =
+        match replica_of with
+        | None -> None
+        | Some (phost, pport) -> (
+          match
+            Cypher_replication.Replica.start ~host:phost ~port:pport store
+          with
+          | Ok r ->
+            Printf.printf "replicating from %s:%d (applied seq %d)\n%!" phost
+              pport
+              (Cypher_replication.Replica.last_applied r);
+            Some r
+          | Error e ->
+            Printf.eprintf "cannot start replication: %s\n" e;
+            exit 1)
+      in
       let stop_requested = ref false in
       let request_stop _ = stop_requested := true in
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
       Printf.printf "serving %s on %s:%d (ctrl-C to stop)\n%!"
-        (match st.store with Some _ -> "database" | None -> "graph")
+        (match replica with Some _ -> "replica" | None -> "database")
         host (Server.port server);
       while not !stop_requested do
         Unix.sleepf 0.2
       done;
       Printf.printf "draining connections and checkpointing...\n%!";
+      Option.iter Cypher_replication.Replica.stop replica;
       (match Server.stop server with
       | Ok () -> Printf.printf "server stopped; checkpoint written\n"
       | Error e -> Printf.printf "server stopped; %s\n" e))
@@ -476,6 +501,7 @@ let serve_forever st (host, port) =
 let () =
   let args = Array.to_list Sys.argv in
   let serve_endpoint = ref None in
+  let replica_of = ref None in
   let rec parse st = function
     | [] -> `Repl st
     | "--graph" :: name :: rest -> (
@@ -544,6 +570,14 @@ let () =
       | Error e ->
         Printf.eprintf "--serve %s\n" e;
         exit 1)
+    | "--replica-of" :: endpoint :: rest -> (
+      match parse_endpoint endpoint with
+      | Ok hp ->
+        replica_of := Some hp;
+        parse st rest
+      | Error e ->
+        Printf.eprintf "--replica-of %s\n" e;
+        exit 1)
     | "--connect" :: endpoint :: rest -> (
       match parse_endpoint endpoint with
       | Error e ->
@@ -597,7 +631,7 @@ let () =
     | Some endpoint ->
       (* Server.stop closes the store itself *)
       Option.iter Client.close st.client;
-      serve_forever st endpoint
+      serve_forever st ?replica_of:!replica_of endpoint
     | None ->
       if
         List.exists

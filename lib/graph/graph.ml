@@ -35,6 +35,15 @@ type t = {
   type_index : Ids.Rel_set.t Smap.t;
   (* (label, key) -> value -> nodes; maintained by every node update *)
   prop_indexes : Ids.Node_set.t Vmap.t Pmap.t;
+  (* Entity and per-label/per-type cardinalities, maintained
+     incrementally alongside the maps above: [Map.cardinal] and
+     [Set.cardinal] are O(n), and the planner's statistics ask for
+     these counts after every committed write — deriving them on
+     demand made every write O(graph) at plan time on large stores. *)
+  n_nodes : int;
+  n_rels : int;
+  label_counts : int Smap.t;
+  type_counts : int Smap.t;
   next_node : int;
   next_rel : int;
   (* Monotonic modification stamp drawn from a process-global counter, so
@@ -98,6 +107,10 @@ let empty =
     label_index = Smap.empty;
     type_index = Smap.empty;
     prop_indexes = Pmap.empty;
+    n_nodes = 0;
+    n_rels = 0;
+    label_counts = Smap.empty;
+    type_counts = Smap.empty;
     next_node = 1;
     next_rel = 1;
     version = 0;
@@ -108,21 +121,79 @@ let props_of_list kvs =
     (fun m (k, v) -> if Value.is_null v then m else Smap.add k v m)
     Smap.empty kvs
 
-let index_add_node label n idx =
-  Smap.update label
-    (function
-      | None -> Some (Ids.Node_set.singleton n)
-      | Some s -> Some (Ids.Node_set.add n s))
-    idx
+(* The label index and its cardinalities change together; both updates
+   are membership-guarded so a duplicated label in the input cannot
+   skew the counts. *)
+let index_add_node label n (idx, counts) =
+  let grew = ref false in
+  let idx =
+    Smap.update label
+      (function
+        | None ->
+          grew := true;
+          Some (Ids.Node_set.singleton n)
+        | Some s ->
+          if Ids.Node_set.mem n s then Some s
+          else begin
+            grew := true;
+            Some (Ids.Node_set.add n s)
+          end)
+      idx
+  in
+  let counts =
+    if !grew then
+      Smap.update label (fun c -> Some (1 + Option.value c ~default:0)) counts
+    else counts
+  in
+  (idx, counts)
 
-let index_remove_node label n idx =
-  Smap.update label
-    (function
-      | None -> None
-      | Some s ->
-        let s = Ids.Node_set.remove n s in
-        if Ids.Node_set.is_empty s then None else Some s)
-    idx
+let index_remove_node label n (idx, counts) =
+  let shrank = ref false in
+  let idx =
+    Smap.update label
+      (function
+        | None -> None
+        | Some s ->
+          if not (Ids.Node_set.mem n s) then Some s
+          else begin
+            shrank := true;
+            let s = Ids.Node_set.remove n s in
+            if Ids.Node_set.is_empty s then None else Some s
+          end)
+      idx
+  in
+  let counts =
+    if !shrank then
+      Smap.update label
+        (fun c ->
+          match Option.value c ~default:1 - 1 with 0 -> None | k -> Some k)
+        counts
+    else counts
+  in
+  (idx, counts)
+
+(* Same pairing for the relationship-type index. *)
+let index_add_rel rel_type r (idx, counts) =
+  ( Smap.update rel_type
+      (function
+        | None -> Some (Ids.Rel_set.singleton r)
+        | Some s -> Some (Ids.Rel_set.add r s))
+      idx,
+    Smap.update rel_type (fun c -> Some (1 + Option.value c ~default:0)) counts
+  )
+
+let index_remove_rel rel_type r (idx, counts) =
+  ( Smap.update rel_type
+      (function
+        | None -> None
+        | Some s ->
+          let s = Ids.Rel_set.remove r s in
+          if Ids.Rel_set.is_empty s then None else Some s)
+      idx,
+    Smap.update rel_type
+      (fun c ->
+        match Option.value c ~default:1 - 1 with 0 -> None | k -> Some k)
+      counts )
 
 (* Adds/removes one node's contributions to every matching (label, key)
    index. *)
@@ -154,8 +225,11 @@ let pidx_update ~add g n (data : node_data) =
 let add_node ?(labels = []) ?(props = []) g =
   let id = Ids.node_of_int g.next_node in
   let data = { labels = Sset.of_list labels; node_props = props_of_list props } in
-  let label_index =
-    List.fold_left (fun idx l -> index_add_node l id idx) g.label_index labels
+  let label_index, label_counts =
+    List.fold_left
+      (fun acc l -> index_add_node l id acc)
+      (g.label_index, g.label_counts)
+      labels
   in
   let g =
     {
@@ -164,6 +238,8 @@ let add_node ?(labels = []) ?(props = []) g =
       out_adj = Nmap.add id [] g.out_adj;
       in_adj = Nmap.add id [] g.in_adj;
       label_index;
+      label_counts;
+      n_nodes = g.n_nodes + 1;
       next_node = g.next_node + 1;
     }
   in
@@ -187,12 +263,8 @@ let add_rel ~src ~tgt ~rel_type ?(props = []) g =
     invalid_arg "Graph.add_rel: endpoint not in graph";
   let id = Ids.rel_of_int g.next_rel in
   let data = { src; tgt; rel_type; rel_props = props_of_list props } in
-  let type_index =
-    Smap.update rel_type
-      (function
-        | None -> Some (Ids.Rel_set.singleton id)
-        | Some s -> Some (Ids.Rel_set.add id s))
-      g.type_index
+  let type_index, type_counts =
+    index_add_rel rel_type id (g.type_index, g.type_counts)
   in
   ( stamp
       {
@@ -201,6 +273,8 @@ let add_rel ~src ~tgt ~rel_type ?(props = []) g =
         out_adj = adj_cons src id g.out_adj;
         in_adj = adj_cons tgt id g.in_adj;
         type_index;
+        type_counts;
+        n_rels = g.n_rels + 1;
         next_rel = g.next_rel + 1;
       },
     id )
@@ -236,14 +310,8 @@ let delete_rel g r =
   match Rmap.find_opt r g.rel_map with
   | None -> g
   | Some data ->
-    let type_index =
-      Smap.update data.rel_type
-        (function
-          | None -> None
-          | Some s ->
-            let s = Ids.Rel_set.remove r s in
-            if Ids.Rel_set.is_empty s then None else Some s)
-        g.type_index
+    let type_index, type_counts =
+      index_remove_rel data.rel_type r (g.type_index, g.type_counts)
     in
     stamp
       {
@@ -252,6 +320,8 @@ let delete_rel g r =
         out_adj = adj_remove data.src r g.out_adj;
         in_adj = adj_remove data.tgt r g.in_adj;
         type_index;
+        type_counts;
+        n_rels = g.n_rels - 1;
       }
 
 let remove_node_raw g n =
@@ -259,8 +329,11 @@ let remove_node_raw g n =
   | None -> g
   | Some data ->
     let g = pidx_update ~add:false g n data in
-    let label_index =
-      Sset.fold (fun l idx -> index_remove_node l n idx) data.labels g.label_index
+    let label_index, label_counts =
+      Sset.fold
+        (fun l acc -> index_remove_node l n acc)
+        data.labels
+        (g.label_index, g.label_counts)
     in
     stamp
       {
@@ -269,6 +342,8 @@ let remove_node_raw g n =
         out_adj = Nmap.remove n g.out_adj;
         in_adj = Nmap.remove n g.in_adj;
         label_index;
+        label_counts;
+        n_nodes = g.n_nodes - 1;
       }
 
 let delete_node g n =
@@ -322,11 +397,17 @@ let remove_rel_prop g r k = set_rel_prop g r k Value.Null
 
 let add_label g n l =
   let g = update_node g n (fun d -> { d with labels = Sset.add l d.labels }) in
-  { g with label_index = index_add_node l n g.label_index }
+  let label_index, label_counts =
+    index_add_node l n (g.label_index, g.label_counts)
+  in
+  { g with label_index; label_counts }
 
 let remove_label g n l =
   let g = update_node g n (fun d -> { d with labels = Sset.remove l d.labels }) in
-  { g with label_index = index_remove_node l n g.label_index }
+  let label_index, label_counts =
+    index_remove_node l n (g.label_index, g.label_counts)
+  in
+  { g with label_index; label_counts }
 
 let labels g n = Sset.elements (node_data g n).labels
 let has_label g n l = Sset.mem l (node_data g n).labels
@@ -358,8 +439,8 @@ let rels g =
   let rs = List.map fst (Rmap.bindings g.rel_map) in
   db_hit_n (List.length rs);
   rs
-let node_count g = Nmap.cardinal g.node_map
-let rel_count g = Rmap.cardinal g.rel_map
+let node_count g = g.n_nodes
+let rel_count g = g.n_rels
 
 let other_end g r n =
   let d = rel_data g r in
@@ -385,15 +466,8 @@ let rels_with_type g t =
     rs
   | None -> []
 
-let label_count g l =
-  match Smap.find_opt l g.label_index with
-  | Some s -> Ids.Node_set.cardinal s
-  | None -> 0
-
-let type_count g t =
-  match Smap.find_opt t g.type_index with
-  | Some s -> Ids.Rel_set.cardinal s
-  | None -> 0
+let label_count g l = Option.value (Smap.find_opt l g.label_counts) ~default:0
+let type_count g t = Option.value (Smap.find_opt t g.type_counts) ~default:0
 
 let all_labels g = List.map fst (Smap.bindings g.label_index)
 let all_types g = List.map fst (Smap.bindings g.type_index)
@@ -404,16 +478,20 @@ let insert_node g n data =
     | Some old_data -> pidx_update ~add:false g n old_data
     | None -> g
   in
+  let fresh = not (Nmap.mem n g.node_map) in
   let prev_labels =
     match Nmap.find_opt n g.node_map with
     | Some d -> d.labels
     | None -> Sset.empty
   in
-  let label_index =
-    Sset.fold (fun l idx -> index_remove_node l n idx) prev_labels g.label_index
+  let acc =
+    Sset.fold
+      (fun l acc -> index_remove_node l n acc)
+      prev_labels
+      (g.label_index, g.label_counts)
   in
-  let label_index =
-    Sset.fold (fun l idx -> index_add_node l n idx) data.labels label_index
+  let label_index, label_counts =
+    Sset.fold (fun l acc -> index_add_node l n acc) data.labels acc
   in
   let out_adj =
     if Nmap.mem n g.out_adj then g.out_adj else Nmap.add n [] g.out_adj
@@ -428,6 +506,8 @@ let insert_node g n data =
       out_adj;
       in_adj;
       label_index;
+      label_counts;
+      n_nodes = (if fresh then g.n_nodes + 1 else g.n_nodes);
       next_node = max g.next_node (Ids.node_to_int n + 1);
     }
   in
@@ -437,12 +517,8 @@ let insert_rel g r data =
   if not (mem_node g data.src && mem_node g data.tgt) then
     invalid_arg "Graph.insert_rel: endpoint not in graph";
   let g = if mem_rel g r then delete_rel g r else g in
-  let type_index =
-    Smap.update data.rel_type
-      (function
-        | None -> Some (Ids.Rel_set.singleton r)
-        | Some s -> Some (Ids.Rel_set.add r s))
-      g.type_index
+  let type_index, type_counts =
+    index_add_rel data.rel_type r (g.type_index, g.type_counts)
   in
   stamp
     {
@@ -451,6 +527,8 @@ let insert_rel g r data =
       out_adj = adj_cons data.src r g.out_adj;
       in_adj = adj_cons data.tgt r g.in_adj;
       type_index;
+      type_counts;
+      n_rels = g.n_rels + 1;
       next_rel = max g.next_rel (Ids.rel_to_int r + 1);
     }
 

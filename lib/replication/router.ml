@@ -1,0 +1,199 @@
+(* A replica-aware client: one logical connection that routes writes to
+   the primary and spreads reads round-robin across replicas, while
+   preserving read-your-writes session consistency.
+
+   The consistency mechanism is the commit watermark: every write
+   answer carries the store's sequence number after the commit, and
+   the router keeps the highest one seen (the session high-water mark).
+   A read sent to a replica carries that mark as the "min_seq" request
+   option; the replica serves the read only once it has applied at
+   least that much, waits a bounded time for it, and otherwise answers
+   with a typed [Stale_replica] — on which the router falls through to
+   the primary.  So a router never observes a state older than its own
+   writes, whichever server answers.
+
+   Not thread-safe: create one router per worker thread (the benchmark
+   driver does exactly that). *)
+
+module Engine = Cypher_engine.Engine
+module Client = Cypher_server.Client
+module Protocol = Cypher_server.Protocol
+module Value = Cypher_values.Value
+module Registry = Cypher_obs.Registry
+
+let m_reads_replica =
+  Registry.counter ~help:"router reads served by a replica"
+    "cypher_router_reads_replica_total"
+
+let m_reads_primary =
+  Registry.counter ~help:"router reads served by the primary"
+    "cypher_router_reads_primary_total"
+
+let m_stale_fallbacks =
+  Registry.counter
+    ~help:"router reads bounced by a stale replica and retried on the primary"
+    "cypher_router_stale_fallbacks_total"
+
+let m_replica_failures =
+  Registry.counter
+    ~help:"router replica connections dropped after a transport error"
+    "cypher_router_replica_failures_total"
+
+type endpoint = {
+  ep_host : string;
+  ep_port : int;
+  mutable ep_client : Client.t option;  (* None while down *)
+}
+
+type config = {
+  connect_timeout : float;
+  io_timeout : float;
+  retry : Client.retry;  (* for the initial primary connection *)
+  min_seq_wait_ms : int;  (* replica-side freshness wait budget *)
+}
+
+let default_config =
+  {
+    connect_timeout = 2.0;
+    io_timeout = 10.0;
+    retry = Client.default_retry;
+    min_seq_wait_ms = 200;
+  }
+
+type t = {
+  config : config;
+  primary : endpoint;
+  replicas : endpoint array;
+  mutable rr : int;  (* round-robin cursor *)
+  mutable hw : int;  (* session high-water commit seq *)
+  mutable tx_depth : int;  (* transactions are pinned to the primary *)
+}
+
+let high_water t = t.hw
+let observe_seq t seq = if seq > t.hw then t.hw <- seq
+
+let ep_connect config ~retry ep =
+  match ep.ep_client with
+  | Some c -> Ok c
+  | None -> (
+    match
+      Client.connect_retry ~retry ~connect_timeout:config.connect_timeout
+        ~timeout:config.io_timeout ~host:ep.ep_host ~port:ep.ep_port ()
+    with
+    | Ok c ->
+      ep.ep_client <- Some c;
+      Ok c
+    | Error e -> Error e)
+
+let ep_drop ep =
+  (match ep.ep_client with Some c -> Client.close c | None -> ());
+  ep.ep_client <- None
+
+let create ?(config = default_config) ~primary ~replicas () =
+  let endpoint (host, port) = { ep_host = host; ep_port = port; ep_client = None } in
+  let t =
+    {
+      config;
+      primary = endpoint primary;
+      replicas = Array.of_list (List.map endpoint replicas);
+      rr = 0;
+      hw = 0;
+      tx_depth = 0;
+    }
+  in
+  (* the primary must be reachable up front; replicas connect lazily and
+     a dead one just stops being picked *)
+  match ep_connect config ~retry:config.retry t.primary with
+  | Ok _ -> Ok t
+  | Error e -> Error e
+
+let close t =
+  ep_drop t.primary;
+  Array.iter ep_drop t.replicas
+
+(* transaction keywords never reach classification: they pin the
+   session to the primary for the duration *)
+let keyword text = String.uppercase_ascii (String.trim text)
+
+let plan_cache = lazy (Engine.create_plan_cache ())
+
+let is_read t text =
+  if t.tx_depth > 0 then false
+  else
+    match keyword text with
+    | "BEGIN" | "COMMIT" | "ROLLBACK" -> false
+    | _ -> (
+      match Engine.classify_cached ~cache:(Lazy.force plan_cache) text with
+      | Engine.Read_only -> true
+      | Engine.Update -> false
+      | exception _ -> false (* unparseable: let the primary report it *))
+
+let track_tx t text outcome =
+  match (keyword text, outcome) with
+  | "BEGIN", Ok _ -> t.tx_depth <- t.tx_depth + 1
+  | ("COMMIT" | "ROLLBACK"), Ok _ -> t.tx_depth <- max 0 (t.tx_depth - 1)
+  | _ -> ()
+
+let on_primary t ~params ~options text =
+  match ep_connect t.config ~retry:t.config.retry t.primary with
+  | Error e -> Error { Client.kind = Protocol.Server_error; message = e }
+  | Ok c -> (
+    match Client.query ~params ~options c text with
+    | Ok r as ok ->
+      observe_seq t r.Client.seq;
+      ok
+    | Error { Client.kind = Protocol.Protocol_violation; _ } as err ->
+      (* transport failure: drop the connection so the next call
+         redials.  Never auto-retried — a write whose answer was lost
+         may have committed, and re-running it is not idempotent. *)
+      ep_drop t.primary;
+      err
+    | Error _ as err -> err)
+
+(* One read attempt on a replica; [None] means "use the primary"
+   (replica down, or stale past its wait budget). *)
+let on_replica t ep ~params ~options text =
+  let one_shot = { Client.default_retry with attempts = 1 } in
+  match ep_connect t.config ~retry:one_shot ep with
+  | Error _ ->
+    Registry.incr m_replica_failures;
+    None
+  | Ok c -> (
+    let options =
+      if t.hw > 0 then
+        ("min_seq", Value.Int t.hw)
+        :: ("min_seq_wait_ms", Value.Int t.config.min_seq_wait_ms)
+        :: options
+      else options
+    in
+    match Client.query ~params ~options c text with
+    | Ok _ as ok -> Some ok
+    | Error { Client.kind = Protocol.Stale_replica; _ } ->
+      Registry.incr m_stale_fallbacks;
+      None
+    | Error { Client.kind = Protocol.Protocol_violation; _ } ->
+      (* reads are safe to retry elsewhere: drop this replica and let
+         the primary serve the request *)
+      ep_drop ep;
+      Registry.incr m_replica_failures;
+      None
+    | Error _ as err -> Some err (* a real query error: report it *))
+
+let query ?(params = []) ?(options = []) t text =
+  if is_read t text && Array.length t.replicas > 0 then begin
+    let ep = t.replicas.(t.rr mod Array.length t.replicas) in
+    t.rr <- t.rr + 1;
+    match on_replica t ep ~params ~options text with
+    | Some result ->
+      Registry.incr m_reads_replica;
+      result
+    | None ->
+      Registry.incr m_reads_primary;
+      on_primary t ~params ~options text
+  end
+  else begin
+    if is_read t text then Registry.incr m_reads_primary;
+    let result = on_primary t ~params ~options text in
+    track_tx t text result;
+    result
+  end

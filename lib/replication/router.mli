@@ -1,0 +1,60 @@
+(** A replica-aware client: writes (and whole transactions) go to the
+    primary, reads round-robin across replicas, and read-your-writes
+    session consistency is preserved via the commit watermark.
+
+    Every write answer carries the primary's commit sequence number;
+    the router keeps the highest seen (the session {e high-water
+    mark}) and stamps it on replica reads as the ["min_seq"] request
+    option.  A replica that cannot reach that mark within its wait
+    budget answers [Stale_replica], and the router transparently
+    retries the read on the primary — so this client never observes a
+    state older than its own writes.
+
+    A replica that fails at the transport level is dropped and redialed
+    lazily on a later pick; reads (idempotent) fall through to the
+    primary meanwhile.  A {e write} whose answer was lost is {e never}
+    auto-retried: the commit may have landed, and re-running it is not
+    idempotent — the transport error is reported instead.
+
+    Not thread-safe: create one router per worker thread. *)
+
+module Client = Cypher_server.Client
+
+type config = {
+  connect_timeout : float;
+  io_timeout : float;
+  retry : Client.retry;  (** backoff for the initial primary dial *)
+  min_seq_wait_ms : int;  (** replica-side freshness wait budget *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  primary:string * int ->
+  replicas:(string * int) list ->
+  unit ->
+  (t, string) result
+(** Connects to the primary (with retry/backoff); replicas are dialed
+    lazily.  With an empty replica list every request goes to the
+    primary — a router against a standalone server is just a client. *)
+
+val query :
+  ?params:(string * Cypher_values.Value.t) list ->
+  ?options:(string * Cypher_values.Value.t) list ->
+  t ->
+  string ->
+  (Client.result_set, Client.error) result
+(** Classifies the statement from its AST ({!Cypher_engine.Engine.classify})
+    and routes it: [Update], transaction keywords and anything inside
+    an open transaction go to the primary; [Read_only] statements go to
+    the next replica, falling back to the primary on staleness or
+    replica failure. *)
+
+val high_water : t -> int
+(** The session high-water mark: the highest commit seq this router
+    has observed from its own writes (0 before the first write). *)
+
+val close : t -> unit

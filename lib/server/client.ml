@@ -1,27 +1,86 @@
 (* A blocking client for the wire protocol — used by the test suite, the
-   benchmark harness, and the CLI's [--connect] remote mode. *)
+   benchmark harness, the CLI's [--connect] remote mode, and the
+   replication subsystem (replica tailing and the read router). *)
 
 module Value = Cypher_values.Value
 
-type t = { fd : Unix.file_descr; max_frame : int }
+type t = { fd : Unix.file_descr; max_frame : int; host : string; port : int }
 
 type error = { kind : Protocol.error_kind; message : string }
 
-type result_set = { columns : string list; rows : Value.t list list }
+type result_set = {
+  columns : string list;
+  rows : Value.t list list;
+  seq : int;
+      (* the server's commit watermark for a write (0 for reads):
+         feed it back as the "min_seq" option to make later reads on a
+         replica at least this fresh *)
+}
+
+let host t = t.host
+let port t = t.port
 
 let ignore_sigpipe () =
   match Sys.os_type with
   | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ()
 
-let connect ?(timeout = 0.) ?(max_frame = Protocol.default_max_frame) ~host
-    ~port () =
+(* --- retry policy ------------------------------------------------------ *)
+
+(* Bounded retry with exponential backoff and jitter.  [base_delay]
+   doubles per attempt up to [max_delay]; the actual sleep is a uniform
+   draw from [0.5×, 1×] of the nominal delay so a fleet of replicas
+   reconnecting to a restarted primary does not thunder in lockstep. *)
+type retry = {
+  attempts : int;  (* total connect attempts, >= 1 *)
+  base_delay : float;  (* seconds before the second attempt *)
+  max_delay : float;  (* backoff ceiling *)
+}
+
+let default_retry = { attempts = 5; base_delay = 0.05; max_delay = 1.0 }
+
+let jitter_state =
+  lazy
+    (Random.State.make
+       [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |])
+
+let backoff_delay policy attempt =
+  let nominal =
+    Float.min policy.max_delay
+      (policy.base_delay *. (2. ** float_of_int attempt))
+  in
+  nominal *. (0.5 +. Random.State.float (Lazy.force jitter_state) 0.5)
+
+(* --- connecting -------------------------------------------------------- *)
+
+(* [connect_timeout] bounds the TCP handshake (non-blocking connect +
+   select); [timeout] bounds every later read/write on the socket.
+   Both default to unbounded, preserving prior behaviour. *)
+let connect ?(connect_timeout = 0.) ?(timeout = 0.)
+    ?(max_frame = Protocol.default_max_frame) ~host ~port () =
   ignore_sigpipe ();
   match Unix.inet_addr_of_string host with
   | exception Failure _ -> Error ("invalid server address: " ^ host)
   | addr -> (
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+    let sockaddr = Unix.ADDR_INET (addr, port) in
+    let do_connect () =
+      if connect_timeout <= 0. then Unix.connect fd sockaddr
+      else begin
+        Unix.set_nonblock fd;
+        (match Unix.connect fd sockaddr with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+          match Unix.select [] [ fd ] [] connect_timeout with
+          | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+          | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+        Unix.clear_nonblock fd
+      end
+    in
+    match do_connect () with
     | exception Unix.Unix_error (err, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
@@ -32,9 +91,40 @@ let connect ?(timeout = 0.) ?(max_frame = Protocol.default_max_frame) ~host
         Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
         Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
       end;
-      Ok { fd; max_frame })
+      Ok { fd; max_frame; host; port })
+
+(* [connect] with the retry policy applied: used wherever the peer may
+   be momentarily down — a replica reconnecting to a restarted primary,
+   the router re-opening a dropped connection. *)
+let connect_retry ?(retry = default_retry) ?connect_timeout ?timeout
+    ?max_frame ~host ~port () =
+  let rec go attempt =
+    match connect ?connect_timeout ?timeout ?max_frame ~host ~port () with
+    | Ok c -> Ok c
+    | Error e ->
+      if attempt + 1 >= max 1 retry.attempts then Error e
+      else begin
+        Thread.delay (backoff_delay retry attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+(* Rebinds the per-operation socket timeout on a live connection;
+   [0.] removes the bound.  Used by the replication applier, whose
+   steady-state fetches want a tight bound but whose snapshot
+   bootstrap must wait for the primary to encode and ship a
+   potentially very large image. *)
+let set_timeout t timeout =
+  let v = if timeout > 0. then timeout else 0. in
+  try
+    Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO v;
+    Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO v
+  with Unix.Unix_error _ -> ()
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- round trips ------------------------------------------------------- *)
 
 (* One request/response round trip.  Transport failures (connection
    reset, timeout, malformed response) are [Error] with a synthesised
@@ -59,14 +149,14 @@ let roundtrip t request k =
 
 let query ?(params = []) ?(options = []) t text =
   roundtrip t (Protocol.Query { text; params; options }) (function
-    | Protocol.Result { columns; rows } -> Ok { columns; rows }
-    | Protocol.Stats _ ->
+    | Protocol.Result { columns; rows; seq } -> Ok { columns; rows; seq }
+    | Protocol.Error _ -> assert false (* handled by [roundtrip] *)
+    | _ ->
       Error
         {
           kind = Protocol.Protocol_violation;
-          message = "unexpected stats response to a query";
-        }
-    | Protocol.Error _ -> assert false (* handled by [roundtrip] *))
+          message = "unexpected response to a query";
+        })
 
 let stats_request t request =
   roundtrip t request (function
@@ -83,6 +173,59 @@ let store_health t = stats_request t Protocol.Store_health
 
 let metrics t = stats_request t Protocol.Metrics
 (* the process-wide registry: engine + storage + server series *)
+
+(* --- replication verbs ------------------------------------------------- *)
+
+type batch = {
+  b_last_seq : int;  (* the primary's frontier at answer time *)
+  b_resync : bool;  (* requested seq no longer buffered: re-bootstrap *)
+  b_records : string list;  (* framed WAL records, primary's own bytes *)
+}
+
+let repl_fetch t ~from_seq ~max_records ~wait_ms =
+  roundtrip t (Protocol.Repl_fetch { from_seq; max_records; wait_ms })
+    (function
+    | Protocol.Repl_batch { last_seq; resync; records } ->
+      Ok { b_last_seq = last_seq; b_resync = resync; b_records = records }
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "expected a replication batch";
+        })
+
+let repl_snapshot_chunk t ~offset ~chunk =
+  roundtrip t (Protocol.Repl_snapshot { offset; chunk }) (function
+    | Protocol.Repl_chunk { total; data } -> Ok (total, data)
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "expected a snapshot chunk";
+        })
+
+(* Fetches the primary's whole bootstrap snapshot, chunk by chunk; the
+   server pins the image on this connection at offset 0, so the bytes
+   are one consistent committed version however long the transfer
+   takes. *)
+let repl_bootstrap ?(chunk = 4 * 1024 * 1024) t =
+  let buf = Buffer.create chunk in
+  let rec go offset =
+    match repl_snapshot_chunk t ~offset ~chunk with
+    | Error e -> Error e
+    | Ok (total, data) ->
+      Buffer.add_string buf data;
+      let got = offset + String.length data in
+      if got >= total then Ok (Buffer.contents buf)
+      else if String.length data = 0 then
+        Error
+          {
+            kind = Protocol.Protocol_violation;
+            message = "empty snapshot chunk before the image end";
+          }
+      else go got
+  in
+  go 0
 
 let error_message { kind; message } =
   match kind with

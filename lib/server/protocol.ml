@@ -12,11 +12,18 @@
      'H'  store-health  (empty body)  — WAL/snapshot/plan-cache counters
      'M'  metrics       (empty body)  — the whole process-wide registry
                                         (engine + storage + server series)
+     'B'  repl-snapshot  offset, chunk — one chunk of the bootstrap
+                                        snapshot (replication)
+     'F'  repl-fetch   from_seq, max_records, wait_ms — long-poll for
+                                        framed WAL records (replication)
 
    Responses:
-     'R'  result      #columns, column names, #rows, values row-major
+     'R'  result      #columns, column names, #rows, values row-major,
+                      seq (commit watermark; 0 for reads)
      'E'  error       kind byte, message
      'S'  stats       one Codec map value (string keys)
+     'P'  repl-chunk  total size, chunk bytes
+     'W'  repl-batch  last_seq, resync flag, #records, framed records
 
    A malformed or oversized frame is a protocol error: the server
    replies with an 'E' frame where it still can, then closes. *)
@@ -40,6 +47,13 @@ type request =
   | Server_stats
   | Store_health
   | Metrics
+  | Repl_snapshot of { offset : int; chunk : int }
+      (* one chunk of the bootstrap snapshot image, starting at byte
+         [offset]; the first request (offset 0) pins the image on the
+         connection so later chunks come from the same version *)
+  | Repl_fetch of { from_seq : int; max_records : int; wait_ms : int }
+      (* long-poll: records with seq >= [from_seq], blocking up to
+         [wait_ms] when the primary has nothing new *)
 
 type error_kind =
   | Parse_error
@@ -50,11 +64,23 @@ type error_kind =
   | Timeout
   | Server_error
   | Protocol_violation
+  | Read_only_replica
+      (* a write reached a replica; the message names the primary *)
+  | Stale_replica
+      (* a read demanded [min_seq] freshness the replica could not
+         reach within its wait budget *)
 
 type response =
-  | Result of { columns : string list; rows : Value.t list list }
+  | Result of { columns : string list; rows : Value.t list list; seq : int }
+      (* [seq]: the store's commit watermark after a write (what the
+         client's session-consistency high-water mark tracks); 0 for
+         reads and mid-transaction statements *)
   | Error of { kind : error_kind; message : string }
   | Stats of (string * Value.t) list
+  | Repl_chunk of { total : int; data : string }
+  | Repl_batch of { last_seq : int; resync : bool; records : string list }
+      (* [records] are framed WAL records, byte-identical to the
+         primary's log (len · crc · payload) *)
 
 let error_kind_to_byte = function
   | Parse_error -> 0
@@ -65,6 +91,8 @@ let error_kind_to_byte = function
   | Timeout -> 5
   | Server_error -> 6
   | Protocol_violation -> 7
+  | Read_only_replica -> 8
+  | Stale_replica -> 9
 
 let error_kind_of_byte = function
   | 0 -> Parse_error
@@ -75,6 +103,8 @@ let error_kind_of_byte = function
   | 5 -> Timeout
   | 6 -> Server_error
   | 7 -> Protocol_violation
+  | 8 -> Read_only_replica
+  | 9 -> Stale_replica
   | b -> raise (Protocol_error (Printf.sprintf "unknown error kind 0x%02x" b))
 
 let error_kind_name = function
@@ -86,6 +116,8 @@ let error_kind_name = function
   | Timeout -> "timeout"
   | Server_error -> "server error"
   | Protocol_violation -> "protocol violation"
+  | Read_only_replica -> "read-only replica"
+  | Stale_replica -> "stale replica"
 
 (* --- frame I/O -------------------------------------------------------- *)
 
@@ -165,25 +197,45 @@ let encode_request req =
     write_pairs buf options
   | Server_stats -> Buffer.add_char buf 'S'
   | Store_health -> Buffer.add_char buf 'H'
-  | Metrics -> Buffer.add_char buf 'M');
+  | Metrics -> Buffer.add_char buf 'M'
+  | Repl_snapshot { offset; chunk } ->
+    Buffer.add_char buf 'B';
+    Codec.write_uvarint buf offset;
+    Codec.write_uvarint buf chunk
+  | Repl_fetch { from_seq; max_records; wait_ms } ->
+    Buffer.add_char buf 'F';
+    Codec.write_uvarint buf from_seq;
+    Codec.write_uvarint buf max_records;
+    Codec.write_uvarint buf wait_ms);
   Buffer.contents buf
 
 let encode_response resp =
   let buf = Buffer.create 256 in
   (match resp with
-  | Result { columns; rows } ->
+  | Result { columns; rows; seq } ->
     Buffer.add_char buf 'R';
     Codec.write_uvarint buf (List.length columns);
     List.iter (Codec.write_string buf) columns;
     Codec.write_uvarint buf (List.length rows);
-    List.iter (fun row -> List.iter (Codec.write_value buf) row) rows
+    List.iter (fun row -> List.iter (Codec.write_value buf) row) rows;
+    Codec.write_uvarint buf seq
   | Error { kind; message } ->
     Buffer.add_char buf 'E';
     Buffer.add_char buf (Char.chr (error_kind_to_byte kind));
     Codec.write_string buf message
   | Stats pairs ->
     Buffer.add_char buf 'S';
-    write_pairs buf pairs);
+    write_pairs buf pairs
+  | Repl_chunk { total; data } ->
+    Buffer.add_char buf 'P';
+    Codec.write_uvarint buf total;
+    Codec.write_string buf data
+  | Repl_batch { last_seq; resync; records } ->
+    Buffer.add_char buf 'W';
+    Codec.write_uvarint buf last_seq;
+    Codec.write_uvarint buf (if resync then 1 else 0);
+    Codec.write_uvarint buf (List.length records);
+    List.iter (Codec.write_string buf) records);
   Buffer.contents buf
 
 let decoding payload f =
@@ -208,6 +260,15 @@ let decode_request payload =
       | 'S' -> Server_stats
       | 'H' -> Store_health
       | 'M' -> Metrics
+      | 'B' ->
+        let offset = Codec.read_uvarint r in
+        let chunk = Codec.read_uvarint r in
+        Repl_snapshot { offset; chunk }
+      | 'F' ->
+        let from_seq = Codec.read_uvarint r in
+        let max_records = Codec.read_uvarint r in
+        let wait_ms = Codec.read_uvarint r in
+        Repl_fetch { from_seq; max_records; wait_ms }
       | c -> raise (Protocol_error (Printf.sprintf "unknown request verb %C" c)))
 
 let decode_response payload =
@@ -221,11 +282,22 @@ let decode_response payload =
           List.init nrows (fun _ ->
               List.init ncols (fun _ -> Codec.read_value r))
         in
-        Result { columns; rows }
+        let seq = Codec.read_uvarint r in
+        Result { columns; rows; seq }
       | 'E' ->
         let kind = error_kind_of_byte (Codec.read_uvarint r) in
         let message = Codec.read_string r in
         Error { kind; message }
       | 'S' -> Stats (read_pairs r)
+      | 'P' ->
+        let total = Codec.read_uvarint r in
+        let data = Codec.read_string r in
+        Repl_chunk { total; data }
+      | 'W' ->
+        let last_seq = Codec.read_uvarint r in
+        let resync = Codec.read_uvarint r <> 0 in
+        let n = Codec.read_uvarint r in
+        let records = List.init n (fun _ -> Codec.read_string r) in
+        Repl_batch { last_seq; resync; records }
       | c ->
         raise (Protocol_error (Printf.sprintf "unknown response verb %C" c)))

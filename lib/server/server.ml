@@ -41,6 +41,12 @@ type config = {
   backlog : int;
   max_frame : int;
   request_timeout : float;  (* seconds; 0. disables the check *)
+  replica_of : (string * int) option;
+      (* [Some (host, port)] makes this server a read-only replica of
+         the primary at that address: writes and BEGIN are rejected
+         with [Read_only_replica] naming the primary.  The server does
+         not replicate by itself — a {!Cypher_replication.Replica}
+         applies the stream into the shared store. *)
 }
 
 let default_config =
@@ -50,7 +56,22 @@ let default_config =
     backlog = 64;
     max_frame = Protocol.default_max_frame;
     request_timeout = 30.;
+    replica_of = None;
   }
+
+let m_readonly_rejected =
+  Registry.counter ~help:"writes rejected because this server is a replica"
+    "cypher_server_readonly_rejected_total"
+
+let m_stale_reads =
+  Registry.counter
+    ~help:"reads rejected because the replica could not reach min_seq in time"
+    "cypher_server_stale_reads_total"
+
+(* Snapshot bootstrap chunk size: large enough that a 1M-node graph
+   ships in a handful of round trips, small enough to stay far under
+   the frame limit. *)
+let boot_chunk_limit = 4 * 1024 * 1024
 
 type t = {
   config : config;
@@ -86,7 +107,7 @@ let classify msg =
 
 let error_response kind message = Protocol.Error { kind; message }
 
-let table_response table =
+let table_response ?(seq = 0) table =
   let columns = Cypher_table.Table.fields table in
   let rows =
     Cypher_table.Table.fold_left
@@ -94,7 +115,7 @@ let table_response table =
         List.map (Cypher_table.Record.find_or_null row) columns :: acc)
       [] table
   in
-  Protocol.Result { columns; rows = List.rev rows }
+  Protocol.Result { columns; rows = List.rev rows; seq }
 
 (* --- per-connection state --------------------------------------------- *)
 
@@ -105,6 +126,10 @@ type conn = {
      store's group commit once the writer lock can be released *)
   pending : Session.logged list ref;
   mutable tx_depth : int;  (* > 0 iff this connection holds the writer lock *)
+  (* the snapshot image pinned by a bootstrap ('B' at offset 0), so
+     every later chunk comes from the same committed version even while
+     writes keep landing *)
+  mutable boot_pin : string option;
 }
 
 let is_keyword text kw = String.uppercase_ascii (String.trim text) = kw
@@ -146,22 +171,77 @@ let finish_commit t conn =
     Trace.with_span "group_commit" (fun () ->
         Store.await_commit t.store ticket)
 
+(* A write (or BEGIN) that reaches a replica is a routing mistake, not
+   a server fault: the typed rejection names the primary so the client
+   can redirect without parsing prose. *)
+let read_only_rejection t =
+  Registry.incr m_readonly_rejected;
+  let where =
+    match t.config.replica_of with
+    | Some (host, port) -> Printf.sprintf "; writes go to %s:%d" host port
+    | None -> ""
+  in
+  error_response Protocol.Read_only_replica
+    ("this server is a read-only replica" ^ where)
+
+(* Session consistency: a client that has seen commit seq [n] may ask a
+   replica to serve reads no staler than [n].  The wait is a bounded
+   poll — replication lag is normally well under a millisecond of apply
+   time, so a short budget covers it; a replica that cannot catch up in
+   time answers with a typed [Stale_replica] and the client falls back
+   to the primary rather than blocking indefinitely. *)
+let await_freshness t ~min_seq ~wait_ms =
+  let deadline =
+    Cypher_obs.Clock.now_ns () + (wait_ms * 1_000_000)
+  in
+  let rec wait () =
+    if Store.last_seq t.store >= min_seq then Ok ()
+    else if Cypher_obs.Clock.now_ns () >= deadline then begin
+      Registry.incr m_stale_reads;
+      Error
+        (error_response Protocol.Stale_replica
+           (Printf.sprintf
+              "replica is at seq %d, read requires %d (waited %dms)"
+              (Store.last_seq t.store) min_seq wait_ms))
+    end
+    else begin
+      Thread.delay 0.001;
+      wait ()
+    end
+  in
+  wait ()
+
 (* Executes one Query request.  Caller handles metrics and framing.
    [parallel] is the request's worker-domain budget for read execution;
    it is sticky on the connection's session (like parameters), so a
-   client can set it once per connection. *)
-let execute t conn ~parallel text params =
+   client can set it once per connection.  [min_seq] is the read's
+   freshness floor (see {!await_freshness}). *)
+let execute t conn ~parallel ~min_seq text params =
   (match parallel with
   | Some n -> Session.set_parallel conn.session n
   | None -> ());
+  let replica = t.config.replica_of <> None in
+  let fresh =
+    match min_seq with
+    | Some (seq, wait_ms) -> await_freshness t ~min_seq:seq ~wait_ms
+    | None -> Ok ()
+  in
+  match fresh with
+  | Error stale -> stale
+  | Ok () ->
   if is_keyword text "BEGIN" then begin
-    if conn.tx_depth = 0 then begin
-      Trace.with_span "writer_lock" (fun () -> Store.writer_lock t.store);
-      Session.set_graph conn.session (Store.head t.store)
-    end;
-    Session.begin_tx conn.session;
-    conn.tx_depth <- conn.tx_depth + 1;
-    Protocol.Result { columns = []; rows = [] }
+    (* a transaction exists to write; a replica refuses it up front
+       rather than failing at the first update inside it *)
+    if replica then read_only_rejection t
+    else begin
+      if conn.tx_depth = 0 then begin
+        Trace.with_span "writer_lock" (fun () -> Store.writer_lock t.store);
+        Session.set_graph conn.session (Store.head t.store)
+      end;
+      Session.begin_tx conn.session;
+      conn.tx_depth <- conn.tx_depth + 1;
+      Protocol.Result { columns = []; rows = []; seq = 0 }
+    end
   end
   else if is_keyword text "COMMIT" then begin
     if conn.tx_depth = 0 then
@@ -172,11 +252,13 @@ let execute t conn ~parallel text params =
         conn.tx_depth <- conn.tx_depth - 1;
         if conn.tx_depth = 0 then begin
           match finish_commit t conn with
-          | Ok () -> Protocol.Result { columns = []; rows = [] }
+          | Ok () ->
+            Protocol.Result
+              { columns = []; rows = []; seq = Store.last_seq t.store }
           | Error e ->
             error_response Protocol.Server_error ("commit failed: " ^ e)
         end
-        else Protocol.Result { columns = []; rows = [] }
+        else Protocol.Result { columns = []; rows = []; seq = 0 }
       | Error e ->
         (* an outermost commit that fails validation has rolled the
            whole transaction back: nothing was published or logged *)
@@ -196,7 +278,7 @@ let execute t conn ~parallel text params =
           conn.pending := [];
           Store.writer_unlock t.store
         end;
-        Protocol.Result { columns = []; rows = [] }
+        Protocol.Result { columns = []; rows = []; seq = 0 }
       | Error e -> error_response (classify e) e
   end
   else if conn.tx_depth > 0 then begin
@@ -230,6 +312,7 @@ let execute t conn ~parallel text params =
       with
       | Ok outcome -> table_response outcome.Engine.table
       | Error e -> error_response (classify e) e)
+    | Engine.Update when replica -> read_only_rejection t
     | Engine.Update -> (
       (* Single-writer path: rebase the session on the latest committed
          version, execute once (validation + capture of the logged
@@ -251,7 +334,7 @@ let execute t conn ~parallel text params =
       match result with
       | Ok table -> (
         match finish_commit t conn with
-        | Ok () -> table_response table
+        | Ok () -> table_response ~seq:(Store.last_seq t.store) table
         | Error e ->
           error_response Protocol.Server_error ("commit failed: " ^ e))
       | Error e ->
@@ -280,6 +363,58 @@ let handle_request t conn payload =
     | Server_stats -> Protocol.Stats (Metrics.snapshot t.metrics)
     | Store_health -> Protocol.Stats (store_health t conn)
     | Metrics -> Protocol.Stats (registry_pairs ())
+    | Repl_snapshot { offset; chunk } ->
+      (* Bootstrap: the first chunk pins the committed image on the
+         connection, so a transfer overlapped by writes still ships one
+         consistent version; the pin is dropped with the last chunk. *)
+      let image =
+        match conn.boot_pin with
+        | Some img when offset > 0 -> img
+        | _ ->
+          let img = Store.encode_committed_snapshot t.store in
+          conn.boot_pin <- Some img;
+          img
+      in
+      let total = String.length image in
+      if offset > total then
+        error_response Protocol.Protocol_violation
+          (Printf.sprintf "snapshot offset %d past image end %d" offset total)
+      else begin
+        let chunk =
+          if chunk <= 0 then boot_chunk_limit else min chunk boot_chunk_limit
+        in
+        let len = min chunk (total - offset) in
+        let data = String.sub image offset len in
+        if offset + len >= total then conn.boot_pin <- None;
+        Protocol.Repl_chunk { total; data }
+      end
+    | Repl_fetch { from_seq; max_records; wait_ms } ->
+      (* Long-poll tail: answer as soon as there is anything at or past
+         [from_seq], or after [wait_ms] with an empty batch.  Exempt
+         from the request time budget — waiting is this verb's job. *)
+      timeout := 0.;
+      let max_records = max 1 (min max_records 65_536) in
+      let deadline =
+        Cypher_obs.Clock.now_ns () + (wait_ms * 1_000_000)
+      in
+      let rec poll () =
+        let f = Store.fetch_since t.store ~from_seq ~max_records in
+        if
+          f.Store.fr_records <> [] || f.Store.fr_resync || t.stopping
+          || Cypher_obs.Clock.now_ns () >= deadline
+        then f
+        else begin
+          Thread.delay 0.002;
+          poll ()
+        end
+      in
+      let f = poll () in
+      Protocol.Repl_batch
+        {
+          last_seq = f.Store.fr_last_seq;
+          resync = f.Store.fr_resync;
+          records = List.map snd f.Store.fr_records;
+        }
     | Query { text; params; options } -> (
       (match List.assoc_opt "timeout_ms" options with
       | Some (Value.Int ms) -> timeout := float_of_int ms /. 1000.
@@ -304,7 +439,21 @@ let handle_request t conn payload =
         | Some (Value.Int n) when n >= 1 -> Some n
         | _ -> None
       in
-      match execute t conn ~parallel text params with
+      (* "min_seq" (Int) demands the store have applied at least that
+         commit before the read runs; "min_seq_wait_ms" bounds the wait
+         (default 100ms) before a typed Stale_replica answer *)
+      let min_seq =
+        match List.assoc_opt "min_seq" options with
+        | Some (Value.Int s) when s > 0 ->
+          let wait_ms =
+            match List.assoc_opt "min_seq_wait_ms" options with
+            | Some (Value.Int w) when w >= 0 -> w
+            | _ -> 100
+          in
+          Some (s, wait_ms)
+        | _ -> None
+      in
+      match execute t conn ~parallel ~min_seq text params with
       | response -> response
       | exception e ->
         error_response Protocol.Server_error
@@ -357,6 +506,7 @@ let serve_connection t fd =
           (Store.snapshot t.store);
       pending;
       tx_depth = 0;
+      boot_pin = None;
     }
   in
   Fun.protect
@@ -478,5 +628,27 @@ let stop t =
   let checkpoint_result = Store.checkpoint t.store in
   Store.close t.store;
   checkpoint_result
+
+(* Crash-equivalent shutdown: stop accepting and close the store WITHOUT
+   checkpointing or draining gracefully — the WAL is left exactly as the
+   last fsync wrote it, so reopening the directory exercises the real
+   recovery path.  Used by the replication failure tests to kill a
+   primary mid-stream. *)
+let kill t =
+  t.stopping <- true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter Thread.join t.accept_thread;
+  t.accept_thread <- None;
+  let threads =
+    Mutex.lock t.state_lock;
+    let th = t.conn_threads in
+    t.conn_threads <- [];
+    Mutex.unlock t.state_lock;
+    th
+  in
+  List.iter Thread.join threads;
+  Store.close t.store
 
 let wait t = Option.iter Thread.join t.accept_thread

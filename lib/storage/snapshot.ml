@@ -200,3 +200,5 @@ let load_with_seq path =
           | data -> decode data))
 
 let load path = Result.map fst (load_with_seq path)
+
+let save_encoded ~bytes path = write_file_atomic path bytes

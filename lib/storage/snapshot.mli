@@ -41,3 +41,21 @@ val load : string -> (Graph.t, string) result
 
 val load_with_seq : string -> (Graph.t * int, string) result
 (** Like {!load}, also returning the stored [last_seq]. *)
+
+(** {1 In-memory form}
+
+    Replication bootstrap ships a snapshot over the wire instead of
+    through a file: the primary encodes its committed version to bytes,
+    the replica decodes (or persists) the very same bytes.  The encoded
+    form is byte-identical to the file form, CRC included. *)
+
+val encode : ?last_seq:int -> Graph.t -> string
+(** The full snapshot image (magic · body · crc) as a string. *)
+
+val decode : string -> (Graph.t * int, string) result
+(** Decodes {!encode}'s output, verifying magic, version and CRC. *)
+
+val save_encoded : bytes:string -> string -> unit
+(** [save_encoded ~bytes path] writes already-encoded snapshot bytes
+    with the same atomicity as {!save} (tmp · fsync · rename) — used by
+    a replica to persist a snapshot it fetched from the primary. *)

@@ -33,6 +33,7 @@ type ticket = int
 type t = {
   dir : string;
   writer : Wal.writer;
+  mode : Engine.mode option;  (* execution mode, for replicated replay *)
   session : Session.t;  (* the local (CLI / recovery) session *)
   (* Writers — statement execution and version production — serialise on
      [writer_m].  Readers never touch it: they pin [committed] below. *)
@@ -64,6 +65,16 @@ type t = {
   (* monotonic anchor of the last checkpoint completed by this process;
      [None] until then (the snapshot may predate the process) *)
   mutable checkpoint_ns : int option;
+  (* Replication tail: the framed bytes of recently flushed WAL records,
+     seq-ascending, exactly as they hit the file.  Served to replicas by
+     {!fetch_since}; survives checkpoints (the file is truncated, the
+     buffer is not), so a brief replica stall does not force a resync.
+     [repl_floor] is the lowest seq the buffer can serve; a fetch below
+     it means the records have been dropped and the replica must
+     re-bootstrap from a snapshot.  Guarded by [m]. *)
+  repl_tail : (int * string) Queue.t;
+  mutable repl_floor : int;
+  mutable repl_retention : int;  (* max buffered records *)
 }
 
 let snapshot_file dir = Filename.concat dir "snapshot.bin"
@@ -144,15 +155,25 @@ let flush_group t group =
       group
   in
   let result =
-    match Wal.append t.writer stmts with
-    | seq -> Ok seq
+    match Wal.append_encoded t.writer stmts with
+    | encoded -> Ok encoded
     | exception e -> Error (Printexc.to_string e)
   in
   Mutex.lock t.m;
   (match result with
-  | Ok seq ->
+  | Ok encoded ->
     t.tail_records <- t.tail_records + List.length stmts;
-    if seq > 0 then t.last_seq <- seq;
+    List.iter
+      (fun (seq, framed) ->
+        if seq > t.last_seq then t.last_seq <- seq;
+        (* the record is durable here (the fsync above succeeded), so it
+           is safe to hand to replicas *)
+        Queue.add (seq, framed) t.repl_tail)
+      encoded;
+    while Queue.length t.repl_tail > t.repl_retention do
+      let dropped_seq, _ = Queue.pop t.repl_tail in
+      t.repl_floor <- dropped_seq + 1
+    done;
     (* versions are linear, so the group's newest graph carries every
        member's effects; publishing it publishes them all in order *)
     (match List.rev group with
@@ -298,6 +319,7 @@ let open_ ?schema ?mode dir =
     {
       dir;
       writer;
+      mode;
       session;
       writer_m = Mutex.create ();
       m = Mutex.create ();
@@ -314,6 +336,9 @@ let open_ ?schema ?mode dir =
       poisoned = None;
       group_limit = max_int;
       checkpoint_ns = None;
+      repl_tail = Queue.create ();
+      repl_floor = next_seq;
+      repl_retention = 16_384;
     }
   in
   store := Some t;
@@ -350,5 +375,154 @@ let checkpoint t =
     | exception Unix.Unix_error (err, _, _) ->
       Error ("checkpoint failed: " ^ Unix.error_message err)
   end
+
+(* --- replication ------------------------------------------------------ *)
+
+(* A (graph, last_seq) pair that agree: both are read in one critical
+   section, and [flush_group] updates them together under the same
+   lock, so the seq really is the watermark of the returned version. *)
+let committed_with_seq t =
+  Mutex.lock t.m;
+  let g = t.committed and seq = t.last_seq in
+  Mutex.unlock t.m;
+  (g, seq)
+
+(* The committed version as wire-ready snapshot bytes.  This is what a
+   bootstrapping replica receives; it persists the very same bytes as
+   its own snapshot file, so its sequence numbering continues exactly
+   where the primary's was at encode time. *)
+let encode_committed_snapshot t =
+  let g, seq = committed_with_seq t in
+  Snapshot.encode ~last_seq:seq g
+
+let set_repl_retention t n =
+  Mutex.lock t.m;
+  t.repl_retention <- max 1 n;
+  while Queue.length t.repl_tail > t.repl_retention do
+    let dropped_seq, _ = Queue.pop t.repl_tail in
+    t.repl_floor <- dropped_seq + 1
+  done;
+  Mutex.unlock t.m
+
+type fetch = {
+  fr_records : (int * string) list;
+      (* (seq, framed bytes), ascending, contiguous *)
+  fr_resync : bool;  (* requested seq below the buffer floor *)
+  fr_last_seq : int;  (* the primary's current frontier *)
+}
+
+(* Records with seq >= [from_seq], at most [max_records] of them, from
+   the in-memory replication tail.  A request below the buffer floor
+   (records already dropped, or a primary restart that emptied the
+   buffer) cannot be served incrementally and flags a resync: the
+   replica must re-bootstrap from a snapshot.  [from_seq] past the
+   frontier returns an empty, non-resync batch — the caller long-polls. *)
+let fetch_since t ~from_seq ~max_records =
+  Mutex.lock t.m;
+  let res =
+    if from_seq > t.last_seq then
+      { fr_records = []; fr_resync = false; fr_last_seq = t.last_seq }
+    else if from_seq < t.repl_floor then
+      { fr_records = []; fr_resync = true; fr_last_seq = t.last_seq }
+    else begin
+      let taken = ref 0 in
+      let acc = ref [] in
+      Queue.iter
+        (fun (seq, framed) ->
+          if seq >= from_seq && !taken < max_records then begin
+            acc := (seq, framed) :: !acc;
+            incr taken
+          end)
+        t.repl_tail;
+      {
+        fr_records = List.rev !acc;
+        fr_resync = false;
+        fr_last_seq = t.last_seq;
+      }
+    end
+  in
+  Mutex.unlock t.m;
+  res
+
+(* Applies a fetched batch of primary WAL records on a replica: replay
+   through the engine (the recovery path), then commit the whole batch
+   as one group — one local WAL append + fsync per fetched batch.  The
+   replica's writer assigns sequence numbers starting at its own
+   [last_seq + 1]; because the batch is required to start exactly
+   there, the records land in the replica's log under the {e same}
+   sequence numbers they had on the primary, so [last_seq] on a replica
+   {e is} the applied primary seq and a replica restart is ordinary
+   recovery. *)
+let apply_replicated t records =
+  match records with
+  | [] -> Ok ()
+  | first :: _ ->
+    writer_lock t;
+    let expect = t.last_seq + 1 in
+    if first.Wal.seq <> expect then begin
+      writer_unlock t;
+      Error
+        (Printf.sprintf
+           "replicated batch starts at seq %d, replica expects %d"
+           first.Wal.seq expect)
+    end
+    else begin
+      match Wal.replay ?mode:t.mode (head t) records with
+      | Error e ->
+        writer_unlock t;
+        Error e
+      | Ok g ->
+        let batch =
+          List.map
+            (fun r ->
+              { Session.lg_text = r.Wal.text; lg_params = r.Wal.params })
+            records
+        in
+        let ticket = enqueue_commit t ~graph:g batch in
+        writer_unlock t;
+        let res = await_commit t ticket in
+        (match res with
+        | Ok () -> Session.set_graph t.session (snapshot t)
+        | Error _ -> ());
+        res
+    end
+
+(* In-place resync from wire snapshot bytes: quiesce writers, drain the
+   commit queue, persist the bytes as the local snapshot, drop the
+   local WAL, and swap every pointer to the decoded graph.  Equivalent
+   to wiping the directory and re-opening, without reopening file
+   descriptors or invalidating the [t] other threads hold. *)
+let reset_from_snapshot t bytes =
+  match Snapshot.decode bytes with
+  | Error e -> Error ("resync snapshot rejected: " ^ e)
+  | Ok (g, seq) ->
+    if Session.in_transaction t.session then
+      Error "resync refused: a transaction is open"
+    else begin
+      Mutex.lock t.writer_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.writer_m) @@ fun () ->
+      Mutex.lock t.m;
+      while t.leader || t.pending <> [] do
+        Condition.wait t.flushed_cv t.m
+      done;
+      Mutex.unlock t.m;
+      match Snapshot.save_encoded ~bytes (snapshot_file t.dir) with
+      | exception Sys_error e -> Error ("resync failed: " ^ e)
+      | exception Unix.Unix_error (err, _, _) ->
+        Error ("resync failed: " ^ Unix.error_message err)
+      | () ->
+        Wal.reset t.writer ~next_seq:(seq + 1);
+        Mutex.lock t.m;
+        t.committed <- g;
+        t.head <- g;
+        t.last_seq <- seq;
+        t.tail_records <- 0;
+        Queue.clear t.repl_tail;
+        t.repl_floor <- seq + 1;
+        Mutex.unlock t.m;
+        Session.set_graph t.session g;
+        t.checkpoint_ns <- Some (Clock.now_ns ());
+        Ok ()
+    end
 
 let close t = Wal.close_writer t.writer

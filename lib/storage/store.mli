@@ -157,6 +157,68 @@ val set_group_commit : t -> bool -> unit
     one-fsync-per-commit baseline; [true] (the default) restores
     unbounded grouping. *)
 
+(** {1 Replication}
+
+    A primary serves these to replicas; a replica applies through them.
+    The stream unit is the {e framed WAL record} — the very bytes that
+    landed in the primary's log, CRC included — so replicas re-verify
+    integrity with the same checks file recovery uses.
+
+    Sequence alignment invariant: a replica bootstraps by persisting
+    the primary's snapshot bytes as its own snapshot, so its local
+    sequence numbering continues exactly where the primary's was.
+    {!apply_replicated} then requires each batch to start at the
+    replica's [last_seq + 1] and re-logs the records locally under the
+    same numbers.  Consequences: {!last_seq} on a replica {e is} the
+    applied primary sequence number, and a replica restart is ordinary
+    crash recovery — no replication-specific persistent state exists. *)
+
+val committed_with_seq : t -> Graph.t * int
+(** The committed version together with its WAL watermark, read in one
+    critical section so the pair agrees. *)
+
+val encode_committed_snapshot : t -> string
+(** The committed version as wire-ready snapshot bytes
+    ({!Snapshot.encode} of {!committed_with_seq}) — what a
+    bootstrapping replica receives and persists verbatim. *)
+
+type fetch = {
+  fr_records : (int * string) list;
+      (** [(seq, framed bytes)], ascending and contiguous *)
+  fr_resync : bool;
+      (** the requested seq is below the buffer floor: the records are
+          gone and the replica must re-bootstrap from a snapshot *)
+  fr_last_seq : int;  (** the primary's current frontier *)
+}
+
+val fetch_since : t -> from_seq:int -> max_records:int -> fetch
+(** Buffered records with seq >= [from_seq], at most [max_records].  A
+    request past the frontier returns an empty non-resync batch (the
+    caller long-polls); a request below the floor flags [fr_resync].
+    The buffer survives checkpoints (the WAL file is truncated, the
+    buffer is not), so a brief replica stall does not force a resync. *)
+
+val set_repl_retention : t -> int -> unit
+(** Caps the replication buffer at [n] records (default 16384),
+    evicting oldest-first and raising the floor.  Tests use a tiny cap
+    to exercise the resync path. *)
+
+val apply_replicated : t -> Wal.record list -> (unit, string) result
+(** Replica side: re-executes a fetched batch through the engine (the
+    recovery replay path) and commits it as {e one} group — one local
+    WAL append + fsync per batch.  The batch must start exactly at this
+    store's [last_seq + 1] (decoded, gap-free records are the caller's
+    contract); on success the records are durable locally under their
+    primary sequence numbers and the new version is published. *)
+
+val reset_from_snapshot : t -> string -> (unit, string) result
+(** Replica side, in-place resync: verifies and decodes wire snapshot
+    bytes, quiesces writers, drains the commit queue, persists the
+    bytes as the local snapshot, drops the local WAL, and swaps the
+    committed/head pointers and [last_seq] to the decoded image.
+    Equivalent to wiping the directory and re-opening, without
+    invalidating the handle other threads hold. *)
+
 val close : t -> unit
 (** Closes the WAL file descriptor.  Deliberately does {e not}
     checkpoint: close must be equivalent to a crash, so that the

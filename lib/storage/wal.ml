@@ -89,28 +89,48 @@ let encode_record ~seq (text, params) =
   Buffer.add_string framed payload;
   Buffer.contents framed
 
-let append w stmts =
+(* Appends and returns each record's (seq, framed bytes) — the framed
+   form is exactly what lands in the file, so a primary can ship the
+   same CRC-guarded bytes to replicas and a replica can re-verify them
+   with the file-recovery checks. *)
+let append_encoded w stmts =
   match stmts with
-  | [] -> 0
+  | [] -> []
   | _ ->
     Trace.with_span "wal_append" @@ fun () ->
     let buf = Buffer.create 256 in
-    List.iter
-      (fun stmt ->
-        Buffer.add_string buf (encode_record ~seq:w.next_seq stmt);
-        w.next_seq <- w.next_seq + 1)
-      stmts;
+    let encoded =
+      List.map
+        (fun stmt ->
+          let seq = w.next_seq in
+          let framed = encode_record ~seq stmt in
+          Buffer.add_string buf framed;
+          w.next_seq <- w.next_seq + 1;
+          (seq, framed))
+        stmts
+    in
     write_all w.fd (Buffer.contents buf);
     let t0 = Trace.now_us () in
     Trace.with_span "fsync" (fun () -> Unix.fsync w.fd);
     Registry.observe_us m_fsync (Trace.now_us () - t0);
     Registry.incr m_appends;
     Registry.add m_records (List.length stmts);
-    w.next_seq - 1
+    encoded
+
+let append w stmts =
+  match append_encoded w stmts with
+  | [] -> 0
+  | encoded -> fst (List.nth encoded (List.length encoded - 1))
 
 let truncate w =
   Unix.ftruncate w.fd header_len;
   Unix.fsync w.fd
+
+(* Truncate and restart the sequence — a replica resyncing from a fresh
+   snapshot drops its whole log and continues at the snapshot's seq. *)
+let reset w ~next_seq =
+  truncate w;
+  w.next_seq <- next_seq
 
 let close_writer w = Unix.close w.fd
 
@@ -133,6 +153,34 @@ let decode_payload payload =
   if Codec.remaining r <> 0 then
     raise (Codec.Corrupt "trailing bytes in WAL record payload");
   { seq; text; params }
+
+(* One framed record (len · crc · payload) as shipped over the
+   replication stream, verified with the same checks the file scan
+   applies: a short, oversized or checksum-failing frame is an error,
+   never a silently skipped record. *)
+let decode_framed data =
+  let len = String.length data in
+  if len < 8 then Error "framed WAL record shorter than its prologue"
+  else begin
+    let u32 pos =
+      let b i = Char.code data.[pos + i] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    in
+    let payload_len = u32 0 in
+    let crc = u32 4 in
+    if len - 8 <> payload_len then
+      Error
+        (Printf.sprintf
+           "framed WAL record length mismatch (prologue says %d, frame \
+            carries %d)"
+           payload_len (len - 8))
+    else if Crc32.digest_sub data ~pos:8 ~len:payload_len <> crc then
+      Error "framed WAL record checksum mismatch"
+    else
+      match decode_payload (String.sub data 8 payload_len) with
+      | record -> Ok record
+      | exception Codec.Corrupt msg -> Error ("framed WAL record: " ^ msg)
+  end
 
 let scan path =
   match In_channel.with_open_bin path In_channel.input_all with

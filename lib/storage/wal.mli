@@ -53,10 +53,22 @@ val append : writer -> (string * (string * Value.t) list) list -> int
     as one batch.  Returns the sequence number of the last record
     written (0 if the batch was empty, which performs no I/O). *)
 
+val append_encoded :
+  writer -> (string * (string * Value.t) list) list -> (int * string) list
+(** Like {!append}, but returns each record's [(seq, framed bytes)] —
+    the framed form is byte-identical to what was written to the file
+    (len · crc · payload), so a primary can ship the very same
+    CRC-guarded bytes to replicas. *)
+
 val truncate : writer -> unit
 (** Cuts the log back to the bare header (checkpoint), with an fsync.
     Sequence numbers keep increasing: the snapshot's [last_seq]
     watermark, not file position, decides what replay skips. *)
+
+val reset : writer -> next_seq:int -> unit
+(** {!truncate} and restart the sequence at [next_seq] — a replica that
+    resyncs from a fresh snapshot drops its whole log and continues
+    from the snapshot's watermark. *)
 
 val close_writer : writer -> unit
 
@@ -70,6 +82,12 @@ type scan = {
 
 val scan : string -> (scan, string) result
 (** Reads the valid prefix of the log (see recovery semantics above). *)
+
+val decode_framed : string -> (record, string) result
+(** Decodes one framed record (len · crc · payload) as shipped over the
+    replication stream, applying the same integrity checks as the file
+    scan: a truncated, oversized or checksum-failing frame is an
+    [Error], never a silently skipped record. *)
 
 val truncate_file : string -> int -> unit
 (** Truncates the file to [len] bytes — used to drop a torn tail before

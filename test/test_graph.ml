@@ -100,6 +100,72 @@ let union_remaps () =
   Alcotest.(check int) "union rel count" 2 (Graph.rel_count u);
   Alcotest.(check int) "label index merged" 2 (Graph.label_count u "A")
 
+(* The graph maintains node/rel/label/type cardinalities incrementally
+   (enumerating to count made post-write statistics recollection O(graph)).
+   Pin the incremental counts against the authoritative enumerations
+   across every mutation path, including the insert_* persistence path. *)
+let incremental_counts () =
+  let check_counts msg g =
+    Alcotest.(check int)
+      (msg ^ ": node_count") (List.length (Graph.nodes g)) (Graph.node_count g);
+    Alcotest.(check int)
+      (msg ^ ": rel_count") (List.length (Graph.rels g)) (Graph.rel_count g);
+    List.iter
+      (fun l ->
+        Alcotest.(check int)
+          (msg ^ ": label_count " ^ l)
+          (List.length (Graph.nodes_with_label g l))
+          (Graph.label_count g l))
+      (Graph.all_labels g);
+    List.iter
+      (fun ty ->
+        Alcotest.(check int)
+          (msg ^ ": type_count " ^ ty)
+          (List.length (Graph.rels_with_type g ty))
+          (Graph.type_count g ty))
+      (Graph.all_types g)
+  in
+  let g = Graph.empty in
+  (* duplicate labels on one node must count the node once *)
+  let g, a = Graph.add_node ~labels:[ "A"; "A"; "B" ] g in
+  let g, b = Graph.add_node ~labels:[ "B" ] g in
+  let g, c = Graph.add_node g in
+  check_counts "after adds" g;
+  let g, r1 = Graph.add_rel ~src:a ~tgt:b ~rel_type:"T" g in
+  let g, _r2 = Graph.add_rel ~src:b ~tgt:c ~rel_type:"T" g in
+  let g, _r3 = Graph.add_rel ~src:c ~tgt:a ~rel_type:"U" g in
+  check_counts "after rels" g;
+  (* idempotent re-add must not double-count *)
+  let g = Graph.add_label g a "B" in
+  let g = Graph.add_label g a "B" in
+  let g = Graph.remove_label g b "B" in
+  let g = Graph.remove_label g b "Absent" in
+  check_counts "after label churn" g;
+  Alcotest.(check int) "B counts a once" 1 (Graph.label_count g "B");
+  let g = Graph.delete_rel g r1 in
+  let g = Graph.detach_delete_node g c in
+  check_counts "after deletions" g;
+  Alcotest.(check int) "U gone with its rel" 0 (Graph.type_count g "U");
+  (* the identity-preserving insertion path (snapshot decode) maintains
+     the same counts, and re-inserting an existing node is not a new node *)
+  let g2 =
+    List.fold_left
+      (fun acc n -> Graph.insert_node acc n (Graph.node_data g n))
+      Graph.empty (Graph.nodes g)
+  in
+  let g2 =
+    List.fold_left
+      (fun acc r -> Graph.insert_rel acc r (Graph.rel_data g r))
+      g2 (Graph.rels g)
+  in
+  check_counts "after insert round-trip" g2;
+  Alcotest.(check int) "round-trip node_count" (Graph.node_count g)
+    (Graph.node_count g2);
+  let g2 = Graph.insert_node g2 a (Graph.node_data g a) in
+  check_counts "after re-insert" g2;
+  Alcotest.(check int) "re-insert is not a new node" (Graph.node_count g)
+    (Graph.node_count g2)
+
 let stats () =
   let g = Cypher_gen.Paper_graphs.academic () in
   let s = Stats.collect g in
@@ -124,5 +190,6 @@ let suite =
     tc "setting a property to null removes it" null_prop_removes;
     tc "identity-preserving insertion" insert_preserves_identity;
     tc "union remaps identifiers" union_remaps;
+    tc "incremental cardinalities match enumeration" incremental_counts;
     tc "statistics" stats;
   ]

@@ -14,6 +14,7 @@ let () =
       ("session", Test_session.suite);
       ("storage", Test_storage.suite);
       ("server", Test_server.suite);
+      ("replication", Test_replication.suite);
       ("mvcc", Test_mvcc.suite);
       ("obs", Test_obs.suite);
       ("plan-cache", Test_plan_cache.suite);

@@ -74,7 +74,7 @@ let ok_query ?params client q =
   | Ok r -> r
   | Error e -> Alcotest.failf "query %S failed: %s" q (Client.error_message e)
 
-let count_of { Client.columns; rows } =
+let count_of { Client.columns; rows; _ } =
   match (columns, rows) with
   | [ _ ], [ [ Value.Int n ] ] -> n
   | _ -> Alcotest.fail "expected a single integer cell"
@@ -123,9 +123,13 @@ let protocol_roundtrip () =
         {
           columns = [ "a"; "b" ];
           rows = [ [ Value.Int 1; Value.String "x" ]; [ Value.Null; Value.Bool true ] ];
+          seq = 42;
         };
       Protocol.Error { kind = Protocol.Timeout; message = "too slow" };
       Protocol.Stats [ ("requests", Value.Int 7) ];
+      Protocol.Repl_chunk { total = 1024; data = "snapshot-bytes" };
+      Protocol.Repl_batch
+        { last_seq = 17; resync = true; records = [ "frame1"; "frame2" ] };
     ]
   in
   List.iter
@@ -133,6 +137,7 @@ let protocol_roundtrip () =
       match (resp, Protocol.decode_response (Protocol.encode_response resp)) with
       | Protocol.Result r1, Protocol.Result r2 ->
         Alcotest.(check (list string)) "columns" r1.columns r2.columns;
+        Alcotest.(check int) "seq" r1.seq r2.seq;
         List.iter2
           (List.iter2 (fun v1 v2 ->
                Alcotest.(check int) "cell" 0 (Value.compare_total v1 v2)))
@@ -142,6 +147,13 @@ let protocol_roundtrip () =
         Alcotest.(check bool) "kind" true (e1.kind = e2.kind)
       | Protocol.Stats s1, Protocol.Stats s2 ->
         Alcotest.(check int) "stats" (List.length s1) (List.length s2)
+      | Protocol.Repl_chunk c1, Protocol.Repl_chunk c2 ->
+        Alcotest.(check int) "chunk total" c1.total c2.total;
+        Alcotest.(check string) "chunk data" c1.data c2.data
+      | Protocol.Repl_batch b1, Protocol.Repl_batch b2 ->
+        Alcotest.(check int) "batch last_seq" b1.last_seq b2.last_seq;
+        Alcotest.(check bool) "batch resync" b1.resync b2.resync;
+        Alcotest.(check (list string)) "batch records" b1.records b2.records
       | _ -> Alcotest.fail "response did not round-trip")
     responses;
   (* malformed payloads are protocol errors, not crashes *)
@@ -523,7 +535,7 @@ let metrics_verb_and_remote_profile () =
             (geti "cypher_server_requests_total" > 0);
           (* PROFILE travels over the wire: as a query prefix… *)
           (match Client.query client "PROFILE MATCH (n:R) RETURN n" with
-          | Ok { Client.columns; rows } ->
+          | Ok { Client.columns; rows; _ } ->
             Alcotest.(check (list string)) "plan column" [ "plan" ] columns;
             Alcotest.(check bool) "per-operator db-hits and rows shown" true
               (List.exists
@@ -540,7 +552,7 @@ let metrics_verb_and_remote_profile () =
               ~options:[ ("profile", Value.Bool true) ]
               client "MATCH (n:R) RETURN n"
           with
-          | Ok { Client.columns; rows } ->
+          | Ok { Client.columns; rows; _ } ->
             Alcotest.(check (list string)) "option plan column" [ "plan" ]
               columns;
             Alcotest.(check bool) "option yields a plan" true (rows <> [])
