@@ -47,6 +47,17 @@
      :constraints        list constraints and check the graph
      :procedures         list CALL procedures
      :functions          list registered functions
+     :materialize <name> <query>
+                         register an incrementally-maintained view over a
+                         read-only query; it is refreshed from committed
+                         deltas (works in-memory, with --db and --connect)
+     :views              list materialized views with freshness, row count,
+                         maintenance mode and refresh counters
+     :view <name>        read a view (lock-free: the last refreshed result)
+     :unmaterialize <name>
+                         drop a view, closing its subscribers
+     :subscribe <query>  (--connect only) stream live result deltas for a
+                         query as the graph changes; Enter stops the stream
      :checkpoint         (--db only) snapshot the graph, truncate the WAL
      :stats              graph statistics; with --db or --connect, also the
                          store health (WAL length, last sequence number,
@@ -68,6 +79,7 @@ module Store = Cypher_storage.Store
 module Session = Cypher_session.Session
 module Server = Cypher_server.Server
 module Client = Cypher_server.Client
+module Ivm = Cypher_ivm.Ivm
 
 let builtin_graph = function
   | "academic" -> Some (Paper_graphs.academic ())
@@ -88,6 +100,10 @@ type state = {
   store : Store.t option;  (** present when opened with [--db] *)
   client : Client.t option;  (** present when opened with [--connect] *)
   parallel : int;  (** worker domains for read queries ([--parallel N]) *)
+  ivm : (Ivm.t * int ref) option;
+      (** lazily-created local view manager and its hand-driven seq
+          counter (only ticked in pure in-memory mode; with [--db] the
+          store's publish hook feeds the manager) *)
 }
 
 let cli_config st =
@@ -131,21 +147,66 @@ let run_remote_plan client option q =
       rows
   | Error e -> Printf.printf "%s\n" (Client.error_message e)
 
+let print_rows columns rows =
+  let table =
+    Cypher_table.Table.create ~fields:columns
+      (List.map
+         (fun row -> Cypher_table.Record.of_list (List.combine columns row))
+         rows)
+  in
+  Format.printf "%a@." Cypher_table.Table.pp table
+
 let run_remote_query ?(parallel = 1) client q =
   let options =
     if parallel > 1 then [ ("parallel", Cypher_values.Value.Int parallel) ]
     else []
   in
   match Client.query ~options client q with
-  | Ok { Client.columns; rows; _ } ->
-    let table =
-      Cypher_table.Table.create ~fields:columns
-        (List.map
-           (fun row -> Cypher_table.Record.of_list (List.combine columns row))
-           rows)
-    in
-    Format.printf "%a@." Cypher_table.Table.pp table
+  | Ok { Client.columns; rows; _ } -> print_rows columns rows
   | Error e -> Printf.printf "%s\n" (Client.error_message e)
+
+(* Materialized views use the server's verbs over --connect; otherwise a
+   local manager is created on first use.  With --db it feeds from the
+   store's publish hook; fully in-memory it is nudged by hand with the
+   current graph before every view command. *)
+let local_ivm st =
+  match st.ivm with
+  | Some pair -> (st, pair)
+  | None ->
+    let mgr =
+      match st.store with
+      | Some store -> Ivm.attach ~mode:st.mode store
+      | None -> Ivm.create ~mode:st.mode (current_graph st) 0
+    in
+    let pair = (mgr, ref 0) in
+    ({ st with ivm = Some pair }, pair)
+
+let synced_ivm st =
+  let st, (mgr, seq) = local_ivm st in
+  (match st.store with
+  | Some _ -> ()
+  | None ->
+    incr seq;
+    Ivm.notify mgr st.graph !seq);
+  Ivm.quiesce mgr;
+  (st, mgr)
+
+let print_delta (d : Client.delta) =
+  let pp_side tag rows =
+    List.iter
+      (fun (row, mult) ->
+        Printf.printf "  %s %s%s\n" tag
+          (String.concat ", "
+             (List.map (Format.asprintf "%a" Cypher_values.Value.pp) row))
+          (if mult = 1 then "" else Printf.sprintf " x%d" mult))
+      rows
+  in
+  Printf.printf "%s seq=%d%s (%s)\n" d.Client.d_view d.Client.d_seq
+    (if d.Client.d_init then " [init]" else "")
+    (String.concat ", " d.Client.d_columns);
+  pp_side "+" d.Client.d_added;
+  pp_side "-" d.Client.d_removed;
+  flush stdout
 
 let run_query st q =
   match st.client with
@@ -322,6 +383,103 @@ let commands : (string * (state -> string -> state)) list =
         | Error e ->
           Printf.printf "%s\n" e;
           st) );
+    ( ":materialize ",
+      fun st arg ->
+        let name, query =
+          match String.index_opt arg ' ' with
+          | Some i ->
+            ( String.sub arg 0 i,
+              String.trim (String.sub arg (i + 1) (String.length arg - i - 1))
+            )
+          | None -> (arg, "")
+        in
+        if name = "" || query = "" then begin
+          Printf.printf "usage: :materialize <name> <query>\n";
+          st
+        end
+        else begin
+          match st.client with
+          | Some client ->
+            (match Client.materialize client ~name ~query with
+            | Ok seq ->
+              Printf.printf "view %s materialized (seq %d)\n" name seq
+            | Error e -> Printf.printf "%s\n" (Client.error_message e));
+            st
+          | None ->
+            let st, mgr = synced_ivm st in
+            (match Ivm.materialize mgr ~name ~query with
+            | Ok seq ->
+              Printf.printf "view %s materialized (seq %d)\n" name seq
+            | Error e -> Printf.printf "%s\n" e);
+            st
+        end );
+    ( ":view ",
+      fun st arg ->
+        (match st.client with
+        | Some client ->
+          (match Client.view_read client ~name:arg with
+          | Ok { Client.columns; rows; seq } ->
+            print_rows columns rows;
+            Printf.printf "(view at seq %d)\n" seq
+          | Error e -> Printf.printf "%s\n" (Client.error_message e));
+          st
+        | None ->
+          let st, mgr = synced_ivm st in
+          (match Ivm.read mgr arg with
+          | Ok (table, seq) ->
+            Format.printf "%a@." Cypher_table.Table.pp table;
+            Printf.printf "(view at seq %d)\n" seq
+          | Error Ivm.Unknown_view -> Printf.printf "no view named %s\n" arg
+          | Error (Ivm.Stale at) ->
+            Printf.printf "view %s is stale (at seq %d)\n" arg at
+          | Error (Ivm.Failed e) -> Printf.printf "%s\n" e);
+          st) );
+    ( ":unmaterialize ",
+      fun st arg ->
+        match st.client with
+        | Some client ->
+          (match Client.unmaterialize client ~name:arg with
+          | Ok () -> Printf.printf "view %s dropped\n" arg
+          | Error e -> Printf.printf "%s\n" (Client.error_message e));
+          st
+        | None ->
+          let st, mgr = synced_ivm st in
+          (match Ivm.unmaterialize mgr arg with
+          | Ok () -> Printf.printf "view %s dropped\n" arg
+          | Error e -> Printf.printf "%s\n" e);
+          st );
+    ( ":subscribe ",
+      fun st arg ->
+        (match st.client with
+        | None ->
+          Printf.printf ":subscribe requires a server connection (--connect)\n"
+        | Some client -> (
+          match Client.subscribe client ~query:arg with
+          | Error e -> Printf.printf "%s\n" (Client.error_message e)
+          | Ok sub ->
+            Printf.printf "subscribed — press Enter to stop\n%!";
+            let stop = ref false in
+            while not !stop do
+              (* stdin first, so the user can always break out *)
+              match Unix.select [ Unix.stdin ] [] [] 0.0 with
+              | _ :: _, _, _ ->
+                (try ignore (input_line stdin) with End_of_file -> ());
+                stop := true
+              | _ ->
+                if Client.delta_ready sub ~timeout_s:0.2 then (
+                  match Client.next_delta sub with
+                  | Ok (Some d) -> print_delta d
+                  | Ok None ->
+                    Printf.printf "subscription ended by the server\n";
+                    stop := true
+                  | Error e ->
+                    Printf.printf "%s\n" (Client.error_message e);
+                    stop := true)
+            done;
+            (match Client.unsubscribe sub with
+            | Ok () -> ()
+            | Error e -> Printf.printf "%s\n" (Client.error_message e))));
+        st );
   ]
 
 let handle_line st line =
@@ -421,6 +579,36 @@ let handle_line st line =
     | names -> List.iter print_endline names);
     Some st
   end
+  else if line = ":views" then begin
+    match st.client with
+    | Some client ->
+      (match Client.list_views client with
+      | Ok { Client.columns; rows; _ } ->
+        if rows = [] then
+          print_endline "(no views; use :materialize <name> <query>)"
+        else print_rows columns rows
+      | Error e -> Printf.printf "%s\n" (Client.error_message e));
+      Some st
+    | None ->
+      let st, mgr = synced_ivm st in
+      (match Ivm.view_infos mgr with
+      | [] -> print_endline "(no views; use :materialize <name> <query>)"
+      | infos ->
+        List.iter
+          (fun i ->
+            Printf.printf "%-16s %-11s seq=%-6d rows=%-6d refreshes=%d \
+                           (%d incremental, %d fallback) subscribers=%d  %s%s\n"
+              i.Ivm.vi_name
+              (if i.Ivm.vi_incremental then "incremental" else "fallback")
+              i.Ivm.vi_seq i.Ivm.vi_rows i.Ivm.vi_refreshes
+              i.Ivm.vi_incrementals i.Ivm.vi_fallbacks i.Ivm.vi_subscribers
+              i.Ivm.vi_query
+              (match i.Ivm.vi_error with
+              | Some e -> Printf.sprintf "  [error: %s]" e
+              | None -> ""))
+          infos);
+      Some st
+  end
   else if line = ":procedures" then begin
     List.iter print_endline (Cypher_semantics.Procedures.names ());
     Some st
@@ -441,7 +629,8 @@ let repl st =
   Printf.printf
     "cypher shell — type Cypher, or :graph <name>, :explain <q>, :mode \
      ref|plan, :stats, :export, :dot, :load <file>, :schema <ddl>, \
-     :constraints, :procedures, :functions, :quit\n";
+     :constraints, :procedures, :functions, :materialize <name> <q>, :views, \
+     :view <name>, :subscribe <q>, :quit\n";
   let rec loop st =
     print_string "cypher> ";
     match read_line () with
@@ -619,9 +808,11 @@ let () =
       store = None;
       client = None;
       parallel = Cypher_semantics.Config.default.Cypher_semantics.Config.parallel;
+      ivm = None;
     }
   in
   let finish st =
+    Option.iter (fun (mgr, _) -> Ivm.shutdown mgr) st.ivm;
     Option.iter Client.close st.client;
     Option.iter Store.close st.store
   in

@@ -51,6 +51,19 @@ type t = {
      plan cache keys cardinality estimates on it.  Only [empty] is
      version 0. *)
   version : int;
+  (* Change journal: ids touched by mutations, newest first, tagged
+     node = 2·id / rel = 2·id + 1.  Because the graph is persistent the
+     journal is too: two versions of the same lineage share a physical
+     tail, and [delta_between] recovers the entities touched between
+     them by walking [chg_len] difference entries and checking that the
+     remaining tail is physically the older journal.  Rolled-back
+     updates live only in discarded graph values, so their entries are
+     unreachable from any surviving version.  The journal is capped:
+     appending past [journal_cap] starts a fresh epoch, after which
+     deltas spanning the reset report [None] (callers fall back to full
+     recomputation). *)
+  chg : int list;
+  chg_len : int;
 }
 
 (* --- db-hit accounting ----------------------------------------------- *)
@@ -114,7 +127,20 @@ let empty =
     next_node = 1;
     next_rel = 1;
     version = 0;
+    chg = [];
+    chg_len = 0;
   }
+
+(* --- change journal --------------------------------------------------- *)
+
+let journal_cap = 1 lsl 16
+
+let journal e g =
+  if g.chg_len >= journal_cap then { g with chg = [ e ]; chg_len = 1 }
+  else { g with chg = e :: g.chg; chg_len = g.chg_len + 1 }
+
+let jnode n g = journal (Ids.node_to_int n lsl 1) g
+let jrel r g = journal ((Ids.rel_to_int r lsl 1) lor 1) g
 
 let props_of_list kvs =
   List.fold_left
@@ -243,7 +269,7 @@ let add_node ?(labels = []) ?(props = []) g =
       next_node = g.next_node + 1;
     }
   in
-  (stamp (pidx_update ~add:true g id data), id)
+  (stamp (jnode id (pidx_update ~add:true g id data)), id)
 
 let mem_node g n = Nmap.mem n g.node_map
 let mem_rel g r = Rmap.mem r g.rel_map
@@ -267,16 +293,17 @@ let add_rel ~src ~tgt ~rel_type ?(props = []) g =
     index_add_rel rel_type id (g.type_index, g.type_counts)
   in
   ( stamp
-      {
-        g with
-        rel_map = Rmap.add id data g.rel_map;
-        out_adj = adj_cons src id g.out_adj;
-        in_adj = adj_cons tgt id g.in_adj;
-        type_index;
-        type_counts;
-        n_rels = g.n_rels + 1;
-        next_rel = g.next_rel + 1;
-      },
+      (jrel id
+         {
+           g with
+           rel_map = Rmap.add id data g.rel_map;
+           out_adj = adj_cons src id g.out_adj;
+           in_adj = adj_cons tgt id g.in_adj;
+           type_index;
+           type_counts;
+           n_rels = g.n_rels + 1;
+           next_rel = g.next_rel + 1;
+         }),
     id )
 
 let node_data g n =
@@ -314,15 +341,16 @@ let delete_rel g r =
       index_remove_rel data.rel_type r (g.type_index, g.type_counts)
     in
     stamp
-      {
-        g with
-        rel_map = Rmap.remove r g.rel_map;
-        out_adj = adj_remove data.src r g.out_adj;
-        in_adj = adj_remove data.tgt r g.in_adj;
-        type_index;
-        type_counts;
-        n_rels = g.n_rels - 1;
-      }
+      (jrel r
+         {
+           g with
+           rel_map = Rmap.remove r g.rel_map;
+           out_adj = adj_remove data.src r g.out_adj;
+           in_adj = adj_remove data.tgt r g.in_adj;
+           type_index;
+           type_counts;
+           n_rels = g.n_rels - 1;
+         })
 
 let remove_node_raw g n =
   match Nmap.find_opt n g.node_map with
@@ -336,15 +364,16 @@ let remove_node_raw g n =
         (g.label_index, g.label_counts)
     in
     stamp
-      {
-        g with
-        node_map = Nmap.remove n g.node_map;
-        out_adj = Nmap.remove n g.out_adj;
-        in_adj = Nmap.remove n g.in_adj;
-        label_index;
-        label_counts;
-        n_nodes = g.n_nodes - 1;
-      }
+      (jnode n
+         {
+           g with
+           node_map = Nmap.remove n g.node_map;
+           out_adj = Nmap.remove n g.out_adj;
+           in_adj = Nmap.remove n g.in_adj;
+           label_index;
+           label_counts;
+           n_nodes = g.n_nodes - 1;
+         })
 
 let delete_node g n =
   if not (mem_node g n) then Ok g
@@ -369,10 +398,10 @@ let update_node g n f =
     let new_data = f old_data in
     let g = pidx_update ~add:false g n old_data in
     let g = { g with node_map = Nmap.add n new_data g.node_map } in
-    stamp (pidx_update ~add:true g n new_data)
+    stamp (jnode n (pidx_update ~add:true g n new_data))
 
 let update_rel g r f =
-  stamp { g with rel_map = Rmap.update r (Option.map f) g.rel_map }
+  stamp (jrel r { g with rel_map = Rmap.update r (Option.map f) g.rel_map })
 
 let set_node_prop g n k v =
   update_node g n (fun d ->
@@ -511,7 +540,7 @@ let insert_node g n data =
       next_node = max g.next_node (Ids.node_to_int n + 1);
     }
   in
-  stamp (pidx_update ~add:true g n data)
+  stamp (jnode n (pidx_update ~add:true g n data))
 
 let insert_rel g r data =
   if not (mem_node g data.src && mem_node g data.tgt) then
@@ -521,16 +550,17 @@ let insert_rel g r data =
     index_add_rel data.rel_type r (g.type_index, g.type_counts)
   in
   stamp
-    {
-      g with
-      rel_map = Rmap.add r data g.rel_map;
-      out_adj = adj_cons data.src r g.out_adj;
-      in_adj = adj_cons data.tgt r g.in_adj;
-      type_index;
-      type_counts;
-      n_rels = g.n_rels + 1;
-      next_rel = max g.next_rel (Ids.rel_to_int r + 1);
-    }
+    (jrel r
+       {
+         g with
+         rel_map = Rmap.add r data g.rel_map;
+         out_adj = adj_cons data.src r g.out_adj;
+         in_adj = adj_cons data.tgt r g.in_adj;
+         type_index;
+         type_counts;
+         n_rels = g.n_rels + 1;
+         next_rel = max g.next_rel (Ids.rel_to_int r + 1);
+       })
 
 let next_ids g = (g.next_node, g.next_rel)
 
@@ -618,6 +648,88 @@ let create_index g ~label ~key =
 
 let drop_index g ~label ~key =
   stamp { g with prop_indexes = Pmap.remove (label, key) g.prop_indexes }
+
+(* --- deltas between versions ----------------------------------------- *)
+
+type delta = {
+  d_nodes_added : Ids.node list;
+  d_nodes_changed : Ids.node list;
+  d_nodes_removed : Ids.node list;
+  d_rels_added : Ids.rel list;
+  d_rels_changed : Ids.rel list;
+  d_rels_removed : Ids.rel list;
+}
+
+let empty_delta =
+  {
+    d_nodes_added = [];
+    d_nodes_changed = [];
+    d_nodes_removed = [];
+    d_rels_added = [];
+    d_rels_changed = [];
+    d_rels_removed = [];
+  }
+
+let delta_is_empty d =
+  d.d_nodes_added = [] && d.d_nodes_changed = [] && d.d_nodes_removed = []
+  && d.d_rels_added = [] && d.d_rels_changed = [] && d.d_rels_removed = []
+
+let delta_size d =
+  List.length d.d_nodes_added + List.length d.d_nodes_changed
+  + List.length d.d_nodes_removed + List.length d.d_rels_added
+  + List.length d.d_rels_changed + List.length d.d_rels_removed
+
+let delta_between ~since g =
+  if since == g then Some empty_delta
+  else
+    let steps = g.chg_len - since.chg_len in
+    if steps < 0 then None
+    else
+      (* Collect the [steps] newest entries, deduplicated, and check that
+         what remains is physically the older journal — the only way the
+         two versions belong to the same journal epoch of the same
+         lineage. *)
+      let touched = Hashtbl.create (min 64 (steps + 1)) in
+      let rec walk k l =
+        if k = 0 then
+          if l == since.chg then true
+          else false
+        else
+          match l with
+          | [] -> false
+          | e :: tl ->
+            Hashtbl.replace touched e ();
+            walk (k - 1) tl
+      in
+      if not (walk steps g.chg) then None
+      else begin
+        let d = ref empty_delta in
+        Hashtbl.iter
+          (fun e () ->
+            if e land 1 = 0 then begin
+              let n = Ids.node_of_int (e lsr 1) in
+              match (mem_node since n, mem_node g n) with
+              | false, true ->
+                d := { !d with d_nodes_added = n :: !d.d_nodes_added }
+              | true, false ->
+                d := { !d with d_nodes_removed = n :: !d.d_nodes_removed }
+              | true, true ->
+                d := { !d with d_nodes_changed = n :: !d.d_nodes_changed }
+              | false, false -> () (* created and deleted within the span *)
+            end
+            else begin
+              let r = Ids.rel_of_int (e lsr 1) in
+              match (mem_rel since r, mem_rel g r) with
+              | false, true -> d := { !d with d_rels_added = r :: !d.d_rels_added }
+              | true, false ->
+                d := { !d with d_rels_removed = r :: !d.d_rels_removed }
+              | true, true ->
+                d := { !d with d_rels_changed = r :: !d.d_rels_changed }
+              | false, false -> ()
+            end)
+          touched;
+        Some !d
+      end
 
 let index_seek g ~label ~key v =
   db_hit ();

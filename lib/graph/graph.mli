@@ -194,6 +194,39 @@ val reserve_ids : t -> next_node:int -> next_rel:int -> t
     counters never move backwards, so reserving below the current
     watermark is a no-op. *)
 
+(** {1 Change journal — deltas between versions}
+
+    Every mutation appends the touched node or relationship id to a
+    journal carried by the (persistent) graph value, so two versions of
+    the same lineage share a journal tail and the entities touched
+    between them can be recovered in O(changes) — the substrate of
+    incremental view maintenance ({!module:Cypher_ivm}).  Rolled-back
+    updates live only in discarded graph values and therefore never
+    appear in a delta between two committed versions. *)
+
+type delta = {
+  d_nodes_added : Ids.node list;
+  d_nodes_changed : Ids.node list;  (** present in both, properties/labels touched *)
+  d_nodes_removed : Ids.node list;
+  d_rels_added : Ids.rel list;
+  d_rels_changed : Ids.rel list;
+  d_rels_removed : Ids.rel list;
+}
+
+val empty_delta : delta
+val delta_is_empty : delta -> bool
+val delta_size : delta -> int
+(** Total number of entity ids in the delta. *)
+
+val delta_between : since:t -> t -> delta option
+(** [delta_between ~since g] is the set of entities touched between the
+    older version [since] and [g], classified by presence on each side
+    (an entity created and deleted within the span appears on neither
+    side and is omitted).  Returns [None] when the two versions are not
+    of the same lineage or the journal was truncated between them (the
+    journal is capped at 65536 entries); callers must then fall back to
+    full recomputation — never assume an empty delta. *)
+
 (** {1 Whole-graph operations} *)
 
 val union : t -> t -> t

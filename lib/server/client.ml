@@ -227,6 +227,167 @@ let repl_bootstrap ?(chunk = 4 * 1024 * 1024) t =
   in
   go 0
 
+(* --- materialized views ------------------------------------------------- *)
+
+let materialize t ~name ~query =
+  roundtrip t (Protocol.View_materialize { name; query }) (function
+    | Protocol.Result { seq; _ } -> Ok seq
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected response to materialize";
+        })
+
+let unmaterialize t ~name =
+  roundtrip t (Protocol.View_unmaterialize { name }) (function
+    | Protocol.Result _ -> Ok ()
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected response to unmaterialize";
+        })
+
+let list_views t =
+  roundtrip t Protocol.View_list (function
+    | Protocol.Result { columns; rows; seq } -> Ok { columns; rows; seq }
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected response to view list";
+        })
+
+(* [min_seq] is the session-consistency floor: feed a write's [seq]
+   back here and the read (on a primary or a replica) is at least that
+   fresh, or fails typed [Stale_replica] after [wait_ms]. *)
+let view_read ?(min_seq = 0) ?(wait_ms = 100) t ~name =
+  roundtrip t (Protocol.View_read { name; min_seq; wait_ms }) (function
+    | Protocol.Result { columns; rows; seq } -> Ok { columns; rows; seq }
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected response to view read";
+        })
+
+(* --- subscriptions ------------------------------------------------------ *)
+
+type delta = {
+  d_view : string;
+  d_seq : int;
+  d_init : bool;  (* the opening full-state frame *)
+  d_columns : string list;
+  d_added : (Value.t list * int) list;  (* row, multiplicity *)
+  d_removed : (Value.t list * int) list;
+}
+
+(* A subscription owns the connection until {!unsubscribe}: the server
+   is in push mode, so no other request may be issued through [t]
+   meanwhile. *)
+type subscription = { sc : t; mutable sc_open : bool }
+
+let subscribe t ~query =
+  match
+    Protocol.write_frame t.fd (Protocol.encode_request (Protocol.Subscribe { query }))
+  with
+  | () -> Ok { sc = t; sc_open = true }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      { kind = Protocol.Protocol_violation; message = Unix.error_message err }
+
+(* Blocks for the next delta frame.  [Ok None] means the stream ended
+   (server shutdown, view dropped, or this subscriber fell behind). *)
+let next_delta sub =
+  if not sub.sc_open then Ok None
+  else
+    let t = sub.sc in
+    match Protocol.read_frame ~max_frame:t.max_frame t.fd with
+    | None ->
+      sub.sc_open <- false;
+      Ok None
+    | Some payload -> (
+      match Protocol.decode_response payload with
+      | Protocol.Delta { view; seq; init; columns; added; removed } ->
+        Ok
+          (Some
+             {
+               d_view = view;
+               d_seq = seq;
+               d_init = init;
+               d_columns = columns;
+               d_added = added;
+               d_removed = removed;
+             })
+      | Protocol.Error { kind = Protocol.Server_error; _ } ->
+        (* typed end-of-stream *)
+        sub.sc_open <- false;
+        Ok None
+      | Protocol.Error { kind; message } ->
+        sub.sc_open <- false;
+        Error { kind; message }
+      | _ ->
+        Error
+          {
+            kind = Protocol.Protocol_violation;
+            message = "unexpected response inside a subscription";
+          }
+      | exception Protocol.Protocol_error msg ->
+        sub.sc_open <- false;
+        Error { kind = Protocol.Protocol_violation; message = msg })
+    | exception Unix.Unix_error (err, _, _) ->
+      sub.sc_open <- false;
+      Error
+        { kind = Protocol.Protocol_violation; message = Unix.error_message err }
+
+(* Polls (without consuming) whether a pushed frame is waiting, so a
+   caller can interleave the blocking [next_delta] with other input
+   sources — e.g. a REPL watching stdin at the same time. *)
+let delta_ready sub ~timeout_s =
+  sub.sc_open
+  &&
+  match Unix.select [ sub.sc.fd ] [] [] timeout_s with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error _ -> false
+
+(* Ends the stream and returns the connection to request mode: sends a
+   no-op request and drains buffered frames until its answer arrives. *)
+let unsubscribe sub =
+  if not sub.sc_open then Ok ()
+  else begin
+    sub.sc_open <- false;
+    let t = sub.sc in
+    match
+      Protocol.write_frame t.fd (Protocol.encode_request Protocol.Server_stats)
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        { kind = Protocol.Protocol_violation; message = Unix.error_message err }
+    | () ->
+      let rec drain () =
+        match Protocol.read_frame ~max_frame:t.max_frame t.fd with
+        | None -> Ok () (* server closed; nothing left to drain *)
+        | Some payload -> (
+          match Protocol.decode_response payload with
+          | Protocol.Delta _ -> drain ()
+          | Protocol.Error { kind = Protocol.Server_error; _ } ->
+            (* end-of-stream marker racing our cancel *)
+            drain ()
+          | _ -> Ok () (* the stats answer: back in request mode *)
+          | exception Protocol.Protocol_error msg ->
+            Error { kind = Protocol.Protocol_violation; message = msg })
+        | exception Unix.Unix_error (err, _, _) ->
+          Error
+            {
+              kind = Protocol.Protocol_violation;
+              message = Unix.error_message err;
+            }
+      in
+      drain ()
+  end
+
 let error_message { kind; message } =
   match kind with
   | Protocol.Protocol_violation -> "protocol: " ^ message

@@ -16,6 +16,12 @@
                                         snapshot (replication)
      'F'  repl-fetch   from_seq, max_records, wait_ms — long-poll for
                                         framed WAL records (replication)
+     'V'  view-op      op byte, then: 0 materialize (name, query),
+                                      1 unmaterialize (name), 2 list,
+                                      3 read (name, min_seq, wait_ms)
+     'U'  subscribe    query — switches the connection into push mode:
+                                      the server streams 'D' frames until
+                                      the client sends anything back
 
    Responses:
      'R'  result      #columns, column names, #rows, values row-major,
@@ -24,6 +30,9 @@
      'S'  stats       one Codec map value (string keys)
      'P'  repl-chunk  total size, chunk bytes
      'W'  repl-batch  last_seq, resync flag, #records, framed records
+     'D'  delta       view name, seq, init flag, columns, added rows
+                      (row values + multiplicity), removed rows — one
+                      subscription refresh (init: the full state)
 
    A malformed or oversized frame is a protocol error: the server
    replies with an 'E' frame where it still can, then closes. *)
@@ -54,6 +63,18 @@ type request =
   | Repl_fetch of { from_seq : int; max_records : int; wait_ms : int }
       (* long-poll: records with seq >= [from_seq], blocking up to
          [wait_ms] when the primary has nothing new *)
+  | View_materialize of { name : string; query : string }
+      (* register a maintained view; replies with an empty Result
+         carrying the seq the view was built at *)
+  | View_unmaterialize of { name : string }
+  | View_list  (* replies with a Result table describing every view *)
+  | View_read of { name : string; min_seq : int; wait_ms : int }
+      (* read a view's current contents; [min_seq] demands freshness
+         (Stale_replica if unreachable within [wait_ms]) *)
+  | Subscribe of { query : string }
+      (* switch the connection into push mode: the server answers with
+         a stream of Delta frames (first frame has [init = true]) until
+         the client sends any frame back or closes *)
 
 type error_kind =
   | Parse_error
@@ -81,6 +102,14 @@ type response =
   | Repl_batch of { last_seq : int; resync : bool; records : string list }
       (* [records] are framed WAL records, byte-identical to the
          primary's log (len · crc · payload) *)
+  | Delta of {
+      view : string;
+      seq : int;  (* commit watermark the frame brings the view to *)
+      init : bool;  (* the subscription's opening full-state frame *)
+      columns : string list;
+      added : (Value.t list * int) list;  (* row, multiplicity *)
+      removed : (Value.t list * int) list;
+    }
 
 let error_kind_to_byte = function
   | Parse_error -> 0
@@ -206,7 +235,28 @@ let encode_request req =
     Buffer.add_char buf 'F';
     Codec.write_uvarint buf from_seq;
     Codec.write_uvarint buf max_records;
-    Codec.write_uvarint buf wait_ms);
+    Codec.write_uvarint buf wait_ms
+  | View_materialize { name; query } ->
+    Buffer.add_char buf 'V';
+    Buffer.add_char buf '\000';
+    Codec.write_string buf name;
+    Codec.write_string buf query
+  | View_unmaterialize { name } ->
+    Buffer.add_char buf 'V';
+    Buffer.add_char buf '\001';
+    Codec.write_string buf name
+  | View_list ->
+    Buffer.add_char buf 'V';
+    Buffer.add_char buf '\002'
+  | View_read { name; min_seq; wait_ms } ->
+    Buffer.add_char buf 'V';
+    Buffer.add_char buf '\003';
+    Codec.write_string buf name;
+    Codec.write_uvarint buf min_seq;
+    Codec.write_uvarint buf wait_ms
+  | Subscribe { query } ->
+    Buffer.add_char buf 'U';
+    Codec.write_string buf query);
   Buffer.contents buf
 
 let encode_response resp =
@@ -235,7 +285,24 @@ let encode_response resp =
     Codec.write_uvarint buf last_seq;
     Codec.write_uvarint buf (if resync then 1 else 0);
     Codec.write_uvarint buf (List.length records);
-    List.iter (Codec.write_string buf) records);
+    List.iter (Codec.write_string buf) records
+  | Delta { view; seq; init; columns; added; removed } ->
+    Buffer.add_char buf 'D';
+    Codec.write_string buf view;
+    Codec.write_uvarint buf seq;
+    Codec.write_uvarint buf (if init then 1 else 0);
+    Codec.write_uvarint buf (List.length columns);
+    List.iter (Codec.write_string buf) columns;
+    let write_side rows =
+      Codec.write_uvarint buf (List.length rows);
+      List.iter
+        (fun (row, mult) ->
+          List.iter (Codec.write_value buf) row;
+          Codec.write_uvarint buf mult)
+        rows
+    in
+    write_side added;
+    write_side removed);
   Buffer.contents buf
 
 let decoding payload f =
@@ -269,6 +336,22 @@ let decode_request payload =
         let max_records = Codec.read_uvarint r in
         let wait_ms = Codec.read_uvarint r in
         Repl_fetch { from_seq; max_records; wait_ms }
+      | 'V' -> (
+        match Codec.read_uvarint r with
+        | 0 ->
+          let name = Codec.read_string r in
+          let query = Codec.read_string r in
+          View_materialize { name; query }
+        | 1 -> View_unmaterialize { name = Codec.read_string r }
+        | 2 -> View_list
+        | 3 ->
+          let name = Codec.read_string r in
+          let min_seq = Codec.read_uvarint r in
+          let wait_ms = Codec.read_uvarint r in
+          View_read { name; min_seq; wait_ms }
+        | op ->
+          raise (Protocol_error (Printf.sprintf "unknown view op %d" op)))
+      | 'U' -> Subscribe { query = Codec.read_string r }
       | c -> raise (Protocol_error (Printf.sprintf "unknown request verb %C" c)))
 
 let decode_response payload =
@@ -299,5 +382,21 @@ let decode_response payload =
         let n = Codec.read_uvarint r in
         let records = List.init n (fun _ -> Codec.read_string r) in
         Repl_batch { last_seq; resync; records }
+      | 'D' ->
+        let view = Codec.read_string r in
+        let seq = Codec.read_uvarint r in
+        let init = Codec.read_uvarint r <> 0 in
+        let ncols = Codec.read_uvarint r in
+        let columns = List.init ncols (fun _ -> Codec.read_string r) in
+        let read_side () =
+          let n = Codec.read_uvarint r in
+          List.init n (fun _ ->
+              let row = List.init ncols (fun _ -> Codec.read_value r) in
+              let mult = Codec.read_uvarint r in
+              (row, mult))
+        in
+        let added = read_side () in
+        let removed = read_side () in
+        Delta { view; seq; init; columns; added; removed }
       | c ->
         raise (Protocol_error (Printf.sprintf "unknown response verb %C" c)))

@@ -34,6 +34,7 @@ module Config = Cypher_semantics.Config
 module Value = Cypher_values.Value
 module Registry = Cypher_obs.Registry
 module Trace = Cypher_obs.Trace
+module Ivm = Cypher_ivm.Ivm
 
 type config = {
   host : string;
@@ -79,6 +80,10 @@ type t = {
   schema : Cypher_schema.Schema.t;
   mode : Engine.mode;
   metrics : Metrics.t;
+  (* maintained views, fed by the store's publication hook — on a
+     primary every group flush, on a replica every applied replication
+     batch, so subscriptions work identically on both *)
+  views : Ivm.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   mutable stopping : bool;
@@ -90,6 +95,7 @@ type t = {
 let port t = t.bound_port
 let metrics t = t.metrics
 let store t = t.store
+let views t = t.views
 
 (* --- error classification --------------------------------------------- *)
 
@@ -351,15 +357,113 @@ let registry_pairs () =
       | Registry.Float_sample (name, v) -> (name, Value.Float v))
     (Registry.samples ())
 
-let handle_request t conn payload =
+(* One row per registered view, as an ordinary Result so every client
+   renders it like a query. *)
+let view_list_response t =
+  let columns =
+    [
+      "name"; "query"; "seq"; "rows"; "mode"; "refreshes"; "incremental";
+      "fallback"; "subscribers"; "error";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (i : Ivm.view_info) ->
+        [
+          Value.String i.Ivm.vi_name;
+          Value.String i.Ivm.vi_query;
+          Value.Int i.Ivm.vi_seq;
+          Value.Int i.Ivm.vi_rows;
+          Value.String (if i.Ivm.vi_incremental then "incremental" else "fallback");
+          Value.Int i.Ivm.vi_refreshes;
+          Value.Int i.Ivm.vi_incrementals;
+          Value.Int i.Ivm.vi_fallbacks;
+          Value.Int i.Ivm.vi_subscribers;
+          (match i.Ivm.vi_error with
+          | Some e -> Value.String e
+          | None -> Value.Null);
+        ])
+      (Ivm.view_infos t.views)
+  in
+  Protocol.Result { columns; rows; seq = Ivm.last_refreshed_seq t.views }
+
+let delta_response (f : Ivm.frame) =
+  Protocol.Delta
+    {
+      view = f.Ivm.f_view;
+      seq = f.Ivm.f_seq;
+      init = f.Ivm.f_init;
+      columns = f.Ivm.f_columns;
+      added = f.Ivm.f_added;
+      removed = f.Ivm.f_removed;
+    }
+
+(* The shared request tail: stamp the time budget, frame the response,
+   record metrics. *)
+let finish_request t conn ~started_ns ~timeout ~payload response =
+  let elapsed =
+    float_of_int (Cypher_obs.Clock.now_ns () - started_ns) /. 1e9
+  in
+  let timed_out = timeout > 0. && elapsed > timeout in
+  let response =
+    if timed_out then
+      error_response Protocol.Timeout
+        (Printf.sprintf "request exceeded its %.3fs time budget (took %.3fs)"
+           timeout elapsed)
+    else response
+  in
+  let encoded = Protocol.encode_response response in
+  Protocol.write_frame conn.fd encoded;
+  let outcome =
+    if timed_out then `Timeout
+    else match response with Protocol.Error _ -> `Error | _ -> `Ok
+  in
+  Metrics.observe t.metrics ~elapsed
+    ~bytes_in:(String.length payload + 4)
+    ~bytes_out:(String.length encoded + 4)
+    ~outcome
+
+let rec handle_request t conn payload =
   (* monotonic, so the timeout check and the latency histogram cannot be
      skewed by an NTP wall-clock step mid-request *)
   let started_ns = Cypher_obs.Clock.now_ns () in
   let timeout = ref t.config.request_timeout in
+  match Protocol.decode_request payload with
+  | exception Protocol.Protocol_error msg ->
+    finish_request t conn ~started_ns ~timeout:!timeout ~payload
+      (error_response Protocol.Protocol_violation msg)
+  | Protocol.Subscribe { query } ->
+    serve_subscription t conn ~started_ns ~payload query
+  | req ->
   let response =
-    match Protocol.decode_request payload with
-    | exception Protocol.Protocol_error msg ->
-      error_response Protocol.Protocol_violation msg
+    match req with
+    | Subscribe _ -> assert false (* handled above *)
+    | View_materialize { name; query } -> (
+      (* registration re-executes the query once; exempt it from the
+         request budget like the other deliberately-slow verbs *)
+      timeout := 0.;
+      match Ivm.materialize t.views ~name ~query with
+      | Ok seq -> Protocol.Result { columns = []; rows = []; seq }
+      | Error e -> error_response (classify e) e)
+    | View_unmaterialize { name } -> (
+      match Ivm.unmaterialize t.views name with
+      | Ok () -> Protocol.Result { columns = []; rows = []; seq = 0 }
+      | Error e -> error_response Protocol.Runtime_error e)
+    | View_list -> view_list_response t
+    | View_read { name; min_seq; wait_ms } -> (
+      (* the freshness wait is this verb's job, like Repl_fetch *)
+      timeout := 0.;
+      match Ivm.read ~min_seq ~wait_ms t.views name with
+      | Ok (table, seq) -> table_response ~seq table
+      | Error Ivm.Unknown_view ->
+        error_response Protocol.Runtime_error
+          (Printf.sprintf "runtime error: no view named %s" name)
+      | Error (Ivm.Stale at) ->
+        Registry.incr m_stale_reads;
+        error_response Protocol.Stale_replica
+          (Printf.sprintf "view %s is at seq %d, read requires %d (waited %dms)"
+             name at min_seq wait_ms)
+      | Error (Ivm.Failed e) -> error_response Protocol.Server_error e)
     | Server_stats -> Protocol.Stats (Metrics.snapshot t.metrics)
     | Store_health -> Protocol.Stats (store_health t conn)
     | Metrics -> Protocol.Stats (registry_pairs ())
@@ -459,27 +563,58 @@ let handle_request t conn payload =
         error_response Protocol.Server_error
           ("internal error: " ^ Printexc.to_string e))
   in
-  let elapsed =
-    float_of_int (Cypher_obs.Clock.now_ns () - started_ns) /. 1e9
-  in
-  let timed_out = !timeout > 0. && elapsed > !timeout in
-  let response =
-    if timed_out then
-      error_response Protocol.Timeout
-        (Printf.sprintf "request exceeded its %.3fs time budget (took %.3fs)"
-           !timeout elapsed)
-    else response
-  in
-  let encoded = Protocol.encode_response response in
-  Protocol.write_frame conn.fd encoded;
-  let outcome =
-    if timed_out then `Timeout
-    else match response with Protocol.Error _ -> `Error | _ -> `Ok
-  in
-  Metrics.observe t.metrics ~elapsed
-    ~bytes_in:(String.length payload + 4)
-    ~bytes_out:(String.length encoded + 4)
-    ~outcome
+  finish_request t conn ~started_ns ~timeout:!timeout ~payload response
+
+(* Push mode: stream one Delta frame per view refresh until the client
+   sends any frame back (that frame is then handled as a normal request,
+   ending the subscription) or the peer/view goes away.  The opening
+   frame is the view's full current state ([init]); every later frame
+   carries one refresh's row deltas, in commit order. *)
+and serve_subscription t conn ~started_ns ~payload query =
+  match Ivm.subscribe t.views ~query with
+  | Error e ->
+    finish_request t conn ~started_ns ~timeout:0. ~payload
+      (error_response (classify e) e)
+  | Ok sub ->
+    let next_request = ref None in
+    let push f =
+      Protocol.write_frame conn.fd
+        (Protocol.encode_response (delta_response f))
+    in
+    let rec stream () =
+      if not t.stopping then
+        match Unix.select [ conn.fd ] [] [] 0. with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> stream ()
+        | [ _ ], _, _ -> (
+          (* the client spoke: end the stream, then serve that frame *)
+          match Protocol.read_frame ~max_frame:t.config.max_frame conn.fd with
+          | None -> ()
+          | Some p -> next_request := Some p)
+        | _ -> (
+          match Ivm.next_frame t.views sub ~timeout_s:0.1 with
+          | `Frame f ->
+            push f;
+            stream ()
+          | `Timeout -> stream ()
+          | `Closed ->
+            (* the view was dropped or this subscriber fell too far
+               behind: a typed end-of-stream, then back to request mode *)
+            Protocol.write_frame conn.fd
+              (Protocol.encode_response
+                 (error_response Protocol.Server_error "subscription closed")))
+    in
+    Fun.protect
+      ~finally:(fun () -> Ivm.unsubscribe t.views sub)
+      (fun () -> stream ());
+    let elapsed =
+      float_of_int (Cypher_obs.Clock.now_ns () - started_ns) /. 1e9
+    in
+    Metrics.observe t.metrics ~elapsed
+      ~bytes_in:(String.length payload + 4)
+      ~bytes_out:0 ~outcome:`Ok;
+    (match !next_request with
+    | Some p -> handle_request t conn p
+    | None -> ())
 
 (* Waits until [fd] is readable, in slices so shutdown is noticed; the
    answer also turns true on EOF (read_frame then reports it). *)
@@ -502,7 +637,7 @@ let serve_connection t fd =
       fd;
       session =
         Session.create ~schema:t.schema ~mode:t.mode
-          ~on_commit:(fun batch -> pending := batch)
+          ~on_commit:(fun c -> pending := c.Session.c_batch)
           (Store.snapshot t.store);
       pending;
       tx_depth = 0;
@@ -596,6 +731,7 @@ let start ?(config = default_config) ?(schema = Cypher_schema.Schema.empty)
           schema;
           mode;
           metrics = Metrics.create ();
+          views = Ivm.attach ~mode store;
           listen_fd = fd;
           bound_port;
           stopping = false;
@@ -625,6 +761,7 @@ let stop t =
     th
   in
   List.iter Thread.join threads;
+  Ivm.shutdown t.views;
   let checkpoint_result = Store.checkpoint t.store in
   Store.close t.store;
   checkpoint_result
@@ -649,6 +786,7 @@ let kill t =
     th
   in
   List.iter Thread.join threads;
+  Ivm.shutdown t.views;
   Store.close t.store
 
 let wait t = Option.iter Thread.join t.accept_thread

@@ -7,6 +7,13 @@ type logged = {
   lg_params : (string * Cypher_values.Value.t) list;
 }
 
+type commit = {
+  c_batch : logged list;
+  c_base : Graph.t;
+  c_graph : Graph.t;
+  c_delta : Graph.delta option;
+}
+
 type t = {
   mutable current : Graph.t;
   mutable snapshots : Graph.t list; (* innermost first *)
@@ -17,7 +24,7 @@ type t = {
   schema : Schema.t;
   mode : Cypher_engine.Engine.mode;
   cache : Cypher_engine.Engine.plan_cache;
-  on_commit : (logged list -> unit) option;
+  on_commit : (commit -> unit) option;
 }
 
 let create ?(schema = Schema.empty) ?(params = [])
@@ -58,9 +65,21 @@ let validate t g =
 
 let cache_stats t = Cypher_engine.Engine.cache_stats t.cache
 
-let emit t batch =
+(* One call per durable commit: the batch in execution order, plus the
+   graph span it covers.  The delta is computed here — once, over the
+   whole span — so nested transactions merged into the outer frame yield
+   exactly one coalesced delta set, and rolled-back inner effects (which
+   exist only in discarded graph values) never surface. *)
+let emit t ~base batch =
   match t.on_commit with
-  | Some f when batch <> [] -> f batch
+  | Some f when batch <> [] ->
+    f
+      {
+        c_batch = batch;
+        c_base = base;
+        c_graph = t.current;
+        c_delta = Graph.delta_between ~since:base t.current;
+      }
   | _ -> ()
 
 let run t text =
@@ -94,8 +113,9 @@ let run t text =
     else begin
       match validate t g with
       | Ok () ->
+        let base = t.current in
         t.current <- g;
-        if updated then emit t [ logged () ];
+        if updated then emit t ~base [ logged () ];
         Ok outcome.Cypher_engine.Engine.table
       | Error e -> Error (e ^ " (statement rejected)")
     end
@@ -113,7 +133,7 @@ let commit t =
     | Ok () ->
       t.snapshots <- [];
       t.pending <- [];
-      emit t (List.rev batch);
+      emit t ~base:outermost (List.rev batch);
       Ok ()
     | Error e ->
       t.current <- outermost;

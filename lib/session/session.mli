@@ -24,12 +24,29 @@ type logged = {
     [on_commit] hook — the bridge to the durable storage layer's
     write-ahead log. *)
 
+type commit = {
+  c_batch : logged list;
+      (** the batch's update statements, in execution order *)
+  c_base : Graph.t;  (** the committed state the batch started from *)
+  c_graph : Graph.t;  (** the committed state the batch produced *)
+  c_delta : Graph.delta option;
+      (** the structured entity delta between [c_base] and [c_graph]
+          (created/deleted nodes and rels, property and label changes),
+          computed once per durable commit so nested transactions merged
+          into their enclosing frame yield exactly one coalesced delta
+          set; [None] when the graph journal was truncated across the
+          span (consumers fall back to full recomputation) *)
+}
+(** What one durable commit carries: the logged statements for the
+    write-ahead log, and the graph span (with its delta) for incremental
+    consumers such as view maintenance. *)
+
 val create :
   ?schema:Cypher_schema.Schema.t ->
   ?params:(string * Cypher_values.Value.t) list ->
   ?mode:Cypher_engine.Engine.mode ->
   ?plan_cache_capacity:int ->
-  ?on_commit:(logged list -> unit) ->
+  ?on_commit:(commit -> unit) ->
   Graph.t ->
   t
 (** Every session owns a query-plan cache (default capacity 128):
@@ -37,13 +54,13 @@ val create :
     unchanged — planning.  Updates bump the graph version, so the next
     run of a cached query replans against fresh statistics.
 
-    [on_commit] makes the session durable: it is called with the update
-    statements of a batch exactly when their effects become permanent —
-    at the outermost {!commit} (in execution order), or immediately for
-    an auto-committed update outside any transaction.  Statements of a
-    rolled-back (or schema-rejected) transaction are never reported;
-    read-only statements are never reported.  It is not called with an
-    empty batch.
+    [on_commit] makes the session durable: it is called with a {!commit}
+    record exactly when a batch's effects become permanent — at the
+    outermost {!commit} (statements in execution order), or immediately
+    for an auto-committed update outside any transaction.  Statements of
+    a rolled-back (or schema-rejected) transaction are never reported
+    and leave no trace in the delta; read-only statements are never
+    reported.  It is not called with an empty batch.
 
     The hook decides the durability story, not the session: the store's
     local session appends and fsyncs inside the hook, while the network

@@ -75,6 +75,14 @@ type t = {
   repl_tail : (int * string) Queue.t;
   mutable repl_floor : int;
   mutable repl_retention : int;  (* max buffered records *)
+  (* Publication hook: called with (graph, last_seq) after each flush
+     that published a new committed version — and after a replica
+     resync — always {e outside} [m], on the flush leader's thread.
+     This is the feed for incremental view maintenance: on a primary it
+     fires once per group flush, on a replica once per applied
+     replication batch (both go through [flush_group]).  Exceptions are
+     swallowed: a consumer bug must not poison commits. *)
+  mutable on_publish : (Graph.t -> int -> unit) option;
 }
 
 let snapshot_file dir = Filename.concat dir "snapshot.bin"
@@ -146,6 +154,7 @@ let enqueue_commit t ~graph batch =
    member, then publication of the newest version.  Runs without [m]
    held; returns with it re-taken. *)
 let flush_group t group =
+  let published = ref None in
   let stmts =
     List.concat_map
       (fun p ->
@@ -177,7 +186,9 @@ let flush_group t group =
     (* versions are linear, so the group's newest graph carries every
        member's effects; publishing it publishes them all in order *)
     (match List.rev group with
-    | newest :: _ -> t.committed <- newest.p_graph
+    | newest :: _ ->
+      t.committed <- newest.p_graph;
+      published := Some newest.p_graph
     | [] -> ());
     Registry.incr m_group_flushes;
     Registry.add m_group_members (List.length group)
@@ -191,7 +202,18 @@ let flush_group t group =
   let top = List.fold_left (fun acc p -> max acc p.p_ticket) t.flushed group in
   t.flushed <- top;
   t.leader <- false;
-  Condition.broadcast t.flushed_cv
+  Condition.broadcast t.flushed_cv;
+  (* Notify the publication hook outside [m] (flush_group's contract is
+     to return with [m] held, so re-take it).  The waiters woken above
+     do not depend on the hook: view refresh is asynchronous to commit
+     acknowledgement. *)
+  match (t.on_publish, !published) with
+  | Some f, Some g ->
+    let seq = t.last_seq in
+    Mutex.unlock t.m;
+    (try f g seq with _ -> ());
+    Mutex.lock t.m
+  | _ -> ()
 
 (* Waits until [ticket] is durable (leading a flush if no leader is
    active), then reports its outcome.  Must be called after releasing
@@ -309,9 +331,9 @@ let open_ ?schema ?mode dir =
      commit queue (append + fsync + publish) *)
   let writer = Wal.open_writer ~next_seq wal in
   let store = ref None in
-  let on_commit batch =
+  let on_commit commit =
     match !store with
-    | Some t -> local_commit t batch
+    | Some t -> local_commit t commit.Session.c_batch
     | None -> ()
   in
   let session = Session.create ?schema ?mode ~on_commit g in
@@ -339,6 +361,7 @@ let open_ ?schema ?mode dir =
       repl_tail = Queue.create ();
       repl_floor = next_seq;
       repl_retention = 16_384;
+      on_publish = None;
     }
   in
   store := Some t;
@@ -522,7 +545,20 @@ let reset_from_snapshot t bytes =
         Mutex.unlock t.m;
         Session.set_graph t.session g;
         t.checkpoint_ns <- Some (Clock.now_ns ());
+        (match t.on_publish with
+        | Some f -> ( try f g seq with _ -> ())
+        | None -> ());
         Ok ()
     end
+
+let set_on_publish t f =
+  Mutex.lock t.m;
+  t.on_publish <- Some f;
+  Mutex.unlock t.m
+
+let clear_on_publish t =
+  Mutex.lock t.m;
+  t.on_publish <- None;
+  Mutex.unlock t.m
 
 let close t = Wal.close_writer t.writer

@@ -219,6 +219,25 @@ val reset_from_snapshot : t -> string -> (unit, string) result
     Equivalent to wiping the directory and re-opening, without
     invalidating the handle other threads hold. *)
 
+(** {1 Publication hook}
+
+    The feed for incremental view maintenance ({!module:Cypher_ivm}): a
+    single consumer notified of every newly published committed
+    version. *)
+
+val set_on_publish : t -> (Graph.t -> int -> unit) -> unit
+(** Registers the publication hook, replacing any previous one.  It is
+    called with [(graph, last_seq)] after every flush that published a
+    new committed version — on a primary once per group flush, on a
+    replica once per applied replication batch and after a snapshot
+    resync — always outside the store's internal locks, on the flush
+    leader's thread.  The hook must be fast and must not commit through
+    this store on the calling thread; exceptions are swallowed.
+    Consumers needing asynchrony (view refresh does) should only record
+    the target and wake their own worker. *)
+
+val clear_on_publish : t -> unit
+
 val close : t -> unit
 (** Closes the WAL file descriptor.  Deliberately does {e not}
     checkpoint: close must be equivalent to a crash, so that the

@@ -16,6 +16,7 @@ let () =
       ("server", Test_server.suite);
       ("replication", Test_replication.suite);
       ("mvcc", Test_mvcc.suite);
+      ("ivm", Test_ivm.suite);
       ("obs", Test_obs.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("naive-oracle", Test_naive_oracle.suite);

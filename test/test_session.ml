@@ -91,6 +91,91 @@ let params_and_reads () =
     (table [ "x" ] [ [ ("x", vint 1) ]; [ ("x", vint 2) ]; [ ("x", vint 3) ] ])
     (run_ok sess "UNWIND range(1, $n) AS x RETURN x")
 
+(* Nested transactions merged into the outer frame must report exactly
+   one commit whose delta is coalesced: each touched entity classified
+   once, no duplicates from inner+outer frames, nothing from rolled-back
+   inner frames. *)
+let coalesced_commit_delta () =
+  let commits = ref [] in
+  let on_commit c = commits := c :: !commits in
+  let sess = Session.create ~on_commit Graph.empty in
+  ignore (run_ok sess "CREATE (:P {k: 1, v: 0})");
+  Alcotest.(check int) "auto-commit reported" 1 (List.length !commits);
+  commits := [];
+  (* inner commit + outer commit: one report, three statements, the same
+     node touched in both frames classified once *)
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P {k: 2, v: 0})");
+  Session.begin_tx sess;
+  ignore (run_ok sess "MATCH (p:P {k: 1}) SET p.v = 1");
+  ignore (run_ok sess "MATCH (p:P {k: 2}) SET p.v = 1");
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (run_ok sess "MATCH (p:P {k: 1}) SET p.v = 2");
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  (match !commits with
+  | [ c ] ->
+    Alcotest.(check int) "merged batch in order" 4
+      (List.length c.Session.c_batch);
+    Alcotest.(check string) "first statement first"
+      "CREATE (:P {k: 2, v: 0})"
+      (List.nth c.Session.c_batch 0).Session.lg_text;
+    (match c.Session.c_delta with
+    | None -> Alcotest.fail "expected a delta"
+    | Some d ->
+      (* node k=2: created (and updated — still just "added"); node k=1:
+         updated twice across two frames — exactly one "changed" entry *)
+      Alcotest.(check int) "one added node" 1
+        (List.length d.Graph.d_nodes_added);
+      Alcotest.(check int) "one changed node, not two" 1
+        (List.length d.Graph.d_nodes_changed);
+      Alcotest.(check int) "no removed nodes" 0
+        (List.length d.Graph.d_nodes_removed);
+      Alcotest.(check int) "no rels" 0
+        (List.length d.Graph.d_rels_added
+        + List.length d.Graph.d_rels_changed
+        + List.length d.Graph.d_rels_removed))
+  | l -> Alcotest.failf "expected exactly one commit, got %d" (List.length l));
+  commits := [];
+  (* a rolled-back inner frame leaves no trace in the outer delta *)
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P {k: 3, v: 0})");
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P {k: 99, v: 0})");
+  ignore (run_ok sess "MATCH (p:P {k: 1}) SET p.v = 9");
+  (match Session.rollback sess with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  (match !commits with
+  | [ c ] ->
+    Alcotest.(check int) "only the surviving statement" 1
+      (List.length c.Session.c_batch);
+    (match c.Session.c_delta with
+    | None -> Alcotest.fail "expected a delta"
+    | Some d ->
+      Alcotest.(check int) "only k=3 added" 1 (List.length d.Graph.d_nodes_added);
+      Alcotest.(check int) "rolled-back SET invisible" 0
+        (List.length d.Graph.d_nodes_changed))
+  | l -> Alcotest.failf "expected exactly one commit, got %d" (List.length l));
+  commits := [];
+  (* a fully rolled-back outer transaction reports nothing *)
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P {k: 4, v: 0})");
+  (match Session.rollback sess with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "rollback reports no commit" 0 (List.length !commits);
+  (* base/graph span agrees with the delta *)
+  Session.begin_tx sess;
+  ignore (run_ok sess "CREATE (:P {k: 5, v: 0})");
+  (match Session.commit sess with Ok () -> () | Error e -> Alcotest.fail e);
+  match !commits with
+  | [ c ] ->
+    Alcotest.(check int) "base node count"
+      (Graph.node_count c.Session.c_graph - 1)
+      (Graph.node_count c.Session.c_base);
+    Alcotest.(check bool) "delta recomputable from the span" true
+      (match Graph.delta_between ~since:c.Session.c_base c.Session.c_graph with
+      | Some d -> List.length d.Graph.d_nodes_added = 1
+      | None -> false)
+  | l -> Alcotest.failf "expected exactly one commit, got %d" (List.length l)
+
 let tx_errors () =
   let sess = Session.create Graph.empty in
   (match Session.commit sess with
@@ -109,5 +194,6 @@ let suite =
     tc "schema enforced per statement outside tx" schema_on_autocommit;
     tc "schema deferred to commit inside tx" schema_deferred_to_commit;
     tc "session parameters" params_and_reads;
+    tc "nested commits coalesce into one delta" coalesced_commit_delta;
     tc "commit/rollback without a transaction fail" tx_errors;
   ]
