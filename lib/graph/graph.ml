@@ -61,9 +61,14 @@ type t = {
      unreachable from any surviving version.  The journal is capped:
      appending past [journal_cap] starts a fresh epoch, after which
      deltas spanning the reset report [None] (callers fall back to full
-     recomputation). *)
+     recomputation).  [chg_epoch] counts resets along the lineage:
+     without it, a [since] with an empty journal (the pristine graph)
+     would be physically indistinguishable from the [[]] tail reached
+     after walking a post-reset journal, and a delta spanning the reset
+     would silently drop every pre-reset entity. *)
   chg : int list;
   chg_len : int;
+  chg_epoch : int;
 }
 
 (* --- db-hit accounting ----------------------------------------------- *)
@@ -129,6 +134,7 @@ let empty =
     version = 0;
     chg = [];
     chg_len = 0;
+    chg_epoch = 0;
   }
 
 (* --- change journal --------------------------------------------------- *)
@@ -136,7 +142,8 @@ let empty =
 let journal_cap = 1 lsl 16
 
 let journal e g =
-  if g.chg_len >= journal_cap then { g with chg = [ e ]; chg_len = 1 }
+  if g.chg_len >= journal_cap then
+    { g with chg = [ e ]; chg_len = 1; chg_epoch = g.chg_epoch + 1 }
   else { g with chg = e :: g.chg; chg_len = g.chg_len + 1 }
 
 let jnode n g = journal (Ids.node_to_int n lsl 1) g
@@ -681,6 +688,12 @@ let delta_size d =
 
 let delta_between ~since g =
   if since == g then Some empty_delta
+  else if since.chg_epoch <> g.chg_epoch then
+    (* a journal reset lies between the two versions (or they are from
+       unrelated lineages that reset a different number of times) — the
+       walked tail could alias [[]] across the reset, so refuse rather
+       than report a delta missing every pre-reset entity *)
+    None
   else
     let steps = g.chg_len - since.chg_len in
     if steps < 0 then None

@@ -1078,7 +1078,35 @@ let publish_refresh t view seq r =
 
 let refresh_one t ~old_g ~new_g ~seq view =
   let t0 = Cypher_obs.Clock.now_ns () in
-  let r = compute_refresh t ~old_g ~new_g view in
+  let r =
+    (* [compute_refresh] aims never to raise, but its internal
+       consistency checks (e.g. a negative row multiplicity in
+       [visible_deltas]) surface as exceptions.  An escape here would
+       kill the refresh thread with [t.busy] stuck, wedging every view:
+       degrade this view to engine re-execution instead.  Its bag may be
+       inconsistent at this point, so emit no delta frames; the next
+       fallback refresh diffs the engine result against [v_out] and
+       sends subscribers the correcting frames. *)
+    match compute_refresh t ~old_g ~new_g view with
+    | r -> r
+    | exception e ->
+      let msg = Printexc.to_string e in
+      (* a DISTINCT view's internal bag holds raw multiplicities;
+         collapse it so the fallback diffs against what subscribers saw *)
+      (match view.v_state with
+      | Incremental st when st.plan.p_distinct ->
+        view.v_out <- Vlmap.map (fun _ -> 1) view.v_out
+      | _ -> ());
+      view.v_state <- Fallback msg;
+      {
+        r_out = view.v_out;
+        r_table = None;
+        r_added = [];
+        r_removed = [];
+        r_incremental = false;
+        r_error = Some msg;
+      }
+  in
   Registry.observe_us m_refresh_us
     ((Cypher_obs.Clock.now_ns () - t0) / 1000);
   publish_refresh t view seq r
@@ -1101,7 +1129,10 @@ let refresh_loop t =
       t.target <- None;
       t.busy <- true;
       Mutex.unlock t.mm;
-      run_cycle t g seq;
+      (* [refresh_one] is exception-proof, so [run_cycle] cannot raise in
+         practice — but if it ever did, the thread must survive with
+         [busy] reset, or quiesce/create_view/subscribe block forever *)
+      (try run_cycle t g seq with _ -> ());
       Mutex.lock t.mm;
       t.last <- g;
       t.last_seq <- max t.last_seq seq;
@@ -1283,7 +1314,13 @@ let create_view t ~name ~query ~auto =
                 v_auto = auto;
               }
             in
-            (* catch up if the frontier advanced while we were building *)
+            (* Catch up if the frontier advanced while we were building,
+               then register.  Registration must happen in the same
+               critical section that verifies the view's base equals the
+               frontier: unlocking in between would let the refresh loop
+               run a full cycle (snapshotting the view table without this
+               view) and advance [t.last], after which the next
+               incremental refresh would skip the missed span. *)
             let rec catch_up () =
               Mutex.lock t.mm;
               if t.busy && not t.stopping then begin
@@ -1299,10 +1336,19 @@ let create_view t ~name ~query ~auto =
                 seq0 := seq1;
                 catch_up ()
               end
-              else Mutex.unlock t.mm
+              else begin
+                (* no cycle in flight and the view reflects [t.last]
+                   (or the manager is stopping): registering here, before
+                   unlocking, means no refresh can start without it *)
+                t.creating <- List.filter (fun n -> n <> name) t.creating;
+                Hashtbl.replace t.views name view;
+                Registry.gauge_set m_views (Hashtbl.length t.views);
+                Condition.broadcast t.cv;
+                Mutex.unlock t.mm
+              end
             in
             catch_up ();
-            finish (Ok view)))
+            Ok view.v_seq))
     end
   end
 
@@ -1392,9 +1438,12 @@ let read ?(min_seq = 0) ?(wait_ms = 0) t name =
         let res =
           match v.v_error with
           | Some e -> Error (Failed e)
-          | None ->
-            let tbl = build_table v in
-            Ok (tbl, v.v_seq)
+          | None -> (
+            (* table construction must not escape with [t.mm] held — a
+               raise here would deadlock every manager entry point *)
+            match build_table v with
+            | tbl -> Ok (tbl, v.v_seq)
+            | exception e -> Error (Failed (Printexc.to_string e)))
         in
         Mutex.unlock t.mm;
         res

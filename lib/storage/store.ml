@@ -201,19 +201,25 @@ let flush_group t group =
     t.poisoned <- Some e);
   let top = List.fold_left (fun acc p -> max acc p.p_ticket) t.flushed group in
   t.flushed <- top;
-  t.leader <- false;
   Condition.broadcast t.flushed_cv;
-  (* Notify the publication hook outside [m] (flush_group's contract is
-     to return with [m] held, so re-take it).  The waiters woken above
-     do not depend on the hook: view refresh is asynchronous to commit
-     acknowledgement. *)
-  match (t.on_publish, !published) with
+  (* Notify the publication hook outside [m] but while still holding
+     flush leadership: releasing leadership first would let the next
+     leader flush and deliver its hook call ahead of this one, so
+     consumers (view refresh, replication fan-out) could observe
+     publications out of commit order.  The waiters woken above do not
+     depend on the hook — they only check [t.flushed] — so commit
+     acknowledgement is not delayed; only the next group's fsync
+     serializes behind the hook, which must therefore stay cheap
+     (IVM's notify just swaps a target and signals). *)
+  (match (t.on_publish, !published) with
   | Some f, Some g ->
     let seq = t.last_seq in
     Mutex.unlock t.m;
     (try f g seq with _ -> ());
     Mutex.lock t.m
-  | _ -> ()
+  | _ -> ());
+  t.leader <- false;
+  Condition.broadcast t.flushed_cv
 
 (* Waits until [ticket] is durable (leading a flush if no leader is
    active), then reports its outcome.  Must be called after releasing

@@ -166,6 +166,35 @@ let incremental_counts () =
   Alcotest.(check int) "re-insert is not a new node" (Graph.node_count g)
     (Graph.node_count g2)
 
+(* Regression: a delta spanning a journal reset must be refused, even
+   when [since] is the pristine empty graph — whose empty journal is
+   physically equal to the [[]] tail left after walking a post-reset
+   journal.  Without the epoch counter this returned a delta holding
+   only the post-reset entities, silently dropping everything before
+   the cap (e.g. a bulk load after registering a view on a fresh
+   store). *)
+let journal_reset_spanning_delta () =
+  let cap = 1 lsl 16 in
+  let g = ref Graph.empty in
+  for _ = 1 to cap + 8 do
+    let g', _ = Graph.add_node ~labels:[ "N" ] !g in
+    g := g'
+  done;
+  (match Graph.delta_between ~since:Graph.empty !g with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "delta across the journal reset not refused (%d adds)"
+      (List.length d.Graph.d_nodes_added));
+  (* deltas within the post-reset epoch still work *)
+  let base = !g in
+  let g2, n = Graph.add_node ~labels:[ "M" ] base in
+  match Graph.delta_between ~since:base g2 with
+  | Some d ->
+    Alcotest.(check bool) "post-reset delta sees the new node" true
+      (d.Graph.d_nodes_added = [ n ]
+      && Graph.delta_size d = 1)
+  | None -> Alcotest.fail "same-epoch delta refused"
+
 let stats () =
   let g = Cypher_gen.Paper_graphs.academic () in
   let s = Stats.collect g in
@@ -191,5 +220,6 @@ let suite =
     tc "identity-preserving insertion" insert_preserves_identity;
     tc "union remaps identifiers" union_remaps;
     tc "incremental cardinalities match enumeration" incremental_counts;
+    tc "delta across a journal reset is refused" journal_reset_spanning_delta;
     tc "statistics" stats;
   ]
