@@ -595,7 +595,8 @@ let b13_collect () =
     (Wal.append w
        (List.init b13_replay_stmts (fun i ->
             ( "CREATE (:B {v: $v})",
-              [ ("v", Cypher_values.Value.Int i) ] ))));
+              [ ("v", Cypher_values.Value.Int i) ],
+              0 ))));
   Wal.close_writer w;
   let records =
     match Wal.scan replay_wal with
@@ -611,7 +612,7 @@ let b13_collect () =
           | Ok g -> g
           | Error e -> failwith e);
       t "wal-append-fsync" (fun () ->
-          Wal.append aw [ ("CREATE (:B {v: 1})", []) ]);
+          Wal.append aw [ ("CREATE (:B {v: 1})", [], 0) ]);
       t "wal-replay-100" (fun () ->
           match Wal.replay Graph.empty records with
           | Ok g -> g
@@ -1919,6 +1920,145 @@ let b19 () =
   close_out oc;
   Printf.printf "(B19 results written to %s)\n" path
 
+(* ------------------------------------------------------------------ *)
+(* B20: the price of distributed tracing and workload introspection   *)
+(* ------------------------------------------------------------------ *)
+
+module Obs_qstats = Cypher_obs.Qstats
+
+(* PR-9 adds trace-context propagation (ids minted per request and
+   shipped as options), per-fingerprint statement statistics, and
+   commit-lineage spans.  This group prices the always-on parts on the
+   B14 server read workload — an indexed point lookup over TCP against
+   a warmed plan cache — in three configurations:
+
+   - off: statement statistics disabled and the client sending no trace
+     context — the pre-tracing floor;
+   - default: statistics on and every request carrying a trace id, no
+     sink attached — the production default.  Budget: <5% over off;
+   - sink: a null trace sink additionally attached, so every server
+     span is serialised with its trace ids — reported for context.
+
+   Configurations are interleaved round-robin and the best round kept,
+   like B15: the deltas are fractions of a microsecond on a localhost
+   round trip of a dozen microseconds, so each timed window starts from
+   a level GC state and the minimum over many short rounds filters the
+   machine's contention spikes. *)
+
+let b20_rounds = 25
+let b20_requests = 1000
+
+let b20_time_round client params n =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    match Client.query ~params client b14_query with
+    | Ok _ -> ()
+    | Error e -> failwith ("B20: " ^ Client.error_message e)
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n
+
+let b20 () =
+  let g = Generate.social ~seed:13 ~people:300 ~avg_friends:8 in
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cypher_bench_b20_%d.db" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Array.to_list (Sys.readdir dir));
+  Snapshot.save g (Store.snapshot_file dir);
+  let store =
+    match Store.open_ dir with Ok s -> s | Error e -> failwith e
+  in
+  let server =
+    match
+      Server.start ~config:{ Server.default_config with Server.port = 0 } store
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let client =
+    match
+      Client.connect ~timeout:30. ~host:"127.0.0.1" ~port:(Server.port server) ()
+    with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let params = [ ("name", Cypher_values.Value.String "Nils3") ] in
+  (* warm the connection, the server's plan cache and the stats table *)
+  ignore (b20_time_round client params 200);
+  let null_sink = Some (fun (_ : string) -> ()) in
+  let off () =
+    Obs_qstats.set_enabled false;
+    Client.set_trace_propagation false
+  in
+  let default () =
+    Obs_qstats.set_enabled true;
+    Client.set_trace_propagation true
+  in
+  let sink () =
+    default ();
+    Obs_trace.set_sink null_sink
+  in
+  let unsink () = Obs_trace.set_sink None in
+  let best_off = ref infinity
+  and best_on = ref infinity
+  and best_sink = ref infinity in
+  let round best setup teardown =
+    setup ();
+    (* level the GC field: the sink configuration allocates heavily and
+       would otherwise tax whichever configuration is timed next *)
+    Gc.full_major ();
+    let t = b20_time_round client params b20_requests in
+    teardown ();
+    if t < !best then best := t
+  in
+  for _ = 1 to b20_rounds do
+    round best_on default ignore;
+    round best_off off default;
+    round best_sink sink unsink
+  done;
+  Client.close client;
+  (match Server.stop server with Ok () -> () | Error e -> failwith e);
+  let off_us = !best_off *. 1e6
+  and on_us = !best_on *. 1e6
+  and sink_us = !best_sink *. 1e6 in
+  let overhead_pct = (on_us -. off_us) /. off_us *. 100. in
+  let sink_pct = (sink_us -. off_us) /. off_us *. 100. in
+  Printf.printf "\nB20 tracing + statement-statistics overhead (server read path)\n";
+  Printf.printf "  tracing + stats off    %10.1f us/req\n" off_us;
+  Printf.printf "  default (no sink)      %10.1f us/req   %+6.2f%%\n" on_us
+    overhead_pct;
+  Printf.printf "  null trace sink        %10.1f us/req   %+6.2f%%\n" sink_us
+    sink_pct;
+  Printf.printf "  no-sink budget: <5%% — %s\n"
+    (if overhead_pct < 5. then "within budget" else "OVER BUDGET");
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr9.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 9,\n";
+  out
+    "  \"experiment\": \"B20 distributed tracing and workload \
+     introspection overhead on the server read path\",\n";
+  out
+    "  \"workload\": \"indexed point lookup over TCP, social graph (300 \
+     people), warmed plan cache; best of %d interleaved rounds of %d \
+     requests per configuration\",\n"
+    b20_rounds b20_requests;
+  out "  \"off_us_per_req\": %.1f,\n" off_us;
+  out "  \"default_no_sink_us_per_req\": %.1f,\n" on_us;
+  out "  \"null_sink_us_per_req\": %.1f,\n" sink_us;
+  out "  \"no_sink_overhead_pct\": %.2f,\n" overhead_pct;
+  out "  \"sink_overhead_pct\": %.2f,\n" sink_pct;
+  out "  \"no_sink_budget_pct\": 5.0,\n";
+  out "  \"within_budget\": %b\n" (overhead_pct < 5.);
+  out "}\n";
+  close_out oc;
+  Printf.printf "(B20 results written to %s)\n" path
+
 let groups =
   [
     ( "tables",
@@ -1930,7 +2070,7 @@ let groups =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
-    ("b17", b17); ("b18", b18); ("b19", b19);
+    ("b17", b17); ("b18", b18); ("b19", b19); ("b20", b20);
   ]
 
 let () =

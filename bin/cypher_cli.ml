@@ -64,6 +64,13 @@
                          snapshot age, plan-cache counters)
      :server-stats       (--connect only) server metrics: connections,
                          requests, errors, timeouts, latency, bytes
+     :queries            per-fingerprint statement statistics (calls, rows,
+                         db hits, p50/p95/max latency, last trace id) —
+                         pg_stat_statements-style; with --connect the
+                         server's, including on replicas
+     :cluster            (--connect only) one-screen health summary: role,
+                         replication lag, view freshness, group-commit
+                         batching, subscriptions, connections
      :metrics            the process-wide metrics registry (engine, storage
                          and server series); with --connect, the server's
      :quit               exit *)
@@ -542,6 +549,63 @@ let handle_line st line =
       | Error e -> Printf.printf "%s\n" (Client.error_message e)));
     Some st
   end
+  else if line = ":queries" then begin
+    (match st.client with
+    | Some client -> (
+      match Client.query_stats client with
+      | Ok { Client.columns; rows; _ } ->
+        if rows = [] then print_endline "(no statements recorded yet)"
+        else print_rows columns rows
+      | Error e -> Printf.printf "%s\n" (Client.error_message e))
+    | None ->
+      let module Qstats = Cypher_obs.Qstats in
+      if not (Qstats.enabled ()) then begin
+        (* arm collection on first use; stats accumulate from here on *)
+        Qstats.set_enabled true;
+        print_endline "(statement statistics enabled; run some queries first)"
+      end
+      else begin
+        match Qstats.snapshot () with
+        | [] -> print_endline "(no statements recorded yet)"
+        | stats ->
+          let columns =
+            [
+              "fingerprint"; "query"; "calls"; "errors"; "rows"; "total_ms";
+              "p50_us"; "p95_us"; "max_us";
+            ]
+          in
+          print_rows columns
+            (List.map
+               (fun (s : Qstats.stat) ->
+                 Cypher_values.Value.
+                   [
+                     String (Cypher_obs.Trace.id_to_hex s.Qstats.s_hash);
+                     String s.Qstats.s_query;
+                     Int s.Qstats.s_calls;
+                     Int s.Qstats.s_errors;
+                     Int s.Qstats.s_rows;
+                     Float (float_of_int s.Qstats.s_total_us /. 1e3);
+                     Int s.Qstats.s_p50_us;
+                     Int s.Qstats.s_p95_us;
+                     Int s.Qstats.s_max_us;
+                   ])
+               stats)
+      end);
+    Some st
+  end
+  else if line = ":cluster" then begin
+    (match st.client with
+    | Some client -> (
+      match Client.cluster_health client with
+      | Ok pairs ->
+        print_endline "cluster health:";
+        print_stat_pairs pairs
+      | Error e -> Printf.printf "%s\n" (Client.error_message e))
+    | None ->
+      print_endline
+        ":cluster requires a server connection (--connect HOST:PORT)");
+    Some st
+  end
   else if line = ":export" then begin
     print_endline (Export.to_cypher (current_graph st));
     Some st
@@ -630,7 +694,7 @@ let repl st =
     "cypher shell — type Cypher, or :graph <name>, :explain <q>, :mode \
      ref|plan, :stats, :export, :dot, :load <file>, :schema <ddl>, \
      :constraints, :procedures, :functions, :materialize <name> <q>, :views, \
-     :view <name>, :subscribe <q>, :quit\n";
+     :view <name>, :subscribe <q>, :queries, :cluster, :quit\n";
   let rec loop st =
     print_string "cypher> ";
     match read_line () with

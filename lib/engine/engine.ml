@@ -9,6 +9,7 @@ module Plan = Cypher_planner.Plan
 module Registry = Cypher_obs.Registry
 module Trace = Cypher_obs.Trace
 module Slowlog = Cypher_obs.Slowlog
+module Qstats = Cypher_obs.Qstats
 
 (* force the algo.* procedures to link with the engine *)
 let () = Cypher_procs.Procs.ensure ()
@@ -42,17 +43,20 @@ type outcome = { graph : Graph.t; table : Table.t }
 let mode_name = function Planned -> "planned" | Reference -> "reference"
 
 (* One observation per top-level engine call: mode and latency series,
-   rows produced, and — when armed — the slow-query log with its
-   per-span breakdown.  The public entry points ({!query_e},
-   {!query_cached}) wrap exactly once; everything they call internally
-   goes through unobserved helpers, so nothing double-counts. *)
-let observe_query ~mode ~text f =
+   rows produced, per-fingerprint workload statistics, and — when armed
+   — the slow-query log with its per-span breakdown.  The public entry
+   points ({!query_e}, {!query_cached}) wrap exactly once; everything
+   they call internally goes through unobserved helpers, so nothing
+   double-counts.  [?cache_hit] is a cell the caller flips when the
+   query resolved through the plan cache. *)
+let observe_query ~mode ~text ?(cache_hit = ref false) f =
   Registry.incr
     (match mode with
     | Planned -> m_queries_planned
     | Reference -> m_queries_reference);
   let slow = Slowlog.armed () in
   if slow then Trace.begin_collect ();
+  let hits0 = Graph.db_hits () in
   let t0 = Trace.now_us () in
   let result =
     match Trace.with_span "query" f with
@@ -73,8 +77,19 @@ let observe_query ~mode ~text f =
   (match result with
   | Ok _ -> Registry.add m_rows_produced rows
   | Error _ -> Registry.incr m_query_errors);
+  (* db hits are counted only while a profiled run has the counter on;
+     the cumulative delta is 0 for ordinary runs and approximate when
+     profiled runs overlap on other threads. *)
+  let db_hits = max 0 (Graph.db_hits () - hits0) in
+  let trace = Trace.current_trace_id () in
+  if Qstats.enabled () then
+    Qstats.observe ~text ~elapsed_us ~rows ~db_hits ~cache_hit:!cache_hit
+      ~error:(Result.is_error result) ~trace;
   if slow then
-    Slowlog.note ~query:text ~mode:(mode_name mode) ~elapsed_us ~rows ~spans;
+    Slowlog.note ~trace_id:trace
+      ~fingerprint:(Qstats.fingerprint_hash text)
+      ~conn:(Slowlog.current_conn ())
+      ~query:text ~mode:(mode_name mode) ~elapsed_us ~rows ~spans ();
   result
 
 (* Clauses executed by the reference implementation between plan
@@ -658,7 +673,8 @@ let run_cached_entry cache config g entry =
   else run_ast config Planned g entry.ce_ast
 
 let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
-  observe_query ~mode ~text @@ fun () ->
+  let cache_hit = ref false in
+  observe_query ~mode ~text ~cache_hit @@ fun () ->
   let cacheable_config =
     mode = Planned && config.Config.morphism = Config.Edge_isomorphism
   in
@@ -671,6 +687,7 @@ let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
     let key = Plan_cache.key ~text ~params in
     match Plan_cache.find cache.entries key with
     | Some entry ->
+      cache_hit := true;
       Result.map_error error_message (run_cached_entry cache config g entry)
     | None -> (
       (* Miss: parse and scope-check once.  Index DDL and EXPLAIN/PROFILE

@@ -798,6 +798,9 @@ type frame = {
   f_init : bool;  (* the subscription's opening full-state frame *)
   f_added : (Value.t list * int) list;  (* row (sorted-column order), mult *)
   f_removed : (Value.t list * int) list;
+  f_trace : int;
+      (* trace id of the write whose refresh produced the frame; 0 for
+         init frames and untraced writes *)
 }
 
 type subscription = {
@@ -814,7 +817,8 @@ type t = {
   mutable creating : string list;
   mutable subs : subscription list;
   mutable next_sub : int;
-  mutable target : (Graph.t * int) option;  (* newest published, unrefreshed *)
+  mutable target : (Graph.t * int * int) option;
+      (* newest published, unrefreshed: graph, seq, publishing trace id *)
   mutable last : Graph.t;  (* the frontier every registered view reflects *)
   mutable last_seq : int;
   mutable busy : bool;  (* a refresh cycle is in flight *)
@@ -1033,7 +1037,7 @@ let compute_refresh t ~old_g ~new_g view =
 
 (* Publishes a computed refresh under the manager mutex: swaps the
    result, stamps the seq, queues subscriber frames. *)
-let publish_refresh t view seq r =
+let publish_refresh t view seq ~trace r =
   Mutex.lock t.mm;
   view.v_out <- r.r_out;
   (match r.r_table with
@@ -1061,6 +1065,7 @@ let publish_refresh t view seq r =
         f_init = false;
         f_added = r.r_added;
         f_removed = r.r_removed;
+        f_trace = trace;
       }
     in
     List.iter
@@ -1076,7 +1081,7 @@ let publish_refresh t view seq r =
   Condition.broadcast t.cv;
   Mutex.unlock t.mm
 
-let refresh_one t ~old_g ~new_g ~seq view =
+let refresh_one t ~old_g ~new_g ~seq ?(trace = 0) view =
   let t0 = Cypher_obs.Clock.now_ns () in
   let r =
     (* [compute_refresh] aims never to raise, but its internal
@@ -1107,32 +1112,44 @@ let refresh_one t ~old_g ~new_g ~seq view =
         r_error = Some msg;
       }
   in
-  Registry.observe_us m_refresh_us
-    ((Cypher_obs.Clock.now_ns () - t0) / 1000);
-  publish_refresh t view seq r
+  let dur_us = (Cypher_obs.Clock.now_ns () - t0) / 1000 in
+  Registry.observe_us m_refresh_us dur_us;
+  (* lineage: the refresh belongs to the trace of the write that
+     published the version it consumed *)
+  if trace <> 0 then
+    Cypher_obs.Trace.note
+      ~ctx:{ Cypher_obs.Trace.trace_id = trace; parent_span = 0 }
+      ~attrs:
+        [
+          ("view", view.v_name);
+          ("seq", string_of_int seq);
+          ("incremental", if r.r_incremental then "true" else "false");
+        ]
+      "view_refresh" dur_us;
+  publish_refresh t view seq ~trace r
 
 (* One refresh cycle: drain the newest published version and bring every
    registered view to it. *)
-let run_cycle t g seq =
+let run_cycle t g seq trace =
   Mutex.lock t.mm;
   let old_g = t.last in
   let views = Hashtbl.fold (fun _ v acc -> v :: acc) t.views [] in
   Mutex.unlock t.mm;
-  List.iter (fun v -> refresh_one t ~old_g ~new_g:g ~seq v) views
+  List.iter (fun v -> refresh_one t ~old_g ~new_g:g ~seq ~trace v) views
 
 let refresh_loop t =
   Mutex.lock t.mm;
   while not t.stopping do
     match t.target with
     | None -> Condition.wait t.cv t.mm
-    | Some (g, seq) ->
+    | Some (g, seq, trace) ->
       t.target <- None;
       t.busy <- true;
       Mutex.unlock t.mm;
       (* [refresh_one] is exception-proof, so [run_cycle] cannot raise in
          practice — but if it ever did, the thread must survive with
          [busy] reset, or quiesce/create_view/subscribe block forever *)
-      (try run_cycle t g seq with _ -> ());
+      (try run_cycle t g seq trace with _ -> ());
       Mutex.lock t.mm;
       t.last <- g;
       t.last_seq <- max t.last_seq seq;
@@ -1167,10 +1184,10 @@ let create ?(mode = Engine.Planned) ?(max_queue = 1024) graph seq =
   t.thread <- Some (Thread.create refresh_loop t);
   t
 
-let notify t graph seq =
+let notify ?(trace = 0) t graph seq =
   Mutex.lock t.mm;
   if not t.stopping then begin
-    t.target <- Some (graph, seq);
+    t.target <- Some (graph, seq, trace);
     Condition.broadcast t.cv
   end;
   Mutex.unlock t.mm
@@ -1179,7 +1196,7 @@ let attach ?mode ?max_queue store =
   let g, seq = Store.committed_with_seq store in
   let t = create ?mode ?max_queue g seq in
   t.source <- Some store;
-  Store.set_on_publish store (fun g seq -> notify t g seq);
+  Store.set_on_publish store (fun g seq trace -> notify ~trace t g seq);
   (* catch up with anything published between the two calls above *)
   let g, seq = Store.committed_with_seq store in
   notify t g seq;
@@ -1531,6 +1548,7 @@ let subscribe t ~query =
           f_init = true;
           f_added = List.rev initial;
           f_removed = [];
+          f_trace = 0;
         }
         sub.s_frames;
       t.subs <- sub :: t.subs;

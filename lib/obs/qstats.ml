@@ -1,0 +1,375 @@
+(* Workload introspection, pg_stat_statements-style: query texts are
+   normalized into fingerprints (literals and parameters masked, case
+   and whitespace canonicalized) and a bounded table keeps per-
+   fingerprint aggregates — call/error counts, rows, db hits, plan-cache
+   hits, a latency histogram, and the last trace id that executed the
+   shape.  The table lives here rather than in the registry because
+   registry series are process-global *names*; a per-fingerprint
+   histogram needs per-entry storage with eviction.
+
+   Everything is guarded by one mutex.  The per-query cost is one
+   bounded-cache lookup (hit: a Hashtbl find) plus a dozen integer
+   stores — benchmark B20 prices this against the B14 server read
+   workload. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* --- fingerprint normalization ---------------------------------------- *)
+
+(* Keywords are uppercased so [match]/[MATCH] collide; identifiers keep
+   their spelling and case so distinct query shapes stay distinct. *)
+let keywords =
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun k -> Hashtbl.replace tbl k ())
+    [
+      "MATCH"; "OPTIONAL"; "WHERE"; "RETURN"; "WITH"; "UNWIND"; "CREATE";
+      "DELETE"; "DETACH"; "SET"; "REMOVE"; "MERGE"; "ON"; "CALL"; "YIELD";
+      "UNION"; "ALL"; "AS"; "ORDER"; "BY"; "SKIP"; "LIMIT"; "ASC";
+      "ASCENDING"; "DESC"; "DESCENDING"; "AND"; "OR"; "XOR"; "NOT"; "IN";
+      "STARTS"; "ENDS"; "CONTAINS"; "IS"; "NULL"; "TRUE"; "FALSE";
+      "DISTINCT"; "EXISTS"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
+      "FOREACH"; "BEGIN"; "COMMIT"; "ROLLBACK"; "EXPLAIN"; "PROFILE";
+      "INDEX"; "DROP"; "USING";
+    ];
+  tbl
+
+let is_word_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_word c = is_word_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokens that glue to their neighbour: no space is emitted before a
+   closer/separator or after an opener, which reproduces conventional
+   Cypher spacing regardless of the input's. *)
+let no_space_before t =
+  match t with ")" | "]" | "}" | "," | "." | ";" | ":" -> true | _ -> false
+
+let no_space_after t =
+  match t with "(" | "[" | "{" | "." | ":" -> true | _ -> false
+
+(* One linear scan: strips comments, collapses whitespace, masks string
+   and numeric literals to [?] and parameters to [$?], uppercases
+   keywords, and rebuilds the text from tokens with canonical spacing. *)
+let normalize text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let last = ref "" in
+  let push tok =
+    if
+      Buffer.length buf > 0
+      && (not (no_space_after !last))
+      && not (no_space_before tok)
+    then Buffer.add_char buf ' ';
+    Buffer.add_string buf tok;
+    last := tok
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (text.[!i] = '*' && text.[!i + 1] = '/') do
+        incr i
+      done;
+      i := min n (!i + 2)
+    end
+    else if c = '\'' || c = '"' then begin
+      (* string literal, backslash escapes honoured *)
+      let quote = c in
+      incr i;
+      let fin = ref false in
+      while !i < n && not !fin do
+        if text.[!i] = '\\' && !i + 1 < n then i := !i + 2
+        else if text.[!i] = quote then begin
+          incr i;
+          fin := true
+        end
+        else incr i
+      done;
+      push "?"
+    end
+    else if c = '`' then begin
+      (* backtick-quoted identifier: kept verbatim, quotes included *)
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] <> '`' do
+        incr j
+      done;
+      let stop = min n (!j + 1) in
+      push (String.sub text !i (stop - !i));
+      i := stop
+    end
+    else if c = '$' then begin
+      incr i;
+      while !i < n && is_word text.[!i] do
+        incr i
+      done;
+      push "$?"
+    end
+    else if is_digit c then begin
+      (* number (decimal, hex, or exponent form) *)
+      while
+        !i < n
+        && (is_digit text.[!i]
+           || text.[!i] = '.'
+           || text.[!i] = 'x'
+           || text.[!i] = 'X'
+           || (text.[!i] >= 'a' && text.[!i] <= 'f')
+           || (text.[!i] >= 'A' && text.[!i] <= 'F'))
+      do
+        incr i
+      done;
+      if
+        !i < n
+        && (text.[!i] = 'e' || text.[!i] = 'E')
+        && !i + 1 < n
+        && (is_digit text.[!i + 1] || text.[!i + 1] = '+' || text.[!i + 1] = '-')
+      then begin
+        i := !i + 2;
+        while !i < n && is_digit text.[!i] do
+          incr i
+        done
+      end;
+      push "?"
+    end
+    else if is_word_start c then begin
+      let j = ref !i in
+      while !j < n && is_word text.[!j] do
+        incr j
+      done;
+      let word = String.sub text !i (!j - !i) in
+      i := !j;
+      let upper = String.uppercase_ascii word in
+      push (if Hashtbl.mem keywords upper then upper else word)
+    end
+    else begin
+      push (String.make 1 c);
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* FNV-1a over the normalized text, folded to a positive 63-bit int. *)
+let hash_normalized s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+(* --- bounded text -> fingerprint cache -------------------------------- *)
+
+(* Normalization is a linear scan of the query text; repeated texts (the
+   common case — the plan cache exists for the same reason) resolve with
+   one Hashtbl lookup instead. *)
+let cache_cap = 1024
+let fp_cache : (string, string * int) Hashtbl.t = Hashtbl.create 256
+
+(* One lock covers the fingerprint cache and the statistics table, so
+   [observe] pays a single lock/unlock on its hot path. *)
+let lock = Mutex.create ()
+
+(* Must be called with [lock] held. *)
+let fingerprint_locked text =
+  match Hashtbl.find_opt fp_cache text with
+  | Some r -> r
+  | None ->
+    let norm = normalize text in
+    let r = (norm, hash_normalized norm) in
+    if Hashtbl.length fp_cache >= cache_cap then Hashtbl.reset fp_cache;
+    Hashtbl.replace fp_cache text r;
+    r
+
+let fingerprint_of text =
+  Mutex.lock lock;
+  let r = fingerprint_locked text in
+  Mutex.unlock lock;
+  r
+
+let fingerprint text = fst (fingerprint_of text)
+let fingerprint_hash text = snd (fingerprint_of text)
+
+(* --- per-fingerprint statistics --------------------------------------- *)
+
+(* Power-of-two µs latency buckets, like the registry's histograms:
+   bucket k holds durations in (2^(k-1), 2^k].  Quantiles report the
+   bucket's upper bound; the maximum is kept exactly. *)
+let buckets = 40
+
+let bucket_of us =
+  if us <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref us in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min (buckets - 1) !b
+  end
+
+type entry = {
+  e_query : string;
+  e_hash : int;
+  mutable e_calls : int;
+  mutable e_errors : int;
+  mutable e_rows : int;
+  mutable e_db_hits : int;
+  mutable e_cache_hits : int;
+  mutable e_total_us : int;
+  mutable e_max_us : int;
+  e_lat : int array;
+  mutable e_last_trace : int;
+  mutable e_stamp : int;
+}
+
+let table_cap = 512
+let table : (int, entry) Hashtbl.t = Hashtbl.create 128
+let stamp = ref 0
+
+(* When the table is full a new fingerprint evicts the least-recently
+   executed entry: a workload's steady-state shapes stay put while
+   one-off shapes churn through the tail. *)
+let evict_oldest () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun h e ->
+      match !victim with
+      | Some (_, s) when s <= e.e_stamp -> ()
+      | _ -> victim := Some (h, e.e_stamp))
+    table;
+  match !victim with Some (h, _) -> Hashtbl.remove table h | None -> ()
+
+let observe ~text ~elapsed_us ~rows ~db_hits ~cache_hit ~error ~trace =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock lock;
+    let norm, hash = fingerprint_locked text in
+    incr stamp;
+    let e =
+      match Hashtbl.find_opt table hash with
+      | Some e -> e
+      | None ->
+        if Hashtbl.length table >= table_cap then evict_oldest ();
+        let e =
+          {
+            e_query = norm;
+            e_hash = hash;
+            e_calls = 0;
+            e_errors = 0;
+            e_rows = 0;
+            e_db_hits = 0;
+            e_cache_hits = 0;
+            e_total_us = 0;
+            e_max_us = 0;
+            e_lat = Array.make buckets 0;
+            e_last_trace = 0;
+            e_stamp = 0;
+          }
+        in
+        Hashtbl.replace table hash e;
+        e
+    in
+    e.e_calls <- e.e_calls + 1;
+    if error then e.e_errors <- e.e_errors + 1;
+    e.e_rows <- e.e_rows + rows;
+    e.e_db_hits <- e.e_db_hits + db_hits;
+    if cache_hit then e.e_cache_hits <- e.e_cache_hits + 1;
+    e.e_total_us <- e.e_total_us + elapsed_us;
+    if elapsed_us > e.e_max_us then e.e_max_us <- elapsed_us;
+    let b = bucket_of elapsed_us in
+    e.e_lat.(b) <- e.e_lat.(b) + 1;
+    if trace <> 0 then e.e_last_trace <- trace;
+    e.e_stamp <- !stamp;
+    Mutex.unlock lock
+  end
+
+type stat = {
+  s_hash : int;
+  s_query : string;
+  s_calls : int;
+  s_errors : int;
+  s_rows : int;
+  s_db_hits : int;
+  s_cache_hits : int;
+  s_total_us : int;
+  s_p50_us : int;
+  s_p95_us : int;
+  s_max_us : int;
+  s_last_trace : int;
+}
+
+let quantile e p =
+  let total = Array.fold_left ( + ) 0 e.e_lat in
+  if total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int total)) in
+    let rank = max 1 (min total rank) in
+    let seen = ref 0 and b = ref 0 in
+    (try
+       for k = 0 to buckets - 1 do
+         seen := !seen + e.e_lat.(k);
+         if !seen >= rank then begin
+           b := k;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !b = 0 then 0
+    else begin
+      (* the bucket's upper bound, capped at the observed maximum *)
+      let bound = 1 lsl !b in
+      min bound e.e_max_us
+    end
+  end
+
+let snapshot () =
+  Mutex.lock lock;
+  let stats =
+    Hashtbl.fold
+      (fun _ e acc ->
+        {
+          s_hash = e.e_hash;
+          s_query = e.e_query;
+          s_calls = e.e_calls;
+          s_errors = e.e_errors;
+          s_rows = e.e_rows;
+          s_db_hits = e.e_db_hits;
+          s_cache_hits = e.e_cache_hits;
+          s_total_us = e.e_total_us;
+          s_p50_us = quantile e 0.50;
+          s_p95_us = quantile e 0.95;
+          s_max_us = e.e_max_us;
+          s_last_trace = e.e_last_trace;
+        }
+        :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  (* heaviest shapes first: total time, then calls, then text for
+     determinism *)
+  List.sort
+    (fun a b ->
+      match compare b.s_total_us a.s_total_us with
+      | 0 -> (
+        match compare b.s_calls a.s_calls with
+        | 0 -> compare a.s_query b.s_query
+        | c -> c)
+      | c -> c)
+    stats
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  stamp := 0;
+  Mutex.unlock lock

@@ -14,12 +14,28 @@ val armed : unit -> bool
 val set_sink : (string -> unit) option -> unit
 (** Where the JSON lines go; [None] restores the default (stderr). *)
 
+val set_conn : string option -> unit
+(** Labels the calling thread with a connection/session name; the
+    engine stamps it into slow lines emitted from this thread.  [None]
+    clears the label (a server does this on disconnect). *)
+
+val current_conn : unit -> string
+(** The calling thread's connection label, or [""] when unset. *)
+
 val note :
+  ?trace_id:int ->
+  ?fingerprint:int ->
+  ?conn:string ->
   query:string ->
   mode:string ->
   elapsed_us:int ->
   rows:int ->
   spans:(string * int) list ->
+  unit ->
   unit
 (** Reports one finished query; writes to the sink only when armed and
-    [elapsed_us] is at or above the threshold. *)
+    [elapsed_us] is at or above the threshold.  [?trace_id] (rendered
+    in hex) joins the line against the trace JSONL, [?fingerprint]
+    (the {!Qstats.fingerprint_hash}) against [:queries] output, and
+    [?conn] names the server connection/session that ran the query;
+    each is omitted from the line when absent or zero. *)

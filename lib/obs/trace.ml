@@ -52,7 +52,8 @@ let to_file path =
          (match !sink_channel with
          | Some oc ->
            output_string oc line;
-           output_char oc '\n'
+           output_char oc '\n';
+           flush oc
          | None -> ());
          Mutex.unlock sink_lock))
 
@@ -68,6 +69,95 @@ let close () =
   Mutex.unlock sink_lock
 
 let enabled () = Atomic.get sink <> None
+
+(* --- trace context ---------------------------------------------------- *)
+
+(* A trace context ties the spans a thread emits to a distributed trace:
+   [trace_id] names the end-to-end request (minted once, by whichever
+   client first sees it) and [parent_span] is the span id the next child
+   span should point at.  Ids are 63-bit positive ints (zero reserved
+   for "no id"), rendered as 16-hex-digit strings in span JSON. *)
+type ctx = { trace_id : int; parent_span : int }
+
+(* A splitmix-style generator over native ints: one [fetch_and_add] on a
+   Weyl sequence, then a finalizing avalanche — collision-resistant ids
+   with no allocation and no CAS loop.  Seeded from the monotonic clock
+   and the pid so two processes started in the same microsecond (primary
+   and replica in one test) still draw distinct streams. *)
+let id_state = Atomic.make ((Clock.now_us () lxor (Unix.getpid () lsl 40)) lor 1)
+
+let rec new_id () =
+  let z = Atomic.fetch_and_add id_state 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  let id = (z lxor (z lsr 31)) land max_int in
+  if id = 0 then new_id () else id
+
+let id_to_hex id = Printf.sprintf "%016x" id
+
+(* Installed per thread (the server installs the remote caller's context
+   for the duration of one request).  Thread ids are small monotonically
+   increasing ints, so the common store is a plain array indexed by id: a
+   slot is only ever touched by its own thread, making reads and writes
+   lock-free — the server pays an array store to install a context and an
+   array load to read it back.  Processes that have created more than
+   [slot_cap] threads overflow into a mutex-guarded table. *)
+let slot_cap = 8192
+let slots : ctx option array = Array.make slot_cap None
+let ctxs : (int, ctx) Hashtbl.t = Hashtbl.create 16
+let ctx_lock = Mutex.create ()
+
+(* Number of threads with a context installed: lets [current_context]
+   short-circuit on one atomic load in processes that never trace
+   (in-process embeddings, the benchmarks' baselines). *)
+let ctx_count = Atomic.make 0
+
+let set_context c =
+  let id = Thread.id (Thread.self ()) in
+  if id < slot_cap then begin
+    (match (Array.unsafe_get slots id, c) with
+    | None, Some _ -> Atomic.incr ctx_count
+    | Some _, None -> Atomic.decr ctx_count
+    | _ -> ());
+    Array.unsafe_set slots id c
+  end
+  else begin
+    Mutex.lock ctx_lock;
+    (match c with
+    | Some c ->
+      if not (Hashtbl.mem ctxs id) then Atomic.incr ctx_count;
+      Hashtbl.replace ctxs id c
+    | None ->
+      if Hashtbl.mem ctxs id then begin
+        Atomic.decr ctx_count;
+        Hashtbl.remove ctxs id
+      end);
+    Mutex.unlock ctx_lock
+  end
+
+let current_context () =
+  if Atomic.get ctx_count = 0 then None
+  else begin
+    let id = Thread.id (Thread.self ()) in
+    if id < slot_cap then Array.unsafe_get slots id
+    else begin
+      Mutex.lock ctx_lock;
+      let c = Hashtbl.find_opt ctxs id in
+      Mutex.unlock ctx_lock;
+      c
+    end
+  end
+
+let with_context c f =
+  let prev = current_context () in
+  set_context (Some c);
+  Fun.protect ~finally:(fun () -> set_context prev) f
+
+let current_trace_id () =
+  match current_context () with Some c -> c.trace_id | None -> 0
+
+let current_span_id () =
+  match current_context () with Some c -> c.parent_span | None -> 0
 
 (* --- per-thread state ------------------------------------------------- *)
 
@@ -137,13 +227,25 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit out ~name ~thread ~depth ~start_us ~dur_us ~attrs =
+(* [ids = (trace_id, span_id, parent_span_id)]: rendered when a trace
+   context is installed, so a consumer can join spans across threads and
+   processes; absent ids keep the PR-4 line shape byte-for-byte. *)
+let emit ?ids out ~name ~thread ~depth ~start_us ~dur_us ~attrs =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"name\":\"%s\",\"thread\":%d,\"depth\":%d,\"seq\":%d,\"start_us\":%d,\"dur_us\":%d"
        (json_escape name) thread depth (Atomic.fetch_and_add seq 1) start_us
        dur_us);
+  (match ids with
+  | Some (trace_id, span_id, parent) when trace_id <> 0 ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"trace_id\":\"%s\",\"span_id\":\"%s\""
+         (id_to_hex trace_id) (id_to_hex span_id));
+    if parent <> 0 then
+      Buffer.add_string buf
+        (Printf.sprintf ",\"parent_span_id\":\"%s\"" (id_to_hex parent))
+  | _ -> ());
   if attrs <> [] then begin
     Buffer.add_string buf ",\"attrs\":{";
     List.iteri
@@ -171,7 +273,7 @@ let add_total c name dur =
    worker domains (which have no per-thread span state) and reports the
    aggregate from the coordinating thread, so collectors and sinks see
    worker time attributed to the query that spent it. *)
-let note ?(attrs = []) name dur_us =
+let note ?ctx ?(attrs = []) name dur_us =
   match Atomic.get sink with
   | None when not (collecting ()) -> ()
   | observer -> (
@@ -181,7 +283,16 @@ let note ?(attrs = []) name dur_us =
     | None -> ());
     match observer with
     | Some out ->
-      emit out ~name
+      (* [?ctx] lets a thread report a span on behalf of another trace:
+         the flush leader emits fsync lineage for every commit in its
+         group, the replica applier for every record in a batch. *)
+      let ids =
+        match (ctx, current_context ()) with
+        | Some c, _ | None, Some c ->
+          Some (c.trace_id, new_id (), c.parent_span)
+        | None, None -> None
+      in
+      emit ?ids out ~name
         ~thread:(Thread.id (Thread.self ()))
         ~depth:st.depth
         ~start_us:(now_us () - dur_us)
@@ -200,15 +311,27 @@ let with_span ?(attrs = []) name f =
     | _ ->
       let start_us = now_us () in
       st.depth <- st.depth + 1;
+      (* With both a sink and a trace context, the span gets its own id
+         and children opened inside [f] on this thread parent to it. *)
+      let ctx = match observer with Some _ -> current_context () | None -> None in
+      let ids =
+        match ctx with
+        | Some c ->
+          let span_id = new_id () in
+          set_context (Some { c with parent_span = span_id });
+          Some (c.trace_id, span_id, c.parent_span)
+        | None -> None
+      in
       let finish () =
         let dur_us = now_us () - start_us in
         st.depth <- st.depth - 1;
+        (match ctx with Some _ -> set_context ctx | None -> ());
         (match st.collector with
         | Some c -> add_total c name dur_us
         | None -> ());
         match observer with
         | Some out ->
-          emit out ~name
+          emit ?ids out ~name
             ~thread:(Thread.id (Thread.self ()))
             ~depth:st.depth ~start_us ~dur_us ~attrs
         | None -> ()

@@ -161,9 +161,21 @@ let apply_batch t frames =
     let t0 = Cypher_obs.Trace.now_us () in
     match Store.apply_replicated t.store records with
     | Ok () ->
-      Registry.observe_us m_apply (Cypher_obs.Trace.now_us () - t0);
+      let dur = Cypher_obs.Trace.now_us () - t0 in
+      Registry.observe_us m_apply dur;
       Registry.incr m_batches;
       Registry.add m_records (List.length records);
+      (* Commit lineage: each applied record that carries a trace id
+         gets a span on that trace, keyed by (trace_id, seq) — the
+         same key the primary stamped on its "commit_durable" span. *)
+      List.iter
+        (fun r ->
+          if r.Wal.trace <> 0 then
+            Cypher_obs.Trace.note
+              ~ctx:{ Cypher_obs.Trace.trace_id = r.Wal.trace; parent_span = 0 }
+              ~attrs:[ ("seq", string_of_int r.Wal.seq) ]
+              "replica_apply" dur)
+        records;
       Ok ()
     | Error _ as e -> e)
 

@@ -20,6 +20,7 @@ module Client = Cypher_server.Client
 module Protocol = Cypher_server.Protocol
 module Value = Cypher_values.Value
 module Registry = Cypher_obs.Registry
+module Trace = Cypher_obs.Trace
 
 let m_reads_replica =
   Registry.counter ~help:"router reads served by a replica"
@@ -180,6 +181,16 @@ let on_replica t ep ~params ~options text =
     | Error _ as err -> Some err (* a real query error: report it *))
 
 let query ?(params = []) ?(options = []) t text =
+  (* One trace context per logical query: a read that bounces off a
+     stale replica and retries on the primary shows up as two server
+     spans under the same trace id.  Reuse the caller's context when
+     one is already installed. *)
+  let ctx =
+    match Trace.current_context () with
+    | Some c -> c
+    | None -> { Trace.trace_id = Trace.new_id (); parent_span = 0 }
+  in
+  Trace.with_context ctx @@ fun () ->
   if is_read t text && Array.length t.replicas > 0 then begin
     let ep = t.replicas.(t.rr mod Array.length t.replicas) in
     t.rr <- t.rr + 1;

@@ -3,8 +3,17 @@
    replication subsystem (replica tailing and the read router). *)
 
 module Value = Cypher_values.Value
+module Trace = Cypher_obs.Trace
 
 type t = { fd : Unix.file_descr; max_frame : int; host : string; port : int }
+
+(* Whether [query] stamps a trace context onto the request (on by
+   default).  A client thread that already carries a context — the read
+   router, or an application span — propagates it; otherwise [query]
+   mints a fresh trace id, so every remote statement is traceable end to
+   end.  Process-global so benchmarks can measure the untraced floor. *)
+let propagate_traces = Atomic.make true
+let set_trace_propagation on = Atomic.set propagate_traces on
 
 type error = { kind : Protocol.error_kind; message : string }
 
@@ -148,6 +157,23 @@ let roundtrip t request k =
     transport (Unix.error_message err)
 
 let query ?(params = []) ?(options = []) t text =
+  (* Reuse the calling thread's trace context when one is installed
+     (the router does this to cover a replica attempt and its primary
+     fallback with one trace); otherwise mint a fresh trace id.  The
+     ids ride as request options, so the frame format is unchanged and
+     old servers simply ignore them. *)
+  let options =
+    if not (Atomic.get propagate_traces) then options
+    else
+      let trace_id =
+        match Trace.current_context () with
+        | Some c -> c.Trace.trace_id
+        | None -> Trace.new_id ()
+      in
+      ("trace_id", Value.Int trace_id)
+      :: ("span_id", Value.Int (Trace.new_id ()))
+      :: options
+  in
   roundtrip t (Protocol.Query { text; params; options }) (function
     | Protocol.Result { columns; rows; seq } -> Ok { columns; rows; seq }
     | Protocol.Error _ -> assert false (* handled by [roundtrip] *)
@@ -173,6 +199,22 @@ let store_health t = stats_request t Protocol.Store_health
 
 let metrics t = stats_request t Protocol.Metrics
 (* the process-wide registry: engine + storage + server series *)
+
+(* Workload introspection: the server's per-fingerprint statement
+   statistics, as a result set (one row per fingerprint, hottest
+   first).  Works against primaries and replicas alike — each node
+   reports the statements it executed itself. *)
+let query_stats t =
+  roundtrip t Protocol.Query_stats (function
+    | Protocol.Result { columns; rows; seq } -> Ok { columns; rows; seq }
+    | _ ->
+      Error
+        {
+          kind = Protocol.Protocol_violation;
+          message = "unexpected response to query stats";
+        })
+
+let cluster_health t = stats_request t Protocol.Cluster_health
 
 (* --- replication verbs ------------------------------------------------- *)
 
@@ -281,6 +323,10 @@ type delta = {
   d_columns : string list;
   d_added : (Value.t list * int) list;  (* row, multiplicity *)
   d_removed : (Value.t list * int) list;
+  d_trace : int;
+      (* trace id of the write that caused this refresh (0 for the
+         init frame and untraced writes) — the tail end of the
+         commit-lineage chain *)
 }
 
 (* A subscription owns the connection until {!unsubscribe}: the server
@@ -309,7 +355,7 @@ let next_delta sub =
       Ok None
     | Some payload -> (
       match Protocol.decode_response payload with
-      | Protocol.Delta { view; seq; init; columns; added; removed } ->
+      | Protocol.Delta { view; seq; init; columns; added; removed; trace } ->
         Ok
           (Some
              {
@@ -319,6 +365,7 @@ let next_delta sub =
                d_columns = columns;
                d_added = added;
                d_removed = removed;
+               d_trace = trace;
              })
       | Protocol.Error { kind = Protocol.Server_error; _ } ->
         (* typed end-of-stream *)

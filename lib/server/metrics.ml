@@ -54,6 +54,7 @@ let connection_opened t =
   Registry.gauge_incr t.connections_active
 
 let connection_closed t = Registry.gauge_decr t.connections_active
+let active_connections t = Registry.gauge_value t.connections_active
 
 let observe t ~elapsed ~bytes_in ~bytes_out ~outcome =
   Registry.incr t.requests;

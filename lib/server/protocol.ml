@@ -22,6 +22,11 @@
      'U'  subscribe    query — switches the connection into push mode:
                                       the server streams 'D' frames until
                                       the client sends anything back
+     'T'  query-stats   (empty body)  — per-fingerprint workload stats
+                                        (the [:queries] verb), as a Result
+     'C'  cluster-health (empty body) — role, replication lag, view
+                                        freshness, group-commit and
+                                        subscription summary, as Stats
 
    Responses:
      'R'  result      #columns, column names, #rows, values row-major,
@@ -31,7 +36,9 @@
      'P'  repl-chunk  total size, chunk bytes
      'W'  repl-batch  last_seq, resync flag, #records, framed records
      'D'  delta       view name, seq, init flag, columns, added rows
-                      (row values + multiplicity), removed rows — one
+                      (row values + multiplicity), removed rows, trace
+                      (the id of the write that triggered the refresh;
+                      0 for init frames and untraced writes) — one
                       subscription refresh (init: the full state)
 
    A malformed or oversized frame is a protocol error: the server
@@ -75,6 +82,12 @@ type request =
       (* switch the connection into push mode: the server answers with
          a stream of Delta frames (first frame has [init = true]) until
          the client sends any frame back or closes *)
+  | Query_stats
+      (* per-fingerprint workload statistics (pg_stat_statements-style),
+         served by primaries and replicas alike as a Result table *)
+  | Cluster_health
+      (* operator summary: role, commit watermark, replication lag,
+         per-view freshness, group-commit and subscription counters *)
 
 type error_kind =
   | Parse_error
@@ -109,6 +122,9 @@ type response =
       columns : string list;
       added : (Value.t list * int) list;  (* row, multiplicity *)
       removed : (Value.t list * int) list;
+      trace : int;
+          (* trace id of the write whose refresh produced this frame;
+             0 for init frames and untraced writes *)
     }
 
 let error_kind_to_byte = function
@@ -256,7 +272,9 @@ let encode_request req =
     Codec.write_uvarint buf wait_ms
   | Subscribe { query } ->
     Buffer.add_char buf 'U';
-    Codec.write_string buf query);
+    Codec.write_string buf query
+  | Query_stats -> Buffer.add_char buf 'T'
+  | Cluster_health -> Buffer.add_char buf 'C');
   Buffer.contents buf
 
 let encode_response resp =
@@ -286,7 +304,7 @@ let encode_response resp =
     Codec.write_uvarint buf (if resync then 1 else 0);
     Codec.write_uvarint buf (List.length records);
     List.iter (Codec.write_string buf) records
-  | Delta { view; seq; init; columns; added; removed } ->
+  | Delta { view; seq; init; columns; added; removed; trace } ->
     Buffer.add_char buf 'D';
     Codec.write_string buf view;
     Codec.write_uvarint buf seq;
@@ -302,7 +320,8 @@ let encode_response resp =
         rows
     in
     write_side added;
-    write_side removed);
+    write_side removed;
+    Codec.write_uvarint buf trace);
   Buffer.contents buf
 
 let decoding payload f =
@@ -352,6 +371,8 @@ let decode_request payload =
         | op ->
           raise (Protocol_error (Printf.sprintf "unknown view op %d" op)))
       | 'U' -> Subscribe { query = Codec.read_string r }
+      | 'T' -> Query_stats
+      | 'C' -> Cluster_health
       | c -> raise (Protocol_error (Printf.sprintf "unknown request verb %C" c)))
 
 let decode_response payload =
@@ -397,6 +418,7 @@ let decode_response payload =
         in
         let added = read_side () in
         let removed = read_side () in
-        Delta { view; seq; init; columns; added; removed }
+        let trace = Codec.read_uvarint r in
+        Delta { view; seq; init; columns; added; removed; trace }
       | c ->
         raise (Protocol_error (Printf.sprintf "unknown response verb %C" c)))

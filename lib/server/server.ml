@@ -34,6 +34,8 @@ module Config = Cypher_semantics.Config
 module Value = Cypher_values.Value
 module Registry = Cypher_obs.Registry
 module Trace = Cypher_obs.Trace
+module Slowlog = Cypher_obs.Slowlog
+module Qstats = Cypher_obs.Qstats
 module Ivm = Cypher_ivm.Ivm
 
 type config = {
@@ -127,6 +129,7 @@ let table_response ?(seq = 0) table =
 
 type conn = {
   fd : Unix.file_descr;
+  conn_id : int;  (* process-unique; labels slowlog lines and spans *)
   session : Session.t;
   (* the batch captured by the session's [on_commit] hook, handed to the
      store's group commit once the writer lock can be released *)
@@ -396,7 +399,98 @@ let delta_response (f : Ivm.frame) =
       columns = f.Ivm.f_columns;
       added = f.Ivm.f_added;
       removed = f.Ivm.f_removed;
+      trace = f.Ivm.f_trace;
     }
+
+(* Per-fingerprint workload statistics ('T'), as an ordinary Result
+   table so every client renders it like a query.  Served identically
+   by primaries and replicas — a replica's table reflects the reads it
+   served plus the writes it applied. *)
+let query_stats_response () =
+  let columns =
+    [
+      "fingerprint"; "query"; "calls"; "errors"; "rows"; "db_hits";
+      "plan_cache_hits"; "total_ms"; "p50_us"; "p95_us"; "max_us";
+      "last_trace_id";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (s : Qstats.stat) ->
+        [
+          Value.String (Trace.id_to_hex s.Qstats.s_hash);
+          Value.String s.Qstats.s_query;
+          Value.Int s.Qstats.s_calls;
+          Value.Int s.Qstats.s_errors;
+          Value.Int s.Qstats.s_rows;
+          Value.Int s.Qstats.s_db_hits;
+          Value.Int s.Qstats.s_cache_hits;
+          Value.Float (float_of_int s.Qstats.s_total_us /. 1e3);
+          Value.Int s.Qstats.s_p50_us;
+          Value.Int s.Qstats.s_p95_us;
+          Value.Int s.Qstats.s_max_us;
+          (if s.Qstats.s_last_trace = 0 then Value.Null
+           else Value.String (Trace.id_to_hex s.Qstats.s_last_trace));
+        ])
+      (Qstats.snapshot ())
+  in
+  Protocol.Result { columns; rows; seq = 0 }
+
+(* Cluster-health summary ('C'): one flat stats map an operator can eye
+   in a second — role, watermark, replication lag, view freshness and
+   fallback state, group-commit batching, connections, subscriptions. *)
+let cluster_health_response t =
+  let sample name =
+    List.find_map
+      (function
+        | Registry.Int_sample (n, v) when String.equal n name -> Some v
+        | _ -> None)
+      (Registry.samples ())
+  in
+  let counter name = Option.value ~default:0 (sample name) in
+  let infos = Ivm.view_infos t.views in
+  let subs =
+    List.fold_left (fun a (i : Ivm.view_info) -> a + i.Ivm.vi_subscribers) 0 infos
+  in
+  let fallbacks =
+    List.length (List.filter (fun (i : Ivm.view_info) -> not i.Ivm.vi_incremental) infos)
+  in
+  let view_min_seq =
+    List.fold_left
+      (fun acc (i : Ivm.view_info) ->
+        match acc with
+        | None -> Some i.Ivm.vi_seq
+        | Some m -> Some (min m i.Ivm.vi_seq))
+      None infos
+  in
+  let flushes = counter "cypher_storage_group_flushes_total" in
+  let members = counter "cypher_storage_group_members_total" in
+  let role, primary =
+    match t.config.replica_of with
+    | Some (host, port) -> ("replica", Value.String (Printf.sprintf "%s:%d" host port))
+    | None -> ("primary", Value.Null)
+  in
+  [
+    ("role", Value.String role);
+    ("primary", primary);
+    ("last_seq", Value.Int (Store.last_seq t.store));
+    ( "replication_lag_records",
+      match sample "cypher_repl_lag_records" with
+      | Some v -> Value.Int v
+      | None -> Value.Null );
+    ("views", Value.Int (List.length infos));
+    ("views_fallback", Value.Int fallbacks);
+    ( "views_min_seq",
+      match view_min_seq with Some s -> Value.Int s | None -> Value.Null );
+    ("subscriptions", Value.Int subs);
+    ("group_commit_flushes", Value.Int flushes);
+    ("group_commit_members", Value.Int members);
+    ( "group_commit_avg_batch",
+      if flushes = 0 then Value.Null
+      else Value.Float (float_of_int members /. float_of_int flushes) );
+    ("connections_active", Value.Int (Metrics.active_connections t.metrics));
+    ("query_fingerprints", Value.Int (List.length (Qstats.snapshot ())));
+  ]
 
 (* The shared request tail: stamp the time budget, frame the response,
    record metrics. *)
@@ -467,6 +561,8 @@ let rec handle_request t conn payload =
     | Server_stats -> Protocol.Stats (Metrics.snapshot t.metrics)
     | Store_health -> Protocol.Stats (store_health t conn)
     | Metrics -> Protocol.Stats (registry_pairs ())
+    | Query_stats -> query_stats_response ()
+    | Cluster_health -> Protocol.Stats (cluster_health_response t)
     | Repl_snapshot { offset; chunk } ->
       (* Bootstrap: the first chunk pins the committed image on the
          connection, so a transfer overlapped by writes still ships one
@@ -557,7 +653,33 @@ let rec handle_request t conn payload =
           Some (s, wait_ms)
         | _ -> None
       in
-      match execute t conn ~parallel ~min_seq text params with
+      (* "trace_id"/"span_id" (Int) carry the caller's distributed
+         trace context: installed on this connection thread for the
+         request, so engine and storage spans (and the commit lineage
+         they start) nest under the remote parent span *)
+      let run () = execute t conn ~parallel ~min_seq text params in
+      let traced () =
+        match List.assoc_opt "trace_id" options with
+        | Some (Value.Int tid) when tid <> 0 ->
+          let parent =
+            match List.assoc_opt "span_id" options with
+            | Some (Value.Int sid) -> sid
+            | _ -> 0
+          in
+          (* a connection thread never has an enclosing context, so
+             install/clear directly instead of [with_context]'s
+             save/restore *)
+          Trace.set_context (Some { Trace.trace_id = tid; parent_span = parent });
+          (match run () with
+          | r ->
+            Trace.set_context None;
+            r
+          | exception e ->
+            Trace.set_context None;
+            raise e)
+        | _ -> run ()
+      in
+      match traced () with
       | response -> response
       | exception e ->
         error_response Protocol.Server_error
@@ -626,6 +748,8 @@ let rec readable t fd =
     | _ -> true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> readable t fd
 
+let next_conn_id = Atomic.make 1
+
 let serve_connection t fd =
   Metrics.connection_opened t.metrics;
   (* the commit hook only captures the batch: the connection decides
@@ -635,6 +759,7 @@ let serve_connection t fd =
   let conn =
     {
       fd;
+      conn_id = Atomic.fetch_and_add next_conn_id 1;
       session =
         Session.create ~schema:t.schema ~mode:t.mode
           ~on_commit:(fun c -> pending := c.Session.c_batch)
@@ -644,8 +769,12 @@ let serve_connection t fd =
       boot_pin = None;
     }
   in
+  (* label this connection thread: the engine's slow-query lines carry
+     the connection they ran on *)
+  Slowlog.set_conn (Some (Printf.sprintf "conn-%d" conn.conn_id));
   Fun.protect
     ~finally:(fun () ->
+      Slowlog.set_conn None;
       (* a connection that dies mid-transaction must not keep the store
          locked; its uncommitted changes were never published or logged,
          so dropping them is exactly a rollback *)
@@ -706,6 +835,10 @@ let ignore_sigpipe () =
 let start ?(config = default_config) ?(schema = Cypher_schema.Schema.empty)
     ?(mode = Engine.Planned) store =
   ignore_sigpipe ();
+  (* a server always collects per-fingerprint statement statistics —
+     that is what the 'T' verb and [:queries] report; benchmarks that
+     want the untraced floor switch it back off *)
+  Qstats.set_enabled true;
   match Unix.inet_addr_of_string config.host with
   | exception Failure _ -> Error ("invalid listen address: " ^ config.host)
   | addr -> (

@@ -5,6 +5,7 @@ module Config = Cypher_semantics.Config
 type logged = {
   lg_text : string;
   lg_params : (string * Cypher_values.Value.t) list;
+  lg_trace : int;
 }
 
 type commit = {
@@ -98,6 +99,9 @@ let run t text =
       {
         lg_text = text;
         lg_params = Cypher_values.Value.Smap.bindings t.config.Config.params;
+        (* captured on the executing thread, where a server installs the
+           remote caller's context — commit lineage starts here *)
+        lg_trace = Cypher_obs.Trace.current_trace_id ();
       }
     in
     if in_transaction t then begin

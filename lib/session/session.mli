@@ -19,6 +19,8 @@ type logged = {
   lg_text : string;  (** the statement, verbatim *)
   lg_params : (string * Cypher_values.Value.t) list;
       (** the parameter bindings in force when it ran *)
+  lg_trace : int;
+      (** trace id of the request that ran the statement (0 untraced) *)
 }
 (** One committed update statement, as reported to {!create}'s
     [on_commit] hook — the bridge to the durable storage layer's

@@ -82,7 +82,7 @@ type t = {
      fires once per group flush, on a replica once per applied
      replication batch (both go through [flush_group]).  Exceptions are
      swallowed: a consumer bug must not poison commits. *)
-  mutable on_publish : (Graph.t -> int -> unit) option;
+  mutable on_publish : (Graph.t -> int -> int -> unit) option;
 }
 
 let snapshot_file dir = Filename.concat dir "snapshot.bin"
@@ -159,7 +159,7 @@ let flush_group t group =
     List.concat_map
       (fun p ->
         List.map
-          (fun l -> (l.Session.lg_text, l.Session.lg_params))
+          (fun l -> (l.Session.lg_text, l.Session.lg_params, l.Session.lg_trace))
           p.p_batch)
       group
   in
@@ -168,6 +168,21 @@ let flush_group t group =
     | encoded -> Ok encoded
     | exception e -> Error (Printexc.to_string e)
   in
+  (* Commit-lineage spans: each record that belongs to a trace gets a
+     durability marker keyed by (trace_id, seq), emitted on the flush
+     leader's thread on behalf of the request's trace.  [Trace.note]
+     no-ops without a sink or collector. *)
+  (match result with
+  | Ok encoded ->
+    List.iter2
+      (fun (seq, _) (_, _, tr) ->
+        if tr <> 0 then
+          Trace.note
+            ~ctx:{ Trace.trace_id = tr; parent_span = 0 }
+            ~attrs:[ ("seq", string_of_int seq) ]
+            "commit_durable" 0)
+      encoded stmts
+  | Error _ -> ());
   Mutex.lock t.m;
   (match result with
   | Ok encoded ->
@@ -187,8 +202,16 @@ let flush_group t group =
        member's effects; publishing it publishes them all in order *)
     (match List.rev group with
     | newest :: _ ->
+      (* the trace the publication is attributed to: the newest member's
+         last traced statement (coalesced members' traces are carried by
+         their own per-record lineage spans above) *)
+      let trace =
+        List.fold_left
+          (fun acc l -> if l.Session.lg_trace <> 0 then l.Session.lg_trace else acc)
+          0 newest.p_batch
+      in
       t.committed <- newest.p_graph;
-      published := Some newest.p_graph
+      published := Some (newest.p_graph, trace)
     | [] -> ());
     Registry.incr m_group_flushes;
     Registry.add m_group_members (List.length group)
@@ -212,10 +235,10 @@ let flush_group t group =
      serializes behind the hook, which must therefore stay cheap
      (IVM's notify just swaps a target and signals). *)
   (match (t.on_publish, !published) with
-  | Some f, Some g ->
+  | Some f, Some (g, trace) ->
     let seq = t.last_seq in
     Mutex.unlock t.m;
-    (try f g seq with _ -> ());
+    (try f g seq trace with _ -> ());
     Mutex.lock t.m
   | _ -> ());
   t.leader <- false;
@@ -504,7 +527,11 @@ let apply_replicated t records =
         let batch =
           List.map
             (fun r ->
-              { Session.lg_text = r.Wal.text; lg_params = r.Wal.params })
+              {
+                Session.lg_text = r.Wal.text;
+                lg_params = r.Wal.params;
+                lg_trace = r.Wal.trace;
+              })
             records
         in
         let ticket = enqueue_commit t ~graph:g batch in
@@ -552,7 +579,7 @@ let reset_from_snapshot t bytes =
         Session.set_graph t.session g;
         t.checkpoint_ns <- Some (Clock.now_ns ());
         (match t.on_publish with
-        | Some f -> ( try f g seq with _ -> ())
+        | Some f -> ( try f g seq 0 with _ -> ())
         | None -> ());
         Ok ()
     end

@@ -225,10 +225,13 @@ val reset_from_snapshot : t -> string -> (unit, string) result
     single consumer notified of every newly published committed
     version. *)
 
-val set_on_publish : t -> (Graph.t -> int -> unit) -> unit
+val set_on_publish : t -> (Graph.t -> int -> int -> unit) -> unit
 (** Registers the publication hook, replacing any previous one.  It is
-    called with [(graph, last_seq)] after every flush that published a
-    new committed version — on a primary once per group flush, on a
+    called with [(graph, last_seq, trace)] after every flush that
+    published a new committed version — [trace] is the trace id of the
+    newest flushed commit (0 when untraced, e.g. after a snapshot
+    resync), letting view refresh attribute its work to the write that
+    triggered it — on a primary once per group flush, on a
     replica once per applied replication batch and after a snapshot
     resync — always outside the store's internal locks, on the flush
     leader's thread.  The hook must be fast and must not commit through

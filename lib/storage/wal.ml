@@ -21,20 +21,29 @@ let m_replayed =
     "cypher_storage_recovery_replayed_total"
 
 let magic = "CYWAL"
-let version = 1
+
+(* Version 2 appends the originating request's trace id to each record
+   payload (a trailing uvarint).  Version-1 files — no trailing bytes —
+   are still readable: the decoder treats an exhausted payload as trace
+   0, so recovery from a pre-upgrade log just works. *)
+let version = 2
 let header_len = String.length magic + 2
 
-let header =
+let header_for v =
   let buf = Buffer.create header_len in
   Buffer.add_string buf magic;
-  Buffer.add_char buf (Char.chr (version land 0xFF));
-  Buffer.add_char buf (Char.chr ((version lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
   Buffer.contents buf
+
+let header = header_for version
+let header_v1 = header_for 1
 
 type record = {
   seq : int;
   text : string;
   params : (string * Value.t) list;
+  trace : int;
 }
 
 (* --- appending ------------------------------------------------------- *)
@@ -55,7 +64,7 @@ let open_writer ?(next_seq = 1) path =
       In_channel.with_open_bin path (fun ic ->
           really_input_string ic (min header_len (Int64.to_int (In_channel.length ic))))
     in
-    if head <> header then
+    if head <> header && head <> header_v1 then
       failwith (path ^ ": not a WAL file (bad or unsupported header)")
   end;
   let fd =
@@ -67,7 +76,7 @@ let open_writer ?(next_seq = 1) path =
   end;
   { fd; next_seq }
 
-let encode_record ~seq (text, params) =
+let encode_record ~seq (text, params, trace) =
   let payload = Buffer.create (64 + String.length text) in
   Codec.write_uvarint payload seq;
   Codec.write_string payload text;
@@ -77,6 +86,7 @@ let encode_record ~seq (text, params) =
       Codec.write_string payload k;
       Codec.write_value payload v)
     params;
+  Codec.write_uvarint payload trace;
   let payload = Buffer.contents payload in
   let framed = Buffer.create (String.length payload + 8) in
   let u32 n =
@@ -150,9 +160,11 @@ let decode_payload payload =
         let k = Codec.read_string r in
         (k, Codec.read_value r))
   in
+  (* version-1 records end here; version 2 carries the trace id *)
+  let trace = if Codec.remaining r > 0 then Codec.read_uvarint r else 0 in
   if Codec.remaining r <> 0 then
     raise (Codec.Corrupt "trailing bytes in WAL record payload");
-  { seq; text; params }
+  { seq; text; params; trace }
 
 (* One framed record (len · crc · payload) as shipped over the
    replication stream, verified with the same checks the file scan
@@ -187,8 +199,11 @@ let scan path =
   | exception Sys_error e -> Error e
   | data ->
     let len = String.length data in
-    if len < header_len || String.sub data 0 header_len <> header then
-      Error (path ^ ": not a WAL file (bad or unsupported header)")
+    if
+      len < header_len
+      || (String.sub data 0 header_len <> header
+         && String.sub data 0 header_len <> header_v1)
+    then Error (path ^ ": not a WAL file (bad or unsupported header)")
     else begin
       let u32 pos =
         let b i = Char.code data.[pos + i] in

@@ -14,8 +14,13 @@
     record*                                     append-only
     record := len u32-LE · crc32(payload) u32-LE · payload
     payload := seq uvarint · text string · nparams uvarint
-               · (key string · value)*
+               · (key string · value)* · trace uvarint
     v}
+
+    The trailing [trace] uvarint (the originating request's trace id, 0
+    when untraced) is new in version 2; version-1 files, whose payloads
+    end at the last parameter, are still readable — an exhausted payload
+    decodes as trace 0.
 
     Recovery semantics of {!scan}:
 
@@ -35,6 +40,9 @@ type record = {
   seq : int;  (** strictly increasing, 1-based across the store's life *)
   text : string;  (** the committed update statement, verbatim *)
   params : (string * Value.t) list;  (** the [$param] bindings it ran with *)
+  trace : int;
+      (** trace id of the request that committed the statement; 0 when
+          the commit was untraced or the record predates version 2 *)
 }
 
 (** {1 Appending} *)
@@ -47,14 +55,16 @@ val open_writer : ?next_seq:int -> string -> writer
     [last valid seq + 1] when reopening an existing log.  Raises
     [Failure] if the file exists but does not start with a WAL header. *)
 
-val append : writer -> (string * (string * Value.t) list) list -> int
+val append : writer -> (string * (string * Value.t) list * int) list -> int
 (** Appends one record per statement — a single [write] followed by a
     single [fsync], so a multi-statement transaction reaches the disk
     as one batch.  Returns the sequence number of the last record
     written (0 if the batch was empty, which performs no I/O). *)
 
 val append_encoded :
-  writer -> (string * (string * Value.t) list) list -> (int * string) list
+  writer ->
+  (string * (string * Value.t) list * int) list ->
+  (int * string) list
 (** Like {!append}, but returns each record's [(seq, framed bytes)] —
     the framed form is byte-identical to what was written to the file
     (len · crc · payload), so a primary can ship the very same

@@ -18,6 +18,7 @@ let () =
       ("mvcc", Test_mvcc.suite);
       ("ivm", Test_ivm.suite);
       ("obs", Test_obs.suite);
+      ("tracing", Test_tracing.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("naive-oracle", Test_naive_oracle.suite);
       ("schema", Test_schema.suite);

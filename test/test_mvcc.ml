@@ -151,6 +151,7 @@ let group_commit_shares_one_fsync () =
             {
               Session.lg_text = Printf.sprintf "CREATE (:G {i: %d})" (i + 1);
               lg_params = [];
+              lg_trace = 0;
             };
           ])
       graphs

@@ -144,11 +144,12 @@ let slow_query_log_threshold () =
     (fun () ->
       Slowlog.set_threshold_ms (Some 1000.);
       Slowlog.note ~query:"just_under" ~mode:"planned" ~elapsed_us:999_999
-        ~rows:0 ~spans:[];
+        ~rows:0 ~spans:[] ();
       Alcotest.(check int) "below the threshold: silent" 0 (List.length !lines);
       Slowlog.note ~query:"right_at" ~mode:"planned" ~elapsed_us:1_000_000
         ~rows:3
-        ~spans:[ ("execute", 42) ];
+        ~spans:[ ("execute", 42) ]
+        ();
       Alcotest.(check int) "at the threshold: logged" 1 (List.length !lines);
       let line = List.hd !lines in
       Alcotest.(check bool) "line carries the query text" true

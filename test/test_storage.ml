@@ -280,13 +280,14 @@ let snapshot_rejects_corruption () =
 
 let sample_stmts =
   [
-    ("CREATE (:Person {name: $name})", [ ("name", vstr "Ada") ]);
-    ("MATCH (n:Person) SET n.seen = true", []);
+    ("CREATE (:Person {name: $name})", [ ("name", vstr "Ada") ], 0x1a2b3c);
+    ("MATCH (n:Person) SET n.seen = true", [], 0);
     ( "CREATE (:Event {at: $at, tags: $tags})",
       [
         ("at", Value.Temporal (Value.Date 20000));
         ("tags", vlist [ vstr ""; vint 3; Value.Float Float.nan ]);
-      ] );
+      ],
+      max_int );
   ]
 
 let wal_roundtrip () =
@@ -297,7 +298,7 @@ let wal_roundtrip () =
   Wal.close_writer w;
   (* reopen for append, continuing the sequence *)
   let w = Wal.open_writer ~next_seq:(last + 1) path in
-  let last = Wal.append w [ ("MATCH (n) DETACH DELETE n", []) ] in
+  let last = Wal.append w [ ("MATCH (n) DETACH DELETE n", [], 0) ] in
   Alcotest.(check int) "seq continues" 4 last;
   Wal.close_writer w;
   match Wal.scan path with
@@ -309,9 +310,10 @@ let wal_roundtrip () =
       "sequence numbers" [ 1; 2; 3; 4 ]
       (List.map (fun r -> r.Wal.seq) scan.Wal.records);
     List.iteri
-      (fun i (text, params) ->
+      (fun i (text, params, trace) ->
         let r = List.nth scan.Wal.records i in
         Alcotest.(check string) "text" text r.Wal.text;
+        Alcotest.(check int) "trace id" trace r.Wal.trace;
         Alcotest.(check int) "params arity" (List.length params)
           (List.length r.Wal.params);
         List.iter2
@@ -387,9 +389,9 @@ let wal_replay_executes () =
   ignore
     (Wal.append w
        [
-         ("CREATE (:L {v: $v})", [ ("v", vint 1) ]);
-         ("CREATE (:L {v: $v})", [ ("v", vint 2) ]);
-         ("MATCH (n:L) SET n.v = n.v * 10", []);
+         ("CREATE (:L {v: $v})", [ ("v", vint 1) ], 0);
+         ("CREATE (:L {v: $v})", [ ("v", vint 2) ], 0);
+         ("MATCH (n:L) SET n.v = n.v * 10", [], 0);
        ]);
   Wal.close_writer w;
   match Wal.scan path with
