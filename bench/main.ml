@@ -2059,6 +2059,166 @@ let b20 () =
   close_out oc;
   Printf.printf "(B20 results written to %s)\n" path
 
+(* ------------------------------------------------------------------ *)
+(* B21: planner-native path finding                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bound-endpoint shortestPath and cheapestPath on generator social
+   graphs, planner (bidirectional BFS / Dijkstra physical operators)
+   against the reference evaluator's per-pattern search.  The pairs are
+   drawn once per size so both engines answer the same questions. *)
+
+type b21_scale = {
+  ps_nodes : int;
+  ps_rels : int;
+  ps_planner_us : int array;  (* per-pair shortestPath, Planned mode *)
+  ps_reference_us : int array;  (* per-pair shortestPath, Reference mode *)
+  ps_cheapest_us : int array;  (* per-pair cheapestPath, Planned mode *)
+  ps_rows : int;  (* sanity: total result rows across planner runs *)
+}
+
+let b21_time_query mode g q =
+  let t0 = Unix.gettimeofday () in
+  match Engine.query ~mode g q with
+  | Error e -> failwith ("B21: " ^ e)
+  | Ok out ->
+    ( int_of_float ((Unix.gettimeofday () -. t0) *. 1e6),
+      Table.row_count out.Engine.table )
+
+let b21_scale ~pairs ~ref_pairs ~cheap_pairs nodes =
+  Printf.printf "  building social graph (%d people)...\n%!" nodes;
+  let g = Generate.social ~seed:21 ~people:nodes ~avg_friends:8 in
+  (* the planner seeks the bound endpoints through the name index; the
+     reference evaluator scans — that asymmetry is part of what the
+     experiment prices *)
+  let g = Graph.create_index g ~label:"Person" ~key:"name" in
+  let people = Array.of_list (Graph.nodes_with_label g "Person") in
+  let rng = Cypher_gen.Prng.create 2121 in
+  let name i =
+    match Graph.node_prop g people.(i) "name" with
+    | Cypher_values.Value.String s -> s
+    | _ -> failwith "B21: person without a name"
+  in
+  let endpoints =
+    Array.init pairs (fun _ ->
+        ( name (Cypher_gen.Prng.int rng (Array.length people)),
+          name (Cypher_gen.Prng.int rng (Array.length people)) ))
+  in
+  let shortest_q (a, b) =
+    Printf.sprintf
+      "MATCH p = shortestPath((a:Person {name: '%s'})-[:FRIEND*]-(b:Person \
+       {name: '%s'})) RETURN length(p)"
+      a b
+  in
+  let cheapest_q (a, b) =
+    Printf.sprintf
+      "MATCH p = cheapestPath((a:Person {name: '%s'})-[:FRIEND*]-(b:Person \
+       {name: '%s'}), 'since') RETURN length(p)"
+      a b
+  in
+  (* the point of the exercise: the plan must name the path operator *)
+  (match Engine.explain g (shortest_q endpoints.(0)) with
+  | Ok text ->
+    let contains s =
+      let n = String.length s and h = String.length text in
+      let rec go i = i + n <= h && (String.sub text i n = s || go (i + 1)) in
+      go 0
+    in
+    if not (contains "ShortestPath") then
+      failwith ("B21: shortestPath did not plan natively:\n" ^ text)
+  | Error e -> failwith ("B21 explain: " ^ e));
+  (* warm the statistics cache outside the timings *)
+  ignore (b21_time_query Engine.Planned g (shortest_q endpoints.(0)));
+  let rows = ref 0 in
+  let time_all mode count mk =
+    Array.map
+      (fun ep ->
+        let us, n = b21_time_query mode g (mk ep) in
+        rows := !rows + n;
+        us)
+      (Array.sub endpoints 0 count)
+  in
+  let planner_us = time_all Engine.Planned pairs shortest_q in
+  let cheapest_us = time_all Engine.Planned cheap_pairs cheapest_q in
+  let reference_us = time_all Engine.Reference ref_pairs shortest_q in
+  Array.sort compare planner_us;
+  Array.sort compare cheapest_us;
+  Array.sort compare reference_us;
+  {
+    ps_nodes = nodes;
+    ps_rels = Graph.rel_count g;
+    ps_planner_us = planner_us;
+    ps_reference_us = reference_us;
+    ps_cheapest_us = cheapest_us;
+    ps_rows = !rows;
+  }
+
+let b21 () =
+  let small = b19_env_int "B21_SMALL" 100_000 in
+  let large = b19_env_int "B21_NODES" 1_000_000 in
+  let pairs = b19_env_int "B21_PAIRS" 20 in
+  let ref_pairs = b19_env_int "B21_REF_PAIRS" 5 in
+  let cheap_pairs = b19_env_int "B21_CHEAP_PAIRS" 5 in
+  Printf.printf
+    "\nB21 planner-native path finding: bound-endpoint shortestPath and \
+     cheapestPath,\n\
+     planner operators vs the reference evaluator (%d pairs, %d reference \
+     pairs)\n\
+     %!"
+    pairs ref_pairs;
+  let results =
+    List.map
+      (fun n -> b21_scale ~pairs ~ref_pairs ~cheap_pairs n)
+      [ small; large ]
+  in
+  let p50 a = b19_percentile a 0.5 and p95 a = b19_percentile a 0.95 in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %8d nodes %8d rels   planner p50 %6d us  p95 %6d us   cheapest \
+         p50 %6d us   reference p50 %8d us   speedup %5.1fx\n\
+         %!"
+        r.ps_nodes r.ps_rels (p50 r.ps_planner_us) (p95 r.ps_planner_us)
+        (p50 r.ps_cheapest_us) (p50 r.ps_reference_us)
+        (float_of_int (p50 r.ps_reference_us)
+        /. float_of_int (max 1 (p50 r.ps_planner_us))))
+    results;
+  let path =
+    try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH_pr10.json"
+  in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"pr\": 10,\n";
+  out
+    "  \"experiment\": \"B21 planner-native path finding: bound-endpoint \
+     shortestPath (bidirectional BFS) and cheapestPath (Dijkstra) vs the \
+     reference evaluator\",\n";
+  out
+    "  \"workload\": \"social graphs (avg 8 friends), %d random endpoint \
+     pairs per size, undirected FRIEND shortestPath; reference timed on %d \
+     pairs\",\n"
+    pairs ref_pairs;
+  out "  \"scales\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\n";
+      out "      \"nodes\": %d,\n" r.ps_nodes;
+      out "      \"rels\": %d,\n" r.ps_rels;
+      out "      \"planner_shortest_p50_us\": %d,\n" (p50 r.ps_planner_us);
+      out "      \"planner_shortest_p95_us\": %d,\n" (p95 r.ps_planner_us);
+      out "      \"planner_cheapest_p50_us\": %d,\n" (p50 r.ps_cheapest_us);
+      out "      \"reference_shortest_p50_us\": %d,\n" (p50 r.ps_reference_us);
+      out "      \"speedup_p50\": %.1f\n"
+        (float_of_int (p50 r.ps_reference_us)
+        /. float_of_int (max 1 (p50 r.ps_planner_us)));
+      out "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "(B21 results written to %s)\n" path
+
 let groups =
   [
     ( "tables",
@@ -2070,7 +2230,7 @@ let groups =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11);
     ("b12", b12); ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16);
-    ("b17", b17); ("b18", b18); ("b19", b19); ("b20", b20);
+    ("b17", b17); ("b18", b18); ("b19", b19); ("b20", b20); ("b21", b21);
   ]
 
 let () =

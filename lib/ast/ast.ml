@@ -16,6 +16,24 @@ open Cypher_values
 (* d ∈ {→, ←, ↔} *)
 type direction = Left_to_right | Right_to_left | Undirected
 
+(* Relationship-type regular expression: the RPQ layer over relationship
+   types (GPC / GQL-PGQ).  Concatenation is written by juxtaposition,
+   alternation with |, and the usual postfix closures apply.  A regex
+   hop matches a finite rel-unique walk whose type word is in the
+   language. *)
+type type_regex =
+  | TR_type of string (* one relationship type *)
+  | TR_seq of type_regex list (* r1 r2 ... juxtaposition *)
+  | TR_alt of type_regex list (* r1|r2|... *)
+  | TR_star of type_regex (* r* *)
+  | TR_plus of type_regex (* r+ *)
+  | TR_opt of type_regex (* r? *)
+
+(* GQL-style path restrictor: WALK places no restriction (classic Cypher
+   semantics), TRAIL forbids repeated relationships within the path,
+   ACYCLIC forbids repeated nodes. *)
+type path_restrictor = Walk | Trail | Acyclic
+
 (* A node pattern χ = (a, L, P). *)
 type node_pattern = {
   np_name : string option;
@@ -27,26 +45,36 @@ type node_pattern = {
    i.e. a rigid single-hop pattern. *)
 and len_range = { len_min : int option; len_max : int option }
 
-(* A relationship pattern ρ = (d, a, T, P, I). *)
+(* A relationship pattern ρ = (d, a, T, P, I).  When [rp_regex] is
+   present the hop is a regular path query over relationship types:
+   [rp_types] is empty and any variable binds the list of traversed
+   relationships. *)
 and rel_pattern = {
   rp_dir : direction;
   rp_name : string option;
   rp_types : string list;
   rp_props : (string * expr) list;
   rp_len : len_range option;
+  rp_regex : type_regex option;
 }
 
 (* A path pattern χ1 ρ1 χ2 ... ρn-1 χn, optionally named (π/a).  The
    shortest-path modifier is the classic Cypher shortestPath(...) /
-   allShortestPaths(...) wrapper around a single-hop pattern. *)
+   allShortestPaths(...) / cheapestPath(..., 'cost') wrapper around a
+   single-hop pattern; [pp_restr] is the GQL-style restrictor prefix. *)
 and path_pattern = {
   pp_name : string option;
   pp_first : node_pattern;
   pp_rest : (rel_pattern * node_pattern) list;
   pp_shortest : shortest_mode;
+  pp_restr : path_restrictor;
 }
 
-and shortest_mode = No_shortest | Shortest | All_shortest
+and shortest_mode =
+  | No_shortest
+  | Shortest
+  | All_shortest
+  | Cheapest of string (* numeric cost property summed over the path *)
 
 (* ------------------------------------------------------------------ *)
 (* Expressions (Figure 5)                                              *)
@@ -212,11 +240,46 @@ and single_query = {
 let node ?name ?(labels = []) ?(props = []) () =
   { np_name = name; np_labels = labels; np_props = props }
 
-let rel ?name ?(types = []) ?(props = []) ?len dir =
-  { rp_dir = dir; rp_name = name; rp_types = types; rp_props = props; rp_len = len }
+let rel ?name ?(types = []) ?(props = []) ?len ?regex dir =
+  {
+    rp_dir = dir;
+    rp_name = name;
+    rp_types = types;
+    rp_props = props;
+    rp_len = len;
+    rp_regex = regex;
+  }
 
-let path ?name ?(shortest = No_shortest) first rest =
-  { pp_name = name; pp_first = first; pp_rest = rest; pp_shortest = shortest }
+let path ?name ?(shortest = No_shortest) ?(restr = Walk) first rest =
+  {
+    pp_name = name;
+    pp_first = first;
+    pp_rest = rest;
+    pp_shortest = shortest;
+    pp_restr = restr;
+  }
+
+(* Concrete syntax of a type regex, parenthesised so that
+   [parse ∘ print] is the identity under the rel-detail grammar. *)
+let rec regex_to_string = function
+  | TR_type t -> t
+  | TR_seq rs ->
+    String.concat " "
+      (List.map
+         (fun r ->
+           match r with
+           | TR_alt _ -> "(" ^ regex_to_string r ^ ")"
+           | _ -> regex_to_string r)
+         rs)
+  | TR_alt rs -> String.concat "|" (List.map regex_to_string rs)
+  | TR_star r -> regex_postfix_operand r ^ "*"
+  | TR_plus r -> regex_postfix_operand r ^ "+"
+  | TR_opt r -> regex_postfix_operand r ^ "?"
+
+and regex_postfix_operand r =
+  match r with
+  | TR_type t -> t
+  | _ -> "(" ^ regex_to_string r ^ ")"
 
 let int_ i = E_lit (L_int i)
 let float_ f = E_lit (L_float f)
@@ -274,6 +337,8 @@ let range_of_len = function
     (Option.value len_min ~default:1, len_max)
 
 let rel_is_rigid rp =
+  rp.rp_regex = None
+  &&
   match rp.rp_len with
   | None -> true
   | Some { len_min = Some m; len_max = Some n } -> m = n

@@ -202,16 +202,22 @@ and pp_rel_pattern ppf rp =
   let body ppf =
     let empty =
       rp.rp_name = None && rp.rp_types = [] && rp.rp_len = None
-      && rp.rp_props = []
+      && rp.rp_props = [] && rp.rp_regex = None
     in
     if not empty then (
       Format.pp_print_string ppf "[";
       Option.iter (Format.pp_print_string ppf) rp.rp_name;
-      (match rp.rp_types with
-      | [] -> ()
-      | t :: ts ->
-        pf ppf ":%s" t;
-        List.iter (fun t -> pf ppf "|%s" t) ts);
+      (match rp.rp_regex with
+      | Some re ->
+        (* the regex form always starts with a group, which is what
+           distinguishes it from a plain type list in the parser *)
+        pf ppf ":(%s)" (regex_to_string re)
+      | None ->
+        (match rp.rp_types with
+        | [] -> ()
+        | t :: ts ->
+          pf ppf ":%s" t;
+          List.iter (fun t -> pf ppf "|%s" t) ts));
       Option.iter (pp_len ppf) rp.rp_len;
       pp_props ppf rp.rp_props;
       Format.pp_print_string ppf "]")
@@ -223,17 +229,23 @@ and pp_rel_pattern ppf rp =
 
 and pp_path_pattern ppf pp =
   Option.iter (fun a -> pf ppf "%s = " a) pp.pp_name;
+  (match pp.pp_restr with
+  | Walk -> ()
+  | Trail -> Format.pp_print_string ppf "TRAIL "
+  | Acyclic -> Format.pp_print_string ppf "ACYCLIC ");
   (match pp.pp_shortest with
   | No_shortest -> ()
   | Shortest -> Format.pp_print_string ppf "shortestPath("
-  | All_shortest -> Format.pp_print_string ppf "allShortestPaths(");
+  | All_shortest -> Format.pp_print_string ppf "allShortestPaths("
+  | Cheapest _ -> Format.pp_print_string ppf "cheapestPath(");
   pp_node_pattern ppf pp.pp_first;
   List.iter
     (fun (rp, np) -> pf ppf "%a%a" pp_rel_pattern rp pp_node_pattern np)
     pp.pp_rest;
   match pp.pp_shortest with
   | No_shortest -> ()
-  | Shortest | All_shortest -> Format.pp_print_string ppf ")" 
+  | Shortest | All_shortest -> Format.pp_print_string ppf ")"
+  | Cheapest prop -> pf ppf ", '%s')" prop
 
 let pp_expr ppf e = pp_prec 0 ppf e
 let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -36,6 +36,13 @@ let m_query_latency =
   Registry.histogram ~help:"end-to-end query latency (microsecond buckets)"
     "cypher_engine_query_latency"
 
+let m_reference_fallback =
+  Registry.counter
+    ~help:
+      "Planned-mode queries silently re-run on the reference evaluator \
+       because the planner raised Unsupported"
+    "cypher_engine_reference_fallback_total"
+
 type mode = Reference | Planned
 
 type outcome = { graph : Graph.t; table : Table.t }
@@ -48,8 +55,13 @@ let mode_name = function Planned -> "planned" | Reference -> "reference"
    points ({!query_e}, {!query_cached}) wrap exactly once; everything
    they call internally goes through unobserved helpers, so nothing
    double-counts.  [?cache_hit] is a cell the caller flips when the
-   query resolved through the plan cache. *)
-let observe_query ~mode ~text ?(cache_hit = ref false) f =
+   query resolved through the plan cache; [?fallback] is a cell
+   {!run_ast} fills with the planner's Unsupported message when a
+   Planned-mode query silently fell back to the reference evaluator, so
+   the slow-query log names both the mode asked for and the one that
+   ran. *)
+let observe_query ~mode ~text ?(cache_hit = ref false)
+    ?(fallback : string option ref = ref None) f =
   Registry.incr
     (match mode with
     | Planned -> m_queries_planned
@@ -85,11 +97,17 @@ let observe_query ~mode ~text ?(cache_hit = ref false) f =
   if Qstats.enabled () then
     Qstats.observe ~text ~elapsed_us ~rows ~db_hits ~cache_hit:!cache_hit
       ~error:(Result.is_error result) ~trace;
-  if slow then
+  if slow then begin
+    let mode_str =
+      match !fallback with
+      | Some _ -> mode_name mode ^ "+reference-fallback"
+      | None -> mode_name mode
+    in
     Slowlog.note ~trace_id:trace
       ~fingerprint:(Qstats.fingerprint_hash text)
       ~conn:(Slowlog.current_conn ())
-      ~query:text ~mode:(mode_name mode) ~elapsed_us ~rows ~spans ();
+      ~query:text ~mode:mode_str ~elapsed_us ~rows ~spans ()
+  end;
   result
 
 (* Clauses executed by the reference implementation between plan
@@ -301,8 +319,10 @@ let classify text =
         | Ok ast -> classify_ast ast)))
 
 (* Evaluation of an already-parsed, already-scope-checked query — shared
-   between the one-shot path and the plan-cache hit path. *)
-let run_ast config mode g ast =
+   between the one-shot path and the plan-cache hit path.  [?fallback]
+   reports a Planned→Reference downgrade to the caller's observation
+   wrapper (see {!observe_query}). *)
+let run_ast ?(fallback : string option ref = ref None) config mode g ast =
   let use_reference =
     mode = Reference || config.Config.morphism <> Config.Edge_isomorphism
   in
@@ -316,9 +336,15 @@ let run_ast config mode g ast =
       else
         (* planner limitations (e.g. ORDER BY on a non-projected
            variable under DISTINCT) fall back to the reference
-           semantics rather than failing *)
+           semantics rather than failing — but never silently: the
+           downgrade is counted, traced with its reason, and stamped
+           onto the slow-query log entry by the caller *)
         try run_query_planned config g ast
-        with Build.Unsupported _ -> reference ())
+        with Build.Unsupported msg ->
+          Registry.incr m_reference_fallback;
+          fallback := Some msg;
+          Trace.note ~attrs:[ ("reason", msg) ] "reference_fallback" 0;
+          reference ())
 
 (* EXPLAIN/PROFILE as query prefixes return the rendering as a
    one-column table, so the same plans travel over the wire protocol
@@ -433,7 +459,7 @@ let profile_e ?(config = Config.default) g text =
 (* Unobserved evaluation: the shared body of every public entry point.
    EXPLAIN/PROFILE prefixes and index DDL are handled here so the typed
    path used by the server sees them too, not only the string API. *)
-let query_raw ?(config = Config.default) ?(mode = Planned) g text =
+let query_raw ?fallback ?(config = Config.default) ?(mode = Planned) g text =
   match parse_index_ddl text with
   | Some (Error e) -> Error (Parse_error e)
   | Some (Ok (action, label, key)) ->
@@ -460,10 +486,12 @@ let query_raw ?(config = Config.default) ?(mode = Planned) g text =
     | Error e -> Error (Parse_error e)
     | Ok ast when Result.is_error (Scope_check.check_query ast) ->
       Error (Syntax_error (Result.get_error (Scope_check.check_query ast)))
-    | Ok ast -> run_ast config mode g ast)
+    | Ok ast -> run_ast ?fallback config mode g ast)
 
 let query_e ?(config = Config.default) ?(mode = Planned) g text =
-  observe_query ~mode ~text (fun () -> query_raw ~config ~mode g text)
+  let fallback = ref None in
+  observe_query ~mode ~text ~fallback (fun () ->
+      query_raw ~fallback ~config ~mode g text)
 
 let query_plain ?config ?mode g text =
   Result.map_error error_message (query_e ?config ?mode g text)
@@ -639,7 +667,7 @@ let plan_cacheable = function
     not (List.exists is_update_clause sq_clauses)
   | _ -> false
 
-let run_cached_entry cache config g entry =
+let run_cached_entry ?fallback cache config g entry =
   if plan_cacheable entry.ce_ast then begin
     let version = Graph.version g in
     let compiled =
@@ -668,18 +696,19 @@ let run_cached_entry cache config g entry =
               Trace.with_span "execute" (fun () ->
                   exec_run config g ~fields plan Table.unit);
           })
-    | None -> run_ast config Planned g entry.ce_ast
+    | None -> run_ast ?fallback config Planned g entry.ce_ast
   end
-  else run_ast config Planned g entry.ce_ast
+  else run_ast ?fallback config Planned g entry.ce_ast
 
 let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
   let cache_hit = ref false in
-  observe_query ~mode ~text ~cache_hit @@ fun () ->
+  let fallback = ref None in
+  observe_query ~mode ~text ~cache_hit ~fallback @@ fun () ->
   let cacheable_config =
     mode = Planned && config.Config.morphism = Config.Edge_isomorphism
   in
   if not cacheable_config then
-    Result.map_error error_message (query_raw ~config ~mode g text)
+    Result.map_error error_message (query_raw ~fallback ~config ~mode g text)
   else begin
     let params =
       List.map fst (Cypher_values.Value.Smap.bindings config.Config.params)
@@ -688,7 +717,8 @@ let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
     match Plan_cache.find cache.entries key with
     | Some entry ->
       cache_hit := true;
-      Result.map_error error_message (run_cached_entry cache config g entry)
+      Result.map_error error_message
+        (run_cached_entry ~fallback cache config g entry)
     | None -> (
       (* Miss: parse and scope-check once.  Index DDL and EXPLAIN/PROFILE
          prefixes do not parse as queries and take the uncached path. *)
@@ -700,5 +730,6 @@ let query_cached ~cache ?(config = Config.default) ?(mode = Planned) g text =
         | Ok _ ->
           let entry = { ce_ast = ast; ce_plan = None } in
           Plan_cache.add cache.entries key entry;
-          Result.map_error error_message (run_cached_entry cache config g entry)))
+          Result.map_error error_message
+            (run_cached_entry ~fallback cache config g entry)))
   end

@@ -216,6 +216,7 @@ type plan = {
 let check_pattern (pp : Ast.path_pattern) =
   if pp.Ast.pp_name <> None then unsupported "named paths";
   if pp.Ast.pp_shortest <> Ast.No_shortest then unsupported "shortestPath";
+  if pp.Ast.pp_restr <> Ast.Walk then unsupported "path restrictor";
   let check_props props =
     List.iter
       (fun (_, e) ->
@@ -229,6 +230,7 @@ let check_pattern (pp : Ast.path_pattern) =
     (fun ((rp : Ast.rel_pattern), (np : Ast.node_pattern)) ->
       if rp.Ast.rp_len <> None then
         unsupported "variable-length relationships";
+      if rp.Ast.rp_regex <> None then unsupported "type regex";
       check_props rp.Ast.rp_props;
       check_props np.Ast.np_props)
     pp.Ast.pp_rest
@@ -413,6 +415,7 @@ let split_at plan j =
       pp_first = node_at j;
       pp_rest = Array.to_list (Array.sub rest j (k - j));
       pp_shortest = Ast.No_shortest;
+      pp_restr = Ast.Walk;
     }
   in
   let prefix_rest =
@@ -427,6 +430,7 @@ let split_at plan j =
       pp_first = node_at j;
       pp_rest = prefix_rest;
       pp_shortest = Ast.No_shortest;
+      pp_restr = Ast.Walk;
     }
   in
   [ prefix; suffix ]

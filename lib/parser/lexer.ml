@@ -29,6 +29,7 @@ type token =
   | Slash
   | Percent
   | Caret
+  | Question
   | Eof
 
 type position = { line : int; col : int }
@@ -206,6 +207,7 @@ let next_token st =
       | '/' -> advance st; Slash
       | '%' -> advance st; Percent
       | '^' -> advance st; Caret
+      | '?' -> advance st; Question
       | '.' ->
         advance st;
         if peek st 0 = Some '.' then (advance st; Dotdot) else Dot
@@ -277,4 +279,5 @@ let pp_token ppf = function
   | Slash -> Format.pp_print_string ppf "/"
   | Percent -> Format.pp_print_string ppf "%"
   | Caret -> Format.pp_print_string ppf "^"
+  | Question -> Format.pp_print_string ppf "?"
   | Eof -> Format.pp_print_string ppf "<eof>"

@@ -36,6 +36,7 @@ type token =
   | Slash
   | Percent
   | Caret
+  | Question
   | Eof
 
 type position = { line : int; col : int }

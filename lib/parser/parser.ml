@@ -594,6 +594,57 @@ and parse_len_range st =
     | _ -> error st "expected an integer after '..' in a length range")
   | _ -> { len_min = None; len_max = None }
 
+and parse_regex_alt st =
+  let first = parse_regex_seq st in
+  let rec go acc =
+    if cur st = Lexer.Pipe then (
+      advance st;
+      go (parse_regex_seq st :: acc))
+    else List.rev acc
+  in
+  match go [ first ] with [ r ] -> r | rs -> TR_alt rs
+
+and parse_regex_seq st =
+  let rec atoms acc =
+    match cur st with
+    | Lexer.Ident _ | Lexer.Lparen -> atoms (parse_regex_postfix st :: acc)
+    | _ -> List.rev acc
+  in
+  match atoms [] with
+  | [] -> error st "expected a relationship type or group in a type regex"
+  | [ r ] -> r
+  | rs -> TR_seq rs
+
+and parse_regex_postfix st =
+  let atom =
+    match cur st with
+    | Lexer.Lparen ->
+      advance st;
+      let r = parse_regex_alt st in
+      eat st Lexer.Rparen;
+      r
+    | Lexer.Ident t ->
+      advance st;
+      TR_type t
+    | tok ->
+      error st "expected a relationship type or group in a type regex, found %a"
+        Lexer.pp_token tok
+  in
+  let rec post r =
+    match cur st with
+    | Lexer.Star ->
+      advance st;
+      post (TR_star r)
+    | Lexer.Plus ->
+      advance st;
+      post (TR_plus r)
+    | Lexer.Question ->
+      advance st;
+      post (TR_opt r)
+    | _ -> r
+  in
+  post atom
+
 and parse_rel_detail st =
   (* inside [ ... ] *)
   eat st Lexer.Lbracket;
@@ -605,40 +656,51 @@ and parse_rel_detail st =
     | _ -> None
   in
   let types = ref [] in
+  let regex = ref None in
   if cur st = Lexer.Colon then (
     advance st;
-    types := [ ident st ];
-    while cur st = Lexer.Pipe do
-      advance st;
-      if cur st = Lexer.Colon then advance st;
-      types := ident st :: !types
-    done);
+    (* a group right after ':' switches to the type-regex grammar:
+       -[r:(A|B) C*]-> ; a bare identifier keeps the classic type list *)
+    if cur st = Lexer.Lparen then regex := Some (parse_regex_alt st)
+    else (
+      types := [ ident st ];
+      while cur st = Lexer.Pipe do
+        advance st;
+        if cur st = Lexer.Colon then advance st;
+        types := ident st :: !types
+      done));
   let len =
     if cur st = Lexer.Star then (
+      if !regex <> None then
+        error st
+          "a type-regex relationship cannot also take a *length range; use \
+           regex closures instead";
       advance st;
       Some (parse_len_range st))
     else None
   in
   let props = if cur st = Lexer.Lbrace then parse_map_entries st else [] in
   eat st Lexer.Rbracket;
-  (name, List.rev !types, len, props)
+  (name, List.rev !types, len, props, !regex)
 
 and parse_rel_pattern st =
   match cur st with
   | Lexer.Lt ->
     advance st;
     eat st Lexer.Minus;
-    let name, types, len, props =
-      if cur st = Lexer.Lbracket then parse_rel_detail st else (None, [], None, [])
+    let name, types, len, props, regex =
+      if cur st = Lexer.Lbracket then parse_rel_detail st
+      else (None, [], None, [], None)
     in
     eat st Lexer.Minus;
     if cur st = Lexer.Gt then error st "a relationship cannot point both ways";
     { rp_dir = Right_to_left; rp_name = name; rp_types = types;
-      rp_props = props; rp_len = len }
+      rp_props = props; rp_len = len; rp_regex = regex }
   | Lexer.Minus ->
     advance st;
-    let name, types, len, props =
-      if cur st = Lexer.Lbracket then parse_rel_detail st else (None, [], None, [])
+    let name, types, len, props, regex =
+      if cur st = Lexer.Lbracket then parse_rel_detail st
+      else (None, [], None, [], None)
     in
     eat st Lexer.Minus;
     let dir =
@@ -648,7 +710,7 @@ and parse_rel_pattern st =
       else Undirected
     in
     { rp_dir = dir; rp_name = name; rp_types = types; rp_props = props;
-      rp_len = len }
+      rp_len = len; rp_regex = regex }
   | tok -> error st "expected a relationship pattern, found %a" Lexer.pp_token tok
 
 and parse_anon_pattern st =
@@ -661,7 +723,8 @@ and parse_anon_pattern st =
       hops ((rp, np) :: acc)
     | _ -> List.rev acc
   in
-  { pp_name = None; pp_first = first; pp_rest = hops []; pp_shortest = No_shortest }
+  { pp_name = None; pp_first = first; pp_rest = hops [];
+    pp_shortest = No_shortest; pp_restr = Walk }
 
 and parse_maybe_shortest st =
   match cur st with
@@ -680,17 +743,88 @@ and parse_maybe_shortest st =
     if List.length p.pp_rest <> 1 then
       error st "%s requires a single-relationship pattern" name;
     { p with pp_shortest = mode }
+  | Lexer.Ident name
+    when String.lowercase_ascii name = "cheapestpath"
+         && peek_at st 1 = Lexer.Lparen ->
+    advance st;
+    eat st Lexer.Lparen;
+    let p = parse_anon_pattern st in
+    eat st Lexer.Comma;
+    let prop =
+      match cur st with
+      | Lexer.String_lit s ->
+        advance st;
+        s
+      | tok ->
+        error st "cheapestPath expects a quoted cost property name, found %a"
+          Lexer.pp_token tok
+    in
+    eat st Lexer.Rparen;
+    if List.length p.pp_rest <> 1 then
+      error st "cheapestPath requires a single-relationship pattern";
+    { p with pp_shortest = Cheapest prop }
   | _ -> parse_anon_pattern st
 
+(* GQL-style prefixes before the pattern body: path-mode restrictors
+   (TRAIL / ACYCLIC / WALK) and selectors (SHORTEST / ANY SHORTEST /
+   ALL SHORTEST), in either order. *)
+and parse_path_prefixes st =
+  let restr = ref Walk and sel = ref None in
+  let rec go () =
+    if at_kw st "TRAIL" then (
+      advance st;
+      restr := Trail;
+      go ())
+    else if at_kw st "ACYCLIC" then (
+      advance st;
+      restr := Acyclic;
+      go ())
+    else if at_kw st "WALK" then (
+      advance st;
+      restr := Walk;
+      go ())
+    else if at_kw st "ALL" && is_kw_tok (peek_at st 1) "SHORTEST" then (
+      advance st;
+      advance st;
+      sel := Some All_shortest;
+      go ())
+    else if at_kw st "ANY" && is_kw_tok (peek_at st 1) "SHORTEST" then (
+      advance st;
+      advance st;
+      sel := Some Shortest;
+      go ())
+    else if at_kw st "SHORTEST" then (
+      advance st;
+      sel := Some Shortest;
+      go ())
+  in
+  go ();
+  (!restr, !sel)
+
 and parse_pattern st =
-  (* [name =] [shortestPath(...)] anonymous_pattern *)
+  (* [name =] [TRAIL|ACYCLIC] [SHORTEST|ALL SHORTEST]
+     [shortestPath(...)|allShortestPaths(...)|cheapestPath(..., 'p')]
+     anonymous_pattern *)
+  let body st =
+    let restr, sel = parse_path_prefixes st in
+    let p = parse_maybe_shortest st in
+    let p =
+      match sel with
+      | None -> p
+      | Some mode ->
+        if p.pp_shortest <> No_shortest then
+          error st "conflicting shortest-path selectors on one pattern";
+        { p with pp_shortest = mode }
+    in
+    if restr <> Walk then { p with pp_restr = restr } else p
+  in
   match cur st, peek_at st 1 with
   | Lexer.Ident name, Lexer.Eq ->
     advance st;
     advance st;
-    let p = parse_maybe_shortest st in
+    let p = body st in
     { p with pp_name = Some name }
-  | _ -> parse_maybe_shortest st
+  | _ -> body st
 
 and parse_pattern_tuple st =
   let rec go acc =

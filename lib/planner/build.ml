@@ -32,7 +32,9 @@ type named_path = {
 
 let name_path (pp : path_pattern) =
   if pp.pp_shortest <> No_shortest then
-    unsupported "shortestPath is evaluated by the reference engine";
+    unsupported
+      "shortestPath inside a larger pattern is evaluated by the reference \
+       engine";
   let node_var (np : node_pattern) =
     match np.np_name with Some a -> a | None -> fresh "node"
   in
@@ -51,9 +53,10 @@ let name_path (pp : path_pattern) =
   { orig = pp; node_vars; rel_hops }
 
 let hop_binding_of (rp : rel_pattern) var =
-  match rp.rp_len with
-  | None -> Plan.Single_rel var
-  | Some _ -> Plan.Rel_list var
+  match rp.rp_regex, rp.rp_len with
+  | Some _, _ -> Plan.Rel_list var (* a regex hop always binds a list *)
+  | None, None -> Plan.Single_rel var
+  | None, Some _ -> Plan.Rel_list var
 
 let node_patterns (pp : path_pattern) =
   Array.of_list (pp.pp_first :: List.map snd pp.pp_rest)
@@ -215,6 +218,25 @@ let compile_start ~stats bound (np, var) input =
 
 let compile_hop ~scan_rels from_var (rp, rel_var, np, node_var) input =
   let dir = plan_dir rp.rp_dir in
+  match rp.rp_regex with
+  | Some regex ->
+    (* RPQ hop: the NFA runs on the product graph inside the operator;
+       relationship property maps quantify over the traversed list, as
+       for a variable-length hop *)
+    let expand =
+      Plan.Regex_expand
+        { from_ = from_var; rel = rel_var; regex; dir; to_ = node_var; input }
+    in
+    let rel_props =
+      List.map
+        (fun (k, e) ->
+          E_quantified
+            (Q_all, "#r", E_var rel_var, E_cmp (Eq, E_prop (E_var "#r", k), e)))
+        rp.rp_props
+    in
+    add_filters expand
+      (node_constraints ~skip_labels:false node_var np @ rel_props)
+  | None ->
   let expand =
     match rp.rp_len with
     | None ->
@@ -256,6 +278,14 @@ let compile_path ~stats ~scan_rels bound named input =
     in
     if left_bound then `Left else if right_bound then `Right else orient
   in
+  (* a regex hop reads its labels left to right; traversing it from the
+     right would need the reversed automaton, so keep the written
+     orientation *)
+  let orient =
+    if Array.exists (fun (rp, _) -> rp.rp_regex <> None) named.rel_hops then
+      `Left
+    else orient
+  in
   let (start_np, start_var), hops = traversal named orient in
   (* if the pattern has no anchor at all but the first hop has a typed
      rigid relationship, a relationship-type scan is the cheapest leaf *)
@@ -270,7 +300,7 @@ let compile_path ~stats ~scan_rels bound named input =
       when (not scan_rels)
            && (not (Sset.mem start_var bound))
            && start_np.np_labels = [] && start_np.np_props = []
-           && rp.rp_len = None && rp.rp_types <> []
+           && rp.rp_len = None && rp.rp_regex = None && rp.rp_types <> []
            && type_total rp.rp_types < Stats.node_count stats ->
       let scan =
         Plan.Rel_type_scan
@@ -295,6 +325,22 @@ let compile_path ~stats ~scan_rels bound named input =
       (fun (plan, from_var) (rp, rel_var, np, node_var) ->
         (compile_hop ~scan_rels from_var (rp, rel_var, np, node_var) plan, node_var))
       (plan, chain_start) remaining_hops
+  in
+  (* GQL restrictor: filter on the reconstructed steps, in the original
+     left-to-right orientation *)
+  let plan =
+    if named.orig.pp_restr = Walk then plan
+    else
+      Plan.Path_restrict
+        {
+          restr = named.orig.pp_restr;
+          start_var = named.node_vars.(0);
+          hops =
+            List.map
+              (fun (rp, rv) -> hop_binding_of rp rv)
+              (Array.to_list named.rel_hops);
+          input = plan;
+        }
   in
   (* named path projection, in the original left-to-right orientation *)
   let plan =
@@ -324,6 +370,109 @@ let compile_path ~stats ~scan_rels bound named input =
   (plan, bound)
 
 (* ------------------------------------------------------------------ *)
+(* Compiling a shortestPath / allShortestPaths / cheapestPath pattern  *)
+(* ------------------------------------------------------------------ *)
+
+(* Both endpoints are compiled as ordinary starts (index seek, label
+   scan, bound-variable check), in the reference engine's order — the
+   start node first, then the end node — so every property expression
+   sees the same bindings.  The search itself runs in the dedicated
+   operator.  Anything needing the reference engine's deferred property
+   checks (an expression referencing a variable the search itself binds)
+   is left to the fallback. *)
+let compile_shortest ~stats bound (pp : path_pattern) input =
+  let rp, np_end =
+    match pp.pp_rest with
+    | [ seg ] -> seg
+    | segs ->
+      unsupported
+        "shortestPath over %d relationship segments is evaluated by the \
+         reference engine"
+        (List.length segs)
+  in
+  if rp.rp_regex <> None then
+    unsupported
+      "shortestPath over a type regex is evaluated by the reference engine";
+  let start_var =
+    match pp.pp_first.np_name with Some a -> a | None -> fresh "node"
+  in
+  let end_var = match np_end.np_name with Some a -> a | None -> fresh "node" in
+  let rel_var = match rp.rp_name with Some a -> a | None -> fresh "rel" in
+  let internal =
+    (match rp.rp_name with Some a -> [ a ] | None -> [])
+    @ match pp.pp_name with Some a -> [ a ] | None -> []
+  in
+  List.iter
+    (fun v ->
+      if Sset.mem v bound then
+        unsupported
+          "a rebound shortest-path variable is evaluated by the reference \
+           engine")
+    internal;
+  let refs props = List.concat_map (fun (_, e) -> Ast.expr_free_vars e) props in
+  let end_name = match np_end.np_name with Some a -> [ a ] | None -> [] in
+  if
+    List.exists
+      (fun v -> List.mem v (internal @ end_name))
+      (refs pp.pp_first.np_props)
+    || List.exists (fun v -> List.mem v internal) (refs np_end.np_props)
+  then
+    unsupported
+      "shortest-path endpoint properties referencing variables the search \
+       binds are evaluated by the reference engine";
+  let plan = compile_start ~stats bound (pp.pp_first, start_var) input in
+  let bound = Sset.add start_var bound in
+  let plan = compile_start ~stats bound (np_end, end_var) plan in
+  let bound = Sset.add end_var bound in
+  let min_len, max_len = Ast.range_of_len rp.rp_len in
+  let dir = plan_dir rp.rp_dir in
+  let plan =
+    match pp.pp_shortest with
+    | Cheapest cost_prop ->
+      if rp.rp_len = None || min_len > 1 || max_len <> None then
+        (* the reference engine owns the typed error message *)
+        unsupported
+          "cheapestPath over a bounded pattern is evaluated by the reference \
+           engine";
+      Plan.Cheapest_path
+        {
+          from_ = start_var;
+          to_ = end_var;
+          rel = rel_var;
+          types = rp.rp_types;
+          dir;
+          props = rp.rp_props;
+          cost_prop;
+          restr = pp.pp_restr;
+          path = pp.pp_name;
+          input = plan;
+        }
+    | Shortest | All_shortest ->
+      Plan.Shortest_path
+        {
+          from_ = start_var;
+          to_ = end_var;
+          rel = rel_var;
+          rel_single = (rp.rp_len = None);
+          types = rp.rp_types;
+          dir;
+          props = rp.rp_props;
+          min_len;
+          max_len;
+          all = (pp.pp_shortest = All_shortest);
+          restr = pp.pp_restr;
+          path = pp.pp_name;
+          input = plan;
+        }
+    | No_shortest -> assert false
+  in
+  let bound = Sset.add rel_var bound in
+  let bound =
+    match pp.pp_name with Some a -> Sset.add a bound | None -> bound
+  in
+  (plan, bound)
+
+(* ------------------------------------------------------------------ *)
 (* Compiling a pattern tuple (one MATCH)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -332,8 +481,60 @@ let pattern_vars named =
     (Sset.of_list (Array.to_list named.node_vars))
     (Sset.of_list (List.map snd (Array.to_list named.rel_hops)))
 
+(* A tuple with one shortest-path pattern compiles when every other
+   pattern is a bare node: then the tuple-wide relationship-uniqueness
+   state is empty during the search and the operator's result is exactly
+   the reference engine's.  Relationship hops elsewhere in the tuple
+   would have to feed their used-relationship set into the search (they
+   change *which* path is shortest, not just filter it), so those fall
+   back. *)
+let compile_tuple_with_shortest ~stats bound sp plain input =
+  if List.exists (fun (pp : path_pattern) -> pp.pp_rest <> []) plain then
+    unsupported
+      "shortestPath alongside other relationship patterns is evaluated by \
+       the reference engine";
+  let sp_names = Sset.of_list (Ast.free_path_pattern sp) in
+  let plain_own = Sset.of_list (List.concat_map Ast.free_path_pattern plain) in
+  List.iter
+    (fun (pp : path_pattern) ->
+      List.iter
+        (fun (_, e) ->
+          List.iter
+            (fun v ->
+              if
+                Sset.mem v sp_names
+                && (not (Sset.mem v plain_own))
+                && not (Sset.mem v bound)
+              then
+                unsupported
+                  "pattern properties referencing a shortest-path variable \
+                   are evaluated by the reference engine")
+            (Ast.expr_free_vars e))
+        pp.pp_first.np_props)
+    plain;
+  (* the node-only patterns first, in written order, then the search *)
+  let plan, bound =
+    List.fold_left
+      (fun (plan, bound) pp ->
+        compile_path ~stats ~scan_rels:false bound (name_path pp) plan)
+      (input, bound) plain
+  in
+  compile_shortest ~stats bound sp plan
+
 let compile_pattern_tuple ~stats ~scan_rels ?(ordering = `Greedy) bound
     patterns input =
+  match
+    List.partition
+      (fun (pp : path_pattern) -> pp.pp_shortest <> No_shortest)
+      patterns
+  with
+  | [ sp ], plain when not scan_rels ->
+    compile_tuple_with_shortest ~stats bound sp plain input
+  | _ :: _ :: _, _ ->
+    unsupported
+      "multiple shortest-path patterns in one MATCH are evaluated by the \
+       reference engine"
+  | _ ->
   let named = List.map name_path patterns in
   (* greedy ordering: repeatedly pick the pattern with the cheapest start
      given what is bound so far (connected patterns get cost 0.5 via a

@@ -71,6 +71,27 @@ let rec rows_of stats plan : float =
     (* at least one row per driving row *)
     Float.max (input_rows plan) (input_rows plan *. rows_of stats inner)
   | Plan.Rel_uniqueness _ -> input_rows plan *. 0.9
+  | Plan.Regex_expand { dir; _ } ->
+    (* like an unbounded variable-length expand: the automaton prunes,
+       but the closure depth is unknown *)
+    let fanout =
+      Float.max 0.1
+        (Stats.estimate_expand stats ~direction:(dir_to_expand dir)
+           ~rel_types:[])
+    in
+    let max_len = int_of_float (Float.min 8. (Stats.rel_count stats)) in
+    let rec sum k acc pow =
+      if k > max_len then acc
+      else
+        let pow = pow *. fanout in
+        sum (k + 1) (acc +. pow) pow
+    in
+    input_rows plan *. Float.max 0.1 (sum 1 1. 1.)
+  | Plan.Shortest_path { all; _ } ->
+    (* at most one path per driving row; allShortestPaths may tie *)
+    input_rows plan *. if all then 2. else 1.
+  | Plan.Cheapest_path _ -> input_rows plan
+  | Plan.Path_restrict _ -> input_rows plan *. 0.9
 
 and cost_of stats plan : float =
   let self = rows_of stats plan in

@@ -89,6 +89,298 @@ let rel_ids_of_binding row = function
       List.filter_map (function Value.Rel r -> Some r | _ -> None) vs
     | _ -> [])
 
+(* --- path-finding operators ------------------------------------------ *)
+
+module Type_regex = Cypher_ast.Type_regex
+
+let var_cap cfg g =
+  match cfg.Config.var_length_cap with
+  | Some c -> c
+  | None -> Graph.rel_count g
+
+let flip_plan_dir = function
+  | Plan.Out -> Plan.In
+  | Plan.In -> Plan.Out
+  | Plan.Both -> Plan.Both
+
+(* Whether the steps of a completed path, starting at [start], satisfy
+   the GQL path restrictor — the mirror of the reference engine's
+   check. *)
+let restr_ok restr start steps =
+  match restr with
+  | Cypher_ast.Ast.Walk -> true
+  | Cypher_ast.Ast.Trail ->
+    let rec dup seen = function
+      | [] -> false
+      | (r, _) :: rest ->
+        Ids.Rel_set.mem r seen || dup (Ids.Rel_set.add r seen) rest
+    in
+    not (dup Ids.Rel_set.empty steps)
+  | Cypher_ast.Ast.Acyclic ->
+    let rec dup seen = function
+      | [] -> false
+      | (_, n) :: rest ->
+        Ids.Node_set.mem n seen || dup (Ids.Node_set.add n seen) rest
+    in
+    not (dup (Ids.Node_set.singleton start) steps)
+
+(* The filtered adjacency shared by the path searches: direction, type
+   filter and relationship property predicates, with the reference
+   engine's typed error when a predicate references a variable that is
+   not bound. *)
+let search_neighbours cfg g row ~types ~props ~dir cur =
+  let cands =
+    match dir with
+    | Plan.Out -> List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
+    | Plan.In -> List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
+    | Plan.Both ->
+      List.map (fun r -> (r, Graph.other_end g r cur)) (Graph.all_rels_of g cur)
+  in
+  List.filter
+    (fun (r, _) ->
+      (types = [] || List.mem (Graph.rel_type g r) types)
+      && List.for_all
+           (fun (k, e) ->
+             match Eval.eval_expr cfg g row e with
+             | expected ->
+               Ternary.is_true
+                 (Value.equal_ternary (Graph.rel_prop g r k) expected)
+             | exception Functions.Eval_error _ ->
+               eval_error
+                 "shortest-path relationship predicate on '%s' references an \
+                  unbound variable"
+                 k)
+           props)
+    cands
+
+(* Exhaustive iterative deepening over walk lengths, used where per-node
+   visited marking is unsound: the cyclic case s = e, and kmin > 1 where
+   the minimal valid walk may revisit a node.  Identical to the
+   reference engine's, so the surviving candidate is the same. *)
+let deepening_steps neighbours s e ~kmin ~kmax ~all =
+  let found = ref [] in
+  let l = ref (max 1 kmin) in
+  while !found = [] && !l <= kmax do
+    let target_len = !l in
+    let rec dfs used cur depth steps_rev =
+      if depth = target_len then begin
+        if Ids.equal_node cur e then found := List.rev steps_rev :: !found
+      end
+      else
+        List.iter
+          (fun (r, next) ->
+            if not (Ids.Rel_set.mem r used) then
+              dfs (Ids.Rel_set.add r used) next (depth + 1)
+                ((r, next) :: steps_rev))
+          (neighbours cur)
+    in
+    dfs Ids.Rel_set.empty s 0 [];
+    incr l
+  done;
+  match !found, all with
+  | [], _ -> []
+  | paths, true -> List.rev paths
+  | p :: _, false -> [ p ]
+
+(* Level-synchronised BFS returning every minimal-length path — the
+   reference engine's allShortestPaths search, ported so the produced
+   multiset is identical. *)
+let bfs_all_shortest neighbours s e ~kmax =
+  let visited = ref (Ids.Node_set.singleton s) in
+  let rec level depth frontier =
+    if depth >= kmax || frontier = [] then []
+    else begin
+      let expansions =
+        List.concat_map
+          (fun (cur, steps_rev) ->
+            List.filter_map
+              (fun (r, next) ->
+                if Ids.Node_set.mem next !visited then None
+                else Some (next, (r, next) :: steps_rev))
+              (neighbours cur))
+          frontier
+      in
+      let completions =
+        List.filter_map
+          (fun (n, steps_rev) ->
+            if Ids.equal_node n e then Some (List.rev steps_rev) else None)
+          expansions
+      in
+      if completions <> [] then completions
+      else begin
+        let next_frontier =
+          List.filter (fun (n, _) -> not (Ids.equal_node n e)) expansions
+        in
+        List.iter
+          (fun (n, _) -> visited := Ids.Node_set.add n !visited)
+          next_frontier;
+        level (depth + 1) next_frontier
+      end
+    end
+  in
+  level 0 [ (s, []) ]
+
+(* Bidirectional BFS for a single shortest path between two distinct
+   endpoints.  At each step the frontier with the smaller total degree
+   expands — the statistics-driven direction choice that makes the
+   bound-endpoints case fast on large graphs.  Minimal walks between
+   distinct endpoints under kmin <= 1 are node-simple (a repeated node
+   could be cut, contradicting minimality), so per-side first-discovery
+   marking is sound and the two halves of a minimal concatenation never
+   share a node.  A meet is recorded when the second side reaches a
+   node; once any meet exists, the minimum recorded total is the true
+   shortest length (a shorter path would have produced an earlier
+   meet). *)
+let bidir_shortest g neighbours_fwd neighbours_bwd s e ~kmax =
+  let key = Ids.node_to_int in
+  let fwd_dist = Hashtbl.create 64 and bwd_dist = Hashtbl.create 64 in
+  let fwd_parent = Hashtbl.create 64 and bwd_parent = Hashtbl.create 64 in
+  Hashtbl.replace fwd_dist (key s) 0;
+  Hashtbl.replace bwd_dist (key e) 0;
+  let fwd_frontier = ref [ s ] and bwd_frontier = ref [ e ] in
+  let df = ref 0 and db = ref 0 in
+  let best = ref None in
+  let expand_side ~fwd =
+    let frontier, dist, parent, other_dist, depth, neighbours =
+      if fwd then (fwd_frontier, fwd_dist, fwd_parent, bwd_dist, df, neighbours_fwd)
+      else (bwd_frontier, bwd_dist, bwd_parent, fwd_dist, db, neighbours_bwd)
+    in
+    let d' = !depth + 1 in
+    let next = ref [] in
+    List.iter
+      (fun cur ->
+        List.iter
+          (fun (r, n) ->
+            let k = key n in
+            if not (Hashtbl.mem dist k) then begin
+              Hashtbl.replace dist k d';
+              Hashtbl.replace parent k (r, cur);
+              next := n :: !next;
+              match Hashtbl.find_opt other_dist k with
+              | Some od -> (
+                let total = d' + od in
+                match !best with
+                | Some (b, _) when b <= total -> ()
+                | _ -> best := Some (total, n))
+              | None -> ()
+            end)
+          (neighbours cur))
+      !frontier;
+    frontier := List.rev !next;
+    depth := d'
+  in
+  let frontier_degree fr =
+    List.fold_left (fun acc n -> acc + Graph.degree g n) 0 fr
+  in
+  let rec search () =
+    match !best with
+    | Some (total, meet) ->
+      if total > kmax then []
+      else begin
+        let rec build_fwd n acc =
+          if Ids.equal_node n s then acc
+          else
+            let r, prev = Hashtbl.find fwd_parent (key n) in
+            build_fwd prev ((r, n) :: acc)
+        in
+        let rec build_bwd cur acc_rev =
+          if Ids.equal_node cur e then List.rev acc_rev
+          else
+            let r, nxt = Hashtbl.find bwd_parent (key cur) in
+            build_bwd nxt ((r, nxt) :: acc_rev)
+        in
+        [ build_fwd meet [] @ build_bwd meet [] ]
+      end
+    | None ->
+      if !fwd_frontier = [] || !bwd_frontier = [] || !df + !db >= kmax then []
+      else begin
+        if frontier_degree !fwd_frontier <= frontier_degree !bwd_frontier then
+          expand_side ~fwd:true
+        else expand_side ~fwd:false;
+        search ()
+      end
+  in
+  search ()
+
+(* Cheapest path by Dijkstra over a numeric cost property — a verbatim
+   mirror of the reference engine's search, including the Set-based
+   priority queue and its settle-order tie-breaking, so both engines
+   return the same path. *)
+let dijkstra_cheapest g neighbours s e ~cost_prop =
+  if Ids.equal_node s e then
+    eval_error "cheapestPath between identical endpoints is not supported";
+  let cost_of r =
+    match Graph.rel_prop g r cost_prop with
+    | Value.Int i -> float_of_int i
+    | Value.Float f -> f
+    | Value.Null ->
+      eval_error "cheapestPath: relationship has no '%s' cost property"
+        cost_prop
+    | v ->
+      Value.type_error
+        "cheapestPath: cost property '%s' is %s, expected a number" cost_prop
+        (Value.type_name v)
+  in
+  let module Pq = Set.Make (struct
+    type t = float * int * Ids.node
+
+    let compare (c1, i1, _) (c2, i2, _) =
+      match Float.compare c1 c2 with 0 -> Int.compare i1 i2 | c -> c
+  end) in
+  let dist = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  let settled = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let pq = ref Pq.empty in
+  let push c n =
+    incr counter;
+    pq := Pq.add (c, !counter, n) !pq
+  in
+  Hashtbl.replace dist (Ids.node_to_int s) 0.0;
+  push 0.0 s;
+  let reached = ref false in
+  while (not !reached) && not (Pq.is_empty !pq) do
+    let (c, _, n) as elt = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    let key = Ids.node_to_int n in
+    if not (Hashtbl.mem settled key) then begin
+      Hashtbl.replace settled key ();
+      if Ids.equal_node n e then reached := true
+      else
+        List.iter
+          (fun (r, next) ->
+            let w = cost_of r in
+            if w < 0.0 then
+              eval_error "cheapestPath: negative '%s' cost on a relationship"
+                cost_prop;
+            let nk = Ids.node_to_int next in
+            if not (Hashtbl.mem settled nk) then begin
+              let nc = c +. w in
+              let better =
+                match Hashtbl.find_opt dist nk with
+                | Some old -> nc < old
+                | None -> true
+              in
+              if better then begin
+                Hashtbl.replace dist nk nc;
+                Hashtbl.replace parent nk (r, n);
+                push nc next
+              end
+            end)
+          (neighbours n)
+    end
+  done;
+  if not !reached then []
+  else begin
+    let rec rebuild n acc =
+      if Ids.equal_node n s then acc
+      else
+        let r, prev = Hashtbl.find parent (Ids.node_to_int n) in
+        rebuild prev ((r, n) :: acc)
+    in
+    [ rebuild e [] ]
+  end
+
 (* Observation hook for PROFILE.  When the profiler is set, every
    operator's output sequence is wrapped so that each pull is measured:
    rows produced, db hits (via the {!Graph} access counter) and
@@ -369,6 +661,165 @@ and rows_body cfg g plan arg =
         let ids = List.concat_map (rel_ids_of_binding row) vars in
         let set = Ids.Rel_set.of_list ids in
         Ids.Rel_set.cardinal set = List.length ids)
+      (rows cfg g input arg)
+  | Plan.Regex_expand { from_; rel; regex; dir; to_; input } ->
+    let nfa = Type_regex.compile regex in
+    let cap = var_cap cfg g in
+    seq_filter_map_concat
+      (fun row ->
+        match node_of row from_ with
+        | None -> Seq.empty
+        | Some n0 ->
+          (* subset-simulate the type NFA along relationship-unique
+             walks; the walk may end whenever the state set accepts —
+             the mirror of the reference engine's RPQ hop *)
+          let results = ref [] in
+          let rec rseg used cur states depth rels_rev =
+            if Type_regex.accepting nfa states then begin
+              let v = Value.List (List.rev_map (fun r -> Value.Rel r) rels_rev) in
+              match
+                Option.bind (bind_or_check row rel v) (fun row ->
+                    bind_or_check row to_ (Value.Node cur))
+              with
+              | Some row' -> results := row' :: !results
+              | None -> ()
+            end;
+            if depth < cap then
+              List.iter
+                (fun (r, next) ->
+                  if not (Ids.Rel_set.mem r used) then begin
+                    let states' =
+                      Type_regex.step nfa states (Graph.rel_type g r)
+                    in
+                    if not (Type_regex.is_empty states') then
+                      rseg (Ids.Rel_set.add r used) next states' (depth + 1)
+                        (r :: rels_rev)
+                  end)
+                (expand_candidates g ~scan_rels:false ~dir cur)
+          in
+          rseg Ids.Rel_set.empty n0 (Type_regex.start nfa) 0 [];
+          List.to_seq (List.rev !results))
+      (rows cfg g input arg)
+  | Plan.Shortest_path
+      { from_; to_; rel; rel_single; types; dir; props; min_len; max_len; all;
+        restr; path; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match node_of row from_, node_of row to_ with
+        | Some s, Some e ->
+          let neighbours cur =
+            search_neighbours cfg g row ~types ~props ~dir cur
+          in
+          let kmax =
+            match max_len with Some n -> n | None -> var_cap cfg g
+          in
+          let candidates ~all =
+            if Ids.equal_node s e then
+              if min_len = 0 then [ [] ]
+              else deepening_steps neighbours s e ~kmin:min_len ~kmax ~all
+            else if min_len > 1 then
+              deepening_steps neighbours s e ~kmin:min_len ~kmax ~all
+            else if all then bfs_all_shortest neighbours s e ~kmax
+            else
+              bidir_shortest g neighbours
+                (fun cur ->
+                  search_neighbours cfg g row ~types ~props
+                    ~dir:(flip_plan_dir dir) cur)
+                s e ~kmax
+          in
+          let try_candidate steps =
+            if not (restr_ok restr s steps) then None
+            else
+              let rel_value =
+                if rel_single then
+                  match steps with
+                  | [ (r, _) ] -> Some (Value.Rel r)
+                  | _ -> None
+                else
+                  Some (Value.List (List.map (fun (r, _) -> Value.Rel r) steps))
+              in
+              match rel_value with
+              | None -> None
+              | Some v ->
+                Option.bind (bind_or_check row rel v) (fun row ->
+                    match path with
+                    | None -> Some row
+                    | Some p ->
+                      bind_or_check row p
+                        (Value.Path { path_start = s; path_steps = steps }))
+          in
+          if all then
+            List.to_seq (List.filter_map try_candidate (candidates ~all:true))
+          else begin
+            match candidates ~all:false with
+            | [] -> Seq.empty
+            | first :: _ -> (
+              match try_candidate first with
+              | Some row' -> Seq.return row'
+              | None ->
+                (* the arbitrary survivor was rejected (a restrictor on a
+                   cyclic or kmin > 1 search): retry every minimal-length
+                   alternative, as the reference engine does *)
+                let same a b =
+                  List.length a = List.length b
+                  && List.for_all2
+                       (fun (r1, _) (r2, _) -> Ids.equal_rel r1 r2)
+                       a b
+                in
+                let rec loop = function
+                  | [] -> Seq.empty
+                  | c :: rest ->
+                    if same c first then loop rest
+                    else (
+                      match try_candidate c with
+                      | Some row' -> Seq.return row'
+                      | None -> loop rest)
+                in
+                loop (candidates ~all:true))
+          end
+        | _ -> Seq.empty)
+      (rows cfg g input arg)
+  | Plan.Cheapest_path
+      { from_; to_; rel; types; dir; props; cost_prop; restr; path; input } ->
+    seq_filter_map_concat
+      (fun row ->
+        match node_of row from_, node_of row to_ with
+        | Some s, Some e ->
+          let neighbours cur =
+            search_neighbours cfg g row ~types ~props ~dir cur
+          in
+          let try_candidate steps =
+            if not (restr_ok restr s steps) then None
+            else
+              let v = Value.List (List.map (fun (r, _) -> Value.Rel r) steps) in
+              Option.bind (bind_or_check row rel v) (fun row ->
+                  match path with
+                  | None -> Some row
+                  | Some p ->
+                    bind_or_check row p
+                      (Value.Path { path_start = s; path_steps = steps }))
+          in
+          List.to_seq
+            (List.filter_map try_candidate
+               (dijkstra_cheapest g neighbours s e ~cost_prop))
+        | _ -> Seq.empty)
+      (rows cfg g input arg)
+  | Plan.Path_restrict { restr; start_var; hops; input } ->
+    Seq.filter
+      (fun row ->
+        match node_of row start_var with
+        | None -> false
+        | Some start ->
+          let steps =
+            List.concat_map (rel_ids_of_binding row) hops
+            |> List.fold_left
+                 (fun (cur, acc) r ->
+                   let next = Graph.other_end g r cur in
+                   (next, (r, next) :: acc))
+                 (start, [])
+            |> snd |> List.rev
+          in
+          restr_ok restr start steps)
       (rows cfg g input arg)
   | Plan.Project_path { var; start_var; hops; input } ->
     Seq.filter_map

@@ -62,6 +62,47 @@ type t =
       hops : hop_binding list;
       input : t;
     }
+  | Regex_expand of {
+      from_ : string;
+      rel : string; (* binds the list of traversed relationships *)
+      regex : Cypher_ast.Ast.type_regex;
+      dir : dir;
+      to_ : string;
+      input : t;
+    }
+  | Shortest_path of {
+      from_ : string; (* both endpoint variables are bound by the input *)
+      to_ : string;
+      rel : string;
+      rel_single : bool; (* a single-hop pattern binds Rel, not a list *)
+      types : string list;
+      dir : dir;
+      props : (string * Cypher_ast.Ast.expr) list;
+      min_len : int;
+      max_len : int option;
+      all : bool; (* allShortestPaths *)
+      restr : Cypher_ast.Ast.path_restrictor;
+      path : string option;
+      input : t;
+    }
+  | Cheapest_path of {
+      from_ : string;
+      to_ : string;
+      rel : string;
+      types : string list;
+      dir : dir;
+      props : (string * Cypher_ast.Ast.expr) list;
+      cost_prop : string;
+      restr : Cypher_ast.Ast.path_restrictor;
+      path : string option;
+      input : t;
+    }
+  | Path_restrict of {
+      restr : Cypher_ast.Ast.path_restrictor;
+      start_var : string;
+      hops : hop_binding list;
+      input : t;
+    }
 
 let input_of = function
   | Argument -> None
@@ -81,7 +122,11 @@ let input_of = function
   | Unwind { input; _ }
   | Optional { input; _ }
   | Rel_uniqueness { input; _ }
-  | Project_path { input; _ } ->
+  | Project_path { input; _ }
+  | Regex_expand { input; _ }
+  | Shortest_path { input; _ }
+  | Cheapest_path { input; _ }
+  | Path_restrict { input; _ } ->
     Some input
 
 (* Rebuilds the operator over a different input — the parallel executor
@@ -107,6 +152,10 @@ let with_input op input =
   | Optional r -> Optional { r with input }
   | Rel_uniqueness r -> Rel_uniqueness { r with input }
   | Project_path r -> Project_path { r with input }
+  | Regex_expand r -> Regex_expand { r with input }
+  | Shortest_path r -> Shortest_path { r with input }
+  | Cheapest_path r -> Cheapest_path { r with input }
+  | Path_restrict r -> Path_restrict { r with input }
 
 let dir_arrow = function Out -> "-->" | In -> "<--" | Both -> "--"
 
@@ -115,6 +164,11 @@ let hop_name = function Single_rel r -> r | Rel_list r -> r ^ "*"
 let types_str = function
   | [] -> ""
   | ts -> ":" ^ String.concat "|" ts
+
+let restr_str = function
+  | Cypher_ast.Ast.Walk -> ""
+  | Cypher_ast.Ast.Trail -> "[trail]"
+  | Cypher_ast.Ast.Acyclic -> "[acyclic]"
 
 (* One line describing the operator itself (without its input). *)
 let describe = function
@@ -175,6 +229,24 @@ let describe = function
       (String.concat ", " (List.map hop_name vars))
   | Project_path { var; start_var; hops; _ } ->
     Printf.sprintf "ProjectPath (%s = (%s)%s)" var start_var
+      (String.concat "" (List.map (fun h -> "-" ^ hop_name h ^ "-") hops))
+  | Regex_expand { from_; rel; regex; dir; to_; _ } ->
+    Printf.sprintf "RegexExpand (%s)-[%s:(%s)]%s(%s)" from_ rel
+      (Cypher_ast.Ast.regex_to_string regex)
+      (dir_arrow dir) to_
+  | Shortest_path { from_; to_; rel; types; dir; min_len; max_len; all; restr; _ }
+    ->
+    Printf.sprintf "%s%s (%s)-[%s%s*%d..%s]%s(%s)"
+      (if all then "AllShortestPaths" else "ShortestPath")
+      (restr_str restr) from_ rel (types_str types) min_len
+      (match max_len with Some n -> string_of_int n | None -> "")
+      (dir_arrow dir) to_
+  | Cheapest_path { from_; to_; rel; types; dir; cost_prop; restr; _ } ->
+    Printf.sprintf "CheapestPath%s (%s)-[%s%s*]%s(%s) (cost: %s)"
+      (restr_str restr) from_ rel (types_str types) (dir_arrow dir) to_
+      cost_prop
+  | Path_restrict { restr; start_var; hops; _ } ->
+    Printf.sprintf "PathRestrict%s ((%s)%s)" (restr_str restr) start_var
       (String.concat "" (List.map (fun h -> "-" ^ hop_name h ^ "-") hops))
 
 let rec pp_gen ~annotate depth ppf plan =

@@ -91,6 +91,56 @@ type t =
       hops : hop_binding list;
       input : t;
     }
+  | Regex_expand of {
+      from_ : string;
+      rel : string;  (** binds the list of traversed relationships *)
+      regex : Cypher_ast.Ast.type_regex;
+      dir : dir;
+      to_ : string;
+      input : t;
+    }
+      (** RPQ hop: subset-simulates the type regex's NFA on the product
+          of automaton states and graph nodes, along relationship-unique
+          walks *)
+  | Shortest_path of {
+      from_ : string;  (** both endpoint variables are bound by the input *)
+      to_ : string;
+      rel : string;
+      rel_single : bool;
+          (** a single-hop pattern binds a relationship, not a list *)
+      types : string list;
+      dir : dir;
+      props : (string * Cypher_ast.Ast.expr) list;
+      min_len : int;
+      max_len : int option;
+      all : bool;  (** allShortestPaths *)
+      restr : Cypher_ast.Ast.path_restrictor;
+      path : string option;
+      input : t;
+    }
+      (** per driving row: bidirectional BFS (single path, distinct
+          endpoints), level BFS (all shortest), or iterative deepening
+          (cycles, [min_len > 1]) between the two bound endpoints *)
+  | Cheapest_path of {
+      from_ : string;
+      to_ : string;
+      rel : string;
+      types : string list;
+      dir : dir;
+      props : (string * Cypher_ast.Ast.expr) list;
+      cost_prop : string;
+      restr : Cypher_ast.Ast.path_restrictor;
+      path : string option;
+      input : t;
+    }  (** Dijkstra over a numeric relationship cost property *)
+  | Path_restrict of {
+      restr : Cypher_ast.Ast.path_restrictor;
+      start_var : string;
+      hops : hop_binding list;
+      input : t;
+    }
+      (** filters rows whose reconstructed path violates a GQL TRAIL /
+          ACYCLIC restrictor *)
 
 val input_of : t -> t option
 

@@ -376,10 +376,71 @@ and match_pattern_tuple cfg g u patterns =
       bind st np.np_name (Value.Node n) (fun st ->
           check_node_props st n np.np_props kont)
   in
+  (* Adjacency of [cur] in the direction of [rp]. *)
+  let hop_candidates (rp : rel_pattern) cur =
+    match rp.rp_dir with
+    | Left_to_right ->
+      List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
+    | Right_to_left ->
+      List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
+    | Undirected ->
+      List.map (fun r -> (r, Graph.other_end g r cur)) (Graph.all_rels_of g cur)
+  in
   (* Enumerates matches of one relationship hop (ρ, χ_next) starting at
      [node]; calls [kont st steps] for every way, where [steps] is the
      list of (rel, node) steps taken (empty for a zero-length match). *)
+  let match_hop_regex st node (rp : rel_pattern) (np_next : node_pattern) kont =
+    match rp.rp_regex with
+    | Some re ->
+      (* RPQ hop: subset-simulate the type NFA along rel-unique walks;
+         the walk may end whenever the state set is accepting.  The same
+         automaton drives the planner's product-graph operator. *)
+      let nfa = Type_regex.compile re in
+      let bind_rel_var st rels_rev kont =
+        bind st rp.rp_name
+          (Value.List (List.rev_map (fun r -> Value.Rel r) rels_rev))
+          kont
+      in
+      let rec rseg st cur states depth rels_rev steps_rev =
+        if Type_regex.accepting nfa states then
+          bind_rel_var st rels_rev (fun st ->
+              match_node st cur np_next (fun st -> kont st (List.rev steps_rev)));
+        if depth < cap then begin
+          let st_opt =
+            if track_nodes && depth >= 1 then
+              if Ids.Node_set.mem cur st.used_nodes then None
+              else Some { st with used_nodes = Ids.Node_set.add cur st.used_nodes }
+            else Some st
+          in
+          match st_opt with
+          | None -> ()
+          | Some st ->
+            List.iter
+              (fun (r, next) ->
+                let rel_ok =
+                  (not track_rels) || not (Ids.Rel_set.mem r st.used_rels)
+                in
+                if rel_ok then begin
+                  let states' = Type_regex.step nfa states (Graph.rel_type g r) in
+                  if not (Type_regex.is_empty states') then
+                    check_rel_props st r rp.rp_props (fun st ->
+                        let st =
+                          if track_rels then
+                            { st with used_rels = Ids.Rel_set.add r st.used_rels }
+                          else st
+                        in
+                        rseg st next states' (depth + 1) (r :: rels_rev)
+                          ((r, next) :: steps_rev))
+                end)
+              (hop_candidates rp cur)
+        end
+      in
+      rseg st node (Type_regex.start nfa) 0 [] []
+    | None -> assert false
+  in
   let match_hop st node (rp : rel_pattern) (np_next : node_pattern) kont =
+    if rp.rp_regex <> None then match_hop_regex st node rp np_next kont
+    else begin
     let kmin, kmax_opt = Ast.range_of_len rp.rp_len in
     let kmax = match kmax_opt with Some n -> n | None -> cap in
     let bind_rel_var st rels_rev kont =
@@ -442,6 +503,7 @@ and match_pattern_tuple cfg g u patterns =
       end
     in
     seg st node 0 [] []
+    end
   in
   let candidates_of st (np : node_pattern) =
     match np.np_name with
@@ -454,70 +516,108 @@ and match_pattern_tuple cfg g u patterns =
       | l :: _ -> Graph.nodes_with_label g l
       | [] -> Graph.nodes g)
   in
+  (* Whether the steps of a completed path, starting at [start], satisfy
+     the GQL path restrictor.  WALK imposes nothing; TRAIL forbids
+     repeated relationships; ACYCLIC forbids repeated nodes. *)
+  let restr_ok restr start steps =
+    match restr with
+    | Walk -> true
+    | Trail ->
+      let rec dup seen = function
+        | [] -> false
+        | (r, _) :: rest ->
+          Ids.Rel_set.mem r seen || dup (Ids.Rel_set.add r seen) rest
+      in
+      not (dup Ids.Rel_set.empty steps)
+    | Acyclic ->
+      let rec dup seen = function
+        | [] -> false
+        | (_, n) :: rest ->
+          Ids.Node_set.mem n seen || dup (Ids.Node_set.add n seen) rest
+      in
+      not (dup (Ids.Node_set.singleton start) steps)
+  in
+  (* The filtered adjacency used by every path search: direction, type
+     filter, relationship uniqueness against the rest of the tuple, and
+     relationship property predicates.  A predicate that cannot evaluate
+     (it references a variable the pattern never binds) is a typed error:
+     silently dropping every edge would turn a user mistake into an
+     empty result. *)
+  let search_neighbours st (rp : rel_pattern) cur acc_fn =
+    let cands =
+      match rp.rp_dir with
+      | Left_to_right ->
+        List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
+      | Right_to_left ->
+        List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
+      | Undirected ->
+        List.map (fun r -> (r, Graph.other_end g r cur)) (Graph.all_rels_of g cur)
+    in
+    List.filter
+      (fun (r, _) ->
+        (rp.rp_types = [] || List.mem (Graph.rel_type g r) rp.rp_types)
+        && (not track_rels || not (Ids.Rel_set.mem r st.used_rels))
+        && List.for_all
+             (fun (k, e) ->
+               match eval_expr cfg g st.bnd e with
+               | expected ->
+                 Ternary.is_true
+                   (Value.equal_ternary (Graph.rel_prop g r k) expected)
+               | exception Eval_error _ ->
+                 eval_error
+                   "shortest-path relationship predicate on '%s' references \
+                    an unbound variable"
+                   k)
+             rp.rp_props)
+      cands
+    |> acc_fn
+  in
+  (* Exhaustive iterative deepening: enumerate the rel-unique walks from
+     [s] to [e] of the smallest length in [kmin, kmax] that has any.
+     Used where per-node visited marking is unsound — the cyclic case
+     s = e, and kmin > 1 where the minimal valid walk may revisit a node
+     seen at an earlier BFS level. *)
+  let deepening_steps st rp s e kmin kmax ~all =
+    let found = ref [] in
+    let l = ref (max 1 kmin) in
+    while !found = [] && !l <= kmax do
+      let target_len = !l in
+      let rec dfs used cur depth steps_rev =
+        if depth = target_len then begin
+          if Ids.equal_node cur e then found := List.rev steps_rev :: !found
+        end
+        else
+          search_neighbours st rp cur (fun cands ->
+              List.iter
+                (fun (r, next) ->
+                  if not (Ids.Rel_set.mem r used) then
+                    dfs (Ids.Rel_set.add r used) next (depth + 1)
+                      ((r, next) :: steps_rev))
+                cands)
+      in
+      dfs Ids.Rel_set.empty s 0 [];
+      incr l
+    done;
+    match !found, all with
+    | [], _ -> []
+    | paths, true -> List.rev paths
+    | p :: _, false -> [ p ]
+  in
   (* Shortest paths between two fixed nodes: breadth-first search that
      respects the relationship pattern.  Returns the step lists of the
      minimal-length paths (one for [Shortest], all for [All_shortest]).
-     Minimal-length walks never repeat a node (a repetition could be cut,
-     contradicting minimality), so node-marking BFS is sound; the cyclic
-     case s = e falls back to iterative deepening over the DFS segments. *)
+     For kmin <= 1, minimal walks never repeat a node (a repetition could
+     be cut, contradicting minimality), so node-marking BFS is sound;
+     the cyclic case s = e and kmin > 1 fall back to iterative
+     deepening. *)
   let shortest_steps st (rp : rel_pattern) s e ~all =
     let kmin, kmax_opt = Ast.range_of_len rp.rp_len in
     let kmax = match kmax_opt with Some n -> n | None -> cap in
-    let neighbours cur acc_fn =
-      let cands =
-        match rp.rp_dir with
-        | Left_to_right ->
-          List.map (fun r -> (r, Graph.tgt g r)) (Graph.out_rels g cur)
-        | Right_to_left ->
-          List.map (fun r -> (r, Graph.src g r)) (Graph.in_rels g cur)
-        | Undirected ->
-          List.map (fun r -> (r, Graph.other_end g r cur)) (Graph.all_rels_of g cur)
-      in
-      List.filter
-        (fun (r, _) ->
-          (rp.rp_types = [] || List.mem (Graph.rel_type g r) rp.rp_types)
-          && (not track_rels || not (Ids.Rel_set.mem r st.used_rels))
-          && List.for_all
-               (fun (k, e) ->
-                 match eval_expr cfg g st.bnd e with
-                 | expected ->
-                   Ternary.is_true
-                     (Value.equal_ternary (Graph.rel_prop g r k) expected)
-                 | exception Eval_error _ -> false)
-               rp.rp_props)
-        cands
-      |> acc_fn
-    in
     if Ids.equal_node s e then begin
       (* shortest cycle through s: iterative deepening over path lengths *)
-      if kmin = 0 then [ [] ]
-      else begin
-        let found = ref [] in
-        let l = ref (max 1 kmin) in
-        while !found = [] && !l <= kmax do
-          let target_len = !l in
-          let rec dfs used cur depth steps_rev =
-            if depth = target_len then begin
-              if Ids.equal_node cur e then found := List.rev steps_rev :: !found
-            end
-            else
-              neighbours cur (fun cands ->
-                  List.iter
-                    (fun (r, next) ->
-                      if not (Ids.Rel_set.mem r used) then
-                        dfs (Ids.Rel_set.add r used) next (depth + 1)
-                          ((r, next) :: steps_rev))
-                    cands)
-          in
-          dfs Ids.Rel_set.empty s 0 [];
-          incr l
-        done;
-        match !found, all with
-        | [], _ -> []
-        | paths, true -> List.rev paths
-        | p :: _, false -> [ p ]
-      end
+      if kmin = 0 then [ [] ] else deepening_steps st rp s e kmin kmax ~all
     end
+    else if kmin > 1 then deepening_steps st rp s e kmin kmax ~all
     else begin
       (* level-synchronised BFS; within a level several paths may reach
          the same node (needed for All_shortest) *)
@@ -528,7 +628,7 @@ and match_pattern_tuple cfg g u patterns =
           let expansions =
             List.concat_map
               (fun (cur, steps_rev) ->
-                neighbours cur (fun cands ->
+                search_neighbours st rp cur (fun cands ->
                     List.filter_map
                       (fun (r, next) ->
                         if Ids.Node_set.mem next !visited then None
@@ -537,12 +637,10 @@ and match_pattern_tuple cfg g u patterns =
               frontier
           in
           let completions =
-            if depth + 1 >= kmin then
-              List.filter_map
-                (fun (n, steps_rev) ->
-                  if Ids.equal_node n e then Some (List.rev steps_rev) else None)
-                expansions
-            else []
+            List.filter_map
+              (fun (n, steps_rev) ->
+                if Ids.equal_node n e then Some (List.rev steps_rev) else None)
+              expansions
           in
           if completions <> [] then
             if all then completions else [ List.hd completions ]
@@ -577,64 +675,191 @@ and match_pattern_tuple cfg g u patterns =
       level 0 [ (s, []) ]
     end
   in
-  (* Matches a shortestPath / allShortestPaths pattern: both endpoints
-     are enumerated (bound endpoints give singleton candidate sets), and
-     the BFS produces the minimal-length connecting paths. *)
-  let match_path_shortest st (pp : path_pattern) ~all kont =
+  (* Cheapest path by Dijkstra over a numeric cost property.  The
+     returned path is node-simple; equal-cost ties break by settle
+     order, which is deterministic for a given adjacency order. *)
+  let cheapest_steps st (rp : rel_pattern) s e prop =
+    if Ids.equal_node s e then
+      eval_error "cheapestPath between identical endpoints is not supported";
+    let cost_of r =
+      match Graph.rel_prop g r prop with
+      | Value.Int i -> float_of_int i
+      | Value.Float f -> f
+      | Value.Null ->
+        eval_error "cheapestPath: relationship has no '%s' cost property" prop
+      | v ->
+        Value.type_error "cheapestPath: cost property '%s' is %s, expected a number"
+          prop (Value.type_name v)
+    in
+    let module Pq = Set.Make (struct
+      type t = float * int * Ids.node
+
+      let compare (c1, i1, _) (c2, i2, _) =
+        match Float.compare c1 c2 with 0 -> Int.compare i1 i2 | c -> c
+    end) in
+    let dist = Hashtbl.create 64 in
+    let parent = Hashtbl.create 64 in
+    let settled = Hashtbl.create 64 in
+    let counter = ref 0 in
+    let pq = ref Pq.empty in
+    let push c n =
+      incr counter;
+      pq := Pq.add (c, !counter, n) !pq
+    in
+    Hashtbl.replace dist (Ids.node_to_int s) 0.0;
+    push 0.0 s;
+    let reached = ref false in
+    while (not !reached) && not (Pq.is_empty !pq) do
+      let (c, _, n) as elt = Pq.min_elt !pq in
+      pq := Pq.remove elt !pq;
+      let key = Ids.node_to_int n in
+      if not (Hashtbl.mem settled key) then begin
+        Hashtbl.replace settled key ();
+        if Ids.equal_node n e then reached := true
+        else
+          search_neighbours st rp n (fun cands ->
+              List.iter
+                (fun (r, next) ->
+                  let w = cost_of r in
+                  if w < 0.0 then
+                    eval_error
+                      "cheapestPath: negative '%s' cost on a relationship" prop;
+                  let nk = Ids.node_to_int next in
+                  if not (Hashtbl.mem settled nk) then begin
+                    let nc = c +. w in
+                    let better =
+                      match Hashtbl.find_opt dist nk with
+                      | Some old -> nc < old
+                      | None -> true
+                    in
+                    if better then begin
+                      Hashtbl.replace dist nk nc;
+                      Hashtbl.replace parent nk (r, n);
+                      push nc next
+                    end
+                  end)
+                cands)
+      end
+    done;
+    if not !reached then []
+    else begin
+      let rec rebuild n acc =
+        if Ids.equal_node n s then acc
+        else
+          let r, prev = Hashtbl.find parent (Ids.node_to_int n) in
+          rebuild prev ((r, n) :: acc)
+      in
+      [ rebuild e [] ]
+    end
+  in
+  (* Matches a shortestPath / allShortestPaths / cheapestPath pattern:
+     both endpoints are enumerated (bound endpoints give singleton
+     candidate sets) and bound *before* the search so relationship
+     property predicates can see the end variable, then the search
+     produces the candidate step lists.  In Shortest mode the BFS's
+     arbitrary survivor among equal-length paths can be rejected by the
+     rest of the pattern tuple (shared relationship uniqueness, deferred
+     property checks) even though an alternative would survive; when
+     that happens we retry every minimal-length candidate
+     exhaustively. *)
+  let match_path_shortest st (pp : path_pattern) ~mode kont =
     match pp.pp_rest with
     | [ (rp, np_end) ] ->
+      if rp.rp_regex <> None then
+        eval_error "shortestPath over a type regex is not supported";
+      (match mode with
+      | `Cheapest _ ->
+        let kmin, kmax_opt = Ast.range_of_len rp.rp_len in
+        if rp.rp_len = None || kmin > 1 || kmax_opt <> None then
+          eval_error
+            "cheapestPath requires an unbounded variable-length pattern \
+             ([*] or [*0..])"
+      | `Single | `All -> ());
       List.iter
         (fun s ->
           match_node st s pp.pp_first (fun st ->
               List.iter
                 (fun e ->
-                  let steps_list = shortest_steps st rp s e ~all in
-                  List.iter
-                    (fun steps ->
-                      let rel_value =
-                        match rp.rp_len with
-                        | None -> (
-                          match steps with
-                          | [ (r, _) ] -> Some (Value.Rel r)
-                          | _ -> None)
-                        | Some _ ->
-                          Some
-                            (Value.List (List.map (fun (r, _) -> Value.Rel r) steps))
-                      in
-                      let bind_rel st kont =
-                        match rp.rp_name, rel_value with
-                        | None, _ -> kont st
-                        | Some _, None -> ()
-                        | Some a, Some v -> bind st (Some a) v kont
-                      in
-                      let st =
-                        if track_rels then
-                          {
-                            st with
-                            used_rels =
-                              List.fold_left
-                                (fun acc (r, _) -> Ids.Rel_set.add r acc)
-                                st.used_rels steps;
-                          }
-                        else st
-                      in
-                      bind_rel st (fun st ->
-                          match_node st e np_end (fun st ->
+                  match_node st e np_end (fun st ->
+                      let try_candidate steps =
+                        if restr_ok pp.pp_restr s steps then begin
+                          let rel_value =
+                            match rp.rp_len with
+                            | None -> (
+                              match steps with
+                              | [ (r, _) ] -> Some (Value.Rel r)
+                              | _ -> None)
+                            | Some _ ->
+                              Some
+                                (Value.List
+                                   (List.map (fun (r, _) -> Value.Rel r) steps))
+                          in
+                          let bind_rel st kont =
+                            match rp.rp_name, rel_value with
+                            | None, _ -> kont st
+                            | Some _, None -> ()
+                            | Some a, Some v -> bind st (Some a) v kont
+                          in
+                          let st =
+                            if track_rels then
+                              {
+                                st with
+                                used_rels =
+                                  List.fold_left
+                                    (fun acc (r, _) -> Ids.Rel_set.add r acc)
+                                    st.used_rels steps;
+                              }
+                            else st
+                          in
+                          bind_rel st (fun st ->
                               bind st pp.pp_name
                                 (Value.Path { path_start = s; path_steps = steps })
-                                kont)))
-                    steps_list)
+                                kont)
+                        end
+                      in
+                      match mode with
+                      | `All ->
+                        List.iter try_candidate (shortest_steps st rp s e ~all:true)
+                      | `Cheapest prop ->
+                        List.iter try_candidate (cheapest_steps st rp s e prop)
+                      | `Single -> (
+                        match shortest_steps st rp s e ~all:false with
+                        | [] -> ()
+                        | first :: _ ->
+                          let before = List.length !results in
+                          try_candidate first;
+                          if List.length !results = before then begin
+                            (* the arbitrary BFS survivor was pruned by
+                               downstream constraints: exhaustive retry
+                               over every minimal-length alternative *)
+                            let same a b =
+                              List.length a = List.length b
+                              && List.for_all2
+                                   (fun (r1, _) (r2, _) -> Ids.equal_rel r1 r2)
+                                   a b
+                            in
+                            let rec loop = function
+                              | [] -> ()
+                              | c :: rest ->
+                                if not (same c first) then try_candidate c;
+                                if List.length !results = before then loop rest
+                            in
+                            loop (shortest_steps st rp s e ~all:true)
+                          end)))
                 (candidates_of st np_end)))
         (candidates_of st pp.pp_first)
-    | _ ->
+    | segs ->
       eval_error
-        "shortestPath requires a pattern with exactly one relationship"
+        "shortestPath requires a pattern with exactly one relationship \
+         segment (got %d)"
+        (List.length segs)
   in
   (* Matches a whole path pattern, producing the path value. *)
   let match_path st (pp : path_pattern) kont =
     match pp.pp_shortest with
-    | Shortest -> match_path_shortest st pp ~all:false kont
-    | All_shortest -> match_path_shortest st pp ~all:true kont
+    | Shortest -> match_path_shortest st pp ~mode:`Single kont
+    | All_shortest -> match_path_shortest st pp ~mode:`All kont
+    | Cheapest prop -> match_path_shortest st pp ~mode:(`Cheapest prop) kont
     | No_shortest ->
       let start_candidates = candidates_of st pp.pp_first in
       List.iter
@@ -643,11 +868,12 @@ and match_pattern_tuple cfg g u patterns =
               let rec hops st cur remaining steps_acc =
                 match remaining with
                 | [] ->
-                  let path =
-                    Value.Path
-                      { path_start = n0; path_steps = List.rev steps_acc }
-                  in
-                  bind st pp.pp_name path kont
+                  let steps = List.rev steps_acc in
+                  if restr_ok pp.pp_restr n0 steps then
+                    let path =
+                      Value.Path { path_start = n0; path_steps = steps }
+                    in
+                    bind st pp.pp_name path kont
                 | (rp, np) :: rest ->
                   match_hop st cur rp np (fun st steps ->
                       let cur' =

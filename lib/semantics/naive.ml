@@ -22,6 +22,10 @@ let hop_lengths ~max_total (rp : rel_pattern) =
 let rigid ~max_total (pp : path_pattern) =
   if pp.pp_shortest <> No_shortest then
     invalid_arg "Naive.rigid: shortest-path patterns have no rigid extension";
+  if pp.pp_restr <> Walk then
+    invalid_arg "Naive.rigid: restrictor modes are not part of Equation (1)";
+  if List.exists (fun (rp, _) -> rp.rp_regex <> None) pp.pp_rest then
+    invalid_arg "Naive.rigid: type-regex hops have no rigid extension";
   let rec combos budget = function
     | [] -> [ [] ]
     | (rp, np) :: rest ->

@@ -4,6 +4,42 @@ open Ast
 module Sset = Set.Make (String)
 
 exception Undefined of string
+exception Invalid_pattern of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_pattern s)) fmt
+
+(* Static shape checks for the path-finding extensions: shortest and
+   cheapest patterns take exactly one relationship segment, and neither
+   they, restrictors nor type regexes make sense in update patterns. *)
+let check_path_pattern ~updating pp =
+  (match pp.pp_shortest with
+  | No_shortest -> ()
+  | mode ->
+    let name =
+      match mode with
+      | Shortest -> "shortestPath"
+      | All_shortest -> "allShortestPaths"
+      | Cheapest _ -> "cheapestPath"
+      | No_shortest -> assert false
+    in
+    if updating then invalid "%s cannot be used in an update pattern" name;
+    if List.length pp.pp_rest <> 1 then
+      invalid
+        "%s requires a pattern with exactly one relationship segment (got %d)"
+        name (List.length pp.pp_rest);
+    match pp.pp_rest with
+    | [ (rp, _) ] when rp.rp_regex <> None ->
+      invalid "%s over a type regex is not supported" name
+    | _ -> ());
+  if updating then begin
+    if pp.pp_restr <> Walk then
+      invalid "path restrictors cannot be used in an update pattern";
+    List.iter
+      (fun (rp, _) ->
+        if rp.rp_regex <> None then
+          invalid "type regexes cannot be used in an update pattern")
+      pp.pp_rest
+  end
 
 (* Variables an expression requires to be in scope.  Unlike
    [Ast.expr_free_vars], pattern predicates contribute nothing: their
@@ -128,6 +164,7 @@ let rec check_clause scope clause =
     ignore inner;
     scope
   | C_match { pattern; where; _ } ->
+    List.iter (check_path_pattern ~updating:false) pattern;
     need scope (pattern_internal_requirements pattern);
     let scope = Sset.union scope (Sset.of_list (Ast.free_pattern_tuple pattern)) in
     (match where with Some e -> need_expr scope e | None -> ());
@@ -140,6 +177,7 @@ let rec check_clause scope clause =
     need_expr scope e;
     Sset.add a scope
   | C_create pattern ->
+    List.iter (check_path_pattern ~updating:true) pattern;
     need scope (pattern_internal_requirements pattern);
     Sset.union scope (Sset.of_list (Ast.free_pattern_tuple pattern))
   | C_delete { exprs; _ } ->
@@ -156,6 +194,7 @@ let rec check_clause scope clause =
       items;
     scope
   | C_merge { pattern; on_create; on_match } ->
+    check_path_pattern ~updating:true pattern;
     need scope (pattern_internal_requirements [ pattern ]);
     let pattern_scope = Sset.of_list (Ast.free_path_pattern pattern) in
     check_set_items scope pattern_scope on_create;
@@ -184,3 +223,4 @@ let check_query q =
   | () -> Ok ()
   | exception Undefined v ->
     Error (Printf.sprintf "variable `%s` not defined" v)
+  | exception Invalid_pattern msg -> Error msg

@@ -92,22 +92,45 @@ let len_gen =
         (G.int_range 0 2) (G.int_range 0 3);
     ]
 
+(* canonical type regexes only: TR_seq/TR_alt carry >= 2 elements, so
+   printing and re-parsing is the identity *)
+let regex_gen =
+  let atom = G.map (fun t -> TR_type t) type_gen in
+  let alt2 = G.map2 (fun a b -> TR_alt [ a; b ]) atom atom in
+  let post =
+    G.map2
+      (fun wrap r -> wrap r)
+      (G.oneofl
+         [ (fun r -> TR_star r); (fun r -> TR_plus r); (fun r -> TR_opt r) ])
+      (G.oneof [ atom; alt2 ])
+  in
+  let unit_ = G.oneof [ atom; alt2; post ] in
+  G.oneof [ unit_; G.map2 (fun a b -> TR_seq [ a; b ]) unit_ unit_ ]
+
 let rel_pattern_gen =
   G.map3
-    (fun (name, dir) types (len, props) ->
-      { rp_name = name; rp_dir = dir; rp_types = types; rp_len = len; rp_props = props })
+    (fun (name, dir) (types, regex) (len, props) ->
+      (* a regex hop replaces both the type list and the length range *)
+      let types = if regex = None then types else [] in
+      let len = if regex = None then len else None in
+      { rp_name = name; rp_dir = dir; rp_types = types; rp_len = len;
+        rp_props = props; rp_regex = regex })
     (G.pair (G.option ident_gen)
        (G.oneofl [ Left_to_right; Right_to_left; Undirected ]))
-    (G.list_size (G.int_bound 2) type_gen)
+    (G.pair
+       (G.list_size (G.int_bound 2) type_gen)
+       (G.oneof [ G.return None; G.map (fun r -> Some r) regex_gen ]))
     (G.pair len_gen
        (G.list_size (G.int_bound 1)
           (G.pair key_gen (G.map (fun l -> E_lit l) literal_gen))))
 
 let path_pattern_gen =
   G.map3
-    (fun name first rest ->
-      { pp_name = name; pp_first = first; pp_rest = rest; pp_shortest = No_shortest })
-    (G.option ident_gen) node_pattern_gen
+    (fun (name, restr) first rest ->
+      { pp_name = name; pp_first = first; pp_rest = rest;
+        pp_shortest = No_shortest; pp_restr = restr })
+    (G.pair (G.option ident_gen) (G.oneofl [ Walk; Trail; Acyclic ]))
+    node_pattern_gen
     (G.list_size (G.int_bound 3) (G.pair rel_pattern_gen node_pattern_gen))
 
 (* label lists print as a set of :labels — normalise duplicates away *)

@@ -34,4 +34,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
       ("ast-roundtrip", Test_ast_roundtrip.suite);
+      ("paths", Test_paths.suite);
     ]

@@ -1,0 +1,538 @@
+(* Path finding: shortestPath / allShortestPaths / cheapestPath, GQL
+   restrictor modes (TRAIL / ACYCLIC / SHORTEST) and relationship-type
+   regexes — TCK-style cases plus differential checks of the planner's
+   path operators against the reference semantics and the paper's naive
+   enumeration oracle. *)
+
+open Helpers
+open Cypher_gen
+module Engine = Cypher_engine.Engine
+module Graph = Cypher_graph.Graph
+module Value = Cypher_values.Value
+module Registry = Cypher_obs.Registry
+
+(* A diamond with a shortcut: a -1-> b -1-> d, a -1-> c -1-> d, and an
+   expensive direct edge a -5-> d; plus a back edge d -G-> a. *)
+let diamond () =
+  (Engine.run_exn Graph.empty
+     "CREATE (a:P {name:'a'})-[:F {w:1}]->(b:P {name:'b'})-[:F {w:1}]->(d:P \
+      {name:'d'}), (a)-[:F {w:1}]->(c:P {name:'c'})-[:F {w:1}]->(d), \
+      (a)-[:F {w:5}]->(d), (d)-[:G {w:1}]->(a)")
+    .Engine.graph
+
+let contains_s haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let run_both g q =
+  match Engine.cross_check g q with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+(* Runs [q] through the cross-checker and compares the agreed table to
+   the expected rows. *)
+let expect g q fields rows () = check_table_bag q (table fields rows) (run_both g q)
+
+let expect_error ?contains mode g q () =
+  match Engine.query ~mode g q with
+  | Ok _ -> Alcotest.failf "%S: expected an error" q
+  | Error e -> (
+    match contains with
+    | None -> ()
+    | Some frag ->
+      if not (contains_s e frag) then
+        Alcotest.failf "%S: error %S does not mention %S" q e frag)
+
+(* --- TCK-style cases -------------------------------------------------- *)
+
+let tck_cases =
+  let g = diamond () in
+  [
+    ( "shortest: bound endpoints, direct edge wins",
+      expect g
+        "MATCH p = shortestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'})) \
+         RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 1) ] ] );
+    ( "shortest: single-hop pattern binds a relationship",
+      expect g
+        "MATCH shortestPath((a:P {name:'a'})-[r:F]->(d:P {name:'d'})) \
+         RETURN r.w"
+        [ "r.w" ]
+        [ [ ("r.w", vint 5) ] ] );
+    ( "shortest: unreachable pair yields no rows",
+      expect g
+        "MATCH p = shortestPath((b:P {name:'b'})-[:G*]->(c:P {name:'c'})) \
+         RETURN length(p)"
+        [ "length(p)" ] [] );
+    ( "shortest: zero length when start equals end and 0 is allowed",
+      expect g
+        "MATCH p = shortestPath((a:P {name:'a'})-[*0..]->(a)) RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 0) ] ] );
+    ( "shortest: cycle back to the start needs the back edge",
+      expect g
+        "MATCH p = shortestPath((a:P {name:'a'})-[*]->(a)) RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 2) ] ] );
+    ( "shortest: kmin > 1 skips the direct edge",
+      expect g
+        "MATCH p = shortestPath((a:P {name:'a'})-[:F*2..]->(d:P {name:'d'})) \
+         RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 2) ] ] );
+    ( "shortest: type filter changes reachability",
+      expect g
+        "MATCH p = shortestPath((d:P {name:'d'})-[:G*]->(b:P {name:'b'})) \
+         RETURN length(p)"
+        [ "length(p)" ] [] );
+    ( "shortest: unbound end enumerates a path per reachable node",
+      expect g
+        "MATCH p = shortestPath((a:P {name:'a'})-[:F*]->(x)) \
+         RETURN x.name, length(p)"
+        [ "x.name"; "length(p)" ]
+        [
+          [ ("x.name", vstr "b"); ("length(p)", vint 1) ];
+          [ ("x.name", vstr "c"); ("length(p)", vint 1) ];
+          [ ("x.name", vstr "d"); ("length(p)", vint 1) ];
+        ] );
+    ( "allShortestPaths: both two-hop routes tie once the shortcut is \
+       excluded",
+      expect g
+        "MATCH p = allShortestPaths((a:P {name:'a'})-[:F*2..]->(d:P \
+         {name:'d'})) RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 2) ]; [ ("length(p)", vint 2) ] ] );
+    ( "allShortestPaths: single minimum is returned once",
+      expect g
+        "MATCH p = allShortestPaths((a:P {name:'a'})-[:F*]->(d:P {name:'d'})) \
+         RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 1) ] ] );
+    ( "cheapest: two cheap hops beat the expensive shortcut",
+      expect g
+        "MATCH p = cheapestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'}), \
+         'w') RETURN length(p), reduce(c = 0, r IN relationships(p) | c + \
+         r.w) AS cost"
+        [ "length(p)"; "cost" ]
+        [ [ ("length(p)", vint 2); ("cost", vint 2) ] ] );
+    ( "cheapest: unreachable pair yields no rows",
+      expect g
+        "MATCH p = cheapestPath((b:P {name:'b'})-[:G*]->(c:P {name:'c'}), \
+         'w') RETURN length(p)"
+        [ "length(p)" ] [] );
+    ( "regex: sequence of two types",
+      expect g
+        "MATCH (x)-[r:(F G)]->(y) RETURN x.name, y.name, size(r) AS hops"
+        [ "x.name"; "y.name"; "hops" ]
+        [
+          [ ("x.name", vstr "a"); ("y.name", vstr "a"); ("hops", vint 2) ];
+          [ ("x.name", vstr "b"); ("y.name", vstr "a"); ("hops", vint 2) ];
+          [ ("x.name", vstr "c"); ("y.name", vstr "a"); ("hops", vint 2) ];
+        ] );
+    ( "regex: alternation with star",
+      expect g
+        "MATCH (x {name:'b'})-[r:((F|G)*)]->(y {name:'c'}) RETURN size(r) AS \
+         hops"
+        [ "hops" ]
+        [ [ ("hops", vint 3) ] ] );
+    ( "regex: optional type matches the empty walk",
+      expect g
+        "MATCH (x {name:'b'})-[r:(G?)]->(y) WHERE x = y RETURN size(r) AS \
+         hops"
+        [ "hops" ]
+        [ [ ("hops", vint 0) ] ] );
+    ( "trail: relationship-distinct walks only",
+      expect (Engine.run_exn Graph.empty
+                "CREATE (a:N {name:'a'})-[:R]->(b:N {name:'b'}), (b)-[:R]->(a)")
+               .Engine.graph
+        "MATCH TRAIL (x {name:'a'})-[*]->(y) RETURN y.name, count(*) AS c"
+        [ "y.name"; "c" ]
+        [
+          [ ("y.name", vstr "b"); ("c", vint 1) ];
+          [ ("y.name", vstr "a"); ("c", vint 1) ];
+        ] );
+    ( "acyclic: node-distinct walks cut the cycle",
+      expect (Engine.run_exn Graph.empty
+                "CREATE (a:N {name:'a'})-[:R]->(b:N {name:'b'}), (b)-[:R]->(a)")
+               .Engine.graph
+        "MATCH ACYCLIC (x {name:'a'})-[*]->(y) RETURN y.name"
+        [ "y.name" ]
+        [ [ ("y.name", vstr "b") ] ] );
+    ( "gql prefix: SHORTEST is shortestPath",
+      expect g
+        "MATCH p = SHORTEST (a:P {name:'a'})-[:F*]->(d:P {name:'d'}) RETURN \
+         length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 1) ] ] );
+    ( "gql prefix: ALL SHORTEST is allShortestPaths",
+      expect g
+        "MATCH p = ALL SHORTEST (a:P {name:'a'})-[:F*2..]->(d:P {name:'d'}) \
+         RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 2) ]; [ ("length(p)", vint 2) ] ] );
+    ( "restricted shortest: TRAIL SHORTEST cycle cannot reuse the back \
+       edge",
+      expect g
+        "MATCH p = TRAIL SHORTEST (a:P {name:'a'})-[*]->(a) RETURN length(p)"
+        [ "length(p)" ]
+        [ [ ("length(p)", vint 2) ] ] );
+  ]
+
+(* --- typed errors ------------------------------------------------------ *)
+
+let error_cases =
+  let g = diamond () in
+  let neg =
+    (Engine.run_exn Graph.empty
+       "CREATE (a:N {name:'a'})-[:R {w: -1}]->(b:N {name:'b'})")
+      .Engine.graph
+  in
+  let untyped =
+    (Engine.run_exn Graph.empty
+       "CREATE (a:N {name:'a'})-[:R {w: 'x'}]->(b:N {name:'b'})")
+      .Engine.graph
+  in
+  List.concat_map
+    (fun mode ->
+      let m = match mode with Engine.Planned -> "plan" | _ -> "ref" in
+      [
+        ( m ^ ": multi-segment shortestPath is a typed error",
+          expect_error ~contains:"single-relationship pattern" mode g
+            "MATCH p = shortestPath((a)-[:F*]->(b)-[:F*]->(c)) RETURN p" );
+        ( m ^ ": shortestPath over a regex is a typed error",
+          expect_error ~contains:"type regex" mode g
+            "MATCH p = shortestPath((a)-[:(F G)]->(b)) RETURN p" );
+        ( m ^ ": negative cost is rejected",
+          expect_error ~contains:"negative" mode neg
+            "MATCH p = cheapestPath((a {name:'a'})-[:R*]->(b {name:'b'}), \
+             'w') RETURN p" );
+        ( m ^ ": non-numeric cost is rejected",
+          expect_error mode untyped
+            "MATCH p = cheapestPath((a {name:'a'})-[:R*]->(b {name:'b'}), \
+             'w') RETURN p" );
+        ( m ^ ": shortestPath in CREATE is rejected",
+          expect_error mode g "CREATE shortestPath((a)-[:R*]->(b))" );
+        ( m ^ ": regex in CREATE is rejected",
+          expect_error mode g "CREATE (a)-[:(F G)]->(b)" );
+      ])
+    [ Engine.Planned; Engine.Reference ]
+
+(* --- planner integration ---------------------------------------------- *)
+
+let explain_names_operator () =
+  let g = diamond () in
+  let check q frag =
+    match Engine.explain g q with
+    | Error e -> Alcotest.failf "explain %S: %s" q e
+    | Ok text ->
+      if not (contains_s text frag) then
+        Alcotest.failf "EXPLAIN %S does not mention %s:\n%s" q frag text
+  in
+  check
+    "MATCH p = shortestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'})) RETURN \
+     length(p)"
+    "ShortestPath";
+  check
+    "MATCH p = allShortestPaths((a:P {name:'a'})-[:F*]->(d:P {name:'d'})) \
+     RETURN length(p)"
+    "AllShortestPaths";
+  check
+    "MATCH p = cheapestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'}), 'w') \
+     RETURN length(p)"
+    "CheapestPath";
+  check "MATCH (x)-[r:(F G)]->(y) RETURN x" "RegexExpand";
+  check "MATCH TRAIL (x)-[*1..2]->(y) RETURN x" "PathRestrict[trail]"
+
+let profile_names_operator () =
+  let g = diamond () in
+  match
+    Engine.profile g
+      "MATCH p = shortestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'})) \
+       RETURN length(p)"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    if not (contains_s text "ShortestPath") then
+      Alcotest.failf "PROFILE does not mention ShortestPath:\n%s" text
+
+let fallback_counter = Registry.counter "cypher_engine_reference_fallback_total"
+
+let fallback_is_observable () =
+  let g = diamond () in
+  (* two shortest-path patterns in one MATCH: parses and scope-checks,
+     but the planner refuses the tuple, so Planned mode must fall back
+     to the reference evaluator — visibly. *)
+  let q =
+    "MATCH p = shortestPath((a:P {name:'a'})-[:F*]->(d:P {name:'d'})), q = \
+     shortestPath((d)-[:G*]->(a)) RETURN length(p) + length(q) AS l"
+  in
+  let before = Registry.value fallback_counter in
+  (match Engine.query ~mode:Engine.Planned g q with
+  | Ok t ->
+    check_table_bag q (table [ "l" ] [ [ ("l", vint 2) ] ]) t.Engine.table
+  | Error e -> Alcotest.fail e);
+  let after = Registry.value fallback_counter in
+  if after <= before then
+    Alcotest.failf "fallback counter did not move (%d -> %d)" before after;
+  (* reference mode is not a fallback: the counter must stay put *)
+  let before = Registry.value fallback_counter in
+  (match Engine.query ~mode:Engine.Reference g q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  if Registry.value fallback_counter <> before then
+    Alcotest.fail "reference-mode run incremented the fallback counter";
+  (* EXPLAIN surfaces the same refusal *)
+  match Engine.explain g q with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    if not (contains_s text "not planned") then
+      Alcotest.failf "EXPLAIN does not surface the planner refusal:\n%s" text
+
+let parallel_agrees () =
+  (* the planner's path operators are streaming, so the morsel-parallel
+     executor must produce the same bags *)
+  let g = Generate.social ~seed:7 ~people:60 ~avg_friends:4 in
+  let name i =
+    match
+      Graph.node_prop g
+        (List.nth (Graph.nodes_with_label g "Person") i)
+        "name"
+    with
+    | Value.String s -> s
+    | _ -> Alcotest.fail "social node without a name"
+  in
+  let par = { cfg with Cypher_semantics.Config.parallel = 4 } in
+  List.iter
+    (fun q ->
+      match
+        ( Engine.query ~config:cfg ~mode:Engine.Planned g q,
+          Engine.query ~config:par ~mode:Engine.Planned g q )
+      with
+      | Ok seq, Ok par ->
+        check_table_bag q seq.Engine.table par.Engine.table
+      | Error e, _ | _, Error e -> Alcotest.failf "%S: %s" q e)
+    [
+      "MATCH (a:Person), (b:Person) WHERE a.name < b.name MATCH p = \
+       shortestPath((a)-[:FRIEND*]->(b)) RETURN length(p) AS l, count(*) AS \
+       c ORDER BY l";
+      Printf.sprintf
+        "MATCH (a:Person {name: '%s'}) MATCH p = \
+         allShortestPaths((a)-[:FRIEND*]->(b:Person)) RETURN b.name, \
+         length(p)"
+        (name 0);
+      Printf.sprintf
+        "MATCH (a:Person {name: '%s'}), (b:Person {name: '%s'}) MATCH p = \
+         cheapestPath((a)-[:FRIEND*]->(b), 'since') RETURN length(p)"
+        (name 1) (name 17);
+    ]
+
+(* --- differential fuzz: planner vs reference -------------------------- *)
+
+let fuzz_differential () =
+  let rng = Prng.create 20260808 in
+  let failures = ref [] in
+  for round = 1 to 60 do
+    let g =
+      Generate.random_uniform
+        ~seed:(Prng.int rng 1_000_000)
+        ~nodes:(2 + Prng.int rng 7)
+        ~rels:(Prng.int rng 14) ~rel_types:[ "A"; "B" ] ~labels:[ "X"; "Y" ]
+    in
+    (* the single-shortest queries project only length(p): the choice
+       among equal-length paths is implementation-defined, the length is
+       not.  allShortestPaths and cheapestPath project the full path. *)
+    let queries =
+      [
+        "MATCH p = shortestPath((a)-[*]->(b)) RETURN length(p)";
+        "MATCH p = shortestPath((a:X)-[:A*0..]->(b)) RETURN length(p)";
+        "MATCH p = shortestPath((a)-[*2..4]->(b)) RETURN length(p)";
+        "MATCH p = shortestPath((a)-[*]-(b)) RETURN length(p)";
+        "MATCH p = allShortestPaths((a)-[*]->(b)) RETURN nodes(p), \
+         relationships(p)";
+        "MATCH p = allShortestPaths((a)-[:A*1..3]->(b)) RETURN nodes(p)";
+        "MATCH p = TRAIL SHORTEST (a)-[*]->(b) RETURN length(p)";
+        "MATCH p = ACYCLIC SHORTEST (a)-[*]->(b) RETURN length(p)";
+        "MATCH (x)-[r:(A B)]->(y) RETURN x, y, r";
+        "MATCH (x)-[r:((A|B)+)]->(y) RETURN x, y, size(r)";
+        "MATCH (x)-[r:(A* B?)]->(y) RETURN x, y, size(r)";
+        "MATCH TRAIL (x)-[*1..3]->(y) RETURN x, y, count(*)";
+        "MATCH ACYCLIC (x)-[*1..3]-(y) RETURN x, y";
+      ]
+    in
+    List.iter
+      (fun q ->
+        match Engine.cross_check g q with
+        | Ok _ -> ()
+        | Error e ->
+          failures := Printf.sprintf "round %d: %s" round e :: !failures)
+      queries
+  done;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "%d differential failures; first: %s" (List.length fs)
+      (List.nth fs (List.length fs - 1))
+
+let fuzz_cheapest_differential () =
+  let rng = Prng.create 4242 in
+  for round = 1 to 60 do
+    (* weighted graphs need a numeric property on every relationship:
+       build them by script so the weight exists everywhere *)
+    let n = 3 + Prng.int rng 5 in
+    let g =
+      (Engine.run_exn Graph.empty
+         (Printf.sprintf
+            "UNWIND range(0, %d) AS i CREATE (:V {id: i})" (n - 1)))
+        .Engine.graph
+    in
+    let g = ref g in
+    let rels = 1 + Prng.int rng (2 * n) in
+    for _ = 1 to rels do
+      let s = Prng.int rng n and t = Prng.int rng n in
+      let w = 1 + Prng.int rng 9 in
+      g :=
+        (Engine.run_exn !g
+           (Printf.sprintf
+              "MATCH (a:V {id: %d}), (b:V {id: %d}) CREATE (a)-[:E {w: \
+               %d}]->(b)"
+              s t w))
+          .Engine.graph
+    done;
+    let q =
+      "MATCH p = cheapestPath((a:V {id: 0})-[:E*]->(b:V)) RETURN b.id, \
+       length(p), reduce(c = 0, r IN relationships(p) | c + r.w) AS cost"
+    in
+    (* cheapest is deterministic in cost, not in the tie-broken path:
+       compare endpoint, length and total cost *)
+    let q = String.concat "" [ q ] in
+    match Engine.cross_check !g q with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "round %d: %s" round e
+  done
+
+(* --- the naive oracle (satellite proof) -------------------------------- *)
+
+(* [Naive.paths] enumerates every relationship-distinct walk of the
+   graph.  The minimal walk length between two nodes, computed by brute
+   force over that enumeration, must equal what shortestPath returns —
+   in both engines.  This is the differential proof that the visited-set
+   pruning in the BFS cannot lose a shorter (or equal-length, when the
+   first is rejected by a restrictor) alternative. *)
+let oracle_shortest_lengths () =
+  let rng = Prng.create 1337 in
+  for round = 1 to 40 do
+    let g =
+      Generate.random_uniform
+        ~seed:(Prng.int rng 1_000_000)
+        ~nodes:(2 + Prng.int rng 4)
+        ~rels:(Prng.int rng 7) ~rel_types:[ "A" ] ~labels:[ "X" ]
+    in
+    let all = Cypher_semantics.Naive.paths g ~max_len:(Graph.rel_count g) in
+    (* brute-force shortest length per ordered pair, excluding the empty
+       walk (kmin defaults to 1) *)
+    let best = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        let len = List.length p.Value.path_steps in
+        (* [paths] enumerates undirected traversals too; keep only the
+           forward-directed ones to mirror (a)-[*]->(b) *)
+        let directed =
+          let rec ok cur = function
+            | [] -> true
+            | (r, next) :: rest ->
+              Graph.src g r = cur && Graph.tgt g r = next && ok next rest
+          in
+          ok p.Value.path_start p.Value.path_steps
+        in
+        if len >= 1 && directed then begin
+          let key =
+            ( Cypher_values.Ids.node_to_int p.Value.path_start,
+              Cypher_values.Ids.node_to_int
+                (match List.rev p.Value.path_steps with
+                | (_, last) :: _ -> last
+                | [] -> p.Value.path_start) )
+          in
+          match Hashtbl.find_opt best key with
+          | Some l when l <= len -> ()
+          | _ -> Hashtbl.replace best key len
+        end)
+      all;
+    let expected =
+      Hashtbl.fold (fun _ len acc -> (len, 1) :: acc) best []
+      |> List.sort compare
+      |> fun pairs ->
+      (* fold equal lengths into (length, count) rows *)
+      List.fold_left
+        (fun acc (l, c) ->
+          match acc with
+          | (l', c') :: rest when l' = l -> (l', c' + c) :: rest
+          | _ -> (l, c) :: acc)
+        [] pairs
+      |> List.rev
+    in
+    let q =
+      "MATCH p = shortestPath((a)-[*]->(b)) RETURN length(p) AS l, count(*) \
+       AS c ORDER BY l"
+    in
+    let expected_table =
+      table [ "l"; "c" ]
+        (List.map (fun (l, c) -> [ ("l", vint l); ("c", vint c) ]) expected)
+    in
+    List.iter
+      (fun mode ->
+        match Engine.query ~mode g q with
+        | Error e -> Alcotest.failf "round %d: %s" round e
+        | Ok out ->
+          check_table_bag
+            (Printf.sprintf "round %d (%s)" round
+               (match mode with Engine.Planned -> "planned" | _ -> "reference"))
+            expected_table out.Engine.table)
+      [ Engine.Reference; Engine.Planned ]
+  done
+
+(* Equal-length alternatives must survive pruning: when a restrictor
+   rejects the first minimal candidate, another candidate of the same
+   length must still be found.  The start's self-loop makes the naive
+   visited-marking BFS find a rejected candidate first. *)
+let restrictor_does_not_lose_alternatives () =
+  (* two length-2 routes a->b->a (trail-ok: two distinct rels) vs the
+     doubled edge walk; and a diamond where one middle node is revisited *)
+  let g =
+    (Engine.run_exn Graph.empty
+       "CREATE (a:N {name:'a'})-[:R]->(b:N {name:'b'}), (b)-[:R]->(c:N \
+        {name:'c'}), (a)-[:R]->(x:N {name:'x'}), (x)-[:R]->(x), \
+        (x)-[:R]->(c)")
+      .Engine.graph
+  in
+  (* ACYCLIC shortest a->c: the x route and the b route are both length
+     2 and acyclic; the self-loop on x must not poison the search *)
+  List.iter
+    (fun mode ->
+      match
+        Engine.query ~mode g
+          "MATCH p = ACYCLIC SHORTEST (a {name:'a'})-[*]->(c {name:'c'}) \
+           RETURN length(p)"
+      with
+      | Error e -> Alcotest.fail e
+      | Ok out ->
+        check_table_bag "acyclic shortest finds a surviving candidate"
+          (table [ "length(p)" ] [ [ ("length(p)", vint 2) ] ])
+          out.Engine.table)
+    [ Engine.Reference; Engine.Planned ]
+
+let suite =
+  List.map (fun (name, f) -> tc name f) (tck_cases @ error_cases)
+  @ [
+      tc "EXPLAIN names the path operators" explain_names_operator;
+      tc "PROFILE names the path operators" profile_names_operator;
+      tc "reference fallback is counted and surfaced" fallback_is_observable;
+      tc "parallel executor agrees on path operators" parallel_agrees;
+      tc "fuzz: planner and reference agree on path queries" fuzz_differential;
+      tc "fuzz: cheapest-path costs agree" fuzz_cheapest_differential;
+      tc "oracle: shortest lengths match naive enumeration"
+        oracle_shortest_lengths;
+      tc "restrictors do not lose equal-length alternatives"
+        restrictor_does_not_lose_alternatives;
+    ]
